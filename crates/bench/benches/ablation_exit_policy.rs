@@ -1,0 +1,60 @@
+//! Ablation: the exit-port microarchitecture (shared-with-south vs
+//! dedicated 5:1 exit mux).
+//!
+//! Baseline Hoplite shares the packet exit with the `S_sh` output (its
+//! two-mux switch); the FastTrack router of Fig 9b adds a dedicated exit
+//! mux. This ablation quantifies what that extra mux buys: delivery no
+//! longer blocks south-bound traffic, which matters exactly when
+//! FastTrack's express links raise delivery pressure.
+
+use fasttrack_bench::runner::{packets_per_pe, NocUnderTest};
+use fasttrack_bench::table::Table;
+use fasttrack_core::config::{ExitPolicy, FtPolicy, NocConfig};
+use fasttrack_core::sim::SimOptions;
+use fasttrack_traffic::pattern::Pattern;
+use fasttrack_traffic::source::BernoulliSource;
+
+fn run(cfg: &NocConfig) -> (f64, f64) {
+    let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, packets_per_pe(), 5);
+    let nut = NocUnderTest { label: cfg.name(), config: cfg.clone(), channels: 1 };
+    let r = nut.run(&mut src, SimOptions::default());
+    (r.sustained_rate_per_pe(), r.avg_latency())
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: exit policy (8x8 RANDOM @100%)",
+        &["Config", "Exit", "Rate (pkt/cyc/PE)", "Avg latency", "Dedicated-exit gain"],
+    );
+    let bases = [
+        NocConfig::hoplite(8).unwrap(),
+        NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap(),
+        NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+    ];
+    for base in &bases {
+        let shared = base.clone().with_exit_policy(ExitPolicy::SharedWithSouth);
+        let dedicated = base.clone().with_exit_policy(ExitPolicy::Dedicated);
+        let (rs, ls) = run(&shared);
+        let (rd, ld) = run(&dedicated);
+        t.add_row(vec![
+            base.name(),
+            "shared S/exit".into(),
+            format!("{rs:.4}"),
+            format!("{ls:.1}"),
+            String::new(),
+        ]);
+        t.add_row(vec![
+            base.name(),
+            "dedicated".into(),
+            format!("{rd:.4}"),
+            format!("{ld:.1}"),
+            format!("{:.2}x", rd / rs),
+        ]);
+    }
+    t.emit("ablation_exit_policy");
+    println!(
+        "shape check: the dedicated exit barely moves Hoplite (its \
+         deliveries are rate-limited anyway) but buys FastTrack a large \
+         chunk of its throughput — the 5:1 exit mux earns its LUTs."
+    );
+}

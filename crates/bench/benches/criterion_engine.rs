@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the simulation engines: router cycles
+//! per second for the bufferless torus (Hoplite/FastTrack), the buffered
+//! mesh baseline, and the port allocator in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fasttrack_core::alloc::allocate;
+use fasttrack_core::prelude::*;
+use fasttrack_core::router::RouterClass;
+use fasttrack_core::routing::compute_prefs;
+use fasttrack_mesh::{MeshConfig, MeshNoc};
+use fasttrack_traffic::pattern::Pattern;
+use fasttrack_traffic::source::BernoulliSource;
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    let cycles_per_iter = 200u64;
+    for (label, cfg) in [
+        ("hoplite_8x8", NocConfig::hoplite(8).unwrap()),
+        (
+            "ft_64_2_1",
+            NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        ),
+        (
+            "ft_64_2_2",
+            NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap(),
+        ),
+    ] {
+        group.throughput(Throughput::Elements(cycles_per_iter * 64));
+        group.bench_with_input(BenchmarkId::new("router_cycles", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut noc = Noc::new(cfg.clone());
+                let mut source = BernoulliSource::new(8, Pattern::Random, 1.0, 1000, 99);
+                let mut queues = InjectQueues::new(64);
+                let mut deliveries = Vec::new();
+                for cycle in 0..cycles_per_iter {
+                    source.pump(cycle, &mut queues);
+                    deliveries.clear();
+                    noc.step(&mut queues, &mut deliveries, None);
+                }
+                noc.stats().delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+fn mesh_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_step");
+    let cycles_per_iter = 200u64;
+    group.throughput(Throughput::Elements(cycles_per_iter * 64));
+    group.bench_function("router_cycles/mesh_8x8_4deep", |b| {
+        b.iter(|| {
+            let mut noc = MeshNoc::new(MeshConfig::new(8, 4).unwrap());
+            let mut source = BernoulliSource::new(8, Pattern::Random, 1.0, 1000, 99);
+            let mut queues = InjectQueues::new(64);
+            let mut deliveries = Vec::new();
+            for cycle in 0..cycles_per_iter {
+                source.pump(cycle, &mut queues);
+                deliveries.clear();
+                noc.step(&mut queues, &mut deliveries);
+            }
+            noc.stats().delivered
+        })
+    });
+    group.finish();
+}
+
+fn allocator_micro(c: &mut Criterion) {
+    // The four-way conflict from the design notes: the allocator's
+    // worst realistic case (full feasibility search engaged).
+    let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+    let class = RouterClass::FULL;
+    let at = Coord::new(2, 2);
+    let inputs = [
+        compute_prefs(&cfg, class, InPort::WestEx, at, Coord::new(2, 5)),
+        compute_prefs(&cfg, class, InPort::NorthEx, at, Coord::new(5, 2)),
+        compute_prefs(&cfg, class, InPort::WestSh, at, Coord::new(5, 4)),
+        compute_prefs(&cfg, class, InPort::NorthSh, at, Coord::new(2, 5)),
+    ];
+    let avail = class.available_outputs();
+    c.bench_function("allocator/four_way_conflict", |b| {
+        b.iter(|| allocate(&inputs, avail, cfg.exit_policy()))
+    });
+}
+
+criterion_group!(benches, engine_throughput, mesh_throughput, allocator_micro);
+criterion_main!(benches);

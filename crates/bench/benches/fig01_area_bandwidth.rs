@@ -1,0 +1,26 @@
+//! Figure 1: area–bandwidth trade-offs of NoC routers on FPGAs — peak
+//! switch bandwidth (packets/ns) versus cost per switch max(LUTs, FFs).
+
+use fasttrack_bench::table::Table;
+use fasttrack_fpga::published::TABLE1;
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 1: Area-Bandwidth tradeoffs (32b routers)",
+        &["Router", "Cost max(LUTs,FFs)", "Peak BW (pkt/ns)"],
+    );
+    let mut rows: Vec<_> = TABLE1.to_vec();
+    rows.sort_by_key(|r| r.cost_per_switch());
+    for r in rows {
+        t.add_row(vec![
+            r.name.to_string(),
+            r.cost_per_switch().to_string(),
+            format!("{:.2}", r.peak_bandwidth_pkts_per_ns()),
+        ]);
+    }
+    t.emit("fig01_area_bandwidth");
+    println!(
+        "shape check: FastTrack should sit top-left (highest bandwidth, \
+         near-Hoplite cost); buffered ASIC NoCs bottom-right."
+    );
+}

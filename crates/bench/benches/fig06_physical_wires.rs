@@ -1,0 +1,29 @@
+//! Figure 6: physical express bypass channels — frequency vs distance
+//! for a registered bypass wire skipping LUT-FF stages.
+
+use fasttrack_bench::table::Table;
+use fasttrack_fpga::device::Device;
+use fasttrack_fpga::wire::{physical_express_mhz, SWEEP_DISTANCES, SWEEP_HOPS};
+
+fn main() {
+    let device = Device::virtex7_485t();
+    let mut headers = vec!["Distance (SLICE)".to_string()];
+    headers.extend(SWEEP_HOPS.iter().map(|h| format!("bypass={h}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 6: physical express links - frequency (MHz) vs distance x bypassed stages",
+        &header_refs,
+    );
+    for &d in &SWEEP_DISTANCES {
+        let mut row = vec![d.to_string()];
+        for &h in &SWEEP_HOPS {
+            row.push(format!("{:.0}", physical_express_mhz(&device, d, h)));
+        }
+        t.add_row(row);
+    }
+    t.emit("fig06_physical_wires");
+    println!(
+        "shape check: graceful linear decline with distance (vs Fig 4's \
+         collapse), ~250 MHz sustained to 32-64 SLICEs for any bypass count."
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 10: peak frequency (MHz) of NoCs of varying datawidths mapped
+//! to the Virtex-7 485T; "NA" marks configurations that do not fit.
+//!
+//! Column labels follow the paper's `<PEs, D>` notation. The paper's
+//! `<128, ·>` columns (a non-square 128-PE system) are replaced by
+//! `<256, ·>` (16×16) since our torus is square; the size trend they
+//! illustrate is preserved.
+
+use fasttrack_bench::table::Table;
+use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_fpga::device::Device;
+use fasttrack_fpga::routability::{noc_frequency_mhz, FIG10_WIDTHS};
+
+fn main() {
+    let device = Device::virtex7_485t();
+    let configs: Vec<(String, NocConfig)> = [(4u16, 1u16), (4, 2), (8, 1), (8, 2), (8, 4), (16, 1), (16, 2)]
+        .iter()
+        .map(|&(n, d)| {
+            let cfg = NocConfig::fasttrack(n, d, 1, FtPolicy::Full).unwrap();
+            (format!("<{},{}>", n as u32 * n as u32, d), cfg)
+        })
+        .collect();
+
+    let mut headers = vec!["Width (b)".to_string()];
+    headers.extend(configs.iter().map(|(l, _)| l.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 10: peak frequency (MHz) vs datawidth; NA = does not fit",
+        &header_refs,
+    );
+    for &w in &FIG10_WIDTHS {
+        let mut row = vec![w.to_string()];
+        for (_, cfg) in &configs {
+            row.push(match noc_frequency_mhz(&device, cfg, w, 1) {
+                Ok(mhz) => format!("{mhz:.0}"),
+                Err(_) => "NA".into(),
+            });
+        }
+        t.add_row(row);
+    }
+    t.emit("fig10_routability");
+    println!(
+        "shape check: peak feasible width shrinks with system size and \
+         express length; 4x4 D=2 supports 512b (paper text anchor)."
+    );
+}

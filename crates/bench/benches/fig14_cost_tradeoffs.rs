@@ -1,0 +1,57 @@
+//! Figure 14: throughput (million packets/s) against FPGA cost — logic
+//! area (LUTs) in 14a and wire count in 14b — for the 8×8 NoC routing
+//! RANDOM traffic at 100% injection.
+//!
+//! Throughput in wall-clock terms combines the simulator's sustained
+//! rate with each configuration's modeled post-route frequency.
+
+use fasttrack_bench::runner::{run_pattern, NocUnderTest};
+use fasttrack_bench::table::Table;
+use fasttrack_fpga::device::Device;
+use fasttrack_fpga::resources::noc_cost;
+use fasttrack_fpga::routability::noc_frequency_mhz;
+use fasttrack_traffic::pattern::Pattern;
+
+const WIDTH: u32 = 256;
+
+fn main() {
+    let device = Device::virtex7_485t();
+    let nuts = [
+        NocUnderTest::hoplite(8),
+        NocUnderTest::hoplite_x(8, 2),
+        NocUnderTest::hoplite_x(8, 3),
+        NocUnderTest::fasttrack(8, 2, 2),
+        NocUnderTest::fasttrack(8, 2, 1),
+    ];
+    let mut t = Table::new(
+        "Figure 14: cost vs throughput, 8x8 RANDOM @100% injection (256b)",
+        &[
+            "Config",
+            "LUTs",
+            "Wire bundles/cut",
+            "MHz",
+            "Rate (pkt/cyc)",
+            "Throughput (Mpkt/s)",
+        ],
+    );
+    for nut in &nuts {
+        let cost = noc_cost(&nut.config, WIDTH).replicated(nut.channels as u32);
+        let mhz = noc_frequency_mhz(&device, &nut.config, WIDTH, nut.channels as u32)
+            .expect("8x8 at 256b fits");
+        let report = run_pattern(nut, Pattern::Random, 1.0, 0x00f1_6140);
+        let rate = report.aggregate_rate();
+        t.add_row(vec![
+            nut.label.clone(),
+            cost.luts.to_string(),
+            cost.wire_bundles_per_cut.to_string(),
+            format!("{mhz:.0}"),
+            format!("{rate:.2}"),
+            format!("{:.1}", rate * mhz),
+        ]);
+    }
+    t.emit("fig14_cost_tradeoffs");
+    println!(
+        "shape check: FT(64,2,1) ~2.5-3x baseline Hoplite throughput and \
+         ~1.2x Hoplite-3x at iso-wiring, with fewer LUTs than Hoplite-3x."
+    );
+}

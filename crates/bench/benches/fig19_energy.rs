@@ -1,0 +1,59 @@
+//! Figure 19: throughput–energy trade-offs for a 64-PE NoC with RANDOM
+//! traffic — sustained throughput (Mpkt/s) against the energy to route
+//! the 1K-packets/PE workload.
+
+use fasttrack_bench::runner::{run_pattern, NocUnderTest};
+use fasttrack_bench::table::Table;
+use fasttrack_fpga::device::Device;
+use fasttrack_fpga::power::PowerModel;
+use fasttrack_fpga::routability::noc_frequency_mhz;
+use fasttrack_traffic::pattern::Pattern;
+
+const WIDTH: u32 = 256;
+const RATE: f64 = 1.0;
+
+fn main() {
+    let device = Device::virtex7_485t();
+    let power = PowerModel::default();
+    let nuts = [
+        NocUnderTest::hoplite(8),
+        NocUnderTest::hoplite_x(8, 2),
+        NocUnderTest::hoplite_x(8, 3),
+        NocUnderTest::fasttrack(8, 2, 2),
+        NocUnderTest::fasttrack(8, 2, 1),
+    ];
+    let mut t = Table::new(
+        "Figure 19: throughput vs energy, 64 PE RANDOM (256b, 1K pkts/PE)",
+        &["Config", "MHz", "Rate (pkt/cyc)", "Throughput (Mpkt/s)", "Energy (mJ)", "Rel. energy"],
+    );
+    let mut base_energy = None;
+    for nut in &nuts {
+        let mhz = noc_frequency_mhz(&device, &nut.config, WIDTH, nut.channels as u32)
+            .expect("8x8 fits at 256b");
+        let report = run_pattern(nut, Pattern::Random, RATE, 0x00f1_6190);
+        let energy = power.workload_energy_j(
+            &device,
+            &nut.config,
+            WIDTH,
+            mhz,
+            nut.channels as u32,
+            report.cycles,
+            &report.stats,
+        );
+        let base = *base_energy.get_or_insert(energy);
+        t.add_row(vec![
+            nut.label.clone(),
+            format!("{mhz:.0}"),
+            format!("{:.2}", report.aggregate_rate()),
+            format!("{:.1}", report.aggregate_rate() * mhz),
+            format!("{:.2}", energy * 1e3),
+            format!("{:.2}x", energy / base),
+        ]);
+    }
+    t.emit("fig19_energy");
+    println!(
+        "shape check: FT(64,2,1) ~1.8x Hoplite throughput at lower energy \
+         (paper: ~20% less); replicated Hoplite cheaper on energy but \
+         slower than full FastTrack."
+    );
+}

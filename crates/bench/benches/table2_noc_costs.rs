@@ -1,0 +1,48 @@
+//! Table II: resource usage, frequency, and power of an 8×8 256-bit NoC
+//! on the Virtex-7 485T (-2).
+
+use fasttrack_bench::table::Table;
+use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_fpga::device::Device;
+use fasttrack_fpga::power::PowerModel;
+use fasttrack_fpga::resources::noc_cost;
+use fasttrack_fpga::routability::noc_frequency_mhz;
+
+fn main() {
+    let device = Device::virtex7_485t();
+    let power = PowerModel::default();
+    let width = 256;
+
+    let configs = [
+        NocConfig::hoplite(8).unwrap(),
+        NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap(),
+    ];
+    let base = noc_cost(&configs[0], width);
+    let base_mhz = noc_frequency_mhz(&device, &configs[0], width, 1).unwrap();
+    let base_power = power.dynamic_power_w(&device, &configs[0], width, base_mhz, 1);
+
+    let mut t = Table::new(
+        "Table II: 8x8 NoC (256b) on Virtex-7 485T -2",
+        &["Config", "LUTs", "FFs", "MHz", "Power (W)", "LUT ratio", "Power ratio"],
+    );
+    for cfg in &configs {
+        let cost = noc_cost(cfg, width);
+        let mhz = noc_frequency_mhz(&device, cfg, width, 1).unwrap();
+        let p = power.dynamic_power_w(&device, cfg, width, mhz, 1);
+        t.add_row(vec![
+            cfg.name(),
+            format!("{}K", cost.luts / 1000),
+            format!("{}K", cost.ffs / 1000),
+            format!("{mhz:.0}"),
+            format!("{p:.1}"),
+            format!("{:.1}x", cost.luts as f64 / base.luts as f64),
+            format!("{:.1}x", p / base_power),
+        ]);
+    }
+    t.emit("table2_noc_costs");
+    println!(
+        "paper: Hoplite 34K/83K/344MHz/9.8W; FT(64,2,1) 104K/150K/320MHz/25.1W; \
+         FT(64,2,2) 69K/117K/323MHz/19.9W"
+    );
+}

@@ -1,0 +1,19 @@
+//! # fasttrack-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! FastTrack paper. Each `benches/` target is one experiment
+//! (`cargo bench -p fasttrack-bench --bench fig11_sustained_rate`);
+//! running `cargo bench` reproduces the full evaluation and mirrors each
+//! table as CSV under `target/paper_results/`.
+//!
+//! Set `FASTTRACK_QUICK=1` to trim workload sizes for a smoke pass.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod table;
+
+pub use runner::{
+    packets_per_pe, quick_mode, run_pattern, speedup, NocUnderTest, INJECTION_RATES, PE_LADDER,
+};
+pub use table::Table;

@@ -1,0 +1,219 @@
+//! Shared experiment plumbing: standard configurations, injection-rate
+//! sweeps, and workload speedup measurement.
+
+use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_core::sim::{
+    simulate, simulate_multichannel, SimOptions, SimReport, TrafficSource,
+};
+use fasttrack_traffic::pattern::Pattern;
+use fasttrack_traffic::source::BernoulliSource;
+
+/// Packets per PE for synthetic experiments (the paper uses 1 K;
+/// `FASTTRACK_QUICK=1` trims it for smoke runs).
+pub fn packets_per_pe() -> u64 {
+    if quick_mode() {
+        100
+    } else {
+        1000
+    }
+}
+
+/// True when `FASTTRACK_QUICK=1` (reduced workloads for smoke testing).
+pub fn quick_mode() -> bool {
+    std::env::var("FASTTRACK_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The injection rates swept in Figures 11–13 (log-spaced 1%..100%).
+pub const INJECTION_RATES: [f64; 9] = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0];
+
+/// A NoC under test: a configuration plus a channel count (for the
+/// replicated-Hoplite comparisons).
+#[derive(Debug, Clone)]
+pub struct NocUnderTest {
+    /// Label used in tables (e.g. `Hoplite-3x`).
+    pub label: String,
+    /// Per-channel configuration.
+    pub config: NocConfig,
+    /// Parallel physical channels (1 = single NoC).
+    pub channels: usize,
+}
+
+impl NocUnderTest {
+    /// Baseline Hoplite.
+    pub fn hoplite(n: u16) -> Self {
+        NocUnderTest {
+            label: "Hoplite".into(),
+            config: NocConfig::hoplite(n).expect("valid n"),
+            channels: 1,
+        }
+    }
+
+    /// Replicated Hoplite with `channels` physical channels.
+    pub fn hoplite_x(n: u16, channels: usize) -> Self {
+        NocUnderTest {
+            label: format!("Hoplite-{channels}x"),
+            config: NocConfig::hoplite(n).expect("valid n"),
+            channels,
+        }
+    }
+
+    /// FastTrack `FT(n², d, r)` with the Full lane policy.
+    pub fn fasttrack(n: u16, d: u16, r: u16) -> Self {
+        let config = NocConfig::fasttrack(n, d, r, FtPolicy::Full).expect("valid config");
+        NocUnderTest { label: config.name(), config, channels: 1 }
+    }
+
+    /// The FastTrack candidates evaluated as "best FastTrack
+    /// configuration" at a given system size: the D=2 variants where the
+    /// torus admits them (`D <= N/2`), else the largest valid D.
+    pub fn fasttrack_candidates(n: u16) -> Vec<NocUnderTest> {
+        let d = 2u16.min(n / 2).max(1);
+        let mut v = vec![NocUnderTest::fasttrack(n, d, 1)];
+        if d > 1 && n.is_multiple_of(d) {
+            v.push(NocUnderTest::fasttrack(n, d, d));
+        }
+        v
+    }
+
+    /// FastTrack with the FTlite (Inject) policy.
+    pub fn fasttrack_inject(n: u16, d: u16, r: u16) -> Self {
+        let config = NocConfig::fasttrack(n, d, r, FtPolicy::Inject).expect("valid config");
+        NocUnderTest { label: format!("{} lite", config.name()), config, channels: 1 }
+    }
+
+    /// Runs a traffic source to completion on this NoC.
+    pub fn run<S: TrafficSource>(&self, source: &mut S, opts: SimOptions) -> SimReport {
+        if self.channels == 1 {
+            simulate(&self.config, source, opts)
+        } else {
+            simulate_multichannel(&self.config, self.channels, source, opts)
+        }
+    }
+}
+
+/// Maps `f` over `items` on one OS thread per item batch, preserving
+/// order. Every simulation run is independent and seeded, so sweeps
+/// parallelize without affecting results; wall-clock for the Figure
+/// 11–13 grids drops by roughly the core count.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+    let n = items.len();
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    std::thread::scope(|scope| {
+        let mut pending_slots: &mut [Option<R>] = &mut slots;
+        let mut chunks = Vec::new();
+        let mut rest = items;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let tail = rest.split_off(take);
+            let (head_slots, tail_slots) = pending_slots.split_at_mut(take);
+            chunks.push((rest, head_slots));
+            rest = tail;
+            pending_slots = tail_slots;
+        }
+        for (chunk_items, out) in chunks {
+            let f = &f;
+            scope.spawn(move || {
+                for ((_, item), slot) in chunk_items.into_iter().zip(out.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+/// Runs one synthetic-pattern point: `pattern` at `rate`, the standard
+/// packets-per-PE quota, on `nut`.
+pub fn run_pattern(nut: &NocUnderTest, pattern: Pattern, rate: f64, seed: u64) -> SimReport {
+    let n = nut.config.n();
+    let mut source = BernoulliSource::new(n, pattern, rate, packets_per_pe(), seed);
+    nut.run(&mut source, SimOptions::default())
+}
+
+/// Speedup of `fast` over `slow` by workload completion time.
+pub fn speedup(slow: &SimReport, fast: &SimReport) -> f64 {
+    assert!(!slow.truncated && !fast.truncated, "cannot compare truncated runs");
+    slow.cycles as f64 / fast.cycles as f64
+}
+
+/// The PE-count ladder of Figure 15 (4..256 PEs) mapped to torus sides.
+pub const PE_LADDER: [(usize, u16); 4] = [(4, 2), (16, 4), (64, 8), (256, 16)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_configs_have_labels() {
+        assert_eq!(NocUnderTest::hoplite(8).label, "Hoplite");
+        assert_eq!(NocUnderTest::hoplite_x(8, 3).label, "Hoplite-3x");
+        assert_eq!(NocUnderTest::fasttrack(8, 2, 1).label, "FT(64,2,1)");
+        assert!(NocUnderTest::fasttrack_inject(8, 2, 1).label.contains("lite"));
+    }
+
+    #[test]
+    fn run_pattern_produces_complete_run() {
+        let nut = NocUnderTest::hoplite(4);
+        let mut src = BernoulliSource::new(4, Pattern::Random, 0.5, 50, 1);
+        let report = nut.run(&mut src, SimOptions::default());
+        assert!(!report.truncated);
+        assert_eq!(report.stats.delivered, 16 * 50);
+    }
+
+    #[test]
+    fn multichannel_run_uses_channels() {
+        let nut = NocUnderTest::hoplite_x(4, 2);
+        let mut src = BernoulliSource::new(4, Pattern::Random, 1.0, 30, 2);
+        let report = nut.run(&mut src, SimOptions::default());
+        assert!(report.config_name.contains("2x"));
+        assert_eq!(report.stats.delivered, 16 * 30);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let nut = NocUnderTest::hoplite(4);
+        let a = run_pattern(&nut, Pattern::Random, 0.5, 7);
+        let s = speedup(&a, &a);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_covers_paper_sizes() {
+        assert_eq!(PE_LADDER[0], (4, 2));
+        assert_eq!(PE_LADDER[3], (256, 16));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_values() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * x);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i32);
+        }
+        // Degenerate sizes.
+        assert_eq!(parallel_map(Vec::<i32>::new(), |x| x), Vec::<i32>::new());
+        assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential_simulation() {
+        let rates = vec![0.05, 0.2, 1.0];
+        let nut = NocUnderTest::hoplite(4);
+        let parallel: Vec<u64> = parallel_map(rates.clone(), |r| {
+            run_pattern(&nut, Pattern::Random, r, 5).stats.delivered
+        });
+        let sequential: Vec<u64> = rates
+            .into_iter()
+            .map(|r| run_pattern(&nut, Pattern::Random, r, 5).stats.delivered)
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while parsing command-line arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` had no following value.
+    MissingValue(String),
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+    /// A required flag was absent.
+    MissingFlag(&'static str),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending text.
+        value: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgError::UnexpectedPositional(s) => write!(f, "unexpected argument {s:?}"),
+            ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} missing"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "flag {flag}: invalid value {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses a flat list of `--flag value` arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgError`] for dangling flags or stray positionals.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Flags, ArgError> {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            };
+            let value = iter.next().ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
+            values.insert(name.to_string(), value);
+        }
+        Ok(Flags { values })
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingFlag`] when absent.
+    pub fn required(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.values.get(flag).map(String::as_str).ok_or(ArgError::MissingFlag(flag))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// An optional numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when present but unparsable.
+    pub fn numeric<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: format!("--{flag}"),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let f = Flags::parse(argv("--noc ft:8:2:1 --rate 0.5")).unwrap();
+        assert_eq!(f.required("noc").unwrap(), "ft:8:2:1");
+        assert_eq!(f.numeric("rate", 1.0).unwrap(), 0.5);
+        assert_eq!(f.numeric("seed", 7u64).unwrap(), 7);
+        assert_eq!(f.optional("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(
+            Flags::parse(argv("--noc")),
+            Err(ArgError::MissingValue(_))
+        ));
+        assert!(matches!(
+            Flags::parse(argv("simulate --noc x")),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+        let f = Flags::parse(argv("--rate abc")).unwrap();
+        assert!(matches!(
+            f.numeric::<f64>("rate", 1.0),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(f.required("noc"), Err(ArgError::MissingFlag("noc"))));
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(ArgError::MissingFlag("noc").to_string().contains("--noc"));
+        assert!(ArgError::MissingValue("--x".into()).to_string().contains("needs a value"));
+    }
+}

@@ -1,0 +1,259 @@
+//! CLI subcommand implementations. Each returns its report as a string
+//! so the logic is unit-testable; `main` only prints.
+
+use fasttrack_core::sim::{simulate, simulate_multichannel, SimOptions, SimReport};
+use fasttrack_fpga::device::Device;
+use fasttrack_fpga::power::PowerModel;
+use fasttrack_fpga::resources::noc_cost;
+use fasttrack_fpga::routability::noc_frequency_mhz;
+use fasttrack_traffic::source::BernoulliSource;
+use fasttrack_traffic::trace_io::trace_source_from_text;
+
+use crate::args::{ArgError, Flags};
+use crate::spec::{parse_noc, parse_pattern, SpecError};
+
+/// Any CLI failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument-level problem.
+    Args(ArgError),
+    /// Spec-level problem.
+    Spec(SpecError),
+    /// Subcommand unknown.
+    UnknownCommand(String),
+    /// I/O failure (trace file).
+    Io(String),
+    /// Anything else (trace parse, infeasible config...).
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Spec(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?} (try `help`)"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::Spec(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+fasttrack — FastTrack/Hoplite NoC simulator (ISCA 2018 reproduction)
+
+USAGE:
+  fasttrack simulate --noc <spec> [--pattern <p>] [--rate <r>]
+                     [--packets <n>] [--seed <s>] [--channels <k>]
+  fasttrack sweep    --noc <spec> [--pattern <p>] [--packets <n>] [--seed <s>]
+  fasttrack cost     --noc <spec> [--width <bits>] [--channels <k>]
+  fasttrack trace    --noc <spec> --file <path>
+  fasttrack help
+
+SPECS:
+  NoC:     hoplite:<n> | ft:<n>:<d>:<r> | ftlite:<n>:<d>:<r>
+  Pattern: random | bitcompl | transpose | tornado | local:<radius>
+
+EXAMPLES:
+  fasttrack simulate --noc ft:8:2:1 --pattern random --rate 0.5
+  fasttrack cost --noc ft:8:2:1 --width 256
+  fasttrack sweep --noc hoplite:8 --pattern bitcompl
+";
+
+fn render_report(report: &SimReport) -> String {
+    format!(
+        "{}: {} delivered in {} cycles\n  sustained rate {:.4} pkt/cyc/PE\n  \
+         latency avg {:.1} / p99 {} / worst {} cycles\n  deflections {} \
+         ({} short + {} express hops){}",
+        report.config_name,
+        report.stats.delivered,
+        report.cycles,
+        report.sustained_rate_per_pe(),
+        report.avg_latency(),
+        report.stats.total_latency.histogram().percentile(99.0).unwrap_or(0),
+        report.worst_latency(),
+        report.stats.ports.total_deflections(),
+        report.stats.link_usage.short_hops,
+        report.stats.link_usage.express_hops,
+        if report.truncated { "\n  WARNING: truncated at max cycles" } else { "" },
+    )
+}
+
+/// `simulate` — one run at one injection rate.
+pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
+    let cfg = parse_noc(flags.required("noc")?)?;
+    let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+    let rate: f64 = flags.numeric("rate", 1.0)?;
+    let packets: u64 = flags.numeric("packets", 1000)?;
+    let seed: u64 = flags.numeric("seed", 1)?;
+    let channels: usize = flags.numeric("channels", 1)?;
+    let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
+    let report = if channels <= 1 {
+        simulate(&cfg, &mut src, SimOptions::default())
+    } else {
+        simulate_multichannel(&cfg, channels, &mut src, SimOptions::default())
+    };
+    Ok(render_report(&report))
+}
+
+/// `sweep` — the Figure-11-style injection-rate sweep.
+pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
+    let cfg = parse_noc(flags.required("noc")?)?;
+    let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+    let packets: u64 = flags.numeric("packets", 1000)?;
+    let seed: u64 = flags.numeric("seed", 1)?;
+    let mut out = format!("{} / {pattern}\nrate    sustained  avg-lat   worst\n", cfg.name());
+    for rate in [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0] {
+        let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
+        let r = simulate(&cfg, &mut src, SimOptions::default());
+        out.push_str(&format!(
+            "{rate:<7.2} {:<10.4} {:<9.1} {}\n",
+            r.sustained_rate_per_pe(),
+            r.avg_latency(),
+            r.worst_latency()
+        ));
+    }
+    Ok(out)
+}
+
+/// `cost` — the FPGA implementation picture.
+pub fn cmd_cost(flags: &Flags) -> Result<String, CliError> {
+    let cfg = parse_noc(flags.required("noc")?)?;
+    let width: u32 = flags.numeric("width", 256)?;
+    let channels: u32 = flags.numeric("channels", 1)?;
+    let device = Device::virtex7_485t();
+    let cost = noc_cost(&cfg, width).replicated(channels);
+    let mut out = format!(
+        "{} @{width}b x{channels} on {}\n  LUTs {}  FFs {}  wire bundles/cut {}\n",
+        cfg.name(),
+        device.name,
+        cost.luts,
+        cost.ffs,
+        cost.wire_bundles_per_cut
+    );
+    match noc_frequency_mhz(&device, &cfg, width, channels) {
+        Ok(mhz) => {
+            let power = PowerModel::default().dynamic_power_w(&device, &cfg, width, mhz, channels);
+            out.push_str(&format!("  frequency {mhz:.0} MHz  power {power:.1} W\n"));
+        }
+        Err(e) => out.push_str(&format!("  DOES NOT FIT: {e}\n")),
+    }
+    Ok(out)
+}
+
+/// `trace` — replay a text trace file.
+pub fn cmd_trace(flags: &Flags) -> Result<String, CliError> {
+    let cfg = parse_noc(flags.required("noc")?)?;
+    let path = flags.required("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let mut src =
+        trace_source_from_text(&text, cfg.n()).map_err(|e| CliError::Other(e.to_string()))?;
+    let report = simulate(&cfg, &mut src, SimOptions::default());
+    Ok(render_report(&report))
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the failure; `main` prints it and
+/// exits nonzero.
+pub fn run(args: Vec<String>) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(USAGE.to_string());
+    };
+    let flags = Flags::parse(rest.to_vec())?;
+    match command.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "cost" => cmd_cost(&flags),
+        "trace" => cmd_trace(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn simulate_end_to_end() {
+        let out = run(argv("simulate --noc ft:4:2:1 --rate 0.5 --packets 50")).unwrap();
+        assert!(out.contains("FT(16,2,1)"));
+        assert!(out.contains("800 delivered"));
+        assert!(out.contains("sustained rate"));
+    }
+
+    #[test]
+    fn simulate_multichannel() {
+        let out = run(argv("simulate --noc hoplite:4 --packets 20 --channels 2")).unwrap();
+        assert!(out.contains("2x"));
+    }
+
+    #[test]
+    fn cost_reports_fit_and_na() {
+        let ok = run(argv("cost --noc hoplite:8 --width 256")).unwrap();
+        assert!(ok.contains("33664") || ok.contains("LUTs 33664"));
+        assert!(ok.contains("MHz"));
+        let na = run(argv("cost --noc ft:16:2:1 --width 1024")).unwrap();
+        assert!(na.contains("DOES NOT FIT"));
+    }
+
+    #[test]
+    fn sweep_prints_rate_table() {
+        let out = run(argv("sweep --noc hoplite:4 --packets 30")).unwrap();
+        assert!(out.contains("0.01"));
+        assert!(out.contains("1.00") || out.contains("1.0"));
+        assert_eq!(out.lines().count(), 2 + 9);
+    }
+
+    #[test]
+    fn trace_replays_file() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        std::fs::write(&path, "0 0 5\n3 1 6\n").unwrap();
+        let out = run(argv(&format!("trace --noc hoplite:4 --file {}", path.display()))).unwrap();
+        assert!(out.contains("2 delivered"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(run(argv("bogus")), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(run(argv("simulate")), Err(CliError::Args(_))));
+        assert!(matches!(
+            run(argv("simulate --noc mesh:4")),
+            Err(CliError::Spec(_))
+        ));
+        assert!(matches!(
+            run(argv("trace --noc hoplite:4 --file /definitely/not/here")),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn help_and_empty_print_usage() {
+        assert!(run(vec![]).unwrap().contains("USAGE"));
+        assert!(run(argv("help")).unwrap().contains("EXAMPLES"));
+    }
+}

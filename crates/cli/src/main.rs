@@ -1,0 +1,13 @@
+//! The `fasttrack` binary: parse argv, dispatch, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fasttrack_cli::run(args) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", fasttrack_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

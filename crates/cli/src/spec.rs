@@ -1,0 +1,141 @@
+//! Textual specifications for NoCs and patterns, e.g. `ft:8:2:1`,
+//! `hoplite:16`, `random`, `local:2` — the CLI's configuration surface.
+
+use std::fmt;
+
+use fasttrack_core::config::{ConfigError, FtPolicy, NocConfig};
+use fasttrack_traffic::pattern::Pattern;
+
+/// Errors raised while parsing a spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec's leading keyword is unknown.
+    UnknownKind(String),
+    /// Wrong number of `:`-separated fields for the kind.
+    BadArity {
+        /// The spec kind.
+        kind: &'static str,
+        /// Expected field count (after the kind).
+        expected: usize,
+        /// Found field count.
+        found: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// The parsed configuration failed validation.
+    Invalid(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownKind(k) => write!(f, "unknown spec kind {k:?}"),
+            SpecError::BadArity { kind, expected, found } => {
+                write!(f, "{kind} spec needs {expected} field(s), found {found}")
+            }
+            SpecError::BadNumber(s) => write!(f, "invalid number {s:?}"),
+            SpecError::Invalid(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ConfigError> for SpecError {
+    fn from(e: ConfigError) -> Self {
+        SpecError::Invalid(e.to_string())
+    }
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, SpecError> {
+    s.parse().map_err(|_| SpecError::BadNumber(s.to_string()))
+}
+
+/// Parses a NoC spec:
+///
+/// * `hoplite:<n>` — baseline Hoplite on an `n × n` torus
+/// * `ft:<n>:<d>:<r>` — FastTrack (Full policy)
+/// * `ftlite:<n>:<d>:<r>` — FastTrack (Inject policy)
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] describing the malformed field.
+pub fn parse_noc(spec: &str) -> Result<NocConfig, SpecError> {
+    let fields: Vec<&str> = spec.split(':').collect();
+    match fields[0] {
+        "hoplite" => {
+            if fields.len() != 2 {
+                return Err(SpecError::BadArity { kind: "hoplite", expected: 1, found: fields.len() - 1 });
+            }
+            Ok(NocConfig::hoplite(num(fields[1])?)?)
+        }
+        "ft" | "ftlite" => {
+            if fields.len() != 4 {
+                return Err(SpecError::BadArity { kind: "ft", expected: 3, found: fields.len() - 1 });
+            }
+            let policy = if fields[0] == "ft" { FtPolicy::Full } else { FtPolicy::Inject };
+            Ok(NocConfig::fasttrack(num(fields[1])?, num(fields[2])?, num(fields[3])?, policy)?)
+        }
+        other => Err(SpecError::UnknownKind(other.to_string())),
+    }
+}
+
+/// Parses a pattern spec: `random`, `bitcompl`, `transpose`, `tornado`,
+/// or `local:<radius>`.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for unknown names or malformed radii.
+pub fn parse_pattern(spec: &str) -> Result<Pattern, SpecError> {
+    let fields: Vec<&str> = spec.split(':').collect();
+    match fields[0] {
+        "random" => Ok(Pattern::Random),
+        "bitcompl" => Ok(Pattern::BitComplement),
+        "transpose" => Ok(Pattern::Transpose),
+        "tornado" => Ok(Pattern::Tornado),
+        "local" => {
+            if fields.len() != 2 {
+                return Err(SpecError::BadArity { kind: "local", expected: 1, found: fields.len() - 1 });
+            }
+            Ok(Pattern::Local { radius: num(fields[1])? })
+        }
+        other => Err(SpecError::UnknownKind(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_noc_specs() {
+        assert_eq!(parse_noc("hoplite:8").unwrap().name(), "Hoplite 8x8");
+        assert_eq!(parse_noc("ft:8:2:1").unwrap().name(), "FT(64,2,1)");
+        let lite = parse_noc("ftlite:8:2:2").unwrap();
+        assert_eq!(lite.ft_policy(), Some(FtPolicy::Inject));
+    }
+
+    #[test]
+    fn rejects_bad_noc_specs() {
+        assert!(matches!(parse_noc("mesh:4"), Err(SpecError::UnknownKind(_))));
+        assert!(matches!(parse_noc("hoplite"), Err(SpecError::BadArity { .. })));
+        assert!(matches!(parse_noc("ft:8:2"), Err(SpecError::BadArity { .. })));
+        assert!(matches!(parse_noc("ft:8:x:1"), Err(SpecError::BadNumber(_))));
+        assert!(matches!(parse_noc("ft:8:5:1"), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn parses_patterns() {
+        assert_eq!(parse_pattern("random").unwrap(), Pattern::Random);
+        assert_eq!(parse_pattern("local:2").unwrap(), Pattern::Local { radius: 2 });
+        assert_eq!(parse_pattern("transpose").unwrap(), Pattern::Transpose);
+        assert!(matches!(parse_pattern("weird"), Err(SpecError::UnknownKind(_))));
+        assert!(matches!(parse_pattern("local"), Err(SpecError::BadArity { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = parse_noc("ft:8:2").unwrap_err();
+        assert!(e.to_string().contains("3 field"));
+    }
+}

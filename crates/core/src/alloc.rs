@@ -1,0 +1,314 @@
+//! Per-router output-port allocation.
+//!
+//! Every cycle, each router must forward **all** of its in-flight input
+//! packets somewhere — bufferless deflection routing has no place to park
+//! a loser. The allocator walks inputs in hardware priority order
+//! (`W_ex > N_ex > W_sh > N_sh`), gives each packet the best port from its
+//! preference list, and — before committing a choice — checks that the
+//! remaining packets can still all be matched to free ports. This
+//! feasibility check is what the paper calls a "suitably designed routing
+//! function": a fixed-priority mux cascade whose select logic never
+//! strands an in-flight packet.
+//!
+//! Exit sharing: under [`ExitPolicy::SharedWithSouth`] the delivery port
+//! and `S_sh` are one physical resource (Hoplite's two-mux switch), so
+//! they occupy a single allocation *slot*.
+
+use crate::config::ExitPolicy;
+use crate::port::{OutPort, OutSet};
+use crate::routing::RoutePrefs;
+
+/// Maximum number of in-flight inputs at one router (W_ex, N_ex, W_sh, N_sh).
+pub const MAX_IN_FLIGHT: usize = 4;
+
+/// Maps an output port to its allocation slot bit.
+///
+/// Slots: `E_ex=0, E_sh=1, S_ex=2, S_sh=3, Exit=4`, except that under the
+/// shared exit policy `Exit` maps onto slot 3 (same resource as `S_sh`).
+fn slot_bit(port: OutPort, exit: ExitPolicy) -> u8 {
+    match (port, exit) {
+        (OutPort::Exit, ExitPolicy::SharedWithSouth) => 1 << 3,
+        _ => 1 << port.index(),
+    }
+}
+
+/// Converts a port set to a slot mask.
+fn slot_mask(ports: OutSet, exit: ExitPolicy) -> u8 {
+    let mut m = 0u8;
+    for p in ports.iter() {
+        m |= slot_bit(p, exit);
+    }
+    m
+}
+
+/// True if every mask in `masks` can be matched to a distinct free slot.
+fn feasible(masks: &[u8], free: u8) -> bool {
+    match masks.split_first() {
+        None => true,
+        Some((&first, rest)) => {
+            let mut options = first & free;
+            while options != 0 {
+                let bit = options & options.wrapping_neg();
+                options &= options - 1;
+                if feasible(rest, free & !bit) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// The allocation result for the in-flight inputs, in the order given.
+pub type Assignment = [Option<OutPort>; MAX_IN_FLIGHT];
+
+/// Allocates output ports to in-flight packets.
+///
+/// * `inputs` — `(prefs)` per occupied input, already sorted by hardware
+///   priority (highest first); at most [`MAX_IN_FLIGHT`] entries.
+/// * `available` — output ports that physically exist at this router
+///   (always includes `Exit`); pass with `Exit` removed when an external
+///   arbiter (multi-channel delivery) blocked delivery this cycle.
+/// * `exit` — exit-port sharing policy.
+///
+/// Returns the chosen output per input. Every input receives a port.
+///
+/// # Panics
+///
+/// Panics if the inputs cannot all be matched — this indicates a
+/// connectivity-matrix bug, not a runtime condition: the FastTrack port
+/// sets satisfy Hall's condition by construction (see module docs of
+/// [`crate::router`]).
+pub fn allocate(inputs: &[RoutePrefs], available: OutSet, exit: ExitPolicy) -> Assignment {
+    assert!(inputs.len() <= MAX_IN_FLIGHT);
+    let mut assignment: Assignment = [None; MAX_IN_FLIGHT];
+    let mut free = slot_mask(available, exit);
+
+    // Pref sets (as slot masks, pre-intersected with availability) of the
+    // inputs not yet assigned; used for the look-ahead feasibility check.
+    let mut remaining: [u8; MAX_IN_FLIGHT] = [0; MAX_IN_FLIGHT];
+    for (i, prefs) in inputs.iter().enumerate() {
+        remaining[i] = slot_mask(prefs.as_set().intersect(available), exit);
+    }
+
+    for (i, prefs) in inputs.iter().enumerate() {
+        let rest = &remaining[i + 1..inputs.len()];
+        let mut chosen = None;
+        for &p in prefs.ports() {
+            if !available.contains(p) {
+                continue;
+            }
+            let bit = slot_bit(p, exit);
+            if free & bit == 0 {
+                continue;
+            }
+            if feasible(rest, free & !bit) {
+                chosen = Some(p);
+                break;
+            }
+        }
+        // The feasibility invariant guarantees a choice exists; a failure
+        // here means the connectivity tables violate Hall's condition.
+        let p = chosen.unwrap_or_else(|| {
+            panic!("allocator stranded an in-flight packet: prefs {:?}, free {free:#07b}", prefs.ports())
+        });
+        free &= !slot_bit(p, exit);
+        assignment[i] = Some(p);
+    }
+    assignment
+}
+
+/// Attempts PE injection after the in-flight assignment: returns the first
+/// port in the PE's preference list whose slot is still free, given the
+/// ports consumed by `taken`.
+pub fn try_inject(
+    pe_prefs: &RoutePrefs,
+    available: OutSet,
+    taken: &[OutPort],
+    exit: ExitPolicy,
+) -> Option<OutPort> {
+    let mut free = slot_mask(available, exit);
+    for &p in taken {
+        free &= !slot_bit(p, exit);
+    }
+    pe_prefs
+        .ports()
+        .iter()
+        .copied()
+        .find(|&p| available.contains(p) && free & slot_bit(p, exit) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FtPolicy, NocConfig};
+    use crate::geom::Coord;
+    use crate::port::InPort;
+    use crate::router::RouterClass;
+    use crate::routing::compute_prefs;
+
+    fn shared() -> ExitPolicy {
+        ExitPolicy::SharedWithSouth
+    }
+
+    #[test]
+    fn slot_sharing_links_exit_and_south() {
+        assert_eq!(
+            slot_bit(OutPort::Exit, ExitPolicy::SharedWithSouth),
+            slot_bit(OutPort::SouthSh, ExitPolicy::SharedWithSouth)
+        );
+        assert_ne!(
+            slot_bit(OutPort::Exit, ExitPolicy::Dedicated),
+            slot_bit(OutPort::SouthSh, ExitPolicy::Dedicated)
+        );
+    }
+
+    #[test]
+    fn feasibility_simple() {
+        // Two inputs that both need the same single slot: infeasible.
+        assert!(!feasible(&[0b0001, 0b0001], 0b0001));
+        // Disjoint: feasible.
+        assert!(feasible(&[0b0001, 0b0010], 0b0011));
+        // Classic alternating chain.
+        assert!(feasible(&[0b0011, 0b0001], 0b0011));
+        assert!(!feasible(&[0b0011, 0b0001, 0b0010], 0b0011));
+        assert!(feasible(&[], 0));
+    }
+
+    /// Hoplite: W at destination (wants exit), N wants south. Exit shares
+    /// the S_sh slot, so N must deflect east — the canonical Hoplite
+    /// deflection.
+    #[test]
+    fn hoplite_exit_deflects_north_traffic() {
+        let cfg = NocConfig::hoplite(8).unwrap();
+        let class = RouterClass::HOPLITE;
+        let at = Coord::new(2, 2);
+        let w = compute_prefs(&cfg, class, InPort::WestSh, at, at); // at dest
+        let n = compute_prefs(&cfg, class, InPort::NorthSh, at, Coord::new(2, 5));
+        let avail = class.available_outputs();
+        let a = allocate(&[w, n], avail, shared());
+        assert_eq!(a[0], Some(OutPort::Exit));
+        assert_eq!(a[1], Some(OutPort::EastSh)); // deflected
+    }
+
+    /// With a dedicated exit the same scenario lets N proceed south.
+    #[test]
+    fn dedicated_exit_does_not_block_south() {
+        let cfg = NocConfig::hoplite(8).unwrap();
+        let class = RouterClass::HOPLITE;
+        let at = Coord::new(2, 2);
+        let w = compute_prefs(&cfg, class, InPort::WestSh, at, at);
+        let n = compute_prefs(&cfg, class, InPort::NorthSh, at, Coord::new(2, 5));
+        let a = allocate(&[w, n], class.available_outputs(), ExitPolicy::Dedicated);
+        assert_eq!(a[0], Some(OutPort::Exit));
+        assert_eq!(a[1], Some(OutPort::SouthSh));
+    }
+
+    /// W turning south beats N continuing south (W→S is the highest
+    /// priority turn); N deflects east.
+    #[test]
+    fn turn_priority_deflects_column_traffic() {
+        let cfg = NocConfig::hoplite(8).unwrap();
+        let class = RouterClass::HOPLITE;
+        let at = Coord::new(2, 2);
+        let w = compute_prefs(&cfg, class, InPort::WestSh, at, Coord::new(2, 6));
+        let n = compute_prefs(&cfg, class, InPort::NorthSh, at, Coord::new(2, 6));
+        let a = allocate(&[w, n], class.available_outputs(), shared());
+        assert_eq!(a[0], Some(OutPort::SouthSh));
+        assert_eq!(a[1], Some(OutPort::EastSh));
+    }
+
+    /// The four-input FT(Full) stress case from the design notes: the
+    /// feasibility look-ahead must deflect N_ex onto the express ring so
+    /// that N_sh is not stranded.
+    #[test]
+    fn full_router_four_way_conflict_is_resolved() {
+        let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+        let class = RouterClass::FULL;
+        let at = Coord::new(2, 2);
+        // W_ex turning south with misaligned dy (wants S_sh).
+        let wex = compute_prefs(&cfg, class, InPort::WestEx, at, Coord::new(2, 5));
+        // N_ex turning east with misaligned dx (wants E_sh).
+        let nex = compute_prefs(&cfg, class, InPort::NorthEx, at, Coord::new(5, 2));
+        // W_sh continuing east (misaligned dx).
+        let wsh = compute_prefs(&cfg, class, InPort::WestSh, at, Coord::new(5, 4));
+        // N_sh continuing south (misaligned dy).
+        let nsh = compute_prefs(&cfg, class, InPort::NorthSh, at, Coord::new(2, 5));
+        let a = allocate(&[wex, nex, wsh, nsh], class.available_outputs(), shared());
+        // Everyone got a port, all distinct slots.
+        let ports: Vec<_> = a.iter().flatten().copied().collect();
+        assert_eq!(ports.len(), 4);
+        assert_eq!(a[0], Some(OutPort::SouthSh)); // highest priority turn wins
+        // N_sh can only use S_sh/E_sh; S_sh is gone, so it must get E_sh.
+        assert_eq!(a[3], Some(OutPort::EastSh));
+        // Which forces N_ex off E_sh onto an express deflection.
+        assert!(matches!(a[1], Some(OutPort::EastEx) | Some(OutPort::SouthEx)));
+    }
+
+    #[test]
+    fn injection_takes_leftover_port() {
+        let cfg = NocConfig::hoplite(8).unwrap();
+        let class = RouterClass::HOPLITE;
+        let at = Coord::new(0, 0);
+        let pe = compute_prefs(&cfg, class, InPort::Pe, at, Coord::new(3, 0));
+        // Nothing taken: injects east.
+        assert_eq!(
+            try_inject(&pe, class.available_outputs(), &[], shared()),
+            Some(OutPort::EastSh)
+        );
+        // East taken: PE stalls (it never deflects).
+        assert_eq!(
+            try_inject(&pe, class.available_outputs(), &[OutPort::EastSh], shared()),
+            None
+        );
+    }
+
+    #[test]
+    fn injection_blocked_by_shared_exit() {
+        let cfg = NocConfig::hoplite(8).unwrap();
+        let class = RouterClass::HOPLITE;
+        let at = Coord::new(0, 0);
+        // PE wants south; a delivery this cycle consumed the shared slot.
+        let pe = compute_prefs(&cfg, class, InPort::Pe, at, Coord::new(0, 3));
+        assert_eq!(
+            try_inject(&pe, class.available_outputs(), &[OutPort::Exit], shared()),
+            None
+        );
+        // Dedicated exit: south is still free.
+        assert_eq!(
+            try_inject(&pe, class.available_outputs(), &[OutPort::Exit], ExitPolicy::Dedicated),
+            Some(OutPort::SouthSh)
+        );
+    }
+
+    /// Exhaustive smoke test: every combination of desires on a full
+    /// FT router allocates all four in-flight inputs.
+    #[test]
+    fn allocation_never_strands_inputs() {
+        let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+        let class = RouterClass::FULL;
+        let at = Coord::new(2, 2);
+        let n = cfg.n();
+        let dsts: Vec<Coord> = (0..n).flat_map(|x| (0..n).map(move |y| Coord::new(x, y))).collect();
+        // Sample a grid of destination combinations (full cross product of
+        // 64^4 is too large; stride the space).
+        let stride = 7;
+        let sample: Vec<Coord> = dsts.iter().copied().step_by(stride).collect();
+        for &d0 in &sample {
+            for &d1 in &sample {
+                for &d2 in &sample {
+                    for &d3 in &sample {
+                        let inputs = [
+                            compute_prefs(&cfg, class, InPort::WestEx, at, d0),
+                            compute_prefs(&cfg, class, InPort::NorthEx, at, d1),
+                            compute_prefs(&cfg, class, InPort::WestSh, at, d2),
+                            compute_prefs(&cfg, class, InPort::NorthSh, at, d3),
+                        ];
+                        let a = allocate(&inputs, class.available_outputs(), shared());
+                        assert!(a[..4].iter().all(|x| x.is_some()));
+                    }
+                }
+            }
+        }
+    }
+}

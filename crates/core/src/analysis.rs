@@ -1,0 +1,293 @@
+//! Analytical channel-load and saturation-throughput bounds.
+//!
+//! Deflection routing cannot exceed what the wiring admits: for a given
+//! traffic pattern, the most-loaded channel bounds the sustainable
+//! injection rate. This module computes, for any [`NocConfig`] and an
+//! explicit traffic matrix, the ideal (contention-free, minimal-path)
+//! load on every short and express link, and from it an upper bound on
+//! saturation throughput. The simulator should approach — and never
+//! exceed — these bounds; integration tests enforce both directions.
+//!
+//! The model assumes DOR paths with greedy express usage (ride the
+//! express lane whenever the remaining offset is express-reachable in no
+//! more cycles than short hops, exactly like the routing function) and
+//! charges each traversal to the links it crosses.
+
+use crate::config::NocConfig;
+use crate::geom::Coord;
+
+/// Ideal per-link loads for one traffic matrix, in expected packets per
+/// cycle per link, at an injection rate of 1 packet/PE/cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelLoads {
+    n: u16,
+    /// `east_short[node]`: load on the E_sh link leaving `node`.
+    pub east_short: Vec<f64>,
+    /// Load on the E_ex link leaving each node (0 where absent).
+    pub east_express: Vec<f64>,
+    /// Load on the S_sh link leaving each node.
+    pub south_short: Vec<f64>,
+    /// Load on the S_ex link leaving each node (0 where absent).
+    pub south_express: Vec<f64>,
+    /// Load on each node's exit (delivery) port.
+    pub exit: Vec<f64>,
+}
+
+impl ChannelLoads {
+    /// The maximum load over all links (the bottleneck channel).
+    pub fn max_link_load(&self) -> f64 {
+        let links = self
+            .east_short
+            .iter()
+            .chain(&self.east_express)
+            .chain(&self.south_short)
+            .chain(&self.south_express);
+        links.fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// The maximum delivery-port load (one delivery per PE per cycle).
+    pub fn max_exit_load(&self) -> f64 {
+        self.exit.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Upper bound on the sustainable injection rate (packets per cycle
+    /// per PE): the reciprocal of the binding resource load.
+    ///
+    /// Deflections only add load, so real (simulated) saturation
+    /// throughput is at or below this bound.
+    pub fn saturation_bound(&self) -> f64 {
+        let binding = self.max_link_load().max(self.max_exit_load());
+        if binding <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / binding
+        }
+    }
+
+    /// Total ideal link traversals per injected packet (average minimal
+    /// hop count under the express-greedy DOR policy).
+    pub fn mean_hops_per_packet(&self, total_rate: f64) -> f64 {
+        if total_rate <= 0.0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .east_short
+            .iter()
+            .chain(&self.east_express)
+            .chain(&self.south_short)
+            .chain(&self.south_express)
+            .sum();
+        total / total_rate
+    }
+}
+
+/// A traffic matrix: `rate[src][dst]` in packets per cycle (callers
+/// usually build it from a [`Pattern`]-style distribution summing to 1
+/// per source row).
+pub type TrafficMatrix = Vec<Vec<f64>>;
+
+/// Builds a uniform-random traffic matrix (each PE sends to every other
+/// PE with equal probability) at 1 packet/PE/cycle.
+pub fn uniform_traffic(nodes: usize) -> TrafficMatrix {
+    let p = 1.0 / (nodes as f64 - 1.0);
+    (0..nodes)
+        .map(|s| (0..nodes).map(|d| if s == d { 0.0 } else { p }).collect())
+        .collect()
+}
+
+/// Builds a permutation traffic matrix from a destination map.
+pub fn permutation_traffic(nodes: usize, dst_of: impl Fn(usize) -> usize) -> TrafficMatrix {
+    let mut m = vec![vec![0.0; nodes]; nodes];
+    for (s, row) in m.iter_mut().enumerate() {
+        row[dst_of(s)] = 1.0;
+    }
+    m
+}
+
+/// Computes ideal channel loads for `traffic` on `cfg`.
+///
+/// # Panics
+///
+/// Panics if the matrix dimensions do not match the configuration.
+pub fn channel_loads(cfg: &NocConfig, traffic: &TrafficMatrix) -> ChannelLoads {
+    let nodes = cfg.num_nodes();
+    assert_eq!(traffic.len(), nodes, "traffic matrix row count");
+    let n = cfg.n();
+    let mut loads = ChannelLoads {
+        n,
+        east_short: vec![0.0; nodes],
+        east_express: vec![0.0; nodes],
+        south_short: vec![0.0; nodes],
+        south_express: vec![0.0; nodes],
+        exit: vec![0.0; nodes],
+    };
+
+    for (s, row) in traffic.iter().enumerate() {
+        assert_eq!(row.len(), nodes, "traffic matrix column count");
+        let src = Coord::from_node_id(s, n);
+        for (d, &rate) in row.iter().enumerate() {
+            if rate <= 0.0 {
+                continue;
+            }
+            let dst = Coord::from_node_id(d, n);
+            walk_ideal_path(cfg, src, dst, rate, &mut loads);
+        }
+    }
+    loads
+}
+
+/// Walks the deflection-free DOR path with the router's actual lane
+/// rules and charges `rate` to each link crossed.
+///
+/// X phase: packets may upgrade onto the express lane at any
+/// express-capable router (`W_sh → E_ex` exists). Y phase: the express
+/// lane is boardable only at the phase entry — the turn router or the
+/// injection point (`N_sh` has no upgrade path) — so the whole Y leg is
+/// decided once.
+fn walk_ideal_path(cfg: &NocConfig, src: Coord, dst: Coord, rate: f64, loads: &mut ChannelLoads) {
+    let n = cfg.n();
+    let mut at = src;
+    // X phase: greedy upgrades.
+    while at.x != dst.x {
+        let dx = at.dx_to(dst, n);
+        if cfg.has_express_at(at.x) && cfg.express_worthwhile(dx) {
+            loads.east_express[at.to_node_id(n)] += rate;
+            at = at.east(cfg.d(), n);
+        } else {
+            loads.east_short[at.to_node_id(n)] += rate;
+            at = at.east(1, n);
+        }
+    }
+    // Y phase: one boarding decision at entry.
+    let dy = at.dy_to(dst, n);
+    let board = dy > 0 && cfg.has_express_at(at.y) && cfg.express_worthwhile(dy);
+    if board {
+        while at.y != dst.y {
+            loads.south_express[at.to_node_id(n)] += rate;
+            at = at.south(cfg.d(), n);
+        }
+    } else {
+        while at.y != dst.y {
+            loads.south_short[at.to_node_id(n)] += rate;
+            at = at.south(1, n);
+        }
+    }
+    loads.exit[at.to_node_id(n)] += rate;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FtPolicy, NocConfig};
+
+    fn hoplite(n: u16) -> NocConfig {
+        NocConfig::hoplite(n).unwrap()
+    }
+
+    fn ft(n: u16, d: u16, r: u16) -> NocConfig {
+        NocConfig::fasttrack(n, d, r, FtPolicy::Full).unwrap()
+    }
+
+    #[test]
+    fn uniform_matrix_rows_sum_to_one() {
+        let m = uniform_traffic(16);
+        for row in &m {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permutation_matrix_is_one_hot() {
+        let m = permutation_traffic(4, |s| (s + 1) % 4);
+        assert_eq!(m[0][1], 1.0);
+        assert_eq!(m[3][0], 1.0);
+        assert_eq!(m[0].iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn single_flow_charges_its_path() {
+        let cfg = hoplite(4);
+        let mut m = vec![vec![0.0; 16]; 16];
+        // (0,0) -> (2,1): two east, one south.
+        m[0][Coord::new(2, 1).to_node_id(4)] = 1.0;
+        let loads = channel_loads(&cfg, &m);
+        assert_eq!(loads.east_short[Coord::new(0, 0).to_node_id(4)], 1.0);
+        assert_eq!(loads.east_short[Coord::new(1, 0).to_node_id(4)], 1.0);
+        assert_eq!(loads.south_short[Coord::new(2, 0).to_node_id(4)], 1.0);
+        assert_eq!(loads.exit[Coord::new(2, 1).to_node_id(4)], 1.0);
+        assert_eq!(loads.east_short.iter().sum::<f64>(), 2.0);
+        assert_eq!(loads.mean_hops_per_packet(1.0), 3.0);
+    }
+
+    #[test]
+    fn express_path_offloads_short_links() {
+        let cfg = ft(8, 2, 1);
+        let mut m = vec![vec![0.0; 64]; 64];
+        m[0][Coord::new(4, 0).to_node_id(8)] = 1.0; // dx=4, aligned
+        let loads = channel_loads(&cfg, &m);
+        assert_eq!(loads.east_short.iter().sum::<f64>(), 0.0);
+        assert_eq!(loads.east_express[Coord::new(0, 0).to_node_id(8)], 1.0);
+        assert_eq!(loads.east_express[Coord::new(2, 0).to_node_id(8)], 1.0);
+        assert_eq!(loads.mean_hops_per_packet(1.0), 2.0);
+    }
+
+    #[test]
+    fn hoplite_uniform_saturation_bound() {
+        // Classic result: a unidirectional ring of size N under uniform
+        // traffic carries ~N/2 average X hops per packet over N links;
+        // the analytical bound for an 8x8 Hoplite torus lands near
+        // 0.2-0.3 pkt/cycle/PE, well above the simulator's deflection-
+        // limited ~0.11 but the same order.
+        let cfg = hoplite(8);
+        let loads = channel_loads(&cfg, &uniform_traffic(64));
+        let bound = loads.saturation_bound();
+        assert!((0.15..=0.5).contains(&bound), "bound {bound}");
+    }
+
+    #[test]
+    fn fasttrack_raises_the_bound() {
+        let uniform = uniform_traffic(64);
+        let b_hoplite = channel_loads(&hoplite(8), &uniform).saturation_bound();
+        let b_ft = channel_loads(&ft(8, 2, 1), &uniform).saturation_bound();
+        assert!(
+            b_ft > 1.3 * b_hoplite,
+            "express links must raise the wiring bound: {b_hoplite} -> {b_ft}"
+        );
+        // Depopulation sits in between.
+        let b_depop = channel_loads(&ft(8, 2, 2), &uniform).saturation_bound();
+        assert!(b_depop > b_hoplite && b_depop <= b_ft + 1e-12);
+    }
+
+    #[test]
+    fn transpose_bound_is_exit_or_turn_limited() {
+        // Transpose on Hoplite: every packet of row y turns at column y —
+        // the S_sh link out of (y,y) carries the whole row.
+        let cfg = hoplite(8);
+        let m = permutation_traffic(64, |s| {
+            let c = Coord::from_node_id(s, 8);
+            Coord::new(c.y, c.x).to_node_id(8)
+        });
+        let loads = channel_loads(&cfg, &m);
+        // Bound ~ 1/7: seven packets (all but the diagonal one) share
+        // the turn link.
+        let bound = loads.saturation_bound();
+        assert!((0.12..=0.2).contains(&bound), "bound {bound}");
+    }
+
+    #[test]
+    fn mean_hops_shrink_with_express() {
+        let uniform = uniform_traffic(64);
+        let h = channel_loads(&hoplite(8), &uniform).mean_hops_per_packet(64.0);
+        let f = channel_loads(&ft(8, 2, 1), &uniform).mean_hops_per_packet(64.0);
+        // Uniform mean one-way distance (self excluded): 64*7/63.
+        assert!((h - 448.0 / 63.0).abs() < 0.01, "hoplite mean hops {h}");
+        assert!(f < 0.75 * h, "express should cut cycle count: {f} vs {h}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn dimension_mismatch_panics() {
+        channel_loads(&hoplite(4), &uniform_traffic(9));
+    }
+}

@@ -1,0 +1,196 @@
+//! Multi-channel (replicated) Hoplite: `K` independent physical NoC
+//! channels sharing each PE's single injection and delivery port.
+//!
+//! The paper uses Hoplite-2x / Hoplite-3x as the iso-resource comparison
+//! points for FastTrack (a 3-channel Hoplite consumes the same wiring as
+//! FT(·,2,1)). Fairness rule (paper §V): the client interface is not
+//! widened — a PE injects at most one packet per cycle (into whichever
+//! channel can take it) and consumes at most one delivery per cycle;
+//! arrivals beyond the first deflect inside their own channel.
+//!
+//! Channel priority rotates every cycle so no channel is structurally
+//! favored for injection or delivery.
+
+use crate::config::NocConfig;
+use crate::noc::{Noc, StepGates};
+use crate::packet::Delivery;
+use crate::queue::InjectQueues;
+use crate::stats::SimStats;
+
+/// A bank of replicated NoC channels behind shared PE ports.
+#[derive(Debug, Clone)]
+pub struct MultiNoc {
+    channels: Vec<Noc>,
+    gates: StepGates,
+    rotation: usize,
+    cycle: u64,
+}
+
+impl MultiNoc {
+    /// Builds `channels` identical copies of the NoC described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(cfg: NocConfig, channels: usize) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        let nodes = cfg.num_nodes();
+        MultiNoc {
+            channels: (0..channels).map(|_| Noc::new(cfg.clone())).collect(),
+            gates: StepGates::new(nodes),
+            rotation: 0,
+            cycle: 0,
+        }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The per-channel configuration.
+    pub fn config(&self) -> &NocConfig {
+        self.channels[0].config()
+    }
+
+    /// Total packets in flight across all channels.
+    pub fn in_flight(&self) -> usize {
+        self.channels.iter().map(Noc::in_flight).sum()
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances all channels by one cycle, enforcing the one-injection /
+    /// one-delivery-per-PE rule across them.
+    pub fn step(&mut self, queues: &mut InjectQueues, deliveries: &mut Vec<Delivery>) {
+        self.gates.reset();
+        let k = self.channels.len();
+        for i in 0..k {
+            let ch = (self.rotation + i) % k;
+            self.channels[ch].step(queues, deliveries, Some(&mut self.gates));
+        }
+        self.rotation = (self.rotation + 1) % k;
+        self.cycle += 1;
+    }
+
+    /// Sum of all channels' statistics.
+    pub fn merged_stats(&self) -> SimStats {
+        let mut total = SimStats::default();
+        for ch in &self.channels {
+            total.merge(ch.stats());
+        }
+        total
+    }
+
+    /// Per-channel statistics (for balance diagnostics).
+    pub fn channel_stats(&self) -> Vec<&SimStats> {
+        self.channels.iter().map(Noc::stats).collect()
+    }
+
+    /// Clears statistics on every channel.
+    pub fn reset_stats(&mut self) {
+        for ch in &mut self.channels {
+            ch.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Coord;
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        MultiNoc::new(NocConfig::hoplite(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn channels_share_injection_bandwidth() {
+        // One node with many queued packets: at most one injection per
+        // cycle regardless of channel count.
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut mnoc = MultiNoc::new(cfg, 3);
+        let mut q = InjectQueues::new(16);
+        for _ in 0..30 {
+            q.push(0, Coord::new(2, 0), 0, 0);
+        }
+        let mut dels = Vec::new();
+        mnoc.step(&mut q, &mut dels);
+        // Exactly one packet left the queue.
+        assert_eq!(q.total_pending(), 29);
+        assert_eq!(mnoc.in_flight(), 1);
+    }
+
+    #[test]
+    fn rotation_balances_channels() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut mnoc = MultiNoc::new(cfg, 2);
+        let mut q = InjectQueues::new(16);
+        for _ in 0..40 {
+            q.push(0, Coord::new(2, 0), 0, 0);
+        }
+        let mut dels = Vec::new();
+        for _ in 0..200 {
+            mnoc.step(&mut q, &mut dels);
+            if q.is_empty() && mnoc.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(dels.len(), 40);
+        let per_channel: Vec<u64> = mnoc.channel_stats().iter().map(|s| s.injected).collect();
+        // Rotation alternates the favored channel, so the split is even.
+        assert_eq!(per_channel.iter().sum::<u64>(), 40);
+        assert!(per_channel.iter().all(|&c| c >= 15), "unbalanced: {per_channel:?}");
+    }
+
+    #[test]
+    fn single_delivery_per_pe_per_cycle() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut mnoc = MultiNoc::new(cfg, 3);
+        let mut q = InjectQueues::new(16);
+        // Many nodes all targeting (0,0).
+        for node in 1..16 {
+            for _ in 0..3 {
+                q.push(node, Coord::new(0, 0), 0, 0);
+            }
+        }
+        let mut dels = Vec::new();
+        for _ in 0..5000 {
+            mnoc.step(&mut q, &mut dels);
+            if q.is_empty() && mnoc.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(dels.len(), 45);
+        let mut per_cycle = std::collections::HashMap::new();
+        for d in &dels {
+            *per_cycle.entry(d.cycle).or_insert(0u32) += 1;
+        }
+        assert!(per_cycle.values().all(|&c| c <= 1), "PE accepted >1 delivery per cycle");
+    }
+
+    #[test]
+    fn merged_stats_sum_channels() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut mnoc = MultiNoc::new(cfg, 2);
+        let mut q = InjectQueues::new(16);
+        for node in 0..16 {
+            q.push(node, Coord::new((node % 4) as u16, 3), 0, 0);
+        }
+        let mut dels = Vec::new();
+        for _ in 0..500 {
+            mnoc.step(&mut q, &mut dels);
+            if q.is_empty() && mnoc.in_flight() == 0 {
+                break;
+            }
+        }
+        let merged = mnoc.merged_stats();
+        let sum: u64 = mnoc.channel_stats().iter().map(|s| s.delivered).sum();
+        assert_eq!(merged.delivered, sum);
+    }
+}

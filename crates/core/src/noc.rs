@@ -1,0 +1,540 @@
+//! The cycle-accurate NoC engine.
+//!
+//! A [`Noc`] is a synchronous machine: every router reads its registered
+//! input ports, the routing function ([`crate::routing`]) and allocator
+//! ([`crate::alloc`]) decide output assignments, and packets are written
+//! into the input registers of the downstream routers for the next cycle.
+//! Express links cover `D` router positions in a single cycle — that is
+//! the entire point of FastTrack (the FPGA wire model in
+//! `fasttrack-fpga` verifies the clock still closes).
+
+use std::collections::VecDeque;
+
+use crate::alloc::{allocate, try_inject, MAX_IN_FLIGHT};
+use crate::config::NocConfig;
+use crate::geom::Coord;
+use crate::packet::{Delivery, Packet};
+use crate::port::{InPort, OutPort, OutSet};
+use crate::probe::Probe;
+use crate::queue::InjectQueues;
+use crate::router::RouterClass;
+use crate::routing::compute_prefs;
+use crate::stats::SimStats;
+
+/// Per-node gating flags used when several NoC channels share one PE
+/// (multi-channel Hoplite): each PE performs at most one injection and
+/// one delivery per cycle across all channels.
+#[derive(Debug, Clone)]
+pub struct StepGates {
+    /// `true` while the node may still deliver a packet this cycle.
+    pub exit_allowed: Vec<bool>,
+    /// `true` while the node may still inject a packet this cycle.
+    pub inject_allowed: Vec<bool>,
+}
+
+impl StepGates {
+    /// Fresh gates (everything allowed) for `nodes` PEs.
+    pub fn new(nodes: usize) -> Self {
+        StepGates {
+            exit_allowed: vec![true; nodes],
+            inject_allowed: vec![true; nodes],
+        }
+    }
+
+    /// Re-opens all gates (call at the start of each cycle).
+    pub fn reset(&mut self) {
+        self.exit_allowed.fill(true);
+        self.inject_allowed.fill(true);
+    }
+}
+
+/// A single NoC channel (Hoplite or FastTrack, per its configuration).
+#[derive(Debug, Clone)]
+pub struct Noc {
+    cfg: NocConfig,
+    classes: Vec<RouterClass>,
+    available: Vec<OutSet>,
+    /// Input registers for the current cycle, indexed `[node][port]` with
+    /// port indices matching [`InPort::index`] (0..4 are in-flight ports).
+    regs: Vec<[Option<Packet>; MAX_IN_FLIGHT]>,
+    /// Timing wheel of future input states: `wheel[t]` holds packets
+    /// arriving `t + 1` cycles from now (depth = the longest pipelined
+    /// link delay; depth 1 when links carry a single register).
+    wheel: VecDeque<Vec<[Option<Packet>; MAX_IN_FLIGHT]>>,
+    in_flight: usize,
+    cycle: u64,
+    stats: SimStats,
+    probe: Option<Probe>,
+}
+
+impl Noc {
+    /// Builds an idle NoC for the given configuration.
+    pub fn new(cfg: NocConfig) -> Self {
+        let nodes = cfg.num_nodes();
+        let n = cfg.n();
+        let mut classes = Vec::with_capacity(nodes);
+        let mut available = Vec::with_capacity(nodes);
+        for id in 0..nodes {
+            let class = RouterClass::of(&cfg, Coord::from_node_id(id, n));
+            classes.push(class);
+            available.push(class.available_outputs());
+        }
+        let depth = cfg.link_pipeline().max_cycles() as usize;
+        Noc {
+            cfg,
+            classes,
+            available,
+            regs: vec![[None; MAX_IN_FLIGHT]; nodes],
+            wheel: (0..depth).map(|_| vec![[None; MAX_IN_FLIGHT]; nodes]).collect(),
+            in_flight: 0,
+            cycle: 0,
+            stats: SimStats::default(),
+            probe: None,
+        }
+    }
+
+    /// Attaches an instrumentation probe (replacing any existing one).
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.probe = Some(probe);
+    }
+
+    /// The attached probe, if any.
+    pub fn probe(&self) -> Option<&Probe> {
+        self.probe.as_ref()
+    }
+
+    /// Detaches and returns the probe.
+    pub fn take_probe(&mut self) -> Option<Probe> {
+        self.probe.take()
+    }
+
+    /// The configuration this NoC was built from.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Packets currently on NoC links.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Clears the accumulated statistics (e.g. after warmup). In-flight
+    /// packets keep their own hop counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+    }
+
+    /// Advances the NoC by one cycle.
+    ///
+    /// * Pulls injections from `queues` (PE port priority: lowest).
+    /// * Pushes deliveries into `deliveries`.
+    /// * When `gates` is given, honors and updates the per-PE
+    ///   single-injection / single-delivery flags (multi-channel mode).
+    pub fn step(
+        &mut self,
+        queues: &mut InjectQueues,
+        deliveries: &mut Vec<Delivery>,
+        mut gates: Option<&mut StepGates>,
+    ) {
+        let n = self.cfg.n();
+        let nodes = self.cfg.num_nodes();
+        let exit_policy = self.cfg.exit_policy();
+        let d = self.cfg.d().max(1);
+
+        for node in 0..nodes {
+            let at = Coord::from_node_id(node, n);
+            let class = self.classes[node];
+
+            // Gather occupied in-flight inputs in priority order. The
+            // register index *is* the priority order (see InPort::index).
+            let mut inputs: [Option<(usize, Packet)>; MAX_IN_FLIGHT] = [None; MAX_IN_FLIGHT];
+            let mut n_inputs = 0;
+            for (slot, reg) in self.regs[node].iter().enumerate() {
+                if let Some(pkt) = reg {
+                    inputs[n_inputs] = Some((slot, *pkt));
+                    n_inputs += 1;
+                }
+            }
+
+            let exit_ok = gates.as_ref().is_none_or(|g| g.exit_allowed[node]);
+            let mut avail = self.available[node];
+            if !exit_ok {
+                avail.remove(OutPort::Exit);
+            }
+
+            // Route the in-flight packets.
+            let mut prefs_buf = [None; MAX_IN_FLIGHT];
+            for i in 0..n_inputs {
+                let (slot, pkt) = inputs[i].unwrap();
+                let port = InPort::ALL[slot];
+                prefs_buf[i] = Some(compute_prefs(&self.cfg, class, port, at, pkt.dst));
+            }
+            let prefs_vec: Vec<_> = prefs_buf[..n_inputs].iter().map(|p| p.unwrap()).collect();
+            let assignment = allocate(&prefs_vec, avail, exit_policy);
+
+            let mut taken: [Option<OutPort>; MAX_IN_FLIGHT + 1] = [None; MAX_IN_FLIGHT + 1];
+            let mut n_taken = 0;
+
+            for i in 0..n_inputs {
+                let (slot, mut pkt) = inputs[i].unwrap();
+                let prefs = prefs_vec[i];
+                let out = assignment[i].expect("allocator assigns every in-flight input");
+                taken[n_taken] = Some(out);
+                n_taken += 1;
+                if let Some(probe) = self.probe.as_mut() {
+                    probe.record(self.cycle, node, at, pkt.id, out);
+                }
+
+                // Statistics classification.
+                if !prefs.productive().contains(out) {
+                    pkt.deflections += 1;
+                    self.stats.ports.deflections[slot] += 1;
+                } else if prefs.wanted_express() && !out.is_express() && out != OutPort::Exit {
+                    self.stats.ports.demotions[slot] += 1;
+                }
+
+                match out {
+                    OutPort::Exit => {
+                        debug_assert_eq!(pkt.dst, at);
+                        self.in_flight -= 1;
+                        self.stats.delivered += 1;
+                        let delivery = Delivery { packet: pkt, cycle: self.cycle + 1 };
+                        self.stats.total_latency.record(delivery.total_latency());
+                        self.stats.network_latency.record(delivery.network_latency());
+                        deliveries.push(delivery);
+                        if let Some(g) = gates.as_deref_mut() {
+                            g.exit_allowed[node] = false;
+                        }
+                    }
+                    _ => self.forward(&mut pkt, at, out, n, d),
+                }
+            }
+
+            // PE injection: lowest priority, never deflects.
+            let inject_ok = gates.as_ref().is_none_or(|g| g.inject_allowed[node]);
+            if inject_ok {
+                if let Some(pending) = queues.peek(node) {
+                    let pe_prefs = compute_prefs(&self.cfg, class, InPort::Pe, at, pending.dst);
+                    let taken_ports: Vec<OutPort> =
+                        taken[..n_taken].iter().flatten().copied().collect();
+                    // Use the un-gated availability: the gate only removed
+                    // Exit, and an Exit injection (self-send) must also
+                    // respect it, so keep `avail` as adjusted above.
+                    match try_inject(&pe_prefs, avail, &taken_ports, exit_policy) {
+                        Some(out) => {
+                            let pending = queues.pop(node).unwrap();
+                            let mut pkt = Packet::new(
+                                pending.id,
+                                at,
+                                pending.dst,
+                                pending.enqueued_at,
+                                pending.tag,
+                            );
+                            pkt.injected_at = self.cycle;
+                            self.stats.injected += 1;
+                            if let Some(probe) = self.probe.as_mut() {
+                                probe.record(self.cycle, node, at, pkt.id, out);
+                            }
+                            if let Some(g) = gates.as_deref_mut() {
+                                g.inject_allowed[node] = false;
+                            }
+                            match out {
+                                OutPort::Exit => {
+                                    // Self-send: delivered without
+                                    // traversing any link.
+                                    self.stats.delivered += 1;
+                                    let delivery =
+                                        Delivery { packet: pkt, cycle: self.cycle + 1 };
+                                    self.stats.total_latency.record(delivery.total_latency());
+                                    self.stats
+                                        .network_latency
+                                        .record(delivery.network_latency());
+                                    deliveries.push(delivery);
+                                    if let Some(g) = gates.as_deref_mut() {
+                                        g.exit_allowed[node] = false;
+                                    }
+                                }
+                                _ => {
+                                    self.in_flight += 1;
+                                    self.forward(&mut pkt, at, out, n, d);
+                                }
+                            }
+                        }
+                        None => self.stats.injection_stalls += 1,
+                    }
+                }
+            }
+        }
+
+        // Rotate the timing wheel: the front frame becomes the next
+        // cycle's input registers, and a fresh frame joins the back.
+        let mut front = self.wheel.pop_front().expect("wheel is never empty");
+        std::mem::swap(&mut self.regs, &mut front);
+        front.fill([None; MAX_IN_FLIGHT]);
+        self.wheel.push_back(front);
+        if let Some(probe) = self.probe.as_mut() {
+            probe.tick();
+        }
+        self.cycle += 1;
+    }
+
+    /// Writes `pkt` into the downstream router's input register for the
+    /// chosen output port, updating hop counters. Pipelined links place
+    /// the packet deeper into the timing wheel (one extra cycle per
+    /// extra link register).
+    fn forward(&mut self, pkt: &mut Packet, at: Coord, out: OutPort, n: u16, d: u16) {
+        let (target, in_slot) = match out {
+            OutPort::EastSh => (at.east(1, n), InPort::WestSh),
+            OutPort::EastEx => (at.east(d, n), InPort::WestEx),
+            OutPort::SouthSh => (at.south(1, n), InPort::NorthSh),
+            OutPort::SouthEx => (at.south(d, n), InPort::NorthEx),
+            OutPort::Exit => unreachable!("exit is not a link"),
+        };
+        let pipeline = self.cfg.link_pipeline();
+        let delay = if out.is_express() {
+            pkt.express_hops += 1;
+            self.stats.link_usage.express_hops += 1;
+            pipeline.express_cycles()
+        } else {
+            pkt.short_hops += 1;
+            self.stats.link_usage.short_hops += 1;
+            pipeline.short_cycles()
+        };
+        let frame = &mut self.wheel[delay as usize - 1];
+        let reg = &mut frame[target.to_node_id(n)][in_slot.index()];
+        debug_assert!(reg.is_none(), "two packets on one link register");
+        *reg = Some(*pkt);
+    }
+
+    /// Record that `count` packets were enqueued (driver bookkeeping so
+    /// the stats snapshot is self-contained).
+    pub fn note_enqueued(&mut self, count: u64) {
+        self.stats.enqueued += count;
+    }
+
+    /// Snapshot of every packet currently on a link register, with its
+    /// position and input port (diagnostics / debugging aid).
+    pub fn in_flight_packets(&self) -> Vec<(Coord, InPort, Packet)> {
+        let n = self.cfg.n();
+        let mut out = Vec::with_capacity(self.in_flight);
+        for (node, regs) in self.regs.iter().enumerate() {
+            for (slot, reg) in regs.iter().enumerate() {
+                if let Some(pkt) = reg {
+                    out.push((Coord::from_node_id(node, n), InPort::ALL[slot], *pkt));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FtPolicy, NocConfig};
+
+    fn drain(noc: &mut Noc, queues: &mut InjectQueues, max_cycles: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for _ in 0..max_cycles {
+            noc.step(queues, &mut out, None);
+            if queues.is_empty() && noc.in_flight() == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_packet_east_only() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(16);
+        // (0,0) -> (3,0): 3 east hops + injection cycle.
+        q.push(0, Coord::new(3, 0), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        assert_eq!(dels.len(), 1);
+        let d = &dels[0];
+        assert_eq!(d.packet.dst, Coord::new(3, 0));
+        assert_eq!(d.packet.short_hops, 3);
+        assert_eq!(d.packet.deflections, 0);
+        // Inject at cycle 0 (arrives at router (1,0) for cycle 1), hops
+        // at cycles 1, 2, exit decision at cycle 3 -> delivered cycle 4.
+        assert_eq!(d.cycle, 4);
+    }
+
+    #[test]
+    fn single_packet_xy_route() {
+        let cfg = NocConfig::hoplite(8).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(64);
+        let src = Coord::new(1, 1).to_node_id(8);
+        q.push(src, Coord::new(4, 5), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].packet.short_hops, 3 + 4); // dx=3, dy=4
+        assert_eq!(dels[0].packet.deflections, 0);
+    }
+
+    #[test]
+    fn wraparound_routing() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(16);
+        let src = Coord::new(3, 3).to_node_id(4);
+        q.push(src, Coord::new(0, 0), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].packet.short_hops, 2); // wrap east 1, wrap south 1
+    }
+
+    #[test]
+    fn express_packet_uses_fast_lane() {
+        let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(64);
+        // (0,0) -> (4,0): dx=4, aligned; expect 2 express hops.
+        q.push(0, Coord::new(4, 0), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].packet.express_hops, 2);
+        assert_eq!(dels[0].packet.short_hops, 0);
+    }
+
+    #[test]
+    fn express_then_short_upgrade_path() {
+        let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(64);
+        // (0,0) -> (5,0): dx=5 (odd). Injects short (dx=5 unaligned),
+        // after one short hop dx=4 -> upgrades to express for 2 hops.
+        q.push(0, Coord::new(5, 0), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        assert_eq!(dels.len(), 1);
+        let p = &dels[0].packet;
+        assert_eq!(p.short_hops, 1);
+        assert_eq!(p.express_hops, 2);
+    }
+
+    #[test]
+    fn express_turn_full_path() {
+        let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(64);
+        // (0,3) -> (3,7): the "start slow, upgrade" path of Figure 8.
+        // dx=3 (odd): one short hop, then dx=2 upgrades to X express.
+        // At the turn, dy=4 is aligned: W_ex -> S_ex, two express hops.
+        let src = Coord::new(0, 3).to_node_id(8);
+        q.push(src, Coord::new(3, 7), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        assert_eq!(dels.len(), 1);
+        let p = &dels[0].packet;
+        assert_eq!(p.short_hops, 1, "unexpected path: {p:?}");
+        assert_eq!(p.express_hops, 3, "unexpected path: {p:?}");
+    }
+
+    #[test]
+    fn inject_policy_express_isolated_end_to_end() {
+        let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Inject).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(64);
+        // Fully aligned path: all express.
+        q.push(0, Coord::new(4, 4), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].packet.express_hops, 4);
+        assert_eq!(dels[0].packet.short_hops, 0);
+    }
+
+    #[test]
+    fn self_send_delivers_without_hops() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(16);
+        q.push(5, Coord::new(1, 1), 0, 0); // node 5 == (1,1)
+        let dels = drain(&mut noc, &mut q, 10);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].packet.total_hops(), 0);
+    }
+
+    #[test]
+    fn contention_deflects_and_still_delivers() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(16);
+        // Everyone sends to (0,0): heavy S_sh/exit contention.
+        for node in 1..16 {
+            q.push(node, Coord::new(0, 0), 0, 0);
+        }
+        let dels = drain(&mut noc, &mut q, 10_000);
+        assert_eq!(dels.len(), 15, "all packets must be delivered");
+        assert_eq!(noc.in_flight(), 0);
+        assert!(noc.stats().ports.total_deflections() > 0);
+    }
+
+    #[test]
+    fn full_random_load_all_delivered() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for cfg in [
+            NocConfig::hoplite(8).unwrap(),
+            NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+            NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap(),
+            NocConfig::fasttrack(8, 2, 1, FtPolicy::Inject).unwrap(),
+        ] {
+            let name = cfg.name();
+            let mut noc = Noc::new(cfg);
+            let mut q = InjectQueues::new(64);
+            let mut count = 0;
+            for node in 0..64usize {
+                for _ in 0..20 {
+                    let dst = loop {
+                        let d = Coord::new(rng.gen_range(0..8), rng.gen_range(0..8));
+                        if d.to_node_id(8) != node {
+                            break d;
+                        }
+                    };
+                    q.push(node, dst, 0, 0);
+                    count += 1;
+                }
+            }
+            let dels = drain(&mut noc, &mut q, 100_000);
+            assert_eq!(dels.len(), count, "{name}: livelock or loss");
+            assert_eq!(noc.stats().delivered as usize, count);
+        }
+    }
+
+    #[test]
+    fn gates_limit_one_delivery_per_cycle() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut noc = Noc::new(cfg);
+        let mut q = InjectQueues::new(16);
+        for node in 1..6 {
+            q.push(node, Coord::new(0, 0), 0, 0);
+        }
+        let mut gates = StepGates::new(16);
+        let mut dels = Vec::new();
+        for _ in 0..1000 {
+            gates.reset();
+            noc.step(&mut q, &mut dels, Some(&mut gates));
+            if q.is_empty() && noc.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(dels.len(), 5);
+        // No two deliveries at the same node in the same cycle.
+        let mut seen = std::collections::HashSet::new();
+        for d in &dels {
+            assert!(seen.insert((d.packet.dst, d.cycle)));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Real-time characterization: exact zero-load latencies and
+//! rate-regulated worst-case measurement.
+//!
+//! The paper's livelock scheme builds on HopliteRT (its ref [30]), whose
+//! concern is *worst-case* traversal time. This module provides the two
+//! ingredients a real-time analysis of a FastTrack NoC needs:
+//!
+//! * [`zero_load_latency`] — the exact, deterministic latency of a
+//!   packet with no contention anywhere, per source/destination pair
+//!   (the floor every observed latency must respect; the engine is
+//!   tested to hit it exactly for lone packets), and
+//! * a rate-regulated traffic source (`fasttrack-traffic`'s
+//!   `RegulatedSource`) — the admission model under which real-time NoC
+//!   bounds are stated — pairs with these floors in the integration
+//!   tests.
+
+use crate::config::{FtPolicy, NocConfig};
+use crate::geom::Coord;
+use crate::routing::inject_express_eligible;
+
+/// Exact latency, in cycles, of a lone packet from `src` to `dst`
+/// (enqueue at an idle PE through delivery), replicating the routing
+/// function's lane decisions with no contention: X-phase express
+/// upgrades wherever warranted, a single Y-lane decision at the turn,
+/// plus one cycle for the exit stage.
+pub fn zero_load_latency(cfg: &NocConfig, src: Coord, dst: Coord) -> u64 {
+    let n = cfg.n();
+    if src == dst {
+        return 1; // self-send: delivered at the next edge
+    }
+    let mut cycles = 0u64;
+    let mut at = src;
+    let mut first_hop = true;
+    // X phase: express boarding allowed at injection and via W_sh/W_ex
+    // upgrades at any express-capable router (Full policy); the Inject
+    // policy decides the whole path at the PE.
+    while at.x != dst.x {
+        let dx = at.dx_to(dst, n);
+        let express_ok = match cfg.ft_policy() {
+            None => false,
+            Some(FtPolicy::Full) => cfg.has_express_at(at.x) && cfg.express_worthwhile(dx),
+            Some(FtPolicy::Inject) => first_hop && inject_express_eligible(cfg, at, dst),
+        };
+        if express_ok {
+            // Ride the express lane for the whole aligned stretch.
+            let k = cfg.express_hops_for(dx).expect("worthwhile implies reachable");
+            for _ in 0..k {
+                at = at.east(cfg.d(), n);
+            }
+            cycles += k as u64;
+        } else {
+            at = at.east(1, n);
+            cycles += 1;
+        }
+        first_hop = false;
+    }
+    // Y phase: one boarding decision at entry (N_sh cannot upgrade).
+    let dy = at.dy_to(dst, n);
+    if dy > 0 {
+        let board = match cfg.ft_policy() {
+            None => false,
+            Some(FtPolicy::Full) => cfg.has_express_at(at.y) && cfg.express_worthwhile(dy),
+            Some(FtPolicy::Inject) => {
+                (first_hop || src.dx_to(dst, n) > 0) && inject_express_eligible(cfg, src, dst)
+            }
+        };
+        if board {
+            cycles += cfg.express_hops_for(dy).expect("worthwhile implies reachable") as u64;
+        } else {
+            cycles += dy as u64;
+        }
+    }
+    cycles + 1 // exit stage
+}
+
+/// Zero-load latency statistics over all source/destination pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZeroLoadProfile {
+    /// Mean over all ordered pairs (excluding self-sends).
+    pub mean: f64,
+    /// Worst pair.
+    pub max: u64,
+}
+
+/// Computes the zero-load profile of a configuration.
+pub fn zero_load_profile(cfg: &NocConfig) -> ZeroLoadProfile {
+    let n = cfg.n();
+    let mut sum = 0u64;
+    let mut max = 0u64;
+    let mut count = 0u64;
+    for s in 0..cfg.num_nodes() {
+        for d in 0..cfg.num_nodes() {
+            if s == d {
+                continue;
+            }
+            let lat = zero_load_latency(cfg, Coord::from_node_id(s, n), Coord::from_node_id(d, n));
+            sum += lat;
+            max = max.max(lat);
+            count += 1;
+        }
+    }
+    ZeroLoadProfile { mean: sum as f64 / count as f64, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noc::Noc;
+    use crate::queue::InjectQueues;
+
+    fn ft(n: u16, d: u16, r: u16) -> NocConfig {
+        NocConfig::fasttrack(n, d, r, FtPolicy::Full).unwrap()
+    }
+
+    /// The analytic zero-load latency matches the engine exactly for
+    /// every pair on several configurations.
+    #[test]
+    fn zero_load_matches_engine_exactly() {
+        for cfg in [
+            NocConfig::hoplite(4).unwrap(),
+            NocConfig::hoplite(8).unwrap(),
+            ft(8, 2, 1),
+            ft(8, 2, 2),
+            ft(8, 4, 2),
+            NocConfig::fasttrack(8, 2, 1, FtPolicy::Inject).unwrap(),
+        ] {
+            let n = cfg.n();
+            for s in 0..cfg.num_nodes() {
+                for d in 0..cfg.num_nodes() {
+                    let (src, dst) = (Coord::from_node_id(s, n), Coord::from_node_id(d, n));
+                    let mut noc = Noc::new(cfg.clone());
+                    let mut q = InjectQueues::new(cfg.num_nodes());
+                    q.push(s, dst, 0, 0);
+                    let mut dels = Vec::new();
+                    for _ in 0..10_000 {
+                        noc.step(&mut q, &mut dels, None);
+                        if !dels.is_empty() {
+                            break;
+                        }
+                    }
+                    assert_eq!(
+                        dels[0].total_latency(),
+                        zero_load_latency(&cfg, src, dst),
+                        "{}: {src} -> {dst}",
+                        cfg.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fasttrack_cuts_zero_load_latency() {
+        let hoplite = zero_load_profile(&NocConfig::hoplite(8).unwrap());
+        let fast = zero_load_profile(&ft(8, 2, 1));
+        assert!(fast.mean < 0.8 * hoplite.mean, "{} vs {}", fast.mean, hoplite.mean);
+        assert!(fast.max < hoplite.max);
+        // Hoplite 8x8 worst pair: 7 + 7 hops + exit.
+        assert_eq!(hoplite.max, 15);
+    }
+
+}

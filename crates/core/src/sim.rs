@@ -1,0 +1,280 @@
+//! The simulation driver: wires a traffic source to a NoC (or a
+//! multi-channel NoC), runs to completion, and produces a [`SimReport`].
+
+use crate::config::NocConfig;
+use crate::multichannel::MultiNoc;
+use crate::noc::Noc;
+use crate::packet::Delivery;
+use crate::queue::InjectQueues;
+use crate::stats::SimStats;
+
+/// A workload that feeds the NoC.
+///
+/// The driver calls [`TrafficSource::pump`] once per cycle *before*
+/// routing, then reports every delivery. Dependency-driven workloads
+/// (e.g. token dataflow) release new packets from
+/// [`TrafficSource::on_delivery`] state at the next `pump`.
+pub trait TrafficSource {
+    /// Called once per cycle; push any packets that become available this
+    /// cycle into `queues`.
+    fn pump(&mut self, cycle: u64, queues: &mut InjectQueues);
+
+    /// Notification of a delivered packet.
+    fn on_delivery(&mut self, delivery: &Delivery) {
+        let _ = delivery;
+    }
+
+    /// True when the source will never generate another packet.
+    fn exhausted(&self) -> bool;
+}
+
+/// Driver options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Hard cap on simulated cycles; the run is marked truncated if hit.
+    pub max_cycles: u64,
+    /// Statistics are reset after this many cycles (steady-state
+    /// measurement for open-loop traffic). 0 measures everything.
+    pub warmup_cycles: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { max_cycles: 2_000_000, warmup_cycles: 0 }
+    }
+}
+
+impl SimOptions {
+    /// Options with a custom cycle cap.
+    pub fn with_max_cycles(max_cycles: u64) -> Self {
+        SimOptions { max_cycles, ..Default::default() }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Human-readable configuration name (e.g. `FT(64,2,1)`).
+    pub config_name: String,
+    /// PEs in the system.
+    pub nodes: usize,
+    /// Cycles simulated after warmup (the makespan for closed workloads).
+    pub cycles: u64,
+    /// Aggregated statistics (measured after warmup).
+    pub stats: SimStats,
+    /// True if the run hit `max_cycles` before the workload drained.
+    pub truncated: bool,
+}
+
+impl SimReport {
+    /// Delivered packets per cycle per PE — the paper's "sustained rate".
+    pub fn sustained_rate_per_pe(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stats.delivered as f64 / self.cycles as f64 / self.nodes as f64
+        }
+    }
+
+    /// Delivered packets per cycle across the whole NoC.
+    pub fn aggregate_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stats.delivered as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean end-to-end latency (including source queueing).
+    pub fn avg_latency(&self) -> f64 {
+        self.stats.total_latency.mean()
+    }
+
+    /// Worst-case end-to-end latency.
+    pub fn worst_latency(&self) -> u64 {
+        self.stats.total_latency.max()
+    }
+}
+
+/// Runs `source` on a single-channel NoC built from `cfg`.
+pub fn simulate<S: TrafficSource>(cfg: &NocConfig, source: &mut S, opts: SimOptions) -> SimReport {
+    let mut noc = Noc::new(cfg.clone());
+    let mut queues = InjectQueues::new(cfg.num_nodes());
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut measured_from = 0u64;
+    let mut cycle = 0u64;
+    let mut truncated = true;
+
+    while cycle < opts.max_cycles {
+        if cycle == opts.warmup_cycles && cycle != 0 {
+            noc.reset_stats();
+            measured_from = cycle;
+        }
+        source.pump(cycle, &mut queues);
+        deliveries.clear();
+        noc.step(&mut queues, &mut deliveries, None);
+        for d in &deliveries {
+            source.on_delivery(d);
+        }
+        cycle += 1;
+        if source.exhausted() && queues.is_empty() && noc.in_flight() == 0 {
+            truncated = false;
+            break;
+        }
+    }
+
+    let mut stats = noc.stats().clone();
+    stats.enqueued = queues.total_enqueued();
+    SimReport {
+        config_name: cfg.name(),
+        nodes: cfg.num_nodes(),
+        cycles: cycle - measured_from,
+        stats,
+        truncated,
+    }
+}
+
+/// Runs `source` on a `channels`-way replicated NoC (multi-channel
+/// Hoplite; the paper's iso-wiring comparison point).
+pub fn simulate_multichannel<S: TrafficSource>(
+    cfg: &NocConfig,
+    channels: usize,
+    source: &mut S,
+    opts: SimOptions,
+) -> SimReport {
+    let mut noc = MultiNoc::new(cfg.clone(), channels);
+    let mut queues = InjectQueues::new(cfg.num_nodes());
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut measured_from = 0u64;
+    let mut cycle = 0u64;
+    let mut truncated = true;
+
+    while cycle < opts.max_cycles {
+        if cycle == opts.warmup_cycles && cycle != 0 {
+            noc.reset_stats();
+            measured_from = cycle;
+        }
+        source.pump(cycle, &mut queues);
+        deliveries.clear();
+        noc.step(&mut queues, &mut deliveries);
+        for d in &deliveries {
+            source.on_delivery(d);
+        }
+        cycle += 1;
+        if source.exhausted() && queues.is_empty() && noc.in_flight() == 0 {
+            truncated = false;
+            break;
+        }
+    }
+
+    let mut stats = noc.merged_stats();
+    stats.enqueued = queues.total_enqueued();
+    SimReport {
+        config_name: format!("{}-{}x", cfg.name(), channels),
+        nodes: cfg.num_nodes(),
+        cycles: cycle - measured_from,
+        stats,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Coord;
+
+    /// A fixed batch of packets, all available at cycle 0.
+    struct Batch {
+        items: Vec<(usize, Coord)>,
+        pushed: bool,
+    }
+
+    impl TrafficSource for Batch {
+        fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
+            if !self.pushed {
+                for &(src, dst) in &self.items {
+                    queues.push(src, dst, cycle, 0);
+                }
+                self.pushed = true;
+            }
+        }
+        fn exhausted(&self) -> bool {
+            self.pushed
+        }
+    }
+
+    #[test]
+    fn simulate_runs_to_completion() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut src = Batch {
+            items: (1..16).map(|i| (i, Coord::new(0, 0))).collect(),
+            pushed: false,
+        };
+        let report = simulate(&cfg, &mut src, SimOptions::default());
+        assert!(!report.truncated);
+        assert_eq!(report.stats.delivered, 15);
+        assert_eq!(report.stats.enqueued, 15);
+        assert!(report.cycles > 0);
+        assert!(report.sustained_rate_per_pe() > 0.0);
+        assert!(report.avg_latency() > 0.0);
+        assert!(report.worst_latency() >= report.avg_latency() as u64);
+    }
+
+    #[test]
+    fn simulate_truncates_at_cap() {
+        struct Forever;
+        impl TrafficSource for Forever {
+            fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
+                if cycle.is_multiple_of(10) {
+                    queues.push(0, Coord::new(1, 1), cycle, 0);
+                }
+            }
+            fn exhausted(&self) -> bool {
+                false
+            }
+        }
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let report = simulate(&cfg, &mut Forever, SimOptions::with_max_cycles(100));
+        assert!(report.truncated);
+        assert_eq!(report.cycles, 100);
+    }
+
+    #[test]
+    fn multichannel_delivers_everything() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut src = Batch {
+            items: (0..16)
+                .flat_map(|i| {
+                    let dst = Coord::from_node_id((i + 5) % 16, 4);
+                    std::iter::repeat_n((i, dst), 10)
+                })
+                .collect(),
+            pushed: false,
+        };
+        let report = simulate_multichannel(&cfg, 3, &mut src, SimOptions::default());
+        assert!(!report.truncated);
+        assert_eq!(report.stats.delivered, 160);
+        assert!(report.config_name.contains("3x"));
+    }
+
+    #[test]
+    fn warmup_resets_measurement() {
+        struct Trickle;
+        impl TrafficSource for Trickle {
+            fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
+                if cycle < 200 {
+                    queues.push((cycle % 16) as usize, Coord::new(3, 3), cycle, 0);
+                }
+            }
+            fn exhausted(&self) -> bool {
+                false
+            }
+        }
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let opts = SimOptions { max_cycles: 400, warmup_cycles: 100 };
+        let report = simulate(&cfg, &mut Trickle, opts);
+        // Warmup-period deliveries are excluded from the measured stats.
+        assert!(report.stats.delivered < 200);
+        assert_eq!(report.cycles, 300);
+    }
+}

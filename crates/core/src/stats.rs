@@ -1,0 +1,398 @@
+//! Simulation statistics: latency aggregates, log-scale histograms, link
+//! usage, and per-port deflection counters — everything the paper's
+//! evaluation figures consume.
+
+use std::fmt;
+
+use crate::port::InPort;
+
+/// A power-of-two-bucketed latency histogram (paper Figure 16 plots
+/// packet latencies on a log axis from tens to tens of thousands of
+/// cycles).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples with `value` in `[2^i, 2^(i+1))`
+    /// (bucket 0 holds values 0 and 1).
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.max(1).leading_zeros() - 1) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Iterates `(bucket_low, bucket_high_exclusive, count)` for non-empty
+    /// buckets in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, 1u64 << (i + 1), c))
+    }
+
+    /// Approximate percentile (upper bound of the bucket containing it).
+    /// Returns `None` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((1u64 << (i + 1)) - 1);
+            }
+        }
+        Some((1u64 << self.buckets.len()) - 1)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+    }
+}
+
+/// Streaming aggregate of a latency population plus its histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+    histogram: Histogram,
+}
+
+impl LatencyStats {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        LatencyStats { min: u64::MAX, ..Default::default() }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+        self.min = self.min.min(latency);
+        self.histogram.record(latency);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (0 for an empty population).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Worst-case latency observed (0 if empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Best-case latency observed (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+        self.histogram.merge(&other.histogram);
+    }
+}
+
+/// Totals of short- and express-link traversals (paper Figure 18a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkUsage {
+    /// One-hop link traversals.
+    pub short_hops: u64,
+    /// Express-link traversals (each covers `D` router positions).
+    pub express_hops: u64,
+}
+
+impl LinkUsage {
+    /// Total traversals of either kind.
+    pub fn total(&self) -> u64 {
+        self.short_hops + self.express_hops
+    }
+
+    /// Fraction of traversals on express links (0 when idle).
+    pub fn express_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.express_hops as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Deflection and lane-demotion counts per in-flight input port
+/// (paper Figure 18b tracks them at `West_Sh` / `West_Ex` / ... inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortCounters {
+    /// `deflections[p]`: packets at input `p` assigned a non-productive
+    /// (DOR-regressing) output.
+    pub deflections: [u64; 4],
+    /// `demotions[p]`: packets at input `p` that wanted an express output
+    /// but were forced onto a short one ("input deflections" in Fig 18b).
+    pub demotions: [u64; 4],
+}
+
+impl PortCounters {
+    /// Deflections at the given in-flight port.
+    pub fn deflections_at(&self, port: InPort) -> u64 {
+        debug_assert!(port != InPort::Pe);
+        self.deflections[port.index()]
+    }
+
+    /// Demotions at the given in-flight port.
+    pub fn demotions_at(&self, port: InPort) -> u64 {
+        debug_assert!(port != InPort::Pe);
+        self.demotions[port.index()]
+    }
+
+    /// All deflections across ports.
+    pub fn total_deflections(&self) -> u64 {
+        self.deflections.iter().sum()
+    }
+
+    /// All demotions across ports.
+    pub fn total_demotions(&self) -> u64 {
+        self.demotions.iter().sum()
+    }
+}
+
+/// Aggregated statistics for one simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Packets handed to source queues.
+    pub enqueued: u64,
+    /// Packets that entered the NoC.
+    pub injected: u64,
+    /// Packets delivered to their destination PE.
+    pub delivered: u64,
+    /// Latency from source-queue entry to delivery.
+    pub total_latency: LatencyStatsInit,
+    /// Latency from NoC injection to delivery.
+    pub network_latency: LatencyStatsInit,
+    /// Link traversal totals.
+    pub link_usage: LinkUsage,
+    /// Per-port deflection counters.
+    pub ports: PortCounters,
+    /// Cycles in which a PE wanted to inject but stalled.
+    pub injection_stalls: u64,
+}
+
+impl SimStats {
+    /// Merges another run's statistics into this one (used to combine the
+    /// per-channel statistics of a multi-channel NoC).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.enqueued += other.enqueued;
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.total_latency.merge(&other.total_latency);
+        self.network_latency.merge(&other.network_latency);
+        self.link_usage.short_hops += other.link_usage.short_hops;
+        self.link_usage.express_hops += other.link_usage.express_hops;
+        for i in 0..4 {
+            self.ports.deflections[i] += other.ports.deflections[i];
+            self.ports.demotions[i] += other.ports.demotions[i];
+        }
+        self.injection_stalls += other.injection_stalls;
+    }
+}
+
+/// Wrapper so that `SimStats: Default` builds `LatencyStats::new()`
+/// (with `min` primed to `u64::MAX`) rather than the all-zero default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStatsInit(pub LatencyStats);
+
+impl Default for LatencyStatsInit {
+    fn default() -> Self {
+        LatencyStatsInit(LatencyStats::new())
+    }
+}
+
+impl std::ops::Deref for LatencyStatsInit {
+    type Target = LatencyStats;
+    fn deref(&self) -> &LatencyStats {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for LatencyStatsInit {
+    fn deref_mut(&mut self) -> &mut LatencyStats {
+        &mut self.0
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delivered {} / injected {} (avg latency {:.1}, worst {}, {} deflections, {} short + {} express hops)",
+            self.delivered,
+            self.injected,
+            self.total_latency.mean(),
+            self.total_latency.max(),
+            self.ports.total_deflections(),
+            self.link_usage.short_hops,
+            self.link_usage.express_hops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        h.record(1000);
+        assert_eq!(h.count(), 6);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets[0], (1, 2, 2)); // 0 and 1
+        assert_eq!(buckets[1], (2, 4, 2)); // 2 and 3
+        assert_eq!(buckets[2], (4, 8, 1));
+        assert_eq!(buckets[3], (512, 1024, 1));
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        for v in [1, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(1));
+        assert_eq!(h.percentile(99.0), Some(1023));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn histogram_percentile_validates() {
+        Histogram::new().percentile(150.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(3);
+        let mut b = Histogram::new();
+        b.record(100);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.iter().count(), 2);
+    }
+
+    #[test]
+    fn latency_stats_aggregates() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+        for v in [10, 20, 30] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(s.max(), 30);
+        assert_eq!(s.min(), 10);
+    }
+
+    #[test]
+    fn latency_stats_merge() {
+        let mut a = LatencyStats::new();
+        a.record(5);
+        let mut b = LatencyStats::new();
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 15);
+        assert_eq!(a.min(), 5);
+    }
+
+    #[test]
+    fn link_usage_fractions() {
+        let u = LinkUsage { short_hops: 75, express_hops: 25 };
+        assert_eq!(u.total(), 100);
+        assert!((u.express_fraction() - 0.25).abs() < 1e-9);
+        assert_eq!(LinkUsage::default().express_fraction(), 0.0);
+    }
+
+    #[test]
+    fn port_counters_indexing() {
+        let mut c = PortCounters::default();
+        c.deflections[InPort::WestSh.index()] = 7;
+        c.demotions[InPort::WestEx.index()] = 3;
+        assert_eq!(c.deflections_at(InPort::WestSh), 7);
+        assert_eq!(c.demotions_at(InPort::WestEx), 3);
+        assert_eq!(c.total_deflections(), 7);
+        assert_eq!(c.total_demotions(), 3);
+    }
+
+    #[test]
+    fn sim_stats_display_is_nonempty() {
+        let s = SimStats::default();
+        assert!(!s.to_string().is_empty());
+    }
+}

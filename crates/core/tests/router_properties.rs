@@ -1,0 +1,181 @@
+//! Property-based tests of the routing function and port allocator:
+//! legality of every preference, allocation totality, and priority
+//! soundness, across randomized router states.
+
+use fasttrack_core::alloc::{allocate, try_inject};
+use fasttrack_core::config::{ExitPolicy, FtPolicy, NocConfig};
+use fasttrack_core::geom::Coord;
+use fasttrack_core::port::{InPort, OutPort};
+use fasttrack_core::router::{allowed_outputs, RouterClass};
+use fasttrack_core::routing::compute_prefs;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = NocConfig> {
+    (any::<u8>(), any::<bool>()).prop_map(|(sel, full)| {
+        let n = 8u16;
+        let policy = if full { FtPolicy::Full } else { FtPolicy::Inject };
+        let variants = [
+            None,
+            Some((1u16, 1u16)),
+            Some((2, 1)),
+            Some((2, 2)),
+            Some((4, 1)),
+            Some((4, 2)),
+            Some((4, 4)),
+            Some((3, 1)),
+        ];
+        match variants[sel as usize % variants.len()] {
+            None => NocConfig::hoplite(n).unwrap(),
+            Some((d, r)) => NocConfig::fasttrack(n, d, r, policy).unwrap(),
+        }
+    })
+}
+
+fn arb_coord(n: u16) -> impl Strategy<Value = Coord> {
+    (0..n, 0..n).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every port in every preference list is physically connected from
+    /// that input (the connectivity matrix is the hardware truth).
+    #[test]
+    fn prefs_are_always_legal(
+        cfg in arb_config(),
+        at in arb_coord(8),
+        dst in arb_coord(8),
+    ) {
+        let class = RouterClass::of(&cfg, at);
+        for port in InPort::ALL {
+            if !class.has_input(port) || (cfg.ft_policy().is_none() && port.is_express()) {
+                continue;
+            }
+            let prefs = compute_prefs(&cfg, class, port, at, dst);
+            prop_assert!(!prefs.ports().is_empty());
+            let allowed = allowed_outputs(cfg.ft_policy(), class, port);
+            for &p in prefs.ports() {
+                prop_assert!(allowed.contains(p),
+                    "illegal pref {p} from {port} at {at} in {}", cfg.name());
+            }
+            // No duplicates.
+            let mut seen = std::collections::HashSet::new();
+            for &p in prefs.ports() {
+                prop_assert!(seen.insert(p));
+            }
+            // Exit appears iff the packet is at its destination.
+            let at_dest = at == dst;
+            prop_assert_eq!(prefs.ports().contains(&OutPort::Exit), at_dest);
+            if at_dest {
+                prop_assert_eq!(prefs.primary(), OutPort::Exit);
+            }
+        }
+    }
+
+    /// The allocator assigns every in-flight input a distinct slot, and
+    /// the highest-priority input always receives its first *available*
+    /// preference when doing so leaves the rest feasible — in
+    /// particular W_ex is never denied its primary choice when alone.
+    #[test]
+    fn allocator_total_and_distinct(
+        cfg in arb_config(),
+        at in arb_coord(8),
+        dsts in proptest::array::uniform4(arb_coord(8)),
+        occupancy in 1u8..16,
+        exit_blocked in any::<bool>(),
+    ) {
+        let class = RouterClass::of(&cfg, at);
+        let mut inputs = Vec::new();
+        for (i, port) in InPort::IN_FLIGHT.iter().enumerate() {
+            if occupancy & (1 << i) == 0 {
+                continue;
+            }
+            if !class.has_input(*port) || (cfg.ft_policy().is_none() && port.is_express()) {
+                continue;
+            }
+            inputs.push(compute_prefs(&cfg, class, *port, at, dsts[i]));
+        }
+        if inputs.is_empty() {
+            return Ok(());
+        }
+        let mut avail = class.available_outputs();
+        if exit_blocked {
+            avail.remove(OutPort::Exit);
+            // With exit blocked, at-destination packets still hold
+            // deflection fallbacks, so allocation must stay total.
+        }
+        let exit = cfg.exit_policy();
+        let assignment = allocate(&inputs, avail, exit);
+        let assigned: Vec<OutPort> =
+            assignment[..inputs.len()].iter().map(|a| a.unwrap()).collect();
+        // Distinct slots: under shared exit, Exit and S_sh collide.
+        let slot = |p: OutPort| match (p, exit) {
+            (OutPort::Exit, ExitPolicy::SharedWithSouth) => OutPort::SouthSh.index(),
+            _ => p.index(),
+        };
+        let mut used = std::collections::HashSet::new();
+        for &p in &assigned {
+            prop_assert!(used.insert(slot(p)), "slot collision in {:?}", assigned);
+            prop_assert!(avail.contains(p) || p == OutPort::Exit && !exit_blocked);
+        }
+        // Single-input case: the packet always gets its first *available*
+        // choice (its primary may be Exit while delivery is gated off).
+        if inputs.len() == 1 {
+            let first_available = inputs[0]
+                .ports()
+                .iter()
+                .copied()
+                .find(|&p| avail.contains(p))
+                .expect("some port must be available");
+            prop_assert_eq!(assigned[0], first_available);
+        }
+    }
+
+    /// PE injection never takes a slot consumed by in-flight traffic and
+    /// never picks a port outside its preference list.
+    #[test]
+    fn injection_respects_taken_slots(
+        cfg in arb_config(),
+        at in arb_coord(8),
+        dst in arb_coord(8),
+        taken_mask in 0u8..32,
+    ) {
+        let class = RouterClass::of(&cfg, at);
+        let pe = compute_prefs(&cfg, class, InPort::Pe, at, dst);
+        let taken: Vec<OutPort> = OutPort::ALL
+            .into_iter()
+            .filter(|p| taken_mask & (1 << p.index()) != 0)
+            .collect();
+        let exit = cfg.exit_policy();
+        if let Some(port) = try_inject(&pe, class.available_outputs(), &taken, exit) {
+            prop_assert!(pe.ports().contains(&port));
+            prop_assert!(!taken.contains(&port));
+            if exit == ExitPolicy::SharedWithSouth {
+                let shared_taken = taken.contains(&OutPort::Exit) || taken.contains(&OutPort::SouthSh);
+                if port == OutPort::Exit || port == OutPort::SouthSh {
+                    prop_assert!(!shared_taken, "injected into a consumed shared slot");
+                }
+            }
+        }
+    }
+
+    /// Express lane-change legality: express inputs never route onto the
+    /// short lane except via the two livelock turns.
+    #[test]
+    fn express_to_short_only_at_turns(cfg in arb_config(), at in arb_coord(8), dst in arb_coord(8)) {
+        if cfg.ft_policy().is_none() {
+            return Ok(());
+        }
+        let class = RouterClass::of(&cfg, at);
+        if class.has_input(InPort::WestEx) {
+            let prefs = compute_prefs(&cfg, class, InPort::WestEx, at, dst);
+            prop_assert!(!prefs.ports().contains(&OutPort::EastSh),
+                "W_ex -> E_sh is not a legal transition");
+        }
+        if class.has_input(InPort::NorthEx) {
+            let prefs = compute_prefs(&cfg, class, InPort::NorthEx, at, dst);
+            prop_assert!(!prefs.ports().contains(&OutPort::SouthSh),
+                "N_ex -> S_sh is not a legal transition");
+        }
+    }
+}

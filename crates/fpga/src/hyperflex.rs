@@ -1,0 +1,160 @@
+//! HyperFlex-style pipelined interconnect (paper §VII discussion).
+//!
+//! Intel's Stratix 10 HyperFlex fabric offers registers *inside* the
+//! routing network, so a long wire can be pipelined without spending
+//! ALM/CLB registers. The paper argues this changes the express-link
+//! trade-off: a HyperFlex-pipelined link runs at a very high clock but
+//! pays one cycle per pipeline stage, so the *end-to-end latency* of a
+//! long link may not improve even as frequency soars.
+//!
+//! This module models that trade-off: given a link of `distance` SLICEs
+//! and `stages` interconnect registers, it reports the achievable
+//! frequency and the end-to-end link latency in nanoseconds, and finds
+//! the stage count minimizing latency under a frequency floor — the
+//! quantitative version of §VII's argument.
+
+use crate::device::Device;
+use crate::wire::physical_express_mhz;
+
+/// Peak frequency of a HyperFlex-style pipelined fabric (the Stratix 10
+/// generation was marketed up to ~1 GHz).
+pub const HYPERFLEX_CEILING_MHZ: f64 = 1000.0;
+
+/// One pipelined-link design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelinedLink {
+    /// Physical span, SLICEs.
+    pub distance: u32,
+    /// Interconnect pipeline registers along the wire.
+    pub stages: u32,
+    /// Achievable clock, MHz.
+    pub mhz: f64,
+    /// End-to-end traversal latency, ns (`(stages + 1) / f`).
+    pub latency_ns: f64,
+}
+
+/// Evaluates a link of `distance` SLICEs with `stages` pipeline
+/// registers: each of the `stages + 1` segments must close timing on its
+/// own, and the clock is capped by the HyperFlex ceiling.
+///
+/// # Panics
+///
+/// Panics if `distance == 0`.
+pub fn pipelined_link(device: &Device, distance: u32, stages: u32) -> PipelinedLink {
+    assert!(distance > 0);
+    let segments = stages + 1;
+    let seg_len = (distance as f64 / segments as f64).ceil().max(1.0) as u32;
+    // Each segment is a registered wire with no logic in it; HyperFlex
+    // registers avoid the fabric exit/entry penalty, so the per-segment
+    // speed follows the physical-express curve with no bypass penalty,
+    // capped by the HyperFlex clock network.
+    let mhz = physical_express_mhz(device, seg_len, 0).clamp(1.0, HYPERFLEX_CEILING_MHZ);
+    PipelinedLink {
+        distance,
+        stages,
+        mhz,
+        latency_ns: segments as f64 * 1000.0 / mhz,
+    }
+}
+
+/// Sweeps stage counts `0..=max_stages` and returns the design point
+/// with the lowest end-to-end latency whose clock meets `min_mhz`
+/// (falling back to the fastest-clock point if none qualifies).
+pub fn best_pipelining(
+    device: &Device,
+    distance: u32,
+    max_stages: u32,
+    min_mhz: f64,
+) -> PipelinedLink {
+    let mut best: Option<PipelinedLink> = None;
+    let mut fastest: Option<PipelinedLink> = None;
+    for stages in 0..=max_stages {
+        let p = pipelined_link(device, distance, stages);
+        if fastest.is_none_or(|f| p.mhz > f.mhz) {
+            fastest = Some(p);
+        }
+        if p.mhz >= min_mhz && best.is_none_or(|b| p.latency_ns < b.latency_ns) {
+            best = Some(p);
+        }
+    }
+    best.or(fastest).expect("at least one design point")
+}
+
+/// §VII's headline comparison: an unpipelined FastTrack express link vs
+/// a HyperFlex-pipelined one over the same span. Returns
+/// `(fasttrack, hyperflex_best)`; the paper's expectation — encoded in
+/// the tests — is that pipelining wins clock rate but not end-to-end
+/// wire latency on spans FastTrack actually uses.
+pub fn fasttrack_vs_hyperflex(device: &Device, distance: u32, bypassed: u32) -> (PipelinedLink, PipelinedLink) {
+    let ft_mhz = physical_express_mhz(device, distance, bypassed);
+    let ft = PipelinedLink { distance, stages: 0, mhz: ft_mhz, latency_ns: 1000.0 / ft_mhz };
+    let hf = best_pipelining(device, distance, 8, 600.0);
+    (ft, hf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::virtex7_485t()
+    }
+
+    #[test]
+    fn more_stages_raise_frequency() {
+        let d = dev();
+        let p0 = pipelined_link(&d, 128, 0);
+        let p3 = pipelined_link(&d, 128, 3);
+        assert!(p3.mhz > p0.mhz, "{} vs {}", p3.mhz, p0.mhz);
+    }
+
+    #[test]
+    fn frequency_capped_by_hyperflex_ceiling() {
+        let d = dev();
+        let p = pipelined_link(&d, 16, 15);
+        assert!(p.mhz <= HYPERFLEX_CEILING_MHZ);
+    }
+
+    #[test]
+    fn latency_is_stages_over_frequency() {
+        let d = dev();
+        let p = pipelined_link(&d, 64, 1);
+        assert!((p.latency_ns - 2.0 * 1000.0 / p.mhz).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_pipelining_stops_paying() {
+        // Once each segment is short enough to hit the clock ceiling,
+        // extra stages only add latency — §VII's point.
+        let d = dev();
+        let shallow = pipelined_link(&d, 32, 1);
+        let deep = pipelined_link(&d, 32, 7);
+        assert!(deep.latency_ns > shallow.latency_ns);
+    }
+
+    #[test]
+    fn best_pipelining_respects_frequency_floor() {
+        let d = dev();
+        let p = best_pipelining(&d, 200, 8, 500.0);
+        assert!(p.mhz >= 500.0, "got {} MHz", p.mhz);
+        // And it should not over-pipeline: a 200-SLICE wire at 600 MHz
+        // needs only a handful of stages.
+        assert!(p.stages <= 8);
+    }
+
+    #[test]
+    fn fasttrack_wins_wire_latency_on_its_spans() {
+        // On the spans FastTrack uses (one express link ~ 2 tiles),
+        // a single fast wire beats a pipelined one end-to-end even
+        // though the pipelined link clocks higher.
+        let d = dev();
+        let (ft, hf) = fasttrack_vs_hyperflex(&d, 54, 2);
+        assert!(hf.mhz > ft.mhz);
+        assert!(
+            ft.latency_ns <= hf.latency_ns + 1e-9,
+            "FastTrack {:.2} ns vs HyperFlex {:.2} ns",
+            ft.latency_ns,
+            hf.latency_ns
+        );
+    }
+}

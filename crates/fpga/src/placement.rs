@@ -1,0 +1,181 @@
+//! Ring placement analysis: linear vs folded torus layouts.
+//!
+//! The paper locks routers to rectangular tiles and "adopts a folded
+//! layout to balance wire lengths" (§V). This module computes the
+//! physical span of every short and express link under both layouts,
+//! quantifying why folding matters: a linear layout leaves one
+//! full-chip wraparound wire per ring, while folding bounds every
+//! neighbor link at two tile spans and every express link of length `D`
+//! at about `2D` spans — the geometry that lets the FastTrack NoC keep
+//! near-Hoplite clock rates (Table II).
+
+/// How a ring of `n` routers is placed along a line of `n` tile slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RingLayout {
+    /// Ring order = physical order; the wrap link spans the whole ring.
+    Linear,
+    /// Classic folded (interleaved) order `0, n-1, 1, n-2, …`: all
+    /// neighbor links span at most two slots.
+    Folded,
+}
+
+impl RingLayout {
+    /// Physical slot (0-based) of ring position `i` in a ring of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn slot_of(self, i: u16, n: u16) -> u16 {
+        assert!(i < n);
+        match self {
+            RingLayout::Linear => i,
+            RingLayout::Folded => {
+                if i < n / 2 {
+                    2 * i
+                } else {
+                    2 * (n - 1 - i) + 1
+                }
+            }
+        }
+    }
+
+    /// Physical span, in tile slots, of the ring link from position `i`
+    /// to position `(i + hop) % n`.
+    pub fn link_span(self, i: u16, hop: u16, n: u16) -> u16 {
+        let a = self.slot_of(i, n);
+        let b = self.slot_of((i + hop) % n, n);
+        a.abs_diff(b)
+    }
+
+    /// Spans of all `n` links of length `hop` in the ring.
+    pub fn link_spans(self, hop: u16, n: u16) -> Vec<u16> {
+        (0..n).map(|i| self.link_span(i, hop, n)).collect()
+    }
+
+    /// The longest link of length `hop` (the timing-critical one).
+    pub fn max_link_span(self, hop: u16, n: u16) -> u16 {
+        self.link_spans(hop, n).into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Summary of a layout's wire-length profile for an `FT(N², D, ·)` ring,
+/// in SLICEs (slot spans × tile width).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutReport {
+    /// Layout analyzed.
+    pub layout: RingLayout,
+    /// Longest short-link span, SLICEs.
+    pub max_short_slices: f64,
+    /// Longest express-link span, SLICEs (0 when `d == 0`).
+    pub max_express_slices: f64,
+    /// Total wire length across all short links, SLICEs.
+    pub total_short_slices: f64,
+    /// Total wire length across all express links, SLICEs.
+    pub total_express_slices: f64,
+}
+
+/// Analyzes a layout for a ring of `n` routers with tile width
+/// `tile_slices` and express length `d` (0 = Hoplite).
+pub fn analyze_layout(layout: RingLayout, n: u16, d: u16, tile_slices: f64) -> LayoutReport {
+    let short = layout.link_spans(1, n);
+    let express = if d > 0 { layout.link_spans(d, n) } else { Vec::new() };
+    let to_slices = |spans: &[u16]| -> (f64, f64) {
+        let max = spans.iter().copied().max().unwrap_or(0) as f64 * tile_slices;
+        let total = spans.iter().map(|&s| s as f64).sum::<f64>() * tile_slices;
+        (max, total)
+    };
+    let (max_short, total_short) = to_slices(&short);
+    let (max_express, total_express) = to_slices(&express);
+    LayoutReport {
+        layout,
+        max_short_slices: max_short,
+        max_express_slices: max_express,
+        total_short_slices: total_short,
+        total_express_slices: total_express,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folded_slots_are_a_permutation() {
+        for n in [4u16, 8, 16] {
+            let mut seen = vec![false; n as usize];
+            for i in 0..n {
+                let s = RingLayout::Folded.slot_of(i, n);
+                assert!(!seen[s as usize], "slot collision at {i}");
+                seen[s as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn folded_order_matches_classic_interleave() {
+        // n = 8: slots hold routers 0,7,1,6,2,5,3,4.
+        let order: Vec<u16> = (0..8)
+            .map(|s| (0..8).find(|&i| RingLayout::Folded.slot_of(i, 8) == s).unwrap())
+            .collect();
+        assert_eq!(order, vec![0, 7, 1, 6, 2, 5, 3, 4]);
+    }
+
+    #[test]
+    fn linear_wrap_link_spans_whole_ring() {
+        assert_eq!(RingLayout::Linear.max_link_span(1, 8), 7);
+        // Folding bounds every neighbor link at 2 slots.
+        assert_eq!(RingLayout::Folded.max_link_span(1, 8), 2);
+    }
+
+    #[test]
+    fn folded_express_links_bounded_by_2d() {
+        for n in [8u16, 16] {
+            for d in [2u16, 4] {
+                let max = RingLayout::Folded.max_link_span(d, n);
+                assert!(max <= 2 * d, "n={n} d={d}: span {max} > 2D");
+                // Linear layout's wrap express link spans nearly the ring.
+                let lin = RingLayout::Linear.max_link_span(d, n);
+                assert_eq!(lin, n - d);
+            }
+        }
+    }
+
+    #[test]
+    fn folded_beats_linear_for_both_link_kinds() {
+        for n in [8u16, 16] {
+            for d in [1u16, 2, 4] {
+                let lin = analyze_layout(RingLayout::Linear, n, d, 27.0);
+                let fold = analyze_layout(RingLayout::Folded, n, d, 27.0);
+                assert!(
+                    fold.max_short_slices < lin.max_short_slices,
+                    "folded must kill the wrap link (n={n})"
+                );
+                // Diametric express links (D == N/2) connect the two
+                // ends of the fold and are the one case where folding
+                // loses; the paper's D=2..3 sweet spot is unaffected.
+                if d < n / 2 {
+                    assert!(fold.max_express_slices <= lin.max_express_slices, "n={n} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_totals_positive_and_consistent() {
+        let r = analyze_layout(RingLayout::Folded, 8, 2, 27.0);
+        assert_eq!(r.layout, RingLayout::Folded);
+        assert!(r.total_short_slices > 0.0);
+        assert!(r.total_express_slices > 0.0);
+        assert!(r.max_short_slices <= r.total_short_slices);
+        // Hoplite case: no express wires.
+        let h = analyze_layout(RingLayout::Folded, 8, 0, 27.0);
+        assert_eq!(h.max_express_slices, 0.0);
+        assert_eq!(h.total_express_slices, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slot_of_bounds_checked() {
+        RingLayout::Folded.slot_of(8, 8);
+    }
+}

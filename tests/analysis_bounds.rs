@@ -1,0 +1,88 @@
+//! Integration tests: the analytical channel-load model and the
+//! simulator agree — simulated saturation throughput never exceeds the
+//! wiring bound, approaches it within the known deflection tax, and the
+//! model predicts the FastTrack/Hoplite ordering.
+
+use fasttrack::core::analysis::{channel_loads, permutation_traffic, uniform_traffic};
+use fasttrack::prelude::*;
+
+fn saturated_rate(cfg: &NocConfig, pattern: Pattern, seed: u64) -> f64 {
+    let n = cfg.n();
+    let mut src = BernoulliSource::new(n, pattern, 1.0, 400, seed);
+    let report = simulate(cfg, &mut src, SimOptions::default());
+    assert!(!report.truncated);
+    report.sustained_rate_per_pe()
+}
+
+#[test]
+fn simulated_throughput_never_exceeds_wiring_bound() {
+    for cfg in [
+        NocConfig::hoplite(8).unwrap(),
+        NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap(),
+        NocConfig::fasttrack(8, 4, 1, FtPolicy::Full).unwrap(),
+    ] {
+        let bound = channel_loads(&cfg, &uniform_traffic(64)).saturation_bound();
+        let rate = saturated_rate(&cfg, Pattern::Random, 0xb0);
+        assert!(
+            rate <= bound * 1.02,
+            "{}: simulated {rate:.3} exceeds analytic bound {bound:.3}",
+            cfg.name()
+        );
+        // Deflection routing wastes wiring, but not more than ~4x of it
+        // on uniform traffic at these sizes.
+        assert!(
+            rate >= bound / 4.0,
+            "{}: simulated {rate:.3} implausibly far below bound {bound:.3}",
+            cfg.name()
+        );
+    }
+}
+
+#[test]
+fn analytic_model_predicts_fasttrack_ordering() {
+    let uniform = uniform_traffic(64);
+    let hoplite = NocConfig::hoplite(8).unwrap();
+    let ft = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+    let bound_ratio = channel_loads(&ft, &uniform).saturation_bound()
+        / channel_loads(&hoplite, &uniform).saturation_bound();
+    let sim_ratio = saturated_rate(&ft, Pattern::Random, 0xb1)
+        / saturated_rate(&hoplite, Pattern::Random, 0xb1);
+    assert!(bound_ratio > 1.3, "model must predict an FT win, got {bound_ratio:.2}");
+    assert!(sim_ratio > 1.3, "simulation must confirm, got {sim_ratio:.2}");
+}
+
+#[test]
+fn transpose_turn_bottleneck_matches_model() {
+    // The model pins transpose's bottleneck at the single turn link;
+    // simulated Hoplite should sit exactly at that bound (transpose has
+    // no contention anywhere else, so deflections are rare).
+    let cfg = NocConfig::hoplite(8).unwrap();
+    let m = permutation_traffic(64, |s| {
+        let c = Coord::from_node_id(s, 8);
+        Coord::new(c.y, c.x).to_node_id(8)
+    });
+    let bound = channel_loads(&cfg, &m).saturation_bound();
+    let rate = saturated_rate(&cfg, Pattern::Transpose, 0xb2);
+    assert!(
+        (rate / bound) > 0.8 && rate <= bound * 1.02,
+        "transpose: rate {rate:.3} vs bound {bound:.3}"
+    );
+}
+
+#[test]
+fn mean_hop_model_matches_deflection_free_traffic() {
+    // At low load there are almost no deflections, so measured hops per
+    // packet match the analytic minimal-path mean.
+    let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+    let loads = channel_loads(&cfg, &uniform_traffic(64));
+    let predicted = loads.mean_hops_per_packet(64.0);
+    let mut src = BernoulliSource::new(8, Pattern::Random, 0.02, 300, 0xb3);
+    let report = simulate(&cfg, &mut src, SimOptions::default());
+    let measured =
+        report.stats.link_usage.total() as f64 / report.stats.delivered as f64;
+    assert!(
+        (measured - predicted).abs() / predicted < 0.1,
+        "hops/packet: measured {measured:.2} vs predicted {predicted:.2}"
+    );
+}

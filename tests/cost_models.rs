@@ -1,0 +1,114 @@
+//! Integration tests: the FPGA cost/timing/power models stay mutually
+//! consistent with the simulator's configurations (the cross-crate
+//! contracts behind Tables I–II and Figures 10, 14, 19).
+
+use fasttrack::fpga::resources::{noc_cost, wire_slice_bits};
+use fasttrack::fpga::routability::{check_fit, noc_frequency_mhz, peak_datawidth, FitError};
+use fasttrack::prelude::*;
+
+fn ft(n: u16, d: u16, r: u16) -> NocConfig {
+    NocConfig::fasttrack(n, d, r, FtPolicy::Full).unwrap()
+}
+
+#[test]
+fn iso_wiring_pairs_match_exactly() {
+    // The paper's comparison pairs: FT(N,2,1) == Hoplite-3x wires,
+    // FT(N,2,2) == Hoplite-2x wires — at every width and size.
+    for n in [4u16, 8, 16] {
+        let hoplite = NocConfig::hoplite(n).unwrap();
+        for width in [32, 128, 256] {
+            let h = noc_cost(&hoplite, width);
+            assert_eq!(
+                noc_cost(&ft(n, 2, 1), width).wire_bits_per_cut,
+                h.replicated(3).wire_bits_per_cut
+            );
+            assert_eq!(
+                noc_cost(&ft(n, 2, 2), width).wire_bits_per_cut,
+                h.replicated(2).wire_bits_per_cut
+            );
+        }
+    }
+}
+
+#[test]
+fn fasttrack_cheaper_than_iso_wired_replicas() {
+    // "the multi-channel NoC ... costs the designer 1.5x more LUTs than
+    // FastTrack" — paper §VI.
+    let hoplite = noc_cost(&NocConfig::hoplite(8).unwrap(), 256);
+    let ft21 = noc_cost(&ft(8, 2, 1), 256);
+    let ratio = hoplite.replicated(3).luts as f64 / ft21.luts as f64;
+    assert!((0.9..=1.3).contains(&ratio), "Hoplite-3x / FT LUT ratio {ratio:.2}");
+    // The depopulated design costs about the same as Hoplite-2x (the
+    // paper's 69K vs 68K — within noise).
+    let ft22 = noc_cost(&ft(8, 2, 2), 256);
+    assert!(ft22.luts > hoplite.luts);
+    let r22 = ft22.luts as f64 / hoplite.replicated(2).luts as f64;
+    assert!((0.9..=1.1).contains(&r22), "FT(64,2,2)/Hoplite-2x ratio {r22:.2}");
+}
+
+#[test]
+fn frequency_and_fit_are_consistent() {
+    let device = Device::virtex7_485t();
+    for n in [4u16, 8, 16] {
+        for cfg in [NocConfig::hoplite(n).unwrap(), ft(n, 2, 1)] {
+            let peak = peak_datawidth(&device, &cfg, 1);
+            if let Some(w) = peak {
+                // At the peak width the frequency query succeeds...
+                assert!(noc_frequency_mhz(&device, &cfg, w, 1).is_ok());
+                // ...and a 4x wider design does not fit.
+                assert!(check_fit(&device, &cfg, w * 4, 1).is_err(), "{} w={}", cfg.name(), w);
+            }
+        }
+    }
+}
+
+#[test]
+fn wiring_overflow_is_the_binding_constraint_for_wide_nocs() {
+    let device = Device::virtex7_485t();
+    assert_eq!(
+        check_fit(&device, &ft(16, 2, 1), 1024, 1),
+        Err(FitError::WiringOverflow)
+    );
+}
+
+#[test]
+fn power_orders_match_resource_orders() {
+    let device = Device::virtex7_485t();
+    let model = PowerModel::default();
+    let f = 320.0;
+    let p_h = model.dynamic_power_w(&device, &NocConfig::hoplite(8).unwrap(), 256, f, 1);
+    let p_22 = model.dynamic_power_w(&device, &ft(8, 2, 2), 256, f, 1);
+    let p_21 = model.dynamic_power_w(&device, &ft(8, 2, 1), 256, f, 1);
+    assert!(p_h < p_22 && p_22 < p_21);
+}
+
+#[test]
+fn energy_model_rewards_fasttrack_on_measured_traffic() {
+    // End to end: simulate the same workload on Hoplite and FastTrack,
+    // feed the measured cycles/hops into the energy model, and confirm
+    // the paper's Figure 19 ordering (FT(64,2,1) finishes the workload
+    // with no more energy than Hoplite despite 2.5x the power).
+    let device = Device::virtex7_485t();
+    let model = PowerModel::default();
+    let energy = |cfg: &NocConfig| {
+        let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, 300, 61);
+        let report = simulate(cfg, &mut src, SimOptions::default());
+        assert!(!report.truncated);
+        let mhz = noc_frequency_mhz(&device, cfg, 256, 1).unwrap();
+        model.workload_energy_j(&device, cfg, 256, mhz, 1, report.cycles, &report.stats)
+    };
+    let e_h = energy(&NocConfig::hoplite(8).unwrap());
+    let e_f = energy(&ft(8, 2, 1));
+    assert!(
+        e_f < 1.1 * e_h,
+        "FastTrack energy {e_f:.4} J should be at or below Hoplite {e_h:.4} J"
+    );
+}
+
+#[test]
+fn wire_totals_scale_with_depopulation() {
+    let device = Device::virtex7_485t();
+    let (_, ex_full) = wire_slice_bits(&device, &ft(8, 2, 1), 256);
+    let (_, ex_depop) = wire_slice_bits(&device, &ft(8, 2, 2), 256);
+    assert!((ex_full / ex_depop - 2.0).abs() < 1e-9);
+}

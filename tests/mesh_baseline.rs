@@ -1,0 +1,86 @@
+//! Integration tests: the buffered-mesh baseline composes with the
+//! torus simulators and exhibits the Figure 1 trade-off end-to-end.
+
+use fasttrack::prelude::*;
+
+fn random_rate_mesh(depth: usize, rate: f64, seed: u64) -> SimReport {
+    let cfg = MeshConfig::new(8, depth).unwrap();
+    let mut src = BernoulliSource::new(8, Pattern::Random, rate, 300, seed);
+    simulate_mesh(&cfg, &mut src, SimOptions::default())
+}
+
+fn random_rate_torus(cfg: &NocConfig, rate: f64, seed: u64) -> SimReport {
+    let mut src = BernoulliSource::new(8, Pattern::Random, rate, 300, seed);
+    simulate(cfg, &mut src, SimOptions::default())
+}
+
+#[test]
+fn mesh_beats_hoplite_per_cycle_at_saturation() {
+    // Buffered bidirectional mesh: shorter paths, no deflections — more
+    // packets per cycle. (Per nanosecond is another story: Figure 1.)
+    let mesh = random_rate_mesh(4, 1.0, 1);
+    let hoplite = random_rate_torus(&NocConfig::hoplite(8).unwrap(), 1.0, 1);
+    assert!(
+        mesh.sustained_rate_per_pe() > 1.5 * hoplite.sustained_rate_per_pe(),
+        "mesh {:.3} vs hoplite {:.3}",
+        mesh.sustained_rate_per_pe(),
+        hoplite.sustained_rate_per_pe()
+    );
+}
+
+#[test]
+fn fasttrack_closes_most_of_the_per_cycle_gap() {
+    let mesh = random_rate_mesh(4, 1.0, 2);
+    let ft = random_rate_torus(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        1.0,
+        2,
+    );
+    let ratio = ft.sustained_rate_per_pe() / mesh.sustained_rate_per_pe();
+    assert!(
+        ratio > 0.7,
+        "FastTrack should approach buffered per-cycle throughput, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn deeper_buffers_help_until_they_dont() {
+    let d1 = random_rate_mesh(1, 1.0, 3);
+    let d4 = random_rate_mesh(4, 1.0, 3);
+    let d8 = random_rate_mesh(8, 1.0, 3);
+    assert!(d4.sustained_rate_per_pe() >= d1.sustained_rate_per_pe());
+    // Past the bandwidth-delay product, more buffering stops buying
+    // throughput (ejection bandwidth is the binding resource).
+    let gain = d8.sustained_rate_per_pe() / d4.sustained_rate_per_pe();
+    assert!(gain < 1.2, "suspicious deep-buffer gain {gain:.2}");
+}
+
+#[test]
+fn mesh_latency_tail_is_tight() {
+    // No deflections: the buffered mesh's worst case at moderate load is
+    // queueing-bounded, far below Hoplite's deflection spirals.
+    let mesh = random_rate_mesh(4, 0.2, 4);
+    let hoplite = random_rate_torus(&NocConfig::hoplite(8).unwrap(), 0.2, 4);
+    assert!(
+        mesh.worst_latency() < hoplite.worst_latency(),
+        "mesh worst {} vs hoplite worst {}",
+        mesh.worst_latency(),
+        hoplite.worst_latency()
+    );
+}
+
+#[test]
+fn same_workload_runs_on_all_three_noc_classes() {
+    // One source type drives torus, multi-channel torus, and mesh —
+    // the TrafficSource abstraction holds across engines.
+    let run_count = |r: &SimReport| r.stats.delivered;
+    let mut s1 = BernoulliSource::new(4, Pattern::Transpose, 0.5, 100, 5);
+    let mesh = simulate_mesh(&MeshConfig::new(4, 2).unwrap(), &mut s1, SimOptions::default());
+    let mut s2 = BernoulliSource::new(4, Pattern::Transpose, 0.5, 100, 5);
+    let torus = simulate(&NocConfig::hoplite(4).unwrap(), &mut s2, SimOptions::default());
+    let mut s3 = BernoulliSource::new(4, Pattern::Transpose, 0.5, 100, 5);
+    let multi = simulate_multichannel(&NocConfig::hoplite(4).unwrap(), 2, &mut s3, SimOptions::default());
+    assert_eq!(run_count(&mesh), 1600);
+    assert_eq!(run_count(&torus), 1600);
+    assert_eq!(run_count(&multi), 1600);
+}

@@ -1,0 +1,185 @@
+//! Integration tests: the paper's headline result *shapes* hold
+//! end-to-end (who wins, roughly by how much, where crossovers fall).
+//! Run at reduced scale so the whole suite stays fast.
+
+use fasttrack::prelude::*;
+
+fn run_random(cfg: &NocConfig, rate: f64, per_pe: u64, seed: u64) -> SimReport {
+    let n = cfg.n();
+    let mut src = BernoulliSource::new(n, Pattern::Random, rate, per_pe, seed);
+    simulate(cfg, &mut src, SimOptions::default())
+}
+
+fn run_random_multi(cfg: &NocConfig, channels: usize, rate: f64, per_pe: u64, seed: u64) -> SimReport {
+    let n = cfg.n();
+    let mut src = BernoulliSource::new(n, Pattern::Random, rate, per_pe, seed);
+    simulate_multichannel(cfg, channels, &mut src, SimOptions::default())
+}
+
+/// Figure 11 shape: at saturation, FT(64,2,1) sustains ≥2× Hoplite on
+/// RANDOM; the depopulated FT(64,2,2) sits strictly between them.
+#[test]
+fn fasttrack_beats_hoplite_on_random() {
+    let hoplite = run_random(&NocConfig::hoplite(8).unwrap(), 1.0, 300, 1);
+    let ft21 = run_random(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        1.0,
+        300,
+        1,
+    );
+    let ft22 = run_random(
+        &NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap(),
+        1.0,
+        300,
+        1,
+    );
+    let (h, f1, f2) = (
+        hoplite.sustained_rate_per_pe(),
+        ft21.sustained_rate_per_pe(),
+        ft22.sustained_rate_per_pe(),
+    );
+    assert!(f1 > 2.0 * h, "FT(64,2,1)={f1:.3} vs Hoplite={h:.3}");
+    assert!(f2 > h && f2 < f1, "depopulated should sit between: {h:.3} {f2:.3} {f1:.3}");
+}
+
+/// Figure 11 shape: below 10% injection everyone delivers the offered
+/// load — no FastTrack win.
+#[test]
+fn no_win_below_saturation() {
+    let hoplite = run_random(&NocConfig::hoplite(8).unwrap(), 0.05, 200, 2);
+    let ft = run_random(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        0.05,
+        200,
+        2,
+    );
+    let ratio = ft.sustained_rate_per_pe() / hoplite.sustained_rate_per_pe();
+    assert!((0.95..=1.05).contains(&ratio), "unexpected low-load win: {ratio}");
+}
+
+/// Figure 12 shape: average latency at saturation is much lower on
+/// FastTrack.
+#[test]
+fn latency_improves_at_saturation() {
+    let hoplite = run_random(&NocConfig::hoplite(8).unwrap(), 0.5, 300, 3);
+    let ft = run_random(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        0.5,
+        300,
+        3,
+    );
+    assert!(
+        ft.avg_latency() < 0.65 * hoplite.avg_latency(),
+        "FT latency {} vs Hoplite {}",
+        ft.avg_latency(),
+        hoplite.avg_latency()
+    );
+}
+
+/// Figure 16 shape: the worst-case latency tail shrinks by a large
+/// factor under light load.
+#[test]
+fn worst_case_latency_tail_shrinks() {
+    let hoplite = run_random(&NocConfig::hoplite(8).unwrap(), 0.08, 500, 4);
+    let ft = run_random(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        0.08,
+        500,
+        4,
+    );
+    assert!(
+        (hoplite.worst_latency() as f64) > 1.5 * ft.worst_latency() as f64,
+        "worst: Hoplite {} vs FT {}",
+        hoplite.worst_latency(),
+        ft.worst_latency()
+    );
+}
+
+/// Figure 13 shape: FastTrack at iso-wiring (FT(64,2,1) vs Hoplite-3x)
+/// stays competitive — and both crush single-channel Hoplite.
+#[test]
+fn iso_wiring_multichannel_comparison() {
+    let cfg = NocConfig::hoplite(8).unwrap();
+    let hoplite = run_random(&cfg, 1.0, 300, 5);
+    let hoplite3x = run_random_multi(&cfg, 3, 1.0, 300, 5);
+    let ft = run_random(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        1.0,
+        300,
+        5,
+    );
+    assert!(hoplite3x.sustained_rate_per_pe() > 2.0 * hoplite.sustained_rate_per_pe());
+    assert!(
+        ft.sustained_rate_per_pe() > 0.95 * hoplite3x.sustained_rate_per_pe(),
+        "FT {} vs Hoplite-3x {}",
+        ft.sustained_rate_per_pe(),
+        hoplite3x.sustained_rate_per_pe()
+    );
+}
+
+/// Figure 17 shape: D=2 beats D=4 on an 8×8 system (too-long links
+/// strand short transfers).
+#[test]
+fn express_length_sweet_spot() {
+    let d2 = run_random(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        0.5,
+        300,
+        6,
+    );
+    let d4 = run_random(
+        &NocConfig::fasttrack(8, 4, 1, FtPolicy::Full).unwrap(),
+        0.5,
+        300,
+        6,
+    );
+    assert!(
+        d2.sustained_rate_per_pe() > d4.sustained_rate_per_pe(),
+        "D=2 {} should beat D=4 {}",
+        d2.sustained_rate_per_pe(),
+        d4.sustained_rate_per_pe()
+    );
+}
+
+/// Figure 18 shape: at matched offered load, FastTrack uses express
+/// links heavily and deflects less than Hoplite per delivered packet.
+/// (At full saturation FastTrack carries ~3x the traffic, so absolute
+/// deflection counts are not comparable there.)
+#[test]
+fn express_usage_reduces_deflections() {
+    let hoplite = run_random(&NocConfig::hoplite(8).unwrap(), 0.15, 300, 7);
+    let ft = run_random(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        0.15,
+        300,
+        7,
+    );
+    assert!(ft.stats.link_usage.express_fraction() > 0.25);
+    let hoplite_defl = hoplite.stats.ports.total_deflections() as f64 / hoplite.stats.delivered as f64;
+    let ft_defl = ft.stats.ports.total_deflections() as f64 / ft.stats.delivered as f64;
+    assert!(
+        ft_defl < hoplite_defl,
+        "deflections per packet: FT {ft_defl:.2} vs Hoplite {hoplite_defl:.2}"
+    );
+}
+
+/// FTlite (Inject) sits between Hoplite and FT(Full): cheaper switch,
+/// reduced but real gains.
+#[test]
+fn inject_policy_between_hoplite_and_full() {
+    let hoplite = run_random(&NocConfig::hoplite(8).unwrap(), 1.0, 300, 8);
+    let lite = run_random(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Inject).unwrap(),
+        1.0,
+        300,
+        8,
+    );
+    let full = run_random(
+        &NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap(),
+        1.0,
+        300,
+        8,
+    );
+    assert!(lite.sustained_rate_per_pe() > hoplite.sustained_rate_per_pe());
+    assert!(lite.sustained_rate_per_pe() < full.sustained_rate_per_pe());
+}

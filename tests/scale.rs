@@ -1,0 +1,52 @@
+//! Scale smoke tests: the engine stays correct and tractable at the
+//! paper's largest evaluated size (256 PEs) and one step beyond
+//! (1024 PEs).
+
+use fasttrack::prelude::*;
+
+#[test]
+fn sixteen_by_sixteen_full_suite() {
+    for cfg in [
+        NocConfig::hoplite(16).unwrap(),
+        NocConfig::fasttrack(16, 2, 1, FtPolicy::Full).unwrap(),
+        NocConfig::fasttrack(16, 4, 2, FtPolicy::Full).unwrap(),
+    ] {
+        let mut src = BernoulliSource::new(16, Pattern::Random, 1.0, 100, 77);
+        let report = simulate(&cfg, &mut src, SimOptions::default());
+        assert!(!report.truncated, "{} truncated", cfg.name());
+        assert_eq!(report.stats.delivered, 256 * 100);
+    }
+}
+
+#[test]
+fn thousand_pe_smoke() {
+    // 32x32 = 1024 PEs: beyond the paper's sweep; a small fixed load
+    // must still drain promptly with express links spanning 16 hops.
+    let cfg = NocConfig::fasttrack(32, 4, 4, FtPolicy::Full).unwrap();
+    let mut src = BernoulliSource::new(32, Pattern::Random, 0.3, 20, 78);
+    let report = simulate(&cfg, &mut src, SimOptions::default());
+    assert!(!report.truncated);
+    assert_eq!(report.stats.delivered, 1024 * 20);
+    assert!(report.stats.link_usage.express_hops > 0);
+}
+
+#[test]
+fn scaling_gain_grows_with_system_size() {
+    // The paper: "Performance scaling is best ... at large PE counts".
+    let gain = |n: u16| {
+        let run = |cfg: &NocConfig| {
+            let mut src = BernoulliSource::new(n, Pattern::Random, 1.0, 100, 79);
+            simulate(cfg, &mut src, SimOptions::default())
+        };
+        let h = run(&NocConfig::hoplite(n).unwrap());
+        let f = run(&NocConfig::fasttrack(n, 2, 1, FtPolicy::Full).unwrap());
+        assert!(!h.truncated && !f.truncated);
+        f.sustained_rate_per_pe() / h.sustained_rate_per_pe()
+    };
+    let g4 = gain(4);
+    let g16 = gain(16);
+    assert!(
+        g16 > g4,
+        "express links should matter more at 256 PEs: {g4:.2} vs {g16:.2}"
+    );
+}

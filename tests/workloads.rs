@@ -1,0 +1,145 @@
+//! Integration tests: the four accelerator workloads run end-to-end
+//! across NoC configurations with exact message conservation, and their
+//! speedup characters match the paper (throughput-bound vs
+//! latency-bound, local vs global traffic).
+
+use fasttrack::prelude::*;
+use fasttrack::traffic::dataflow::{lu_dag, DataflowSource};
+use fasttrack::traffic::graph::graph_source;
+use fasttrack::traffic::graph_gen::{rmat, road_network};
+use fasttrack::traffic::matrix::{banded, circuit};
+use fasttrack::traffic::multiproc::{parsec_benchmarks, parsec_trace};
+use fasttrack::traffic::partition::Partition;
+use fasttrack::traffic::spmv::spmv_source;
+
+fn configs(n: u16) -> Vec<NocConfig> {
+    vec![
+        NocConfig::hoplite(n).unwrap(),
+        NocConfig::fasttrack(n, 2, 1, FtPolicy::Full).unwrap(),
+        NocConfig::fasttrack(n, 2, 2, FtPolicy::Full).unwrap(),
+        NocConfig::fasttrack(n, 2, 1, FtPolicy::Inject).unwrap(),
+    ]
+}
+
+#[test]
+fn spmv_conserves_messages_across_configs() {
+    let m = circuit(1000, 4, 2, 3, 21);
+    for cfg in configs(4) {
+        let mut src = spmv_source(&m, 4, Partition::Cyclic);
+        let report = simulate(&cfg, &mut src, SimOptions::default());
+        assert!(!report.truncated, "{} truncated", cfg.name());
+        assert_eq!(report.stats.delivered as usize, m.nnz(), "{}", cfg.name());
+    }
+}
+
+#[test]
+fn spmv_global_matrix_gains_more_than_local() {
+    // A banded (local) matrix vs a circuit with dense global lines.
+    let local = banded(1500, 6, 0, 22);
+    let global = circuit(1500, 4, 3, 5, 23);
+    let speedup = |m: &fasttrack::traffic::matrix::SparseMatrix, p: Partition| {
+        let mut s1 = spmv_source(m, 4, p);
+        let h = simulate(&NocConfig::hoplite(4).unwrap(), &mut s1, SimOptions::default());
+        let mut s2 = spmv_source(m, 4, p);
+        let f = simulate(
+            &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
+            &mut s2,
+            SimOptions::default(),
+        );
+        h.cycles as f64 / f.cycles as f64
+    };
+    let s_local = speedup(&local, Partition::Block);
+    let s_global = speedup(&global, Partition::Cyclic);
+    assert!(
+        s_global > s_local,
+        "global traffic should gain more: local {s_local:.2} vs global {s_global:.2}"
+    );
+}
+
+#[test]
+fn graph_superstep_conserves_edges() {
+    let g = rmat(11, 15_000, 0.57, 0.19, 0.19, 31);
+    for cfg in configs(4) {
+        let mut src = graph_source(&g, 4, Partition::Cyclic);
+        let report = simulate(&cfg, &mut src, SimOptions::default());
+        assert!(!report.truncated);
+        assert_eq!(report.stats.delivered as usize, g.num_edges(), "{}", cfg.name());
+    }
+}
+
+#[test]
+fn road_network_is_nearly_noc_insensitive() {
+    let g = road_network(120, 0.01, 32);
+    let p = Partition::Grid2d { side: 120 };
+    let mut s1 = graph_source(&g, 4, p);
+    let h = simulate(&NocConfig::hoplite(4).unwrap(), &mut s1, SimOptions::default());
+    let mut s2 = graph_source(&g, 4, p);
+    let f = simulate(
+        &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
+        &mut s2,
+        SimOptions::default(),
+    );
+    let speedup = h.cycles as f64 / f.cycles as f64;
+    assert!(
+        speedup < 1.6,
+        "local road traffic should not benefit much, got {speedup:.2}"
+    );
+}
+
+#[test]
+fn dataflow_executes_every_operation_on_every_config() {
+    let dag = lu_dag(1200, 48, 2.0, 41);
+    let edges = dag.num_edges();
+    for cfg in configs(4) {
+        let mut src = DataflowSource::new(dag.clone(), 4, 3);
+        let report = simulate(&cfg, &mut src, SimOptions::with_max_cycles(5_000_000));
+        assert!(!report.truncated, "{} truncated", cfg.name());
+        assert_eq!(src.completed(), 1200, "{}", cfg.name());
+        assert_eq!(report.stats.delivered as usize, edges);
+    }
+}
+
+#[test]
+fn dataflow_critical_path_bounds_makespan() {
+    let dag = lu_dag(800, 32, 2.0, 42);
+    let critical = dag.critical_path_len() as u64;
+    let compute = 3u64;
+    let mut src = DataflowSource::new(dag, 4, compute);
+    let report = simulate(
+        &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
+        &mut src,
+        SimOptions::with_max_cycles(5_000_000),
+    );
+    // The makespan can never beat compute-serialized critical path.
+    assert!(
+        report.cycles >= critical * compute,
+        "makespan {} below critical-path bound {}",
+        report.cycles,
+        critical * compute
+    );
+}
+
+#[test]
+fn parsec_local_benchmark_gains_least() {
+    let benches = parsec_benchmarks();
+    let freqmine = benches.iter().find(|b| b.name == "freqmine").unwrap();
+    let x264 = benches.iter().find(|b| b.name == "x264").unwrap();
+    let speedup = |profile| {
+        let mut t1 = parsec_trace(profile, 6, 51);
+        let h = simulate(&NocConfig::hoplite(6).unwrap(), &mut t1, SimOptions::with_max_cycles(5_000_000));
+        let mut t2 = parsec_trace(profile, 6, 51);
+        let f = simulate(
+            &NocConfig::fasttrack(6, 2, 1, FtPolicy::Full).unwrap(),
+            &mut t2,
+            SimOptions::with_max_cycles(5_000_000),
+        );
+        assert!(!h.truncated && !f.truncated);
+        h.cycles as f64 / f.cycles as f64
+    };
+    let s_local = speedup(freqmine);
+    let s_heavy = speedup(x264);
+    assert!(
+        s_heavy > s_local,
+        "x264 ({s_heavy:.2}) should gain more than freqmine ({s_local:.2})"
+    );
+}
