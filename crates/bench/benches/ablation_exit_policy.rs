@@ -16,7 +16,11 @@ use fasttrack_traffic::source::BernoulliSource;
 
 fn run(cfg: &NocConfig) -> (f64, f64) {
     let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, packets_per_pe(), 5);
-    let nut = NocUnderTest { label: cfg.name(), config: cfg.clone(), channels: 1 };
+    let nut = NocUnderTest {
+        label: cfg.name(),
+        config: cfg.clone(),
+        channels: 1,
+    };
     let r = nut.run(&mut src, SimOptions::default());
     (r.sustained_rate_per_pe(), r.avg_latency())
 }
@@ -24,7 +28,13 @@ fn run(cfg: &NocConfig) -> (f64, f64) {
 fn main() {
     let mut t = Table::new(
         "Ablation: exit policy (8x8 RANDOM @100%)",
-        &["Config", "Exit", "Rate (pkt/cyc/PE)", "Avg latency", "Dedicated-exit gain"],
+        &[
+            "Config",
+            "Exit",
+            "Rate (pkt/cyc/PE)",
+            "Avg latency",
+            "Dedicated-exit gain",
+        ],
     );
     let bases = [
         NocConfig::hoplite(8).unwrap(),

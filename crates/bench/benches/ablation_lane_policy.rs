@@ -18,13 +18,24 @@ use fasttrack_traffic::source::BernoulliSource;
 fn main() {
     let mut t = Table::new(
         "Ablation: lane policy (8x8 @100% injection, 256b costs)",
-        &["Pattern", "D", "Policy", "Rate (pkt/cyc/PE)", "NoC LUTs", "Rate/kLUT"],
+        &[
+            "Pattern",
+            "D",
+            "Policy",
+            "Rate (pkt/cyc/PE)",
+            "NoC LUTs",
+            "Rate/kLUT",
+        ],
     );
     for pattern in [Pattern::Random, Pattern::BitComplement] {
         for d in [2u16, 4] {
             for policy in [FtPolicy::Full, FtPolicy::Inject] {
                 let cfg = NocConfig::fasttrack(8, d, 1, policy).unwrap();
-                let nut = NocUnderTest { label: cfg.name(), config: cfg.clone(), channels: 1 };
+                let nut = NocUnderTest {
+                    label: cfg.name(),
+                    config: cfg.clone(),
+                    channels: 1,
+                };
                 let mut src = BernoulliSource::new(8, pattern, 1.0, packets_per_pe(), 3);
                 let r = nut.run(&mut src, SimOptions::default());
                 let luts = noc_cost(&cfg, 256).luts;
@@ -34,7 +45,10 @@ fn main() {
                     policy.to_string(),
                     format!("{:.4}", r.sustained_rate_per_pe()),
                     luts.to_string(),
-                    format!("{:.2}", r.sustained_rate_per_pe() * 1000.0 / luts as f64 * 1000.0),
+                    format!(
+                        "{:.2}",
+                        r.sustained_rate_per_pe() * 1000.0 / luts as f64 * 1000.0
+                    ),
                 ]);
             }
         }

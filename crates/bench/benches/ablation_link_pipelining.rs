@@ -36,9 +36,16 @@ fn main() {
         for extra in [(0u8, 0u8), (0, 1), (1, 1), (1, 2)] {
             let cfg = NocConfig::fasttrack(8, d, 1, FtPolicy::Full)
                 .unwrap()
-                .with_link_pipeline(LinkPipeline { short: extra.0, express: extra.1 });
+                .with_link_pipeline(LinkPipeline {
+                    short: extra.0,
+                    express: extra.1,
+                });
             let mhz = noc_frequency_mhz(&device, &cfg, WIDTH, 1).expect("fits");
-            let nut = NocUnderTest { label: cfg.name(), config: cfg.clone(), channels: 1 };
+            let nut = NocUnderTest {
+                label: cfg.name(),
+                config: cfg.clone(),
+                channels: 1,
+            };
             let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, packets_per_pe(), 17);
             let r = nut.run(&mut src, SimOptions::default());
             t.add_row(vec![

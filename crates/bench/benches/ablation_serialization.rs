@@ -22,7 +22,14 @@ fn main() {
     let lines_per_pe = if quick_mode() { 50 } else { 400 };
     let mut t = Table::new(
         "Ablation: 512b cacheline transfers vs datawidth (8x8, lines to PE+19)",
-        &["Config", "Width (b)", "Flits/line", "MHz or NA", "Makespan (cyc)", "Mlines/s"],
+        &[
+            "Config",
+            "Width (b)",
+            "Flits/line",
+            "MHz or NA",
+            "Makespan (cyc)",
+            "Mlines/s",
+        ],
     );
     for nut in [NocUnderTest::hoplite(n), NocUnderTest::fasttrack(n, 2, 1)] {
         for width in [64u32, 128, 256, 512] {
@@ -42,8 +49,11 @@ fn main() {
             };
             let transfers: Vec<Transfer> = (0..64usize)
                 .flat_map(|s| {
-                    (0..lines_per_pe)
-                        .map(move |_| Transfer { src: s, dst: (s + 19) % 64, bits: CACHELINE_BITS })
+                    (0..lines_per_pe).map(move |_| Transfer {
+                        src: s,
+                        dst: (s + 19) % 64,
+                        bits: CACHELINE_BITS,
+                    })
                 })
                 .collect();
             let total_lines = transfers.len() as f64;

@@ -13,13 +13,21 @@ use fasttrack_fpga::routability::{noc_frequency_mhz, FIG10_WIDTHS};
 
 fn main() {
     let device = Device::virtex7_485t();
-    let configs: Vec<(String, NocConfig)> = [(4u16, 1u16), (4, 2), (8, 1), (8, 2), (8, 4), (16, 1), (16, 2)]
-        .iter()
-        .map(|&(n, d)| {
-            let cfg = NocConfig::fasttrack(n, d, 1, FtPolicy::Full).unwrap();
-            (format!("<{},{}>", n as u32 * n as u32, d), cfg)
-        })
-        .collect();
+    let configs: Vec<(String, NocConfig)> = [
+        (4u16, 1u16),
+        (4, 2),
+        (8, 1),
+        (8, 2),
+        (8, 4),
+        (16, 1),
+        (16, 2),
+    ]
+    .iter()
+    .map(|&(n, d)| {
+        let cfg = NocConfig::fasttrack(n, d, 1, FtPolicy::Full).unwrap();
+        (format!("<{},{}>", n as u32 * n as u32, d), cfg)
+    })
+    .collect();
 
     let mut headers = vec!["Width (b)".to_string()];
     headers.extend(configs.iter().map(|(l, _)| l.clone()));

@@ -28,7 +28,10 @@ fn main() {
             }
             t.add_row(row);
         }
-        t.emit(&format!("fig11_sustained_rate_{}", pattern.name().to_lowercase()));
+        t.emit(&format!(
+            "fig11_sustained_rate_{}",
+            pattern.name().to_lowercase()
+        ));
     }
     println!(
         "shape check: FT(64,2,1) up to ~2.5x Hoplite on RANDOM, ~2x on \

@@ -42,12 +42,21 @@ fn main() {
             }
             t.add_row(row);
         }
-        t.emit(&format!("fig12_avg_latency_{}", pattern.name().to_lowercase()));
+        t.emit(&format!(
+            "fig12_avg_latency_{}",
+            pattern.name().to_lowercase()
+        ));
     }
     // The paper's saturation-throughput-at-100-cycles comparison.
     let mut sat = Table::new(
         "Figure 12 (knees): saturation throughput at <=100-cycle avg latency",
-        &["Pattern", "Hoplite", "FT(64,2,1)", "FT(64,2,2)", "FT(64,2,1) gain"],
+        &[
+            "Pattern",
+            "Hoplite",
+            "FT(64,2,1)",
+            "FT(64,2,2)",
+            "FT(64,2,1) gain",
+        ],
     );
     for pattern in Pattern::PAPER_SET {
         let h = saturation_at_100(&nuts[0], pattern);

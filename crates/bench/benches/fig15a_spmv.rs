@@ -13,9 +13,21 @@ fn benchmarks() -> Vec<MatrixBenchmark> {
     if quick_mode() {
         // Scaled-down stand-ins with the same structure classes.
         vec![
-            MatrixBenchmark { name: "hamm_memplus", matrix: banded(2000, 8, 1, 1), local_dominated: true },
-            MatrixBenchmark { name: "human_gene2", matrix: power_law(800, 40, 1.6, 5), local_dominated: false },
-            MatrixBenchmark { name: "add20", matrix: circuit(1200, 4, 2, 3, 6), local_dominated: false },
+            MatrixBenchmark {
+                name: "hamm_memplus",
+                matrix: banded(2000, 8, 1, 1),
+                local_dominated: true,
+            },
+            MatrixBenchmark {
+                name: "human_gene2",
+                matrix: power_law(800, 40, 1.6, 5),
+                local_dominated: false,
+            },
+            MatrixBenchmark {
+                name: "add20",
+                matrix: circuit(1200, 4, 2, 3, 6),
+                local_dominated: false,
+            },
         ]
     } else {
         fasttrack_traffic::matrix::spmv_benchmarks()
@@ -23,8 +35,15 @@ fn benchmarks() -> Vec<MatrixBenchmark> {
 }
 
 fn main() {
-    let opts = SimOptions { max_cycles: 20_000_000, warmup_cycles: 0 };
-    let ladder: &[(usize, u16)] = if quick_mode() { &PE_LADDER[..3] } else { &PE_LADDER };
+    let opts = SimOptions {
+        max_cycles: 20_000_000,
+        warmup_cycles: 0,
+    };
+    let ladder: &[(usize, u16)] = if quick_mode() {
+        &PE_LADDER[..3]
+    } else {
+        &PE_LADDER
+    };
 
     let mut headers = vec!["Matrix".to_string(), "nnz".to_string()];
     headers.extend(ladder.iter().map(|(p, _)| format!("{p} PEs")));

@@ -5,8 +5,8 @@ use fasttrack_bench::runner::{quick_mode, speedup, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_core::sim::SimOptions;
 use fasttrack_traffic::graph::graph_source;
-use fasttrack_traffic::partition::Partition;
 use fasttrack_traffic::graph_gen::{rmat, road_network, GraphBenchmark};
+use fasttrack_traffic::partition::Partition;
 
 fn benchmarks() -> Vec<GraphBenchmark> {
     if quick_mode() {
@@ -30,10 +30,16 @@ fn benchmarks() -> Vec<GraphBenchmark> {
 }
 
 fn main() {
-    let opts = SimOptions { max_cycles: 50_000_000, warmup_cycles: 0 };
+    let opts = SimOptions {
+        max_cycles: 50_000_000,
+        warmup_cycles: 0,
+    };
     // The paper plots graph workloads from 16 PEs up.
-    let ladder: &[(usize, u16)] =
-        if quick_mode() { &[(16, 4), (64, 8)] } else { &[(16, 4), (64, 8), (256, 16)] };
+    let ladder: &[(usize, u16)] = if quick_mode() {
+        &[(16, 4), (64, 8)]
+    } else {
+        &[(16, 4), (64, 8), (256, 16)]
+    };
 
     let mut headers = vec!["Graph".to_string(), "edges".to_string()];
     headers.extend(ladder.iter().map(|(p, _)| format!("{p} PEs")));

@@ -13,8 +13,14 @@ const COMPUTE_CYCLES: u64 = 4;
 fn benchmarks() -> Vec<LuBenchmark> {
     if quick_mode() {
         vec![
-            LuBenchmark { name: "s953_3197", dag: lu_dag(3197, 40, 2.0, 1) },
-            LuBenchmark { name: "s1423_2582", dag: lu_dag(2582, 36, 2.0, 2) },
+            LuBenchmark {
+                name: "s953_3197",
+                dag: lu_dag(3197, 40, 2.0, 1),
+            },
+            LuBenchmark {
+                name: "s1423_2582",
+                dag: lu_dag(2582, 36, 2.0, 2),
+            },
         ]
     } else {
         lu_benchmarks()
@@ -22,11 +28,21 @@ fn benchmarks() -> Vec<LuBenchmark> {
 }
 
 fn main() {
-    let opts = SimOptions { max_cycles: 20_000_000, warmup_cycles: 0 };
-    let ladder: &[(usize, u16)] =
-        if quick_mode() { &[(16, 4), (64, 8)] } else { &[(16, 4), (64, 8), (256, 16)] };
+    let opts = SimOptions {
+        max_cycles: 20_000_000,
+        warmup_cycles: 0,
+    };
+    let ladder: &[(usize, u16)] = if quick_mode() {
+        &[(16, 4), (64, 8)]
+    } else {
+        &[(16, 4), (64, 8), (256, 16)]
+    };
 
-    let mut headers = vec!["Circuit".to_string(), "nodes".to_string(), "crit.path".to_string()];
+    let mut headers = vec![
+        "Circuit".to_string(),
+        "nodes".to_string(),
+        "crit.path".to_string(),
+    ];
     headers.extend(ladder.iter().map(|(p, _)| format!("{p} PEs")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(

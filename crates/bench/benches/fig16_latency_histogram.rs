@@ -19,12 +19,22 @@ fn main() {
         ];
         let reports: Vec<_> = nuts
             .iter()
-            .map(|nut| (nut.label.clone(), run_pattern(nut, Pattern::Random, RATE, 0x00f1_6160)))
+            .map(|nut| {
+                (
+                    nut.label.clone(),
+                    run_pattern(nut, Pattern::Random, RATE, 0x00f1_6160),
+                )
+            })
             .collect();
 
         let mut t = Table::new(
             &format!("Figure 16 ({pes} PEs, RANDOM @8%): % of packets per latency bucket"),
-            &["Latency bucket (cycles)", &reports[0].0, &reports[1].0, &reports[2].0],
+            &[
+                "Latency bucket (cycles)",
+                &reports[0].0,
+                &reports[1].0,
+                &reports[2].0,
+            ],
         );
         let mut buckets: Vec<(u64, u64)> = Vec::new();
         for (_, r) in &reports {
@@ -57,15 +67,28 @@ fn main() {
 
         let mut w = Table::new(
             &format!("Figure 16 tails ({pes} PEs): worst-case latency"),
-            &["Config", "Worst (cycles)", "p99 (cycles)", "Hoplite worst / this"],
+            &[
+                "Config",
+                "Worst (cycles)",
+                "p99 (cycles)",
+                "Hoplite worst / this",
+            ],
         );
         let hoplite_worst = reports.last().unwrap().1.worst_latency();
         for (label, r) in &reports {
             w.add_row(vec![
                 label.clone(),
                 r.worst_latency().to_string(),
-                r.stats.total_latency.histogram().percentile(99.0).unwrap_or(0).to_string(),
-                format!("{:.1}x", hoplite_worst as f64 / r.worst_latency().max(1) as f64),
+                r.stats
+                    .total_latency
+                    .histogram()
+                    .percentile(99.0)
+                    .unwrap_or(0)
+                    .to_string(),
+                format!(
+                    "{:.1}x",
+                    hoplite_worst as f64 / r.worst_latency().max(1) as f64
+                ),
             ]);
         }
         w.emit(&format!("fig16_worst_case_{pes}pe"));

@@ -16,16 +16,31 @@ fn main() {
             &["D", "R=1 rate", "R=D rate"],
         );
         // D = 0 row: baseline Hoplite for reference.
-        let hoplite = run_pattern(&NocUnderTest::hoplite(n), Pattern::Random, RATE, 0x00f1_6170);
+        let hoplite = run_pattern(
+            &NocUnderTest::hoplite(n),
+            Pattern::Random,
+            RATE,
+            0x00f1_6170,
+        );
         t.add_row(vec![
             "0 (Hoplite)".into(),
             format!("{:.4}", hoplite.sustained_rate_per_pe()),
             format!("{:.4}", hoplite.sustained_rate_per_pe()),
         ]);
         for d in 1..=max_d {
-            let full = run_pattern(&NocUnderTest::fasttrack(n, d, 1), Pattern::Random, RATE, 0x00f1_6170);
+            let full = run_pattern(
+                &NocUnderTest::fasttrack(n, d, 1),
+                Pattern::Random,
+                RATE,
+                0x00f1_6170,
+            );
             let depop = if n % d == 0 {
-                let r = run_pattern(&NocUnderTest::fasttrack(n, d, d), Pattern::Random, RATE, 0x00f1_6170);
+                let r = run_pattern(
+                    &NocUnderTest::fasttrack(n, d, d),
+                    Pattern::Random,
+                    RATE,
+                    0x00f1_6170,
+                );
                 format!("{:.4}", r.sustained_rate_per_pe())
             } else {
                 // R must tile the ring; mark non-tiling depopulations.

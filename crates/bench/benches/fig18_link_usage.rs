@@ -20,7 +20,12 @@ fn main() {
     ];
     let reports: Vec<_> = nuts
         .iter()
-        .map(|nut| (nut.label.clone(), run_pattern(nut, Pattern::Random, RATE, 0x00f1_6180)))
+        .map(|nut| {
+            (
+                nut.label.clone(),
+                run_pattern(nut, Pattern::Random, RATE, 0x00f1_6180),
+            )
+        })
         .collect();
 
     let mut a = Table::new(

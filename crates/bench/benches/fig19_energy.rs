@@ -24,7 +24,14 @@ fn main() {
     ];
     let mut t = Table::new(
         "Figure 19: throughput vs energy, 64 PE RANDOM (256b, 1K pkts/PE)",
-        &["Config", "MHz", "Rate (pkt/cyc)", "Throughput (Mpkt/s)", "Energy (mJ)", "Rel. energy"],
+        &[
+            "Config",
+            "MHz",
+            "Rate (pkt/cyc)",
+            "Throughput (Mpkt/s)",
+            "Energy (mJ)",
+            "Rel. energy",
+        ],
     );
     let mut base_energy = None;
     for nut in &nuts {

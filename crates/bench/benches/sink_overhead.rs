@@ -1,0 +1,72 @@
+//! Measures the cost of the event-tracing hooks.
+//!
+//! The `null_sink` case runs the engine through the generic
+//! `step_with_sink` entry with the statically-disabled [`NullSink`] —
+//! every emission site is guarded by `S::ENABLED`, so this must match
+//! the untraced `step` path (the acceptance bar is within 5% of the
+//! pre-tracing engine; the two compile to the same code). The other
+//! cases quantify what attaching real sinks costs: windowed metric
+//! aggregation, and full event capture into a vector.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fasttrack_core::metrics::WindowedMetrics;
+use fasttrack_core::prelude::*;
+use fasttrack_traffic::pattern::Pattern;
+use fasttrack_traffic::source::BernoulliSource;
+
+const CYCLES: u64 = 200;
+const NODES: usize = 64;
+
+fn run_cycles<S: EventSink>(cfg: &NocConfig, sink: &mut S) -> u64 {
+    let mut noc = Noc::new(cfg.clone());
+    let mut source = BernoulliSource::new(8, Pattern::Random, 1.0, 1000, 99);
+    let mut queues = InjectQueues::new(NODES);
+    let mut deliveries = Vec::new();
+    for cycle in 0..CYCLES {
+        source.pump(cycle, &mut queues);
+        deliveries.clear();
+        noc.step_with_sink(&mut queues, &mut deliveries, None, sink);
+    }
+    noc.stats().delivered
+}
+
+fn sink_overhead(c: &mut Criterion) {
+    let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+    let mut group = c.benchmark_group("sink_overhead");
+    group.throughput(Throughput::Elements(CYCLES * NODES as u64));
+    group.bench_function("engine/untraced_step", |b| {
+        b.iter(|| {
+            let mut noc = Noc::new(cfg.clone());
+            let mut source = BernoulliSource::new(8, Pattern::Random, 1.0, 1000, 99);
+            let mut queues = InjectQueues::new(NODES);
+            let mut deliveries = Vec::new();
+            for cycle in 0..CYCLES {
+                source.pump(cycle, &mut queues);
+                deliveries.clear();
+                noc.step(&mut queues, &mut deliveries, None);
+            }
+            noc.stats().delivered
+        })
+    });
+    group.bench_function("engine/null_sink", |b| {
+        b.iter(|| run_cycles(black_box(&cfg), &mut NullSink))
+    });
+    group.bench_function("engine/windowed_metrics", |b| {
+        b.iter(|| {
+            let mut metrics = WindowedMetrics::new(NODES, 64);
+            let delivered = run_cycles(black_box(&cfg), &mut metrics);
+            (delivered, metrics.epochs().len())
+        })
+    });
+    group.bench_function("engine/vec_sink", |b| {
+        b.iter(|| {
+            let mut sink = VecSink::new();
+            let delivered = run_cycles(black_box(&cfg), &mut sink);
+            (delivered, sink.events.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sink_overhead);
+criterion_main!(benches);

@@ -11,14 +11,25 @@ use fasttrack_fpga::resources::router_cost;
 fn main() {
     let mut t = Table::new(
         "Table I: 32b NoC router costs on FPGAs",
-        &["Router", "Device", "LUTs", "FFs", "Period (ns)", "Peak BW (pkt/ns)"],
+        &[
+            "Router",
+            "Device",
+            "LUTs",
+            "FFs",
+            "Period (ns)",
+            "Peak BW (pkt/ns)",
+        ],
     );
     for r in TABLE1 {
         t.add_row(vec![
             r.name.to_string(),
             r.device.to_string(),
             r.luts.to_string(),
-            if r.ffs == 0 { "-".into() } else { r.ffs.to_string() },
+            if r.ffs == 0 {
+                "-".into()
+            } else {
+                r.ffs.to_string()
+            },
             format!("{:.1}", r.period_ns),
             format!("{:.2}", r.peak_bandwidth_pkts_per_ns()),
         ]);
@@ -30,16 +41,36 @@ fn main() {
         &["Router variant", "LUTs", "FFs"],
     );
     let rows = [
-        ("Hoplite (model)", router_cost(RouterClass::HOPLITE, None, 32)),
-        ("FT Full (model)", router_cost(RouterClass::FULL, Some(FtPolicy::Full), 32)),
-        ("FTlite Inject (model)", router_cost(RouterClass::FULL, Some(FtPolicy::Inject), 32)),
+        (
+            "Hoplite (model)",
+            router_cost(RouterClass::HOPLITE, None, 32),
+        ),
+        (
+            "FT Full (model)",
+            router_cost(RouterClass::FULL, Some(FtPolicy::Full), 32),
+        ),
+        (
+            "FTlite Inject (model)",
+            router_cost(RouterClass::FULL, Some(FtPolicy::Inject), 32),
+        ),
         (
             "FTlite depopulated (model)",
-            router_cost(RouterClass { x_express: true, y_express: false }, Some(FtPolicy::Full), 32),
+            router_cost(
+                RouterClass {
+                    x_express: true,
+                    y_express: false,
+                },
+                Some(FtPolicy::Full),
+                32,
+            ),
         ),
     ];
     for (name, c) in rows {
-        m.add_row(vec![name.to_string(), c.luts.to_string(), c.ffs.to_string()]);
+        m.add_row(vec![
+            name.to_string(),
+            c.luts.to_string(),
+            c.ffs.to_string(),
+        ]);
     }
     m.emit("table1_model_costs");
 }

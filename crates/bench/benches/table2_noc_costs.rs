@@ -24,7 +24,15 @@ fn main() {
 
     let mut t = Table::new(
         "Table II: 8x8 NoC (256b) on Virtex-7 485T -2",
-        &["Config", "LUTs", "FFs", "MHz", "Power (W)", "LUT ratio", "Power ratio"],
+        &[
+            "Config",
+            "LUTs",
+            "FFs",
+            "MHz",
+            "Power (W)",
+            "LUT ratio",
+            "Power ratio",
+        ],
     );
     for cfg in &configs {
         let cost = noc_cost(cfg, width);

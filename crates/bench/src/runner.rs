@@ -2,9 +2,13 @@
 //! sweeps, and workload speedup measurement.
 
 use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_core::export::{epochs_to_csv, NdjsonSink};
+use fasttrack_core::metrics::WindowedMetrics;
 use fasttrack_core::sim::{
-    simulate, simulate_multichannel, SimOptions, SimReport, TrafficSource,
+    simulate, simulate_multichannel, simulate_multichannel_traced, simulate_traced, SimOptions,
+    SimReport, TrafficSource,
 };
+use fasttrack_core::trace::EventSink;
 use fasttrack_traffic::pattern::Pattern;
 use fasttrack_traffic::source::BernoulliSource;
 
@@ -20,7 +24,9 @@ pub fn packets_per_pe() -> u64 {
 
 /// True when `FASTTRACK_QUICK=1` (reduced workloads for smoke testing).
 pub fn quick_mode() -> bool {
-    std::env::var("FASTTRACK_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("FASTTRACK_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The injection rates swept in Figures 11–13 (log-spaced 1%..100%).
@@ -60,7 +66,11 @@ impl NocUnderTest {
     /// FastTrack `FT(n², d, r)` with the Full lane policy.
     pub fn fasttrack(n: u16, d: u16, r: u16) -> Self {
         let config = NocConfig::fasttrack(n, d, r, FtPolicy::Full).expect("valid config");
-        NocUnderTest { label: config.name(), config, channels: 1 }
+        NocUnderTest {
+            label: config.name(),
+            config,
+            channels: 1,
+        }
     }
 
     /// The FastTrack candidates evaluated as "best FastTrack
@@ -78,7 +88,11 @@ impl NocUnderTest {
     /// FastTrack with the FTlite (Inject) policy.
     pub fn fasttrack_inject(n: u16, d: u16, r: u16) -> Self {
         let config = NocConfig::fasttrack(n, d, r, FtPolicy::Inject).expect("valid config");
-        NocUnderTest { label: format!("{} lite", config.name()), config, channels: 1 }
+        NocUnderTest {
+            label: format!("{} lite", config.name()),
+            config,
+            channels: 1,
+        }
     }
 
     /// Runs a traffic source to completion on this NoC.
@@ -89,7 +103,50 @@ impl NocUnderTest {
             simulate_multichannel(&self.config, self.channels, source, opts)
         }
     }
+
+    /// [`NocUnderTest::run`] with an [`EventSink`] observing the run.
+    pub fn run_traced<S: TrafficSource, K: EventSink>(
+        &self,
+        source: &mut S,
+        opts: SimOptions,
+        sink: &mut K,
+    ) -> SimReport {
+        if self.channels == 1 {
+            simulate_traced(&self.config, source, opts, sink)
+        } else {
+            simulate_multichannel_traced(&self.config, self.channels, source, opts, sink)
+        }
+    }
 }
+
+/// The directory experiment runs export traces into, from the
+/// `FASTTRACK_TRACE_DIR` environment variable (unset = no tracing; the
+/// benches then run the zero-overhead untraced engine).
+pub fn trace_dir() -> Option<String> {
+    std::env::var("FASTTRACK_TRACE_DIR")
+        .ok()
+        .filter(|v| !v.is_empty())
+}
+
+/// Flattens an experiment label into a filename stem (alphanumerics
+/// kept, everything else collapsed to `-`).
+fn sanitize(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut gap = false;
+    for ch in label.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '.' {
+            out.push(ch.to_ascii_lowercase());
+            gap = false;
+        } else if !gap && !out.is_empty() {
+            out.push('-');
+            gap = true;
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
+
+/// Epoch length used for exported per-run metric series.
+const TRACE_EPOCH: u64 = 64;
 
 /// Maps `f` over `items` on one OS thread per item batch, preserving
 /// order. Every simulation run is independent and seeded, so sweeps
@@ -101,7 +158,9 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(4);
     let n = items.len();
     let chunk = n.div_ceil(threads.max(1)).max(1);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -127,20 +186,67 @@ where
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
 }
 
 /// Runs one synthetic-pattern point: `pattern` at `rate`, the standard
-/// packets-per-PE quota, on `nut`.
+/// packets-per-PE quota, on `nut`. When [`trace_dir`] is set the run is
+/// additionally exported as an NDJSON event log and a per-epoch CSV.
 pub fn run_pattern(nut: &NocUnderTest, pattern: Pattern, rate: f64, seed: u64) -> SimReport {
+    match trace_dir() {
+        None => {
+            let n = nut.config.n();
+            let mut source = BernoulliSource::new(n, pattern, rate, packets_per_pe(), seed);
+            nut.run(&mut source, SimOptions::default())
+        }
+        Some(dir) => run_pattern_traced_to(&dir, nut, pattern, rate, seed),
+    }
+}
+
+/// [`run_pattern`] with trace export forced into `dir`, writing
+/// `<label>_<pattern>_<rate>_<seed>.events.ndjson` and
+/// `...epochs.csv`. Export failures are reported on stderr but never
+/// fail the experiment.
+pub fn run_pattern_traced_to(
+    dir: &str,
+    nut: &NocUnderTest,
+    pattern: Pattern,
+    rate: f64,
+    seed: u64,
+) -> SimReport {
     let n = nut.config.n();
+    let nodes = nut.config.num_nodes();
     let mut source = BernoulliSource::new(n, pattern, rate, packets_per_pe(), seed);
-    nut.run(&mut source, SimOptions::default())
+    let mut sink = (NdjsonSink::new(), WindowedMetrics::new(nodes, TRACE_EPOCH));
+    let report = nut.run_traced(&mut source, SimOptions::default(), &mut sink);
+    let (ndjson, metrics) = sink;
+    let stem = format!(
+        "{dir}/{}_{}_{rate}_{seed}",
+        sanitize(&nut.label),
+        sanitize(&pattern.to_string())
+    );
+    let write = |path: String, data: &str| {
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, data)) {
+            eprintln!("warning: trace export {path} failed: {e}");
+        }
+    };
+    write(format!("{stem}.events.ndjson"), ndjson.as_str());
+    write(
+        format!("{stem}.epochs.csv"),
+        &epochs_to_csv(&metrics.finish(), nodes),
+    );
+    report
 }
 
 /// Speedup of `fast` over `slow` by workload completion time.
 pub fn speedup(slow: &SimReport, fast: &SimReport) -> f64 {
-    assert!(!slow.truncated && !fast.truncated, "cannot compare truncated runs");
+    assert!(
+        !slow.truncated && !fast.truncated,
+        "cannot compare truncated runs"
+    );
     slow.cycles as f64 / fast.cycles as f64
 }
 
@@ -156,7 +262,9 @@ mod tests {
         assert_eq!(NocUnderTest::hoplite(8).label, "Hoplite");
         assert_eq!(NocUnderTest::hoplite_x(8, 3).label, "Hoplite-3x");
         assert_eq!(NocUnderTest::fasttrack(8, 2, 1).label, "FT(64,2,1)");
-        assert!(NocUnderTest::fasttrack_inject(8, 2, 1).label.contains("lite"));
+        assert!(NocUnderTest::fasttrack_inject(8, 2, 1)
+            .label
+            .contains("lite"));
     }
 
     #[test]
@@ -189,6 +297,30 @@ mod tests {
     fn ladder_covers_paper_sizes() {
         assert_eq!(PE_LADDER[0], (4, 2));
         assert_eq!(PE_LADDER[3], (256, 16));
+    }
+
+    #[test]
+    fn sanitize_flattens_labels() {
+        assert_eq!(sanitize("FT(64,2,1)"), "ft-64-2-1");
+        assert_eq!(sanitize("Hoplite-3x"), "hoplite-3x");
+        assert_eq!(sanitize("local:2"), "local-2");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_exports_files() {
+        let dir = std::env::temp_dir().join("fasttrack_bench_trace_test");
+        let dir_s = dir.display().to_string();
+        let nut = NocUnderTest::fasttrack(4, 2, 1);
+        let plain = run_pattern(&nut, Pattern::Random, 0.3, 11);
+        let traced = run_pattern_traced_to(&dir_s, &nut, Pattern::Random, 0.3, 11);
+        // Observation must not perturb the simulation.
+        assert_eq!(plain.stats.delivered, traced.stats.delivered);
+        assert_eq!(plain.cycles, traced.cycles);
+        let stem = dir.join("ft-16-2-1_random_0.3_11");
+        let nd = std::fs::read_to_string(format!("{}.events.ndjson", stem.display())).unwrap();
+        assert!(nd.lines().count() > 0);
+        let csv = std::fs::read_to_string(format!("{}.epochs.csv", stem.display())).unwrap();
+        assert!(csv.starts_with("epoch,"));
     }
 
     #[test]

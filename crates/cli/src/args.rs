@@ -55,7 +55,9 @@ impl Flags {
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedPositional(arg));
             };
-            let value = iter.next().ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
             values.insert(name.to_string(), value);
         }
         Ok(Flags { values })
@@ -67,7 +69,10 @@ impl Flags {
     ///
     /// Returns [`ArgError::MissingFlag`] when absent.
     pub fn required(&self, flag: &'static str) -> Result<&str, ArgError> {
-        self.values.get(flag).map(String::as_str).ok_or(ArgError::MissingFlag(flag))
+        self.values
+            .get(flag)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingFlag(flag))
     }
 
     /// An optional string flag.
@@ -123,12 +128,17 @@ mod tests {
             f.numeric::<f64>("rate", 1.0),
             Err(ArgError::BadValue { .. })
         ));
-        assert!(matches!(f.required("noc"), Err(ArgError::MissingFlag("noc"))));
+        assert!(matches!(
+            f.required("noc"),
+            Err(ArgError::MissingFlag("noc"))
+        ));
     }
 
     #[test]
     fn error_messages() {
         assert!(ArgError::MissingFlag("noc").to_string().contains("--noc"));
-        assert!(ArgError::MissingValue("--x".into()).to_string().contains("needs a value"));
+        assert!(ArgError::MissingValue("--x".into())
+            .to_string()
+            .contains("needs a value"));
     }
 }

@@ -1,7 +1,12 @@
 //! CLI subcommand implementations. Each returns its report as a string
 //! so the logic is unit-testable; `main` only prints.
 
-use fasttrack_core::sim::{simulate, simulate_multichannel, SimOptions, SimReport};
+use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
+use fasttrack_core::metrics::WindowedMetrics;
+use fasttrack_core::sim::{
+    simulate, simulate_multichannel, simulate_traced, SimOptions, SimReport,
+};
 use fasttrack_fpga::device::Device;
 use fasttrack_fpga::power::PowerModel;
 use fasttrack_fpga::resources::noc_cost;
@@ -63,16 +68,25 @@ USAGE:
   fasttrack sweep    --noc <spec> [--pattern <p>] [--packets <n>] [--seed <s>]
   fasttrack cost     --noc <spec> [--width <bits>] [--channels <k>]
   fasttrack trace    --noc <spec> --file <path>
+  fasttrack trace    [--topology hoplite|ft|ftlite] [--n <n>] [--d <d>] [--r <r>]
+                     [--pattern <p>] [--rate <r>] [--packets <n>] [--seed <s>]
+                     [--epoch <cycles>] [--out <prefix>]
   fasttrack help
 
 SPECS:
   NoC:     hoplite:<n> | ft:<n>:<d>:<r> | ftlite:<n>:<d>:<r>
   Pattern: random | bitcompl | transpose | tornado | local:<radius>
 
+TRACE OUTPUTS (synthetic-traffic mode):
+  <prefix>.events.ndjson  one JSON object per engine event
+  <prefix>.epochs.csv     per-epoch throughput/latency/deflection series
+  <prefix>.chrome.json    Chrome trace-event JSON (chrome://tracing, Perfetto)
+
 EXAMPLES:
   fasttrack simulate --noc ft:8:2:1 --pattern random --rate 0.5
   fasttrack cost --noc ft:8:2:1 --width 256
   fasttrack sweep --noc hoplite:8 --pattern bitcompl
+  fasttrack trace --topology ft --n 8 --d 2 --r 2 --pattern random --rate 0.2
 ";
 
 fn render_report(report: &SimReport) -> String {
@@ -85,12 +99,21 @@ fn render_report(report: &SimReport) -> String {
         report.cycles,
         report.sustained_rate_per_pe(),
         report.avg_latency(),
-        report.stats.total_latency.histogram().percentile(99.0).unwrap_or(0),
+        report
+            .stats
+            .total_latency
+            .histogram()
+            .percentile(99.0)
+            .unwrap_or(0),
         report.worst_latency(),
         report.stats.ports.total_deflections(),
         report.stats.link_usage.short_hops,
         report.stats.link_usage.express_hops,
-        if report.truncated { "\n  WARNING: truncated at max cycles" } else { "" },
+        if report.truncated {
+            "\n  WARNING: truncated at max cycles"
+        } else {
+            ""
+        },
     )
 }
 
@@ -117,7 +140,10 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
     let packets: u64 = flags.numeric("packets", 1000)?;
     let seed: u64 = flags.numeric("seed", 1)?;
-    let mut out = format!("{} / {pattern}\nrate    sustained  avg-lat   worst\n", cfg.name());
+    let mut out = format!(
+        "{} / {pattern}\nrate    sustained  avg-lat   worst\n",
+        cfg.name()
+    );
     for rate in [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0] {
         let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
         let r = simulate(&cfg, &mut src, SimOptions::default());
@@ -156,8 +182,18 @@ pub fn cmd_cost(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `trace` — replay a text trace file.
+/// `trace` — replay a text trace file (`--file`), or run synthetic
+/// traffic with the observability stack attached, exporting an NDJSON
+/// event log, a per-epoch CSV, and a Chrome trace-event JSON.
 pub fn cmd_trace(flags: &Flags) -> Result<String, CliError> {
+    if flags.optional("file").is_some() {
+        cmd_trace_replay(flags)
+    } else {
+        cmd_trace_export(flags)
+    }
+}
+
+fn cmd_trace_replay(flags: &Flags) -> Result<String, CliError> {
     let cfg = parse_noc(flags.required("noc")?)?;
     let path = flags.required("file")?;
     let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
@@ -165,6 +201,88 @@ pub fn cmd_trace(flags: &Flags) -> Result<String, CliError> {
         trace_source_from_text(&text, cfg.n()).map_err(|e| CliError::Other(e.to_string()))?;
     let report = simulate(&cfg, &mut src, SimOptions::default());
     Ok(render_report(&report))
+}
+
+/// Resolves the traced NoC from either `--noc <spec>` or the long-form
+/// `--topology/--n/--d/--r` flags.
+fn trace_config(flags: &Flags) -> Result<NocConfig, CliError> {
+    if let Some(spec) = flags.optional("noc") {
+        return Ok(parse_noc(spec)?);
+    }
+    let topology = flags.optional("topology").unwrap_or("ft");
+    let n: u16 = flags.numeric("n", 8)?;
+    let cfg = match topology {
+        "hoplite" => NocConfig::hoplite(n),
+        "ft" | "ftlite" => {
+            let d: u16 = flags.numeric("d", 2)?;
+            let r: u16 = flags.numeric("r", 1)?;
+            let policy = if topology == "ft" {
+                FtPolicy::Full
+            } else {
+                FtPolicy::Inject
+            };
+            NocConfig::fasttrack(n, d, r, policy)
+        }
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown topology {other:?} (expected hoplite, ft, or ftlite)"
+            )))
+        }
+    };
+    cfg.map_err(|e| CliError::Spec(e.into()))
+}
+
+fn cmd_trace_export(flags: &Flags) -> Result<String, CliError> {
+    let cfg = trace_config(flags)?;
+    let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+    let rate: f64 = flags.numeric("rate", 0.1)?;
+    let packets: u64 = flags.numeric("packets", 200)?;
+    let seed: u64 = flags.numeric("seed", 1)?;
+    let epoch: u64 = flags.numeric("epoch", 64)?;
+    if epoch == 0 {
+        return Err(CliError::Other("--epoch must be positive".into()));
+    }
+    let prefix = flags.optional("out").unwrap_or("fasttrack_trace");
+
+    let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
+    let mut sink = (
+        NdjsonSink::new(),
+        ChromeTraceSink::new(cfg.n()),
+        WindowedMetrics::new(cfg.num_nodes(), epoch),
+    );
+    let report = simulate_traced(&cfg, &mut src, SimOptions::default(), &mut sink);
+    let (ndjson, chrome, metrics) = sink;
+
+    let steady = metrics.steady_state_epoch();
+    let suggested = metrics.suggested_warmup();
+    let epochs = metrics.finish();
+
+    let write = |path: &str, data: &str| {
+        std::fs::write(path, data).map_err(|e| CliError::Io(format!("{path}: {e}")))
+    };
+    let events_path = format!("{prefix}.events.ndjson");
+    let csv_path = format!("{prefix}.epochs.csv");
+    let chrome_path = format!("{prefix}.chrome.json");
+    write(&events_path, ndjson.as_str())?;
+    write(&csv_path, &epochs_to_csv(&epochs, cfg.num_nodes()))?;
+    write(&chrome_path, &chrome.finish())?;
+
+    let mut out = render_report(&report);
+    out.push_str(&format!(
+        "\n  events {} -> {events_path}\n  epochs {} x {epoch} cyc -> {csv_path}\n  \
+         chrome trace -> {chrome_path}\n",
+        ndjson.lines(),
+        epochs.len(),
+    ));
+    match (steady, suggested) {
+        (Some(e), Some(w)) => {
+            out.push_str(&format!(
+                "  steady state from epoch {e} (suggested warmup {w} cycles)\n"
+            ));
+        }
+        _ => out.push_str("  steady state not detected (run longer or shrink --epoch)\n"),
+    }
+    Ok(out)
 }
 
 /// Dispatches a full argument vector (without the program name).
@@ -233,13 +351,50 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.trace");
         std::fs::write(&path, "0 0 5\n3 1 6\n").unwrap();
-        let out = run(argv(&format!("trace --noc hoplite:4 --file {}", path.display()))).unwrap();
+        let out = run(argv(&format!(
+            "trace --noc hoplite:4 --file {}",
+            path.display()
+        )))
+        .unwrap();
         assert!(out.contains("2 delivered"));
     }
 
     #[test]
+    fn trace_exports_synthetic_run() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_trace_export");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("t").display().to_string();
+        let out = run(argv(&format!(
+            "trace --topology ft --n 8 --d 2 --r 2 --pattern random --rate 0.2 \
+             --packets 20 --out {prefix}"
+        )))
+        .unwrap();
+        assert!(out.contains("FT(64,2,2)"));
+        assert!(out.contains(".events.ndjson"));
+        let nd = std::fs::read_to_string(format!("{prefix}.events.ndjson")).unwrap();
+        assert!(!nd.is_empty());
+        assert!(nd.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let csv = std::fs::read_to_string(format!("{prefix}.epochs.csv")).unwrap();
+        assert!(csv.starts_with("epoch,"));
+        assert!(csv.lines().count() >= 2);
+        let chrome = std::fs::read_to_string(format!("{prefix}.chrome.json")).unwrap();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn trace_rejects_unknown_topology() {
+        assert!(matches!(
+            run(argv("trace --topology ring --n 4")),
+            Err(CliError::Other(_))
+        ));
+    }
+
+    #[test]
     fn errors_are_reported() {
-        assert!(matches!(run(argv("bogus")), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(
+            run(argv("bogus")),
+            Err(CliError::UnknownCommand(_))
+        ));
         assert!(matches!(run(argv("simulate")), Err(CliError::Args(_))));
         assert!(matches!(
             run(argv("simulate --noc mesh:4")),

@@ -30,7 +30,11 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::UnknownKind(k) => write!(f, "unknown spec kind {k:?}"),
-            SpecError::BadArity { kind, expected, found } => {
+            SpecError::BadArity {
+                kind,
+                expected,
+                found,
+            } => {
                 write!(f, "{kind} spec needs {expected} field(s), found {found}")
             }
             SpecError::BadNumber(s) => write!(f, "invalid number {s:?}"),
@@ -65,16 +69,33 @@ pub fn parse_noc(spec: &str) -> Result<NocConfig, SpecError> {
     match fields[0] {
         "hoplite" => {
             if fields.len() != 2 {
-                return Err(SpecError::BadArity { kind: "hoplite", expected: 1, found: fields.len() - 1 });
+                return Err(SpecError::BadArity {
+                    kind: "hoplite",
+                    expected: 1,
+                    found: fields.len() - 1,
+                });
             }
             Ok(NocConfig::hoplite(num(fields[1])?)?)
         }
         "ft" | "ftlite" => {
             if fields.len() != 4 {
-                return Err(SpecError::BadArity { kind: "ft", expected: 3, found: fields.len() - 1 });
+                return Err(SpecError::BadArity {
+                    kind: "ft",
+                    expected: 3,
+                    found: fields.len() - 1,
+                });
             }
-            let policy = if fields[0] == "ft" { FtPolicy::Full } else { FtPolicy::Inject };
-            Ok(NocConfig::fasttrack(num(fields[1])?, num(fields[2])?, num(fields[3])?, policy)?)
+            let policy = if fields[0] == "ft" {
+                FtPolicy::Full
+            } else {
+                FtPolicy::Inject
+            };
+            Ok(NocConfig::fasttrack(
+                num(fields[1])?,
+                num(fields[2])?,
+                num(fields[3])?,
+                policy,
+            )?)
         }
         other => Err(SpecError::UnknownKind(other.to_string())),
     }
@@ -95,9 +116,15 @@ pub fn parse_pattern(spec: &str) -> Result<Pattern, SpecError> {
         "tornado" => Ok(Pattern::Tornado),
         "local" => {
             if fields.len() != 2 {
-                return Err(SpecError::BadArity { kind: "local", expected: 1, found: fields.len() - 1 });
+                return Err(SpecError::BadArity {
+                    kind: "local",
+                    expected: 1,
+                    found: fields.len() - 1,
+                });
             }
-            Ok(Pattern::Local { radius: num(fields[1])? })
+            Ok(Pattern::Local {
+                radius: num(fields[1])?,
+            })
         }
         other => Err(SpecError::UnknownKind(other.to_string())),
     }
@@ -117,20 +144,41 @@ mod tests {
 
     #[test]
     fn rejects_bad_noc_specs() {
-        assert!(matches!(parse_noc("mesh:4"), Err(SpecError::UnknownKind(_))));
-        assert!(matches!(parse_noc("hoplite"), Err(SpecError::BadArity { .. })));
-        assert!(matches!(parse_noc("ft:8:2"), Err(SpecError::BadArity { .. })));
-        assert!(matches!(parse_noc("ft:8:x:1"), Err(SpecError::BadNumber(_))));
+        assert!(matches!(
+            parse_noc("mesh:4"),
+            Err(SpecError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            parse_noc("hoplite"),
+            Err(SpecError::BadArity { .. })
+        ));
+        assert!(matches!(
+            parse_noc("ft:8:2"),
+            Err(SpecError::BadArity { .. })
+        ));
+        assert!(matches!(
+            parse_noc("ft:8:x:1"),
+            Err(SpecError::BadNumber(_))
+        ));
         assert!(matches!(parse_noc("ft:8:5:1"), Err(SpecError::Invalid(_))));
     }
 
     #[test]
     fn parses_patterns() {
         assert_eq!(parse_pattern("random").unwrap(), Pattern::Random);
-        assert_eq!(parse_pattern("local:2").unwrap(), Pattern::Local { radius: 2 });
+        assert_eq!(
+            parse_pattern("local:2").unwrap(),
+            Pattern::Local { radius: 2 }
+        );
         assert_eq!(parse_pattern("transpose").unwrap(), Pattern::Transpose);
-        assert!(matches!(parse_pattern("weird"), Err(SpecError::UnknownKind(_))));
-        assert!(matches!(parse_pattern("local"), Err(SpecError::BadArity { .. })));
+        assert!(matches!(
+            parse_pattern("weird"),
+            Err(SpecError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            parse_pattern("local"),
+            Err(SpecError::BadArity { .. })
+        ));
     }
 
     #[test]

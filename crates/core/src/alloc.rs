@@ -110,7 +110,10 @@ pub fn allocate(inputs: &[RoutePrefs], available: OutSet, exit: ExitPolicy) -> A
         // The feasibility invariant guarantees a choice exists; a failure
         // here means the connectivity tables violate Hall's condition.
         let p = chosen.unwrap_or_else(|| {
-            panic!("allocator stranded an in-flight packet: prefs {:?}, free {free:#07b}", prefs.ports())
+            panic!(
+                "allocator stranded an in-flight packet: prefs {:?}, free {free:#07b}",
+                prefs.ports()
+            )
         });
         free &= !slot_bit(p, exit);
         assignment[i] = Some(p);
@@ -239,10 +242,13 @@ mod tests {
         let ports: Vec<_> = a.iter().flatten().copied().collect();
         assert_eq!(ports.len(), 4);
         assert_eq!(a[0], Some(OutPort::SouthSh)); // highest priority turn wins
-        // N_sh can only use S_sh/E_sh; S_sh is gone, so it must get E_sh.
+                                                  // N_sh can only use S_sh/E_sh; S_sh is gone, so it must get E_sh.
         assert_eq!(a[3], Some(OutPort::EastSh));
         // Which forces N_ex off E_sh onto an express deflection.
-        assert!(matches!(a[1], Some(OutPort::EastEx) | Some(OutPort::SouthEx)));
+        assert!(matches!(
+            a[1],
+            Some(OutPort::EastEx) | Some(OutPort::SouthEx)
+        ));
     }
 
     #[test]
@@ -276,7 +282,12 @@ mod tests {
         );
         // Dedicated exit: south is still free.
         assert_eq!(
-            try_inject(&pe, class.available_outputs(), &[OutPort::Exit], ExitPolicy::Dedicated),
+            try_inject(
+                &pe,
+                class.available_outputs(),
+                &[OutPort::Exit],
+                ExitPolicy::Dedicated
+            ),
             Some(OutPort::SouthSh)
         );
     }
@@ -289,7 +300,9 @@ mod tests {
         let class = RouterClass::FULL;
         let at = Coord::new(2, 2);
         let n = cfg.n();
-        let dsts: Vec<Coord> = (0..n).flat_map(|x| (0..n).map(move |y| Coord::new(x, y))).collect();
+        let dsts: Vec<Coord> = (0..n)
+            .flat_map(|x| (0..n).map(move |y| Coord::new(x, y)))
+            .collect();
         // Sample a grid of destination combinations (full cross product of
         // 64^4 is too large; stride the space).
         let stride = 7;

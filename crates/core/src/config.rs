@@ -72,7 +72,10 @@ pub struct LinkPipeline {
 
 impl LinkPipeline {
     /// No extra registers (the paper's default single-register links).
-    pub const NONE: LinkPipeline = LinkPipeline { short: 0, express: 0 };
+    pub const NONE: LinkPipeline = LinkPipeline {
+        short: 0,
+        express: 0,
+    };
 
     /// Cycles a short-link traversal takes.
     pub fn short_cycles(self) -> u16 {
@@ -128,13 +131,22 @@ impl fmt::Display for ConfigError {
                 write!(f, "system size n={n} too small, need n >= 2")
             }
             ConfigError::BadExpressLength { d, n } => {
-                write!(f, "express length d={d} invalid for n={n}, need 1 <= d <= n/2")
+                write!(
+                    f,
+                    "express length d={d} invalid for n={n}, need 1 <= d <= n/2"
+                )
             }
             ConfigError::BadDepopulation { d, r } => {
-                write!(f, "depopulation r={r} invalid for d={d}, need 1 <= r <= d and d % r == 0")
+                write!(
+                    f,
+                    "depopulation r={r} invalid for d={d}, need 1 <= r <= d and d % r == 0"
+                )
             }
             ConfigError::DepopulationDoesNotTile { n, r } => {
-                write!(f, "depopulation r={r} does not tile ring of size n={n} (n % r != 0)")
+                write!(
+                    f,
+                    "depopulation r={r} does not tile ring of size n={n} (n % r != 0)"
+                )
             }
         }
     }

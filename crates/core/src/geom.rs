@@ -43,7 +43,10 @@ impl Coord {
     ///
     /// Panics in debug builds if the coordinate lies outside the torus.
     pub fn to_node_id(self, n: u16) -> usize {
-        debug_assert!(self.x < n && self.y < n, "coord {self} outside {n}x{n} torus");
+        debug_assert!(
+            self.x < n && self.y < n,
+            "coord {self} outside {n}x{n} torus"
+        );
         self.y as usize * n as usize + self.x as usize
     }
 

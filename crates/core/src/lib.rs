@@ -48,7 +48,9 @@
 pub mod alloc;
 pub mod analysis;
 pub mod config;
+pub mod export;
 pub mod geom;
+pub mod metrics;
 pub mod multichannel;
 pub mod noc;
 pub mod packet;
@@ -60,17 +62,24 @@ pub mod router;
 pub mod routing;
 pub mod sim;
 pub mod stats;
+pub mod trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::config::{ConfigError, ExitPolicy, FtPolicy, LinkPipeline, NocConfig, NocKind};
+    pub use crate::export::{ChromeTraceSink, NdjsonSink};
     pub use crate::geom::Coord;
+    pub use crate::metrics::{EpochStats, WindowedMetrics};
     pub use crate::multichannel::MultiNoc;
     pub use crate::noc::Noc;
     pub use crate::packet::{Delivery, Packet, PacketId, PendingPacket};
     pub use crate::port::{InPort, OutPort};
     pub use crate::probe::{PathStep, Probe, TraceSelect};
     pub use crate::queue::InjectQueues;
-    pub use crate::sim::{simulate, simulate_multichannel, SimOptions, SimReport, TrafficSource};
+    pub use crate::sim::{
+        simulate, simulate_multichannel, simulate_multichannel_traced, simulate_traced, SimOptions,
+        SimReport, TrafficSource,
+    };
     pub use crate::stats::{Histogram, LatencyStats, LinkUsage, PortCounters, SimStats};
+    pub use crate::trace::{EventSink, NullSink, SimEvent, VecSink};
 }

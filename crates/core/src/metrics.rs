@@ -1,0 +1,475 @@
+//! Windowed (per-epoch) metrics over the event stream, plus an
+//! automatic steady-state detector.
+//!
+//! [`WindowedMetrics`] is an [`EventSink`] that folds the engine's event
+//! stream into fixed-length epochs: rolling throughput, latency
+//! mean/p50/p99, deflection rate, stall counts, and (optionally) a
+//! per-link utilization time series. Because it consumes the same
+//! events any exporter sees, it needs no engine support beyond
+//! [`crate::noc::Noc::step_with_sink`].
+//!
+//! The steady-state detector ([`WindowedMetrics::steady_state_epoch`])
+//! replaces hand-picked [`crate::sim::SimOptions::warmup_cycles`] for
+//! open-loop runs: it finds the first epoch from which the delivered
+//! rate stays inside a tolerance band around the run's tail rate, and
+//! [`WindowedMetrics::suggested_warmup`] converts that epoch back into
+//! a warmup cycle count.
+
+use crate::stats::Histogram;
+use crate::trace::{EventSink, SimEvent};
+
+/// Accumulated observations for one fixed-length window of cycles.
+#[derive(Debug, Clone, Default)]
+pub struct EpochStats {
+    /// First cycle of the epoch.
+    pub start_cycle: u64,
+    /// Cycles covered (the configured epoch length; the trailing partial
+    /// epoch reports fewer).
+    pub cycles: u64,
+    /// Packets injected into the NoC during the epoch.
+    pub injected: u64,
+    /// Packets delivered during the epoch.
+    pub delivered: u64,
+    /// Routing decisions made for in-flight packets.
+    pub decisions: u64,
+    /// Deflections among those decisions.
+    pub deflections: u64,
+    /// Express-link traversals.
+    pub express_hops: u64,
+    /// Cycles in which some PE wanted to inject but stalled.
+    pub stalls: u64,
+    /// Sum of end-to-end latencies of this epoch's deliveries.
+    latency_sum: u64,
+    /// End-to-end latency histogram of this epoch's deliveries.
+    latency: Histogram,
+    /// `link_usage[node][port]` assignments this epoch (present only
+    /// when link tracking is enabled).
+    pub link_usage: Vec<[u64; 5]>,
+}
+
+impl EpochStats {
+    /// Delivered packets per cycle per PE over this epoch.
+    pub fn throughput_per_pe(&self, nodes: usize) -> f64 {
+        if self.cycles == 0 || nodes == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.cycles as f64 / nodes as f64
+        }
+    }
+
+    /// Mean end-to-end latency of this epoch's deliveries.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered as f64
+        }
+    }
+
+    /// Median end-to-end latency (histogram-bucket upper bound).
+    pub fn p50_latency(&self) -> u64 {
+        self.latency.percentile(50.0).unwrap_or(0)
+    }
+
+    /// 99th-percentile end-to-end latency (histogram-bucket upper bound).
+    pub fn p99_latency(&self) -> u64 {
+        self.latency.percentile(99.0).unwrap_or(0)
+    }
+
+    /// Fraction of routing decisions that deflected.
+    pub fn deflection_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.deflections as f64 / self.decisions as f64
+        }
+    }
+
+    /// Utilization (0..=1) of output `port` at `node` over the epoch
+    /// (0 when link tracking is off).
+    pub fn link_utilization(&self, node: usize, port: usize) -> f64 {
+        if self.cycles == 0 || node >= self.link_usage.len() {
+            0.0
+        } else {
+            self.link_usage[node][port] as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// An [`EventSink`] that aggregates events into fixed-length epochs.
+#[derive(Debug, Clone)]
+pub struct WindowedMetrics {
+    epoch_len: u64,
+    nodes: usize,
+    track_links: bool,
+    completed: Vec<EpochStats>,
+    cur: EpochStats,
+    /// Epoch index of `cur`.
+    cur_index: u64,
+    /// One past the last cycle any event or cycle marker reached.
+    horizon: u64,
+    /// Cycle of the driver's warmup reset, if one was emitted.
+    warmup_reset_at: Option<u64>,
+    /// True if the driver reported a truncated run.
+    truncated: bool,
+}
+
+impl WindowedMetrics {
+    /// Metrics over `epoch_len`-cycle windows for a `nodes`-PE system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is 0.
+    pub fn new(nodes: usize, epoch_len: u64) -> Self {
+        assert!(epoch_len > 0, "epoch length must be positive");
+        WindowedMetrics {
+            epoch_len,
+            nodes,
+            track_links: false,
+            completed: Vec::new(),
+            cur: EpochStats::default(),
+            cur_index: 0,
+            horizon: 0,
+            warmup_reset_at: None,
+            truncated: false,
+        }
+    }
+
+    /// Enables the per-link utilization time series (a `[u64; 5]` per
+    /// node per epoch — sized for small diagnostic runs).
+    pub fn with_link_series(mut self) -> Self {
+        self.track_links = true;
+        self.cur.link_usage = vec![[0; 5]; self.nodes];
+        self
+    }
+
+    /// The configured epoch length in cycles.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// PEs in the observed system.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Completed epochs, in time order (the in-progress epoch is not
+    /// included; call [`WindowedMetrics::finish`] to flush it).
+    pub fn epochs(&self) -> &[EpochStats] {
+        &self.completed
+    }
+
+    /// Cycle of the driver's warmup reset, if one was observed.
+    pub fn warmup_reset_at(&self) -> Option<u64> {
+        self.warmup_reset_at
+    }
+
+    /// True if the driver reported hitting its cycle cap.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Flushes the trailing partial epoch (if it saw any cycles) and
+    /// returns all epochs.
+    pub fn finish(mut self) -> Vec<EpochStats> {
+        let partial_cycles = self.horizon.saturating_sub(self.cur_index * self.epoch_len);
+        if partial_cycles > 0 {
+            self.cur.start_cycle = self.cur_index * self.epoch_len;
+            self.cur.cycles = partial_cycles;
+            self.completed.push(self.cur);
+        }
+        self.completed
+    }
+
+    /// Rolls completed epochs forward so `cycle` lands in `cur`.
+    fn advance_to(&mut self, cycle: u64) {
+        self.horizon = self.horizon.max(cycle + 1);
+        while cycle >= (self.cur_index + 1) * self.epoch_len {
+            let link_usage = if self.track_links {
+                vec![[0; 5]; self.nodes]
+            } else {
+                Vec::new()
+            };
+            let mut done = std::mem::replace(
+                &mut self.cur,
+                EpochStats {
+                    link_usage,
+                    ..EpochStats::default()
+                },
+            );
+            done.start_cycle = self.cur_index * self.epoch_len;
+            done.cycles = self.epoch_len;
+            self.completed.push(done);
+            self.cur_index += 1;
+        }
+    }
+
+    /// Delivered-rate (per cycle per PE) of each completed epoch.
+    pub fn epoch_rates(&self) -> Vec<f64> {
+        self.completed
+            .iter()
+            .map(|e| e.throughput_per_pe(self.nodes))
+            .collect()
+    }
+
+    /// Aggregate delivered rate (per cycle per PE) from `epoch` onward,
+    /// i.e. the measurement that would result from treating everything
+    /// before `epoch` as warmup.
+    pub fn rate_after(&self, epoch: usize) -> f64 {
+        let tail = &self.completed[epoch.min(self.completed.len())..];
+        let cycles: u64 = tail.iter().map(|e| e.cycles).sum();
+        let delivered: u64 = tail.iter().map(|e| e.delivered).sum();
+        if cycles == 0 || self.nodes == 0 {
+            0.0
+        } else {
+            delivered as f64 / cycles as f64 / self.nodes as f64
+        }
+    }
+
+    /// Detects the epoch at which the delivered rate settles: the start
+    /// of the longest contiguous run of epochs whose rate stays within
+    /// `tolerance` (relative) of the median epoch rate. The median makes
+    /// the detector robust against both the warmup ramp and the drain
+    /// tail of a finite-packet run — neither pulls the reference rate
+    /// the way a mean would. Returns `None` when the run is too short
+    /// (< 4 epochs), idle, or never holds the band for more than a
+    /// single epoch.
+    pub fn steady_state_epoch_with_tolerance(&self, tolerance: f64) -> Option<usize> {
+        let rates = self.epoch_rates();
+        if rates.len() < 4 {
+            return None;
+        }
+        let mut sorted = rates.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        let mid = sorted.len() / 2;
+        let median = if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        };
+        if median <= 0.0 {
+            return None;
+        }
+        let within = |r: f64| (r - median).abs() <= tolerance * median;
+        // The steady region is the longest contiguous in-band run
+        // (earliest on ties); a single in-band epoch is not a plateau.
+        let mut best: Option<(usize, usize)> = None;
+        let mut i = 0;
+        while i < rates.len() {
+            if within(rates[i]) {
+                let start = i;
+                while i < rates.len() && within(rates[i]) {
+                    i += 1;
+                }
+                if best.is_none_or(|(_, len)| i - start > len) {
+                    best = Some((start, i - start));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        best.and_then(|(start, len)| (len >= 2).then_some(start))
+    }
+
+    /// [`WindowedMetrics::steady_state_epoch_with_tolerance`] at the
+    /// default 10% band.
+    pub fn steady_state_epoch(&self) -> Option<usize> {
+        self.steady_state_epoch_with_tolerance(0.10)
+    }
+
+    /// The warmup cycle count the steady-state detector suggests — the
+    /// start cycle of the detected steady epoch. A drop-in replacement
+    /// for hand-picking [`crate::sim::SimOptions::warmup_cycles`].
+    pub fn suggested_warmup(&self) -> Option<u64> {
+        self.steady_state_epoch()
+            .map(|e| self.completed[e].start_cycle)
+    }
+}
+
+impl EventSink for WindowedMetrics {
+    fn emit(&mut self, event: &SimEvent) {
+        self.advance_to(event.cycle());
+        match *event {
+            SimEvent::Inject { .. } => self.cur.injected += 1,
+            SimEvent::RouteDecision { node, out, .. } => {
+                self.cur.decisions += 1;
+                if self.track_links && node < self.cur.link_usage.len() {
+                    self.cur.link_usage[node][out.index()] += 1;
+                }
+            }
+            SimEvent::Deflect { .. } => self.cur.deflections += 1,
+            SimEvent::ExpressHop { .. } => self.cur.express_hops += 1,
+            SimEvent::Eject { delivery, .. } => {
+                self.cur.delivered += 1;
+                let lat = delivery.total_latency();
+                self.cur.latency_sum += lat;
+                self.cur.latency.record(lat);
+            }
+            SimEvent::QueueStall { .. } => self.cur.stalls += 1,
+            SimEvent::WarmupReset { cycle } => self.warmup_reset_at = Some(cycle),
+            SimEvent::Truncated { .. } => self.truncated = true,
+        }
+    }
+
+    fn end_cycle(&mut self, cycle: u64) {
+        // Idempotent per cycle: multi-channel banks call this once per
+        // channel with the same cycle number.
+        self.advance_to(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Coord;
+    use crate::packet::{Delivery, Packet, PacketId};
+
+    /// An eject at `cycle` whose delivery reports exactly `latency`
+    /// (enqueued at 0, consumed at `latency` — only the event cycle
+    /// drives epoch attribution).
+    fn eject_at(cycle: u64, latency: u64) -> SimEvent {
+        let packet = Packet::new(PacketId(0), Coord::new(0, 0), Coord::new(1, 0), 0, 0);
+        SimEvent::Eject {
+            cycle,
+            node: 1,
+            delivery: Delivery {
+                packet,
+                cycle: latency,
+            },
+        }
+    }
+
+    #[test]
+    fn epochs_roll_at_boundaries() {
+        let mut m = WindowedMetrics::new(4, 10);
+        m.emit(&eject_at(3, 2));
+        m.emit(&eject_at(9, 2));
+        m.emit(&eject_at(10, 2)); // rolls epoch 0
+        for c in 10..25 {
+            m.end_cycle(c);
+        }
+        assert_eq!(m.epochs().len(), 2);
+        assert_eq!(m.epochs()[0].delivered, 2);
+        assert_eq!(m.epochs()[0].start_cycle, 0);
+        assert_eq!(m.epochs()[0].cycles, 10);
+        assert_eq!(m.epochs()[1].delivered, 1);
+        let all = m.finish();
+        assert_eq!(all.len(), 3); // trailing partial epoch flushed
+        assert_eq!(all[2].cycles, 5);
+    }
+
+    #[test]
+    fn quiet_epochs_are_still_emitted() {
+        let mut m = WindowedMetrics::new(4, 5);
+        for c in 0..20 {
+            m.end_cycle(c);
+        }
+        assert_eq!(m.epochs().len(), 3);
+        assert!(m.epochs().iter().all(|e| e.delivered == 0));
+    }
+
+    #[test]
+    fn end_cycle_is_idempotent_per_cycle() {
+        let mut m = WindowedMetrics::new(4, 5);
+        for c in 0..10 {
+            for _channel in 0..3 {
+                m.end_cycle(c);
+            }
+        }
+        assert_eq!(m.epochs().len(), 1);
+        assert_eq!(m.finish().len(), 2);
+    }
+
+    #[test]
+    fn latency_and_deflection_rates() {
+        let mut m = WindowedMetrics::new(2, 100);
+        for _ in 0..3 {
+            m.emit(&SimEvent::RouteDecision {
+                cycle: 1,
+                node: 0,
+                packet: PacketId(0),
+                in_port: None,
+                out: crate::port::OutPort::EastSh,
+            });
+        }
+        m.emit(&SimEvent::Deflect {
+            cycle: 1,
+            node: 0,
+            packet: PacketId(0),
+            out: crate::port::OutPort::SouthSh,
+        });
+        m.emit(&eject_at(2, 10));
+        m.emit(&eject_at(3, 20));
+        let epochs = m.finish();
+        assert_eq!(epochs.len(), 1);
+        let e = &epochs[0];
+        assert!((e.mean_latency() - 15.0).abs() < 1e-9);
+        assert!(e.p50_latency() >= 10);
+        assert!(e.p99_latency() >= e.p50_latency());
+        assert!((e.deflection_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_series_tracks_port_usage() {
+        let mut m = WindowedMetrics::new(4, 10).with_link_series();
+        m.emit(&SimEvent::RouteDecision {
+            cycle: 0,
+            node: 2,
+            packet: PacketId(0),
+            in_port: None,
+            out: crate::port::OutPort::EastSh,
+        });
+        for c in 0..10 {
+            m.end_cycle(c);
+        }
+        let epochs = m.finish();
+        let e = &epochs[0];
+        assert!((e.link_utilization(2, crate::port::OutPort::EastSh.index()) - 0.1).abs() < 1e-9);
+        assert_eq!(e.link_utilization(3, 0), 0.0);
+    }
+
+    #[test]
+    fn steady_state_detects_ramp() {
+        let mut m = WindowedMetrics::new(1, 10);
+        // Epoch rates: 0, 0.1, then steady 0.5 for 10 epochs.
+        let mut cycle = 0;
+        for (epoch, &per_epoch) in [0u64, 1, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5].iter().enumerate() {
+            for i in 0..per_epoch {
+                m.emit(&eject_at(epoch as u64 * 10 + i, 1));
+            }
+            cycle = (epoch as u64 + 1) * 10;
+            m.end_cycle(cycle - 1);
+        }
+        let _ = cycle;
+        let steady = m.steady_state_epoch().expect("ramp should settle");
+        assert_eq!(steady, 2);
+        assert_eq!(m.suggested_warmup(), Some(20));
+        // Measuring after the detected epoch recovers the plateau rate.
+        assert!((m.rate_after(steady) - 0.5).abs() < 1e-9);
+        // Measuring from the start underestimates it.
+        assert!(m.rate_after(0) < 0.45);
+    }
+
+    #[test]
+    fn steady_state_needs_enough_epochs() {
+        let mut m = WindowedMetrics::new(1, 10);
+        m.emit(&eject_at(0, 1));
+        m.end_cycle(19);
+        assert_eq!(m.steady_state_epoch(), None);
+    }
+
+    #[test]
+    fn driver_markers_recorded() {
+        let mut m = WindowedMetrics::new(4, 10);
+        m.emit(&SimEvent::WarmupReset { cycle: 30 });
+        m.emit(&SimEvent::Truncated { cycle: 90 });
+        assert_eq!(m.warmup_reset_at(), Some(30));
+        assert!(m.truncated());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_epoch_rejected() {
+        WindowedMetrics::new(4, 0);
+    }
+}

@@ -14,8 +14,10 @@
 use crate::config::NocConfig;
 use crate::noc::{Noc, StepGates};
 use crate::packet::Delivery;
+use crate::probe::{Probe, TraceSelect};
 use crate::queue::InjectQueues;
 use crate::stats::SimStats;
+use crate::trace::{EventSink, NullSink};
 
 /// A bank of replicated NoC channels behind shared PE ports.
 #[derive(Debug, Clone)]
@@ -66,11 +68,26 @@ impl MultiNoc {
     /// Advances all channels by one cycle, enforcing the one-injection /
     /// one-delivery-per-PE rule across them.
     pub fn step(&mut self, queues: &mut InjectQueues, deliveries: &mut Vec<Delivery>) {
+        self.step_with_sink(queues, deliveries, &mut NullSink);
+    }
+
+    /// [`MultiNoc::step`] with an [`EventSink`] observing all channels.
+    /// The sink's [`EventSink::set_channel`] is called before each
+    /// channel's events so consumers can attribute them.
+    pub fn step_with_sink<S: EventSink>(
+        &mut self,
+        queues: &mut InjectQueues,
+        deliveries: &mut Vec<Delivery>,
+        sink: &mut S,
+    ) {
         self.gates.reset();
         let k = self.channels.len();
         for i in 0..k {
             let ch = (self.rotation + i) % k;
-            self.channels[ch].step(queues, deliveries, Some(&mut self.gates));
+            if S::ENABLED {
+                sink.set_channel(ch);
+            }
+            self.channels[ch].step_with_sink(queues, deliveries, Some(&mut self.gates), sink);
         }
         self.rotation = (self.rotation + 1) % k;
         self.cycle += 1;
@@ -95,6 +112,32 @@ impl MultiNoc {
         for ch in &mut self.channels {
             ch.reset_stats();
         }
+    }
+
+    /// Attaches a fresh probe to every channel (replacing existing ones).
+    pub fn attach_probes(&mut self, select: TraceSelect) {
+        let nodes = self.config().num_nodes();
+        for ch in &mut self.channels {
+            ch.attach_probe(Probe::with_tracing(nodes, select));
+        }
+    }
+
+    /// Per-channel probes, in channel order (empty if none attached).
+    pub fn channel_probes(&self) -> Vec<&Probe> {
+        self.channels.iter().filter_map(Noc::probe).collect()
+    }
+
+    /// Combines all channels' probes into one heatmap via
+    /// [`Probe::merge`] — the aggregate link load a floorplanner would
+    /// see across the replicated wiring. Returns `None` when no channel
+    /// carries a probe.
+    pub fn merged_probe(&self) -> Option<Probe> {
+        let mut probes = self.channels.iter().filter_map(Noc::probe);
+        let mut merged = probes.next()?.clone();
+        for p in probes {
+            merged.merge(p);
+        }
+        Some(merged)
     }
 }
 
@@ -145,7 +188,10 @@ mod tests {
         let per_channel: Vec<u64> = mnoc.channel_stats().iter().map(|s| s.injected).collect();
         // Rotation alternates the favored channel, so the split is even.
         assert_eq!(per_channel.iter().sum::<u64>(), 40);
-        assert!(per_channel.iter().all(|&c| c >= 15), "unbalanced: {per_channel:?}");
+        assert!(
+            per_channel.iter().all(|&c| c >= 15),
+            "unbalanced: {per_channel:?}"
+        );
     }
 
     #[test]
@@ -171,7 +217,10 @@ mod tests {
         for d in &dels {
             *per_cycle.entry(d.cycle).or_insert(0u32) += 1;
         }
-        assert!(per_cycle.values().all(|&c| c <= 1), "PE accepted >1 delivery per cycle");
+        assert!(
+            per_cycle.values().all(|&c| c <= 1),
+            "PE accepted >1 delivery per cycle"
+        );
     }
 
     #[test]

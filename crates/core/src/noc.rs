@@ -20,6 +20,7 @@ use crate::queue::InjectQueues;
 use crate::router::RouterClass;
 use crate::routing::compute_prefs;
 use crate::stats::SimStats;
+use crate::trace::{EventSink, NullSink, SimEvent};
 
 /// Per-node gating flags used when several NoC channels share one PE
 /// (multi-channel Hoplite): each PE performs at most one injection and
@@ -85,7 +86,9 @@ impl Noc {
             classes,
             available,
             regs: vec![[None; MAX_IN_FLIGHT]; nodes],
-            wheel: (0..depth).map(|_| vec![[None; MAX_IN_FLIGHT]; nodes]).collect(),
+            wheel: (0..depth)
+                .map(|_| vec![[None; MAX_IN_FLIGHT]; nodes])
+                .collect(),
             in_flight: 0,
             cycle: 0,
             stats: SimStats::default(),
@@ -144,7 +147,22 @@ impl Noc {
         &mut self,
         queues: &mut InjectQueues,
         deliveries: &mut Vec<Delivery>,
+        gates: Option<&mut StepGates>,
+    ) {
+        self.step_with_sink(queues, deliveries, gates, &mut NullSink);
+    }
+
+    /// [`Noc::step`] with an [`EventSink`] observing every routing
+    /// decision, injection, deflection, express hop, ejection, and
+    /// injection stall. The method is monomorphized per sink type;
+    /// with [`NullSink`] (whose `ENABLED` is `false`) all emission code
+    /// is statically removed and this is exactly `step`.
+    pub fn step_with_sink<S: EventSink>(
+        &mut self,
+        queues: &mut InjectQueues,
+        deliveries: &mut Vec<Delivery>,
         mut gates: Option<&mut StepGates>,
+        sink: &mut S,
     ) {
         let n = self.cfg.n();
         let nodes = self.cfg.num_nodes();
@@ -194,11 +212,28 @@ impl Noc {
                 if let Some(probe) = self.probe.as_mut() {
                     probe.record(self.cycle, node, at, pkt.id, out);
                 }
+                if S::ENABLED {
+                    sink.emit(&SimEvent::RouteDecision {
+                        cycle: self.cycle,
+                        node,
+                        packet: pkt.id,
+                        in_port: Some(InPort::ALL[slot]),
+                        out,
+                    });
+                }
 
                 // Statistics classification.
                 if !prefs.productive().contains(out) {
                     pkt.deflections += 1;
                     self.stats.ports.deflections[slot] += 1;
+                    if S::ENABLED {
+                        sink.emit(&SimEvent::Deflect {
+                            cycle: self.cycle,
+                            node,
+                            packet: pkt.id,
+                            out,
+                        });
+                    }
                 } else if prefs.wanted_express() && !out.is_express() && out != OutPort::Exit {
                     self.stats.ports.demotions[slot] += 1;
                 }
@@ -208,15 +243,37 @@ impl Noc {
                         debug_assert_eq!(pkt.dst, at);
                         self.in_flight -= 1;
                         self.stats.delivered += 1;
-                        let delivery = Delivery { packet: pkt, cycle: self.cycle + 1 };
+                        let delivery = Delivery {
+                            packet: pkt,
+                            cycle: self.cycle + 1,
+                        };
                         self.stats.total_latency.record(delivery.total_latency());
-                        self.stats.network_latency.record(delivery.network_latency());
+                        self.stats
+                            .network_latency
+                            .record(delivery.network_latency());
                         deliveries.push(delivery);
+                        if S::ENABLED {
+                            sink.emit(&SimEvent::Eject {
+                                cycle: self.cycle,
+                                node,
+                                delivery,
+                            });
+                        }
                         if let Some(g) = gates.as_deref_mut() {
                             g.exit_allowed[node] = false;
                         }
                     }
-                    _ => self.forward(&mut pkt, at, out, n, d),
+                    _ => {
+                        if S::ENABLED && out.is_express() {
+                            sink.emit(&SimEvent::ExpressHop {
+                                cycle: self.cycle,
+                                node,
+                                packet: pkt.id,
+                                span: d,
+                            });
+                        }
+                        self.forward(&mut pkt, at, out, n, d)
+                    }
                 }
             }
 
@@ -245,6 +302,16 @@ impl Noc {
                             if let Some(probe) = self.probe.as_mut() {
                                 probe.record(self.cycle, node, at, pkt.id, out);
                             }
+                            if S::ENABLED {
+                                sink.emit(&SimEvent::Inject {
+                                    cycle: self.cycle,
+                                    node,
+                                    packet: pkt.id,
+                                    dst: pkt.dst,
+                                    out,
+                                    queue_wait: self.cycle.saturating_sub(pkt.enqueued_at),
+                                });
+                            }
                             if let Some(g) = gates.as_deref_mut() {
                                 g.inject_allowed[node] = false;
                             }
@@ -253,24 +320,46 @@ impl Noc {
                                     // Self-send: delivered without
                                     // traversing any link.
                                     self.stats.delivered += 1;
-                                    let delivery =
-                                        Delivery { packet: pkt, cycle: self.cycle + 1 };
+                                    let delivery = Delivery {
+                                        packet: pkt,
+                                        cycle: self.cycle + 1,
+                                    };
                                     self.stats.total_latency.record(delivery.total_latency());
                                     self.stats
                                         .network_latency
                                         .record(delivery.network_latency());
                                     deliveries.push(delivery);
+                                    if S::ENABLED {
+                                        sink.emit(&SimEvent::Eject {
+                                            cycle: self.cycle,
+                                            node,
+                                            delivery,
+                                        });
+                                    }
                                     if let Some(g) = gates.as_deref_mut() {
                                         g.exit_allowed[node] = false;
                                     }
                                 }
                                 _ => {
                                     self.in_flight += 1;
+                                    if S::ENABLED && out.is_express() {
+                                        sink.emit(&SimEvent::ExpressHop {
+                                            cycle: self.cycle,
+                                            node,
+                                            packet: pkt.id,
+                                            span: d,
+                                        });
+                                    }
                                     self.forward(&mut pkt, at, out, n, d);
                                 }
                             }
                         }
-                        None => self.stats.injection_stalls += 1,
+                        None => {
+                            self.stats.injection_stalls += 1;
+                            if S::ENABLED {
+                                sink.emit(&queues.stall_event(self.cycle, node));
+                            }
+                        }
                     }
                 }
             }
@@ -284,6 +373,9 @@ impl Noc {
         self.wheel.push_back(front);
         if let Some(probe) = self.probe.as_mut() {
             probe.tick();
+        }
+        if S::ENABLED {
+            sink.end_cycle(self.cycle);
         }
         self.cycle += 1;
     }

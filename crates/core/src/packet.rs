@@ -141,7 +141,10 @@ mod tests {
     fn delivery_latencies() {
         let mut p = pkt();
         p.injected_at = 12;
-        let d = Delivery { packet: p, cycle: 30 };
+        let d = Delivery {
+            packet: p,
+            cycle: 30,
+        };
         assert_eq!(d.total_latency(), 20);
         assert_eq!(d.network_latency(), 18);
     }

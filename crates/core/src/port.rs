@@ -29,8 +29,12 @@ pub enum InPort {
 
 impl InPort {
     /// All in-flight (non-PE) inputs in allocation priority order.
-    pub const IN_FLIGHT: [InPort; 4] =
-        [InPort::WestEx, InPort::NorthEx, InPort::WestSh, InPort::NorthSh];
+    pub const IN_FLIGHT: [InPort; 4] = [
+        InPort::WestEx,
+        InPort::NorthEx,
+        InPort::WestSh,
+        InPort::NorthSh,
+    ];
 
     /// All inputs in allocation priority order.
     pub const ALL: [InPort; 5] = [

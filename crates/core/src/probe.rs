@@ -59,19 +59,36 @@ pub struct Probe {
 impl Probe {
     /// Creates a heatmap-only probe for `nodes` routers.
     pub fn new(nodes: usize) -> Self {
-        Probe { usage: vec![[0; 5]; nodes], ..Default::default() }
+        Probe {
+            usage: vec![[0; 5]; nodes],
+            ..Default::default()
+        }
     }
 
     /// Creates a probe that also traces packet paths.
     pub fn with_tracing(nodes: usize, select: TraceSelect) -> Self {
-        Probe { usage: vec![[0; 5]; nodes], select, ..Default::default() }
+        Probe {
+            usage: vec![[0; 5]; nodes],
+            select,
+            ..Default::default()
+        }
     }
 
     /// Records one assignment (called by the engine).
-    pub(crate) fn record(&mut self, cycle: u64, node: usize, at: Coord, id: PacketId, out: OutPort) {
+    pub(crate) fn record(
+        &mut self,
+        cycle: u64,
+        node: usize,
+        at: Coord,
+        id: PacketId,
+        out: OutPort,
+    ) {
         self.usage[node][out.index()] += 1;
         if self.select.matches(id) {
-            self.traces.entry(id).or_default().push(PathStep { cycle, at, out });
+            self.traces
+                .entry(id)
+                .or_default()
+                .push(PathStep { cycle, at, out });
         }
     }
 
@@ -83,6 +100,33 @@ impl Probe {
     /// Number of cycles observed.
     pub fn cycles(&self) -> u64 {
         self.cycles_observed
+    }
+
+    /// Number of cycles observed (explicit alias of [`Probe::cycles`]
+    /// matching the field name, for symmetry with merged probes).
+    pub fn cycles_observed(&self) -> u64 {
+        self.cycles_observed
+    }
+
+    /// Merges another probe's observations into this one: usage counts
+    /// add up, path traces union, and the observation window is the
+    /// longer of the two (channels of a multi-channel NoC observe the
+    /// same cycles, so their windows coincide rather than add).
+    pub fn merge(&mut self, other: &Probe) {
+        if self.usage.len() < other.usage.len() {
+            self.usage.resize(other.usage.len(), [0; 5]);
+        }
+        for (node, counts) in other.usage.iter().enumerate() {
+            for (port, &c) in counts.iter().enumerate() {
+                self.usage[node][port] += c;
+            }
+        }
+        for (id, steps) in &other.traces {
+            let merged = self.traces.entry(*id).or_default();
+            merged.extend_from_slice(steps);
+            merged.sort_by_key(|s| s.cycle);
+        }
+        self.cycles_observed = self.cycles_observed.max(other.cycles_observed);
     }
 
     /// Raw assignment count for a port at a node.
@@ -185,7 +229,12 @@ mod tests {
         let outs: Vec<OutPort> = path.iter().map(|s| s.out).collect();
         assert_eq!(
             outs,
-            vec![OutPort::EastSh, OutPort::EastSh, OutPort::SouthSh, OutPort::Exit]
+            vec![
+                OutPort::EastSh,
+                OutPort::EastSh,
+                OutPort::SouthSh,
+                OutPort::Exit
+            ]
         );
         assert_eq!(path[0].at, Coord::new(0, 0));
         assert_eq!(path.last().unwrap().at, Coord::new(2, 1));
@@ -194,8 +243,14 @@ mod tests {
             assert!(w[1].cycle > w[0].cycle);
         }
         // Usage heatmap saw the east hops.
-        assert_eq!(probe.count(Coord::new(0, 0).to_node_id(4), OutPort::EastSh), 1);
-        assert_eq!(probe.count(Coord::new(2, 1).to_node_id(4), OutPort::Exit), 1);
+        assert_eq!(
+            probe.count(Coord::new(0, 0).to_node_id(4), OutPort::EastSh),
+            1
+        );
+        assert_eq!(
+            probe.count(Coord::new(2, 1).to_node_id(4), OutPort::Exit),
+            1
+        );
     }
 
     #[test]

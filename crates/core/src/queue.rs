@@ -8,6 +8,7 @@ use std::collections::VecDeque;
 
 use crate::geom::Coord;
 use crate::packet::{PacketId, PendingPacket};
+use crate::trace::SimEvent;
 
 /// One FIFO of pending packets per node.
 #[derive(Debug, Clone)]
@@ -42,7 +43,12 @@ impl InjectQueues {
     pub fn push(&mut self, src: usize, dst: Coord, cycle: u64, tag: u64) -> PacketId {
         let id = PacketId(self.next_id);
         self.next_id += 1;
-        self.queues[src].push_back(PendingPacket { id, dst, enqueued_at: cycle, tag });
+        self.queues[src].push_back(PendingPacket {
+            id,
+            dst,
+            enqueued_at: cycle,
+            tag,
+        });
         self.pending += 1;
         self.enqueued_total += 1;
         id
@@ -80,6 +86,17 @@ impl InjectQueues {
     /// True when every queue is empty.
     pub fn is_empty(&self) -> bool {
         self.pending == 0
+    }
+
+    /// Builds the [`SimEvent::QueueStall`] describing a blocked
+    /// injection at `node` — the queue owns its depth, so the stall
+    /// event is constructed here rather than in the engine.
+    pub fn stall_event(&self, cycle: u64, node: usize) -> SimEvent {
+        SimEvent::QueueStall {
+            cycle,
+            node,
+            depth: self.depth(node),
+        }
     }
 }
 

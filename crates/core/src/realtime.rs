@@ -43,7 +43,9 @@ pub fn zero_load_latency(cfg: &NocConfig, src: Coord, dst: Coord) -> u64 {
         };
         if express_ok {
             // Ride the express lane for the whole aligned stretch.
-            let k = cfg.express_hops_for(dx).expect("worthwhile implies reachable");
+            let k = cfg
+                .express_hops_for(dx)
+                .expect("worthwhile implies reachable");
             for _ in 0..k {
                 at = at.east(cfg.d(), n);
             }
@@ -65,7 +67,9 @@ pub fn zero_load_latency(cfg: &NocConfig, src: Coord, dst: Coord) -> u64 {
             }
         };
         if board {
-            cycles += cfg.express_hops_for(dy).expect("worthwhile implies reachable") as u64;
+            cycles += cfg
+                .express_hops_for(dy)
+                .expect("worthwhile implies reachable") as u64;
         } else {
             cycles += dy as u64;
         }
@@ -99,7 +103,10 @@ pub fn zero_load_profile(cfg: &NocConfig) -> ZeroLoadProfile {
             count += 1;
         }
     }
-    ZeroLoadProfile { mean: sum as f64 / count as f64, max }
+    ZeroLoadProfile {
+        mean: sum as f64 / count as f64,
+        max,
+    }
 }
 
 #[cfg(test)]
@@ -153,10 +160,14 @@ mod tests {
     fn fasttrack_cuts_zero_load_latency() {
         let hoplite = zero_load_profile(&NocConfig::hoplite(8).unwrap());
         let fast = zero_load_profile(&ft(8, 2, 1));
-        assert!(fast.mean < 0.8 * hoplite.mean, "{} vs {}", fast.mean, hoplite.mean);
+        assert!(
+            fast.mean < 0.8 * hoplite.mean,
+            "{} vs {}",
+            fast.mean,
+            hoplite.mean
+        );
         assert!(fast.max < hoplite.max);
         // Hoplite 8x8 worst pair: 7 + 7 hops + exit.
         assert_eq!(hoplite.max, 15);
     }
-
 }

@@ -37,10 +37,16 @@ impl RouterClass {
     }
 
     /// Plain Hoplite router (no express ports).
-    pub const HOPLITE: RouterClass = RouterClass { x_express: false, y_express: false };
+    pub const HOPLITE: RouterClass = RouterClass {
+        x_express: false,
+        y_express: false,
+    };
 
     /// Fully-loaded FastTrack router (express in both dimensions).
-    pub const FULL: RouterClass = RouterClass { x_express: true, y_express: true };
+    pub const FULL: RouterClass = RouterClass {
+        x_express: true,
+        y_express: true,
+    };
 
     /// True if the router has any express port.
     pub fn has_any_express(self) -> bool {
@@ -147,13 +153,22 @@ mod tests {
         assert_eq!(RouterClass::of(&cfg, Coord::new(0, 0)), RouterClass::FULL);
         assert_eq!(
             RouterClass::of(&cfg, Coord::new(1, 0)),
-            RouterClass { x_express: false, y_express: true }
+            RouterClass {
+                x_express: false,
+                y_express: true
+            }
         );
         assert_eq!(
             RouterClass::of(&cfg, Coord::new(0, 1)),
-            RouterClass { x_express: true, y_express: false }
+            RouterClass {
+                x_express: true,
+                y_express: false
+            }
         );
-        assert_eq!(RouterClass::of(&cfg, Coord::new(1, 1)), RouterClass::HOPLITE);
+        assert_eq!(
+            RouterClass::of(&cfg, Coord::new(1, 1)),
+            RouterClass::HOPLITE
+        );
     }
 
     #[test]
@@ -161,7 +176,10 @@ mod tests {
         let cfg = NocConfig::hoplite(4).unwrap();
         for x in 0..4 {
             for y in 0..4 {
-                assert_eq!(RouterClass::of(&cfg, Coord::new(x, y)), RouterClass::HOPLITE);
+                assert_eq!(
+                    RouterClass::of(&cfg, Coord::new(x, y)),
+                    RouterClass::HOPLITE
+                );
             }
         }
     }
@@ -171,7 +189,11 @@ mod tests {
         assert_eq!(RouterClass::FULL.label(), "black (FT)");
         assert_eq!(RouterClass::HOPLITE.label(), "white (Hoplite)");
         assert_eq!(
-            RouterClass { x_express: true, y_express: false }.label(),
+            RouterClass {
+                x_express: true,
+                y_express: false
+            }
+            .label(),
             "grey (FTlite depopulated)"
         );
     }
@@ -180,7 +202,10 @@ mod tests {
     fn available_outputs_by_class() {
         assert_eq!(RouterClass::HOPLITE.available_outputs().len(), 3);
         assert_eq!(RouterClass::FULL.available_outputs().len(), 5);
-        let grey = RouterClass { x_express: true, y_express: false };
+        let grey = RouterClass {
+            x_express: true,
+            y_express: false,
+        };
         let outs = grey.available_outputs();
         assert!(outs.contains(OutPort::EastEx));
         assert!(!outs.contains(OutPort::SouthEx));
@@ -222,7 +247,7 @@ mod tests {
         assert!(wsh.contains(OutPort::SouthEx));
         let wex = allowed_outputs(Some(FtPolicy::Full), c, InPort::WestEx);
         assert!(wex.contains(OutPort::SouthEx)); // express turn, Fig. 8
-        // N_sh never upgrades.
+                                                 // N_sh never upgrades.
         let nsh = allowed_outputs(Some(FtPolicy::Full), c, InPort::NorthSh);
         assert!(!nsh.contains(OutPort::EastEx));
         assert!(!nsh.contains(OutPort::SouthEx));
@@ -250,8 +275,14 @@ mod tests {
             for class in [
                 RouterClass::HOPLITE,
                 RouterClass::FULL,
-                RouterClass { x_express: true, y_express: false },
-                RouterClass { x_express: false, y_express: true },
+                RouterClass {
+                    x_express: true,
+                    y_express: false,
+                },
+                RouterClass {
+                    x_express: false,
+                    y_express: true,
+                },
             ] {
                 for port in InPort::ALL {
                     if class.has_input(port) && !(policy.is_none() && port.is_express()) {
@@ -267,7 +298,10 @@ mod tests {
 
     #[test]
     fn class_mask_strips_missing_express_ports() {
-        let grey = RouterClass { x_express: true, y_express: false };
+        let grey = RouterClass {
+            x_express: true,
+            y_express: false,
+        };
         let wsh = allowed_outputs(Some(FtPolicy::Full), grey, InPort::WestSh);
         assert!(wsh.contains(OutPort::EastEx));
         assert!(!wsh.contains(OutPort::SouthEx)); // no Y express here

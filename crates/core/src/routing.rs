@@ -99,9 +99,13 @@ pub fn desire(cfg: &NocConfig, at: Coord, dst: Coord) -> Desire {
     let dx = at.dx_to(dst, n);
     let dy = at.dy_to(dst, n);
     if dx > 0 {
-        Desire::East { express: cfg.has_express_at(at.x) && cfg.express_worthwhile(dx) }
+        Desire::East {
+            express: cfg.has_express_at(at.x) && cfg.express_worthwhile(dx),
+        }
     } else if dy > 0 {
-        Desire::South { express: cfg.has_express_at(at.y) && cfg.express_worthwhile(dy) }
+        Desire::South {
+            express: cfg.has_express_at(at.y) && cfg.express_worthwhile(dy),
+        }
     } else {
         Desire::Exit
     }
@@ -142,7 +146,10 @@ pub fn compute_prefs(
     dst: Coord,
 ) -> RoutePrefs {
     let allowed = allowed_outputs(cfg.ft_policy(), class, in_port);
-    debug_assert!(!allowed.is_empty(), "input {in_port} does not exist at {at}");
+    debug_assert!(
+        !allowed.is_empty(),
+        "input {in_port} does not exist at {at}"
+    );
 
     let mut prefs = RoutePrefs {
         list: [OutPort::Exit; 5],
@@ -233,9 +240,19 @@ pub fn compute_prefs(
     // misaligned express deflection is survivable because the escape
     // turns above get such packets off the lane on the next hop.
     let deflect_order: [OutPort; 4] = if in_port.is_express() {
-        [OutPort::EastEx, OutPort::EastSh, OutPort::SouthEx, OutPort::SouthSh]
+        [
+            OutPort::EastEx,
+            OutPort::EastSh,
+            OutPort::SouthEx,
+            OutPort::SouthSh,
+        ]
     } else {
-        [OutPort::EastSh, OutPort::EastEx, OutPort::SouthSh, OutPort::SouthEx]
+        [
+            OutPort::EastSh,
+            OutPort::EastEx,
+            OutPort::SouthSh,
+            OutPort::SouthEx,
+        ]
     };
     for p in deflect_order {
         let alignment_ok = match p {
@@ -474,10 +491,22 @@ mod tests {
         let cfg = NocConfig::fasttrack(8, 2, 2, FtPolicy::Inject).unwrap();
         // From an express-capable column but a non-express row: the turn
         // router would lack an S_ex output, so an X+Y path is ineligible.
-        assert!(!inject_express_eligible(&cfg, Coord::new(0, 1), Coord::new(4, 5)));
-        assert!(inject_express_eligible(&cfg, Coord::new(0, 0), Coord::new(4, 4)));
+        assert!(!inject_express_eligible(
+            &cfg,
+            Coord::new(0, 1),
+            Coord::new(4, 5)
+        ));
+        assert!(inject_express_eligible(
+            &cfg,
+            Coord::new(0, 0),
+            Coord::new(4, 4)
+        ));
         // Pure X path from a non-express-capable column: ineligible.
-        assert!(!inject_express_eligible(&cfg, Coord::new(1, 0), Coord::new(5, 0)));
+        assert!(!inject_express_eligible(
+            &cfg,
+            Coord::new(1, 0),
+            Coord::new(5, 0)
+        ));
     }
 
     #[test]
@@ -539,7 +568,9 @@ mod tests {
                     let at = Coord::new(x, y);
                     let class = RouterClass::of(&cfg, at);
                     for port in InPort::ALL {
-                        if !class.has_input(port) || (cfg.ft_policy().is_none() && port.is_express()) {
+                        if !class.has_input(port)
+                            || (cfg.ft_policy().is_none() && port.is_express())
+                        {
                             continue;
                         }
                         for dx in 0..n {

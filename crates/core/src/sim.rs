@@ -7,6 +7,7 @@ use crate::noc::Noc;
 use crate::packet::Delivery;
 use crate::queue::InjectQueues;
 use crate::stats::SimStats;
+use crate::trace::{EventSink, NullSink, SimEvent};
 
 /// A workload that feeds the NoC.
 ///
@@ -40,14 +41,20 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { max_cycles: 2_000_000, warmup_cycles: 0 }
+        SimOptions {
+            max_cycles: 2_000_000,
+            warmup_cycles: 0,
+        }
     }
 }
 
 impl SimOptions {
     /// Options with a custom cycle cap.
     pub fn with_max_cycles(max_cycles: u64) -> Self {
-        SimOptions { max_cycles, ..Default::default() }
+        SimOptions {
+            max_cycles,
+            ..Default::default()
+        }
     }
 }
 
@@ -98,6 +105,19 @@ impl SimReport {
 
 /// Runs `source` on a single-channel NoC built from `cfg`.
 pub fn simulate<S: TrafficSource>(cfg: &NocConfig, source: &mut S, opts: SimOptions) -> SimReport {
+    simulate_traced(cfg, source, opts, &mut NullSink)
+}
+
+/// [`simulate`] with an [`EventSink`] observing the run. In addition to
+/// the engine's per-cycle events the driver emits
+/// [`SimEvent::WarmupReset`] when statistics are cleared and
+/// [`SimEvent::Truncated`] when the cycle cap cuts the workload short.
+pub fn simulate_traced<S: TrafficSource, K: EventSink>(
+    cfg: &NocConfig,
+    source: &mut S,
+    opts: SimOptions,
+    sink: &mut K,
+) -> SimReport {
     let mut noc = Noc::new(cfg.clone());
     let mut queues = InjectQueues::new(cfg.num_nodes());
     let mut deliveries: Vec<Delivery> = Vec::new();
@@ -109,10 +129,13 @@ pub fn simulate<S: TrafficSource>(cfg: &NocConfig, source: &mut S, opts: SimOpti
         if cycle == opts.warmup_cycles && cycle != 0 {
             noc.reset_stats();
             measured_from = cycle;
+            if K::ENABLED {
+                sink.emit(&SimEvent::WarmupReset { cycle });
+            }
         }
         source.pump(cycle, &mut queues);
         deliveries.clear();
-        noc.step(&mut queues, &mut deliveries, None);
+        noc.step_with_sink(&mut queues, &mut deliveries, None, sink);
         for d in &deliveries {
             source.on_delivery(d);
         }
@@ -121,6 +144,9 @@ pub fn simulate<S: TrafficSource>(cfg: &NocConfig, source: &mut S, opts: SimOpti
             truncated = false;
             break;
         }
+    }
+    if truncated && K::ENABLED {
+        sink.emit(&SimEvent::Truncated { cycle });
     }
 
     let mut stats = noc.stats().clone();
@@ -142,6 +168,18 @@ pub fn simulate_multichannel<S: TrafficSource>(
     source: &mut S,
     opts: SimOptions,
 ) -> SimReport {
+    simulate_multichannel_traced(cfg, channels, source, opts, &mut NullSink)
+}
+
+/// [`simulate_multichannel`] with an [`EventSink`] observing all
+/// channels (see [`MultiNoc::step_with_sink`] for channel attribution).
+pub fn simulate_multichannel_traced<S: TrafficSource, K: EventSink>(
+    cfg: &NocConfig,
+    channels: usize,
+    source: &mut S,
+    opts: SimOptions,
+    sink: &mut K,
+) -> SimReport {
     let mut noc = MultiNoc::new(cfg.clone(), channels);
     let mut queues = InjectQueues::new(cfg.num_nodes());
     let mut deliveries: Vec<Delivery> = Vec::new();
@@ -153,10 +191,13 @@ pub fn simulate_multichannel<S: TrafficSource>(
         if cycle == opts.warmup_cycles && cycle != 0 {
             noc.reset_stats();
             measured_from = cycle;
+            if K::ENABLED {
+                sink.emit(&SimEvent::WarmupReset { cycle });
+            }
         }
         source.pump(cycle, &mut queues);
         deliveries.clear();
-        noc.step(&mut queues, &mut deliveries);
+        noc.step_with_sink(&mut queues, &mut deliveries, sink);
         for d in &deliveries {
             source.on_delivery(d);
         }
@@ -165,6 +206,9 @@ pub fn simulate_multichannel<S: TrafficSource>(
             truncated = false;
             break;
         }
+    }
+    if truncated && K::ENABLED {
+        sink.emit(&SimEvent::Truncated { cycle });
     }
 
     let mut stats = noc.merged_stats();
@@ -271,7 +315,10 @@ mod tests {
             }
         }
         let cfg = NocConfig::hoplite(4).unwrap();
-        let opts = SimOptions { max_cycles: 400, warmup_cycles: 100 };
+        let opts = SimOptions {
+            max_cycles: 400,
+            warmup_cycles: 100,
+        };
         let report = simulate(&cfg, &mut Trickle, opts);
         // Warmup-period deliveries are excluded from the measured stats.
         assert!(report.stats.delivered < 200);

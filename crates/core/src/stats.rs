@@ -38,14 +38,26 @@ impl Histogram {
         self.count
     }
 
+    /// Exclusive upper bound of bucket `i`. The top bucket's true bound
+    /// is `2^64`, which doesn't fit in a `u64`, so it saturates to
+    /// `u64::MAX` (making the top bucket's range inclusive instead).
+    fn bucket_high(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            1u64 << (i + 1)
+        }
+    }
+
     /// Iterates `(bucket_low, bucket_high_exclusive, count)` for non-empty
-    /// buckets in increasing order.
+    /// buckets in increasing order (the top bucket saturates its high
+    /// bound to `u64::MAX`, see [`Histogram::bucket_high`]).
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (1u64 << i, 1u64 << (i + 1), c))
+            .map(|(i, &c)| (1u64 << i, Self::bucket_high(i), c))
     }
 
     /// Approximate percentile (upper bound of the bucket containing it).
@@ -64,10 +76,13 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some((1u64 << (i + 1)) - 1);
+                return Some(Self::bucket_high(i).wrapping_sub(u64::from(i < 63)));
             }
         }
-        Some((1u64 << self.buckets.len()) - 1)
+        Some(
+            Self::bucket_high(self.buckets.len() - 1)
+                .wrapping_sub(u64::from(self.buckets.len() < 64)),
+        )
     }
 
     /// Merges another histogram into this one.
@@ -95,7 +110,10 @@ pub struct LatencyStats {
 impl LatencyStats {
     /// Creates an empty aggregate.
     pub fn new() -> Self {
-        LatencyStats { min: u64::MAX, ..Default::default() }
+        LatencyStats {
+            min: u64::MAX,
+            ..Default::default()
+        }
     }
 
     /// Records one latency sample.
@@ -334,6 +352,58 @@ mod tests {
     }
 
     #[test]
+    fn histogram_extreme_values() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        let buckets: Vec<_> = h.iter().collect();
+        // 0 and 1 share bucket 0; u64::MAX lands in the saturated top
+        // bucket [2^63, u64::MAX] without overflowing the bound math.
+        assert_eq!(buckets[0], (1, 2, 2));
+        assert_eq!(buckets[1], (1u64 << 63, u64::MAX, 1));
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+        assert_eq!(h.percentile(50.0), Some(1));
+    }
+
+    #[test]
+    fn histogram_power_of_two_boundaries() {
+        // 2^k is the *low* edge of bucket k; 2^k - 1 is the top of
+        // bucket k-1.
+        for k in [1u32, 2, 8, 31, 32, 62] {
+            let lo = 1u64 << k;
+            let mut h = Histogram::new();
+            h.record(lo - 1);
+            h.record(lo);
+            let buckets: Vec<_> = h.iter().collect();
+            assert_eq!(buckets.len(), 2, "2^{k}-1 and 2^{k} must split buckets");
+            assert_eq!(buckets[0], (1 << (k - 1), lo, 1));
+            assert_eq!(buckets[1], (lo, 1 << (k + 1), 1));
+        }
+        // The top boundary: 2^63 - 1 tops bucket 62; 2^63 opens the
+        // saturated bucket 63.
+        let mut h = Histogram::new();
+        h.record((1u64 << 63) - 1);
+        h.record(1u64 << 63);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets[0], (1u64 << 62, 1u64 << 63, 1));
+        assert_eq!(buckets[1], (1u64 << 63, u64::MAX, 1));
+        assert_eq!(h.percentile(50.0), Some((1u64 << 63) - 1));
+    }
+
+    #[test]
+    fn histogram_merge_with_top_bucket() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.percentile(100.0), Some(u64::MAX));
+    }
+
+    #[test]
     fn histogram_merge() {
         let mut a = Histogram::new();
         a.record(3);
@@ -373,7 +443,10 @@ mod tests {
 
     #[test]
     fn link_usage_fractions() {
-        let u = LinkUsage { short_hops: 75, express_hops: 25 };
+        let u = LinkUsage {
+            short_hops: 75,
+            express_hops: 25,
+        };
         assert_eq!(u.total(), 100);
         assert!((u.express_fraction() - 0.25).abs() < 1e-9);
         assert_eq!(LinkUsage::default().express_fraction(), 0.0);

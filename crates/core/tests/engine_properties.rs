@@ -9,29 +9,35 @@ use rand::{Rng, SeedableRng};
 
 /// Arbitrary valid NoC configuration on a small torus.
 fn arb_config() -> impl Strategy<Value = NocConfig> {
-    (2u16..=3, any::<u8>(), any::<bool>(), any::<bool>()).prop_map(|(n_exp, sel, full, dedicated)| {
-        let n = 1u16 << n_exp; // 4 or 8
-        let policy = if full { FtPolicy::Full } else { FtPolicy::Inject };
-        // Enumerate valid (d, r) pairs for this n and pick one.
-        let mut variants = vec![None]; // Hoplite
-        for d in 1..=n / 2 {
-            for r in 1..=d {
-                if d % r == 0 && n.is_multiple_of(r) {
-                    variants.push(Some((d, r)));
+    (2u16..=3, any::<u8>(), any::<bool>(), any::<bool>()).prop_map(
+        |(n_exp, sel, full, dedicated)| {
+            let n = 1u16 << n_exp; // 4 or 8
+            let policy = if full {
+                FtPolicy::Full
+            } else {
+                FtPolicy::Inject
+            };
+            // Enumerate valid (d, r) pairs for this n and pick one.
+            let mut variants = vec![None]; // Hoplite
+            for d in 1..=n / 2 {
+                for r in 1..=d {
+                    if d % r == 0 && n.is_multiple_of(r) {
+                        variants.push(Some((d, r)));
+                    }
                 }
             }
-        }
-        let choice = variants[sel as usize % variants.len()];
-        let cfg = match choice {
-            None => NocConfig::hoplite(n).unwrap(),
-            Some((d, r)) => NocConfig::fasttrack(n, d, r, policy).unwrap(),
-        };
-        if dedicated {
-            cfg.with_exit_policy(ExitPolicy::Dedicated)
-        } else {
-            cfg.with_exit_policy(ExitPolicy::SharedWithSouth)
-        }
-    })
+            let choice = variants[sel as usize % variants.len()];
+            let cfg = match choice {
+                None => NocConfig::hoplite(n).unwrap(),
+                Some((d, r)) => NocConfig::fasttrack(n, d, r, policy).unwrap(),
+            };
+            if dedicated {
+                cfg.with_exit_policy(ExitPolicy::Dedicated)
+            } else {
+                cfg.with_exit_policy(ExitPolicy::SharedWithSouth)
+            }
+        },
+    )
 }
 
 /// A batch of random packets for the given torus size.

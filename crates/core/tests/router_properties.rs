@@ -13,7 +13,11 @@ use proptest::prelude::*;
 fn arb_config() -> impl Strategy<Value = NocConfig> {
     (any::<u8>(), any::<bool>()).prop_map(|(sel, full)| {
         let n = 8u16;
-        let policy = if full { FtPolicy::Full } else { FtPolicy::Inject };
+        let policy = if full {
+            FtPolicy::Full
+        } else {
+            FtPolicy::Inject
+        };
         let variants = [
             None,
             Some((1u16, 1u16)),

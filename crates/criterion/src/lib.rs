@@ -1,0 +1,292 @@
+//! Vendored, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of `criterion` its micro-benchmarks use:
+//! [`Criterion::bench_function`], benchmark groups with throughput
+//! annotations, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a fixed warm-up, then timed
+//! batches whose per-iteration mean, minimum, and throughput are printed
+//! in a criterion-like format. There are no statistical comparisons,
+//! saved baselines, or HTML reports — enough fidelity to compare two
+//! variants in one run (e.g. the NullSink-vs-attached-sink overhead
+//! check), not a full criterion replacement.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measured: Option<Measurement>,
+    quick: bool,
+}
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding its output via an implicit sink.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size targeting ~40ms per batch.
+        let warmup_target = if self.quick {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(200)
+        };
+        let mut warmup_iters = 0u64;
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < warmup_target {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let batch_nanos: u128 = if self.quick { 10_000_000 } else { 40_000_000 };
+        let batch = (batch_nanos / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+        let batches: usize = if self.quick { 3 } else { 8 };
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            min = min.min(elapsed / batch as u32);
+            total += elapsed;
+            iters += batch;
+        }
+        self.measured = Some(Measurement {
+            mean: total / iters.max(1) as u32,
+            min,
+        });
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor the workspace smoke-run convention.
+        let quick = std::env::var("FASTTRACK_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        Criterion { quick }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn report(name: &str, m: Measurement, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{name:<48} time: [{} .. {}]",
+        format_duration(m.min),
+        format_duration(m.mean)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| units as f64 / m.mean.as_secs_f64();
+        match t {
+            Throughput::Elements(e) => {
+                line.push_str(&format!("  thrpt: {:.3} Melem/s", per_sec(e) / 1e6));
+            }
+            Throughput::Bytes(b) => {
+                line.push_str(&format!(
+                    "  thrpt: {:.3} MiB/s",
+                    per_sec(b) / (1024.0 * 1024.0)
+                ));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            measured: None,
+            quick: self.quick,
+        };
+        f(&mut b);
+        if let Some(m) = b.measured {
+            report(name, m, None);
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            measured: None,
+            quick: self.criterion.quick,
+        };
+        f(&mut b);
+        if let Some(m) = b.measured {
+            report(&format!("{}/{id}", self.name), m, self.throughput);
+        }
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: std::fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            measured: None,
+            quick: self.criterion.quick,
+        };
+        f(&mut b, input);
+        if let Some(m) = b.measured {
+            report(&format!("{}/{id}", self.name), m, self.throughput);
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test_group");
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("spin", "x"), &7u64, |b, &x| {
+            b.iter(|| (0..x).map(black_box).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn harness_runs() {
+        // Force quick mode so the test stays fast regardless of env.
+        std::env::set_var("FASTTRACK_QUICK", "1");
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -85,9 +85,18 @@ pub fn best_pipelining(
 /// `(fasttrack, hyperflex_best)`; the paper's expectation — encoded in
 /// the tests — is that pipelining wins clock rate but not end-to-end
 /// wire latency on spans FastTrack actually uses.
-pub fn fasttrack_vs_hyperflex(device: &Device, distance: u32, bypassed: u32) -> (PipelinedLink, PipelinedLink) {
+pub fn fasttrack_vs_hyperflex(
+    device: &Device,
+    distance: u32,
+    bypassed: u32,
+) -> (PipelinedLink, PipelinedLink) {
     let ft_mhz = physical_express_mhz(device, distance, bypassed);
-    let ft = PipelinedLink { distance, stages: 0, mhz: ft_mhz, latency_ns: 1000.0 / ft_mhz };
+    let ft = PipelinedLink {
+        distance,
+        stages: 0,
+        mhz: ft_mhz,
+        latency_ns: 1000.0 / ft_mhz,
+    };
     let hf = best_pipelining(device, distance, 8, 600.0);
     (ft, hf)
 }

@@ -78,7 +78,11 @@ pub struct LayoutReport {
 /// `tile_slices` and express length `d` (0 = Hoplite).
 pub fn analyze_layout(layout: RingLayout, n: u16, d: u16, tile_slices: f64) -> LayoutReport {
     let short = layout.link_spans(1, n);
-    let express = if d > 0 { layout.link_spans(d, n) } else { Vec::new() };
+    let express = if d > 0 {
+        layout.link_spans(d, n)
+    } else {
+        Vec::new()
+    };
     let to_slices = |spans: &[u16]| -> (f64, f64) {
         let max = spans.iter().copied().max().unwrap_or(0) as f64 * tile_slices;
         let total = spans.iter().map(|&s| s as f64).sum::<f64>() * tile_slices;
@@ -115,7 +119,11 @@ mod tests {
     fn folded_order_matches_classic_interleave() {
         // n = 8: slots hold routers 0,7,1,6,2,5,3,4.
         let order: Vec<u16> = (0..8)
-            .map(|s| (0..8).find(|&i| RingLayout::Folded.slot_of(i, 8) == s).unwrap())
+            .map(|s| {
+                (0..8)
+                    .find(|&i| RingLayout::Folded.slot_of(i, 8) == s)
+                    .unwrap()
+            })
             .collect();
         assert_eq!(order, vec![0, 7, 1, 6, 2, 5, 3, 4]);
     }
@@ -154,7 +162,10 @@ mod tests {
                 // ends of the fold and are the one case where folding
                 // loses; the paper's D=2..3 sweet spot is unaffected.
                 if d < n / 2 {
-                    assert!(fold.max_express_slices <= lin.max_express_slices, "n={n} d={d}");
+                    assert!(
+                        fold.max_express_slices <= lin.max_express_slices,
+                        "n={n} d={d}"
+                    );
                 }
             }
         }

@@ -156,7 +156,13 @@ mod tests {
         let m = PowerModel::default();
         let d = dev();
         let cfg = NocConfig::hoplite(8).unwrap();
-        let mut stats = SimStats { link_usage: LinkUsage { short_hops: 1_000_000, express_hops: 0 }, ..Default::default() };
+        let mut stats = SimStats {
+            link_usage: LinkUsage {
+                short_hops: 1_000_000,
+                express_hops: 0,
+            },
+            ..Default::default()
+        };
         let slow = m.workload_energy_j(&d, &cfg, 256, 344.0, 1, 100_000, &stats);
         let fast = m.workload_energy_j(&d, &cfg, 256, 344.0, 1, 40_000, &stats);
         assert!(fast < slow);
@@ -172,11 +178,17 @@ mod tests {
         let d = dev();
         let cfg = ft(2, 1);
         let short_only = SimStats {
-            link_usage: LinkUsage { short_hops: 1_000_000, express_hops: 0 },
+            link_usage: LinkUsage {
+                short_hops: 1_000_000,
+                express_hops: 0,
+            },
             ..Default::default()
         };
         let express_only = SimStats {
-            link_usage: LinkUsage { short_hops: 0, express_hops: 1_000_000 },
+            link_usage: LinkUsage {
+                short_hops: 0,
+                express_hops: 1_000_000,
+            },
             ..Default::default()
         };
         let e_s = m.workload_energy_j(&d, &cfg, 256, 320.0, 1, 50_000, &short_only);
@@ -185,7 +197,10 @@ mod tests {
         // ...but an express hop covers D routers, so per-distance it is
         // cheaper than D short hops.
         let d_short = SimStats {
-            link_usage: LinkUsage { short_hops: 2_000_000, express_hops: 0 },
+            link_usage: LinkUsage {
+                short_hops: 2_000_000,
+                express_hops: 0,
+            },
             ..Default::default()
         };
         let e_2s = m.workload_energy_j(&d, &cfg, 256, 320.0, 1, 50_000, &d_short);

@@ -130,10 +130,13 @@ mod tests {
     }
 
     #[test]
-    fn fasttrack_dominates_figure1(){
+    fn fasttrack_dominates_figure1() {
         // FastTrack sits top-left of Figure 1: highest bandwidth of all,
         // cost within 4x of Hoplite and far below the buffered routers.
-        let ft = TABLE1.iter().find(|r| r.name.contains("FastTrack")).unwrap();
+        let ft = TABLE1
+            .iter()
+            .find(|r| r.name.contains("FastTrack"))
+            .unwrap();
         for r in TABLE1.iter().filter(|r| !r.name.contains("FastTrack")) {
             assert!(ft.peak_bandwidth_pkts_per_ns() > r.peak_bandwidth_pkts_per_ns());
         }

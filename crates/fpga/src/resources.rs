@@ -36,7 +36,10 @@ pub struct RouterCost {
 impl RouterCost {
     /// Component-wise sum.
     pub fn plus(self, other: RouterCost) -> RouterCost {
-        RouterCost { luts: self.luts + other.luts, ffs: self.ffs + other.ffs }
+        RouterCost {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+        }
     }
 
     /// `max(LUTs, FFs)` — the paper's Figure 1 cost metric.
@@ -84,7 +87,10 @@ pub fn router_cost(class: RouterClass, policy: Option<FtPolicy>, width: u32) -> 
     match (class.x_express, class.y_express) {
         // Plain Hoplite: two 3:1 muxes (E, shared S/exit) + decode;
         // registers on 2 inputs + 2 outputs + PE interface.
-        (false, false) => RouterCost { luts: 2 * w + 14, ffs: 5 * w + 17 },
+        (false, false) => RouterCost {
+            luts: 2 * w + 14,
+            ffs: 5 * w + 17,
+        },
         // Full FT: E_ex/E_sh/S_ex/S_sh 4:1 muxes + 5:1 exit mux.
         (true, true) => {
             let policy = policy.unwrap_or_default();
@@ -197,7 +203,10 @@ mod tests {
         let full = router_cost(RouterClass::FULL, Some(FtPolicy::Full), 32);
         let inject = router_cost(RouterClass::FULL, Some(FtPolicy::Inject), 32);
         let grey = router_cost(
-            RouterClass { x_express: true, y_express: false },
+            RouterClass {
+                x_express: true,
+                y_express: false,
+            },
             Some(FtPolicy::Full),
             32,
         );
@@ -244,7 +253,11 @@ mod tests {
         for cfg in [ft(8, 2, 1), ft(8, 2, 2)] {
             let c = noc_cost(&cfg, 256);
             let ratio = c.luts as f64 / hoplite.luts as f64;
-            assert!((1.6..=3.2).contains(&ratio), "{}: ratio {ratio}", cfg.name());
+            assert!(
+                (1.6..=3.2).contains(&ratio),
+                "{}: ratio {ratio}",
+                cfg.name()
+            );
         }
     }
 
@@ -307,7 +320,10 @@ mod tests {
 
     #[test]
     fn max_resource_metric() {
-        let c = RouterCost { luts: 100, ffs: 250 };
+        let c = RouterCost {
+            luts: 100,
+            ffs: 250,
+        };
         assert_eq!(c.max_resource(), 250);
     }
 }

@@ -193,7 +193,10 @@ mod tests {
 
     #[test]
     fn lut_overflow_detected() {
-        let d = Device { luts: 10_000, ..dev() };
+        let d = Device {
+            luts: 10_000,
+            ..dev()
+        };
         assert_eq!(
             check_fit(&d, &ft(8, 2, 1), 64, 1),
             Err(FitError::LutOverflow)

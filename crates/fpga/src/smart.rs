@@ -36,7 +36,11 @@ pub fn smart_point(device: &Device, tile_slices: f64, hpc: u32) -> SmartPoint {
     assert!(hpc > 0);
     let distance = (tile_slices * hpc as f64).round().max(1.0) as u32;
     let mhz = virtual_express_mhz(device, distance, hpc);
-    SmartPoint { hpc, mhz, velocity: hpc as f64 * mhz / 1000.0 }
+    SmartPoint {
+        hpc,
+        mhz,
+        velocity: hpc as f64 * mhz / 1000.0,
+    }
 }
 
 /// Evaluates a FastTrack express link of length `d` on the same tiles:
@@ -49,14 +53,26 @@ pub fn fasttrack_point(device: &Device, tile_slices: f64, d: u32) -> SmartPoint 
     assert!(d > 0);
     let distance = (tile_slices * d as f64).round().max(1.0) as u32;
     let mhz = physical_express_mhz(device, distance, d);
-    SmartPoint { hpc: d, mhz, velocity: d as f64 * mhz / 1000.0 }
+    SmartPoint {
+        hpc: d,
+        mhz,
+        velocity: d as f64 * mhz / 1000.0,
+    }
 }
 
 /// Sweeps `HPC_max`/`D` from 1 to `max` and returns
 /// `(smart, fasttrack)` point vectors for the §III comparison.
-pub fn velocity_sweep(device: &Device, tile_slices: f64, max: u32) -> (Vec<SmartPoint>, Vec<SmartPoint>) {
-    let smart = (1..=max).map(|h| smart_point(device, tile_slices, h)).collect();
-    let ft = (1..=max).map(|d| fasttrack_point(device, tile_slices, d)).collect();
+pub fn velocity_sweep(
+    device: &Device,
+    tile_slices: f64,
+    max: u32,
+) -> (Vec<SmartPoint>, Vec<SmartPoint>) {
+    let smart = (1..=max)
+        .map(|h| smart_point(device, tile_slices, h))
+        .collect();
+    let ft = (1..=max)
+        .map(|d| fasttrack_point(device, tile_slices, d))
+        .collect();
     (smart, ft)
 }
 
@@ -84,7 +100,11 @@ mod tests {
         let d = dev();
         let h1 = smart_point(&d, TILE, 1);
         let h4 = smart_point(&d, TILE, 4);
-        assert!(h1.mhz > 400.0, "single-hop SMART should be fast: {}", h1.mhz);
+        assert!(
+            h1.mhz > 400.0,
+            "single-hop SMART should be fast: {}",
+            h1.mhz
+        );
         assert!(h4.mhz < 250.0, "4-hop tunneling must collapse: {}", h4.mhz);
     }
 
@@ -101,7 +121,12 @@ mod tests {
             "tunneling a second router must not pay on an FPGA, gain {gain_12:.2}"
         );
         for p in &smart[3..] {
-            assert!(p.mhz < 250.0, "HPC={} should run a collapsed clock, got {}", p.hpc, p.mhz);
+            assert!(
+                p.mhz < 250.0,
+                "HPC={} should run a collapsed clock, got {}",
+                p.hpc,
+                p.mhz
+            );
         }
         // best_smart_hpc is well-defined even on the flat tail.
         assert!(best_smart_hpc(&d, TILE, 8) >= 1);
@@ -126,7 +151,11 @@ mod tests {
 
     #[test]
     fn velocity_math() {
-        let p = SmartPoint { hpc: 2, mhz: 400.0, velocity: 0.8 };
+        let p = SmartPoint {
+            hpc: 2,
+            mhz: 400.0,
+            velocity: 0.8,
+        };
         assert!((p.hpc as f64 * p.mhz / 1000.0 - p.velocity).abs() < 1e-12);
         let d = dev();
         let q = smart_point(&d, TILE, 2);

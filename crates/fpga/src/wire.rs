@@ -24,14 +24,24 @@ use crate::device::Device;
 /// Raw (uncapped) frequency anchors for the virtual-express experiment:
 /// `(distance_slices, mhz)` per hop count. Values above the clock ceiling
 /// are "purely theoretical" (paper's words) and get capped on query.
-const VIRTUAL_ANCHORS_H0: &[(f64, f64)] =
-    &[(1.0, 1400.0), (4.0, 1000.0), (16.0, 700.0), (64.0, 550.0), (128.0, 480.0), (256.0, 250.0)];
-const VIRTUAL_ANCHORS_H1: &[(f64, f64)] =
-    &[(1.0, 600.0), (8.0, 550.0), (32.0, 500.0), (128.0, 450.0), (256.0, 248.0)];
+const VIRTUAL_ANCHORS_H0: &[(f64, f64)] = &[
+    (1.0, 1400.0),
+    (4.0, 1000.0),
+    (16.0, 700.0),
+    (64.0, 550.0),
+    (128.0, 480.0),
+    (256.0, 250.0),
+];
+const VIRTUAL_ANCHORS_H1: &[(f64, f64)] = &[
+    (1.0, 600.0),
+    (8.0, 550.0),
+    (32.0, 500.0),
+    (128.0, 450.0),
+    (256.0, 248.0),
+];
 const VIRTUAL_ANCHORS_H2: &[(f64, f64)] =
     &[(1.0, 260.0), (16.0, 235.0), (64.0, 220.0), (256.0, 205.0)];
-const VIRTUAL_ANCHORS_H3: &[(f64, f64)] =
-    &[(1.0, 215.0), (64.0, 200.0), (256.0, 185.0)];
+const VIRTUAL_ANCHORS_H3: &[(f64, f64)] = &[(1.0, 215.0), (64.0, 200.0), (256.0, 185.0)];
 
 /// Frequency of the virtual-express experiment circuit (Fig 4): two
 /// registers `distance` SLICEs apart with `hops` combinational LUT stages
@@ -72,7 +82,11 @@ pub fn physical_express_mhz(device: &Device, distance: u32, bypassed_hops: u32) 
     // Piecewise: linear decline to 250 MHz at ~64 SLICEs (the paper's
     // anchor), then a gentler tail — long wires chain the fastest
     // routing tracks, so the marginal slice costs less out there.
-    let raw = if d <= 64.0 { 770.0 - 8.1 * d } else { 251.6 - 0.4 * (d - 64.0) };
+    let raw = if d <= 64.0 {
+        770.0 - 8.1 * d
+    } else {
+        251.6 - 0.4 * (d - 64.0)
+    };
     let hop_penalty = 1.0 - 0.015 * bypassed_hops as f64;
     (raw * hop_penalty.max(0.5)).clamp(150.0, device.clock_ceiling_mhz)
 }

@@ -99,7 +99,12 @@ mod tests {
             MeshConfig::new(1, 4).unwrap_err(),
             MeshConfigError::SystemTooSmall { n: 1 }
         );
-        assert_eq!(MeshConfig::new(4, 0).unwrap_err(), MeshConfigError::ZeroBufferDepth);
-        assert!(MeshConfigError::ZeroBufferDepth.to_string().contains("depth"));
+        assert_eq!(
+            MeshConfig::new(4, 0).unwrap_err(),
+            MeshConfigError::ZeroBufferDepth
+        );
+        assert!(MeshConfigError::ZeroBufferDepth
+            .to_string()
+            .contains("depth"));
     }
 }

@@ -12,11 +12,26 @@ use std::collections::VecDeque;
 
 use fasttrack_core::geom::Coord;
 use fasttrack_core::packet::{Delivery, Packet};
+use fasttrack_core::port::OutPort;
 use fasttrack_core::queue::InjectQueues;
 use fasttrack_core::stats::SimStats;
+use fasttrack_core::trace::{EventSink, NullSink, SimEvent};
 
 use crate::config::MeshConfig;
 use crate::router::{xy_route, Dir};
+
+/// Maps a mesh link direction onto the torus-typed event port by *axis*:
+/// the torus enum has no west/north outputs (its rings are
+/// unidirectional), so traces report x-axis links as `E_sh` and y-axis
+/// links as `S_sh`. Axis-level link accounting (e.g. the windowed
+/// metrics' utilization series) stays meaningful; direction within the
+/// axis is a mesh-only detail.
+fn axis_port(dir: Dir) -> OutPort {
+    match dir {
+        Dir::East | Dir::West => OutPort::EastSh,
+        Dir::North | Dir::South => OutPort::SouthSh,
+    }
+}
 
 /// Candidate inputs per output: four link FIFOs plus local injection.
 const INJ: usize = 4;
@@ -91,6 +106,22 @@ impl MeshNoc {
 
     /// Advances the mesh by one cycle.
     pub fn step(&mut self, queues: &mut InjectQueues, deliveries: &mut Vec<Delivery>) {
+        self.step_with_sink(queues, deliveries, &mut NullSink);
+    }
+
+    /// [`MeshNoc::step`] with an [`EventSink`] observing the cycle.
+    ///
+    /// The mesh emits the same event vocabulary as the torus engines
+    /// with two caveats: routing decisions carry `in_port: None` (FIFO
+    /// inputs have no torus port identity) and link outputs are reported
+    /// by axis via [`axis_port`]. Buffered routers hold rather than
+    /// misroute, so no [`SimEvent::Deflect`] is ever emitted.
+    pub fn step_with_sink<S: EventSink>(
+        &mut self,
+        queues: &mut InjectQueues,
+        deliveries: &mut Vec<Delivery>,
+        sink: &mut S,
+    ) {
         let n = self.cfg.n();
         let nodes = self.cfg.num_nodes();
         let mut moves: Vec<Move> = Vec::new();
@@ -111,7 +142,11 @@ impl MeshNoc {
 
             // Arbitrate each output: ejection (index 4) plus four links.
             for out_idx in 0..5usize {
-                let out: Option<Dir> = if out_idx == 4 { None } else { Some(Dir::ALL[out_idx]) };
+                let out: Option<Dir> = if out_idx == 4 {
+                    None
+                } else {
+                    Some(Dir::ALL[out_idx])
+                };
                 // Link outputs need a neighbor and a credit.
                 if let Some(dir) = out {
                     if dir.neighbor(at, n).is_none() || self.credits[node][dir.index()] == 0 {
@@ -120,7 +155,9 @@ impl MeshNoc {
                 }
                 // Round-robin over the five candidate inputs.
                 let start = self.rr[node][out_idx] as usize;
-                let winner = (0..5).map(|k| (start + k) % 5).find(|&i| desires[i] == Some(out));
+                let winner = (0..5)
+                    .map(|k| (start + k) % 5)
+                    .find(|&i| desires[i] == Some(out));
                 if let Some(input) = winner {
                     moves.push(Move { node, input, out });
                     self.rr[node][out_idx] = ((input + 1) % 5) as u8;
@@ -140,10 +177,26 @@ impl MeshNoc {
             let at = Coord::from_node_id(mv.node, n);
             let mut pkt = if mv.input == INJ {
                 let pending = queues.pop(mv.node).expect("granted injection has a packet");
-                let mut p = Packet::new(pending.id, at, pending.dst, pending.enqueued_at, pending.tag);
+                let mut p = Packet::new(
+                    pending.id,
+                    at,
+                    pending.dst,
+                    pending.enqueued_at,
+                    pending.tag,
+                );
                 p.injected_at = self.cycle;
                 self.stats.injected += 1;
                 self.in_flight += 1;
+                if S::ENABLED {
+                    sink.emit(&SimEvent::Inject {
+                        cycle: self.cycle,
+                        node: mv.node,
+                        packet: p.id,
+                        dst: p.dst,
+                        out: mv.out.map_or(OutPort::Exit, axis_port),
+                        queue_wait: self.cycle.saturating_sub(p.enqueued_at),
+                    });
+                }
                 p
             } else {
                 let p = self.fifos[mv.node][mv.input]
@@ -155,6 +208,15 @@ impl MeshNoc {
                 if let Some(upstream) = from_dir.neighbor(at, n) {
                     self.credits[upstream.to_node_id(n)][from_dir.opposite().index()] += 1;
                 }
+                if S::ENABLED {
+                    sink.emit(&SimEvent::RouteDecision {
+                        cycle: self.cycle,
+                        node: mv.node,
+                        packet: p.id,
+                        in_port: None,
+                        out: mv.out.map_or(OutPort::Exit, axis_port),
+                    });
+                }
                 p
             };
 
@@ -163,9 +225,21 @@ impl MeshNoc {
                     debug_assert_eq!(pkt.dst, at);
                     self.in_flight -= 1;
                     self.stats.delivered += 1;
-                    let delivery = Delivery { packet: pkt, cycle: self.cycle + 1 };
+                    let delivery = Delivery {
+                        packet: pkt,
+                        cycle: self.cycle + 1,
+                    };
                     self.stats.total_latency.record(delivery.total_latency());
-                    self.stats.network_latency.record(delivery.network_latency());
+                    self.stats
+                        .network_latency
+                        .record(delivery.network_latency());
+                    if S::ENABLED {
+                        sink.emit(&SimEvent::Eject {
+                            cycle: self.cycle,
+                            node: mv.node,
+                            delivery,
+                        });
+                    }
                     deliveries.push(delivery);
                 }
                 Some(dir) => {
@@ -174,17 +248,25 @@ impl MeshNoc {
                     let target = dir.neighbor(at, n).expect("checked in phase 1");
                     // The packet arrives at the target on the FIFO facing
                     // back toward us.
-                    arrivals.push((
-                        target.to_node_id(n),
-                        dir.opposite().index(),
-                        pkt,
-                    ));
+                    arrivals.push((target.to_node_id(n), dir.opposite().index(), pkt));
                 }
             }
         }
         for (node, fifo, pkt) in arrivals {
             debug_assert!(self.fifos[node][fifo].len() < self.cfg.buffer_depth());
             self.fifos[node][fifo].push_back(pkt);
+        }
+
+        if S::ENABLED {
+            // A node with a still-pending head was denied injection this
+            // cycle (grants pop the head, and pumps happen outside step).
+            for node in 0..nodes {
+                let injected = moves.iter().any(|m| m.node == node && m.input == INJ);
+                if !injected && queues.peek(node).is_some() {
+                    sink.emit(&queues.stall_event(self.cycle, node));
+                }
+            }
+            sink.end_cycle(self.cycle);
         }
 
         self.cycle += 1;
@@ -198,7 +280,7 @@ mod tests {
     fn drain(noc: &mut MeshNoc, q: &mut InjectQueues, max: u64) -> Vec<Delivery> {
         let mut out = Vec::new();
         for _ in 0..max {
-            noc.step(q, &mut out, );
+            noc.step(q, &mut out);
             if q.is_empty() && noc.in_flight() == 0 {
                 break;
             }
@@ -214,8 +296,8 @@ mod tests {
         let dels = drain(&mut noc, &mut q, 100);
         assert_eq!(dels.len(), 1);
         assert_eq!(dels[0].packet.short_hops, 5); // Manhattan distance
-        // Injection rides the first link in its grant cycle: 5 link
-        // cycles + 1 ejection cycle = latency 6.
+                                                  // Injection rides the first link in its grant cycle: 5 link
+                                                  // cycles + 1 ejection cycle = latency 6.
         assert_eq!(dels[0].total_latency(), 6);
     }
 
@@ -291,6 +373,79 @@ mod tests {
         }
         let dels = drain(&mut noc, &mut q, 100_000);
         assert_eq!(dels.len(), count, "deadlock or loss in buffered mesh");
+    }
+
+    #[test]
+    fn trace_events_cover_the_packet_lifetime() {
+        use fasttrack_core::trace::VecSink;
+        let mut noc = MeshNoc::new(MeshConfig::new(4, 2).unwrap());
+        let mut q = InjectQueues::new(16);
+        q.push(0, Coord::new(3, 2), 0, 0);
+        q.push(0, Coord::new(1, 0), 0, 0); // queued behind the first: stalls
+        let mut sink = VecSink::new();
+        let mut dels = Vec::new();
+        for _ in 0..100 {
+            noc.step_with_sink(&mut q, &mut dels, &mut sink);
+            if q.is_empty() && noc.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(dels.len(), 2);
+        assert_eq!(sink.of_kind("inject").len(), 2);
+        assert_eq!(sink.of_kind("eject").len(), 2);
+        // Each FIFO move is a decision: packet 1 rides its first link on
+        // injection, then 4 link moves + the ejection move; packet 2
+        // covers its single hop on injection, then ejects (4 + 1 + 1).
+        let routes = sink.of_kind("route");
+        assert_eq!(routes.len(), 6);
+        let exits = routes
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    SimEvent::RouteDecision {
+                        out: OutPort::Exit,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(exits, 2);
+        // Buffered routers never deflect.
+        assert!(sink.of_kind("deflect").is_empty());
+        for e in routes {
+            if let SimEvent::RouteDecision { in_port, .. } = e {
+                assert!(in_port.is_none(), "mesh FIFOs have no torus port identity");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_one_credits_stall_injection() {
+        use fasttrack_core::trace::VecSink;
+        // Depth-1 FIFOs: the second packet cannot inject until the first
+        // vacates the downstream buffer and the credit returns.
+        let mut noc = MeshNoc::new(MeshConfig::new(4, 1).unwrap());
+        let mut q = InjectQueues::new(16);
+        q.push(0, Coord::new(2, 0), 0, 0);
+        q.push(0, Coord::new(2, 0), 0, 0);
+        let mut sink = VecSink::new();
+        let mut dels = Vec::new();
+        for _ in 0..100 {
+            noc.step_with_sink(&mut q, &mut dels, &mut sink);
+            if q.is_empty() && noc.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(dels.len(), 2);
+        let stalls = sink.of_kind("stall");
+        assert!(
+            !stalls.is_empty(),
+            "credit exhaustion must surface as a stall"
+        );
+        for e in stalls {
+            assert!(matches!(e, SimEvent::QueueStall { node: 0, .. }));
+        }
     }
 
     #[test]

@@ -101,8 +101,14 @@ mod tests {
         assert_eq!(Dir::West.neighbor(Coord::new(0, 0), n), None);
         assert_eq!(Dir::East.neighbor(Coord::new(3, 0), n), None);
         assert_eq!(Dir::South.neighbor(Coord::new(0, 3), n), None);
-        assert_eq!(Dir::East.neighbor(Coord::new(1, 1), n), Some(Coord::new(2, 1)));
-        assert_eq!(Dir::North.neighbor(Coord::new(1, 1), n), Some(Coord::new(1, 0)));
+        assert_eq!(
+            Dir::East.neighbor(Coord::new(1, 1), n),
+            Some(Coord::new(2, 1))
+        );
+        assert_eq!(
+            Dir::North.neighbor(Coord::new(1, 1), n),
+            Some(Coord::new(1, 0))
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use fasttrack_core::packet::Delivery;
 use fasttrack_core::queue::InjectQueues;
 use fasttrack_core::sim::{SimOptions, SimReport, TrafficSource};
+use fasttrack_core::trace::{EventSink, NullSink, SimEvent};
 
 use crate::config::MeshConfig;
 use crate::noc::MeshNoc;
@@ -15,6 +16,17 @@ pub fn simulate_mesh<S: TrafficSource>(
     source: &mut S,
     opts: SimOptions,
 ) -> SimReport {
+    simulate_mesh_traced(cfg, source, opts, &mut NullSink)
+}
+
+/// [`simulate_mesh`] with an [`EventSink`] observing the run (same
+/// driver markers as `fasttrack_core::sim::simulate_traced`).
+pub fn simulate_mesh_traced<S: TrafficSource, K: EventSink>(
+    cfg: &MeshConfig,
+    source: &mut S,
+    opts: SimOptions,
+    sink: &mut K,
+) -> SimReport {
     let mut noc = MeshNoc::new(*cfg);
     let mut queues = InjectQueues::new(cfg.num_nodes());
     let mut deliveries: Vec<Delivery> = Vec::new();
@@ -26,10 +38,13 @@ pub fn simulate_mesh<S: TrafficSource>(
         if cycle == opts.warmup_cycles && cycle != 0 {
             noc.reset_stats();
             measured_from = cycle;
+            if K::ENABLED {
+                sink.emit(&SimEvent::WarmupReset { cycle });
+            }
         }
         source.pump(cycle, &mut queues);
         deliveries.clear();
-        noc.step(&mut queues, &mut deliveries);
+        noc.step_with_sink(&mut queues, &mut deliveries, sink);
         for d in &deliveries {
             source.on_delivery(d);
         }
@@ -38,6 +53,9 @@ pub fn simulate_mesh<S: TrafficSource>(
             truncated = false;
             break;
         }
+    }
+    if truncated && K::ENABLED {
+        sink.emit(&SimEvent::Truncated { cycle });
     }
 
     let mut stats = noc.stats().clone();

@@ -117,7 +117,11 @@ mod tests {
         // A directed cycle: everything reachable from 0.
         let g = Graph::new(50, (0..50u32).map(|i| (i, (i + 1) % 50)).collect());
         let mut src = BfsSource::new(&g, 0, 4, Partition::Cyclic);
-        let report = simulate(&NocConfig::hoplite(4).unwrap(), &mut src, SimOptions::default());
+        let report = simulate(
+            &NocConfig::hoplite(4).unwrap(),
+            &mut src,
+            SimOptions::default(),
+        );
         assert!(!report.truncated);
         assert_eq!(src.visited_count(), 50);
         // A cycle visits one new vertex per level: edge messages = 50.
@@ -128,7 +132,11 @@ mod tests {
     fn unreachable_vertices_stay_unvisited() {
         let g = Graph::new(10, vec![(0, 1), (1, 2), (5, 6)]);
         let mut src = BfsSource::new(&g, 0, 2, Partition::Cyclic);
-        let report = simulate(&NocConfig::hoplite(2).unwrap(), &mut src, SimOptions::default());
+        let report = simulate(
+            &NocConfig::hoplite(2).unwrap(),
+            &mut src,
+            SimOptions::default(),
+        );
         assert!(!report.truncated);
         assert_eq!(src.visited_count(), 3); // 0, 1, 2
     }
@@ -139,7 +147,11 @@ mod tests {
         // messages but expands once.
         let g = Graph::new(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
         let mut src = BfsSource::new(&g, 0, 2, Partition::Cyclic);
-        let report = simulate(&NocConfig::hoplite(2).unwrap(), &mut src, SimOptions::default());
+        let report = simulate(
+            &NocConfig::hoplite(2).unwrap(),
+            &mut src,
+            SimOptions::default(),
+        );
         assert_eq!(src.visited_count(), 4);
         assert_eq!(report.stats.delivered, 4); // one message per edge
     }

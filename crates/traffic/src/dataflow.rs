@@ -37,7 +37,10 @@ impl DataflowGraph {
         let mut succs = vec![Vec::new(); deps.len()];
         for (i, d) in deps.iter().enumerate() {
             for &p in d {
-                assert!((p as usize) < i, "dependency {p} of node {i} breaks DAG order");
+                assert!(
+                    (p as usize) < i,
+                    "dependency {p} of node {i} breaks DAG order"
+                );
                 succs[p as usize].push(i as u32);
             }
         }
@@ -69,7 +72,11 @@ impl DataflowGraph {
         let mut depth = vec![0usize; self.deps.len()];
         let mut best = 0;
         for i in 0..self.deps.len() {
-            let d = self.deps[i].iter().map(|&p| depth[p as usize] + 1).max().unwrap_or(0);
+            let d = self.deps[i]
+                .iter()
+                .map(|&p| depth[p as usize] + 1)
+                .max()
+                .unwrap_or(0);
             depth[i] = d;
             best = best.max(d);
         }
@@ -118,7 +125,7 @@ pub struct LuBenchmark {
 /// The Figure 15c benchmark suite.
 pub fn lu_benchmarks() -> Vec<LuBenchmark> {
     let spec: [(&str, usize, usize, f64); 12] = [
-        ("sandia_20105", 20105, 96, 2.2, ),
+        ("sandia_20105", 20105, 96, 2.2),
         ("simucad_ram2k", 15000, 80, 2.0),
         ("simucad_dac", 12000, 72, 2.1),
         ("sandia_12944", 12944, 72, 2.2),

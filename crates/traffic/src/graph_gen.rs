@@ -35,7 +35,10 @@ impl Graph {
         edges.retain(|&(u, v)| u != v);
         edges.sort_unstable();
         edges.dedup();
-        Graph { num_vertices, edges }
+        Graph {
+            num_vertices,
+            edges,
+        }
     }
 
     /// Vertex count.

@@ -34,7 +34,10 @@ impl SparseMatrix {
     /// Panics if any coordinate is out of range.
     pub fn from_coords(n: usize, mut coords: Vec<(u32, u32)>) -> Self {
         for &(r, c) in &coords {
-            assert!((r as usize) < n && (c as usize) < n, "entry ({r},{c}) out of range");
+            assert!(
+                (r as usize) < n && (c as usize) < n,
+                "entry ({r},{c}) out of range"
+            );
         }
         coords.sort_unstable();
         coords.dedup();
@@ -46,7 +49,11 @@ impl SparseMatrix {
             row_ptr[i + 1] += row_ptr[i];
         }
         let col_idx = coords.into_iter().map(|(_, c)| c).collect();
-        SparseMatrix { n, row_ptr, col_idx }
+        SparseMatrix {
+            n,
+            row_ptr,
+            col_idx,
+        }
     }
 
     /// Matrix dimension.
@@ -77,7 +84,13 @@ impl SparseMatrix {
 /// Circuit-style matrix (SPICE netlists like add20 / bomhof): full
 /// diagonal, a local coupling band, sparse random off-band entries, and
 /// a few dense rows/columns (supply nets touching everything).
-pub fn circuit(n: usize, band: usize, offband_per_row: usize, dense_lines: usize, seed: u64) -> SparseMatrix {
+pub fn circuit(
+    n: usize,
+    band: usize,
+    offband_per_row: usize,
+    dense_lines: usize,
+    seed: u64,
+) -> SparseMatrix {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut coords = Vec::new();
     for i in 0..n as u32 {
@@ -241,7 +254,10 @@ mod tests {
         degs.sort_unstable();
         let median = degs[500];
         let p99 = degs[990];
-        assert!(p99 as f64 > 4.0 * median as f64, "tail p99={p99} median={median}");
+        assert!(
+            p99 as f64 > 4.0 * median as f64,
+            "tail p99={p99} median={median}"
+        );
         // Hot columns: low indices are referenced far more often.
         let mut col_counts = vec![0u32; 1000];
         for (_, c) in m.iter() {
@@ -249,7 +265,10 @@ mod tests {
         }
         let hot: u32 = col_counts[..100].iter().sum();
         let cold: u32 = col_counts[900..].iter().sum();
-        assert!(hot > 5 * cold, "no preferential attachment: {hot} vs {cold}");
+        assert!(
+            hot > 5 * cold,
+            "no preferential attachment: {hot} vs {cold}"
+        );
     }
 
     #[test]
@@ -267,8 +286,16 @@ mod tests {
         let add20 = circuit(2395, 4, 2, 3, 0x5eed_0006);
         // Real add20 has ~13k-17k nonzeros; structure class matters more
         // than the exact count, but stay in the right ballpark.
-        assert!((8_000..40_000).contains(&add20.nnz()), "add20 nnz {}", add20.nnz());
+        assert!(
+            (8_000..40_000).contains(&add20.nnz()),
+            "add20 nnz {}",
+            add20.nnz()
+        );
         let gene = power_law(3500, 120, 1.6, 0x5eed_0005);
-        assert!(gene.nnz() > 200_000, "human_gene2 should be dense-ish: {}", gene.nnz());
+        assert!(
+            gene.nnz() > 200_000,
+            "human_gene2 should be dense-ish: {}",
+            gene.nnz()
+        );
     }
 }

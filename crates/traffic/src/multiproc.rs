@@ -35,12 +35,48 @@ pub struct ParsecProfile {
 /// `dedup`, and `vips` ship lots of shared data around.
 pub fn parsec_benchmarks() -> Vec<ParsecProfile> {
     vec![
-        ParsecProfile { name: "x264", messages_per_pe: 4000, locality: 0.15, hotspot: 0.35, think_cycles: 2.0 },
-        ParsecProfile { name: "vips", messages_per_pe: 3500, locality: 0.25, hotspot: 0.30, think_cycles: 2.5 },
-        ParsecProfile { name: "freqmine", messages_per_pe: 2500, locality: 0.85, hotspot: 0.05, think_cycles: 4.0 },
-        ParsecProfile { name: "fluidanimate", messages_per_pe: 3000, locality: 0.55, hotspot: 0.15, think_cycles: 3.0 },
-        ParsecProfile { name: "dedup", messages_per_pe: 3800, locality: 0.20, hotspot: 0.40, think_cycles: 2.0 },
-        ParsecProfile { name: "blackscholes", messages_per_pe: 2000, locality: 0.40, hotspot: 0.20, think_cycles: 5.0 },
+        ParsecProfile {
+            name: "x264",
+            messages_per_pe: 4000,
+            locality: 0.15,
+            hotspot: 0.35,
+            think_cycles: 2.0,
+        },
+        ParsecProfile {
+            name: "vips",
+            messages_per_pe: 3500,
+            locality: 0.25,
+            hotspot: 0.30,
+            think_cycles: 2.5,
+        },
+        ParsecProfile {
+            name: "freqmine",
+            messages_per_pe: 2500,
+            locality: 0.85,
+            hotspot: 0.05,
+            think_cycles: 4.0,
+        },
+        ParsecProfile {
+            name: "fluidanimate",
+            messages_per_pe: 3000,
+            locality: 0.55,
+            hotspot: 0.15,
+            think_cycles: 3.0,
+        },
+        ParsecProfile {
+            name: "dedup",
+            messages_per_pe: 3800,
+            locality: 0.20,
+            hotspot: 0.40,
+            think_cycles: 2.0,
+        },
+        ParsecProfile {
+            name: "blackscholes",
+            messages_per_pe: 2000,
+            locality: 0.40,
+            hotspot: 0.20,
+            think_cycles: 5.0,
+        },
     ]
 }
 
@@ -76,7 +112,14 @@ pub fn parsec_trace(profile: &ParsecProfile, n: u16, seed: u64) -> TimedTraceSou
             } else {
                 rng.gen_range(0..pes)
             };
-            events.push((t, Message { src: pe, dst, tag: 0 }));
+            events.push((
+                t,
+                Message {
+                    src: pe,
+                    dst,
+                    tag: 0,
+                },
+            ));
         }
     }
     TimedTraceSource::new(n, events)
@@ -86,8 +129,8 @@ pub fn parsec_trace(profile: &ParsecProfile, n: u16, seed: u64) -> TimedTraceSou
 mod tests {
     use super::*;
     use fasttrack_core::config::{FtPolicy, NocConfig};
-    use fasttrack_core::sim::{simulate, SimOptions, TrafficSource};
     use fasttrack_core::queue::InjectQueues;
+    use fasttrack_core::sim::{simulate, SimOptions, TrafficSource};
 
     #[test]
     fn suite_has_six_benchmarks() {
@@ -129,12 +172,12 @@ mod tests {
         for node in 0..36usize {
             let src = Coord::from_node_id(node, 6);
             while let Some(p) = q.pop(node) {
-                let dx = (p.dst.x as i32 - src.x as i32).rem_euclid(6).min(
-                    (src.x as i32 - p.dst.x as i32).rem_euclid(6),
-                );
-                let dy = (p.dst.y as i32 - src.y as i32).rem_euclid(6).min(
-                    (src.y as i32 - p.dst.y as i32).rem_euclid(6),
-                );
+                let dx = (p.dst.x as i32 - src.x as i32)
+                    .rem_euclid(6)
+                    .min((src.x as i32 - p.dst.x as i32).rem_euclid(6));
+                let dy = (p.dst.y as i32 - src.y as i32)
+                    .rem_euclid(6)
+                    .min((src.y as i32 - p.dst.y as i32).rem_euclid(6));
                 assert!(dx <= 1 && dy <= 1, "non-local message {src} -> {}", p.dst);
             }
         }

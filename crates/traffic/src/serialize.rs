@@ -62,15 +62,28 @@ impl TransferBatchSource {
         let nodes = n as usize * n as usize;
         let mut remaining = Vec::with_capacity(transfers.len());
         for t in &transfers {
-            assert!(t.src < nodes && t.dst < nodes, "transfer endpoint out of range");
+            assert!(
+                t.src < nodes && t.dst < nodes,
+                "transfer endpoint out of range"
+            );
             remaining.push(flits_for(t.bits, width));
         }
-        TransferBatchSource { n, width, transfers, remaining, completed: 0, pushed: false }
+        TransferBatchSource {
+            n,
+            width,
+            transfers,
+            remaining,
+            completed: 0,
+            pushed: false,
+        }
     }
 
     /// Total flits this batch will inject.
     pub fn total_flits(&self) -> u64 {
-        self.transfers.iter().map(|t| flits_for(t.bits, self.width) as u64).sum()
+        self.transfers
+            .iter()
+            .map(|t| flits_for(t.bits, self.width) as u64)
+            .sum()
     }
 
     /// Transfers fully reassembled so far.
@@ -139,8 +152,16 @@ mod tests {
     #[test]
     fn serializes_and_reassembles() {
         let transfers = vec![
-            Transfer { src: 0, dst: 5, bits: 512 },
-            Transfer { src: 3, dst: 12, bits: 512 },
+            Transfer {
+                src: 0,
+                dst: 5,
+                bits: 512,
+            },
+            Transfer {
+                src: 3,
+                dst: 12,
+                bits: 512,
+            },
         ];
         let mut src = TransferBatchSource::new(4, 128, transfers);
         assert_eq!(src.total_flits(), 8);
@@ -159,7 +180,11 @@ mod tests {
         let mk = |width| {
             let transfers: Vec<Transfer> = (0..16)
                 .flat_map(|s| {
-                    (0..200).map(move |_| Transfer { src: s, dst: (s + 7) % 16, bits: 512 })
+                    (0..200).map(move |_| Transfer {
+                        src: s,
+                        dst: (s + 7) % 16,
+                        bits: 512,
+                    })
                 })
                 .collect();
             TransferBatchSource::new(4, width, transfers)
@@ -174,6 +199,9 @@ mod tests {
             simulate(&cfg, &mut s, SimOptions::default())
         };
         let ratio = narrow.cycles as f64 / wide.cycles as f64;
-        assert!((3.0..=5.0).contains(&ratio), "serialization ratio {ratio:.2}");
+        assert!(
+            (3.0..=5.0).contains(&ratio),
+            "serialization ratio {ratio:.2}"
+        );
     }
 }

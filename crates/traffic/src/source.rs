@@ -31,7 +31,10 @@ impl BernoulliSource {
     ///
     /// Panics if `rate` is not within `(0.0, 1.0]`.
     pub fn new(n: u16, pattern: Pattern, rate: f64, packets_per_pe: u64, seed: u64) -> Self {
-        assert!(rate > 0.0 && rate <= 1.0, "injection rate {rate} out of (0,1]");
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "injection rate {rate} out of (0,1]"
+        );
         BernoulliSource {
             n,
             rate,
@@ -96,9 +99,16 @@ impl MessageBatchSource {
     pub fn new(n: u16, messages: Vec<Message>) -> Self {
         let nodes = n as usize * n as usize;
         for m in &messages {
-            assert!(m.src < nodes && m.dst < nodes, "message endpoint out of range");
+            assert!(
+                m.src < nodes && m.dst < nodes,
+                "message endpoint out of range"
+            );
         }
-        MessageBatchSource { n, messages, pushed: false }
+        MessageBatchSource {
+            n,
+            messages,
+            pushed: false,
+        }
     }
 
     /// Number of messages in the batch.
@@ -146,7 +156,10 @@ impl TimedTraceSource {
     pub fn new(n: u16, mut events: Vec<(u64, Message)>) -> Self {
         let nodes = n as usize * n as usize;
         for (_, m) in &events {
-            assert!(m.src < nodes && m.dst < nodes, "trace endpoint out of range");
+            assert!(
+                m.src < nodes && m.dst < nodes,
+                "trace endpoint out of range"
+            );
         }
         events.sort_by_key(|(t, _)| *t);
         TimedTraceSource { n, events, next: 0 }
@@ -222,9 +235,21 @@ mod tests {
     #[test]
     fn batch_source_end_to_end() {
         let msgs = vec![
-            Message { src: 0, dst: 5, tag: 1 },
-            Message { src: 3, dst: 12, tag: 2 },
-            Message { src: 15, dst: 0, tag: 3 },
+            Message {
+                src: 0,
+                dst: 5,
+                tag: 1,
+            },
+            Message {
+                src: 3,
+                dst: 12,
+                tag: 2,
+            },
+            Message {
+                src: 15,
+                dst: 0,
+                tag: 3,
+            },
         ];
         let mut src = MessageBatchSource::new(4, msgs);
         assert_eq!(src.len(), 3);
@@ -238,14 +263,35 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn batch_bounds_checked() {
-        MessageBatchSource::new(2, vec![Message { src: 0, dst: 99, tag: 0 }]);
+        MessageBatchSource::new(
+            2,
+            vec![Message {
+                src: 0,
+                dst: 99,
+                tag: 0,
+            }],
+        );
     }
 
     #[test]
     fn timed_trace_releases_in_order() {
         let events = vec![
-            (5, Message { src: 1, dst: 2, tag: 0 }),
-            (0, Message { src: 0, dst: 3, tag: 1 }),
+            (
+                5,
+                Message {
+                    src: 1,
+                    dst: 2,
+                    tag: 0,
+                },
+            ),
+            (
+                0,
+                Message {
+                    src: 0,
+                    dst: 3,
+                    tag: 1,
+                },
+            ),
         ];
         let mut src = TimedTraceSource::new(2, events);
         assert_eq!(src.remaining(), 2);

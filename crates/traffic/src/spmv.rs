@@ -79,7 +79,12 @@ impl fasttrack_core::sim::TrafficSource for IterativeSpmvSource {
     fn pump(&mut self, cycle: u64, queues: &mut fasttrack_core::queue::InjectQueues) {
         if self.outstanding == 0 && self.iterations_left > 0 {
             for m in &self.messages {
-                queues.push(m.src, fasttrack_core::geom::Coord::from_node_id(m.dst, self.n), cycle, m.tag);
+                queues.push(
+                    m.src,
+                    fasttrack_core::geom::Coord::from_node_id(m.dst, self.n),
+                    cycle,
+                    m.tag,
+                );
             }
             self.outstanding = self.messages.len() as u64;
             self.iterations_left -= 1;
@@ -147,7 +152,10 @@ mod tests {
         assert_eq!(r5.stats.delivered, 5 * r1.stats.delivered);
         assert!(one.iterations_left() == 0 && five.iterations_left() == 0);
         let ratio = r5.cycles as f64 / r1.cycles as f64;
-        assert!((4.0..=6.5).contains(&ratio), "barrier scaling off: {ratio:.2}");
+        assert!(
+            (4.0..=6.5).contains(&ratio),
+            "barrier scaling off: {ratio:.2}"
+        );
     }
 
     #[test]
@@ -176,6 +184,9 @@ mod tests {
         assert_eq!(hoplite.stats.delivered, m.nnz() as u64);
         assert_eq!(ft.stats.delivered, m.nnz() as u64);
         let speedup = hoplite.cycles as f64 / ft.cycles as f64;
-        assert!(speedup > 1.0, "FastTrack should speed up SpMV, got {speedup}");
+        assert!(
+            speedup > 1.0,
+            "FastTrack should speed up SpMV, got {speedup}"
+        );
     }
 }

@@ -88,24 +88,35 @@ pub fn parse_trace(text: &str, n: u16) -> Result<Vec<TraceEvent>, TraceParseErro
         }
         let fields: Vec<&str> = content.split_whitespace().collect();
         if fields.len() != 3 && fields.len() != 4 {
-            return Err(TraceParseError::BadFieldCount { line, fields: fields.len() });
+            return Err(TraceParseError::BadFieldCount {
+                line,
+                fields: fields.len(),
+            });
         }
         let parse = |text: &str| -> Result<u64, TraceParseError> {
-            text.parse().map_err(|_: ParseIntError| TraceParseError::BadInteger {
-                line,
-                text: text.to_string(),
-            })
+            text.parse()
+                .map_err(|_: ParseIntError| TraceParseError::BadInteger {
+                    line,
+                    text: text.to_string(),
+                })
         };
         let release_cycle = parse(fields[0])?;
         let src = parse(fields[1])? as usize;
         let dst = parse(fields[2])? as usize;
-        let tag = if fields.len() == 4 { parse(fields[3])? } else { 0 };
+        let tag = if fields.len() == 4 {
+            parse(fields[3])?
+        } else {
+            0
+        };
         for node in [src, dst] {
             if node >= nodes {
                 return Err(TraceParseError::NodeOutOfRange { line, node, nodes });
             }
         }
-        events.push(TraceEvent { release_cycle, message: Message { src, dst, tag } });
+        events.push(TraceEvent {
+            release_cycle,
+            message: Message { src, dst, tag },
+        });
     }
     Ok(events)
 }
@@ -134,7 +145,10 @@ pub fn trace_source_from_text(text: &str, n: u16) -> Result<TimedTraceSource, Tr
     let events = parse_trace(text, n)?;
     Ok(TimedTraceSource::new(
         n,
-        events.into_iter().map(|e| (e.release_cycle, e.message)).collect(),
+        events
+            .into_iter()
+            .map(|e| (e.release_cycle, e.message))
+            .collect(),
     ))
 }
 
@@ -147,7 +161,14 @@ mod tests {
         let text = "# header\n\n0 0 5\n10 3 1 42  # inline comment\n";
         let events = parse_trace(text, 4).unwrap();
         assert_eq!(events.len(), 2);
-        assert_eq!(events[0].message, Message { src: 0, dst: 5, tag: 0 });
+        assert_eq!(
+            events[0].message,
+            Message {
+                src: 0,
+                dst: 5,
+                tag: 0
+            }
+        );
         assert_eq!(events[1].release_cycle, 10);
         assert_eq!(events[1].message.tag, 42);
     }
@@ -160,20 +181,44 @@ mod tests {
         );
         assert_eq!(
             parse_trace("0 0 1\nx 0 1\n", 4).unwrap_err(),
-            TraceParseError::BadInteger { line: 2, text: "x".into() }
+            TraceParseError::BadInteger {
+                line: 2,
+                text: "x".into()
+            }
         );
         assert_eq!(
             parse_trace("0 0 99\n", 4).unwrap_err(),
-            TraceParseError::NodeOutOfRange { line: 1, node: 99, nodes: 16 }
+            TraceParseError::NodeOutOfRange {
+                line: 1,
+                node: 99,
+                nodes: 16
+            }
         );
-        assert!(parse_trace("0 0 99\n", 4).unwrap_err().to_string().contains("node 99"));
+        assert!(parse_trace("0 0 99\n", 4)
+            .unwrap_err()
+            .to_string()
+            .contains("node 99"));
     }
 
     #[test]
     fn roundtrip_preserves_events() {
         let events = vec![
-            TraceEvent { release_cycle: 7, message: Message { src: 1, dst: 2, tag: 3 } },
-            TraceEvent { release_cycle: 0, message: Message { src: 0, dst: 15, tag: 0 } },
+            TraceEvent {
+                release_cycle: 7,
+                message: Message {
+                    src: 1,
+                    dst: 2,
+                    tag: 3,
+                },
+            },
+            TraceEvent {
+                release_cycle: 0,
+                message: Message {
+                    src: 0,
+                    dst: 15,
+                    tag: 0,
+                },
+            },
         ];
         let text = format_trace(&events);
         let parsed = parse_trace(&text, 4).unwrap();
@@ -189,7 +234,11 @@ mod tests {
         use fasttrack_core::sim::{simulate, SimOptions};
         let text = "0 0 5\n0 1 6\n5 2 7\n";
         let mut src = trace_source_from_text(text, 4).unwrap();
-        let report = simulate(&NocConfig::hoplite(4).unwrap(), &mut src, SimOptions::default());
+        let report = simulate(
+            &NocConfig::hoplite(4).unwrap(),
+            &mut src,
+            SimOptions::default(),
+        );
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 3);
     }

@@ -61,6 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some((label, eff)) = best {
         println!("\nBest throughput per kLUT: {label} ({eff:.2} Mpkt/s/kLUT).");
     }
-    println!("Choose D ~ 2-3 for an 8x8 system; longer links strand short transfers (paper Fig 17).");
+    println!(
+        "Choose D ~ 2-3 for an 8x8 system; longer links strand short transfers (paper Fig 17)."
+    );
     Ok(())
 }

@@ -14,7 +14,10 @@ use fasttrack::traffic::partition::Partition;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 8u16; // 64 PEs
     let graphs = [
-        ("wiki-Vote-class (R-MAT)", rmat(13, 100_000, 0.57, 0.19, 0.19, 3)),
+        (
+            "wiki-Vote-class (R-MAT)",
+            rmat(13, 100_000, 0.57, 0.19, 0.19, 3),
+        ),
         ("roadNet-class (lattice)", road_network(300, 0.01, 4)),
     ];
 
@@ -24,25 +27,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             graph.num_vertices(),
             graph.num_edges()
         );
-        println!("{:<14} {:>12} {:>12} {:>9}", "NoC", "cycles", "avg lat", "speedup");
+        println!(
+            "{:<14} {:>12} {:>12} {:>9}",
+            "NoC", "cycles", "avg lat", "speedup"
+        );
         let mut base_cycles = None;
         // Baseline, iso-wiring replicated Hoplite, and FastTrack.
         let hoplite = NocConfig::hoplite(n)?;
         let ft = NocConfig::fasttrack(n, 2, 1, FtPolicy::Full)?;
         #[allow(clippy::type_complexity)]
         let runs: [(&str, Box<dyn Fn() -> SimReport>); 3] = [
-            ("Hoplite", Box::new(|| {
-                let mut src = graph_source(graph, n, Partition::Cyclic);
-                simulate(&hoplite, &mut src, SimOptions::default())
-            })),
-            ("Hoplite-3x", Box::new(|| {
-                let mut src = graph_source(graph, n, Partition::Cyclic);
-                simulate_multichannel(&hoplite, 3, &mut src, SimOptions::default())
-            })),
-            ("FT(64,2,1)", Box::new(|| {
-                let mut src = graph_source(graph, n, Partition::Cyclic);
-                simulate(&ft, &mut src, SimOptions::default())
-            })),
+            (
+                "Hoplite",
+                Box::new(|| {
+                    let mut src = graph_source(graph, n, Partition::Cyclic);
+                    simulate(&hoplite, &mut src, SimOptions::default())
+                }),
+            ),
+            (
+                "Hoplite-3x",
+                Box::new(|| {
+                    let mut src = graph_source(graph, n, Partition::Cyclic);
+                    simulate_multichannel(&hoplite, 3, &mut src, SimOptions::default())
+                }),
+            ),
+            (
+                "FT(64,2,1)",
+                Box::new(|| {
+                    let mut src = graph_source(graph, n, Partition::Cyclic);
+                    simulate(&ft, &mut src, SimOptions::default())
+                }),
+            ),
         ];
         for (label, run) in &runs {
             let report = run();

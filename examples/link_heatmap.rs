@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 8u16;
     let cfg = NocConfig::fasttrack(n, 2, 1, FtPolicy::Full)?;
     let mut noc = Noc::new(cfg.clone());
-    noc.attach_probe(Probe::with_tracing(cfg.num_nodes(), TraceSelect::Sampled(97)));
+    noc.attach_probe(Probe::with_tracing(
+        cfg.num_nodes(),
+        TraceSelect::Sampled(97),
+    ));
 
     // Hotspot workload: everyone hammers the node at (6,6), plus
     // background random traffic.
@@ -37,7 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let probe = noc.probe().expect("probe attached");
-    println!("== {} hotspot run: {} cycles, {} delivered ==\n", cfg.name(), cycle, deliveries.len());
+    println!(
+        "== {} hotspot run: {} cycles, {} delivered ==\n",
+        cfg.name(),
+        cycle,
+        deliveries.len()
+    );
     for (label, port) in [
         ("E_sh (short east)", OutPort::EastSh),
         ("E_ex (express east)", OutPort::EastEx),

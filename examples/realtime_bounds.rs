@@ -19,11 +19,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("== Zero-load latency floors (exact, per config) ==");
-    println!("{:<12} {:>10} {:>10} {:>22}", "config", "mean", "worst", "corner-to-corner");
+    println!(
+        "{:<12} {:>10} {:>10} {:>22}",
+        "config", "mean", "worst", "corner-to-corner"
+    );
     for cfg in &configs {
         let p = zero_load_profile(cfg);
         let corner = zero_load_latency(cfg, Coord::new(0, 0), Coord::new(7, 7));
-        println!("{:<12} {:>10.2} {:>10} {:>22}", cfg.name(), p.mean, p.max, corner);
+        println!(
+            "{:<12} {:>10.2} {:>10} {:>22}",
+            cfg.name(),
+            p.mean,
+            p.max,
+            corner
+        );
     }
 
     println!("\n== Regulated traffic: worst observed vs zero-load floor ==");

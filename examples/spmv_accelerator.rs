@@ -21,8 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (name, matrix) in &matrices {
-        println!("== SpMV: {name} ({} rows, {} nnz) ==", matrix.n(), matrix.nnz());
-        println!("{:<8} {:>14} {:>14} {:>9}", "PEs", "Hoplite cyc", "FT(2,1) cyc", "speedup");
+        println!(
+            "== SpMV: {name} ({} rows, {} nnz) ==",
+            matrix.n(),
+            matrix.nnz()
+        );
+        println!(
+            "{:<8} {:>14} {:>14} {:>9}",
+            "PEs", "Hoplite cyc", "FT(2,1) cyc", "speedup"
+        );
         for n in [4u16, 8, 16] {
             let hoplite = {
                 let mut src = spmv_source(matrix, n, Partition::Cyclic);
@@ -47,6 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
-    println!("Speedups grow with PE count: more PEs = longer average paths = more express-link value.");
+    println!(
+        "Speedups grow with PE count: more PEs = longer average paths = more express-link value."
+    );
     Ok(())
 }

@@ -15,7 +15,10 @@ fn main() {
     let device = Device::virtex7_485t();
 
     println!("== 1. Wire characterization (paper Figures 4 & 6) ==");
-    println!("{:<10} {:>14} {:>14} {:>16}", "distance", "virtual h=0", "virtual h=2", "physical bypass");
+    println!(
+        "{:<10} {:>14} {:>14} {:>16}",
+        "distance", "virtual h=0", "virtual h=2", "physical bypass"
+    );
     for d in [4u32, 16, 64, 128, 256] {
         println!(
             "{:<10} {:>11.0} MHz {:>11.0} MHz {:>13.0} MHz",

@@ -54,9 +54,9 @@ pub mod prelude {
     pub use fasttrack_fpga::power::PowerModel;
     pub use fasttrack_fpga::resources::{noc_cost, NocCost};
     pub use fasttrack_fpga::routability::noc_frequency_mhz;
-    pub use fasttrack_traffic::pattern::Pattern;
     pub use fasttrack_mesh::{simulate_mesh, MeshConfig, MeshNoc};
     pub use fasttrack_traffic::partition::Partition;
+    pub use fasttrack_traffic::pattern::Pattern;
     pub use fasttrack_traffic::source::{
         BernoulliSource, Message, MessageBatchSource, TimedTraceSource,
     };

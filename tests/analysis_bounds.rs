@@ -48,8 +48,14 @@ fn analytic_model_predicts_fasttrack_ordering() {
         / channel_loads(&hoplite, &uniform).saturation_bound();
     let sim_ratio = saturated_rate(&ft, Pattern::Random, 0xb1)
         / saturated_rate(&hoplite, Pattern::Random, 0xb1);
-    assert!(bound_ratio > 1.3, "model must predict an FT win, got {bound_ratio:.2}");
-    assert!(sim_ratio > 1.3, "simulation must confirm, got {sim_ratio:.2}");
+    assert!(
+        bound_ratio > 1.3,
+        "model must predict an FT win, got {bound_ratio:.2}"
+    );
+    assert!(
+        sim_ratio > 1.3,
+        "simulation must confirm, got {sim_ratio:.2}"
+    );
 }
 
 #[test]
@@ -79,8 +85,7 @@ fn mean_hop_model_matches_deflection_free_traffic() {
     let predicted = loads.mean_hops_per_packet(64.0);
     let mut src = BernoulliSource::new(8, Pattern::Random, 0.02, 300, 0xb3);
     let report = simulate(&cfg, &mut src, SimOptions::default());
-    let measured =
-        report.stats.link_usage.total() as f64 / report.stats.delivered as f64;
+    let measured = report.stats.link_usage.total() as f64 / report.stats.delivered as f64;
     assert!(
         (measured - predicted).abs() / predicted < 0.1,
         "hops/packet: measured {measured:.2} vs predicted {predicted:.2}"

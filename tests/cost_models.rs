@@ -37,13 +37,19 @@ fn fasttrack_cheaper_than_iso_wired_replicas() {
     let hoplite = noc_cost(&NocConfig::hoplite(8).unwrap(), 256);
     let ft21 = noc_cost(&ft(8, 2, 1), 256);
     let ratio = hoplite.replicated(3).luts as f64 / ft21.luts as f64;
-    assert!((0.9..=1.3).contains(&ratio), "Hoplite-3x / FT LUT ratio {ratio:.2}");
+    assert!(
+        (0.9..=1.3).contains(&ratio),
+        "Hoplite-3x / FT LUT ratio {ratio:.2}"
+    );
     // The depopulated design costs about the same as Hoplite-2x (the
     // paper's 69K vs 68K — within noise).
     let ft22 = noc_cost(&ft(8, 2, 2), 256);
     assert!(ft22.luts > hoplite.luts);
     let r22 = ft22.luts as f64 / hoplite.replicated(2).luts as f64;
-    assert!((0.9..=1.1).contains(&r22), "FT(64,2,2)/Hoplite-2x ratio {r22:.2}");
+    assert!(
+        (0.9..=1.1).contains(&r22),
+        "FT(64,2,2)/Hoplite-2x ratio {r22:.2}"
+    );
 }
 
 #[test]
@@ -56,7 +62,12 @@ fn frequency_and_fit_are_consistent() {
                 // At the peak width the frequency query succeeds...
                 assert!(noc_frequency_mhz(&device, &cfg, w, 1).is_ok());
                 // ...and a 4x wider design does not fit.
-                assert!(check_fit(&device, &cfg, w * 4, 1).is_err(), "{} w={}", cfg.name(), w);
+                assert!(
+                    check_fit(&device, &cfg, w * 4, 1).is_err(),
+                    "{} w={}",
+                    cfg.name(),
+                    w
+                );
             }
         }
     }

@@ -75,11 +75,24 @@ fn same_workload_runs_on_all_three_noc_classes() {
     // the TrafficSource abstraction holds across engines.
     let run_count = |r: &SimReport| r.stats.delivered;
     let mut s1 = BernoulliSource::new(4, Pattern::Transpose, 0.5, 100, 5);
-    let mesh = simulate_mesh(&MeshConfig::new(4, 2).unwrap(), &mut s1, SimOptions::default());
+    let mesh = simulate_mesh(
+        &MeshConfig::new(4, 2).unwrap(),
+        &mut s1,
+        SimOptions::default(),
+    );
     let mut s2 = BernoulliSource::new(4, Pattern::Transpose, 0.5, 100, 5);
-    let torus = simulate(&NocConfig::hoplite(4).unwrap(), &mut s2, SimOptions::default());
+    let torus = simulate(
+        &NocConfig::hoplite(4).unwrap(),
+        &mut s2,
+        SimOptions::default(),
+    );
     let mut s3 = BernoulliSource::new(4, Pattern::Transpose, 0.5, 100, 5);
-    let multi = simulate_multichannel(&NocConfig::hoplite(4).unwrap(), 2, &mut s3, SimOptions::default());
+    let multi = simulate_multichannel(
+        &NocConfig::hoplite(4).unwrap(),
+        2,
+        &mut s3,
+        SimOptions::default(),
+    );
     assert_eq!(run_count(&mesh), 1600);
     assert_eq!(run_count(&torus), 1600);
     assert_eq!(run_count(&multi), 1600);

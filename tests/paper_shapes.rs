@@ -10,7 +10,13 @@ fn run_random(cfg: &NocConfig, rate: f64, per_pe: u64, seed: u64) -> SimReport {
     simulate(cfg, &mut src, SimOptions::default())
 }
 
-fn run_random_multi(cfg: &NocConfig, channels: usize, rate: f64, per_pe: u64, seed: u64) -> SimReport {
+fn run_random_multi(
+    cfg: &NocConfig,
+    channels: usize,
+    rate: f64,
+    per_pe: u64,
+    seed: u64,
+) -> SimReport {
     let n = cfg.n();
     let mut src = BernoulliSource::new(n, Pattern::Random, rate, per_pe, seed);
     simulate_multichannel(cfg, channels, &mut src, SimOptions::default())
@@ -39,7 +45,10 @@ fn fasttrack_beats_hoplite_on_random() {
         ft22.sustained_rate_per_pe(),
     );
     assert!(f1 > 2.0 * h, "FT(64,2,1)={f1:.3} vs Hoplite={h:.3}");
-    assert!(f2 > h && f2 < f1, "depopulated should sit between: {h:.3} {f2:.3} {f1:.3}");
+    assert!(
+        f2 > h && f2 < f1,
+        "depopulated should sit between: {h:.3} {f2:.3} {f1:.3}"
+    );
 }
 
 /// Figure 11 shape: below 10% injection everyone delivers the offered
@@ -54,7 +63,10 @@ fn no_win_below_saturation() {
         2,
     );
     let ratio = ft.sustained_rate_per_pe() / hoplite.sustained_rate_per_pe();
-    assert!((0.95..=1.05).contains(&ratio), "unexpected low-load win: {ratio}");
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "unexpected low-load win: {ratio}"
+    );
 }
 
 /// Figure 12 shape: average latency at saturation is much lower on
@@ -155,7 +167,8 @@ fn express_usage_reduces_deflections() {
         7,
     );
     assert!(ft.stats.link_usage.express_fraction() > 0.25);
-    let hoplite_defl = hoplite.stats.ports.total_deflections() as f64 / hoplite.stats.delivered as f64;
+    let hoplite_defl =
+        hoplite.stats.ports.total_deflections() as f64 / hoplite.stats.delivered as f64;
     let ft_defl = ft.stats.ports.total_deflections() as f64 / ft.stats.delivered as f64;
     assert!(
         ft_defl < hoplite_defl,

@@ -39,7 +39,11 @@ fn spmv_global_matrix_gains_more_than_local() {
     let global = circuit(1500, 4, 3, 5, 23);
     let speedup = |m: &fasttrack::traffic::matrix::SparseMatrix, p: Partition| {
         let mut s1 = spmv_source(m, 4, p);
-        let h = simulate(&NocConfig::hoplite(4).unwrap(), &mut s1, SimOptions::default());
+        let h = simulate(
+            &NocConfig::hoplite(4).unwrap(),
+            &mut s1,
+            SimOptions::default(),
+        );
         let mut s2 = spmv_source(m, 4, p);
         let f = simulate(
             &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
@@ -63,7 +67,12 @@ fn graph_superstep_conserves_edges() {
         let mut src = graph_source(&g, 4, Partition::Cyclic);
         let report = simulate(&cfg, &mut src, SimOptions::default());
         assert!(!report.truncated);
-        assert_eq!(report.stats.delivered as usize, g.num_edges(), "{}", cfg.name());
+        assert_eq!(
+            report.stats.delivered as usize,
+            g.num_edges(),
+            "{}",
+            cfg.name()
+        );
     }
 }
 
@@ -72,7 +81,11 @@ fn road_network_is_nearly_noc_insensitive() {
     let g = road_network(120, 0.01, 32);
     let p = Partition::Grid2d { side: 120 };
     let mut s1 = graph_source(&g, 4, p);
-    let h = simulate(&NocConfig::hoplite(4).unwrap(), &mut s1, SimOptions::default());
+    let h = simulate(
+        &NocConfig::hoplite(4).unwrap(),
+        &mut s1,
+        SimOptions::default(),
+    );
     let mut s2 = graph_source(&g, 4, p);
     let f = simulate(
         &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
@@ -126,7 +139,11 @@ fn parsec_local_benchmark_gains_least() {
     let x264 = benches.iter().find(|b| b.name == "x264").unwrap();
     let speedup = |profile| {
         let mut t1 = parsec_trace(profile, 6, 51);
-        let h = simulate(&NocConfig::hoplite(6).unwrap(), &mut t1, SimOptions::with_max_cycles(5_000_000));
+        let h = simulate(
+            &NocConfig::hoplite(6).unwrap(),
+            &mut t1,
+            SimOptions::with_max_cycles(5_000_000),
+        );
         let mut t2 = parsec_trace(profile, 6, 51);
         let f = simulate(
             &NocConfig::fasttrack(6, 2, 1, FtPolicy::Full).unwrap(),
