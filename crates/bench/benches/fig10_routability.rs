@@ -6,6 +6,7 @@
 //! `<256, ·>` (16×16) since our torus is square; the size trend they
 //! illustrate is preserved.
 
+use fasttrack_bench::runner::parallel_map;
 use fasttrack_bench::table::Table;
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_fpga::device::Device;
@@ -36,13 +37,23 @@ fn main() {
         "Figure 10: peak frequency (MHz) vs datawidth; NA = does not fit",
         &header_refs,
     );
+    // Every cell is independent: fan the width x config grid out on the
+    // sweep pool and reassemble rows in order.
+    let points: Vec<(u32, usize)> = FIG10_WIDTHS
+        .iter()
+        .flat_map(|&w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let cells = parallel_map(points, |(w, c)| {
+        match noc_frequency_mhz(&device, &configs[c].1, w, 1) {
+            Ok(mhz) => format!("{mhz:.0}"),
+            Err(_) => "NA".into(),
+        }
+    });
+    let mut cells = cells.into_iter();
     for &w in &FIG10_WIDTHS {
         let mut row = vec![w.to_string()];
-        for (_, cfg) in &configs {
-            row.push(match noc_frequency_mhz(&device, cfg, w, 1) {
-                Ok(mhz) => format!("{mhz:.0}"),
-                Err(_) => "NA".into(),
-            });
+        for _ in &configs {
+            row.push(cells.next().unwrap());
         }
         t.add_row(row);
     }

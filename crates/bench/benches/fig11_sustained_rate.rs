@@ -2,7 +2,7 @@
 //! 64-PE NoC under the four synthetic traffic patterns — Hoplite,
 //! FT(64,2,1), and FT(64,2,2).
 
-use fasttrack_bench::runner::{run_pattern, NocUnderTest, INJECTION_RATES};
+use fasttrack_bench::runner::{parallel_map, run_pattern, NocUnderTest, INJECTION_RATES};
 use fasttrack_bench::table::Table;
 use fasttrack_traffic::pattern::Pattern;
 
@@ -12,6 +12,21 @@ fn main() {
         NocUnderTest::fasttrack(8, 2, 1),
         NocUnderTest::fasttrack(8, 2, 2),
     ];
+    // Fan the full pattern x rate x NoC grid out on the sweep pool;
+    // results come back in point order regardless of scheduling.
+    let n_nuts = nuts.len();
+    let points: Vec<(Pattern, f64, usize)> = Pattern::PAPER_SET
+        .iter()
+        .flat_map(|&pattern| {
+            INJECTION_RATES
+                .iter()
+                .flat_map(move |&rate| (0..n_nuts).map(move |i| (pattern, rate, i)))
+        })
+        .collect();
+    let reports = parallel_map(points, |(pattern, rate, i)| {
+        run_pattern(&nuts[i], pattern, rate, 0x00f1_6110)
+    });
+    let mut reports = reports.into_iter();
     for pattern in Pattern::PAPER_SET {
         let mut headers = vec!["Injection rate".to_string()];
         headers.extend(nuts.iter().map(|n| n.label.clone()));
@@ -22,8 +37,8 @@ fn main() {
         );
         for &rate in &INJECTION_RATES {
             let mut row = vec![format!("{rate:.2}")];
-            for nut in &nuts {
-                let report = run_pattern(nut, pattern, rate, 0x00f1_6110);
+            for _ in &nuts {
+                let report = reports.next().unwrap();
                 row.push(format!("{:.4}", report.sustained_rate_per_pe()));
             }
             t.add_row(row);

@@ -1,18 +1,18 @@
 //! Figure 12: average packet latency vs injection rate for a 64-PE NoC
 //! under the four synthetic patterns.
 
-use fasttrack_bench::runner::{run_pattern, NocUnderTest, INJECTION_RATES};
+use fasttrack_bench::runner::{parallel_map, run_pattern, NocUnderTest, INJECTION_RATES};
 use fasttrack_bench::table::{fmt_f, Table};
+use fasttrack_core::sim::SimReport;
 use fasttrack_traffic::pattern::Pattern;
 
 /// Highest injection rate (from the sweep grid) whose average latency
 /// stays at or below 100 cycles — the paper's saturation-throughput
 /// metric ("At 100 cycles average latency we see as much as 5x higher
 /// saturation throughput").
-fn saturation_at_100(nut: &NocUnderTest, pattern: Pattern) -> f64 {
+fn saturation_at_100(column: &[&SimReport]) -> f64 {
     let mut best = 0.0;
-    for &rate in &INJECTION_RATES {
-        let report = run_pattern(nut, pattern, rate, 0x00f1_6120);
+    for report in column {
         if report.avg_latency() <= 100.0 {
             best = report.sustained_rate_per_pe();
         }
@@ -26,7 +26,23 @@ fn main() {
         NocUnderTest::fasttrack(8, 2, 1),
         NocUnderTest::fasttrack(8, 2, 2),
     ];
-    for pattern in Pattern::PAPER_SET {
+    // One parallel fan-out over the whole grid; both the per-pattern
+    // tables and the saturation knees reuse the same result matrix.
+    let n_nuts = nuts.len();
+    let points: Vec<(Pattern, f64, usize)> = Pattern::PAPER_SET
+        .iter()
+        .flat_map(|&pattern| {
+            INJECTION_RATES
+                .iter()
+                .flat_map(move |&rate| (0..n_nuts).map(move |i| (pattern, rate, i)))
+        })
+        .collect();
+    let reports = parallel_map(points, |(pattern, rate, i)| {
+        run_pattern(&nuts[i], pattern, rate, 0x00f1_6120)
+    });
+    let idx = |p: usize, r: usize, c: usize| (p * INJECTION_RATES.len() + r) * n_nuts + c;
+
+    for (p, pattern) in Pattern::PAPER_SET.into_iter().enumerate() {
         let mut headers = vec!["Injection rate".to_string()];
         headers.extend(nuts.iter().map(|n| n.label.clone()));
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -34,11 +50,10 @@ fn main() {
             &format!("Figure 12 ({pattern}): average latency (cycles)"),
             &header_refs,
         );
-        for &rate in &INJECTION_RATES {
+        for (r, &rate) in INJECTION_RATES.iter().enumerate() {
             let mut row = vec![format!("{rate:.2}")];
-            for nut in &nuts {
-                let report = run_pattern(nut, pattern, rate, 0x00f1_6120);
-                row.push(format!("{:.1}", report.avg_latency()));
+            for c in 0..n_nuts {
+                row.push(format!("{:.1}", reports[idx(p, r, c)].avg_latency()));
             }
             t.add_row(row);
         }
@@ -58,10 +73,15 @@ fn main() {
             "FT(64,2,1) gain",
         ],
     );
-    for pattern in Pattern::PAPER_SET {
-        let h = saturation_at_100(&nuts[0], pattern);
-        let f1 = saturation_at_100(&nuts[1], pattern);
-        let f2 = saturation_at_100(&nuts[2], pattern);
+    for (p, pattern) in Pattern::PAPER_SET.into_iter().enumerate() {
+        let column = |c: usize| -> Vec<&SimReport> {
+            (0..INJECTION_RATES.len())
+                .map(|r| &reports[idx(p, r, c)])
+                .collect()
+        };
+        let h = saturation_at_100(&column(0));
+        let f1 = saturation_at_100(&column(1));
+        let f2 = saturation_at_100(&column(2));
         sat.add_row(vec![
             pattern.name().into(),
             fmt_f(h, 4),

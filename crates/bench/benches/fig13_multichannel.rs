@@ -5,7 +5,7 @@
 //! Hoplite-3x matches FT(N,2,1)'s wire bundles; Hoplite-2x would match
 //! FT(N,2,2) (see Figure 14 for the full cost picture).
 
-use fasttrack_bench::runner::{run_pattern, NocUnderTest, INJECTION_RATES};
+use fasttrack_bench::runner::{parallel_map, run_pattern, NocUnderTest, INJECTION_RATES};
 use fasttrack_bench::table::Table;
 use fasttrack_traffic::pattern::Pattern;
 
@@ -27,10 +27,20 @@ fn main() {
             &format!("Figure 13 ({pes} PEs, RANDOM): sustained rate & avg latency"),
             &header_refs,
         );
+        // Fan the rate x NoC grid for this size out on the sweep pool.
+        let n_nuts = nuts.len();
+        let points: Vec<(f64, usize)> = INJECTION_RATES
+            .iter()
+            .flat_map(|&rate| (0..n_nuts).map(move |i| (rate, i)))
+            .collect();
+        let reports = parallel_map(points, |(rate, i)| {
+            run_pattern(&nuts[i], Pattern::Random, rate, 0x00f1_6130)
+        });
+        let mut reports = reports.into_iter();
         for &rate in &INJECTION_RATES {
             let mut row = vec![format!("{rate:.2}")];
-            for nut in &nuts {
-                let report = run_pattern(nut, Pattern::Random, rate, 0x00f1_6130);
+            for _ in &nuts {
+                let report = reports.next().unwrap();
                 row.push(format!("{:.4}", report.sustained_rate_per_pe()));
                 row.push(format!("{:.1}", report.avg_latency()));
             }

@@ -5,7 +5,7 @@
 //! Throughput in wall-clock terms combines the simulator's sustained
 //! rate with each configuration's modeled post-route frequency.
 
-use fasttrack_bench::runner::{run_pattern, NocUnderTest};
+use fasttrack_bench::runner::{parallel_map, run_pattern, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_fpga::device::Device;
 use fasttrack_fpga::resources::noc_cost;
@@ -34,11 +34,16 @@ fn main() {
             "Throughput (Mpkt/s)",
         ],
     );
-    for nut in &nuts {
+    // Simulations run on the sweep pool; the cheap cost/frequency model
+    // evaluations stay serial.
+    let points: Vec<usize> = (0..nuts.len()).collect();
+    let reports = parallel_map(points, |i| {
+        run_pattern(&nuts[i], Pattern::Random, 1.0, 0x00f1_6140)
+    });
+    for (nut, report) in nuts.iter().zip(reports) {
         let cost = noc_cost(&nut.config, WIDTH).replicated(nut.channels as u32);
         let mhz = noc_frequency_mhz(&device, &nut.config, WIDTH, nut.channels as u32)
             .expect("8x8 at 256b fits");
-        let report = run_pattern(nut, Pattern::Random, 1.0, 0x00f1_6140);
         let rate = report.aggregate_rate();
         t.add_row(vec![
             nut.label.clone(),

@@ -2,7 +2,7 @@
 //! speedup of the best FastTrack configuration over baseline Hoplite at
 //! 4–256 PEs.
 
-use fasttrack_bench::runner::{quick_mode, speedup, NocUnderTest, PE_LADDER};
+use fasttrack_bench::runner::{parallel_map, quick_mode, speedup, NocUnderTest, PE_LADDER};
 use fasttrack_bench::table::Table;
 use fasttrack_core::sim::SimOptions;
 use fasttrack_traffic::matrix::{banded, circuit, power_law, MatrixBenchmark};
@@ -53,22 +53,35 @@ fn main() {
         &header_refs,
     );
 
-    for bench in benchmarks() {
-        let mut row = vec![bench.name.to_string(), bench.matrix.nnz().to_string()];
+    // Each (matrix, size) cell — a Hoplite baseline plus the FastTrack
+    // candidate set — is independent: fan the grid out on the sweep pool.
+    let benches = benchmarks();
+    let points: Vec<(usize, u16)> = benches
+        .iter()
+        .enumerate()
+        .flat_map(|(b, _)| ladder.iter().map(move |&(_pes, n)| (b, n)))
+        .collect();
+    let cells = parallel_map(points, |(b, n)| {
+        let bench = &benches[b];
         let partition = Partition::for_local_dominated(bench.local_dominated);
-        for &(_pes, n) in ladder {
-            let hoplite = {
-                let mut src = spmv_source(&bench.matrix, n, partition);
-                NocUnderTest::hoplite(n).run(&mut src, opts)
-            };
-            // "Best FastTrack configuration": try the valid D=2 variants.
-            let mut best = f64::MIN;
-            for nut in NocUnderTest::fasttrack_candidates(n) {
-                let mut src = spmv_source(&bench.matrix, n, partition);
-                let ft = nut.run(&mut src, opts);
-                best = best.max(speedup(&hoplite, &ft));
-            }
-            row.push(format!("{best:.2}"));
+        let hoplite = {
+            let mut src = spmv_source(&bench.matrix, n, partition);
+            NocUnderTest::hoplite(n).run(&mut src, opts)
+        };
+        // "Best FastTrack configuration": try the valid D=2 variants.
+        let mut best = f64::MIN;
+        for nut in NocUnderTest::fasttrack_candidates(n) {
+            let mut src = spmv_source(&bench.matrix, n, partition);
+            let ft = nut.run(&mut src, opts);
+            best = best.max(speedup(&hoplite, &ft));
+        }
+        best
+    });
+    let mut cells = cells.into_iter();
+    for bench in &benches {
+        let mut row = vec![bench.name.to_string(), bench.matrix.nnz().to_string()];
+        for _ in ladder {
+            row.push(format!("{:.2}", cells.next().unwrap()));
         }
         t.add_row(row);
     }

@@ -1,7 +1,7 @@
 //! Figure 15b: graph-analytics accelerator traces — speedup of the best
 //! FastTrack configuration over baseline Hoplite at 16–256 PEs.
 
-use fasttrack_bench::runner::{quick_mode, speedup, NocUnderTest};
+use fasttrack_bench::runner::{parallel_map, quick_mode, speedup, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_core::sim::SimOptions;
 use fasttrack_traffic::graph::graph_source;
@@ -49,21 +49,34 @@ fn main() {
         &header_refs,
     );
 
-    for bench in benchmarks() {
-        let mut row = vec![bench.name.to_string(), bench.graph.num_edges().to_string()];
+    // Fan the (graph, size) grid out on the sweep pool; each cell runs
+    // its Hoplite baseline plus the FastTrack candidate set.
+    let benches = benchmarks();
+    let points: Vec<(usize, u16)> = benches
+        .iter()
+        .enumerate()
+        .flat_map(|(b, _)| ladder.iter().map(move |&(_pes, n)| (b, n)))
+        .collect();
+    let cells = parallel_map(points, |(b, n)| {
+        let bench = &benches[b];
         let partition = bench.partition;
-        for &(_pes, n) in ladder {
-            let hoplite = {
-                let mut src = graph_source(&bench.graph, n, partition);
-                NocUnderTest::hoplite(n).run(&mut src, opts)
-            };
-            let mut best = f64::MIN;
-            for nut in NocUnderTest::fasttrack_candidates(n) {
-                let mut src = graph_source(&bench.graph, n, partition);
-                let ft = nut.run(&mut src, opts);
-                best = best.max(speedup(&hoplite, &ft));
-            }
-            row.push(format!("{best:.2}"));
+        let hoplite = {
+            let mut src = graph_source(&bench.graph, n, partition);
+            NocUnderTest::hoplite(n).run(&mut src, opts)
+        };
+        let mut best = f64::MIN;
+        for nut in NocUnderTest::fasttrack_candidates(n) {
+            let mut src = graph_source(&bench.graph, n, partition);
+            let ft = nut.run(&mut src, opts);
+            best = best.max(speedup(&hoplite, &ft));
+        }
+        best
+    });
+    let mut cells = cells.into_iter();
+    for bench in &benches {
+        let mut row = vec![bench.name.to_string(), bench.graph.num_edges().to_string()];
+        for _ in ladder {
+            row.push(format!("{:.2}", cells.next().unwrap()));
         }
         t.add_row(row);
     }

@@ -2,7 +2,7 @@
 //! FastTrack configuration over baseline Hoplite. Latency-bound traffic:
 //! packets are injected along dependency chains.
 
-use fasttrack_bench::runner::{quick_mode, speedup, NocUnderTest};
+use fasttrack_bench::runner::{parallel_map, quick_mode, speedup, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_core::sim::SimOptions;
 use fasttrack_traffic::dataflow::{lu_benchmarks, lu_dag, DataflowSource, LuBenchmark};
@@ -50,24 +50,37 @@ fn main() {
         &header_refs,
     );
 
-    for bench in benchmarks() {
+    // Fan the (circuit, size) grid out on the sweep pool; each cell runs
+    // its Hoplite baseline plus the FastTrack candidate set.
+    let benches = benchmarks();
+    let points: Vec<(usize, u16)> = benches
+        .iter()
+        .enumerate()
+        .flat_map(|(b, _)| ladder.iter().map(move |&(_pes, n)| (b, n)))
+        .collect();
+    let cells = parallel_map(points, |(b, n)| {
+        let bench = &benches[b];
+        let hoplite = {
+            let mut src = DataflowSource::new(bench.dag.clone(), n, COMPUTE_CYCLES);
+            NocUnderTest::hoplite(n).run(&mut src, opts)
+        };
+        let mut best = f64::MIN;
+        for nut in NocUnderTest::fasttrack_candidates(n) {
+            let mut src = DataflowSource::new(bench.dag.clone(), n, COMPUTE_CYCLES);
+            let ft = nut.run(&mut src, opts);
+            best = best.max(speedup(&hoplite, &ft));
+        }
+        best
+    });
+    let mut cells = cells.into_iter();
+    for bench in &benches {
         let mut row = vec![
             bench.name.to_string(),
             bench.dag.num_nodes().to_string(),
             bench.dag.critical_path_len().to_string(),
         ];
-        for &(_pes, n) in ladder {
-            let hoplite = {
-                let mut src = DataflowSource::new(bench.dag.clone(), n, COMPUTE_CYCLES);
-                NocUnderTest::hoplite(n).run(&mut src, opts)
-            };
-            let mut best = f64::MIN;
-            for nut in NocUnderTest::fasttrack_candidates(n) {
-                let mut src = DataflowSource::new(bench.dag.clone(), n, COMPUTE_CYCLES);
-                let ft = nut.run(&mut src, opts);
-                best = best.max(speedup(&hoplite, &ft));
-            }
-            row.push(format!("{best:.2}"));
+        for _ in ladder {
+            row.push(format!("{:.2}", cells.next().unwrap()));
         }
         t.add_row(row);
     }

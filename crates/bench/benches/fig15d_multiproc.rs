@@ -4,7 +4,7 @@
 //! The paper runs 32 PEs; we host the overlay on a 6×6 torus (36 PEs,
 //! the nearest square), which leaves the traffic profile untouched.
 
-use fasttrack_bench::runner::{quick_mode, speedup, NocUnderTest};
+use fasttrack_bench::runner::{parallel_map, quick_mode, speedup, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_core::sim::SimOptions;
 use fasttrack_traffic::multiproc::{parsec_benchmarks, parsec_trace};
@@ -19,20 +19,30 @@ fn main() {
         "Figure 15d: Multi-processor overlay speedup (best FastTrack vs Hoplite, 32 PEs)",
         &["Benchmark", "Messages", "Speedup"],
     );
-    for mut profile in parsec_benchmarks() {
-        if quick_mode() {
+    // One sweep-pool task per benchmark profile; each task runs its
+    // Hoplite baseline plus the FastTrack candidate set.
+    let mut profiles = parsec_benchmarks();
+    if quick_mode() {
+        for profile in &mut profiles {
             profile.messages_per_pe /= 10;
         }
+    }
+    let points: Vec<usize> = (0..profiles.len()).collect();
+    let cells = parallel_map(points, |b| {
+        let profile = &profiles[b];
         let hoplite = {
-            let mut src = parsec_trace(&profile, n, 0x00f1_6150);
+            let mut src = parsec_trace(profile, n, 0x00f1_6150);
             NocUnderTest::hoplite(n).run(&mut src, opts)
         };
         let mut best = f64::MIN;
         for nut in NocUnderTest::fasttrack_candidates(n) {
-            let mut src = parsec_trace(&profile, n, 0x00f1_6150);
+            let mut src = parsec_trace(profile, n, 0x00f1_6150);
             let ft = nut.run(&mut src, opts);
             best = best.max(speedup(&hoplite, &ft));
         }
+        best
+    });
+    for (profile, best) in profiles.iter().zip(cells) {
         t.add_row(vec![
             profile.name.to_string(),
             (profile.messages_per_pe as usize * (n as usize * n as usize)).to_string(),

@@ -4,7 +4,7 @@
 //! system sizes (4–256 PEs); tails grow with size, so the 256-PE column
 //! is where the 3–7× worst-case reductions live.
 
-use fasttrack_bench::runner::{run_pattern, NocUnderTest};
+use fasttrack_bench::runner::{parallel_map, run_pattern, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_traffic::pattern::Pattern;
 
@@ -17,14 +17,13 @@ fn main() {
             NocUnderTest::fasttrack(n, 2, 2),
             NocUnderTest::hoplite(n),
         ];
+        let sims = parallel_map((0..nuts.len()).collect(), |i| {
+            run_pattern(&nuts[i], Pattern::Random, RATE, 0x00f1_6160)
+        });
         let reports: Vec<_> = nuts
             .iter()
-            .map(|nut| {
-                (
-                    nut.label.clone(),
-                    run_pattern(nut, Pattern::Random, RATE, 0x00f1_6160),
-                )
-            })
+            .zip(sims)
+            .map(|(nut, report)| (nut.label.clone(), report))
             .collect();
 
         let mut t = Table::new(

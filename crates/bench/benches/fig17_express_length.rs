@@ -2,7 +2,7 @@
 //! RANDOM traffic at 50% injection, for 16/64/256-PE systems, fully
 //! populated (R=1) and maximally depopulated (R=D).
 
-use fasttrack_bench::runner::{run_pattern, NocUnderTest};
+use fasttrack_bench::runner::{parallel_map, run_pattern, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_traffic::pattern::Pattern;
 
@@ -15,32 +15,31 @@ fn main() {
             &format!("Figure 17 ({pes} PEs, RANDOM @50%): sustained rate vs D"),
             &["D", "R=1 rate", "R=D rate"],
         );
+        // Build the D-ladder in emission order — Hoplite, then per D the
+        // fully populated NoC and (when R=D tiles the ring) the
+        // depopulated one — and fan it out on the sweep pool.
+        let mut nuts = vec![NocUnderTest::hoplite(n)];
+        for d in 1..=max_d {
+            nuts.push(NocUnderTest::fasttrack(n, d, 1));
+            if n % d == 0 {
+                nuts.push(NocUnderTest::fasttrack(n, d, d));
+            }
+        }
+        let reports = parallel_map((0..nuts.len()).collect(), |i| {
+            run_pattern(&nuts[i], Pattern::Random, RATE, 0x00f1_6170)
+        });
+        let mut reports = reports.into_iter();
         // D = 0 row: baseline Hoplite for reference.
-        let hoplite = run_pattern(
-            &NocUnderTest::hoplite(n),
-            Pattern::Random,
-            RATE,
-            0x00f1_6170,
-        );
+        let hoplite = reports.next().unwrap();
         t.add_row(vec![
             "0 (Hoplite)".into(),
             format!("{:.4}", hoplite.sustained_rate_per_pe()),
             format!("{:.4}", hoplite.sustained_rate_per_pe()),
         ]);
         for d in 1..=max_d {
-            let full = run_pattern(
-                &NocUnderTest::fasttrack(n, d, 1),
-                Pattern::Random,
-                RATE,
-                0x00f1_6170,
-            );
+            let full = reports.next().unwrap();
             let depop = if n % d == 0 {
-                let r = run_pattern(
-                    &NocUnderTest::fasttrack(n, d, d),
-                    Pattern::Random,
-                    RATE,
-                    0x00f1_6170,
-                );
+                let r = reports.next().unwrap();
                 format!("{:.4}", r.sustained_rate_per_pe())
             } else {
                 // R must tile the ring; mark non-tiling depopulations.

@@ -1,7 +1,7 @@
 //! Figure 18: short/express link usage (18a) and per-input-port
 //! deflections (18b) for a 64-PE NoC under RANDOM traffic.
 
-use fasttrack_bench::runner::{run_pattern, NocUnderTest};
+use fasttrack_bench::runner::{parallel_map, run_pattern, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_core::port::InPort;
 use fasttrack_traffic::pattern::Pattern;
@@ -18,14 +18,13 @@ fn main() {
         NocUnderTest::fasttrack(8, 2, 2),
         NocUnderTest::fasttrack(8, 2, 1),
     ];
+    let sims = parallel_map((0..nuts.len()).collect(), |i| {
+        run_pattern(&nuts[i], Pattern::Random, RATE, 0x00f1_6180)
+    });
     let reports: Vec<_> = nuts
         .iter()
-        .map(|nut| {
-            (
-                nut.label.clone(),
-                run_pattern(nut, Pattern::Random, RATE, 0x00f1_6180),
-            )
-        })
+        .zip(sims)
+        .map(|(nut, report)| (nut.label.clone(), report))
         .collect();
 
     let mut a = Table::new(

@@ -2,7 +2,7 @@
 //! traffic — sustained throughput (Mpkt/s) against the energy to route
 //! the 1K-packets/PE workload.
 
-use fasttrack_bench::runner::{run_pattern, NocUnderTest};
+use fasttrack_bench::runner::{parallel_map, run_pattern, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_fpga::device::Device;
 use fasttrack_fpga::power::PowerModel;
@@ -33,11 +33,15 @@ fn main() {
             "Rel. energy",
         ],
     );
+    // Simulations fan out on the sweep pool; the frequency and energy
+    // models stay serial (they are cheap and `base_energy` is stateful).
+    let reports = parallel_map((0..nuts.len()).collect(), |i| {
+        run_pattern(&nuts[i], Pattern::Random, RATE, 0x00f1_6190)
+    });
     let mut base_energy = None;
-    for nut in &nuts {
+    for (nut, report) in nuts.iter().zip(reports) {
         let mhz = noc_frequency_mhz(&device, &nut.config, WIDTH, nut.channels as u32)
             .expect("8x8 fits at 256b");
-        let report = run_pattern(nut, Pattern::Random, RATE, 0x00f1_6190);
         let energy = power.workload_energy_j(
             &device,
             &nut.config,

@@ -1,0 +1,52 @@
+//! Sweep-engine scaling check: an 8-point grid run serially and on 8
+//! worker threads must produce byte-identical CSVs, and on a machine
+//! with enough cores the parallel run must be at least 3x faster.
+
+use std::time::Instant;
+
+use fasttrack_bench::runner::{quick_mode, sweep_csv, NocUnderTest, SweepGrid};
+use fasttrack_traffic::pattern::Pattern;
+
+fn main() {
+    let nuts = [NocUnderTest::hoplite(8), NocUnderTest::fasttrack(8, 2, 1)];
+    let patterns = [Pattern::Random, Pattern::Transpose];
+    let rates = [0.1, 0.5];
+    let packets = if quick_mode() { 200 } else { 2000 };
+    let grid = SweepGrid::cross(&nuts, &patterns, &rates, 0xf7_5ca1e).with_packets_per_pe(packets);
+    assert_eq!(grid.len(), 8, "scaling grid should have 8 points");
+
+    let t0 = Instant::now();
+    let serial = grid.run(1);
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = grid.run(8);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        sweep_csv(&serial),
+        sweep_csv(&parallel),
+        "parallel sweep output must be byte-identical to the serial run"
+    );
+
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "sweep_scaling: {} points, serial {:.3}s, 8 threads {:.3}s, \
+         speedup {:.2}x on {} core(s)",
+        grid.len(),
+        serial_secs,
+        parallel_secs,
+        speedup,
+        cores
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 3.0,
+            "expected >=3x speedup on {cores} cores, measured {speedup:.2}x"
+        );
+    } else {
+        println!("fewer than 4 cores available; skipping the >=3x speedup assertion");
+    }
+    println!("shape check: CSV equality holds at any thread count; speedup tracks core count.");
+}

@@ -14,6 +14,7 @@ pub mod runner;
 pub mod table;
 
 pub use runner::{
-    packets_per_pe, quick_mode, run_pattern, speedup, NocUnderTest, INJECTION_RATES, PE_LADDER,
+    packets_per_pe, parallel_map, quick_mode, run_pattern, run_point, speedup, sweep_csv,
+    NocUnderTest, SweepGrid, SweepPoint, SweepRow, INJECTION_RATES, PE_LADDER,
 };
 pub use table::Table;

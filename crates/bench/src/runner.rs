@@ -1,5 +1,6 @@
 //! Shared experiment plumbing: standard configurations, injection-rate
-//! sweeps, and workload speedup measurement.
+//! sweeps (serial and deterministically parallel), and workload speedup
+//! measurement.
 
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, NdjsonSink};
@@ -8,6 +9,7 @@ use fasttrack_core::sim::{
     simulate, simulate_multichannel, simulate_multichannel_traced, simulate_traced, SimOptions,
     SimReport, TrafficSource,
 };
+use fasttrack_core::sweep::{point_seed, sweep};
 use fasttrack_core::trace::EventSink;
 use fasttrack_traffic::pattern::Pattern;
 use fasttrack_traffic::source::BernoulliSource;
@@ -148,8 +150,16 @@ fn sanitize(label: &str) -> String {
 /// Epoch length used for exported per-run metric series.
 const TRACE_EPOCH: u64 = 64;
 
-/// Maps `f` over `items` on one OS thread per item batch, preserving
-/// order. Every simulation run is independent and seeded, so sweeps
+/// Default worker count for the experiment harness: one per core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(4)
+}
+
+/// Maps `f` over `items` on a work-stealing pool sized to the machine,
+/// preserving order ([`fasttrack_core::sweep::sweep`] under the hood).
+/// Every simulation run is independent and seeded, so sweeps
 /// parallelize without affecting results; wall-clock for the Figure
 /// 11–13 grids drops by roughly the core count.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -158,58 +168,182 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(4);
-    let n = items.len();
-    let chunk = n.div_ceil(threads.max(1)).max(1);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    std::thread::scope(|scope| {
-        let mut pending_slots: &mut [Option<R>] = &mut slots;
-        let mut chunks = Vec::new();
-        let mut rest = items;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let tail = rest.split_off(take);
-            let (head_slots, tail_slots) = pending_slots.split_at_mut(take);
-            chunks.push((rest, head_slots));
-            rest = tail;
-            pending_slots = tail_slots;
-        }
-        for (chunk_items, out) in chunks {
-            let f = &f;
-            scope.spawn(move || {
-                for ((_, item), slot) in chunk_items.into_iter().zip(out.iter_mut()) {
-                    *slot = Some(f(item));
+    sweep(items, default_threads(), |_, item| f(item))
+}
+
+/// One point of a sweep grid: a NoC under test × pattern × rate. The
+/// point's RNG seed is *not* stored here — it is derived from the grid
+/// base seed and the point's index at run time, which is what makes the
+/// parallel run byte-identical to the serial one.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The NoC (configuration + channel count) this point simulates.
+    pub nut: NocUnderTest,
+    /// Synthetic traffic pattern.
+    pub pattern: Pattern,
+    /// Injection rate (Bernoulli probability per PE per cycle).
+    pub rate: f64,
+}
+
+/// The result of one executed [`SweepPoint`].
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Label of the NoC under test (e.g. `FT(64,2,1)`).
+    pub label: String,
+    /// Physical channel count.
+    pub channels: usize,
+    /// Traffic pattern.
+    pub pattern: Pattern,
+    /// Injection rate.
+    pub rate: f64,
+    /// The SplitMix64-derived seed this point ran with.
+    pub seed: u64,
+    /// The finished simulation report.
+    pub report: SimReport,
+}
+
+/// A sweep grid: an ordered list of points plus the deterministic
+/// seeding scheme. Identical grids produce identical [`SweepRow`]s (and
+/// identical [`sweep_csv`] bytes) at any thread count.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// The points, in canonical (serial) order.
+    pub points: Vec<SweepPoint>,
+    /// Base seed every per-point seed is derived from.
+    pub base_seed: u64,
+    /// Packets each PE injects per run.
+    pub packets_per_pe: u64,
+}
+
+impl SweepGrid {
+    /// The cross product `nuts × patterns × rates` in row-major order
+    /// (NoC slowest, rate fastest), with the standard packet quota.
+    pub fn cross(
+        nuts: &[NocUnderTest],
+        patterns: &[Pattern],
+        rates: &[f64],
+        base_seed: u64,
+    ) -> Self {
+        let mut points = Vec::with_capacity(nuts.len() * patterns.len() * rates.len());
+        for nut in nuts {
+            for &pattern in patterns {
+                for &rate in rates {
+                    points.push(SweepPoint {
+                        nut: nut.clone(),
+                        pattern,
+                        rate,
+                    });
                 }
-            });
+            }
         }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+        SweepGrid {
+            points,
+            base_seed,
+            packets_per_pe: packets_per_pe(),
+        }
+    }
+
+    /// Overrides the per-PE packet quota.
+    pub fn with_packets_per_pe(mut self, packets: u64) -> Self {
+        self.packets_per_pe = packets;
+        self
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Runs every point on `threads` workers. Results come back in
+    /// point order with per-point derived seeds, so the output is
+    /// independent of `threads` (1 is the serial golden run).
+    pub fn run(&self, threads: usize) -> Vec<SweepRow> {
+        let (base, packets) = (self.base_seed, self.packets_per_pe);
+        sweep(self.points.clone(), threads, move |i, p| {
+            let seed = point_seed(base, i);
+            let report = run_point(&p.nut, p.pattern, p.rate, seed, packets);
+            SweepRow {
+                label: p.nut.label,
+                channels: p.nut.channels,
+                pattern: p.pattern,
+                rate: p.rate,
+                seed,
+                report,
+            }
+        })
+    }
+}
+
+/// Serializes sweep rows as CSV. Field formatting is fully determined
+/// by the row values (no timestamps, no ambient state), so two runs of
+/// the same grid yield byte-identical output.
+pub fn sweep_csv(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "config,channels,pattern,rate,seed,cycles,injected,delivered,\
+         rate_per_pe,avg_latency,p99_latency,worst_latency,deflections,\
+         short_hops,express_hops\n",
+    );
+    for row in rows {
+        let r = &row.report;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{},{}\n",
+            row.label,
+            row.channels,
+            row.pattern,
+            row.rate,
+            row.seed,
+            r.cycles,
+            r.stats.injected,
+            r.stats.delivered,
+            r.sustained_rate_per_pe(),
+            r.avg_latency(),
+            r.stats
+                .total_latency
+                .histogram()
+                .percentile(99.0)
+                .unwrap_or(0),
+            r.worst_latency(),
+            r.stats.ports.total_deflections(),
+            r.stats.link_usage.short_hops,
+            r.stats.link_usage.express_hops,
+        ));
+    }
+    out
 }
 
 /// Runs one synthetic-pattern point: `pattern` at `rate`, the standard
 /// packets-per-PE quota, on `nut`. When [`trace_dir`] is set the run is
 /// additionally exported as an NDJSON event log and a per-epoch CSV.
 pub fn run_pattern(nut: &NocUnderTest, pattern: Pattern, rate: f64, seed: u64) -> SimReport {
+    run_point(nut, pattern, rate, seed, packets_per_pe())
+}
+
+/// [`run_pattern`] with an explicit per-PE packet quota (the sweep
+/// engine's primitive).
+pub fn run_point(
+    nut: &NocUnderTest,
+    pattern: Pattern,
+    rate: f64,
+    seed: u64,
+    packets: u64,
+) -> SimReport {
     match trace_dir() {
         None => {
             let n = nut.config.n();
-            let mut source = BernoulliSource::new(n, pattern, rate, packets_per_pe(), seed);
+            let mut source = BernoulliSource::new(n, pattern, rate, packets, seed);
             nut.run(&mut source, SimOptions::default())
         }
-        Some(dir) => run_pattern_traced_to(&dir, nut, pattern, rate, seed),
+        Some(dir) => run_point_traced_to(&dir, nut, pattern, rate, seed, packets),
     }
 }
 
-/// [`run_pattern`] with trace export forced into `dir`, writing
-/// `<label>_<pattern>_<rate>_<seed>.events.ndjson` and
-/// `...epochs.csv`. Export failures are reported on stderr but never
-/// fail the experiment.
+/// [`run_pattern`] with trace export forced into `dir` (standard packet
+/// quota); see [`run_point_traced_to`].
 pub fn run_pattern_traced_to(
     dir: &str,
     nut: &NocUnderTest,
@@ -217,9 +351,24 @@ pub fn run_pattern_traced_to(
     rate: f64,
     seed: u64,
 ) -> SimReport {
+    run_point_traced_to(dir, nut, pattern, rate, seed, packets_per_pe())
+}
+
+/// [`run_point`] with trace export forced into `dir`, writing
+/// `<label>_<pattern>_<rate>_<seed>.events.ndjson` and
+/// `...epochs.csv`. Export failures are reported on stderr but never
+/// fail the experiment.
+pub fn run_point_traced_to(
+    dir: &str,
+    nut: &NocUnderTest,
+    pattern: Pattern,
+    rate: f64,
+    seed: u64,
+    packets: u64,
+) -> SimReport {
     let n = nut.config.n();
     let nodes = nut.config.num_nodes();
-    let mut source = BernoulliSource::new(n, pattern, rate, packets_per_pe(), seed);
+    let mut source = BernoulliSource::new(n, pattern, rate, packets, seed);
     let mut sink = (NdjsonSink::new(), WindowedMetrics::new(nodes, TRACE_EPOCH));
     let report = nut.run_traced(&mut source, SimOptions::default(), &mut sink);
     let (ndjson, metrics) = sink;
@@ -321,6 +470,32 @@ mod tests {
         assert!(nd.lines().count() > 0);
         let csv = std::fs::read_to_string(format!("{}.epochs.csv", stem.display())).unwrap();
         assert!(csv.starts_with("epoch,"));
+    }
+
+    #[test]
+    fn sweep_grid_deterministic_across_threads() {
+        let nuts = [NocUnderTest::hoplite(4), NocUnderTest::fasttrack(4, 2, 1)];
+        let grid = SweepGrid::cross(&nuts, &[Pattern::Random], &[0.1, 0.5], 0xFEED)
+            .with_packets_per_pe(30);
+        assert_eq!(grid.len(), 4);
+        assert!(!grid.is_empty());
+        let serial = sweep_csv(&grid.run(1));
+        assert_eq!(serial, sweep_csv(&grid.run(3)), "thread count leaked in");
+        assert!(serial.starts_with("config,"));
+        assert_eq!(serial.lines().count(), 1 + grid.len());
+    }
+
+    #[test]
+    fn sweep_grid_seeds_differ_per_point() {
+        let grid = SweepGrid::cross(
+            &[NocUnderTest::hoplite(4)],
+            &[Pattern::Random],
+            &[0.2, 0.2],
+            7,
+        )
+        .with_packets_per_pe(10);
+        let rows = grid.run(1);
+        assert_ne!(rows[0].seed, rows[1].seed);
     }
 
     #[test]

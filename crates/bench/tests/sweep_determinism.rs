@@ -1,0 +1,75 @@
+//! Determinism regression: the same sweep grid run on 1, 2, and 8
+//! worker threads must serialize to byte-identical CSV. On failure the
+//! per-thread-count CSVs are left in `target/sweep_determinism/` so CI
+//! can upload them for diffing.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fasttrack_bench::runner::{sweep_csv, NocUnderTest, SweepGrid};
+use fasttrack_traffic::pattern::Pattern;
+
+/// Fixed seed: this test is a regression against the exact byte stream,
+/// not just self-consistency.
+const SEED: u64 = 0x5eed_cafe;
+
+fn artifact_dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/sweep_determinism"
+    ))
+}
+
+#[test]
+fn sweep_csv_identical_across_thread_counts() {
+    let nuts = [
+        NocUnderTest::hoplite(4),
+        NocUnderTest::fasttrack(4, 2, 1),
+        NocUnderTest::fasttrack(4, 2, 2),
+    ];
+    let patterns = [Pattern::Random, Pattern::Transpose];
+    let rates = [0.1, 0.5];
+    let grid = SweepGrid::cross(&nuts, &patterns, &rates, SEED).with_packets_per_pe(150);
+
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir).expect("create artifact dir");
+    let mut csvs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let csv = sweep_csv(&grid.run(threads));
+        fs::write(dir.join(format!("threads_{threads}.csv")), &csv).expect("write artifact csv");
+        csvs.push((threads, csv));
+    }
+    let (_, golden) = &csvs[0];
+    for (threads, csv) in &csvs[1..] {
+        assert_eq!(
+            csv, golden,
+            "sweep CSV at {threads} threads diverged from the 1-thread golden run \
+             (see target/sweep_determinism/)"
+        );
+    }
+    // All green: the artifacts are only interesting on failure.
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_rows_carry_derived_per_point_seeds() {
+    // Each grid point gets its own splitmix64-derived seed; re-running
+    // the grid must reproduce them exactly (they are part of the CSV).
+    let nuts = [NocUnderTest::hoplite(4)];
+    let grid =
+        SweepGrid::cross(&nuts, &[Pattern::Random], &[0.2, 0.4], SEED).with_packets_per_pe(100);
+    let a = grid.run(1);
+    let b = grid.run(2);
+    assert_eq!(a.len(), 2);
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.seed, rb.seed);
+        assert_eq!(
+            ra.seed,
+            fasttrack_core::sweep::point_seed(
+                SEED,
+                a.iter().position(|r| r.seed == ra.seed).unwrap()
+            )
+        );
+    }
+    assert_ne!(a[0].seed, a[1].seed, "points must not share a seed");
+}

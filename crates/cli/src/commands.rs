@@ -1,6 +1,7 @@
 //! CLI subcommand implementations. Each returns its report as a string
 //! so the logic is unit-testable; `main` only prints.
 
+use fasttrack_bench::runner::{sweep_csv, NocUnderTest, SweepGrid, INJECTION_RATES};
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
 use fasttrack_core::metrics::WindowedMetrics;
@@ -15,7 +16,7 @@ use fasttrack_traffic::source::BernoulliSource;
 use fasttrack_traffic::trace_io::trace_source_from_text;
 
 use crate::args::{ArgError, Flags};
-use crate::spec::{parse_noc, parse_pattern, SpecError};
+use crate::spec::{parse_grid, parse_noc, parse_pattern, SpecError};
 
 /// Any CLI failure.
 #[derive(Debug)]
@@ -65,7 +66,9 @@ fasttrack — FastTrack/Hoplite NoC simulator (ISCA 2018 reproduction)
 USAGE:
   fasttrack simulate --noc <spec> [--pattern <p>] [--rate <r>]
                      [--packets <n>] [--seed <s>] [--channels <k>]
-  fasttrack sweep    --noc <spec> [--pattern <p>] [--packets <n>] [--seed <s>]
+  fasttrack sweep    (--grid <g> | --noc <spec> [--pattern <p>])
+                     [--threads <t>] [--out table|csv]
+                     [--packets <n>] [--seed <s>]
   fasttrack cost     --noc <spec> [--width <bits>] [--channels <k>]
   fasttrack trace    --noc <spec> --file <path>
   fasttrack trace    [--topology hoplite|ft|ftlite] [--n <n>] [--d <d>] [--r <r>]
@@ -76,6 +79,9 @@ USAGE:
 SPECS:
   NoC:     hoplite:<n> | ft:<n>:<d>:<r> | ftlite:<n>:<d>:<r>
   Pattern: random | bitcompl | transpose | tornado | local:<radius>
+  Grid:    <noc>[,<noc>...];<pattern>[,<pattern>...];<rate>[,<rate>...]
+           (sweep runs the full cross product; per-point seeds are
+            derived from --seed, so any --threads count is bit-exact)
 
 TRACE OUTPUTS (synthetic-traffic mode):
   <prefix>.events.ndjson  one JSON object per engine event
@@ -86,6 +92,7 @@ EXAMPLES:
   fasttrack simulate --noc ft:8:2:1 --pattern random --rate 0.5
   fasttrack cost --noc ft:8:2:1 --width 256
   fasttrack sweep --noc hoplite:8 --pattern bitcompl
+  fasttrack sweep --grid \"hoplite:8,ft:8:2:1;random;0.1,0.5\" --threads 8 --out csv
   fasttrack trace --topology ft --n 8 --d 2 --r 2 --pattern random --rate 0.2
 ";
 
@@ -134,27 +141,72 @@ pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     Ok(render_report(&report))
 }
 
-/// `sweep` — the Figure-11-style injection-rate sweep.
+/// `sweep` — run a grid of simulation points on the deterministic
+/// parallel sweep engine.
+///
+/// The grid is either `--grid <nocs;patterns;rates>` (full cross
+/// product) or the legacy `--noc <spec> [--pattern <p>]` form, which
+/// expands to the Figure-11 injection-rate ladder. `--threads N` fans
+/// the points out over a work-stealing pool; every point's seed is
+/// derived from `--seed` and the point index, so output is
+/// byte-identical at any thread count (`--threads 1` is the golden
+/// serial run). `--out csv` emits machine-readable CSV.
 pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
-    let cfg = parse_noc(flags.required("noc")?)?;
-    let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
     let packets: u64 = flags.numeric("packets", 1000)?;
     let seed: u64 = flags.numeric("seed", 1)?;
-    let mut out = format!(
-        "{} / {pattern}\nrate    sustained  avg-lat   worst\n",
-        cfg.name()
-    );
-    for rate in [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0] {
-        let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
-        let r = simulate(&cfg, &mut src, SimOptions::default());
-        out.push_str(&format!(
-            "{rate:<7.2} {:<10.4} {:<9.1} {}\n",
-            r.sustained_rate_per_pe(),
-            r.avg_latency(),
-            r.worst_latency()
-        ));
+    let threads: usize = flags.numeric("threads", 1)?;
+    let out_fmt = flags.optional("out").unwrap_or("table");
+
+    let grid = match flags.optional("grid") {
+        Some(spec) => {
+            let g = parse_grid(spec)?;
+            let nuts: Vec<NocUnderTest> = g
+                .nocs
+                .into_iter()
+                .map(|config| NocUnderTest {
+                    label: config.name(),
+                    config,
+                    channels: 1,
+                })
+                .collect();
+            SweepGrid::cross(&nuts, &g.patterns, &g.rates, seed)
+        }
+        None => {
+            let config = parse_noc(flags.required("noc")?)?;
+            let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+            let nut = NocUnderTest {
+                label: config.name(),
+                config,
+                channels: 1,
+            };
+            SweepGrid::cross(&[nut], &[pattern], &INJECTION_RATES, seed)
+        }
     }
-    Ok(out)
+    .with_packets_per_pe(packets);
+
+    let rows = grid.run(threads);
+    match out_fmt {
+        "csv" => Ok(sweep_csv(&rows)),
+        "table" => {
+            let mut out =
+                String::from("config         pattern      rate    sustained  avg-lat   worst\n");
+            for row in &rows {
+                out.push_str(&format!(
+                    "{:<14} {:<12} {:<7.2} {:<10.4} {:<9.1} {}\n",
+                    row.label,
+                    row.pattern.to_string(),
+                    row.rate,
+                    row.report.sustained_rate_per_pe(),
+                    row.report.avg_latency(),
+                    row.report.worst_latency()
+                ));
+            }
+            Ok(out)
+        }
+        other => Err(CliError::Other(format!(
+            "unknown --out format {other:?} (expected table or csv)"
+        ))),
+    }
 }
 
 /// `cost` — the FPGA implementation picture.
@@ -342,7 +394,36 @@ mod tests {
         let out = run(argv("sweep --noc hoplite:4 --packets 30")).unwrap();
         assert!(out.contains("0.01"));
         assert!(out.contains("1.00") || out.contains("1.0"));
-        assert_eq!(out.lines().count(), 2 + 9);
+        assert_eq!(out.lines().count(), 1 + 9);
+    }
+
+    #[test]
+    fn sweep_grid_csv_golden_run_matches_parallel() {
+        let base = "sweep --grid hoplite:4,ft:4:2:1;random,transpose;0.1,0.5 \
+                    --packets 25 --seed 9 --out csv";
+        let serial = run(argv(&format!("{base} --threads 1"))).unwrap();
+        let parallel = run(argv(&format!("{base} --threads 8"))).unwrap();
+        assert_eq!(serial, parallel, "parallel sweep diverged from golden run");
+        assert!(serial.starts_with("config,channels,pattern,rate,seed,"));
+        // 2 NoCs x 2 patterns x 2 rates + header.
+        assert_eq!(serial.lines().count(), 1 + 8);
+        assert!(serial.contains("FT(16,2,1)"));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_output_format() {
+        assert!(matches!(
+            run(argv("sweep --noc hoplite:4 --packets 5 --out xml")),
+            Err(CliError::Other(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_grid() {
+        assert!(matches!(
+            run(argv("sweep --grid hoplite:4;random")),
+            Err(CliError::Spec(_))
+        ));
     }
 
     #[test]

@@ -130,6 +130,73 @@ pub fn parse_pattern(spec: &str) -> Result<Pattern, SpecError> {
     }
 }
 
+/// A parsed `--grid` specification: the cross product of NoCs,
+/// patterns, and injection rates a sweep expands into.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// NoC configurations (in spec order).
+    pub nocs: Vec<NocConfig>,
+    /// Traffic patterns (in spec order).
+    pub patterns: Vec<Pattern>,
+    /// Injection rates (in spec order).
+    pub rates: Vec<f64>,
+}
+
+/// Parses a sweep grid spec of the form
+/// `<noc>[,<noc>...];<pattern>[,<pattern>...];<rate>[,<rate>...]`,
+/// e.g. `hoplite:8,ft:8:2:1;random,transpose;0.1,0.5,1.0`.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for a missing section, an empty list, a
+/// malformed element, or an out-of-range rate.
+pub fn parse_grid(spec: &str) -> Result<GridSpec, SpecError> {
+    let sections: Vec<&str> = spec.split(';').collect();
+    if sections.len() != 3 {
+        return Err(SpecError::BadArity {
+            kind: "grid",
+            expected: 3,
+            found: sections.len(),
+        });
+    }
+    let list = |s: &str| -> Vec<String> {
+        s.split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(String::from)
+            .collect()
+    };
+    let nocs = list(sections[0])
+        .iter()
+        .map(|s| parse_noc(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let patterns = list(sections[1])
+        .iter()
+        .map(|s| parse_pattern(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let rates = list(sections[2])
+        .iter()
+        .map(|s| num::<f64>(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    if nocs.is_empty() || patterns.is_empty() || rates.is_empty() {
+        return Err(SpecError::Invalid(
+            "grid needs at least one NoC, pattern, and rate".into(),
+        ));
+    }
+    for &rate in &rates {
+        if !(rate > 0.0 && rate <= 1.0) {
+            return Err(SpecError::Invalid(format!(
+                "injection rate {rate} out of (0,1]"
+            )));
+        }
+    }
+    Ok(GridSpec {
+        nocs,
+        patterns,
+        rates,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +252,37 @@ mod tests {
     fn error_display() {
         let e = parse_noc("ft:8:2").unwrap_err();
         assert!(e.to_string().contains("3 field"));
+    }
+
+    #[test]
+    fn parses_grid_specs() {
+        let g = parse_grid("hoplite:8,ft:8:2:1;random,local:2;0.1,0.5,1.0").unwrap();
+        assert_eq!(g.nocs.len(), 2);
+        assert_eq!(g.nocs[1].name(), "FT(64,2,1)");
+        assert_eq!(
+            g.patterns,
+            vec![Pattern::Random, Pattern::Local { radius: 2 }]
+        );
+        assert_eq!(g.rates, vec![0.1, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_grid_specs() {
+        assert!(matches!(
+            parse_grid("hoplite:8;random"),
+            Err(SpecError::BadArity { .. })
+        ));
+        assert!(matches!(
+            parse_grid(";random;0.5"),
+            Err(SpecError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_grid("hoplite:8;random;2.0"),
+            Err(SpecError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_grid("mesh:8;random;0.5"),
+            Err(SpecError::UnknownKind(_))
+        ));
     }
 }

@@ -214,6 +214,15 @@ impl NocConfig {
     /// Returns a [`ConfigError`] when `n < 2`, `d` is outside `1..=n/2`,
     /// `r` is outside `1..=d` or does not divide `d`, or `r` does not
     /// divide `n`.
+    ///
+    /// # `FT(N², 1, 1)` degenerates to Hoplite
+    ///
+    /// A length-1 "express" link is physically indistinguishable from
+    /// the short torus link next to it, so `d == 1` keeps the FastTrack
+    /// *name* (and cost-model accounting) but degenerates the datapath
+    /// to exactly baseline Hoplite: shared south/exit mux, no express
+    /// lanes, no lane-change logic. The differential tests assert that
+    /// `FT(N², 1, 1)` is cycle-for-cycle identical to `hoplite(n)`.
     pub fn fasttrack(n: u16, d: u16, r: u16, policy: FtPolicy) -> Result<Self, ConfigError> {
         if n < 2 {
             return Err(ConfigError::SystemTooSmall { n });
@@ -227,14 +236,20 @@ impl NocConfig {
         if !n.is_multiple_of(r) {
             return Err(ConfigError::DepopulationDoesNotTile { n, r });
         }
+        let (exit, express_hops) = if d == 1 {
+            // Degenerate: Hoplite datapath (see doc comment above).
+            (ExitPolicy::SharedWithSouth, vec![None; n as usize])
+        } else {
+            // FastTrack routers carry a dedicated 5:1 exit mux (paper
+            // Fig. 9b) — unlike Hoplite's shared S/exit port.
+            (ExitPolicy::Dedicated, compute_express_hops(n, d))
+        };
         Ok(NocConfig {
             n,
             kind: NocKind::FastTrack { d, r, policy },
-            // FastTrack routers carry a dedicated 5:1 exit mux (paper
-            // Fig. 9b) — unlike Hoplite's shared S/exit port.
-            exit: ExitPolicy::Dedicated,
+            exit,
             pipeline: LinkPipeline::NONE,
-            express_hops: compute_express_hops(n, d),
+            express_hops,
         })
     }
 
@@ -310,6 +325,9 @@ impl NocConfig {
     pub fn has_express_at(&self, pos: u16) -> bool {
         match self.kind {
             NocKind::Hoplite => false,
+            // d == 1 degenerates to the Hoplite datapath (no express
+            // routers anywhere); see [`NocConfig::fasttrack`].
+            NocKind::FastTrack { d: 1, .. } => false,
             NocKind::FastTrack { r, .. } => pos.is_multiple_of(r),
         }
     }
@@ -324,9 +342,9 @@ impl NocConfig {
     /// Whether a packet `delta` positions away from its target column/row,
     /// standing at an express-capable router, should board the express
     /// lane: the offset must be express-reachable in **no more** cycles
-    /// than riding short links (paper: use express iff `Δ ≥ D`; for
-    /// `D = 1` the express ring is a parallel lane with equal hop count,
-    /// which is still preferred since it frees the short lane).
+    /// than riding short links (paper: use express iff `Δ ≥ D`). For
+    /// `D = 1` the table is empty — the configuration degenerates to the
+    /// Hoplite datapath (see [`NocConfig::fasttrack`]).
     pub fn express_worthwhile(&self, delta: u16) -> bool {
         match self.express_hops_for(delta) {
             Some(k) => k <= delta,
@@ -492,6 +510,24 @@ mod tests {
         assert!(cfg.has_express_at(2));
         assert_eq!(cfg.wire_multiplier(), 2);
         assert_eq!(cfg.name(), "FT(64,2,2)");
+    }
+
+    #[test]
+    fn d1_degenerates_to_hoplite_datapath() {
+        let cfg = NocConfig::fasttrack(8, 1, 1, FtPolicy::Full).unwrap();
+        assert_eq!(cfg.name(), "FT(64,1,1)");
+        assert!(cfg.has_express(), "cost accounting keeps the FT kind");
+        assert_eq!(cfg.exit_policy(), ExitPolicy::SharedWithSouth);
+        for pos in 0..8 {
+            assert!(!cfg.has_express_at(pos));
+        }
+        for delta in 0..8 {
+            assert_eq!(cfg.express_hops_for(delta), None);
+            assert!(!cfg.express_worthwhile(delta));
+        }
+        // d >= 2 keeps the dedicated FastTrack exit mux.
+        let ft2 = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
+        assert_eq!(ft2.exit_policy(), ExitPolicy::Dedicated);
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod router;
 pub mod routing;
 pub mod sim;
 pub mod stats;
+pub mod sweep;
 pub mod trace;
 
 /// Commonly used items, re-exported for convenience.
@@ -81,5 +82,6 @@ pub mod prelude {
         SimReport, TrafficSource,
     };
     pub use crate::stats::{Histogram, LatencyStats, LinkUsage, PortCounters, SimStats};
+    pub use crate::sweep::{point_seed, splitmix64, sweep};
     pub use crate::trace::{EventSink, NullSink, SimEvent, VecSink};
 }

@@ -18,7 +18,7 @@ use crate::port::{InPort, OutPort, OutSet};
 use crate::probe::Probe;
 use crate::queue::InjectQueues;
 use crate::router::RouterClass;
-use crate::routing::compute_prefs;
+use crate::routing::{compute_prefs, RoutePrefs};
 use crate::stats::SimStats;
 use crate::trace::{EventSink, NullSink, SimEvent};
 
@@ -55,13 +55,19 @@ pub struct Noc {
     cfg: NocConfig,
     classes: Vec<RouterClass>,
     available: Vec<OutSet>,
-    /// Input registers for the current cycle, indexed `[node][port]` with
-    /// port indices matching [`InPort::index`] (0..4 are in-flight ports).
-    regs: Vec<[Option<Packet>; MAX_IN_FLIGHT]>,
+    /// Precomputed router coordinates, indexed by node id (avoids a
+    /// divide per node per cycle in the hot loop).
+    coords: Vec<Coord>,
+    /// Input registers for the current cycle: one flat contiguous array,
+    /// slot `node * MAX_IN_FLIGHT + port` with port indices matching
+    /// [`InPort::index`] (0..4 are in-flight ports). Flat layout keeps
+    /// the per-cycle scan a single linear walk over one allocation.
+    regs: Vec<Option<Packet>>,
     /// Timing wheel of future input states: `wheel[t]` holds packets
     /// arriving `t + 1` cycles from now (depth = the longest pipelined
-    /// link delay; depth 1 when links carry a single register).
-    wheel: VecDeque<Vec<[Option<Packet>; MAX_IN_FLIGHT]>>,
+    /// link delay; depth 1 when links carry a single register). Frames
+    /// use the same flat layout as `regs`.
+    wheel: VecDeque<Vec<Option<Packet>>>,
     in_flight: usize,
     cycle: u64,
     stats: SimStats,
@@ -75,19 +81,23 @@ impl Noc {
         let n = cfg.n();
         let mut classes = Vec::with_capacity(nodes);
         let mut available = Vec::with_capacity(nodes);
+        let mut coords = Vec::with_capacity(nodes);
         for id in 0..nodes {
-            let class = RouterClass::of(&cfg, Coord::from_node_id(id, n));
+            let at = Coord::from_node_id(id, n);
+            let class = RouterClass::of(&cfg, at);
             classes.push(class);
             available.push(class.available_outputs());
+            coords.push(at);
         }
         let depth = cfg.link_pipeline().max_cycles() as usize;
         Noc {
             cfg,
             classes,
             available,
-            regs: vec![[None; MAX_IN_FLIGHT]; nodes],
+            coords,
+            regs: vec![None; nodes * MAX_IN_FLIGHT],
             wheel: (0..depth)
-                .map(|_| vec![[None; MAX_IN_FLIGHT]; nodes])
+                .map(|_| vec![None; nodes * MAX_IN_FLIGHT])
                 .collect(),
             in_flight: 0,
             cycle: 0,
@@ -170,16 +180,17 @@ impl Noc {
         let d = self.cfg.d().max(1);
 
         for node in 0..nodes {
-            let at = Coord::from_node_id(node, n);
+            let at = self.coords[node];
             let class = self.classes[node];
+            let base = node * MAX_IN_FLIGHT;
 
             // Gather occupied in-flight inputs in priority order. The
             // register index *is* the priority order (see InPort::index).
             let mut inputs: [Option<(usize, Packet)>; MAX_IN_FLIGHT] = [None; MAX_IN_FLIGHT];
             let mut n_inputs = 0;
-            for (slot, reg) in self.regs[node].iter().enumerate() {
-                if let Some(pkt) = reg {
-                    inputs[n_inputs] = Some((slot, *pkt));
+            for slot in 0..MAX_IN_FLIGHT {
+                if let Some(pkt) = self.regs[base + slot] {
+                    inputs[n_inputs] = Some((slot, pkt));
                     n_inputs += 1;
                 }
             }
@@ -190,24 +201,24 @@ impl Noc {
                 avail.remove(OutPort::Exit);
             }
 
-            // Route the in-flight packets.
-            let mut prefs_buf = [None; MAX_IN_FLIGHT];
+            // Route the in-flight packets. Fixed-size buffers: the hot
+            // path performs no heap allocation per node per cycle.
+            let mut prefs_buf = [RoutePrefs::empty(); MAX_IN_FLIGHT];
             for i in 0..n_inputs {
                 let (slot, pkt) = inputs[i].unwrap();
                 let port = InPort::ALL[slot];
-                prefs_buf[i] = Some(compute_prefs(&self.cfg, class, port, at, pkt.dst));
+                prefs_buf[i] = compute_prefs(&self.cfg, class, port, at, pkt.dst);
             }
-            let prefs_vec: Vec<_> = prefs_buf[..n_inputs].iter().map(|p| p.unwrap()).collect();
-            let assignment = allocate(&prefs_vec, avail, exit_policy);
+            let assignment = allocate(&prefs_buf[..n_inputs], avail, exit_policy);
 
-            let mut taken: [Option<OutPort>; MAX_IN_FLIGHT + 1] = [None; MAX_IN_FLIGHT + 1];
+            let mut taken = [OutPort::Exit; MAX_IN_FLIGHT];
             let mut n_taken = 0;
 
             for i in 0..n_inputs {
                 let (slot, mut pkt) = inputs[i].unwrap();
-                let prefs = prefs_vec[i];
+                let prefs = prefs_buf[i];
                 let out = assignment[i].expect("allocator assigns every in-flight input");
-                taken[n_taken] = Some(out);
+                taken[n_taken] = out;
                 n_taken += 1;
                 if let Some(probe) = self.probe.as_mut() {
                     probe.record(self.cycle, node, at, pkt.id, out);
@@ -282,12 +293,10 @@ impl Noc {
             if inject_ok {
                 if let Some(pending) = queues.peek(node) {
                     let pe_prefs = compute_prefs(&self.cfg, class, InPort::Pe, at, pending.dst);
-                    let taken_ports: Vec<OutPort> =
-                        taken[..n_taken].iter().flatten().copied().collect();
                     // Use the un-gated availability: the gate only removed
                     // Exit, and an Exit injection (self-send) must also
                     // respect it, so keep `avail` as adjusted above.
-                    match try_inject(&pe_prefs, avail, &taken_ports, exit_policy) {
+                    match try_inject(&pe_prefs, avail, &taken[..n_taken], exit_policy) {
                         Some(out) => {
                             let pending = queues.pop(node).unwrap();
                             let mut pkt = Packet::new(
@@ -369,7 +378,7 @@ impl Noc {
         // cycle's input registers, and a fresh frame joins the back.
         let mut front = self.wheel.pop_front().expect("wheel is never empty");
         std::mem::swap(&mut self.regs, &mut front);
-        front.fill([None; MAX_IN_FLIGHT]);
+        front.fill(None);
         self.wheel.push_back(front);
         if let Some(probe) = self.probe.as_mut() {
             probe.tick();
@@ -403,7 +412,7 @@ impl Noc {
             pipeline.short_cycles()
         };
         let frame = &mut self.wheel[delay as usize - 1];
-        let reg = &mut frame[target.to_node_id(n)][in_slot.index()];
+        let reg = &mut frame[target.to_node_id(n) * MAX_IN_FLIGHT + in_slot.index()];
         debug_assert!(reg.is_none(), "two packets on one link register");
         *reg = Some(*pkt);
     }
@@ -417,13 +426,11 @@ impl Noc {
     /// Snapshot of every packet currently on a link register, with its
     /// position and input port (diagnostics / debugging aid).
     pub fn in_flight_packets(&self) -> Vec<(Coord, InPort, Packet)> {
-        let n = self.cfg.n();
         let mut out = Vec::with_capacity(self.in_flight);
-        for (node, regs) in self.regs.iter().enumerate() {
-            for (slot, reg) in regs.iter().enumerate() {
-                if let Some(pkt) = reg {
-                    out.push((Coord::from_node_id(node, n), InPort::ALL[slot], *pkt));
-                }
+        for (i, reg) in self.regs.iter().enumerate() {
+            if let Some(pkt) = reg {
+                let (node, slot) = (i / MAX_IN_FLIGHT, i % MAX_IN_FLIGHT);
+                out.push((self.coords[node], InPort::ALL[slot], *pkt));
             }
         }
         out

@@ -31,6 +31,18 @@ pub struct RoutePrefs {
 }
 
 impl RoutePrefs {
+    /// An empty preference list (no ports, nothing productive). Used as
+    /// the filler value in the engine's fixed-size per-cycle buffers so
+    /// the hot path never heap-allocates.
+    pub const fn empty() -> RoutePrefs {
+        RoutePrefs {
+            list: [OutPort::Exit; 5],
+            len: 0,
+            productive: OutSet::empty(),
+            wanted_express: false,
+        }
+    }
+
     /// The preference list, best first. Never empty for a routable packet.
     pub fn ports(&self) -> &[OutPort] {
         &self.list[..self.len as usize]

@@ -1,0 +1,124 @@
+//! Conservation invariants over random FastTrack configurations: every
+//! injected packet is ejected exactly once (no duplication, no loss), at
+//! its destination, having covered at least the DOR distance. The
+//! configuration generator only emits valid `FT(N², D, R)` shapes — `R`
+//! divides `D` and tiles the ring — so every case exercises express
+//! datapaths rather than erroring in the constructor.
+
+use fasttrack_core::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Arbitrary FastTrack configuration with the paper's validity rules
+/// (`D % R == 0`, `R` tiles the ring) enforced by construction.
+fn arb_ft_config() -> impl Strategy<Value = NocConfig> {
+    (2u16..=3, any::<u8>(), any::<bool>()).prop_map(|(n_exp, sel, full)| {
+        let n = 1u16 << n_exp; // 4 or 8
+        let policy = if full {
+            FtPolicy::Full
+        } else {
+            FtPolicy::Inject
+        };
+        let mut variants = Vec::new();
+        for d in 1..=n / 2 {
+            for r in 1..=d {
+                if d % r == 0 && n.is_multiple_of(r) {
+                    variants.push((d, r));
+                }
+            }
+        }
+        let (d, r) = variants[sel as usize % variants.len()];
+        NocConfig::fasttrack(n, d, r, policy).unwrap()
+    })
+}
+
+/// A batch of random packets for the given torus size.
+fn random_batch(n: u16, per_pe: usize, seed: u64) -> Vec<(usize, Coord)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nodes = n as usize * n as usize;
+    let mut batch = Vec::new();
+    for node in 0..nodes {
+        for _ in 0..per_pe {
+            let dst = Coord::new(rng.gen_range(0..n), rng.gen_range(0..n));
+            batch.push((node, dst));
+        }
+    }
+    batch
+}
+
+/// Drains a batch through a NoC, returning the deliveries.
+fn drain(cfg: &NocConfig, batch: &[(usize, Coord)]) -> Vec<Delivery> {
+    let mut noc = Noc::new(cfg.clone());
+    let mut queues = InjectQueues::new(cfg.num_nodes());
+    for &(src, dst) in batch {
+        queues.push(src, dst, 0, 0);
+    }
+    let mut deliveries = Vec::new();
+    let mut cycle = 0u64;
+    while cycle < 300_000 {
+        noc.step(&mut queues, &mut deliveries, None);
+        cycle += 1;
+        if queues.is_empty() && noc.in_flight() == 0 {
+            break;
+        }
+    }
+    deliveries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator only produces valid FastTrack shapes.
+    #[test]
+    fn generator_respects_divisibility(cfg in arb_ft_config()) {
+        let (d, r) = (cfg.d(), cfg.r());
+        prop_assert!(d >= 1);
+        prop_assert!(r >= 1);
+        prop_assert_eq!(d % r, 0, "R must divide D in {}", cfg.name());
+        prop_assert_eq!(cfg.n() % r, 0, "R must tile the ring in {}", cfg.name());
+    }
+
+    /// Exactly-once ejection: every injected packet shows up once in the
+    /// delivery stream (by `PacketId`), and nothing else does.
+    #[test]
+    fn every_injection_ejected_exactly_once(
+        cfg in arb_ft_config(),
+        per_pe in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let batch = random_batch(cfg.n(), per_pe, seed);
+        let deliveries = drain(&cfg, &batch);
+        prop_assert_eq!(deliveries.len(), batch.len(),
+            "lost or phantom packets on {}", cfg.name());
+        let mut ids = std::collections::HashSet::new();
+        for del in &deliveries {
+            prop_assert!(ids.insert(del.packet.id),
+                "packet {:?} ejected twice on {}", del.packet.id, cfg.name());
+        }
+    }
+
+    /// Packets land where they were addressed, and their displacement
+    /// (short hops + D x express hops) is at least the DOR distance —
+    /// express links can overshoot and wrap, never undershoot.
+    #[test]
+    fn hops_cover_dor_distance(
+        cfg in arb_ft_config(),
+        seed in any::<u64>(),
+    ) {
+        let n = cfg.n();
+        let batch = random_batch(n, 4, seed);
+        let deliveries = drain(&cfg, &batch);
+        prop_assert_eq!(deliveries.len(), batch.len());
+        let d_len = cfg.d() as u64;
+        for del in &deliveries {
+            let p = &del.packet;
+            let dor = (p.src.dx_to(p.dst, n) + p.src.dy_to(p.dst, n)) as u64;
+            let moved = p.short_hops as u64 + d_len * p.express_hops as u64;
+            prop_assert!(moved >= dor,
+                "packet covered {moved} < DOR distance {dor} on {}", cfg.name());
+            prop_assert!(del.network_latency() >= p.total_hops() as u64,
+                "latency below hop count on {}", cfg.name());
+        }
+    }
+}

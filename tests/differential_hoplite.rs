@@ -1,0 +1,109 @@
+//! Differential test: `FT(N², 1, 1)` is *datapath-identical* to Hoplite.
+//! With express length D=1 every "express" link spans one router, the
+//! exit mux degenerates to the shared south port, and the router matrix
+//! collapses to Hoplite's — so the two configurations must agree
+//! cycle-for-cycle: identical ejection times, identical deflection
+//! counts, identical everything, for every traffic pattern and rate.
+
+use fasttrack::prelude::*;
+
+const N: u16 = 8;
+const PACKETS_PER_PE: u64 = 60;
+const RATES: [f64; 3] = [0.1, 0.5, 1.0];
+
+fn patterns() -> [Pattern; 4] {
+    [
+        Pattern::Random,
+        Pattern::Transpose,
+        Pattern::BitComplement,
+        Pattern::Local { radius: 3 },
+    ]
+}
+
+/// One delivered packet: decision cycle, node, packet id, consumption
+/// cycle, deflections, total hops.
+type Ejection = (u64, usize, PacketId, u64, u32, u32);
+
+/// Ejection stream of one simulation, in emission order.
+fn eject_stream(
+    cfg: &NocConfig,
+    pattern: Pattern,
+    rate: f64,
+    seed: u64,
+) -> (SimReport, Vec<Ejection>) {
+    let mut src = BernoulliSource::new(N, pattern, rate, PACKETS_PER_PE, seed);
+    let mut sink = VecSink::new();
+    let report = simulate_traced(cfg, &mut src, SimOptions::default(), &mut sink);
+    let stream = sink
+        .events
+        .iter()
+        .filter_map(|e| match *e {
+            SimEvent::Eject {
+                cycle,
+                node,
+                delivery,
+            } => Some((
+                cycle,
+                node,
+                delivery.packet.id,
+                delivery.cycle,
+                delivery.packet.deflections,
+                delivery.packet.total_hops(),
+            )),
+            _ => None,
+        })
+        .collect();
+    (report, stream)
+}
+
+#[test]
+fn ft_d1_matches_hoplite_cycle_for_cycle() {
+    let hoplite = NocConfig::hoplite(N).unwrap();
+    let ft = NocConfig::fasttrack(N, 1, 1, FtPolicy::Full).unwrap();
+    for pattern in patterns() {
+        for rate in RATES {
+            let seed = 0xd1ff_0000 ^ (rate * 100.0) as u64;
+            let (h_report, h_stream) = eject_stream(&hoplite, pattern, rate, seed);
+            let (f_report, f_stream) = eject_stream(&ft, pattern, rate, seed);
+            assert!(!h_report.truncated && !f_report.truncated);
+            assert_eq!(
+                h_report.cycles, f_report.cycles,
+                "makespan diverged on {pattern} @ {rate}"
+            );
+            assert_eq!(
+                h_report.stats, f_report.stats,
+                "statistics diverged on {pattern} @ {rate}"
+            );
+            assert_eq!(
+                h_stream, f_stream,
+                "ejection stream diverged on {pattern} @ {rate}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ft_d1_inject_policy_also_matches() {
+    // With D=1 there are no express lanes to gate, so the lane policy is
+    // irrelevant too: Inject must behave exactly like Full (and Hoplite).
+    let hoplite = NocConfig::hoplite(N).unwrap();
+    let ft = NocConfig::fasttrack(N, 1, 1, FtPolicy::Inject).unwrap();
+    let (h_report, h_stream) = eject_stream(&hoplite, Pattern::Random, 0.5, 0x00d1_ffaa);
+    let (f_report, f_stream) = eject_stream(&ft, Pattern::Random, 0.5, 0x00d1_ffaa);
+    assert_eq!(h_report.cycles, f_report.cycles);
+    assert_eq!(h_stream, f_stream);
+}
+
+#[test]
+fn ft_d2_diverges_from_hoplite() {
+    // Sanity check that the differential harness has teeth: a real
+    // express configuration must NOT match Hoplite on global traffic.
+    let hoplite = NocConfig::hoplite(N).unwrap();
+    let ft = NocConfig::fasttrack(N, 2, 1, FtPolicy::Full).unwrap();
+    let (_, h_stream) = eject_stream(&hoplite, Pattern::BitComplement, 0.5, 0x00d1_ffbb);
+    let (_, f_stream) = eject_stream(&ft, Pattern::BitComplement, 0.5, 0x00d1_ffbb);
+    assert_ne!(
+        h_stream, f_stream,
+        "FT(64,2,1) should route differently from Hoplite"
+    );
+}
