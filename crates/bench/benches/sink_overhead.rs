@@ -6,10 +6,12 @@
 //! the untraced `step` path (the acceptance bar is within 5% of the
 //! pre-tracing engine; the two compile to the same code). The other
 //! cases quantify what attaching real sinks costs: windowed metric
-//! aggregation, and full event capture into a vector.
+//! aggregation, full event capture into a vector, and the online
+//! health monitor (flight recorder + detectors + atomic counters).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use fasttrack_core::metrics::WindowedMetrics;
+use fasttrack_core::monitor::{HealthMonitor, MonitorConfig};
 use fasttrack_core::prelude::*;
 use fasttrack_traffic::pattern::Pattern;
 use fasttrack_traffic::source::BernoulliSource;
@@ -56,6 +58,13 @@ fn sink_overhead(c: &mut Criterion) {
             let mut metrics = WindowedMetrics::new(NODES, 64);
             let delivered = run_cycles(black_box(&cfg), &mut metrics);
             (delivered, metrics.epochs().len())
+        })
+    });
+    group.bench_function("engine/health_monitor", |b| {
+        b.iter(|| {
+            let mut monitor = HealthMonitor::new(8, MonitorConfig::default());
+            let delivered = run_cycles(black_box(&cfg), &mut monitor);
+            (delivered, monitor.healthy())
         })
     });
     group.bench_function("engine/vec_sink", |b| {

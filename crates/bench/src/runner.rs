@@ -5,9 +5,10 @@
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, NdjsonSink};
 use fasttrack_core::metrics::WindowedMetrics;
+use fasttrack_core::monitor::{HealthMonitor, HealthSummary, MonitorConfig};
 use fasttrack_core::sim::{
-    simulate, simulate_multichannel, simulate_multichannel_traced, simulate_traced, SimOptions,
-    SimReport, TrafficSource,
+    simulate, simulate_monitored, simulate_multichannel, simulate_multichannel_monitored,
+    simulate_multichannel_traced, simulate_traced, SimOptions, SimReport, TrafficSource,
 };
 use fasttrack_core::sweep::{point_seed, sweep};
 use fasttrack_core::trace::EventSink;
@@ -117,6 +118,20 @@ impl NocUnderTest {
             simulate_traced(&self.config, source, opts, sink)
         } else {
             simulate_multichannel_traced(&self.config, self.channels, source, opts, sink)
+        }
+    }
+
+    /// [`NocUnderTest::run`] with a [`HealthMonitor`] attached.
+    pub fn run_monitored<S: TrafficSource>(
+        &self,
+        source: &mut S,
+        opts: SimOptions,
+        mcfg: MonitorConfig,
+    ) -> (SimReport, HealthMonitor) {
+        if self.channels == 1 {
+            simulate_monitored(&self.config, source, opts, mcfg)
+        } else {
+            simulate_multichannel_monitored(&self.config, self.channels, source, opts, mcfg)
         }
     }
 }
@@ -277,6 +292,90 @@ impl SweepGrid {
             }
         })
     }
+
+    /// [`SweepGrid::run`] with a per-point [`HealthMonitor`] attached.
+    ///
+    /// Each point runs its own monitor (so its detectors and flight
+    /// recorder never see another point's events) and the summaries are
+    /// merged back by point index, exactly like the rows — the output
+    /// is deterministic at any thread count, and the rows (hence
+    /// [`sweep_csv`] bytes) are identical to an unmonitored
+    /// [`SweepGrid::run`] because the monitor never perturbs a run.
+    pub fn run_with_health(
+        &self,
+        threads: usize,
+        mcfg: MonitorConfig,
+    ) -> (Vec<SweepRow>, Vec<PointHealth>) {
+        let (base, packets) = (self.base_seed, self.packets_per_pe);
+        let results = sweep(self.points.clone(), threads, move |i, p| {
+            let seed = point_seed(base, i);
+            let n = p.nut.config.n();
+            let mut source = BernoulliSource::new(n, p.pattern, p.rate, packets, seed);
+            let (report, monitor) = p
+                .nut
+                .run_monitored(&mut source, SimOptions::default(), mcfg);
+            let row = SweepRow {
+                label: p.nut.label,
+                channels: p.nut.channels,
+                pattern: p.pattern,
+                rate: p.rate,
+                seed,
+                report,
+            };
+            let health = PointHealth {
+                index: i,
+                label: row.label.clone(),
+                pattern: p.pattern,
+                rate: p.rate,
+                seed,
+                health: monitor.summary(),
+            };
+            (row, health)
+        });
+        results.into_iter().unzip()
+    }
+}
+
+/// The health verdict of one sweep point, tagged with the point's
+/// identity so merged output stays self-describing.
+#[derive(Debug, Clone)]
+pub struct PointHealth {
+    /// The point's index in the grid (merge key).
+    pub index: usize,
+    /// Label of the NoC under test.
+    pub label: String,
+    /// Traffic pattern.
+    pub pattern: Pattern,
+    /// Injection rate.
+    pub rate: f64,
+    /// The derived per-point seed.
+    pub seed: u64,
+    /// The point's health summary.
+    pub health: HealthSummary,
+}
+
+/// Serializes per-point health summaries as one deterministic JSON
+/// array in point-index order (the companion of [`sweep_csv`]).
+pub fn health_json(points: &[PointHealth]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"index\":{},\"config\":\"{}\",\"pattern\":\"{}\",\"rate\":{},\"seed\":{},\"health\":{}}}",
+            p.index,
+            p.label,
+            p.pattern,
+            p.rate,
+            p.seed,
+            p.health.to_json()
+        );
+    }
+    out.push(']');
+    out
 }
 
 /// Serializes sweep rows as CSV. Field formatting is fully determined
@@ -483,6 +582,35 @@ mod tests {
         assert_eq!(serial, sweep_csv(&grid.run(3)), "thread count leaked in");
         assert!(serial.starts_with("config,"));
         assert_eq!(serial.lines().count(), 1 + grid.len());
+    }
+
+    #[test]
+    fn health_sweep_keeps_rows_identical_and_is_deterministic() {
+        let nuts = [NocUnderTest::hoplite(4), NocUnderTest::fasttrack(4, 2, 1)];
+        let grid = SweepGrid::cross(&nuts, &[Pattern::Random], &[0.2, 1.0], 0xBEEF)
+            .with_packets_per_pe(40);
+        let plain = sweep_csv(&grid.run(1));
+        let (rows1, health1) = grid.run_with_health(1, MonitorConfig::default());
+        let (rows8, health8) = grid.run_with_health(8, MonitorConfig::default());
+        assert_eq!(
+            sweep_csv(&rows1),
+            plain,
+            "health monitoring must not change sweep rows"
+        );
+        assert_eq!(sweep_csv(&rows8), plain, "thread count leaked in");
+        assert_eq!(
+            health_json(&health1),
+            health_json(&health8),
+            "health output must be deterministic at any thread count"
+        );
+        assert_eq!(health1.len(), grid.len());
+        for (i, p) in health1.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.health.injected, p.health.delivered);
+        }
+        let json = health_json(&health1);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"config\":\"Hoplite\""));
     }
 
     #[test]

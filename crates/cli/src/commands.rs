@@ -1,13 +1,16 @@
 //! CLI subcommand implementations. Each returns its report as a string
 //! so the logic is unit-testable; `main` only prints.
 
-use fasttrack_bench::runner::{sweep_csv, NocUnderTest, SweepGrid, INJECTION_RATES};
+use fasttrack_bench::runner::{health_json, sweep_csv, NocUnderTest, SweepGrid, INJECTION_RATES};
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
 use fasttrack_core::metrics::WindowedMetrics;
+use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, MonitorConfig};
 use fasttrack_core::sim::{
-    simulate, simulate_multichannel, simulate_traced, SimOptions, SimReport,
+    simulate, simulate_monitored, simulate_multichannel, simulate_multichannel_monitored,
+    simulate_traced, SimOptions, SimReport,
 };
+use fasttrack_core::trace::EventSink;
 use fasttrack_fpga::device::Device;
 use fasttrack_fpga::power::PowerModel;
 use fasttrack_fpga::resources::noc_cost;
@@ -66,14 +69,20 @@ fasttrack — FastTrack/Hoplite NoC simulator (ISCA 2018 reproduction)
 USAGE:
   fasttrack simulate --noc <spec> [--pattern <p>] [--rate <r>]
                      [--packets <n>] [--seed <s>] [--channels <k>]
+  fasttrack monitor  --noc <spec> [--pattern <p>] [--rate <r>]
+                     [--packets <n>] [--seed <s>] [--channels <k>]
+                     [--snapshot <cycles>] [--flight-recorder <K>]
+                     [--max-reports <n>] [--livelock-multiple <x>]
+                     [--stall-streak <n>] [--hotspot-watermark <u>]
+                     [--health <path>] [--metrics <path>]
   fasttrack sweep    (--grid <g> | --noc <spec> [--pattern <p>])
                      [--threads <t>] [--out table|csv]
-                     [--packets <n>] [--seed <s>]
+                     [--packets <n>] [--seed <s>] [--health <path>]
   fasttrack cost     --noc <spec> [--width <bits>] [--channels <k>]
   fasttrack trace    --noc <spec> --file <path>
   fasttrack trace    [--topology hoplite|ft|ftlite] [--n <n>] [--d <d>] [--r <r>]
                      [--pattern <p>] [--rate <r>] [--packets <n>] [--seed <s>]
-                     [--epoch <cycles>] [--out <prefix>]
+                     [--epoch <cycles>] [--flight-recorder <K>] [--out <prefix>]
   fasttrack help
 
 SPECS:
@@ -87,12 +96,23 @@ TRACE OUTPUTS (synthetic-traffic mode):
   <prefix>.events.ndjson  one JSON object per engine event
   <prefix>.epochs.csv     per-epoch throughput/latency/deflection series
   <prefix>.chrome.json    Chrome trace-event JSON (chrome://tracing, Perfetto)
+  with --flight-recorder <K>, also the last K events per router:
+  <prefix>.flight.ndjson / <prefix>.flight.chrome.json
+
+MONITOR:
+  Runs one simulation with the online health monitor attached: periodic
+  snapshot lines, the usual report, and a final verdict from the
+  livelock / starvation / hotspot detectors. --health writes the
+  summary JSON; --metrics writes a Prometheus-style text exposition.
+  sweep --health writes one health summary per sweep point (the CSV
+  rows are byte-identical with or without it, at any --threads).
 
 EXAMPLES:
   fasttrack simulate --noc ft:8:2:1 --pattern random --rate 0.5
   fasttrack cost --noc ft:8:2:1 --width 256
   fasttrack sweep --noc hoplite:8 --pattern bitcompl
   fasttrack sweep --grid \"hoplite:8,ft:8:2:1;random;0.1,0.5\" --threads 8 --out csv
+  fasttrack monitor --noc ft:8:2:2 --rate 1.0 --snapshot 500 --health health.json
   fasttrack trace --topology ft --n 8 --d 2 --r 2 --pattern random --rate 0.2
 ";
 
@@ -141,6 +161,72 @@ pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     Ok(render_report(&report))
 }
 
+/// `monitor` — one run with the online health monitor attached.
+///
+/// Prints a snapshot line every `--snapshot` cycles, the usual report,
+/// and the final health verdict (livelock / starvation / hotspot
+/// detectors, each report carrying a flight-recorder excerpt of the
+/// last `--flight-recorder` events at the triggering router).
+/// `--health <path>` writes the summary JSON, `--metrics <path>` the
+/// Prometheus-style exposition of the live counters.
+pub fn cmd_monitor(flags: &Flags) -> Result<String, CliError> {
+    let cfg = parse_noc(flags.required("noc")?)?;
+    let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+    let rate: f64 = flags.numeric("rate", 1.0)?;
+    let packets: u64 = flags.numeric("packets", 1000)?;
+    let seed: u64 = flags.numeric("seed", 1)?;
+    let channels: usize = flags.numeric("channels", 1)?;
+    let snapshot: u64 = flags.numeric("snapshot", 1000)?;
+    let flight: usize = flags.numeric("flight-recorder", 32)?;
+    if snapshot == 0 {
+        return Err(CliError::Other("--snapshot must be positive".into()));
+    }
+    if flight == 0 {
+        return Err(CliError::Other("--flight-recorder must be positive".into()));
+    }
+    let defaults = DetectorConfig::default();
+    let detectors = DetectorConfig {
+        livelock_multiple: flags.numeric("livelock-multiple", defaults.livelock_multiple)?,
+        starvation_streak: flags.numeric("stall-streak", defaults.starvation_streak)?,
+        hotspot_watermark: flags.numeric("hotspot-watermark", defaults.hotspot_watermark)?,
+        ..defaults
+    };
+    let mcfg = MonitorConfig {
+        detectors,
+        flight_capacity: flight,
+        max_reports: flags.numeric("max-reports", MonitorConfig::default().max_reports)?,
+        snapshot_every: Some(snapshot),
+    };
+
+    let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
+    let (report, monitor) = if channels <= 1 {
+        simulate_monitored(&cfg, &mut src, SimOptions::default(), mcfg)
+    } else {
+        simulate_multichannel_monitored(&cfg, channels, &mut src, SimOptions::default(), mcfg)
+    };
+
+    let mut out = String::new();
+    for line in monitor.snapshots() {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&render_report(&report));
+    out.push('\n');
+    out.push_str(&monitor.summary().render_text());
+    if let Some(path) = flags.optional("health") {
+        let mut json = monitor.summary().to_json();
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        out.push_str(&format!("  health json -> {path}\n"));
+    }
+    if let Some(path) = flags.optional("metrics") {
+        std::fs::write(path, monitor.registry().to_prometheus())
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        out.push_str(&format!("  metrics exposition -> {path}\n"));
+    }
+    Ok(out)
+}
+
 /// `sweep` — run a grid of simulation points on the deterministic
 /// parallel sweep engine.
 ///
@@ -150,7 +236,11 @@ pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
 /// the points out over a work-stealing pool; every point's seed is
 /// derived from `--seed` and the point index, so output is
 /// byte-identical at any thread count (`--threads 1` is the golden
-/// serial run). `--out csv` emits machine-readable CSV.
+/// serial run). `--out csv` emits machine-readable CSV (and reports
+/// the row x column shape on stderr). `--health <path>` additionally
+/// runs every point under a [`fasttrack_core::monitor::HealthMonitor`]
+/// and writes the per-point summaries as a JSON sidecar; the rows —
+/// and hence the CSV bytes — are unchanged by monitoring.
 pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     let packets: u64 = flags.numeric("packets", 1000)?;
     let seed: u64 = flags.numeric("seed", 1)?;
@@ -184,9 +274,28 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     }
     .with_packets_per_pe(packets);
 
-    let rows = grid.run(threads);
+    let rows = match flags.optional("health") {
+        Some(path) => {
+            let (rows, points) = grid.run_with_health(threads, MonitorConfig::default());
+            let mut json = health_json(&points);
+            json.push('\n');
+            std::fs::write(path, json).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            let unhealthy = points.iter().filter(|p| !p.health.healthy()).count();
+            eprintln!(
+                "sweep health: {} points ({unhealthy} unhealthy) -> {path}",
+                points.len()
+            );
+            rows
+        }
+        None => grid.run(threads),
+    };
     match out_fmt {
-        "csv" => Ok(sweep_csv(&rows)),
+        "csv" => {
+            let csv = sweep_csv(&rows);
+            let columns = csv.lines().next().map_or(0, |h| h.split(',').count());
+            eprintln!("sweep csv: {} data rows x {columns} columns", rows.len());
+            Ok(csv)
+        }
         "table" => {
             let mut out =
                 String::from("config         pattern      rate    sustained  avg-lat   worst\n");
@@ -294,16 +403,23 @@ fn cmd_trace_export(flags: &Flags) -> Result<String, CliError> {
     if epoch == 0 {
         return Err(CliError::Other("--epoch must be positive".into()));
     }
+    let flight: usize = flags.numeric("flight-recorder", 0)?;
     let prefix = flags.optional("out").unwrap_or("fasttrack_trace");
 
     let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
+    // Sink tuples compose pairwise, so the flight recorder nests beside
+    // the three exporters (capacity 1 when unused — the events are
+    // dropped on the floor either way).
     let mut sink = (
-        NdjsonSink::new(),
-        ChromeTraceSink::new(cfg.n()),
-        WindowedMetrics::new(cfg.num_nodes(), epoch),
+        (
+            NdjsonSink::new(),
+            ChromeTraceSink::new(cfg.n()),
+            WindowedMetrics::new(cfg.num_nodes(), epoch),
+        ),
+        FlightRecorder::new(cfg.num_nodes(), flight.max(1)),
     );
     let report = simulate_traced(&cfg, &mut src, SimOptions::default(), &mut sink);
-    let (ndjson, chrome, metrics) = sink;
+    let ((ndjson, chrome, metrics), recorder) = sink;
 
     let steady = metrics.steady_state_epoch();
     let suggested = metrics.suggested_warmup();
@@ -334,6 +450,26 @@ fn cmd_trace_export(flags: &Flags) -> Result<String, CliError> {
         }
         _ => out.push_str("  steady state not detected (run longer or shrink --epoch)\n"),
     }
+    if flight > 0 {
+        // Replay the recorded excerpt (last K events per router, merged
+        // in cycle order) through fresh exporters: the same file
+        // formats, but bounded to what a post-mortem actually needs.
+        let mut replay_nd = NdjsonSink::new();
+        let mut replay_chrome = ChromeTraceSink::new(cfg.n());
+        let events = recorder.dump_all();
+        for e in &events {
+            replay_nd.emit(e);
+            replay_chrome.emit(e);
+        }
+        let flight_nd = format!("{prefix}.flight.ndjson");
+        let flight_chrome = format!("{prefix}.flight.chrome.json");
+        write(&flight_nd, replay_nd.as_str())?;
+        write(&flight_chrome, &replay_chrome.finish())?;
+        out.push_str(&format!(
+            "  flight recorder K={flight}: {} events retained -> {flight_nd}, {flight_chrome}\n",
+            events.len(),
+        ));
+    }
     Ok(out)
 }
 
@@ -350,6 +486,7 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
     let flags = Flags::parse(rest.to_vec())?;
     match command.as_str() {
         "simulate" => cmd_simulate(&flags),
+        "monitor" => cmd_monitor(&flags),
         "sweep" => cmd_sweep(&flags),
         "cost" => cmd_cost(&flags),
         "trace" => cmd_trace(&flags),
@@ -459,6 +596,98 @@ mod tests {
         assert!(csv.starts_with("epoch,"));
         assert!(csv.lines().count() >= 2);
         let chrome = std::fs::read_to_string(format!("{prefix}.chrome.json")).unwrap();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn monitor_detects_hotspot_above_saturation() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_monitor");
+        std::fs::create_dir_all(&dir).unwrap();
+        let health = dir.join("health.json").display().to_string();
+        let metrics = dir.join("metrics.prom").display().to_string();
+        // FT(64,2,2) RANDOM at rate 1.0 is far above saturation; with
+        // starvation muted the retained reports are hot links.
+        let out = run(argv(&format!(
+            "monitor --noc ft:8:2:2 --pattern random --rate 1.0 --packets 100 \
+             --seed 7 --snapshot 200 --stall-streak 1000000 \
+             --health {health} --metrics {metrics}"
+        )))
+        .unwrap();
+        assert!(out.contains("[monitor] cycle="), "snapshots missing: {out}");
+        assert!(out.contains("FT(64,2,2)"));
+        assert!(
+            out.contains("hotspot"),
+            "saturated run must trip the hotspot detector: {out}"
+        );
+        let json = std::fs::read_to_string(&health).unwrap();
+        assert!(json.contains("\"healthy\":false"));
+        assert!(json.ends_with("\n"), "health JSON ends with a newline");
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("fasttrack_injected_total"));
+        assert!(prom.contains("fasttrack_delivery_latency_cycles_count"));
+    }
+
+    #[test]
+    fn monitor_healthy_run_reports_ok() {
+        let out = run(argv(
+            "monitor --noc hoplite:4 --pattern random --rate 0.05 --packets 20 \
+             --snapshot 100000",
+        ))
+        .unwrap();
+        assert!(out.contains("health: OK"), "{out}");
+    }
+
+    #[test]
+    fn monitor_rejects_degenerate_knobs() {
+        assert!(matches!(
+            run(argv("monitor --noc hoplite:4 --snapshot 0")),
+            Err(CliError::Other(_))
+        ));
+        assert!(matches!(
+            run(argv("monitor --noc hoplite:4 --flight-recorder 0")),
+            Err(CliError::Other(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_health_sidecar_is_deterministic_and_rows_unchanged() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_sweep_health");
+        std::fs::create_dir_all(&dir).unwrap();
+        let h1 = dir.join("h1.json").display().to_string();
+        let h8 = dir.join("h8.json").display().to_string();
+        let base = "sweep --grid hoplite:4;random;0.1,1.0 --packets 25 --seed 3 --out csv";
+        let plain = run(argv(&format!("{base} --threads 1"))).unwrap();
+        let with1 = run(argv(&format!("{base} --threads 1 --health {h1}"))).unwrap();
+        let with8 = run(argv(&format!("{base} --threads 8 --health {h8}"))).unwrap();
+        assert_eq!(plain, with1, "health sidecar changed the CSV");
+        assert_eq!(plain, with8, "thread count leaked into the CSV");
+        assert!(plain.ends_with('\n') && !plain.ends_with("\n\n"));
+        let j1 = std::fs::read_to_string(&h1).unwrap();
+        let j8 = std::fs::read_to_string(&h8).unwrap();
+        assert_eq!(j1, j8, "health JSON must be thread-count independent");
+        assert!(j1.starts_with('[') && j1.ends_with("]\n"));
+        assert!(j1.contains("\"health\":"));
+    }
+
+    #[test]
+    fn trace_flight_recorder_replays_excerpt() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_flight");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("f").display().to_string();
+        let out = run(argv(&format!(
+            "trace --noc hoplite:4 --pattern random --rate 0.3 --packets 30 \
+             --flight-recorder 16 --out {prefix}"
+        )))
+        .unwrap();
+        assert!(out.contains("flight recorder K=16"), "{out}");
+        let nd = std::fs::read_to_string(format!("{prefix}.flight.ndjson")).unwrap();
+        assert!(!nd.is_empty());
+        assert!(nd.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        // Every line the flight recorder kept is also in the full log.
+        let full = std::fs::read_to_string(format!("{prefix}.events.ndjson")).unwrap();
+        let full: std::collections::HashSet<&str> = full.lines().collect();
+        assert!(nd.lines().all(|l| full.contains(l)));
+        let chrome = std::fs::read_to_string(format!("{prefix}.flight.chrome.json")).unwrap();
         assert!(chrome.starts_with("{\"traceEvents\":["));
     }
 

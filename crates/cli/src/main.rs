@@ -3,6 +3,9 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match fasttrack_cli::run(args) {
+        // Commands that produce machine-readable output (CSV) already
+        // end with exactly one newline; don't append a second.
+        Ok(output) if output.ends_with('\n') => print!("{output}"),
         Ok(output) => println!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");

@@ -80,6 +80,8 @@ impl EventSink for NdjsonSink {
                 packet,
                 in_port,
                 out,
+                dst,
+                hops,
                 ..
             } => {
                 let _ = write!(buf, ",\"node\":{},\"packet\":{}", node, packet.0);
@@ -89,7 +91,11 @@ impl EventSink for NdjsonSink {
                     }
                     None => buf.push_str(",\"in\":null"),
                 }
-                let _ = write!(buf, ",\"out\":\"{out}\"");
+                let _ = write!(
+                    buf,
+                    ",\"out\":\"{}\",\"dst_x\":{},\"dst_y\":{},\"hops\":{}",
+                    out, dst.x, dst.y, hops
+                );
             }
             SimEvent::Deflect {
                 node, packet, out, ..
@@ -289,6 +295,9 @@ mod tests {
                 packet: PacketId(3),
                 in_port: Some(InPort::WestSh),
                 out: OutPort::EastSh,
+                src: Coord::new(0, 0),
+                dst: Coord::new(2, 1),
+                hops: 1,
             },
             SimEvent::Deflect {
                 cycle: 9,

@@ -51,6 +51,7 @@ pub mod config;
 pub mod export;
 pub mod geom;
 pub mod metrics;
+pub mod monitor;
 pub mod multichannel;
 pub mod noc;
 pub mod packet;
@@ -71,6 +72,10 @@ pub mod prelude {
     pub use crate::export::{ChromeTraceSink, NdjsonSink};
     pub use crate::geom::Coord;
     pub use crate::metrics::{EpochStats, WindowedMetrics};
+    pub use crate::monitor::{
+        Anomaly, Counter, DetectorConfig, FlightRecorder, Gauge, HealthMonitor, HealthReport,
+        HealthSummary, MetricsRegistry, MonitorConfig,
+    };
     pub use crate::multichannel::MultiNoc;
     pub use crate::noc::Noc;
     pub use crate::packet::{Delivery, Packet, PacketId, PendingPacket};

@@ -235,6 +235,12 @@ impl WindowedMetrics {
     /// (< 4 epochs), idle, or never holds the band for more than a
     /// single epoch.
     pub fn steady_state_epoch_with_tolerance(&self, tolerance: f64) -> Option<usize> {
+        // A run shorter than one window completes no epochs; keep that
+        // guard explicit so short runs can never reach the plateau
+        // search below and report a bogus epoch 0.
+        if self.horizon < self.epoch_len {
+            return None;
+        }
         let rates = self.epoch_rates();
         if rates.len() < 4 {
             return None;
@@ -359,6 +365,38 @@ mod tests {
     }
 
     #[test]
+    fn run_shorter_than_one_window_reports_no_steady_state() {
+        // Regression: a run that ends inside the first window must not
+        // panic anywhere and must never suggest a warmup — there is no
+        // completed epoch to anchor one.
+        let mut m = WindowedMetrics::new(4, 100);
+        for c in 0..7 {
+            m.emit(&eject_at(c, 1));
+            m.end_cycle(c);
+        }
+        assert!(m.epochs().is_empty());
+        assert_eq!(m.steady_state_epoch(), None);
+        assert_eq!(m.suggested_warmup(), None);
+        assert_eq!(m.rate_after(0), 0.0);
+        assert_eq!(m.rate_after(10), 0.0, "out-of-range epoch clamps");
+        // Flushing the trailing partial epoch yields its true length and
+        // still no steady state on a fresh short run.
+        let epochs = m.finish();
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].cycles, 7);
+        assert_eq!(epochs[0].delivered, 7);
+    }
+
+    #[test]
+    fn empty_run_is_harmless() {
+        let m = WindowedMetrics::new(4, 10);
+        assert_eq!(m.steady_state_epoch(), None);
+        assert_eq!(m.suggested_warmup(), None);
+        assert_eq!(m.rate_after(0), 0.0);
+        assert!(m.finish().is_empty());
+    }
+
+    #[test]
     fn quiet_epochs_are_still_emitted() {
         let mut m = WindowedMetrics::new(4, 5);
         for c in 0..20 {
@@ -390,6 +428,9 @@ mod tests {
                 packet: PacketId(0),
                 in_port: None,
                 out: crate::port::OutPort::EastSh,
+                src: Coord::new(0, 0),
+                dst: Coord::new(1, 0),
+                hops: 1,
             });
         }
         m.emit(&SimEvent::Deflect {
@@ -418,6 +459,9 @@ mod tests {
             packet: PacketId(0),
             in_port: None,
             out: crate::port::OutPort::EastSh,
+            src: Coord::new(0, 0),
+            dst: Coord::new(1, 0),
+            hops: 1,
         });
         for c in 0..10 {
             m.end_cycle(c);

@@ -1,0 +1,159 @@
+//! Bounded-memory flight recorder: a fixed-capacity ring of the last K
+//! [`SimEvent`]s per router, dumped on anomaly or panic.
+//!
+//! The recorder is itself an [`EventSink`], so it can ride alongside any
+//! other sink in a tuple. Memory is bounded by `(nodes + 1) * K` events
+//! regardless of run length: each router has its own ring, plus one
+//! extra ring for driver-level events ([`SimEvent::WarmupReset`],
+//! [`SimEvent::Truncated`]) that have no router.
+
+use std::collections::VecDeque;
+
+use crate::trace::{EventSink, SimEvent};
+
+/// Per-router ring buffer of recent events.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    /// One ring per router; the final ring holds driver-level events.
+    rings: Vec<VecDeque<SimEvent>>,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder for `nodes` routers keeping the last `capacity`
+    /// events per router.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(nodes: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            capacity,
+            rings: vec![VecDeque::with_capacity(capacity); nodes + 1],
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The per-router capacity K.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of routers covered (excluding the driver ring).
+    pub fn nodes(&self) -> usize {
+        self.rings.len() - 1
+    }
+
+    /// Total events accepted (including since-evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted to honour the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn ring_index(&self, event: &SimEvent) -> usize {
+        match event.node() {
+            Some(node) if node < self.rings.len() - 1 => node,
+            _ => self.rings.len() - 1,
+        }
+    }
+
+    /// The retained events for `node`, oldest first (empty for an
+    /// out-of-range node).
+    pub fn excerpt(&self, node: usize) -> Vec<SimEvent> {
+        self.rings
+            .get(node)
+            .map(|r| r.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Every retained event across all rings, sorted by cycle (ties
+    /// broken by router id, then intra-ring order) — a deterministic
+    /// stream suitable for replay through the exporters.
+    pub fn dump_all(&self) -> Vec<SimEvent> {
+        let mut tagged: Vec<(u64, usize, usize, SimEvent)> = Vec::new();
+        for (ring_idx, ring) in self.rings.iter().enumerate() {
+            for (seq, &e) in ring.iter().enumerate() {
+                tagged.push((e.cycle(), ring_idx, seq, e));
+            }
+        }
+        tagged.sort_by_key(|&(cycle, ring, seq, _)| (cycle, ring, seq));
+        tagged.into_iter().map(|(_, _, _, e)| e).collect()
+    }
+}
+
+impl EventSink for FlightRecorder {
+    fn emit(&mut self, event: &SimEvent) {
+        let idx = self.ring_index(event);
+        let ring = &mut self.rings[idx];
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped += 1;
+        }
+        ring.push_back(*event);
+        self.recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stall(cycle: u64, node: usize) -> SimEvent {
+        SimEvent::QueueStall {
+            cycle,
+            node,
+            depth: 1,
+        }
+    }
+
+    #[test]
+    fn keeps_only_last_k_per_router() {
+        let mut rec = FlightRecorder::new(4, 3);
+        for c in 0..10 {
+            rec.emit(&stall(c, 1));
+        }
+        let ex = rec.excerpt(1);
+        assert_eq!(ex.len(), 3);
+        assert_eq!(
+            ex.iter().map(SimEvent::cycle).collect::<Vec<_>>(),
+            [7, 8, 9]
+        );
+        assert!(rec.excerpt(0).is_empty());
+        assert_eq!(rec.recorded(), 10);
+        assert_eq!(rec.dropped(), 7);
+    }
+
+    #[test]
+    fn driver_events_land_in_extra_ring() {
+        let mut rec = FlightRecorder::new(2, 4);
+        rec.emit(&SimEvent::WarmupReset { cycle: 5 });
+        rec.emit(&SimEvent::Truncated { cycle: 9 });
+        assert_eq!(rec.excerpt(2).len(), 2);
+        assert!(rec.excerpt(0).is_empty());
+    }
+
+    #[test]
+    fn dump_all_is_cycle_sorted() {
+        let mut rec = FlightRecorder::new(3, 4);
+        rec.emit(&stall(5, 2));
+        rec.emit(&stall(1, 0));
+        rec.emit(&stall(3, 1));
+        rec.emit(&stall(3, 0));
+        let cycles: Vec<u64> = rec.dump_all().iter().map(SimEvent::cycle).collect();
+        assert_eq!(cycles, [1, 3, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = FlightRecorder::new(4, 0);
+    }
+}

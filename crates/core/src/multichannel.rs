@@ -60,6 +60,12 @@ impl MultiNoc {
         self.channels.iter().map(Noc::in_flight).sum()
     }
 
+    /// Packets in flight per channel, in channel order (balance
+    /// diagnostics and monitor snapshots).
+    pub fn in_flight_per_channel(&self) -> Vec<usize> {
+        self.channels.iter().map(Noc::in_flight).collect()
+    }
+
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
@@ -221,6 +227,33 @@ mod tests {
             per_cycle.values().all(|&c| c <= 1),
             "PE accepted >1 delivery per cycle"
         );
+    }
+
+    #[test]
+    fn health_monitor_observes_every_channel() {
+        use crate::monitor::{HealthMonitor, MonitorConfig};
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut mnoc = MultiNoc::new(cfg, 3);
+        let mut q = InjectQueues::new(16);
+        for node in 0..16 {
+            q.push(node, Coord::new(3, (node % 4) as u16), 0, 0);
+        }
+        let mut monitor = HealthMonitor::new(4, MonitorConfig::default());
+        let mut dels = Vec::new();
+        for c in 0..500 {
+            mnoc.step_with_sink(&mut q, &mut dels, &mut monitor);
+            let per_channel = mnoc.in_flight_per_channel();
+            assert_eq!(per_channel.iter().sum::<usize>(), mnoc.in_flight());
+            assert_eq!(per_channel.len(), 3);
+            if q.is_empty() && mnoc.in_flight() == 0 {
+                let _ = c;
+                break;
+            }
+        }
+        let s = monitor.summary();
+        assert_eq!(s.injected, 16);
+        assert_eq!(s.delivered, 16);
+        assert!(s.healthy());
     }
 
     #[test]

@@ -230,6 +230,9 @@ impl Noc {
                         packet: pkt.id,
                         in_port: Some(InPort::ALL[slot]),
                         out,
+                        src: pkt.src,
+                        dst: pkt.dst,
+                        hops: pkt.total_hops(),
                     });
                 }
 

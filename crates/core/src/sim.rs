@@ -2,6 +2,7 @@
 //! multi-channel NoC), runs to completion, and produces a [`SimReport`].
 
 use crate::config::NocConfig;
+use crate::monitor::{HealthMonitor, MonitorConfig};
 use crate::multichannel::MultiNoc;
 use crate::noc::Noc;
 use crate::packet::Delivery;
@@ -160,6 +161,39 @@ pub fn simulate_traced<S: TrafficSource, K: EventSink>(
     }
 }
 
+/// [`simulate`] with a [`HealthMonitor`] attached: live counters, a
+/// flight recorder, and the anomaly detectors observe the run, and the
+/// monitor is returned alongside the report so callers can inspect
+/// reports, snapshots, and the metrics registry.
+///
+/// The monitor never perturbs the simulation — the report is
+/// bit-identical to an unmonitored [`simulate`] of the same source.
+pub fn simulate_monitored<S: TrafficSource>(
+    cfg: &NocConfig,
+    source: &mut S,
+    opts: SimOptions,
+    mcfg: MonitorConfig,
+) -> (SimReport, HealthMonitor) {
+    let mut monitor = HealthMonitor::new(cfg.n(), mcfg);
+    let report = simulate_traced(cfg, source, opts, &mut monitor);
+    (report, monitor)
+}
+
+/// [`simulate_multichannel`] with a [`HealthMonitor`] attached (hotspot
+/// utilization is normalized by the channel count).
+pub fn simulate_multichannel_monitored<S: TrafficSource>(
+    cfg: &NocConfig,
+    channels: usize,
+    source: &mut S,
+    opts: SimOptions,
+    mcfg: MonitorConfig,
+) -> (SimReport, HealthMonitor) {
+    let mut monitor = HealthMonitor::new(cfg.n(), mcfg);
+    monitor.set_channels(channels.max(1));
+    let report = simulate_multichannel_traced(cfg, channels, source, opts, &mut monitor);
+    (report, monitor)
+}
+
 /// Runs `source` on a `channels`-way replicated NoC (multi-channel
 /// Hoplite; the paper's iso-wiring comparison point).
 pub fn simulate_multichannel<S: TrafficSource>(
@@ -299,6 +333,48 @@ mod tests {
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 160);
         assert!(report.config_name.contains("3x"));
+    }
+
+    #[test]
+    fn monitored_run_matches_unmonitored() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mk = || Batch {
+            items: (1..16).map(|i| (i, Coord::new(0, 0))).collect(),
+            pushed: false,
+        };
+        let plain = simulate(&cfg, &mut mk(), SimOptions::default());
+        let (monitored, monitor) = simulate_monitored(
+            &cfg,
+            &mut mk(),
+            SimOptions::default(),
+            MonitorConfig::default(),
+        );
+        assert_eq!(plain, monitored, "the monitor must not perturb the run");
+        let s = monitor.summary();
+        assert_eq!(s.injected, 15);
+        assert_eq!(s.delivered, 15);
+        assert!(s.healthy(), "a draining batch run is healthy");
+    }
+
+    #[test]
+    fn monitored_multichannel_normalizes_channels() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mut src = Batch {
+            items: (0..16)
+                .map(|i| (i, Coord::from_node_id((i + 3) % 16, 4)))
+                .collect(),
+            pushed: false,
+        };
+        let (report, monitor) = simulate_multichannel_monitored(
+            &cfg,
+            2,
+            &mut src,
+            SimOptions::default(),
+            MonitorConfig::default(),
+        );
+        assert!(!report.truncated);
+        assert_eq!(monitor.summary().delivered, 16);
+        assert!(monitor.healthy());
     }
 
     #[test]

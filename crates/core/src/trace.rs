@@ -50,6 +50,15 @@ pub enum SimEvent {
         in_port: Option<InPort>,
         /// Output assigned.
         out: OutPort,
+        /// The packet's source node.
+        src: Coord,
+        /// The packet's destination node.
+        dst: Coord,
+        /// Link traversals (short + express) the packet has accumulated
+        /// before this decision. Carried so online health monitors can
+        /// compare a packet's displacement against its DOR distance
+        /// without tracking per-packet state.
+        hops: u32,
     },
     /// The assignment was non-productive — the packet was deflected.
     Deflect {
@@ -115,6 +124,20 @@ impl SimEvent {
             | SimEvent::QueueStall { cycle, .. }
             | SimEvent::WarmupReset { cycle }
             | SimEvent::Truncated { cycle } => cycle,
+        }
+    }
+
+    /// The router the event happened at, or `None` for driver-level
+    /// events ([`SimEvent::WarmupReset`], [`SimEvent::Truncated`]).
+    pub fn node(&self) -> Option<usize> {
+        match *self {
+            SimEvent::Inject { node, .. }
+            | SimEvent::RouteDecision { node, .. }
+            | SimEvent::Deflect { node, .. }
+            | SimEvent::ExpressHop { node, .. }
+            | SimEvent::Eject { node, .. }
+            | SimEvent::QueueStall { node, .. } => Some(node),
+            SimEvent::WarmupReset { .. } | SimEvent::Truncated { .. } => None,
         }
     }
 

@@ -215,6 +215,9 @@ impl MeshNoc {
                         packet: p.id,
                         in_port: None,
                         out: mv.out.map_or(OutPort::Exit, axis_port),
+                        src: p.src,
+                        dst: p.dst,
+                        hops: p.total_hops(),
                     });
                 }
                 p

@@ -1,0 +1,170 @@
+//! Integration tests for the online health-monitoring subsystem: the
+//! monitor as a passive observer (identical reports with and without
+//! it), detector verdicts on real traffic, registry exposition, and
+//! flight-recorder retention properties under proptest.
+
+use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, MonitorConfig};
+use fasttrack_core::sim::{simulate, simulate_monitored, simulate_traced, SimOptions};
+use fasttrack_core::trace::EventSink;
+use fasttrack_traffic::pattern::Pattern;
+use fasttrack_traffic::source::BernoulliSource;
+
+use proptest::prelude::*;
+
+fn monitored_cfg() -> MonitorConfig {
+    MonitorConfig {
+        detectors: DetectorConfig::default(),
+        flight_capacity: 16,
+        max_reports: 64,
+        snapshot_every: Some(100),
+    }
+}
+
+#[test]
+fn monitor_is_a_passive_observer() {
+    // The monitored run must produce the exact same SimReport as the
+    // plain run: monitoring reads the event stream, never the engine.
+    let cfg = NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap();
+    for rate in [0.05, 0.5, 1.0] {
+        let mut a = BernoulliSource::new(8, Pattern::Random, rate, 50, 11);
+        let mut b = BernoulliSource::new(8, Pattern::Random, rate, 50, 11);
+        let plain = simulate(&cfg, &mut a, SimOptions::default());
+        let (report, monitor) =
+            simulate_monitored(&cfg, &mut b, SimOptions::default(), monitored_cfg());
+        assert_eq!(plain, report, "rate {rate}: monitor perturbed the run");
+        let s = monitor.summary();
+        assert_eq!(s.injected, report.stats.injected);
+        assert_eq!(s.delivered, report.stats.delivered);
+        assert_eq!(s.cycles, report.cycles);
+    }
+}
+
+#[test]
+fn light_load_is_healthy_and_saturation_is_not() {
+    let cfg = NocConfig::hoplite(8).unwrap();
+    let mut light = BernoulliSource::new(8, Pattern::Random, 0.02, 20, 5);
+    let (_, m) = simulate_monitored(&cfg, &mut light, SimOptions::default(), monitored_cfg());
+    assert!(
+        m.healthy(),
+        "2% load on Hoplite must not trip any detector: {:?}",
+        m.reports().first()
+    );
+
+    // Hoplite-64 RANDOM at rate 1.0 is far above saturation: injectors
+    // starve and the shared ring links run hot.
+    let mut heavy = BernoulliSource::new(8, Pattern::Random, 1.0, 150, 5);
+    let (_, m) = simulate_monitored(&cfg, &mut heavy, SimOptions::default(), monitored_cfg());
+    assert!(!m.healthy(), "saturated Hoplite reported healthy");
+    let s = m.summary();
+    assert!(
+        s.count("starvation") + s.count("hotspot") > 0,
+        "expected load anomalies, got {:?}",
+        s.reports
+            .iter()
+            .map(|r| r.anomaly.kind())
+            .collect::<Vec<_>>()
+    );
+    for r in &s.reports {
+        assert!(
+            r.excerpt.len() <= monitored_cfg().flight_capacity,
+            "excerpt exceeds flight capacity"
+        );
+    }
+    // The summary JSON round-trips deterministically.
+    assert_eq!(s.to_json(), m.summary().to_json());
+}
+
+#[test]
+fn registry_exposition_matches_summary() {
+    let cfg = NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap();
+    let mut src = BernoulliSource::new(4, Pattern::Transpose, 0.3, 40, 9);
+    let (report, m) = simulate_monitored(&cfg, &mut src, SimOptions::default(), monitored_cfg());
+    let prom = m.registry().to_prometheus();
+    assert!(prom.contains(&format!(
+        "fasttrack_injected_total {}",
+        report.stats.injected
+    )));
+    assert!(prom.contains(&format!(
+        "fasttrack_delivered_total {}",
+        report.stats.delivered
+    )));
+    assert!(prom.contains(&format!(
+        "fasttrack_delivery_latency_cycles_count {}",
+        report.stats.delivered
+    )));
+    let json = m.registry().snapshot_json();
+    assert!(json.contains("\"fasttrack_delivered_total\""));
+    // Snapshots fired on the 100-cycle schedule.
+    assert_eq!(m.snapshots().len() as u64, report.cycles / 100);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flight-recorder law: after observing any real simulation, every
+    /// router's excerpt holds at most K events, in non-decreasing cycle
+    /// order, and the merged dump is cycle-sorted with total length
+    /// `min(recorded, capacity)` summed over rings.
+    #[test]
+    fn flight_recorder_bounded_and_ordered(
+        seed in 0u64..1000,
+        k in 1usize..24,
+        rate_pct in 1u64..100,
+    ) {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let nodes = cfg.num_nodes();
+        let mut src = BernoulliSource::new(
+            4,
+            Pattern::Random,
+            rate_pct as f64 / 100.0,
+            20,
+            seed,
+        );
+        let mut recorder = FlightRecorder::new(nodes, k);
+        simulate_traced(&cfg, &mut src, SimOptions::default(), &mut recorder);
+        prop_assert!(recorder.recorded() > 0, "run emitted no events");
+
+        let mut total = 0usize;
+        for node in 0..nodes {
+            let ex = recorder.excerpt(node);
+            prop_assert!(ex.len() <= k, "node {node}: {} > K={k}", ex.len());
+            for w in ex.windows(2) {
+                prop_assert!(
+                    w[0].cycle() <= w[1].cycle(),
+                    "node {node}: excerpt out of cycle order"
+                );
+            }
+            total += ex.len();
+        }
+        let dump = recorder.dump_all();
+        prop_assert!(dump.len() >= total, "dump misses per-node events");
+        for w in dump.windows(2) {
+            prop_assert!(w[0].cycle() <= w[1].cycle(), "dump out of cycle order");
+        }
+        prop_assert_eq!(
+            recorder.recorded(),
+            dump.len() as u64 + recorder.dropped(),
+            "retained + dropped must account for every emission"
+        );
+    }
+
+    /// Replaying any recorded excerpt through a fresh recorder with the
+    /// same capacity is a fixed point: nothing further is dropped.
+    #[test]
+    fn flight_recorder_replay_is_fixed_point(seed in 0u64..500, k in 1usize..16) {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let nodes = cfg.num_nodes();
+        let mut src = BernoulliSource::new(4, Pattern::Random, 0.4, 10, seed);
+        let mut recorder = FlightRecorder::new(nodes, k);
+        simulate_traced(&cfg, &mut src, SimOptions::default(), &mut recorder);
+        let dump = recorder.dump_all();
+
+        let mut replay = FlightRecorder::new(nodes, k);
+        for e in &dump {
+            replay.emit(e);
+        }
+        prop_assert_eq!(replay.dropped(), 0, "replay overflowed a ring");
+        prop_assert_eq!(replay.dump_all(), dump);
+    }
+}
