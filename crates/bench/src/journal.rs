@@ -1,0 +1,492 @@
+//! Append-only sweep journal: crash-safe orchestration for long grids.
+//!
+//! Every completed point is appended to the journal (and flushed) the
+//! moment it finishes, so a killed process loses at most the points
+//! that were mid-flight. Re-running the same grid against the same
+//! journal path skips the recorded points and re-runs only the rest;
+//! the merged CSV is **byte-identical** to an uninterrupted run because
+//! rows are stored verbatim ([`crate::runner::sweep_csv_row`] has no
+//! ambient state) and re-run points derive their seeds from their
+//! *original* grid index.
+//!
+//! ## Format
+//!
+//! Plain text, one record per line:
+//!
+//! ```text
+//! fasttrack-sweep-journal v1 <fingerprint-hex>
+//! ok <index> <checksum-hex> <csv-row>
+//! err <index> <message>
+//! ```
+//!
+//! The fingerprint hashes the grid's identity (base seed, packet quota,
+//! and every point's label/channels/pattern/rate), so a journal can
+//! never silently resume a *different* sweep. Each `ok` record carries
+//! a checksum of its row: a crash can tear the final append mid-line,
+//! and a torn row prefix would otherwise still parse. `err` records are
+//! informational: failed points are re-attempted on resume. A torn
+//! final line is ignored; corruption anywhere else is an error.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use fasttrack_core::sweep::{splitmix64, sweep_fallible, SweepError};
+
+use crate::runner::{sweep_csv_header, sweep_csv_row, FallibleSweepOptions, SweepGrid, SweepPoint};
+
+/// First token pair of every journal file; bump the version on any
+/// format change.
+pub const JOURNAL_MAGIC: &str = "fasttrack-sweep-journal v1";
+
+/// Hashes the identity of a grid into the fingerprint stored in its
+/// journal header. Two grids fingerprint equal exactly when they would
+/// produce the same rows: same base seed, packet quota, and point list.
+pub fn grid_fingerprint(grid: &SweepGrid) -> u64 {
+    let mut h = splitmix64(grid.base_seed);
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h = splitmix64(h ^ bytes.len() as u64);
+    };
+    mix(&grid.packets_per_pe.to_le_bytes());
+    mix(&(grid.points.len() as u64).to_le_bytes());
+    for p in &grid.points {
+        mix(p.nut.label.as_bytes());
+        mix(&(p.nut.channels as u64).to_le_bytes());
+        mix(p.pattern.to_string().as_bytes());
+        mix(&p.rate.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Checksum guarding one `ok` record's row against torn appends.
+fn row_hash(row: &str) -> u64 {
+    let mut h = splitmix64(row.len() as u64);
+    for &b in row.as_bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h
+}
+
+/// Why a journal could not be used.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The first line is not a `fasttrack-sweep-journal v1` header.
+    BadHeader,
+    /// The journal belongs to a different grid (fingerprint mismatch).
+    GridMismatch {
+        /// Fingerprint of the grid being run.
+        expected: u64,
+        /// Fingerprint recorded in the journal.
+        found: u64,
+    },
+    /// An unparseable record before the final line (torn final lines
+    /// are expected after a crash and silently dropped; anything
+    /// earlier means the file was edited or damaged).
+    Corrupt {
+        /// 1-based line number of the bad record.
+        line: usize,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadHeader => {
+                write!(f, "not a sweep journal (missing '{JOURNAL_MAGIC}' header)")
+            }
+            JournalError::GridMismatch { expected, found } => write!(
+                f,
+                "journal was written by a different sweep (grid fingerprint \
+                 {found:016x}, expected {expected:016x}); refusing to resume"
+            ),
+            JournalError::Corrupt { line } => {
+                write!(f, "journal line {line} is corrupt (not a torn final line)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Parsed contents of a journal file.
+#[derive(Debug, Default)]
+pub struct JournalContents {
+    /// Grid fingerprint from the header.
+    pub fingerprint: u64,
+    /// Completed points: index → CSV row (without trailing newline).
+    pub done: HashMap<usize, String>,
+    /// Failed points recorded so far: `(index, message)`. Informational
+    /// only — resume re-attempts them.
+    pub errors: Vec<(usize, String)>,
+    /// Byte length of the valid prefix of the file. A torn final append
+    /// leaves trailing bytes beyond this; resume truncates to it before
+    /// appending so the torn line never becomes interior corruption.
+    pub valid_len: u64,
+}
+
+/// Reads and validates a journal file.
+pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut raw = String::new();
+    if reader.read_line(&mut raw)? == 0 {
+        return Err(JournalError::BadHeader);
+    }
+    let fingerprint = raw
+        .trim_end_matches('\n')
+        .strip_prefix(JOURNAL_MAGIC)
+        .map(str::trim)
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or(JournalError::BadHeader)?;
+    let mut contents = JournalContents {
+        fingerprint,
+        valid_len: raw.len() as u64,
+        ..JournalContents::default()
+    };
+    let mut pending: Option<usize> = None; // line number of an unparseable record
+    let mut no = 1; // the header was line 1
+    loop {
+        raw.clear();
+        let bytes = reader.read_line(&mut raw)?;
+        if bytes == 0 {
+            break;
+        }
+        no += 1;
+        // A previously-seen bad record followed by more records is real
+        // corruption; only a bad *final* line is a torn append.
+        if let Some(bad) = pending {
+            return Err(JournalError::Corrupt { line: bad });
+        }
+        let line = raw.trim_end_matches('\n');
+        let mut parts = line.splitn(3, ' ');
+        let record = (parts.next(), parts.next().and_then(|s| s.parse().ok()));
+        match record {
+            (Some("ok"), Some(index)) => {
+                // `<checksum-hex> <row>`: a torn append truncates the
+                // row, so the checksum no longer matches.
+                let intact = parts
+                    .next()
+                    .unwrap_or("")
+                    .split_once(' ')
+                    .and_then(|(cksum, row)| match u64::from_str_radix(cksum, 16) {
+                        Ok(c) if c == row_hash(row) => Some(row.to_string()),
+                        _ => None,
+                    });
+                match intact {
+                    Some(row) => {
+                        contents.done.insert(index, row);
+                    }
+                    None => pending = Some(no),
+                }
+            }
+            (Some("err"), Some(index)) => {
+                let msg = parts.next().unwrap_or("").to_string();
+                contents.errors.push((index, msg));
+            }
+            _ => pending = Some(no),
+        }
+        // A final line without its newline is a mid-append crash even if
+        // the record happens to checksum; leave it out of the valid
+        // prefix so resume truncates it instead of appending after it.
+        if pending.is_none() && raw.ends_with('\n') {
+            contents.valid_len += bytes as u64;
+        }
+    }
+    Ok(contents)
+}
+
+/// The append side of a journal: one flushed line per finished point.
+#[derive(Debug)]
+pub struct SweepJournal {
+    file: Mutex<File>,
+}
+
+impl SweepJournal {
+    /// Creates (or truncates) a journal for the given grid fingerprint.
+    pub fn create(path: &Path, fingerprint: u64) -> std::io::Result<Self> {
+        let mut file = File::create(path)?;
+        writeln!(file, "{JOURNAL_MAGIC} {fingerprint:016x}")?;
+        file.flush()?;
+        Ok(SweepJournal {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Opens an existing journal for appending (header already present),
+    /// first truncating it to `valid_len` bytes — the valid prefix
+    /// reported by [`read_journal`] — so a torn final append from a
+    /// crash is discarded rather than buried by new records.
+    pub fn append_to(path: &Path, valid_len: u64) -> std::io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        file.set_len(valid_len)?;
+        Ok(SweepJournal {
+            file: Mutex::new(file),
+        })
+    }
+
+    fn record(&self, line: &str) {
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A journaling failure must not kill the sweep: the run is still
+        // correct, it just cannot be resumed from this point.
+        if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+            eprintln!("warning: sweep journal append failed: {e}");
+        }
+    }
+
+    /// Records a completed point (`row` without its trailing newline).
+    pub fn record_ok(&self, index: usize, row: &str) {
+        self.record(&format!("ok {index} {:016x} {row}", row_hash(row)));
+    }
+
+    /// Records a point that failed all its attempts.
+    pub fn record_err(&self, index: usize, err: &SweepError) {
+        self.record(&format!("err {index} {err}"));
+    }
+}
+
+/// The merged outcome of a journaled (possibly resumed) sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-point outcome in grid order: the CSV row line (with newline)
+    /// or the typed error.
+    pub rows: Vec<Result<String, SweepError>>,
+    /// Points restored from the journal instead of re-run.
+    pub restored: usize,
+}
+
+impl SweepOutcome {
+    /// The sweep CSV: header plus every successful row in grid order —
+    /// byte-identical to an uninterrupted [`SweepGrid::run`]'s
+    /// [`crate::runner::sweep_csv`] when every point succeeds.
+    pub fn csv(&self) -> String {
+        let mut out = String::from(sweep_csv_header());
+        for row in self.rows.iter().flatten() {
+            out.push_str(row);
+        }
+        out
+    }
+
+    /// Failed points as `(index, error)`, in grid order.
+    pub fn errors(&self) -> Vec<(usize, &SweepError)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+            .collect()
+    }
+}
+
+/// Runs `grid` with the journal at `path`: fresh points are simulated
+/// (with `opts`'s isolation/retry/budget hardening) and appended as they
+/// finish; points already recorded are restored without re-running.
+/// Pass a path that does not exist yet for a fresh crash-safe run, or
+/// an interrupted run's journal to resume it.
+pub fn run_journaled(
+    grid: &SweepGrid,
+    opts: &FallibleSweepOptions,
+    path: &Path,
+) -> Result<SweepOutcome, JournalError> {
+    let fingerprint = grid_fingerprint(grid);
+    let mut done: HashMap<usize, String> = HashMap::new();
+    let journal = if path.exists() {
+        let contents = read_journal(path)?;
+        if contents.fingerprint != fingerprint {
+            return Err(JournalError::GridMismatch {
+                expected: fingerprint,
+                found: contents.fingerprint,
+            });
+        }
+        done = contents.done;
+        done.retain(|&i, _| i < grid.points.len());
+        // Chop off a torn final append before continuing: appending
+        // after it would turn the torn line into interior corruption and
+        // make the journal unreadable on the *next* resume.
+        SweepJournal::append_to(path, contents.valid_len)?
+    } else {
+        SweepJournal::create(path, fingerprint)?
+    };
+    let restored = done.len();
+
+    let todo: Vec<(usize, SweepPoint)> = grid
+        .points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !done.contains_key(i))
+        .map(|(i, p)| (i, p.clone()))
+        .collect();
+    let order: Vec<usize> = todo.iter().map(|&(i, _)| i).collect();
+
+    // The journal write happens inside the worker closure, right when
+    // the point finishes — that is the crash-safety property. Errors are
+    // journaled only on the final attempt (earlier failures still get
+    // retried).
+    let fresh = sweep_fallible(
+        todo,
+        opts.threads,
+        opts.retries,
+        |_slot, attempt, &(orig, ref p)| {
+            let res = grid.attempt_point(orig, attempt, p, opts.cycle_budget);
+            match &res {
+                Ok(row) => journal.record_ok(orig, sweep_csv_row(row).trim_end()),
+                Err(e) if attempt == opts.retries => journal.record_err(orig, e),
+                Err(_) => {}
+            }
+            res
+        },
+    );
+
+    let mut rows: Vec<Option<Result<String, SweepError>>> =
+        (0..grid.points.len()).map(|_| None).collect();
+    for (i, row) in done {
+        rows[i] = Some(Ok(format!("{row}\n")));
+    }
+    for (slot, res) in fresh.into_iter().enumerate() {
+        rows[order[slot]] = Some(res.map(|r| sweep_csv_row(&r)));
+    }
+    Ok(SweepOutcome {
+        rows: rows
+            .into_iter()
+            .map(|r| r.expect("every grid index is either restored or run"))
+            .collect(),
+        restored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::NocUnderTest;
+    use fasttrack_traffic::pattern::Pattern;
+
+    fn small_grid(seed: u64) -> SweepGrid {
+        let nuts = [NocUnderTest::hoplite(4), NocUnderTest::fasttrack(4, 2, 1)];
+        SweepGrid::cross(&nuts, &[Pattern::Random], &[0.1, 0.5], seed).with_packets_per_pe(20)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("fasttrack_journal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn fingerprint_tracks_grid_identity() {
+        let a = grid_fingerprint(&small_grid(1));
+        assert_eq!(a, grid_fingerprint(&small_grid(1)), "must be pure");
+        assert_ne!(a, grid_fingerprint(&small_grid(2)), "seed must matter");
+        let bigger = small_grid(1).with_packets_per_pe(21);
+        assert_ne!(a, grid_fingerprint(&bigger), "quota must matter");
+    }
+
+    #[test]
+    fn journaled_run_matches_plain_sweep_csv() {
+        let grid = small_grid(0xA11CE);
+        let path = tmp("fresh.journal");
+        let _ = std::fs::remove_file(&path);
+        let outcome =
+            run_journaled(&grid, &FallibleSweepOptions::default(), &path).expect("journaled run");
+        assert_eq!(outcome.restored, 0);
+        assert!(outcome.errors().is_empty());
+        assert_eq!(outcome.csv(), crate::runner::sweep_csv(&grid.run(1)));
+    }
+
+    #[test]
+    fn resume_after_partial_journal_is_byte_identical() {
+        let grid = small_grid(0xBEE);
+        let golden = tmp("golden.journal");
+        let partial = tmp("partial.journal");
+        let _ = std::fs::remove_file(&golden);
+        let opts = FallibleSweepOptions::default();
+        let full = run_journaled(&grid, &opts, &golden).expect("golden run");
+
+        // Simulate a crash: keep the header and the first two records
+        // (as if the process died mid-grid), plus a torn final line.
+        let text = std::fs::read_to_string(&golden).unwrap();
+        let kept: Vec<&str> = text.lines().take(3).collect();
+        std::fs::write(
+            &partial,
+            format!("{}\nok 2 torn-row-with-no-newl", kept.join("\n")),
+        )
+        .unwrap();
+
+        let resumed = run_journaled(&grid, &opts, &partial).expect("resume");
+        assert_eq!(resumed.restored, 2, "two intact records restored");
+        assert_eq!(resumed.csv(), full.csv(), "resume must be byte-identical");
+
+        // The torn tail was truncated before the resume appended, so the
+        // journal stays readable: a further resume restores every point.
+        let again = run_journaled(&grid, &opts, &partial).expect("second resume");
+        assert_eq!(again.restored, grid.points.len());
+        assert_eq!(again.csv(), full.csv());
+    }
+
+    #[test]
+    fn mismatched_grid_is_refused() {
+        let path = tmp("mismatch.journal");
+        let _ = std::fs::remove_file(&path);
+        let opts = FallibleSweepOptions::default();
+        run_journaled(&small_grid(1), &opts, &path).expect("first run");
+        let err = run_journaled(&small_grid(2), &opts, &path).unwrap_err();
+        assert!(matches!(err, JournalError::GridMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("refusing to resume"));
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_an_error() {
+        let path = tmp("corrupt.journal");
+        let grid = small_grid(3);
+        let fp = grid_fingerprint(&grid);
+        let valid = format!("ok 0 {:016x} row", row_hash("row"));
+        std::fs::write(
+            &path,
+            format!("{JOURNAL_MAGIC} {fp:016x}\ngarbage line\n{valid}\n"),
+        )
+        .unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt { line: 2 }), "{err}");
+        // A torn *final* line is fine — including a torn row prefix that
+        // still looks like an `ok` record (the checksum catches it).
+        std::fs::write(
+            &path,
+            format!("{JOURNAL_MAGIC} {fp:016x}\n{valid}\nok 1 0123abcd torn-row"),
+        )
+        .unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.done.len(), 1);
+        assert_eq!(contents.done[&0], "row");
+    }
+
+    #[test]
+    fn bad_header_is_refused() {
+        let path = tmp("noheader.journal");
+        std::fs::write(&path, "config,channels\n1,2\n").unwrap();
+        assert!(matches!(
+            read_journal(&path).unwrap_err(),
+            JournalError::BadHeader
+        ));
+    }
+}

@@ -10,11 +10,14 @@
 
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod runner;
 pub mod table;
 
+pub use journal::{grid_fingerprint, run_journaled, JournalError, SweepJournal, SweepOutcome};
 pub use runner::{
     packets_per_pe, parallel_map, quick_mode, run_pattern, run_point, speedup, sweep_csv,
-    NocUnderTest, SweepGrid, SweepPoint, SweepRow, INJECTION_RATES, PE_LADDER,
+    FallibleSweepOptions, NocUnderTest, SweepGrid, SweepPoint, SweepRow, INJECTION_RATES,
+    PE_LADDER,
 };
 pub use table::Table;

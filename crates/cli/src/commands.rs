@@ -1,14 +1,18 @@
 //! CLI subcommand implementations. Each returns its report as a string
 //! so the logic is unit-testable; `main` only prints.
 
-use fasttrack_bench::runner::{health_json, sweep_csv, NocUnderTest, SweepGrid, INJECTION_RATES};
+use fasttrack_bench::journal::run_journaled;
+use fasttrack_bench::runner::{
+    health_json, sweep_csv, FallibleSweepOptions, NocUnderTest, SweepGrid, INJECTION_RATES,
+};
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
+use fasttrack_core::fault::{FaultPlan, FaultSpec};
 use fasttrack_core::metrics::WindowedMetrics;
-use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, MonitorConfig};
+use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, HealthMonitor, MonitorConfig};
 use fasttrack_core::sim::{
-    simulate, simulate_monitored, simulate_multichannel, simulate_multichannel_monitored,
-    simulate_traced, SimOptions, SimReport,
+    simulate, simulate_faulted_traced, simulate_monitored, simulate_multichannel,
+    simulate_multichannel_monitored, simulate_traced, SimOptions, SimReport,
 };
 use fasttrack_core::trace::EventSink;
 use fasttrack_fpga::device::Device;
@@ -78,6 +82,14 @@ USAGE:
   fasttrack sweep    (--grid <g> | --noc <spec> [--pattern <p>])
                      [--threads <t>] [--out table|csv]
                      [--packets <n>] [--seed <s>] [--health <path>]
+                     [--retries <n>] [--cycle-budget <cycles>]
+                     [--resume <journal>]
+  fasttrack faults   --noc <spec> [--pattern <p>] [--rate <r>]
+                     [--packets <n>] [--seed <s>] [--fault-seed <s>]
+                     [--dead-links <n>] [--transient-links <n>]
+                     [--fail-stop <n>] [--stalled-injectors <n>]
+                     [--window <from:until>] [--channels <k>]
+                     [--health <path>]
   fasttrack cost     --noc <spec> [--width <bits>] [--channels <k>]
   fasttrack trace    --noc <spec> --file <path>
   fasttrack trace    [--topology hoplite|ft|ftlite] [--n <n>] [--d <d>] [--r <r>]
@@ -107,12 +119,32 @@ MONITOR:
   sweep --health writes one health summary per sweep point (the CSV
   rows are byte-identical with or without it, at any --threads).
 
+FAULTS:
+  Draws a seeded fault plan (dead express links, transient link
+  drop/corruption windows, fail-stop routers, stalled injectors) from
+  --fault-seed, runs the healthy baseline and the faulted fabric on the
+  same traffic, and reports packets dropped/rerouted, the degraded
+  throughput ratio, the exact conservation check
+  (delivered + in-flight + dropped == injected), and the health
+  verdict. --window bounds the cycles transient faults are drawn from.
+
+CRASH-SAFE SWEEPS:
+  sweep --resume <journal> appends every finished point to an
+  append-only journal (flushed per point) and emits CSV. If the file
+  already exists, recorded points are restored instead of re-run and
+  the merged CSV is byte-identical to an uninterrupted run; a journal
+  from a different grid is refused. --retries re-runs a panicked or
+  over-budget point with a fresh derived seed; --cycle-budget fails
+  points that exceed the given cycle count instead of hanging the grid.
+
 EXAMPLES:
   fasttrack simulate --noc ft:8:2:1 --pattern random --rate 0.5
   fasttrack cost --noc ft:8:2:1 --width 256
   fasttrack sweep --noc hoplite:8 --pattern bitcompl
   fasttrack sweep --grid \"hoplite:8,ft:8:2:1;random;0.1,0.5\" --threads 8 --out csv
   fasttrack monitor --noc ft:8:2:2 --rate 1.0 --snapshot 500 --health health.json
+  fasttrack faults --noc ft:8:2:2 --rate 0.3 --dead-links 2 --fault-seed 42
+  fasttrack sweep --grid \"ft:8:2:1;random;0.1,0.5\" --resume run.journal
   fasttrack trace --topology ft --n 8 --d 2 --r 2 --pattern random --rate 0.2
 ";
 
@@ -227,6 +259,122 @@ pub fn cmd_monitor(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses `--window <from>:<until>` for the `faults` subcommand.
+fn parse_window(s: Option<&str>) -> Result<(u64, u64), CliError> {
+    let Some(s) = s else {
+        return Ok(FaultSpec::default().window);
+    };
+    let parsed = s.split_once(':').and_then(|(a, b)| {
+        let from: u64 = a.parse().ok()?;
+        let until: u64 = b.parse().ok()?;
+        Some((from, until))
+    });
+    match parsed {
+        Some((from, until)) if from < until => Ok((from, until)),
+        Some((from, until)) => Err(CliError::Other(format!(
+            "--window {from}:{until} is empty (need from < until)"
+        ))),
+        None => Err(CliError::Other(format!(
+            "--window expects <from>:<until> in cycles, got {s:?}"
+        ))),
+    }
+}
+
+/// `faults` — one faulted run against a healthy baseline of the same
+/// traffic.
+///
+/// The fault plan is drawn deterministically from `--fault-seed` (dead
+/// express links deflect traffic onto the plain ring; transient link
+/// windows and fail-stop routers lose packets, exactly accounted;
+/// stalled injectors delay without loss). The report contrasts the
+/// faulted run with the baseline: packets dropped and rerouted, the
+/// degraded throughput ratio, the exact conservation check, and the
+/// health verdict from the online monitor. `--health <path>` writes the
+/// monitor summary JSON.
+pub fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
+    let cfg = parse_noc(flags.required("noc")?)?;
+    let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+    let rate: f64 = flags.numeric("rate", 0.5)?;
+    let packets: u64 = flags.numeric("packets", 1000)?;
+    let seed: u64 = flags.numeric("seed", 1)?;
+    let fault_seed: u64 = flags.numeric("fault-seed", seed)?;
+    let channels: usize = flags.numeric("channels", 1)?;
+    let spec = FaultSpec {
+        dead_links: flags.numeric("dead-links", 0)?,
+        transient_links: flags.numeric("transient-links", 0)?,
+        fail_stop_routers: flags.numeric("fail-stop", 0)?,
+        stalled_injectors: flags.numeric("stalled-injectors", 0)?,
+        window: parse_window(flags.optional("window"))?,
+    };
+    let plan = FaultPlan::random(&cfg, fault_seed, &spec);
+
+    let opts = SimOptions::default();
+    let mut baseline_src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
+    let baseline = if channels <= 1 {
+        simulate(&cfg, &mut baseline_src, opts)
+    } else {
+        simulate_multichannel(&cfg, channels, &mut baseline_src, opts)
+    };
+
+    let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
+    let mut monitor = HealthMonitor::new(cfg.n(), MonitorConfig::default());
+    monitor.set_channels(channels.max(1));
+    // The multi-channel faulted engine has no traced variant, so the
+    // health monitor rides along on the single-channel path only.
+    let report = if channels <= 1 {
+        simulate_faulted_traced(&cfg, &plan, &mut src, opts, &mut monitor)
+            .map_err(|e| CliError::Other(e.to_string()))?
+    } else {
+        fasttrack_core::sim::simulate_multichannel_faulted(&cfg, channels, &plan, &mut src, opts)
+            .map_err(|e| CliError::Other(e.to_string()))?
+    };
+
+    let mut out = String::new();
+    if plan.is_empty() {
+        out.push_str("fault plan: empty (nothing drawn; the faulted run is the baseline)\n");
+    } else {
+        out.push_str(&format!(
+            "fault plan: {} faults (fault seed {fault_seed})\n",
+            plan.len()
+        ));
+        for f in plan.faults() {
+            out.push_str(&format!("  - {f}\n"));
+        }
+    }
+    out.push_str("healthy baseline:\n");
+    out.push_str(&render_report(&baseline));
+    out.push_str("\nfaulted fabric:\n");
+    out.push_str(&render_report(&report));
+    out.push_str(&format!(
+        "\n  degraded: {} packets dropped, {} rerouted around dead links\n  \
+         throughput {:.1}% of baseline\n",
+        report.stats.dropped,
+        report.stats.rerouted,
+        100.0 * report.degraded_throughput_ratio(&baseline),
+    ));
+    if report.conserved() {
+        out.push_str(&format!(
+            "  conservation: exact ({} delivered + {} in flight + {} dropped == {} injected)\n",
+            report.stats.delivered, report.in_flight, report.stats.dropped, report.stats.injected,
+        ));
+    } else {
+        out.push_str(&format!(
+            "  conservation: VIOLATED ({} delivered + {} in flight + {} dropped != {} injected)\n",
+            report.stats.delivered, report.in_flight, report.stats.dropped, report.stats.injected,
+        ));
+    }
+    if channels <= 1 {
+        out.push_str(&monitor.summary().render_text());
+        if let Some(path) = flags.optional("health") {
+            let mut json = monitor.summary().to_json();
+            json.push('\n');
+            std::fs::write(path, json).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            out.push_str(&format!("  health json -> {path}\n"));
+        }
+    }
+    Ok(out)
+}
+
 /// `sweep` — run a grid of simulation points on the deterministic
 /// parallel sweep engine.
 ///
@@ -241,11 +389,27 @@ pub fn cmd_monitor(flags: &Flags) -> Result<String, CliError> {
 /// runs every point under a [`fasttrack_core::monitor::HealthMonitor`]
 /// and writes the per-point summaries as a JSON sidecar; the rows —
 /// and hence the CSV bytes — are unchanged by monitoring.
+///
+/// Hardening: `--retries <n>` re-runs a panicked or over-budget point
+/// up to `n` times with fresh derived seeds, `--cycle-budget <c>` turns
+/// a point that exceeds `c` cycles into a typed per-point error instead
+/// of stalling the grid, and `--resume <journal>` appends each finished
+/// point to a crash-safe journal — re-running against an existing
+/// journal restores recorded points and produces CSV byte-identical to
+/// an uninterrupted run.
 pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     let packets: u64 = flags.numeric("packets", 1000)?;
     let seed: u64 = flags.numeric("seed", 1)?;
     let threads: usize = flags.numeric("threads", 1)?;
-    let out_fmt = flags.optional("out").unwrap_or("table");
+    let retries: u32 = flags.numeric("retries", 0)?;
+    let cycle_budget = match flags.optional("cycle-budget") {
+        Some(_) => Some(flags.numeric("cycle-budget", 0u64)?),
+        None => None,
+    };
+    let resume = flags.optional("resume");
+    let out_fmt = flags
+        .optional("out")
+        .unwrap_or(if resume.is_some() { "csv" } else { "table" });
 
     let grid = match flags.optional("grid") {
         Some(spec) => {
@@ -274,20 +438,73 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     }
     .with_packets_per_pe(packets);
 
-    let rows = match flags.optional("health") {
-        Some(path) => {
-            let (rows, points) = grid.run_with_health(threads, MonitorConfig::default());
-            let mut json = health_json(&points);
-            json.push('\n');
-            std::fs::write(path, json).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
-            let unhealthy = points.iter().filter(|p| !p.health.healthy()).count();
-            eprintln!(
-                "sweep health: {} points ({unhealthy} unhealthy) -> {path}",
-                points.len()
-            );
-            rows
+    if let Some(path) = resume {
+        if flags.optional("health").is_some() {
+            return Err(CliError::Other(
+                "--resume and --health cannot be combined (journals record rows only)".into(),
+            ));
         }
-        None => grid.run(threads),
+        if out_fmt != "csv" {
+            return Err(CliError::Other(format!(
+                "--resume emits CSV only (got --out {out_fmt}); drop --out or pass --out csv"
+            )));
+        }
+        let opts = FallibleSweepOptions {
+            threads,
+            retries,
+            cycle_budget,
+        };
+        let outcome = run_journaled(&grid, &opts, std::path::Path::new(path))
+            .map_err(|e| CliError::Other(e.to_string()))?;
+        let errors = outcome.errors();
+        for (i, e) in &errors {
+            eprintln!("sweep point {i} failed: {e}");
+        }
+        eprintln!(
+            "sweep journal: {} points ({} restored, {} failed) -> {path}",
+            grid.points.len(),
+            outcome.restored,
+            errors.len(),
+        );
+        return Ok(outcome.csv());
+    }
+
+    let hardened = retries > 0 || cycle_budget.is_some();
+    if hardened && flags.optional("health").is_some() {
+        return Err(CliError::Other(
+            "--health cannot be combined with --retries/--cycle-budget".into(),
+        ));
+    }
+    let rows = if hardened {
+        let opts = FallibleSweepOptions {
+            threads,
+            retries,
+            cycle_budget,
+        };
+        let mut rows = Vec::new();
+        for (i, res) in grid.run_fallible(&opts).into_iter().enumerate() {
+            match res {
+                Ok(row) => rows.push(row),
+                Err(e) => eprintln!("sweep point {i} failed: {e}"),
+            }
+        }
+        rows
+    } else {
+        match flags.optional("health") {
+            Some(path) => {
+                let (rows, points) = grid.run_with_health(threads, MonitorConfig::default());
+                let mut json = health_json(&points);
+                json.push('\n');
+                std::fs::write(path, json).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                let unhealthy = points.iter().filter(|p| !p.health.healthy()).count();
+                eprintln!(
+                    "sweep health: {} points ({unhealthy} unhealthy) -> {path}",
+                    points.len()
+                );
+                rows
+            }
+            None => grid.run(threads),
+        }
     };
     match out_fmt {
         "csv" => {
@@ -488,6 +705,7 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
         "simulate" => cmd_simulate(&flags),
         "monitor" => cmd_monitor(&flags),
         "sweep" => cmd_sweep(&flags),
+        "faults" => cmd_faults(&flags),
         "cost" => cmd_cost(&flags),
         "trace" => cmd_trace(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -714,6 +932,125 @@ mod tests {
             run(argv("trace --noc hoplite:4 --file /definitely/not/here")),
             Err(CliError::Io(_))
         ));
+    }
+
+    #[test]
+    fn faults_dead_links_degrade_gracefully() {
+        let out = run(argv(
+            "faults --noc ft:8:2:2 --pattern random --rate 0.3 --packets 40 \
+             --seed 5 --dead-links 2 --fault-seed 11",
+        ))
+        .unwrap();
+        assert!(out.contains("fault plan: 2 faults"), "{out}");
+        assert!(out.contains("dead link"), "{out}");
+        assert!(out.contains("healthy baseline:"), "{out}");
+        assert!(out.contains("faulted fabric:"), "{out}");
+        // Traffic deflects around the dead express links (stranded
+        // packets at a full router may still drop — exactly accounted).
+        assert!(out.contains("rerouted around dead links"), "{out}");
+        assert!(out.contains("conservation: exact"), "{out}");
+        assert!(out.contains("throughput"), "{out}");
+    }
+
+    #[test]
+    fn faults_fail_stop_drops_and_conserves() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let health = dir.join("health.json").display().to_string();
+        let out = run(argv(&format!(
+            "faults --noc hoplite:4 --pattern random --rate 0.5 --packets 60 \
+             --seed 3 --fail-stop 1 --window 20:200 --health {health}"
+        )))
+        .unwrap();
+        assert!(out.contains("fail-stop router"), "{out}");
+        assert!(out.contains("conservation: exact"), "{out}");
+        let json = std::fs::read_to_string(&health).unwrap();
+        assert!(json.contains("\"dropped\":"), "{json}");
+    }
+
+    #[test]
+    fn faults_empty_plan_is_the_baseline() {
+        let out = run(argv("faults --noc hoplite:4 --rate 0.2 --packets 20")).unwrap();
+        assert!(out.contains("fault plan: empty"), "{out}");
+        assert!(out.contains("throughput 100.0% of baseline"), "{out}");
+        assert!(
+            out.contains("degraded: 0 packets dropped, 0 rerouted"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn faults_rejects_bad_window() {
+        assert!(matches!(
+            run(argv("faults --noc hoplite:4 --window 50:50")),
+            Err(CliError::Other(_))
+        ));
+        assert!(matches!(
+            run(argv("faults --noc hoplite:4 --window nonsense")),
+            Err(CliError::Other(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_resume_restores_and_matches_golden_csv() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("golden.journal");
+        let partial = dir.join("partial.journal");
+        let _ = std::fs::remove_file(&golden);
+        let base = "sweep --grid hoplite:4,ft:4:2:1;random;0.1,0.5 --packets 25 --seed 9";
+        let full = run(argv(&format!("{base} --resume {}", golden.display()))).unwrap();
+        assert!(full.starts_with("config,channels,"), "{full}");
+        assert_eq!(full.lines().count(), 1 + 4);
+
+        // Kill the run mid-grid: keep the header plus two records, with
+        // a torn tail, then resume against the truncated journal.
+        let text = std::fs::read_to_string(&golden).unwrap();
+        let kept: Vec<&str> = text.lines().take(3).collect();
+        std::fs::write(&partial, format!("{}\nok 2 torn", kept.join("\n"))).unwrap();
+        let resumed = run(argv(&format!("{base} --resume {}", partial.display()))).unwrap();
+        assert_eq!(resumed, full, "resumed CSV must be byte-identical");
+
+        // A different grid is refused outright.
+        let other = format!(
+            "sweep --grid hoplite:4,ft:4:2:1;random;0.1,0.5 --packets 25 --seed 10 \
+             --resume {}",
+            partial.display()
+        );
+        let err = run(argv(&other)).unwrap_err();
+        assert!(err.to_string().contains("refusing to resume"), "{err}");
+
+        // Resume output is CSV; a table cannot be reconstructed.
+        assert!(matches!(
+            run(argv(&format!(
+                "{base} --resume {} --out table",
+                golden.display()
+            ))),
+            Err(CliError::Other(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_cycle_budget_turns_slow_points_into_errors() {
+        // A 5-cycle budget truncates every point: the CSV is just the
+        // header, and each point failed with a typed error (on stderr).
+        let out = run(argv(
+            "sweep --grid hoplite:4;random;0.5 --packets 50 --cycle-budget 5 --out csv",
+        ))
+        .unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        // With a generous budget the rows come back.
+        let ok = run(argv(
+            "sweep --grid hoplite:4;random;0.5 --packets 50 --cycle-budget 2000000 \
+             --retries 1 --out csv",
+        ))
+        .unwrap();
+        assert_eq!(ok.lines().count(), 2, "{ok}");
+        let plain = run(argv(
+            "sweep --grid hoplite:4;random;0.5 --packets 50 --out csv",
+        ))
+        .unwrap();
+        assert_eq!(ok, plain, "hardened run must not perturb healthy rows");
     }
 
     #[test]

@@ -22,6 +22,18 @@ pub enum SpecError {
     },
     /// A numeric field failed to parse.
     BadNumber(String),
+    /// An `ft:`/`ftlite:` spec violates the paper's structural
+    /// constraints on `FT(N², D, R)`.
+    BadFtParams {
+        /// Torus side length `N`.
+        n: u16,
+        /// Express-link span `D`.
+        d: u16,
+        /// Depopulation factor `R`.
+        r: u16,
+        /// Which constraint failed, human-readable.
+        why: &'static str,
+    },
     /// The parsed configuration failed validation.
     Invalid(String),
 }
@@ -38,6 +50,12 @@ impl fmt::Display for SpecError {
                 write!(f, "{kind} spec needs {expected} field(s), found {found}")
             }
             SpecError::BadNumber(s) => write!(f, "invalid number {s:?}"),
+            SpecError::BadFtParams { n, d, r, why } => write!(
+                f,
+                "invalid FastTrack spec FT({sq},{d},{r}) on a {n}x{n} torus: {why} \
+                 (constraints: 1 <= D <= N/2, 1 <= R <= D, D divisible by R)",
+                sq = u32::from(*n) * u32::from(*n)
+            ),
             SpecError::Invalid(e) => write!(f, "invalid configuration: {e}"),
         }
     }
@@ -53,6 +71,35 @@ impl From<ConfigError> for SpecError {
 
 fn num<T: std::str::FromStr>(s: &str) -> Result<T, SpecError> {
     s.parse().map_err(|_| SpecError::BadNumber(s.to_string()))
+}
+
+/// Checks the paper's structural constraints on `FT(N², D, R)` before
+/// the configuration is built: `1 <= D <= N/2` (an express link must
+/// not wrap past the opposite side of the torus), `1 <= R <= D`, and
+/// `D % R == 0` (depopulated express routers must tile the express
+/// span).
+///
+/// # Errors
+///
+/// Returns [`SpecError::BadFtParams`] naming the violated constraint.
+pub fn validate_ft_params(n: u16, d: u16, r: u16) -> Result<(), SpecError> {
+    let why = if d < 1 {
+        Some("D must be at least 1")
+    } else if d > n / 2 {
+        Some("D exceeds N/2, so express links would wrap past the far side")
+    } else if r < 1 {
+        Some("R must be at least 1")
+    } else if r > d {
+        Some("R exceeds D, so some express spans would have no express router")
+    } else if !d.is_multiple_of(r) {
+        Some("R must divide D for express routers to tile the express span")
+    } else {
+        None
+    };
+    match why {
+        Some(why) => Err(SpecError::BadFtParams { n, d, r, why }),
+        None => Ok(()),
+    }
 }
 
 /// Parses a NoC spec:
@@ -90,12 +137,9 @@ pub fn parse_noc(spec: &str) -> Result<NocConfig, SpecError> {
             } else {
                 FtPolicy::Inject
             };
-            Ok(NocConfig::fasttrack(
-                num(fields[1])?,
-                num(fields[2])?,
-                num(fields[3])?,
-                policy,
-            )?)
+            let (n, d, r) = (num(fields[1])?, num(fields[2])?, num(fields[3])?);
+            validate_ft_params(n, d, r)?;
+            Ok(NocConfig::fasttrack(n, d, r, policy)?)
         }
         other => Err(SpecError::UnknownKind(other.to_string())),
     }
@@ -227,7 +271,54 @@ mod tests {
             parse_noc("ft:8:x:1"),
             Err(SpecError::BadNumber(_))
         ));
-        assert!(matches!(parse_noc("ft:8:5:1"), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_ft_constraint_violations() {
+        // D > N/2: express links would wrap past the far side.
+        let e = parse_noc("ft:8:5:1").unwrap_err();
+        assert!(
+            matches!(
+                e,
+                SpecError::BadFtParams {
+                    n: 8,
+                    d: 5,
+                    r: 1,
+                    ..
+                }
+            ),
+            "{e}"
+        );
+        assert!(e.to_string().contains("1 <= D <= N/2"), "{e}");
+        assert!(e.to_string().contains("FT(64,5,1)"), "{e}");
+        // D == 0 and R == 0.
+        assert!(matches!(
+            parse_noc("ft:8:0:1"),
+            Err(SpecError::BadFtParams { .. })
+        ));
+        assert!(matches!(
+            parse_noc("ft:8:2:0"),
+            Err(SpecError::BadFtParams { .. })
+        ));
+        // R > D: some express spans would have no express router.
+        assert!(matches!(
+            parse_noc("ft:8:2:3"),
+            Err(SpecError::BadFtParams { .. })
+        ));
+        // R does not divide D.
+        assert!(matches!(
+            parse_noc("ft:8:4:3"),
+            Err(SpecError::BadFtParams { .. })
+        ));
+        // The ftlite path shares the check.
+        assert!(matches!(
+            parse_noc("ftlite:8:5:1"),
+            Err(SpecError::BadFtParams { .. })
+        ));
+        // Boundary cases stay accepted.
+        assert!(parse_noc("ft:8:4:4").is_ok(), "D == N/2, R == D");
+        assert!(parse_noc("ft:8:1:1").is_ok(), "D == 1");
+        assert!(validate_ft_params(8, 4, 2).is_ok());
     }
 
     #[test]

@@ -78,8 +78,31 @@ pub type Assignment = [Option<OutPort>; MAX_IN_FLIGHT];
 /// Panics if the inputs cannot all be matched — this indicates a
 /// connectivity-matrix bug, not a runtime condition: the FastTrack port
 /// sets satisfy Hall's condition by construction (see module docs of
-/// [`crate::router`]).
+/// [`crate::router`]). Fault-degraded routers (dead links masked from
+/// `available`) can genuinely violate Hall's condition; they must use
+/// [`try_allocate`] instead.
 pub fn allocate(inputs: &[RoutePrefs], available: OutSet, exit: ExitPolicy) -> Assignment {
+    let mut assignment = try_allocate(inputs, available, exit);
+    for (i, slot) in assignment.iter_mut().enumerate().take(inputs.len()) {
+        assert!(
+            slot.is_some(),
+            "allocator stranded an in-flight packet: prefs {:?}, available {available:?}",
+            inputs[i].ports()
+        );
+    }
+    assignment
+}
+
+/// [`allocate`] without the all-matched guarantee: inputs that cannot be
+/// assigned any port (possible when dead links shrink `available` below
+/// Hall's condition) come back `None` instead of panicking. On any input
+/// set that *can* be fully matched the result is identical to
+/// [`allocate`]: the relaxation only engages once the look-ahead proves
+/// the remainder unmatchable either way, in which case each packet still
+/// takes its best free port and the stranding falls on the
+/// lowest-priority loser — exactly how a fixed-priority mux cascade
+/// degrades in hardware.
+pub fn try_allocate(inputs: &[RoutePrefs], available: OutSet, exit: ExitPolicy) -> Assignment {
     assert!(inputs.len() <= MAX_IN_FLIGHT);
     let mut assignment: Assignment = [None; MAX_IN_FLIGHT];
     let mut free = slot_mask(available, exit);
@@ -107,16 +130,19 @@ pub fn allocate(inputs: &[RoutePrefs], available: OutSet, exit: ExitPolicy) -> A
                 break;
             }
         }
-        // The feasibility invariant guarantees a choice exists; a failure
-        // here means the connectivity tables violate Hall's condition.
-        let p = chosen.unwrap_or_else(|| {
-            panic!(
-                "allocator stranded an in-flight packet: prefs {:?}, free {free:#07b}",
-                prefs.ports()
-            )
-        });
-        free &= !slot_bit(p, exit);
-        assignment[i] = Some(p);
+        // No feasibility-preserving choice: the remainder is unmatchable
+        // whatever this input does, so take the best free port anyway.
+        if chosen.is_none() {
+            chosen = prefs
+                .ports()
+                .iter()
+                .copied()
+                .find(|&p| available.contains(p) && free & slot_bit(p, exit) != 0);
+        }
+        if let Some(p) = chosen {
+            free &= !slot_bit(p, exit);
+        }
+        assignment[i] = chosen;
     }
     assignment
 }

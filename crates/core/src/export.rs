@@ -133,6 +133,34 @@ impl EventSink for NdjsonSink {
             SimEvent::QueueStall { node, depth, .. } => {
                 let _ = write!(buf, ",\"node\":{node},\"depth\":{depth}");
             }
+            SimEvent::FaultDrop {
+                node,
+                packet,
+                link,
+                corrupted,
+                ..
+            } => {
+                let _ = write!(buf, ",\"node\":{},\"packet\":{}", node, packet.0);
+                match link {
+                    Some(l) => {
+                        let _ = write!(buf, ",\"link\":\"{l}\"");
+                    }
+                    None => buf.push_str(",\"link\":null"),
+                }
+                let _ = write!(buf, ",\"corrupted\":{corrupted}");
+            }
+            SimEvent::FaultReroute {
+                node,
+                packet,
+                avoided,
+                ..
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"node\":{},\"packet\":{},\"avoided\":\"{}\"",
+                    node, packet.0, avoided
+                );
+            }
             SimEvent::WarmupReset { .. } | SimEvent::Truncated { .. } => {}
         }
         buf.push_str("}\n");

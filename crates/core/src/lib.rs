@@ -49,6 +49,7 @@ pub mod alloc;
 pub mod analysis;
 pub mod config;
 pub mod export;
+pub mod fault;
 pub mod geom;
 pub mod metrics;
 pub mod monitor;
@@ -70,6 +71,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::config::{ConfigError, ExitPolicy, FtPolicy, LinkPipeline, NocConfig, NocKind};
     pub use crate::export::{ChromeTraceSink, NdjsonSink};
+    pub use crate::fault::{Fault, FaultError, FaultPlan, FaultSpec};
     pub use crate::geom::Coord;
     pub use crate::metrics::{EpochStats, WindowedMetrics};
     pub use crate::monitor::{
@@ -83,10 +85,11 @@ pub mod prelude {
     pub use crate::probe::{PathStep, Probe, TraceSelect};
     pub use crate::queue::InjectQueues;
     pub use crate::sim::{
-        simulate, simulate_multichannel, simulate_multichannel_traced, simulate_traced, SimOptions,
+        simulate, simulate_faulted, simulate_faulted_traced, simulate_multichannel,
+        simulate_multichannel_faulted, simulate_multichannel_traced, simulate_traced, SimOptions,
         SimReport, TrafficSource,
     };
     pub use crate::stats::{Histogram, LatencyStats, LinkUsage, PortCounters, SimStats};
-    pub use crate::sweep::{point_seed, splitmix64, sweep};
+    pub use crate::sweep::{point_seed, retry_seed, splitmix64, sweep, sweep_fallible, SweepError};
     pub use crate::trace::{EventSink, NullSink, SimEvent, VecSink};
 }

@@ -312,6 +312,9 @@ impl EventSink for WindowedMetrics {
                 self.cur.latency.record(lat);
             }
             SimEvent::QueueStall { .. } => self.cur.stalls += 1,
+            // Fault events feed the health monitor's dedicated counters;
+            // windowed epochs track only the throughput-side signals.
+            SimEvent::FaultDrop { .. } | SimEvent::FaultReroute { .. } => {}
             SimEvent::WarmupReset { cycle } => self.warmup_reset_at = Some(cycle),
             SimEvent::Truncated { .. } => self.truncated = true,
         }

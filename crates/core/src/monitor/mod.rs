@@ -78,6 +78,12 @@ pub struct HealthSummary {
     pub deflections: u64,
     /// Inject-stall events.
     pub stalls: u64,
+    /// Packets lost to injected faults (dead links, transient drops,
+    /// fail-stop routers).
+    pub dropped: u64,
+    /// Packets steered away from a dead express link onto the shared
+    /// ring.
+    pub rerouted: u64,
     /// Retained anomaly reports, in detection order.
     pub reports: Vec<HealthReport>,
     /// Anomalies beyond `max_reports` that were counted but not kept.
@@ -105,7 +111,7 @@ impl HealthSummary {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"cycles\":{},\"nodes\":{},\"healthy\":{},\"injected\":{},\"delivered\":{},\"deflections\":{},\"stalls\":{},\"suppressed\":{}",
+            "\"cycles\":{},\"nodes\":{},\"healthy\":{},\"injected\":{},\"delivered\":{},\"deflections\":{},\"stalls\":{},\"dropped\":{},\"rerouted\":{},\"suppressed\":{}",
             self.cycles,
             self.nodes,
             self.healthy(),
@@ -113,6 +119,8 @@ impl HealthSummary {
             self.delivered,
             self.deflections,
             self.stalls,
+            self.dropped,
+            self.rerouted,
             self.suppressed
         );
         let _ = write!(
@@ -179,6 +187,13 @@ impl HealthSummary {
         let mut out = String::new();
         if self.healthy() {
             let _ = writeln!(out, "health: OK (no anomalies in {} cycles)", self.cycles);
+            if self.dropped > 0 || self.rerouted > 0 {
+                let _ = writeln!(
+                    out,
+                    "  degraded: {} packets dropped, {} rerouted around dead links",
+                    self.dropped, self.rerouted
+                );
+            }
             return out;
         }
         let _ = writeln!(
@@ -191,6 +206,13 @@ impl HealthSummary {
             self.count("hotspot"),
             self.suppressed
         );
+        if self.dropped > 0 || self.rerouted > 0 {
+            let _ = writeln!(
+                out,
+                "  degraded: {} packets dropped, {} rerouted around dead links",
+                self.dropped, self.rerouted
+            );
+        }
         for r in &self.reports {
             let _ = write!(out, "  [cycle {:>6}] ", r.cycle);
             match r.anomaly {
@@ -248,6 +270,8 @@ pub struct HealthMonitor {
     stalls: Counter,
     express_hops: Counter,
     route_decisions: Counter,
+    fault_drops: Counter,
+    fault_reroutes: Counter,
     latency: LogHistogram,
     in_flight: Gauge,
     cycles: u64,
@@ -282,6 +306,14 @@ impl HealthMonitor {
             stalls: registry.counter("fasttrack_inject_stalls_total", "Inject-stall events"),
             express_hops: registry.counter("fasttrack_express_hops_total", "Express-link hops"),
             route_decisions: registry.counter("fasttrack_route_decisions_total", "Route decisions"),
+            fault_drops: registry.counter(
+                "fasttrack_fault_drops_total",
+                "Packets lost to injected faults",
+            ),
+            fault_reroutes: registry.counter(
+                "fasttrack_fault_reroutes_total",
+                "Packets deflected around dead express links",
+            ),
             latency: registry.histogram(
                 "fasttrack_delivery_latency_cycles",
                 "End-to-end packet latency",
@@ -337,6 +369,8 @@ impl HealthMonitor {
             delivered: self.delivered.get(),
             deflections: self.deflections.get(),
             stalls: self.stalls.get(),
+            dropped: self.fault_drops.get(),
+            rerouted: self.fault_reroutes.get(),
             reports: self.reports.clone(),
             suppressed: self.suppressed,
         }
@@ -386,6 +420,8 @@ impl EventSink for HealthMonitor {
                 self.delivered.inc();
                 self.latency.record(delivery.total_latency());
             }
+            SimEvent::FaultDrop { .. } => self.fault_drops.inc(),
+            SimEvent::FaultReroute { .. } => self.fault_reroutes.inc(),
             SimEvent::WarmupReset { .. } | SimEvent::Truncated { .. } => {}
         }
         self.hotspot.observe(event);

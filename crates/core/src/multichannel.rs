@@ -12,6 +12,7 @@
 //! favored for injection or delivery.
 
 use crate::config::NocConfig;
+use crate::fault::{FaultError, FaultPlan};
 use crate::noc::{Noc, StepGates};
 use crate::packet::Delivery;
 use crate::probe::{Probe, TraceSelect};
@@ -43,6 +44,40 @@ impl MultiNoc {
             rotation: 0,
             cycle: 0,
         }
+    }
+
+    /// Builds `channels` copies of the NoC with the same fault plan
+    /// injected into each (a broken router or link is broken in every
+    /// replicated channel — the channels share the physical fabric
+    /// region). An empty plan is identical to [`MultiNoc::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn with_faults(
+        cfg: NocConfig,
+        channels: usize,
+        plan: &FaultPlan,
+    ) -> Result<Self, FaultError> {
+        assert!(channels > 0, "need at least one channel");
+        plan.validate(&cfg)?;
+        let nodes = cfg.num_nodes();
+        let mut chans = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            chans.push(Noc::with_faults(cfg.clone(), plan)?);
+        }
+        Ok(MultiNoc {
+            channels: chans,
+            gates: StepGates::new(nodes),
+            rotation: 0,
+            cycle: 0,
+        })
+    }
+
+    /// See [`Noc::only_failed_injectors_pending`]; all channels share
+    /// the fault plan, so channel 0 answers for the bank.
+    pub fn only_failed_injectors_pending(&self, queues: &InjectQueues) -> bool {
+        self.channels[0].only_failed_injectors_pending(queues)
     }
 
     /// Number of channels.

@@ -10,8 +10,9 @@
 
 use std::collections::VecDeque;
 
-use crate::alloc::{allocate, try_inject, MAX_IN_FLIGHT};
-use crate::config::NocConfig;
+use crate::alloc::{allocate, try_allocate, try_inject, MAX_IN_FLIGHT};
+use crate::config::{FtPolicy, NocConfig};
+use crate::fault::{FaultError, FaultPlan, FaultState};
 use crate::geom::Coord;
 use crate::packet::{Delivery, Packet};
 use crate::port::{InPort, OutPort, OutSet};
@@ -72,6 +73,9 @@ pub struct Noc {
     cycle: u64,
     stats: SimStats,
     probe: Option<Probe>,
+    /// Compiled fault tables; `None` on a healthy fabric, which keeps
+    /// the no-fault path structurally identical to the pre-fault engine.
+    faults: Option<FaultState>,
 }
 
 impl Noc {
@@ -103,6 +107,33 @@ impl Noc {
             cycle: 0,
             stats: SimStats::default(),
             probe: None,
+            faults: None,
+        }
+    }
+
+    /// Builds an idle NoC with the given fault plan injected. The plan
+    /// is validated first (reachability pre-check: dead links must be
+    /// express-only, nodes in range, windows non-empty). An empty plan
+    /// yields an engine bit-identical to [`Noc::new`].
+    pub fn with_faults(cfg: NocConfig, plan: &FaultPlan) -> Result<Self, FaultError> {
+        plan.validate(&cfg)?;
+        let mut noc = Noc::new(cfg);
+        if !plan.is_empty() {
+            noc.faults = Some(plan.compile(noc.cfg.num_nodes()));
+        }
+        Ok(noc)
+    }
+
+    /// True when every still-queued packet sits at a PE whose router has
+    /// fail-stopped: no further progress is possible, so drivers can end
+    /// the run instead of spinning to the cycle cap. Always `false` on a
+    /// fault-free fabric.
+    pub fn only_failed_injectors_pending(&self, queues: &InjectQueues) -> bool {
+        match &self.faults {
+            None => false,
+            Some(f) => {
+                (0..self.cfg.num_nodes()).all(|n| queues.depth(n) == 0 || f.failed(n, self.cycle))
+            }
         }
     }
 
@@ -184,6 +215,31 @@ impl Noc {
             let class = self.classes[node];
             let base = node * MAX_IN_FLIGHT;
 
+            // A fail-stopped router swallows every arriving packet and
+            // neither routes, injects, nor delivers.
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.failed(node, self.cycle))
+            {
+                for slot in 0..MAX_IN_FLIGHT {
+                    if let Some(pkt) = self.regs[base + slot].take() {
+                        self.in_flight -= 1;
+                        self.stats.dropped += 1;
+                        if S::ENABLED {
+                            sink.emit(&SimEvent::FaultDrop {
+                                cycle: self.cycle,
+                                node,
+                                packet: pkt.id,
+                                link: None,
+                                corrupted: false,
+                            });
+                        }
+                    }
+                }
+                continue;
+            }
+
             // Gather occupied in-flight inputs in priority order. The
             // register index *is* the priority order (see InPort::index).
             let mut inputs: [Option<(usize, Packet)>; MAX_IN_FLIGHT] = [None; MAX_IN_FLIGHT];
@@ -200,6 +256,15 @@ impl Noc {
             if !exit_ok {
                 avail.remove(OutPort::Exit);
             }
+            // Mask permanently dead express links: packets that wanted
+            // them deflect onto the plain ring (graceful degradation).
+            let dead = self
+                .faults
+                .as_ref()
+                .map_or(OutSet::empty(), |f| f.dead[node]);
+            for out in dead.iter() {
+                avail.remove(out);
+            }
 
             // Route the in-flight packets. Fixed-size buffers: the hot
             // path performs no heap allocation per node per cycle.
@@ -209,7 +274,48 @@ impl Noc {
                 let port = InPort::ALL[slot];
                 prefs_buf[i] = compute_prefs(&self.cfg, class, port, at, pkt.dst);
             }
-            let assignment = allocate(&prefs_buf[..n_inputs], avail, exit_policy);
+            // The INJECT crossbar has no express-to-shared turn, so a
+            // lane-locked express packet whose every productive output is
+            // dead can never reach its destination: deflection would keep
+            // it orbiting the express ring forever (livelock). Drop it at
+            // the first dead router instead — counted, conserved.
+            if !dead.is_empty() && self.cfg.ft_policy() == Some(FtPolicy::Inject) {
+                let mut kept = 0;
+                for i in 0..n_inputs {
+                    let (slot, pkt) = inputs[i].unwrap();
+                    let productive = prefs_buf[i].productive();
+                    let stranded = InPort::ALL[slot].is_express()
+                        && !productive.is_empty()
+                        && productive.intersect(dead) == productive;
+                    if stranded {
+                        self.in_flight -= 1;
+                        self.stats.dropped += 1;
+                        if S::ENABLED {
+                            sink.emit(&SimEvent::FaultDrop {
+                                cycle: self.cycle,
+                                node,
+                                packet: pkt.id,
+                                link: productive.iter().next(),
+                                corrupted: false,
+                            });
+                        }
+                        continue;
+                    }
+                    inputs[kept] = inputs[i];
+                    prefs_buf[kept] = prefs_buf[i];
+                    kept += 1;
+                }
+                n_inputs = kept;
+            }
+            // Dead links can shrink the output set below Hall's condition
+            // (the FULL router is exactly tight at four inputs), so the
+            // faulted path uses the non-panicking allocator and drops the
+            // stranded loser; the healthy path keeps the hard guarantee.
+            let assignment = if self.faults.is_some() {
+                try_allocate(&prefs_buf[..n_inputs], avail, exit_policy)
+            } else {
+                allocate(&prefs_buf[..n_inputs], avail, exit_policy)
+            };
 
             let mut taken = [OutPort::Exit; MAX_IN_FLIGHT];
             let mut n_taken = 0;
@@ -217,7 +323,24 @@ impl Noc {
             for i in 0..n_inputs {
                 let (slot, mut pkt) = inputs[i].unwrap();
                 let prefs = prefs_buf[i];
-                let out = assignment[i].expect("allocator assigns every in-flight input");
+                let Some(out) = assignment[i] else {
+                    // Stranded by a dead link: a bufferless router has
+                    // nowhere to park the packet, so it is lost (counted
+                    // in `dropped`; conservation holds).
+                    debug_assert!(!dead.is_empty(), "healthy routers never strand inputs");
+                    self.in_flight -= 1;
+                    self.stats.dropped += 1;
+                    if S::ENABLED {
+                        sink.emit(&SimEvent::FaultDrop {
+                            cycle: self.cycle,
+                            node,
+                            packet: pkt.id,
+                            link: dead.iter().next(),
+                            corrupted: false,
+                        });
+                    }
+                    continue;
+                };
                 taken[n_taken] = out;
                 n_taken += 1;
                 if let Some(probe) = self.probe.as_mut() {
@@ -250,6 +373,19 @@ impl Noc {
                     }
                 } else if prefs.wanted_express() && !out.is_express() && out != OutPort::Exit {
                     self.stats.ports.demotions[slot] += 1;
+                }
+                if !dead.is_empty() {
+                    if let Some(avoided) = dead.intersect(prefs.productive()).iter().next() {
+                        self.stats.rerouted += 1;
+                        if S::ENABLED {
+                            sink.emit(&SimEvent::FaultReroute {
+                                cycle: self.cycle,
+                                node,
+                                packet: pkt.id,
+                                avoided,
+                            });
+                        }
+                    }
                 }
 
                 match out {
@@ -286,14 +422,27 @@ impl Noc {
                                 span: d,
                             });
                         }
-                        self.forward(&mut pkt, at, out, n, d)
+                        self.forward(&mut pkt, at, out, n, d, sink)
                     }
                 }
             }
 
             // PE injection: lowest priority, never deflects.
             let inject_ok = gates.as_ref().is_none_or(|g| g.inject_allowed[node]);
-            if inject_ok {
+            let fault_stalled = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.injector_stalled(node, self.cycle));
+            if inject_ok && fault_stalled {
+                // A stalled injector holds its queue; count the stall so
+                // the degradation shows up in the report.
+                if queues.peek(node).is_some() {
+                    self.stats.injection_stalls += 1;
+                    if S::ENABLED {
+                        sink.emit(&queues.stall_event(self.cycle, node));
+                    }
+                }
+            } else if inject_ok {
                 if let Some(pending) = queues.peek(node) {
                     let pe_prefs = compute_prefs(&self.cfg, class, InPort::Pe, at, pending.dst);
                     // Use the un-gated availability: the gate only removed
@@ -326,6 +475,21 @@ impl Noc {
                             }
                             if let Some(g) = gates.as_deref_mut() {
                                 g.inject_allowed[node] = false;
+                            }
+                            if !dead.is_empty() {
+                                if let Some(avoided) =
+                                    dead.intersect(pe_prefs.productive()).iter().next()
+                                {
+                                    self.stats.rerouted += 1;
+                                    if S::ENABLED {
+                                        sink.emit(&SimEvent::FaultReroute {
+                                            cycle: self.cycle,
+                                            node,
+                                            packet: pkt.id,
+                                            avoided,
+                                        });
+                                    }
+                                }
                             }
                             match out {
                                 OutPort::Exit => {
@@ -362,7 +526,7 @@ impl Noc {
                                             span: d,
                                         });
                                     }
-                                    self.forward(&mut pkt, at, out, n, d);
+                                    self.forward(&mut pkt, at, out, n, d, sink);
                                 }
                             }
                         }
@@ -395,8 +559,18 @@ impl Noc {
     /// Writes `pkt` into the downstream router's input register for the
     /// chosen output port, updating hop counters. Pipelined links place
     /// the packet deeper into the timing wheel (one extra cycle per
-    /// extra link register).
-    fn forward(&mut self, pkt: &mut Packet, at: Coord, out: OutPort, n: u16, d: u16) {
+    /// extra link register). A transiently faulted link consumes the
+    /// hop but loses the packet (counted in `dropped`; conservation:
+    /// the in-flight count drops with it).
+    fn forward<S: EventSink>(
+        &mut self,
+        pkt: &mut Packet,
+        at: Coord,
+        out: OutPort,
+        n: u16,
+        d: u16,
+        sink: &mut S,
+    ) {
         let (target, in_slot) = match out {
             OutPort::EastSh => (at.east(1, n), InPort::WestSh),
             OutPort::EastEx => (at.east(d, n), InPort::WestEx),
@@ -414,6 +588,24 @@ impl Noc {
             self.stats.link_usage.short_hops += 1;
             pipeline.short_cycles()
         };
+        let link_fault = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.link_fault(at.to_node_id(n), out, self.cycle));
+        if let Some(corrupted) = link_fault {
+            self.in_flight -= 1;
+            self.stats.dropped += 1;
+            if S::ENABLED {
+                sink.emit(&SimEvent::FaultDrop {
+                    cycle: self.cycle,
+                    node: at.to_node_id(n),
+                    packet: pkt.id,
+                    link: Some(out),
+                    corrupted,
+                });
+            }
+            return;
+        }
         let frame = &mut self.wheel[delay as usize - 1];
         let reg = &mut frame[target.to_node_id(n) * MAX_IN_FLIGHT + in_slot.index()];
         debug_assert!(reg.is_none(), "two packets on one link register");

@@ -2,6 +2,7 @@
 //! multi-channel NoC), runs to completion, and produces a [`SimReport`].
 
 use crate::config::NocConfig;
+use crate::fault::{FaultError, FaultPlan};
 use crate::monitor::{HealthMonitor, MonitorConfig};
 use crate::multichannel::MultiNoc;
 use crate::noc::Noc;
@@ -72,6 +73,9 @@ pub struct SimReport {
     pub stats: SimStats,
     /// True if the run hit `max_cycles` before the workload drained.
     pub truncated: bool,
+    /// Packets still on NoC links when the run ended (non-zero only for
+    /// truncated runs; part of the conservation accounting).
+    pub in_flight: usize,
 }
 
 impl SimReport {
@@ -102,6 +106,29 @@ impl SimReport {
     pub fn worst_latency(&self) -> u64 {
         self.stats.total_latency.max()
     }
+
+    /// Exact packet conservation: every injected packet is delivered,
+    /// still on a link, or was dropped by an injected fault. Holds for
+    /// every run without a warmup reset, faulted or not, truncated or
+    /// not. (A warmup reset excludes pre-warmup injections from the
+    /// measured stats while their deliveries still count, so only
+    /// `warmup_cycles == 0` runs are exactly conserved.)
+    pub fn conserved(&self) -> bool {
+        self.stats.delivered + self.in_flight as u64 + self.stats.dropped == self.stats.injected
+    }
+
+    /// Throughput of this (typically faulted) run relative to a baseline
+    /// run of the healthy fabric: `1.0` means no degradation, `0.0`
+    /// means nothing got through. Returns `1.0` when the baseline moved
+    /// no traffic either.
+    pub fn degraded_throughput_ratio(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.sustained_rate_per_pe();
+        if base == 0.0 {
+            1.0
+        } else {
+            self.sustained_rate_per_pe() / base
+        }
+    }
 }
 
 /// Runs `source` on a single-channel NoC built from `cfg`.
@@ -119,7 +146,48 @@ pub fn simulate_traced<S: TrafficSource, K: EventSink>(
     opts: SimOptions,
     sink: &mut K,
 ) -> SimReport {
-    let mut noc = Noc::new(cfg.clone());
+    drive_noc(Noc::new(cfg.clone()), cfg, source, opts, sink)
+}
+
+/// [`simulate`] with a [`FaultPlan`] injected into the fabric. The plan
+/// is validated first (dead links must be express-only, etc.); an empty
+/// plan produces a report bit-identical to plain [`simulate`].
+///
+/// Fail-stopped routers can leave their PE's queue permanently blocked;
+/// the driver detects that state and ends the run (not truncated) once
+/// everything else has drained.
+pub fn simulate_faulted<S: TrafficSource>(
+    cfg: &NocConfig,
+    plan: &FaultPlan,
+    source: &mut S,
+    opts: SimOptions,
+) -> Result<SimReport, FaultError> {
+    simulate_faulted_traced(cfg, plan, source, opts, &mut NullSink)
+}
+
+/// [`simulate_faulted`] with an [`EventSink`] observing the run,
+/// including the [`SimEvent::FaultDrop`] / [`SimEvent::FaultReroute`]
+/// events.
+pub fn simulate_faulted_traced<S: TrafficSource, K: EventSink>(
+    cfg: &NocConfig,
+    plan: &FaultPlan,
+    source: &mut S,
+    opts: SimOptions,
+    sink: &mut K,
+) -> Result<SimReport, FaultError> {
+    let noc = Noc::with_faults(cfg.clone(), plan)?;
+    Ok(drive_noc(noc, cfg, source, opts, sink))
+}
+
+/// The single-channel drive loop shared by the healthy and faulted
+/// entry points.
+fn drive_noc<S: TrafficSource, K: EventSink>(
+    mut noc: Noc,
+    cfg: &NocConfig,
+    source: &mut S,
+    opts: SimOptions,
+    sink: &mut K,
+) -> SimReport {
     let mut queues = InjectQueues::new(cfg.num_nodes());
     let mut deliveries: Vec<Delivery> = Vec::new();
     let mut measured_from = 0u64;
@@ -141,7 +209,10 @@ pub fn simulate_traced<S: TrafficSource, K: EventSink>(
             source.on_delivery(d);
         }
         cycle += 1;
-        if source.exhausted() && queues.is_empty() && noc.in_flight() == 0 {
+        if source.exhausted()
+            && noc.in_flight() == 0
+            && (queues.is_empty() || noc.only_failed_injectors_pending(&queues))
+        {
             truncated = false;
             break;
         }
@@ -158,6 +229,7 @@ pub fn simulate_traced<S: TrafficSource, K: EventSink>(
         cycles: cycle - measured_from,
         stats,
         truncated,
+        in_flight: noc.in_flight(),
     }
 }
 
@@ -214,7 +286,39 @@ pub fn simulate_multichannel_traced<S: TrafficSource, K: EventSink>(
     opts: SimOptions,
     sink: &mut K,
 ) -> SimReport {
-    let mut noc = MultiNoc::new(cfg.clone(), channels);
+    drive_multinoc(
+        MultiNoc::new(cfg.clone(), channels),
+        cfg,
+        source,
+        opts,
+        sink,
+    )
+}
+
+/// [`simulate_multichannel`] with a [`FaultPlan`] injected into every
+/// channel (the channels replicate one physical fabric region, so a
+/// fault hits all of them).
+pub fn simulate_multichannel_faulted<S: TrafficSource>(
+    cfg: &NocConfig,
+    channels: usize,
+    plan: &FaultPlan,
+    source: &mut S,
+    opts: SimOptions,
+) -> Result<SimReport, FaultError> {
+    let noc = MultiNoc::with_faults(cfg.clone(), channels, plan)?;
+    Ok(drive_multinoc(noc, cfg, source, opts, &mut NullSink))
+}
+
+/// The multi-channel drive loop shared by the healthy and faulted entry
+/// points.
+fn drive_multinoc<S: TrafficSource, K: EventSink>(
+    mut noc: MultiNoc,
+    cfg: &NocConfig,
+    source: &mut S,
+    opts: SimOptions,
+    sink: &mut K,
+) -> SimReport {
+    let channels = noc.num_channels();
     let mut queues = InjectQueues::new(cfg.num_nodes());
     let mut deliveries: Vec<Delivery> = Vec::new();
     let mut measured_from = 0u64;
@@ -236,7 +340,10 @@ pub fn simulate_multichannel_traced<S: TrafficSource, K: EventSink>(
             source.on_delivery(d);
         }
         cycle += 1;
-        if source.exhausted() && queues.is_empty() && noc.in_flight() == 0 {
+        if source.exhausted()
+            && noc.in_flight() == 0
+            && (queues.is_empty() || noc.only_failed_injectors_pending(&queues))
+        {
             truncated = false;
             break;
         }
@@ -253,6 +360,7 @@ pub fn simulate_multichannel_traced<S: TrafficSource, K: EventSink>(
         cycles: cycle - measured_from,
         stats,
         truncated,
+        in_flight: noc.in_flight(),
     }
 }
 

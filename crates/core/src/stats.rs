@@ -252,6 +252,14 @@ pub struct SimStats {
     pub ports: PortCounters,
     /// Cycles in which a PE wanted to inject but stalled.
     pub injection_stalls: u64,
+    /// Packets discarded by injected faults (dead routers, transient
+    /// link drops, corruption). Zero on a fault-free fabric. Packet
+    /// conservation holds as `delivered + in_flight + dropped ==
+    /// injected` at every cycle.
+    pub dropped: u64,
+    /// Routing decisions that steered a packet away from a dead express
+    /// link onto the plain ring (graceful degradation, not a loss).
+    pub rerouted: u64,
 }
 
 impl SimStats {
@@ -270,6 +278,8 @@ impl SimStats {
             self.ports.demotions[i] += other.ports.demotions[i];
         }
         self.injection_stalls += other.injection_stalls;
+        self.dropped += other.dropped;
+        self.rerouted += other.rerouted;
     }
 }
 

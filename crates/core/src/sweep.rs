@@ -25,8 +25,9 @@
 //! can be incremented from every worker; totals are exact regardless of
 //! interleaving, though intermediate readings are racy by nature).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// One step of the SplitMix64 sequence: mixes `state` into a
 /// well-distributed 64-bit value (finalizer from Steele et al.,
@@ -120,9 +121,19 @@ where
                 if i >= ranges[victim].1 {
                     continue; // lost the claim race; re-scan
                 }
-                if let Some(item) = tasks[i].lock().unwrap().take() {
+                // A panic in `f` on another worker poisons nothing we
+                // depend on, but the slot mutexes could still be
+                // poisoned if that panic unwound through a lock; recover
+                // the guard instead of compounding the failure (a
+                // second panic while the first unwinds aborts the
+                // process and kills the whole grid).
+                if let Some(item) = tasks[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                {
                     let r = f(i, item);
-                    *results[i].lock().unwrap() = Some(r);
+                    *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
                 }
             });
         }
@@ -132,10 +143,120 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every sweep slot is filled before the scope joins")
         })
         .collect()
+}
+
+/// Why a sweep point failed after all retry attempts were spent.
+///
+/// Returned (never thrown) by [`sweep_fallible`]: one point failing
+/// leaves every other point's result intact, so a grid with a panicking
+/// configuration still yields typed errors for the bad rows and
+/// byte-identical results for the healthy ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The point's closure panicked on every attempt.
+    Panicked {
+        /// The final attempt's panic payload (if it was a string).
+        message: String,
+        /// Total attempts made (initial run plus retries).
+        attempts: u32,
+    },
+    /// The point exceeded its cycle budget (the watchdog converted a
+    /// suspected livelock into an error instead of spinning forever).
+    BudgetExceeded {
+        /// The cycle budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Panicked { message, attempts } => {
+                write!(f, "point panicked after {attempts} attempt(s): {message}")
+            }
+            SweepError::BudgetExceeded { budget } => {
+                write!(f, "point exceeded its cycle budget of {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Derives the RNG seed for retry `attempt` of sweep point `index`.
+///
+/// Attempt 0 is exactly [`point_seed`], so a run with retries disabled
+/// (or where no point ever fails) is bit-identical to the original
+/// sweep. Later attempts fold the attempt number into the base seed
+/// first, giving each retry a fresh but fully deterministic stream —
+/// resuming a journaled sweep replays the same seeds.
+pub fn retry_seed(base_seed: u64, index: usize, attempt: u32) -> u64 {
+    if attempt == 0 {
+        point_seed(base_seed, index)
+    } else {
+        point_seed(base_seed ^ splitmix64(u64::from(attempt)), index)
+    }
+}
+
+/// Runs one point: up to `1 + retries` attempts, panics caught.
+fn run_point<T, R, F>(f: &F, i: usize, item: &T, retries: u32) -> Result<R, SweepError>
+where
+    F: Fn(usize, u32, &T) -> Result<R, SweepError> + Sync,
+{
+    let mut last = SweepError::Panicked {
+        message: String::new(),
+        attempts: 0,
+    };
+    for attempt in 0..=retries {
+        match catch_unwind(AssertUnwindSafe(|| f(i, attempt, item))) {
+            Ok(Ok(r)) => return Ok(r),
+            Ok(Err(e)) => last = e,
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                last = SweepError::Panicked {
+                    message,
+                    attempts: attempt + 1,
+                };
+            }
+        }
+    }
+    Err(last)
+}
+
+/// [`sweep`] with per-point panic isolation, bounded retry, and typed
+/// errors.
+///
+/// `f` receives `(index, attempt, &item)` and should derive its RNG
+/// seed with [`retry_seed`] so attempt 0 matches a plain [`sweep`]'s
+/// [`point_seed`] stream. Each point gets up to `1 + retries` attempts;
+/// a panic is caught (on the worker that ran it — the rest of the pool
+/// keeps draining the grid) and retried with the next attempt number.
+/// A point that fails every attempt comes back as `Err` in its slot
+/// while every other slot is unaffected, so the result vector always
+/// has exactly `items.len()` entries in item order for any thread
+/// count.
+pub fn sweep_fallible<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    retries: u32,
+    f: F,
+) -> Vec<Result<R, SweepError>>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(usize, u32, &T) -> Result<R, SweepError> + Sync,
+{
+    sweep(items, threads, |i, item| run_point(&f, i, &item, retries))
 }
 
 #[cfg(test)]
@@ -200,6 +321,107 @@ mod tests {
         assert_eq!(work.get(), 100, "every worker lands in the same cell");
         assert_eq!(hist.count(), 100);
         assert_eq!(hist.sum(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn retry_seed_attempt_zero_matches_point_seed() {
+        for i in 0..32 {
+            assert_eq!(retry_seed(42, i, 0), point_seed(42, i));
+            assert_ne!(retry_seed(42, i, 1), point_seed(42, i));
+            assert_ne!(retry_seed(42, i, 1), retry_seed(42, i, 2));
+        }
+        assert_eq!(retry_seed(42, 3, 2), retry_seed(42, 3, 2), "pure");
+    }
+
+    /// Suppresses the default panic hook's stderr spam for the tests
+    /// below that panic on purpose. Installed once and filtered by
+    /// thread name (libtest names worker threads after the test, and
+    /// `sweep` names nothing — scoped workers inherit no name), so
+    /// parallel test execution cannot race a save/restore pair.
+    fn silence_intentional_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let intentional = std::thread::current()
+                    .name()
+                    .is_none_or(|n| n.contains("sweep_fallible"));
+                if !intentional {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn sweep_fallible_isolates_panics_per_point() {
+        silence_intentional_panics();
+        for threads in [1, 2, 8] {
+            let out = sweep_fallible((0..16u64).collect(), threads, 0, |i, attempt, &x| {
+                if i == 5 {
+                    panic!("point 5 is broken");
+                }
+                if i == 9 {
+                    return Err(SweepError::BudgetExceeded { budget: 1000 });
+                }
+                Ok((x, attempt))
+            });
+            assert_eq!(out.len(), 16, "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                match i {
+                    5 => assert_eq!(
+                        *r,
+                        Err(SweepError::Panicked {
+                            message: "point 5 is broken".into(),
+                            attempts: 1
+                        })
+                    ),
+                    9 => assert_eq!(*r, Err(SweepError::BudgetExceeded { budget: 1000 })),
+                    _ => assert_eq!(*r, Ok((i as u64, 0))),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_fallible_retries_with_fresh_attempt_numbers() {
+        silence_intentional_panics();
+        // Succeeds only on attempt 2: the retry loop must reach it and
+        // report which attempt produced the result.
+        let out = sweep_fallible(vec![7u64], 1, 3, |_i, attempt, &x| {
+            if attempt < 2 {
+                panic!("flaky");
+            }
+            Ok((x, attempt))
+        });
+        assert_eq!(out, vec![Ok((7, 2))]);
+        // Exhausted retries keep the last failure, with the total count.
+        let out = sweep_fallible(vec![7u64], 1, 2, |_i, _attempt, _x| -> Result<(), _> {
+            panic!("always")
+        });
+        assert_eq!(
+            out,
+            vec![Err(SweepError::Panicked {
+                message: "always".into(),
+                attempts: 3
+            })]
+        );
+    }
+
+    #[test]
+    fn sweep_fallible_results_are_thread_invariant() {
+        silence_intentional_panics();
+        let run = |threads| {
+            sweep_fallible((0..64u64).collect(), threads, 1, |i, attempt, _x| {
+                if i % 13 == 3 && attempt == 0 {
+                    panic!("transient");
+                }
+                Ok(retry_seed(9, i, attempt))
+            })
+        };
+        let golden = run(1);
+        assert_eq!(run(2), golden);
+        assert_eq!(run(8), golden);
     }
 
     #[test]

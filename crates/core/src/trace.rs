@@ -110,6 +110,37 @@ pub enum SimEvent {
         /// The cap that was hit.
         cycle: u64,
     },
+    /// A faulted resource discarded a packet: lost on a transient link,
+    /// corrupted in transit, or swallowed by a fail-stopped router. The
+    /// packet leaves the network and is counted in
+    /// [`crate::stats::SimStats::dropped`].
+    FaultDrop {
+        /// Drop cycle.
+        cycle: u64,
+        /// Node at which the loss was accounted.
+        node: usize,
+        /// Packet id.
+        packet: PacketId,
+        /// The faulted link the packet was crossing, or `None` when the
+        /// router itself fail-stopped.
+        link: Option<OutPort>,
+        /// True when the loss models corruption detected at the receiver
+        /// rather than a clean in-flight drop.
+        corrupted: bool,
+    },
+    /// Fault-aware routing steered a packet away from a dead link and
+    /// onto the plain ring (graceful degradation; counted in
+    /// [`crate::stats::SimStats::rerouted`]).
+    FaultReroute {
+        /// Decision cycle.
+        cycle: u64,
+        /// Deciding node id.
+        node: usize,
+        /// Packet id.
+        packet: PacketId,
+        /// The dead output the packet would have preferred.
+        avoided: OutPort,
+    },
 }
 
 impl SimEvent {
@@ -123,7 +154,9 @@ impl SimEvent {
             | SimEvent::Eject { cycle, .. }
             | SimEvent::QueueStall { cycle, .. }
             | SimEvent::WarmupReset { cycle }
-            | SimEvent::Truncated { cycle } => cycle,
+            | SimEvent::Truncated { cycle }
+            | SimEvent::FaultDrop { cycle, .. }
+            | SimEvent::FaultReroute { cycle, .. } => cycle,
         }
     }
 
@@ -136,7 +169,9 @@ impl SimEvent {
             | SimEvent::Deflect { node, .. }
             | SimEvent::ExpressHop { node, .. }
             | SimEvent::Eject { node, .. }
-            | SimEvent::QueueStall { node, .. } => Some(node),
+            | SimEvent::QueueStall { node, .. }
+            | SimEvent::FaultDrop { node, .. }
+            | SimEvent::FaultReroute { node, .. } => Some(node),
             SimEvent::WarmupReset { .. } | SimEvent::Truncated { .. } => None,
         }
     }
@@ -152,6 +187,8 @@ impl SimEvent {
             SimEvent::QueueStall { .. } => "stall",
             SimEvent::WarmupReset { .. } => "warmup_reset",
             SimEvent::Truncated { .. } => "truncated",
+            SimEvent::FaultDrop { .. } => "fault_drop",
+            SimEvent::FaultReroute { .. } => "fault_reroute",
         }
     }
 }
@@ -324,6 +361,28 @@ mod tests {
         };
         assert_eq!(s.kind(), "stall");
         assert_eq!(s.cycle(), 3);
+    }
+
+    #[test]
+    fn fault_event_kinds() {
+        let d = SimEvent::FaultDrop {
+            cycle: 7,
+            node: 2,
+            packet: PacketId(9),
+            link: Some(OutPort::EastEx),
+            corrupted: false,
+        };
+        assert_eq!(d.kind(), "fault_drop");
+        assert_eq!(d.cycle(), 7);
+        assert_eq!(d.node(), Some(2));
+        let r = SimEvent::FaultReroute {
+            cycle: 8,
+            node: 3,
+            packet: PacketId(10),
+            avoided: OutPort::SouthEx,
+        };
+        assert_eq!(r.kind(), "fault_reroute");
+        assert_eq!(r.node(), Some(3));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use fasttrack_core::fault::{Fault, FaultError, FaultPlan};
 use fasttrack_core::geom::Coord;
 use fasttrack_core::packet::{Delivery, Packet};
 use fasttrack_core::port::OutPort;
@@ -36,6 +37,109 @@ fn axis_port(dir: Dir) -> OutPort {
 /// Candidate inputs per output: four link FIFOs plus local injection.
 const INJ: usize = 4;
 
+/// The mesh's compiled view of a [`FaultPlan`]. The core engine's
+/// compiled tables are crate-private, so the mesh re-derives its own
+/// from the public plan. Link faults are *axis-level* here (see
+/// [`axis_port`]): a `TransientLink` on `E_sh` covers both x-axis
+/// directions at its node, `S_sh` both y-axis directions.
+#[derive(Debug, Clone)]
+struct MeshFaultState {
+    /// Per-node fail-stop cycle (`u64::MAX` = never fails).
+    fail_at: Vec<u64>,
+    /// Per-node injector stall windows `[from, until)`.
+    stalls: Vec<Vec<(u64, u64)>>,
+    /// Transient axis-link faults: `(node, axis, from, until, corrupt)`.
+    transients: Vec<(usize, OutPort, u64, u64, bool)>,
+}
+
+impl MeshFaultState {
+    /// Checks `plan` against a mesh: XY routing is single-path, so dead
+    /// links are rejected outright ([`FaultError::PartitionsTorus`]) and
+    /// transient faults must name axis (shared) ports — the mesh has no
+    /// express links.
+    fn validate(plan: &FaultPlan, cfg: &MeshConfig) -> Result<(), FaultError> {
+        let nodes = cfg.num_nodes();
+        for fault in plan.faults() {
+            let node = fault.node();
+            if node >= nodes {
+                return Err(FaultError::BadNode { node, nodes });
+            }
+            match *fault {
+                Fault::DeadLink { out, .. } => {
+                    return Err(FaultError::PartitionsTorus { node, out })
+                }
+                Fault::TransientLink {
+                    out, from, until, ..
+                } => {
+                    match out {
+                        OutPort::Exit => return Err(FaultError::NotALink { node }),
+                        OutPort::EastEx | OutPort::SouthEx => {
+                            return Err(FaultError::NoExpressLink { node, out })
+                        }
+                        OutPort::EastSh | OutPort::SouthSh => {}
+                    }
+                    if from >= until {
+                        return Err(FaultError::EmptyWindow { from, until });
+                    }
+                }
+                Fault::FailStopRouter { .. } => {}
+                Fault::StalledInjector { from, until, .. } => {
+                    if from >= until {
+                        return Err(FaultError::EmptyWindow { from, until });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn compile(plan: &FaultPlan, nodes: usize) -> Self {
+        let mut state = MeshFaultState {
+            fail_at: vec![u64::MAX; nodes],
+            stalls: vec![Vec::new(); nodes],
+            transients: Vec::new(),
+        };
+        for fault in plan.faults() {
+            match *fault {
+                Fault::DeadLink { .. } => unreachable!("rejected by validate"),
+                Fault::TransientLink {
+                    node,
+                    out,
+                    from,
+                    until,
+                    corrupt,
+                } => state.transients.push((node, out, from, until, corrupt)),
+                Fault::FailStopRouter { node, at } => {
+                    state.fail_at[node] = state.fail_at[node].min(at);
+                }
+                Fault::StalledInjector { node, from, until } => {
+                    state.stalls[node].push((from, until));
+                }
+            }
+        }
+        state
+    }
+
+    fn failed(&self, node: usize, cycle: u64) -> bool {
+        cycle >= self.fail_at[node]
+    }
+
+    fn injector_stalled(&self, node: usize, cycle: u64) -> bool {
+        self.stalls[node]
+            .iter()
+            .any(|&(from, until)| cycle >= from && cycle < until)
+    }
+
+    fn link_fault(&self, node: usize, axis: OutPort, cycle: u64) -> Option<bool> {
+        self.transients
+            .iter()
+            .find(|&&(n, a, from, until, _)| {
+                n == node && a == axis && cycle >= from && cycle < until
+            })
+            .map(|&(_, _, _, _, corrupt)| corrupt)
+    }
+}
+
 /// A buffered 2-D mesh NoC instance.
 #[derive(Debug, Clone)]
 pub struct MeshNoc {
@@ -52,6 +156,7 @@ pub struct MeshNoc {
     in_flight: usize,
     cycle: u64,
     stats: SimStats,
+    faults: Option<MeshFaultState>,
 }
 
 /// One granted move, computed against the cycle-start snapshot.
@@ -76,7 +181,32 @@ impl MeshNoc {
             in_flight: 0,
             cycle: 0,
             stats: SimStats::default(),
+            faults: None,
         }
+    }
+
+    /// Builds a mesh with `plan` injected. An empty plan is identical to
+    /// [`MeshNoc::new`]. The mesh supports the fault subset that its
+    /// single-path XY routing can express: fail-stop routers, stalled
+    /// injectors, and transient axis-link faults; permanently dead links
+    /// are rejected (every mesh link is the only route for some pairs).
+    pub fn with_faults(cfg: MeshConfig, plan: &FaultPlan) -> Result<Self, FaultError> {
+        MeshFaultState::validate(plan, &cfg)?;
+        let mut noc = MeshNoc::new(cfg);
+        if !plan.is_empty() {
+            noc.faults = Some(MeshFaultState::compile(plan, cfg.num_nodes()));
+        }
+        Ok(noc)
+    }
+
+    /// True when every node that still has queued packets has
+    /// fail-stopped by the current cycle — those packets can never
+    /// inject, so a driver waiting for the queues to drain should stop.
+    /// Always false on a fault-free mesh.
+    pub fn only_failed_injectors_pending(&self, queues: &InjectQueues) -> bool {
+        let Some(f) = &self.faults else { return false };
+        (0..self.cfg.num_nodes())
+            .all(|node| queues.peek(node).is_none() || f.failed(node, self.cycle))
     }
 
     /// The configuration.
@@ -126,8 +256,50 @@ impl MeshNoc {
         let nodes = self.cfg.num_nodes();
         let mut moves: Vec<Move> = Vec::new();
 
+        // Phase 0: fail-stop routers drop everything buffered at them
+        // and return the consumed credits upstream, so traffic keeps
+        // flowing *toward* the dead node and is accounted as lost there
+        // (exact conservation: every drop decrements in-flight).
+        for node in 0..nodes {
+            if !self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.failed(node, self.cycle))
+            {
+                continue;
+            }
+            let at = Coord::from_node_id(node, n);
+            for d in Dir::ALL {
+                while let Some(pkt) = self.fifos[node][d.index()].pop_front() {
+                    if let Some(upstream) = d.neighbor(at, n) {
+                        self.credits[upstream.to_node_id(n)][d.opposite().index()] += 1;
+                    }
+                    self.in_flight -= 1;
+                    self.stats.dropped += 1;
+                    if S::ENABLED {
+                        sink.emit(&SimEvent::FaultDrop {
+                            cycle: self.cycle,
+                            node,
+                            packet: pkt.id,
+                            link: None,
+                            corrupted: false,
+                        });
+                    }
+                }
+            }
+        }
+
         // Phase 1: arbitration against the cycle-start snapshot.
         for node in 0..nodes {
+            // A fail-stopped router makes no moves: nothing routes,
+            // nothing injects, nothing ejects.
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.failed(node, self.cycle))
+            {
+                continue;
+            }
             let at = Coord::from_node_id(node, n);
             // Desired output of each candidate input's head packet.
             let mut desires: [Option<Option<Dir>>; 5] = [None; 5];
@@ -136,8 +308,14 @@ impl MeshNoc {
                     desires[d.index()] = Some(xy_route(at, head.dst));
                 }
             }
-            if let Some(pending) = queues.peek(node) {
-                desires[INJ] = Some(xy_route(at, pending.dst));
+            let inject_blocked = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.injector_stalled(node, self.cycle));
+            if !inject_blocked {
+                if let Some(pending) = queues.peek(node) {
+                    desires[INJ] = Some(xy_route(at, pending.dst));
+                }
             }
 
             // Arbitrate each output: ejection (index 4) plus four links.
@@ -246,8 +424,32 @@ impl MeshNoc {
                     deliveries.push(delivery);
                 }
                 Some(dir) => {
+                    // The hop is counted even when a transient fault eats
+                    // the packet: the wire was driven either way.
                     pkt.short_hops += 1;
                     self.stats.link_usage.short_hops += 1;
+                    let axis = axis_port(dir);
+                    if let Some(corrupted) = self
+                        .faults
+                        .as_ref()
+                        .and_then(|f| f.link_fault(mv.node, axis, self.cycle))
+                    {
+                        // The reserved downstream slot is never filled:
+                        // hand the credit straight back.
+                        self.credits[mv.node][dir.index()] += 1;
+                        self.in_flight -= 1;
+                        self.stats.dropped += 1;
+                        if S::ENABLED {
+                            sink.emit(&SimEvent::FaultDrop {
+                                cycle: self.cycle,
+                                node: mv.node,
+                                packet: pkt.id,
+                                link: Some(axis),
+                                corrupted,
+                            });
+                        }
+                        continue;
+                    }
                     let target = dir.neighbor(at, n).expect("checked in phase 1");
                     // The packet arrives at the target on the FIFO facing
                     // back toward us.

@@ -1,5 +1,6 @@
 //! Driver for the buffered mesh, mirroring `fasttrack_core::sim`.
 
+use fasttrack_core::fault::{FaultError, FaultPlan};
 use fasttrack_core::packet::Delivery;
 use fasttrack_core::queue::InjectQueues;
 use fasttrack_core::sim::{SimOptions, SimReport, TrafficSource};
@@ -27,7 +28,29 @@ pub fn simulate_mesh_traced<S: TrafficSource, K: EventSink>(
     opts: SimOptions,
     sink: &mut K,
 ) -> SimReport {
-    let mut noc = MeshNoc::new(*cfg);
+    drive_mesh(MeshNoc::new(*cfg), cfg, source, opts, sink)
+}
+
+/// [`simulate_mesh`] with a [`FaultPlan`] injected (the mesh-supported
+/// subset — see [`MeshNoc::with_faults`]). An empty plan reproduces
+/// [`simulate_mesh`] bit-for-bit.
+pub fn simulate_mesh_faulted<S: TrafficSource>(
+    cfg: &MeshConfig,
+    plan: &FaultPlan,
+    source: &mut S,
+    opts: SimOptions,
+) -> Result<SimReport, FaultError> {
+    let noc = MeshNoc::with_faults(*cfg, plan)?;
+    Ok(drive_mesh(noc, cfg, source, opts, &mut NullSink))
+}
+
+fn drive_mesh<S: TrafficSource, K: EventSink>(
+    mut noc: MeshNoc,
+    cfg: &MeshConfig,
+    source: &mut S,
+    opts: SimOptions,
+    sink: &mut K,
+) -> SimReport {
     let mut queues = InjectQueues::new(cfg.num_nodes());
     let mut deliveries: Vec<Delivery> = Vec::new();
     let mut measured_from = 0u64;
@@ -49,7 +72,10 @@ pub fn simulate_mesh_traced<S: TrafficSource, K: EventSink>(
             source.on_delivery(d);
         }
         cycle += 1;
-        if source.exhausted() && queues.is_empty() && noc.in_flight() == 0 {
+        if source.exhausted()
+            && noc.in_flight() == 0
+            && (queues.is_empty() || noc.only_failed_injectors_pending(&queues))
+        {
             truncated = false;
             break;
         }
@@ -66,6 +92,7 @@ pub fn simulate_mesh_traced<S: TrafficSource, K: EventSink>(
         cycles: cycle - measured_from,
         stats,
         truncated,
+        in_flight: noc.in_flight(),
     }
 }
 
