@@ -7,10 +7,11 @@
 use fasttrack_bench::runner::{packets_per_pe, NocUnderTest};
 use fasttrack_bench::table::Table;
 use fasttrack_core::sim::SimOptions;
+use fasttrack_core::sim::SimSession;
 use fasttrack_fpga::device::Device;
 use fasttrack_fpga::resources::noc_cost;
 use fasttrack_fpga::routability::noc_frequency_mhz;
-use fasttrack_mesh::{simulate_mesh, MeshConfig};
+use fasttrack_mesh::{MeshBackend, MeshConfig};
 use fasttrack_traffic::pattern::Pattern;
 use fasttrack_traffic::source::BernoulliSource;
 
@@ -33,7 +34,10 @@ fn main() {
     // row (1562 LUTs, ~104 MHz at 32b).
     let mesh_cfg = MeshConfig::new(8, 4).unwrap();
     let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, packets_per_pe(), 11);
-    let mesh = simulate_mesh(&mesh_cfg, &mut src, SimOptions::default());
+    let mesh = SimSession::with_backend(MeshBackend::new(&mesh_cfg))
+        .run(&mut src)
+        .unwrap()
+        .report;
     let mesh_mhz = 104.0;
     t.add_row(vec![
         "Buffered mesh (CONNECT-class)".into(),

@@ -35,10 +35,7 @@ fn benchmarks() -> Vec<MatrixBenchmark> {
 }
 
 fn main() {
-    let opts = SimOptions {
-        max_cycles: 20_000_000,
-        warmup_cycles: 0,
-    };
+    let opts = SimOptions::with_max_cycles(20_000_000);
     let ladder: &[(usize, u16)] = if quick_mode() {
         &PE_LADDER[..3]
     } else {

@@ -30,10 +30,7 @@ fn benchmarks() -> Vec<GraphBenchmark> {
 }
 
 fn main() {
-    let opts = SimOptions {
-        max_cycles: 50_000_000,
-        warmup_cycles: 0,
-    };
+    let opts = SimOptions::with_max_cycles(50_000_000);
     // The paper plots graph workloads from 16 PEs up.
     let ladder: &[(usize, u16)] = if quick_mode() {
         &[(16, 4), (64, 8)]

@@ -28,10 +28,7 @@ fn benchmarks() -> Vec<LuBenchmark> {
 }
 
 fn main() {
-    let opts = SimOptions {
-        max_cycles: 20_000_000,
-        warmup_cycles: 0,
-    };
+    let opts = SimOptions::with_max_cycles(20_000_000);
     let ladder: &[(usize, u16)] = if quick_mode() {
         &[(16, 4), (64, 8)]
     } else {

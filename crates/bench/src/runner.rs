@@ -7,8 +7,7 @@ use fasttrack_core::export::{epochs_to_csv, NdjsonSink};
 use fasttrack_core::metrics::WindowedMetrics;
 use fasttrack_core::monitor::{HealthMonitor, HealthSummary, MonitorConfig};
 use fasttrack_core::sim::{
-    simulate, simulate_monitored, simulate_multichannel, simulate_multichannel_monitored,
-    simulate_multichannel_traced, simulate_traced, SimOptions, SimReport, TrafficSource,
+    SimOptions, SimOutcome, SimReport, SimSession, TorusBackend, TrafficSource,
 };
 use fasttrack_core::sweep::{point_seed, retry_seed, sweep, sweep_fallible, SweepError};
 use fasttrack_core::trace::EventSink;
@@ -98,13 +97,21 @@ impl NocUnderTest {
         }
     }
 
+    /// A [`SimSession`] over this NoC: single-channel NoCs drive a plain
+    /// engine, multi-channel ones a replicated bank — matching how the
+    /// labels (`Hoplite` vs `Hoplite-3x`) read.
+    pub fn session(&self) -> SimSession<'static, TorusBackend> {
+        let session = SimSession::new(&self.config);
+        if self.channels == 1 {
+            session
+        } else {
+            session.channels(self.channels)
+        }
+    }
+
     /// Runs a traffic source to completion on this NoC.
     pub fn run<S: TrafficSource>(&self, source: &mut S, opts: SimOptions) -> SimReport {
-        if self.channels == 1 {
-            simulate(&self.config, source, opts)
-        } else {
-            simulate_multichannel(&self.config, self.channels, source, opts)
-        }
+        no_faults(self.session().options(opts).run(source)).report
     }
 
     /// [`NocUnderTest::run`] with an [`EventSink`] observing the run.
@@ -114,11 +121,7 @@ impl NocUnderTest {
         opts: SimOptions,
         sink: &mut K,
     ) -> SimReport {
-        if self.channels == 1 {
-            simulate_traced(&self.config, source, opts, sink)
-        } else {
-            simulate_multichannel_traced(&self.config, self.channels, source, opts, sink)
-        }
+        no_faults(self.session().options(opts).with_sink(sink).run(source)).report
     }
 
     /// [`NocUnderTest::run`] with a [`HealthMonitor`] attached.
@@ -128,12 +131,32 @@ impl NocUnderTest {
         opts: SimOptions,
         mcfg: MonitorConfig,
     ) -> (SimReport, HealthMonitor) {
-        if self.channels == 1 {
-            simulate_monitored(&self.config, source, opts, mcfg)
-        } else {
-            simulate_multichannel_monitored(&self.config, self.channels, source, opts, mcfg)
-        }
+        no_faults(self.session().options(opts).with_monitor(mcfg).run(source)).into_monitored()
     }
+
+    /// Runs one traffic source per seed against a single engine —
+    /// topology and route LUTs are built once and amortized across the
+    /// batch (see [`SimSession::run_batch`]).
+    pub fn run_seeds<T, F>(&self, seeds: &[u64], opts: SimOptions, mk_source: F) -> Vec<SimReport>
+    where
+        T: TrafficSource,
+        F: FnMut(u64) -> T,
+    {
+        no_faults_batch(self.session().options(opts).run_batch(seeds, mk_source))
+            .into_iter()
+            .map(|o| o.report)
+            .collect()
+    }
+}
+
+fn no_faults(outcome: Result<SimOutcome, fasttrack_core::fault::FaultError>) -> SimOutcome {
+    outcome.expect("no fault plan attached")
+}
+
+fn no_faults_batch(
+    outcomes: Result<Vec<SimOutcome>, fasttrack_core::fault::FaultError>,
+) -> Vec<SimOutcome> {
+    outcomes.expect("no fault plan attached")
 }
 
 /// The directory experiment runs export traces into, from the
@@ -383,10 +406,7 @@ impl SweepGrid {
         let seed = retry_seed(self.base_seed, orig, attempt);
         let sim_opts = match cycle_budget {
             None => SimOptions::default(),
-            Some(max_cycles) => SimOptions {
-                max_cycles,
-                ..SimOptions::default()
-            },
+            Some(max_cycles) => SimOptions::with_max_cycles(max_cycles),
         };
         let n = p.nut.config.n();
         let mut source = BernoulliSource::new(n, p.pattern, p.rate, self.packets_per_pe, seed);

@@ -10,10 +10,7 @@ use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
 use fasttrack_core::fault::{FaultPlan, FaultSpec};
 use fasttrack_core::metrics::WindowedMetrics;
 use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, HealthMonitor, MonitorConfig};
-use fasttrack_core::sim::{
-    simulate, simulate_faulted_traced, simulate_monitored, simulate_multichannel,
-    simulate_multichannel_monitored, simulate_traced, SimOptions, SimReport,
-};
+use fasttrack_core::sim::{SimOptions, SimReport, SimSession};
 use fasttrack_core::trace::EventSink;
 use fasttrack_fpga::device::Device;
 use fasttrack_fpga::power::PowerModel;
@@ -186,9 +183,13 @@ pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let channels: usize = flags.numeric("channels", 1)?;
     let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
     let report = if channels <= 1 {
-        simulate(&cfg, &mut src, SimOptions::default())
+        SimSession::new(&cfg).run(&mut src).unwrap().report
     } else {
-        simulate_multichannel(&cfg, channels, &mut src, SimOptions::default())
+        SimSession::new(&cfg)
+            .channels(channels)
+            .run(&mut src)
+            .unwrap()
+            .report
     };
     Ok(render_report(&report))
 }
@@ -232,9 +233,18 @@ pub fn cmd_monitor(flags: &Flags) -> Result<String, CliError> {
 
     let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
     let (report, monitor) = if channels <= 1 {
-        simulate_monitored(&cfg, &mut src, SimOptions::default(), mcfg)
+        SimSession::new(&cfg)
+            .with_monitor(mcfg)
+            .run(&mut src)
+            .unwrap()
+            .into_monitored()
     } else {
-        simulate_multichannel_monitored(&cfg, channels, &mut src, SimOptions::default(), mcfg)
+        SimSession::new(&cfg)
+            .channels(channels)
+            .with_monitor(mcfg)
+            .run(&mut src)
+            .unwrap()
+            .into_monitored()
     };
 
     let mut out = String::new();
@@ -311,9 +321,18 @@ pub fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
     let opts = SimOptions::default();
     let mut baseline_src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
     let baseline = if channels <= 1 {
-        simulate(&cfg, &mut baseline_src, opts)
+        SimSession::new(&cfg)
+            .options(opts)
+            .run(&mut baseline_src)
+            .unwrap()
+            .report
     } else {
-        simulate_multichannel(&cfg, channels, &mut baseline_src, opts)
+        SimSession::new(&cfg)
+            .options(opts)
+            .channels(channels)
+            .run(&mut baseline_src)
+            .unwrap()
+            .report
     };
 
     let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
@@ -322,10 +341,20 @@ pub fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
     // The multi-channel faulted engine has no traced variant, so the
     // health monitor rides along on the single-channel path only.
     let report = if channels <= 1 {
-        simulate_faulted_traced(&cfg, &plan, &mut src, opts, &mut monitor)
+        SimSession::new(&cfg)
+            .options(opts)
+            .with_faults(&plan)
+            .with_sink(&mut monitor)
+            .run(&mut src)
+            .map(|o| o.report)
             .map_err(|e| CliError::Other(e.to_string()))?
     } else {
-        fasttrack_core::sim::simulate_multichannel_faulted(&cfg, channels, &plan, &mut src, opts)
+        SimSession::new(&cfg)
+            .options(opts)
+            .channels(channels)
+            .with_faults(&plan)
+            .run(&mut src)
+            .map(|o| o.report)
             .map_err(|e| CliError::Other(e.to_string()))?
     };
 
@@ -577,7 +606,7 @@ fn cmd_trace_replay(flags: &Flags) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     let mut src =
         trace_source_from_text(&text, cfg.n()).map_err(|e| CliError::Other(e.to_string()))?;
-    let report = simulate(&cfg, &mut src, SimOptions::default());
+    let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
     Ok(render_report(&report))
 }
 
@@ -635,7 +664,11 @@ fn cmd_trace_export(flags: &Flags) -> Result<String, CliError> {
         ),
         FlightRecorder::new(cfg.num_nodes(), flight.max(1)),
     );
-    let report = simulate_traced(&cfg, &mut src, SimOptions::default(), &mut sink);
+    let report = SimSession::new(&cfg)
+        .with_sink(&mut sink)
+        .run(&mut src)
+        .unwrap()
+        .report;
     let ((ndjson, chrome, metrics), recorder) = sink;
 
     let steady = metrics.steady_state_epoch();

@@ -39,7 +39,7 @@
 //! # Ok::<(), fasttrack_core::config::ConfigError>(())
 //! ```
 //!
-//! Higher-level experiments use [`sim::simulate`] with a
+//! Higher-level experiments compose a [`sim::SimSession`] around a
 //! [`sim::TrafficSource`]; traffic generators live in the
 //! `fasttrack-traffic` crate and FPGA cost models in `fasttrack-fpga`.
 
@@ -51,6 +51,7 @@ pub mod config;
 pub mod export;
 pub mod fault;
 pub mod geom;
+pub mod kernel;
 pub mod metrics;
 pub mod monitor;
 pub mod multichannel;
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use crate::export::{ChromeTraceSink, NdjsonSink};
     pub use crate::fault::{Fault, FaultError, FaultPlan, FaultSpec};
     pub use crate::geom::Coord;
+    pub use crate::kernel::{PacketPool, RouteLut, RouteMode};
     pub use crate::metrics::{EpochStats, WindowedMetrics};
     pub use crate::monitor::{
         Anomaly, Counter, DetectorConfig, FlightRecorder, Gauge, HealthMonitor, HealthReport,
@@ -85,9 +87,13 @@ pub mod prelude {
     pub use crate::probe::{PathStep, Probe, TraceSelect};
     pub use crate::queue::InjectQueues;
     pub use crate::sim::{
+        drive_engine, SessionBackend, SimEngine, SimOptions, SimOutcome, SimReport, SimSession,
+        TorusBackend, TorusEngine, TrafficSource,
+    };
+    #[allow(deprecated)]
+    pub use crate::sim::{
         simulate, simulate_faulted, simulate_faulted_traced, simulate_multichannel,
-        simulate_multichannel_faulted, simulate_multichannel_traced, simulate_traced, SimOptions,
-        SimReport, TrafficSource,
+        simulate_multichannel_faulted, simulate_multichannel_traced, simulate_traced,
     };
     pub use crate::stats::{Histogram, LatencyStats, LinkUsage, PortCounters, SimStats};
     pub use crate::sweep::{point_seed, retry_seed, splitmix64, sweep, sweep_fallible, SweepError};

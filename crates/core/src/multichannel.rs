@@ -13,6 +13,7 @@
 
 use crate::config::NocConfig;
 use crate::fault::{FaultError, FaultPlan};
+use crate::kernel::{RouteLut, RouteMode};
 use crate::noc::{Noc, StepGates};
 use crate::packet::Delivery;
 use crate::probe::{Probe, TraceSelect};
@@ -38,8 +39,16 @@ impl MultiNoc {
     pub fn new(cfg: NocConfig, channels: usize) -> Self {
         assert!(channels > 0, "need at least one channel");
         let nodes = cfg.num_nodes();
+        // Build one channel and clone it: clones share the route LUT
+        // behind its `Arc`, so the table is computed once per bank.
+        let first = Noc::new(cfg);
+        let mut chans = Vec::with_capacity(channels);
+        for _ in 1..channels {
+            chans.push(first.clone());
+        }
+        chans.push(first);
         MultiNoc {
-            channels: (0..channels).map(|_| Noc::new(cfg.clone())).collect(),
+            channels: chans,
             gates: StepGates::new(nodes),
             rotation: 0,
             cycle: 0,
@@ -62,16 +71,54 @@ impl MultiNoc {
         assert!(channels > 0, "need at least one channel");
         plan.validate(&cfg)?;
         let nodes = cfg.num_nodes();
+        let first = Noc::with_faults(cfg, plan)?;
         let mut chans = Vec::with_capacity(channels);
-        for _ in 0..channels {
-            chans.push(Noc::with_faults(cfg.clone(), plan)?);
+        for _ in 1..channels {
+            chans.push(first.clone());
         }
+        chans.push(first);
         Ok(MultiNoc {
             channels: chans,
             gates: StepGates::new(nodes),
             rotation: 0,
             cycle: 0,
         })
+    }
+
+    /// Switches route resolution on every channel. Entering
+    /// [`RouteMode::Lut`] builds (or reuses) one table and shares it
+    /// across the bank.
+    pub fn set_route_mode(&mut self, mode: RouteMode) {
+        match mode {
+            RouteMode::Direct => {
+                for ch in &mut self.channels {
+                    ch.set_route_mode(RouteMode::Direct);
+                }
+            }
+            RouteMode::Lut => {
+                let lut = self
+                    .channels
+                    .iter()
+                    .find_map(Noc::lut_handle)
+                    .unwrap_or_else(|| RouteLut::build(self.config()));
+                for ch in &mut self.channels {
+                    ch.install_lut(lut.clone());
+                }
+            }
+        }
+    }
+
+    /// Returns the bank to its just-constructed state (see
+    /// [`Noc::reset`]): every channel reset, gates reopened, rotation
+    /// and cycle back to 0. Topology, route tables, and compiled fault
+    /// plans are kept.
+    pub fn reset(&mut self) {
+        for ch in &mut self.channels {
+            ch.reset();
+        }
+        self.gates.reset();
+        self.rotation = 0;
+        self.cycle = 0;
     }
 
     /// See [`Noc::only_failed_injectors_pending`]; all channels share

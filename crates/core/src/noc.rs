@@ -9,11 +9,13 @@
 //! `fasttrack-fpga` verifies the clock still closes).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::alloc::{allocate, try_allocate, try_inject, MAX_IN_FLIGHT};
 use crate::config::{FtPolicy, NocConfig};
 use crate::fault::{FaultError, FaultPlan, FaultState};
 use crate::geom::Coord;
+use crate::kernel::{PacketPool, RouteLut, RouteMode, EMPTY_SLOT};
 use crate::packet::{Delivery, Packet};
 use crate::port::{InPort, OutPort, OutSet};
 use crate::probe::Probe;
@@ -61,14 +63,22 @@ pub struct Noc {
     coords: Vec<Coord>,
     /// Input registers for the current cycle: one flat contiguous array,
     /// slot `node * MAX_IN_FLIGHT + port` with port indices matching
-    /// [`InPort::index`] (0..4 are in-flight ports). Flat layout keeps
-    /// the per-cycle scan a single linear walk over one allocation.
-    regs: Vec<Option<Packet>>,
+    /// [`InPort::index`] (0..4 are in-flight ports). Each register holds
+    /// a [`PacketPool`] slot index or [`EMPTY_SLOT`]; the compact `u32`
+    /// layout keeps the per-cycle scan a single linear walk over 16
+    /// bytes per router.
+    regs: Vec<u32>,
     /// Timing wheel of future input states: `wheel[t]` holds packets
     /// arriving `t + 1` cycles from now (depth = the longest pipelined
     /// link delay; depth 1 when links carry a single register). Frames
     /// use the same flat layout as `regs`.
-    wheel: VecDeque<Vec<Option<Packet>>>,
+    wheel: VecDeque<Vec<u32>>,
+    /// Struct-of-arrays storage for every packet referenced by `regs`
+    /// and the wheel frames.
+    pool: PacketPool,
+    /// Precomputed route preferences (shared between clones); `None`
+    /// when the engine runs in [`RouteMode::Direct`].
+    lut: Option<Arc<RouteLut>>,
     in_flight: usize,
     cycle: u64,
     stats: SimStats,
@@ -79,8 +89,17 @@ pub struct Noc {
 }
 
 impl Noc {
-    /// Builds an idle NoC for the given configuration.
+    /// Builds an idle NoC for the given configuration, with the route
+    /// LUT enabled (see [`Noc::with_route_mode`]).
     pub fn new(cfg: NocConfig) -> Self {
+        Noc::with_route_mode(cfg, RouteMode::Lut)
+    }
+
+    /// Builds an idle NoC resolving routes per `mode`. [`RouteMode::Lut`]
+    /// precomputes the route tables here so the cycle loop only does
+    /// lookups; [`RouteMode::Direct`] keeps the branchy per-cycle
+    /// computation (the reference path for differential tests).
+    pub fn with_route_mode(cfg: NocConfig, mode: RouteMode) -> Self {
         let nodes = cfg.num_nodes();
         let n = cfg.n();
         let mut classes = Vec::with_capacity(nodes);
@@ -94,21 +113,74 @@ impl Noc {
             coords.push(at);
         }
         let depth = cfg.link_pipeline().max_cycles() as usize;
+        let lut = match mode {
+            RouteMode::Lut => Some(RouteLut::build(&cfg)),
+            RouteMode::Direct => None,
+        };
         Noc {
             cfg,
             classes,
             available,
             coords,
-            regs: vec![None; nodes * MAX_IN_FLIGHT],
+            regs: vec![EMPTY_SLOT; nodes * MAX_IN_FLIGHT],
             wheel: (0..depth)
-                .map(|_| vec![None; nodes * MAX_IN_FLIGHT])
+                .map(|_| vec![EMPTY_SLOT; nodes * MAX_IN_FLIGHT])
                 .collect(),
+            pool: PacketPool::with_capacity(nodes),
+            lut,
             in_flight: 0,
             cycle: 0,
             stats: SimStats::default(),
             probe: None,
             faults: None,
         }
+    }
+
+    /// Switches the route-resolution mode. Entering [`RouteMode::Lut`]
+    /// builds the table if this engine does not already hold one.
+    pub fn set_route_mode(&mut self, mode: RouteMode) {
+        match mode {
+            RouteMode::Direct => self.lut = None,
+            RouteMode::Lut => {
+                if self.lut.is_none() {
+                    self.lut = Some(RouteLut::build(&self.cfg));
+                }
+            }
+        }
+    }
+
+    /// The current route-resolution mode.
+    pub fn route_mode(&self) -> RouteMode {
+        if self.lut.is_some() {
+            RouteMode::Lut
+        } else {
+            RouteMode::Direct
+        }
+    }
+
+    /// Shared handle on the route table, if one is installed.
+    pub(crate) fn lut_handle(&self) -> Option<Arc<RouteLut>> {
+        self.lut.clone()
+    }
+
+    /// Installs a prebuilt route table (multi-channel banks share one).
+    pub(crate) fn install_lut(&mut self, lut: Arc<RouteLut>) {
+        self.lut = Some(lut);
+    }
+
+    /// Returns the engine to its just-constructed state — no packets in
+    /// flight, cycle 0, zeroed statistics — while keeping the topology,
+    /// route tables, compiled fault plan, and allocations. Batched
+    /// drivers reset between seeds instead of rebuilding the engine.
+    pub fn reset(&mut self) {
+        self.regs.fill(EMPTY_SLOT);
+        for frame in &mut self.wheel {
+            frame.fill(EMPTY_SLOT);
+        }
+        self.pool.clear();
+        self.in_flight = 0;
+        self.cycle = 0;
+        self.stats = SimStats::default();
     }
 
     /// Builds an idle NoC with the given fault plan injected. The plan
@@ -223,7 +295,10 @@ impl Noc {
                 .is_some_and(|f| f.failed(node, self.cycle))
             {
                 for slot in 0..MAX_IN_FLIGHT {
-                    if let Some(pkt) = self.regs[base + slot].take() {
+                    let idx = self.regs[base + slot];
+                    if idx != EMPTY_SLOT {
+                        self.regs[base + slot] = EMPTY_SLOT;
+                        let pkt = self.pool.remove(idx);
                         self.in_flight -= 1;
                         self.stats.dropped += 1;
                         if S::ENABLED {
@@ -242,11 +317,12 @@ impl Noc {
 
             // Gather occupied in-flight inputs in priority order. The
             // register index *is* the priority order (see InPort::index).
-            let mut inputs: [Option<(usize, Packet)>; MAX_IN_FLIGHT] = [None; MAX_IN_FLIGHT];
+            let mut inputs: [(usize, u32); MAX_IN_FLIGHT] = [(0, EMPTY_SLOT); MAX_IN_FLIGHT];
             let mut n_inputs = 0;
             for slot in 0..MAX_IN_FLIGHT {
-                if let Some(pkt) = self.regs[base + slot] {
-                    inputs[n_inputs] = Some((slot, pkt));
+                let idx = self.regs[base + slot];
+                if idx != EMPTY_SLOT {
+                    inputs[n_inputs] = (slot, idx);
                     n_inputs += 1;
                 }
             }
@@ -267,12 +343,13 @@ impl Noc {
             }
 
             // Route the in-flight packets. Fixed-size buffers: the hot
-            // path performs no heap allocation per node per cycle.
+            // path performs no heap allocation per node per cycle, and
+            // only the pool's destination column is read here.
             let mut prefs_buf = [RoutePrefs::empty(); MAX_IN_FLIGHT];
             for i in 0..n_inputs {
-                let (slot, pkt) = inputs[i].unwrap();
+                let (slot, idx) = inputs[i];
                 let port = InPort::ALL[slot];
-                prefs_buf[i] = compute_prefs(&self.cfg, class, port, at, pkt.dst);
+                prefs_buf[i] = self.prefs_for(class, port, at, self.pool.dst(idx));
             }
             // The INJECT crossbar has no express-to-shared turn, so a
             // lane-locked express packet whose every productive output is
@@ -282,12 +359,13 @@ impl Noc {
             if !dead.is_empty() && self.cfg.ft_policy() == Some(FtPolicy::Inject) {
                 let mut kept = 0;
                 for i in 0..n_inputs {
-                    let (slot, pkt) = inputs[i].unwrap();
+                    let (slot, idx) = inputs[i];
                     let productive = prefs_buf[i].productive();
                     let stranded = InPort::ALL[slot].is_express()
                         && !productive.is_empty()
                         && productive.intersect(dead) == productive;
                     if stranded {
+                        let pkt = self.pool.remove(idx);
                         self.in_flight -= 1;
                         self.stats.dropped += 1;
                         if S::ENABLED {
@@ -321,13 +399,14 @@ impl Noc {
             let mut n_taken = 0;
 
             for i in 0..n_inputs {
-                let (slot, mut pkt) = inputs[i].unwrap();
+                let (slot, idx) = inputs[i];
                 let prefs = prefs_buf[i];
                 let Some(out) = assignment[i] else {
                     // Stranded by a dead link: a bufferless router has
                     // nowhere to park the packet, so it is lost (counted
                     // in `dropped`; conservation holds).
                     debug_assert!(!dead.is_empty(), "healthy routers never strand inputs");
+                    let pkt = self.pool.remove(idx);
                     self.in_flight -= 1;
                     self.stats.dropped += 1;
                     if S::ENABLED {
@@ -341,6 +420,7 @@ impl Noc {
                     }
                     continue;
                 };
+                let mut pkt = *self.pool.get(idx);
                 taken[n_taken] = out;
                 n_taken += 1;
                 if let Some(probe) = self.probe.as_mut() {
@@ -391,6 +471,7 @@ impl Noc {
                 match out {
                     OutPort::Exit => {
                         debug_assert_eq!(pkt.dst, at);
+                        self.pool.release(idx);
                         self.in_flight -= 1;
                         self.stats.delivered += 1;
                         let delivery = Delivery {
@@ -422,7 +503,7 @@ impl Noc {
                                 span: d,
                             });
                         }
-                        self.forward(&mut pkt, at, out, n, d, sink)
+                        self.forward(idx, &mut pkt, at, out, n, d, sink)
                     }
                 }
             }
@@ -444,7 +525,7 @@ impl Noc {
                 }
             } else if inject_ok {
                 if let Some(pending) = queues.peek(node) {
-                    let pe_prefs = compute_prefs(&self.cfg, class, InPort::Pe, at, pending.dst);
+                    let pe_prefs = self.prefs_for(class, InPort::Pe, at, pending.dst);
                     // Use the un-gated availability: the gate only removed
                     // Exit, and an Exit injection (self-send) must also
                     // respect it, so keep `avail` as adjusted above.
@@ -526,7 +607,8 @@ impl Noc {
                                             span: d,
                                         });
                                     }
-                                    self.forward(&mut pkt, at, out, n, d, sink);
+                                    let idx = self.pool.insert(pkt);
+                                    self.forward(idx, &mut pkt, at, out, n, d, sink);
                                 }
                             }
                         }
@@ -545,7 +627,7 @@ impl Noc {
         // cycle's input registers, and a fresh frame joins the back.
         let mut front = self.wheel.pop_front().expect("wheel is never empty");
         std::mem::swap(&mut self.regs, &mut front);
-        front.fill(None);
+        front.fill(EMPTY_SLOT);
         self.wheel.push_back(front);
         if let Some(probe) = self.probe.as_mut() {
             probe.tick();
@@ -556,14 +638,25 @@ impl Noc {
         self.cycle += 1;
     }
 
-    /// Writes `pkt` into the downstream router's input register for the
-    /// chosen output port, updating hop counters. Pipelined links place
-    /// the packet deeper into the timing wheel (one extra cycle per
-    /// extra link register). A transiently faulted link consumes the
-    /// hop but loses the packet (counted in `dropped`; conservation:
-    /// the in-flight count drops with it).
+    /// Resolves route preferences per the configured [`RouteMode`].
+    #[inline]
+    fn prefs_for(&self, class: RouterClass, port: InPort, at: Coord, dst: Coord) -> RoutePrefs {
+        match &self.lut {
+            Some(lut) => lut.lookup(class, port, at, dst),
+            None => compute_prefs(&self.cfg, class, port, at, dst),
+        }
+    }
+
+    /// Writes the packet in pool slot `idx` into the downstream router's
+    /// input register for the chosen output port, updating hop counters.
+    /// Pipelined links place the packet deeper into the timing wheel
+    /// (one extra cycle per extra link register). A transiently faulted
+    /// link consumes the hop but loses the packet (counted in `dropped`;
+    /// conservation: the in-flight count drops with it).
+    #[allow(clippy::too_many_arguments)] // hot path: scalars beat a params struct here
     fn forward<S: EventSink>(
         &mut self,
+        idx: u32,
         pkt: &mut Packet,
         at: Coord,
         out: OutPort,
@@ -593,6 +686,7 @@ impl Noc {
             .as_ref()
             .and_then(|f| f.link_fault(at.to_node_id(n), out, self.cycle));
         if let Some(corrupted) = link_fault {
+            self.pool.release(idx);
             self.in_flight -= 1;
             self.stats.dropped += 1;
             if S::ENABLED {
@@ -606,10 +700,11 @@ impl Noc {
             }
             return;
         }
+        self.pool.write(idx, pkt);
         let frame = &mut self.wheel[delay as usize - 1];
         let reg = &mut frame[target.to_node_id(n) * MAX_IN_FLIGHT + in_slot.index()];
-        debug_assert!(reg.is_none(), "two packets on one link register");
-        *reg = Some(*pkt);
+        debug_assert!(*reg == EMPTY_SLOT, "two packets on one link register");
+        *reg = idx;
     }
 
     /// Record that `count` packets were enqueued (driver bookkeeping so
@@ -622,10 +717,10 @@ impl Noc {
     /// position and input port (diagnostics / debugging aid).
     pub fn in_flight_packets(&self) -> Vec<(Coord, InPort, Packet)> {
         let mut out = Vec::with_capacity(self.in_flight);
-        for (i, reg) in self.regs.iter().enumerate() {
-            if let Some(pkt) = reg {
+        for (i, &reg) in self.regs.iter().enumerate() {
+            if reg != EMPTY_SLOT {
                 let (node, slot) = (i / MAX_IN_FLIGHT, i % MAX_IN_FLIGHT);
-                out.push((self.coords[node], InPort::ALL[slot], *pkt));
+                out.push((self.coords[node], InPort::ALL[slot], *self.pool.get(reg)));
             }
         }
         out

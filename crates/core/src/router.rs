@@ -53,6 +53,26 @@ impl RouterClass {
         self.x_express || self.y_express
     }
 
+    /// Dense class index in `0..4` (bit 0 = X express, bit 1 = Y
+    /// express), used to key the route lookup tables.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.x_express as usize | (self.y_express as usize) << 1
+    }
+
+    /// Inverse of [`RouterClass::code`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 4`.
+    pub fn from_code(code: usize) -> RouterClass {
+        assert!(code < 4, "router class codes are 0..4");
+        RouterClass {
+            x_express: code & 1 != 0,
+            y_express: code & 2 != 0,
+        }
+    }
+
     /// The set of output ports that physically exist at this router.
     pub fn available_outputs(self) -> OutSet {
         let mut s = OutSet::from_ports(&[OutPort::EastSh, OutPort::SouthSh, OutPort::Exit]);

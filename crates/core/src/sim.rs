@@ -1,8 +1,38 @@
-//! The simulation driver: wires a traffic source to a NoC (or a
-//! multi-channel NoC), runs to completion, and produces a [`SimReport`].
+//! The simulation driver: one composable [`SimSession`] wires a traffic
+//! source to any engine — single torus, multi-channel bank, or (via the
+//! `fasttrack-mesh` crate) a buffered mesh — runs it to completion, and
+//! produces a [`SimReport`].
+//!
+//! Tracing, health monitoring, and fault injection *compose* on the
+//! session instead of multiplying entry points:
+//!
+//! ```
+//! use fasttrack_core::prelude::*;
+//!
+//! # struct Batch(bool);
+//! # impl TrafficSource for Batch {
+//! #     fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
+//! #         if !self.0 { queues.push(1, Coord::new(0, 0), cycle, 0); self.0 = true; }
+//! #     }
+//! #     fn exhausted(&self) -> bool { self.0 }
+//! # }
+//! let cfg = NocConfig::hoplite(4)?;
+//! let outcome = SimSession::new(&cfg)
+//!     .max_cycles(10_000)
+//!     .with_monitor(MonitorConfig::default())
+//!     .run(&mut Batch(false))
+//!     .expect("no fault plan attached");
+//! assert_eq!(outcome.report.stats.delivered, 1);
+//! assert!(outcome.monitor.unwrap().healthy());
+//! # Ok::<(), fasttrack_core::config::ConfigError>(())
+//! ```
+//!
+//! The pre-session `simulate_*` free functions remain as deprecated
+//! one-line shims over the builder; they produce bit-identical reports.
 
 use crate::config::NocConfig;
 use crate::fault::{FaultError, FaultPlan};
+use crate::kernel::RouteMode;
 use crate::monitor::{HealthMonitor, MonitorConfig};
 use crate::multichannel::MultiNoc;
 use crate::noc::Noc;
@@ -32,7 +62,12 @@ pub trait TrafficSource {
 }
 
 /// Driver options.
+///
+/// Construct with [`Default`] (or [`SimOptions::with_max_cycles`]) and
+/// refine with the consuming setters; the struct is `#[non_exhaustive]`
+/// so future knobs are not breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SimOptions {
     /// Hard cap on simulated cycles; the run is marked truncated if hit.
     pub max_cycles: u64,
@@ -53,15 +88,29 @@ impl Default for SimOptions {
 impl SimOptions {
     /// Options with a custom cycle cap.
     pub fn with_max_cycles(max_cycles: u64) -> Self {
-        SimOptions {
-            max_cycles,
-            ..Default::default()
-        }
+        SimOptions::default().max_cycles(max_cycles)
+    }
+
+    /// Sets the hard cap on simulated cycles.
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Sets the warmup period after which statistics reset.
+    pub fn warmup_cycles(mut self, warmup_cycles: u64) -> Self {
+        self.warmup_cycles = warmup_cycles;
+        self
     }
 }
 
 /// The outcome of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `#[non_exhaustive]`: constructed by the driver; downstream code reads
+/// fields but builds reports via [`Default`] plus struct update only
+/// inside this crate.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
 pub struct SimReport {
     /// Human-readable configuration name (e.g. `FT(64,2,1)`).
     pub config_name: String,
@@ -131,43 +180,594 @@ impl SimReport {
     }
 }
 
-/// Runs `source` on a single-channel NoC built from `cfg`.
-pub fn simulate<S: TrafficSource>(cfg: &NocConfig, source: &mut S, opts: SimOptions) -> SimReport {
-    simulate_traced(cfg, source, opts, &mut NullSink)
+/// A steppable cycle-accurate engine the shared drive loop can run.
+///
+/// Implemented by [`Noc`], [`MultiNoc`], and `fasttrack-mesh`'s
+/// `MeshNoc`; one generic [`drive_engine`] loop replaces the three
+/// near-identical per-engine drivers the crate used to carry.
+pub trait SimEngine {
+    /// PEs in the system (sizes the injection queues and the report).
+    fn num_nodes(&self) -> usize;
+
+    /// The configuration name the report should carry.
+    fn report_name(&self) -> String;
+
+    /// Advances the engine by one cycle, pulling injections from
+    /// `queues`, pushing deliveries, and emitting events into `sink`.
+    fn step_cycle<S: EventSink>(
+        &mut self,
+        queues: &mut InjectQueues,
+        deliveries: &mut Vec<Delivery>,
+        sink: &mut S,
+    );
+
+    /// Packets currently on links (or in router buffers).
+    fn in_flight(&self) -> usize;
+
+    /// Clears accumulated statistics (warmup reset).
+    fn reset_stats(&mut self);
+
+    /// See [`Noc::only_failed_injectors_pending`].
+    fn only_failed_injectors_pending(&self, queues: &InjectQueues) -> bool;
+
+    /// A copy of the accumulated statistics (merged across channels for
+    /// banked engines).
+    fn stats_snapshot(&self) -> SimStats;
+
+    /// Returns the engine to its just-constructed state while keeping
+    /// topology, route tables, and compiled fault plans — the batched
+    /// driver resets between seeds instead of rebuilding.
+    fn reset(&mut self);
 }
 
-/// [`simulate`] with an [`EventSink`] observing the run. In addition to
-/// the engine's per-cycle events the driver emits
-/// [`SimEvent::WarmupReset`] when statistics are cleared and
-/// [`SimEvent::Truncated`] when the cycle cap cuts the workload short.
+impl SimEngine for Noc {
+    fn num_nodes(&self) -> usize {
+        self.config().num_nodes()
+    }
+
+    fn report_name(&self) -> String {
+        self.config().name()
+    }
+
+    fn step_cycle<S: EventSink>(
+        &mut self,
+        queues: &mut InjectQueues,
+        deliveries: &mut Vec<Delivery>,
+        sink: &mut S,
+    ) {
+        self.step_with_sink(queues, deliveries, None, sink);
+    }
+
+    fn in_flight(&self) -> usize {
+        Noc::in_flight(self)
+    }
+
+    fn reset_stats(&mut self) {
+        Noc::reset_stats(self);
+    }
+
+    fn only_failed_injectors_pending(&self, queues: &InjectQueues) -> bool {
+        Noc::only_failed_injectors_pending(self, queues)
+    }
+
+    fn stats_snapshot(&self) -> SimStats {
+        self.stats().clone()
+    }
+
+    fn reset(&mut self) {
+        Noc::reset(self);
+    }
+}
+
+impl SimEngine for MultiNoc {
+    fn num_nodes(&self) -> usize {
+        self.config().num_nodes()
+    }
+
+    fn report_name(&self) -> String {
+        format!("{}-{}x", self.config().name(), self.num_channels())
+    }
+
+    fn step_cycle<S: EventSink>(
+        &mut self,
+        queues: &mut InjectQueues,
+        deliveries: &mut Vec<Delivery>,
+        sink: &mut S,
+    ) {
+        self.step_with_sink(queues, deliveries, sink);
+    }
+
+    fn in_flight(&self) -> usize {
+        MultiNoc::in_flight(self)
+    }
+
+    fn reset_stats(&mut self) {
+        MultiNoc::reset_stats(self);
+    }
+
+    fn only_failed_injectors_pending(&self, queues: &InjectQueues) -> bool {
+        MultiNoc::only_failed_injectors_pending(self, queues)
+    }
+
+    fn stats_snapshot(&self) -> SimStats {
+        self.merged_stats()
+    }
+
+    fn reset(&mut self) {
+        MultiNoc::reset(self);
+    }
+}
+
+/// The generic drive loop: pumps the source, steps the engine, routes
+/// deliveries back, and assembles the [`SimReport`]. In addition to the
+/// engine's per-cycle events it emits [`SimEvent::WarmupReset`] when
+/// statistics are cleared and [`SimEvent::Truncated`] when the cycle cap
+/// cuts the workload short.
+pub fn drive_engine<E: SimEngine, T: TrafficSource, K: EventSink>(
+    engine: &mut E,
+    source: &mut T,
+    opts: SimOptions,
+    sink: &mut K,
+) -> SimReport {
+    let mut queues = InjectQueues::new(engine.num_nodes());
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut measured_from = 0u64;
+    let mut cycle = 0u64;
+    let mut truncated = true;
+
+    while cycle < opts.max_cycles {
+        if cycle == opts.warmup_cycles && cycle != 0 {
+            engine.reset_stats();
+            measured_from = cycle;
+            if K::ENABLED {
+                sink.emit(&SimEvent::WarmupReset { cycle });
+            }
+        }
+        source.pump(cycle, &mut queues);
+        deliveries.clear();
+        engine.step_cycle(&mut queues, &mut deliveries, sink);
+        for d in &deliveries {
+            source.on_delivery(d);
+        }
+        cycle += 1;
+        if source.exhausted()
+            && engine.in_flight() == 0
+            && (queues.is_empty() || engine.only_failed_injectors_pending(&queues))
+        {
+            truncated = false;
+            break;
+        }
+    }
+    if truncated && K::ENABLED {
+        sink.emit(&SimEvent::Truncated { cycle });
+    }
+
+    let mut stats = engine.stats_snapshot();
+    stats.enqueued = queues.total_enqueued();
+    SimReport {
+        config_name: engine.report_name(),
+        nodes: engine.num_nodes(),
+        cycles: cycle - measured_from,
+        stats,
+        truncated,
+        in_flight: engine.in_flight(),
+    }
+}
+
+/// A factory for the engine a [`SimSession`] drives, plus the metadata
+/// the session needs to size an attached [`HealthMonitor`].
+pub trait SessionBackend {
+    /// The engine this backend builds.
+    type Engine: SimEngine;
+
+    /// Builds the engine, compiling `faults` into it when given.
+    fn build(&self, faults: Option<&FaultPlan>) -> Result<Self::Engine, FaultError>;
+
+    /// Torus side length `n` an attached monitor should be sized for.
+    fn monitor_n(&self) -> u16;
+
+    /// `Some(k)` when an attached monitor should normalize hotspot
+    /// utilization by a channel count.
+    fn monitor_channels(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Backend for the torus engines: a single [`Noc`], or a [`MultiNoc`]
+/// bank when a channel count is set on the session.
+#[derive(Debug, Clone)]
+pub struct TorusBackend {
+    cfg: NocConfig,
+    channels: Option<usize>,
+    route: RouteMode,
+}
+
+impl TorusBackend {
+    /// A single-channel torus backend with the default route mode.
+    pub fn new(cfg: &NocConfig) -> Self {
+        TorusBackend {
+            cfg: cfg.clone(),
+            channels: None,
+            route: RouteMode::default(),
+        }
+    }
+}
+
+/// The engine a [`TorusBackend`] builds. Single-channel sessions drive
+/// a plain [`Noc`]; sessions with an explicit channel count drive a
+/// [`MultiNoc`] even for one channel, because the bank names its report
+/// `…-1x` and arbitrates through the shared-PE gates.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // engines are built once per session, never stored in bulk
+pub enum TorusEngine {
+    /// A single NoC channel.
+    Single(Noc),
+    /// A replicated multi-channel bank.
+    Multi(MultiNoc),
+}
+
+impl SimEngine for TorusEngine {
+    fn num_nodes(&self) -> usize {
+        match self {
+            TorusEngine::Single(e) => e.num_nodes(),
+            TorusEngine::Multi(e) => e.num_nodes(),
+        }
+    }
+
+    fn report_name(&self) -> String {
+        match self {
+            TorusEngine::Single(e) => e.report_name(),
+            TorusEngine::Multi(e) => e.report_name(),
+        }
+    }
+
+    fn step_cycle<S: EventSink>(
+        &mut self,
+        queues: &mut InjectQueues,
+        deliveries: &mut Vec<Delivery>,
+        sink: &mut S,
+    ) {
+        match self {
+            TorusEngine::Single(e) => e.step_cycle(queues, deliveries, sink),
+            TorusEngine::Multi(e) => e.step_cycle(queues, deliveries, sink),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        match self {
+            TorusEngine::Single(e) => SimEngine::in_flight(e),
+            TorusEngine::Multi(e) => SimEngine::in_flight(e),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            TorusEngine::Single(e) => SimEngine::reset_stats(e),
+            TorusEngine::Multi(e) => SimEngine::reset_stats(e),
+        }
+    }
+
+    fn only_failed_injectors_pending(&self, queues: &InjectQueues) -> bool {
+        match self {
+            TorusEngine::Single(e) => SimEngine::only_failed_injectors_pending(e, queues),
+            TorusEngine::Multi(e) => SimEngine::only_failed_injectors_pending(e, queues),
+        }
+    }
+
+    fn stats_snapshot(&self) -> SimStats {
+        match self {
+            TorusEngine::Single(e) => e.stats_snapshot(),
+            TorusEngine::Multi(e) => e.stats_snapshot(),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            TorusEngine::Single(e) => SimEngine::reset(e),
+            TorusEngine::Multi(e) => SimEngine::reset(e),
+        }
+    }
+}
+
+impl SessionBackend for TorusBackend {
+    type Engine = TorusEngine;
+
+    fn build(&self, faults: Option<&FaultPlan>) -> Result<TorusEngine, FaultError> {
+        match self.channels {
+            None => {
+                let mut noc = match faults {
+                    Some(plan) => Noc::with_faults(self.cfg.clone(), plan)?,
+                    None => Noc::new(self.cfg.clone()),
+                };
+                noc.set_route_mode(self.route);
+                Ok(TorusEngine::Single(noc))
+            }
+            Some(k) => {
+                let mut bank = match faults {
+                    Some(plan) => MultiNoc::with_faults(self.cfg.clone(), k, plan)?,
+                    None => MultiNoc::new(self.cfg.clone(), k),
+                };
+                bank.set_route_mode(self.route);
+                Ok(TorusEngine::Multi(bank))
+            }
+        }
+    }
+
+    fn monitor_n(&self) -> u16 {
+        self.cfg.n()
+    }
+
+    fn monitor_channels(&self) -> Option<usize> {
+        self.channels
+    }
+}
+
+/// What a [`SimSession`] run produced: the report, plus the monitor when
+/// one was attached with [`SimSession::with_monitor`].
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// The simulation report.
+    pub report: SimReport,
+    /// The health monitor, when the session attached one.
+    pub monitor: Option<HealthMonitor>,
+}
+
+impl SimOutcome {
+    /// Splits the outcome into report and monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session was built without
+    /// [`SimSession::with_monitor`].
+    pub fn into_monitored(self) -> (SimReport, HealthMonitor) {
+        (
+            self.report,
+            self.monitor
+                .expect("session was built without `with_monitor`"),
+        )
+    }
+}
+
+/// One composable builder for every simulation mode.
+///
+/// A session starts from a configuration ([`SimSession::new`] for the
+/// torus engines, [`SimSession::with_backend`] for any
+/// [`SessionBackend`]) and composes the concerns that used to each have
+/// their own `simulate_*` entry point:
+///
+/// * [`SimSession::with_sink`] — cycle-level event tracing,
+/// * [`SimSession::with_monitor`] — online health monitoring,
+/// * [`SimSession::with_faults`] — fault injection,
+/// * [`SimSession::channels`] — a multi-channel bank (torus only),
+/// * [`SimSession::route_mode`] — LUT vs recomputed routing (torus only).
+///
+/// Every combination is valid; sink and monitor tee into one event
+/// stream. [`SimSession::run`] drives one source; [`SimSession::run_batch`]
+/// drives one source per seed while building the engine (topology,
+/// route LUTs, compiled faults) only once.
+pub struct SimSession<'s, B: SessionBackend, K: EventSink = NullSink> {
+    backend: B,
+    opts: SimOptions,
+    faults: Option<FaultPlan>,
+    monitor: Option<MonitorConfig>,
+    sink: Option<&'s mut K>,
+}
+
+impl SimSession<'static, TorusBackend> {
+    /// A session over the torus engines for `cfg`.
+    pub fn new(cfg: &NocConfig) -> Self {
+        SimSession::with_backend(TorusBackend::new(cfg))
+    }
+}
+
+impl<B: SessionBackend> SimSession<'static, B> {
+    /// A session over an arbitrary backend (e.g. `fasttrack-mesh`).
+    pub fn with_backend(backend: B) -> Self {
+        SimSession {
+            backend,
+            opts: SimOptions::default(),
+            faults: None,
+            monitor: None,
+            sink: None,
+        }
+    }
+}
+
+impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
+    /// Replaces the driver options wholesale.
+    pub fn options(mut self, opts: SimOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the hard cap on simulated cycles.
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.opts.max_cycles = max_cycles;
+        self
+    }
+
+    /// Sets the warmup period after which statistics reset.
+    pub fn warmup_cycles(mut self, warmup_cycles: u64) -> Self {
+        self.opts.warmup_cycles = warmup_cycles;
+        self
+    }
+
+    /// Injects a fault plan into the fabric. The plan is validated when
+    /// the session runs; an empty plan reproduces the healthy run
+    /// bit-for-bit.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        self.faults = Some(plan.clone());
+        self
+    }
+
+    /// Attaches a [`HealthMonitor`]; the monitor observes the run
+    /// without perturbing it and is returned in the [`SimOutcome`].
+    pub fn with_monitor(mut self, mcfg: MonitorConfig) -> Self {
+        self.monitor = Some(mcfg);
+        self
+    }
+
+    /// Attaches an [`EventSink`] observing every routing decision,
+    /// injection, deflection, ejection, and driver marker. Composes
+    /// with [`SimSession::with_monitor`]: both see the event stream.
+    pub fn with_sink<'t, K2: EventSink>(self, sink: &'t mut K2) -> SimSession<'t, B, K2> {
+        SimSession {
+            backend: self.backend,
+            opts: self.opts,
+            faults: self.faults,
+            monitor: self.monitor,
+            sink: Some(sink),
+        }
+    }
+
+    fn make_monitor(&self) -> Option<HealthMonitor> {
+        self.monitor.map(|mcfg| {
+            let mut monitor = HealthMonitor::new(self.backend.monitor_n(), mcfg);
+            if let Some(channels) = self.backend.monitor_channels() {
+                monitor.set_channels(channels.max(1));
+            }
+            monitor
+        })
+    }
+
+    /// Builds the engine and drives `source` to completion.
+    ///
+    /// Returns `Err` only when a fault plan was attached and fails
+    /// validation; sessions without [`SimSession::with_faults`] always
+    /// succeed.
+    pub fn run<T: TrafficSource>(mut self, source: &mut T) -> Result<SimOutcome, FaultError> {
+        let mut engine = self.backend.build(self.faults.as_ref())?;
+        let mut monitor = self.make_monitor();
+        let report = dispatch(
+            &mut engine,
+            source,
+            self.opts,
+            self.sink.as_deref_mut(),
+            monitor.as_mut(),
+        );
+        Ok(SimOutcome { report, monitor })
+    }
+
+    /// Drives one run per seed against a single engine, resetting it
+    /// between runs: topology, route LUTs, and compiled fault plans are
+    /// built once and amortized across the batch. `mk_source` builds the
+    /// traffic source for each seed; a fresh monitor is attached per run
+    /// (when configured), while an attached sink observes all runs in
+    /// sequence.
+    pub fn run_batch<T, F>(
+        mut self,
+        seeds: &[u64],
+        mut mk_source: F,
+    ) -> Result<Vec<SimOutcome>, FaultError>
+    where
+        T: TrafficSource,
+        F: FnMut(u64) -> T,
+    {
+        let mut engine = self.backend.build(self.faults.as_ref())?;
+        let mut outcomes = Vec::with_capacity(seeds.len());
+        for (i, &seed) in seeds.iter().enumerate() {
+            if i > 0 {
+                engine.reset();
+            }
+            let mut source = mk_source(seed);
+            let mut monitor = self.make_monitor();
+            let report = dispatch(
+                &mut engine,
+                &mut source,
+                self.opts,
+                self.sink.as_deref_mut(),
+                monitor.as_mut(),
+            );
+            outcomes.push(SimOutcome { report, monitor });
+        }
+        Ok(outcomes)
+    }
+}
+
+impl<'s, K: EventSink> SimSession<'s, TorusBackend, K> {
+    /// Runs a `channels`-way replicated bank (multi-channel Hoplite, the
+    /// paper's iso-wiring comparison point) instead of a single NoC.
+    /// The report name gains a `-{channels}x` suffix.
+    ///
+    /// The engine panics on `channels == 0` when the session runs.
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.backend.channels = Some(channels);
+        self
+    }
+
+    /// Selects LUT-based or recomputed routing (see [`RouteMode`]); the
+    /// two are bit-identical, and the default is [`RouteMode::Lut`].
+    pub fn route_mode(mut self, mode: RouteMode) -> Self {
+        self.backend.route = mode;
+        self
+    }
+}
+
+/// Runs the drive loop with the session's sink/monitor combination,
+/// teeing both into one event stream when both are present.
+fn dispatch<E: SimEngine, T: TrafficSource, K: EventSink>(
+    engine: &mut E,
+    source: &mut T,
+    opts: SimOptions,
+    sink: Option<&mut K>,
+    monitor: Option<&mut HealthMonitor>,
+) -> SimReport {
+    match (sink, monitor) {
+        (None, None) => drive_engine(engine, source, opts, &mut NullSink),
+        (Some(s), None) => drive_engine(engine, source, opts, s),
+        (None, Some(m)) => drive_engine(engine, source, opts, m),
+        (Some(s), Some(m)) => drive_engine(engine, source, opts, &mut (s, m)),
+    }
+}
+
+fn no_faults(outcome: Result<SimOutcome, FaultError>) -> SimOutcome {
+    outcome.expect("no fault plan attached")
+}
+
+/// Runs `source` on a single-channel NoC built from `cfg`.
+#[deprecated(
+    note = "compose a `SimSession` instead: `SimSession::new(cfg).options(opts).run(source)`"
+)]
+pub fn simulate<S: TrafficSource>(cfg: &NocConfig, source: &mut S, opts: SimOptions) -> SimReport {
+    no_faults(SimSession::new(cfg).options(opts).run(source)).report
+}
+
+/// [`simulate`] with an [`EventSink`] observing the run.
+#[deprecated(note = "compose a `SimSession` with `.with_sink(sink)` instead")]
 pub fn simulate_traced<S: TrafficSource, K: EventSink>(
     cfg: &NocConfig,
     source: &mut S,
     opts: SimOptions,
     sink: &mut K,
 ) -> SimReport {
-    drive_noc(Noc::new(cfg.clone()), cfg, source, opts, sink)
+    no_faults(
+        SimSession::new(cfg)
+            .options(opts)
+            .with_sink(sink)
+            .run(source),
+    )
+    .report
 }
 
-/// [`simulate`] with a [`FaultPlan`] injected into the fabric. The plan
-/// is validated first (dead links must be express-only, etc.); an empty
-/// plan produces a report bit-identical to plain [`simulate`].
-///
-/// Fail-stopped routers can leave their PE's queue permanently blocked;
-/// the driver detects that state and ends the run (not truncated) once
-/// everything else has drained.
+/// [`simulate`] with a [`FaultPlan`] injected into the fabric.
+#[deprecated(note = "compose a `SimSession` with `.with_faults(plan)` instead")]
 pub fn simulate_faulted<S: TrafficSource>(
     cfg: &NocConfig,
     plan: &FaultPlan,
     source: &mut S,
     opts: SimOptions,
 ) -> Result<SimReport, FaultError> {
-    simulate_faulted_traced(cfg, plan, source, opts, &mut NullSink)
+    SimSession::new(cfg)
+        .options(opts)
+        .with_faults(plan)
+        .run(source)
+        .map(|o| o.report)
 }
 
 /// [`simulate_faulted`] with an [`EventSink`] observing the run,
 /// including the [`SimEvent::FaultDrop`] / [`SimEvent::FaultReroute`]
 /// events.
+#[deprecated(note = "compose a `SimSession` with `.with_faults(plan).with_sink(sink)` instead")]
 pub fn simulate_faulted_traced<S: TrafficSource, K: EventSink>(
     cfg: &NocConfig,
     plan: &FaultPlan,
@@ -175,84 +775,34 @@ pub fn simulate_faulted_traced<S: TrafficSource, K: EventSink>(
     opts: SimOptions,
     sink: &mut K,
 ) -> Result<SimReport, FaultError> {
-    let noc = Noc::with_faults(cfg.clone(), plan)?;
-    Ok(drive_noc(noc, cfg, source, opts, sink))
+    SimSession::new(cfg)
+        .options(opts)
+        .with_faults(plan)
+        .with_sink(sink)
+        .run(source)
+        .map(|o| o.report)
 }
 
-/// The single-channel drive loop shared by the healthy and faulted
-/// entry points.
-fn drive_noc<S: TrafficSource, K: EventSink>(
-    mut noc: Noc,
-    cfg: &NocConfig,
-    source: &mut S,
-    opts: SimOptions,
-    sink: &mut K,
-) -> SimReport {
-    let mut queues = InjectQueues::new(cfg.num_nodes());
-    let mut deliveries: Vec<Delivery> = Vec::new();
-    let mut measured_from = 0u64;
-    let mut cycle = 0u64;
-    let mut truncated = true;
-
-    while cycle < opts.max_cycles {
-        if cycle == opts.warmup_cycles && cycle != 0 {
-            noc.reset_stats();
-            measured_from = cycle;
-            if K::ENABLED {
-                sink.emit(&SimEvent::WarmupReset { cycle });
-            }
-        }
-        source.pump(cycle, &mut queues);
-        deliveries.clear();
-        noc.step_with_sink(&mut queues, &mut deliveries, None, sink);
-        for d in &deliveries {
-            source.on_delivery(d);
-        }
-        cycle += 1;
-        if source.exhausted()
-            && noc.in_flight() == 0
-            && (queues.is_empty() || noc.only_failed_injectors_pending(&queues))
-        {
-            truncated = false;
-            break;
-        }
-    }
-    if truncated && K::ENABLED {
-        sink.emit(&SimEvent::Truncated { cycle });
-    }
-
-    let mut stats = noc.stats().clone();
-    stats.enqueued = queues.total_enqueued();
-    SimReport {
-        config_name: cfg.name(),
-        nodes: cfg.num_nodes(),
-        cycles: cycle - measured_from,
-        stats,
-        truncated,
-        in_flight: noc.in_flight(),
-    }
-}
-
-/// [`simulate`] with a [`HealthMonitor`] attached: live counters, a
-/// flight recorder, and the anomaly detectors observe the run, and the
-/// monitor is returned alongside the report so callers can inspect
-/// reports, snapshots, and the metrics registry.
-///
-/// The monitor never perturbs the simulation — the report is
-/// bit-identical to an unmonitored [`simulate`] of the same source.
+/// [`simulate`] with a [`HealthMonitor`] attached.
+#[deprecated(note = "compose a `SimSession` with `.with_monitor(mcfg)` instead")]
 pub fn simulate_monitored<S: TrafficSource>(
     cfg: &NocConfig,
     source: &mut S,
     opts: SimOptions,
     mcfg: MonitorConfig,
 ) -> (SimReport, HealthMonitor) {
-    let mut monitor = HealthMonitor::new(cfg.n(), mcfg);
-    let report = simulate_traced(cfg, source, opts, &mut monitor);
-    (report, monitor)
+    no_faults(
+        SimSession::new(cfg)
+            .options(opts)
+            .with_monitor(mcfg)
+            .run(source),
+    )
+    .into_monitored()
 }
 
 /// [`simulate_multichannel`] with a [`HealthMonitor`] attached (hotspot
 /// utilization is normalized by the channel count).
+#[deprecated(note = "compose a `SimSession` with `.channels(k).with_monitor(mcfg)` instead")]
 pub fn simulate_multichannel_monitored<S: TrafficSource>(
     cfg: &NocConfig,
     channels: usize,
@@ -260,25 +810,37 @@ pub fn simulate_multichannel_monitored<S: TrafficSource>(
     opts: SimOptions,
     mcfg: MonitorConfig,
 ) -> (SimReport, HealthMonitor) {
-    let mut monitor = HealthMonitor::new(cfg.n(), mcfg);
-    monitor.set_channels(channels.max(1));
-    let report = simulate_multichannel_traced(cfg, channels, source, opts, &mut monitor);
-    (report, monitor)
+    no_faults(
+        SimSession::new(cfg)
+            .options(opts)
+            .channels(channels)
+            .with_monitor(mcfg)
+            .run(source),
+    )
+    .into_monitored()
 }
 
 /// Runs `source` on a `channels`-way replicated NoC (multi-channel
 /// Hoplite; the paper's iso-wiring comparison point).
+#[deprecated(note = "compose a `SimSession` with `.channels(k)` instead")]
 pub fn simulate_multichannel<S: TrafficSource>(
     cfg: &NocConfig,
     channels: usize,
     source: &mut S,
     opts: SimOptions,
 ) -> SimReport {
-    simulate_multichannel_traced(cfg, channels, source, opts, &mut NullSink)
+    no_faults(
+        SimSession::new(cfg)
+            .options(opts)
+            .channels(channels)
+            .run(source),
+    )
+    .report
 }
 
 /// [`simulate_multichannel`] with an [`EventSink`] observing all
 /// channels (see [`MultiNoc::step_with_sink`] for channel attribution).
+#[deprecated(note = "compose a `SimSession` with `.channels(k).with_sink(sink)` instead")]
 pub fn simulate_multichannel_traced<S: TrafficSource, K: EventSink>(
     cfg: &NocConfig,
     channels: usize,
@@ -286,18 +848,20 @@ pub fn simulate_multichannel_traced<S: TrafficSource, K: EventSink>(
     opts: SimOptions,
     sink: &mut K,
 ) -> SimReport {
-    drive_multinoc(
-        MultiNoc::new(cfg.clone(), channels),
-        cfg,
-        source,
-        opts,
-        sink,
+    no_faults(
+        SimSession::new(cfg)
+            .options(opts)
+            .channels(channels)
+            .with_sink(sink)
+            .run(source),
     )
+    .report
 }
 
 /// [`simulate_multichannel`] with a [`FaultPlan`] injected into every
 /// channel (the channels replicate one physical fabric region, so a
 /// fault hits all of them).
+#[deprecated(note = "compose a `SimSession` with `.channels(k).with_faults(plan)` instead")]
 pub fn simulate_multichannel_faulted<S: TrafficSource>(
     cfg: &NocConfig,
     channels: usize,
@@ -305,63 +869,12 @@ pub fn simulate_multichannel_faulted<S: TrafficSource>(
     source: &mut S,
     opts: SimOptions,
 ) -> Result<SimReport, FaultError> {
-    let noc = MultiNoc::with_faults(cfg.clone(), channels, plan)?;
-    Ok(drive_multinoc(noc, cfg, source, opts, &mut NullSink))
-}
-
-/// The multi-channel drive loop shared by the healthy and faulted entry
-/// points.
-fn drive_multinoc<S: TrafficSource, K: EventSink>(
-    mut noc: MultiNoc,
-    cfg: &NocConfig,
-    source: &mut S,
-    opts: SimOptions,
-    sink: &mut K,
-) -> SimReport {
-    let channels = noc.num_channels();
-    let mut queues = InjectQueues::new(cfg.num_nodes());
-    let mut deliveries: Vec<Delivery> = Vec::new();
-    let mut measured_from = 0u64;
-    let mut cycle = 0u64;
-    let mut truncated = true;
-
-    while cycle < opts.max_cycles {
-        if cycle == opts.warmup_cycles && cycle != 0 {
-            noc.reset_stats();
-            measured_from = cycle;
-            if K::ENABLED {
-                sink.emit(&SimEvent::WarmupReset { cycle });
-            }
-        }
-        source.pump(cycle, &mut queues);
-        deliveries.clear();
-        noc.step_with_sink(&mut queues, &mut deliveries, sink);
-        for d in &deliveries {
-            source.on_delivery(d);
-        }
-        cycle += 1;
-        if source.exhausted()
-            && noc.in_flight() == 0
-            && (queues.is_empty() || noc.only_failed_injectors_pending(&queues))
-        {
-            truncated = false;
-            break;
-        }
-    }
-    if truncated && K::ENABLED {
-        sink.emit(&SimEvent::Truncated { cycle });
-    }
-
-    let mut stats = noc.merged_stats();
-    stats.enqueued = queues.total_enqueued();
-    SimReport {
-        config_name: format!("{}-{}x", cfg.name(), channels),
-        nodes: cfg.num_nodes(),
-        cycles: cycle - measured_from,
-        stats,
-        truncated,
-        in_flight: noc.in_flight(),
-    }
+    SimSession::new(cfg)
+        .options(opts)
+        .channels(channels)
+        .with_faults(plan)
+        .run(source)
+        .map(|o| o.report)
 }
 
 #[cfg(test)]
@@ -389,14 +902,21 @@ mod tests {
         }
     }
 
+    fn run_session(cfg: &NocConfig, src: &mut Batch) -> SimReport {
+        SimSession::new(cfg)
+            .run(src)
+            .expect("no fault plan attached")
+            .report
+    }
+
     #[test]
-    fn simulate_runs_to_completion() {
+    fn session_runs_to_completion() {
         let cfg = NocConfig::hoplite(4).unwrap();
         let mut src = Batch {
             items: (1..16).map(|i| (i, Coord::new(0, 0))).collect(),
             pushed: false,
         };
-        let report = simulate(&cfg, &mut src, SimOptions::default());
+        let report = run_session(&cfg, &mut src);
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 15);
         assert_eq!(report.stats.enqueued, 15);
@@ -407,7 +927,7 @@ mod tests {
     }
 
     #[test]
-    fn simulate_truncates_at_cap() {
+    fn session_truncates_at_cap() {
         struct Forever;
         impl TrafficSource for Forever {
             fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
@@ -420,7 +940,11 @@ mod tests {
             }
         }
         let cfg = NocConfig::hoplite(4).unwrap();
-        let report = simulate(&cfg, &mut Forever, SimOptions::with_max_cycles(100));
+        let report = SimSession::new(&cfg)
+            .max_cycles(100)
+            .run(&mut Forever)
+            .unwrap()
+            .report;
         assert!(report.truncated);
         assert_eq!(report.cycles, 100);
     }
@@ -437,7 +961,11 @@ mod tests {
                 .collect(),
             pushed: false,
         };
-        let report = simulate_multichannel(&cfg, 3, &mut src, SimOptions::default());
+        let report = SimSession::new(&cfg)
+            .channels(3)
+            .run(&mut src)
+            .unwrap()
+            .report;
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 160);
         assert!(report.config_name.contains("3x"));
@@ -450,13 +978,12 @@ mod tests {
             items: (1..16).map(|i| (i, Coord::new(0, 0))).collect(),
             pushed: false,
         };
-        let plain = simulate(&cfg, &mut mk(), SimOptions::default());
-        let (monitored, monitor) = simulate_monitored(
-            &cfg,
-            &mut mk(),
-            SimOptions::default(),
-            MonitorConfig::default(),
-        );
+        let plain = run_session(&cfg, &mut mk());
+        let (monitored, monitor) = SimSession::new(&cfg)
+            .with_monitor(MonitorConfig::default())
+            .run(&mut mk())
+            .unwrap()
+            .into_monitored();
         assert_eq!(plain, monitored, "the monitor must not perturb the run");
         let s = monitor.summary();
         assert_eq!(s.injected, 15);
@@ -473,13 +1000,12 @@ mod tests {
                 .collect(),
             pushed: false,
         };
-        let (report, monitor) = simulate_multichannel_monitored(
-            &cfg,
-            2,
-            &mut src,
-            SimOptions::default(),
-            MonitorConfig::default(),
-        );
+        let (report, monitor) = SimSession::new(&cfg)
+            .channels(2)
+            .with_monitor(MonitorConfig::default())
+            .run(&mut src)
+            .unwrap()
+            .into_monitored();
         assert!(!report.truncated);
         assert_eq!(monitor.summary().delivered, 16);
         assert!(monitor.healthy());
@@ -499,13 +1025,70 @@ mod tests {
             }
         }
         let cfg = NocConfig::hoplite(4).unwrap();
-        let opts = SimOptions {
-            max_cycles: 400,
-            warmup_cycles: 100,
-        };
-        let report = simulate(&cfg, &mut Trickle, opts);
+        let report = SimSession::new(&cfg)
+            .options(SimOptions::with_max_cycles(400).warmup_cycles(100))
+            .run(&mut Trickle)
+            .unwrap()
+            .report;
         // Warmup-period deliveries are excluded from the measured stats.
         assert!(report.stats.delivered < 200);
         assert_eq!(report.cycles, 300);
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mk = |seed: u64| Batch {
+            items: (0..16)
+                .map(|i| (i, Coord::from_node_id((i + 1 + seed as usize % 7) % 16, 4)))
+                .collect(),
+            pushed: false,
+        };
+        let seeds = [1u64, 2, 3, 4];
+        let batch = SimSession::new(&cfg).run_batch(&seeds, mk).unwrap();
+        assert_eq!(batch.len(), seeds.len());
+        for (outcome, &seed) in batch.iter().zip(&seeds) {
+            let solo = SimSession::new(&cfg).run(&mut mk(seed)).unwrap();
+            assert_eq!(
+                outcome.report, solo.report,
+                "engine reset must reproduce a fresh engine (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn run_batch_multichannel_resets_rotation() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mk = |_seed: u64| Batch {
+            items: (1..16).map(|i| (i, Coord::new(0, 0))).collect(),
+            pushed: false,
+        };
+        let batch = SimSession::new(&cfg)
+            .channels(2)
+            .run_batch(&[0, 0, 0], mk)
+            .unwrap();
+        assert_eq!(batch[0].report, batch[1].report);
+        assert_eq!(batch[1].report, batch[2].report);
+    }
+
+    #[test]
+    fn outcome_without_monitor_panics_on_split() {
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let outcome = run_session(
+            &cfg,
+            &mut Batch {
+                items: vec![(1, Coord::new(0, 0))],
+                pushed: false,
+            },
+        );
+        assert!(outcome.stats.delivered == 1);
+        let result = std::panic::catch_unwind(|| {
+            SimOutcome {
+                report: SimReport::default(),
+                monitor: None,
+            }
+            .into_monitored()
+        });
+        assert!(result.is_err());
     }
 }

@@ -89,13 +89,12 @@ fn inject_policy_dead_express_link_terminates() {
     };
     let plan = FaultPlan::random(&cfg, 4 ^ 0xFA17, &spec);
     assert!(!plan.is_empty(), "the regression scenario needs dead links");
-    let report = simulate_faulted(
-        &cfg,
-        &plan,
-        &mut BatchSource::random(cfg.n(), 2, 4),
-        SimOptions::with_max_cycles(100_000),
-    )
-    .expect("drawn plans always validate");
+    let report = SimSession::new(&cfg)
+        .options(SimOptions::with_max_cycles(100_000))
+        .with_faults(&plan)
+        .run(&mut BatchSource::random(cfg.n(), 2, 4))
+        .map(|o| o.report)
+        .expect("drawn plans always validate");
     assert!(
         !report.truncated,
         "stranded express packets must be dropped, not orbit forever \
@@ -114,13 +113,8 @@ proptest! {
     #[test]
     fn empty_plan_is_bit_identical(cfg in arb_ft_config(), seed in 0u64..1_000) {
         let opts = SimOptions::default();
-        let plain = simulate(&cfg, &mut BatchSource::random(cfg.n(), 2, seed), opts);
-        let faulted = simulate_faulted(
-            &cfg,
-            &FaultPlan::new(),
-            &mut BatchSource::random(cfg.n(), 2, seed),
-            opts,
-        )
+        let plain = SimSession::new(&cfg).options(opts).run(&mut BatchSource::random(cfg.n(), 2, seed)).unwrap().report;
+        let faulted = SimSession::new(&cfg).options(opts).with_faults(&FaultPlan::new()).run(&mut BatchSource::random(cfg.n(), 2, seed)).map(|o| o.report)
         .expect("empty plan always validates");
         prop_assert_eq!(&plain, &faulted);
         prop_assert_eq!(faulted.stats.dropped, 0);
@@ -176,12 +170,7 @@ proptest! {
         // Conservation holds truncated or not (in-flight packets are
         // counted), so a tight cycle cap keeps the suite fast even when
         // a fault mix degrades the fabric badly.
-        let report = simulate_faulted(
-            &cfg,
-            &plan,
-            &mut BatchSource::random(cfg.n(), 2, seed),
-            SimOptions::with_max_cycles(20_000),
-        )
+        let report = SimSession::new(&cfg).options(SimOptions::with_max_cycles(20_000)).with_faults(&plan).run(&mut BatchSource::random(cfg.n(), 2, seed)).map(|o| o.report)
         .expect("drawn plans always validate");
         prop_assert!(
             report.conserved(),
@@ -216,13 +205,7 @@ proptest! {
             window: (0, 300),
         };
         let plan = FaultPlan::random(&cfg, seed, &spec);
-        let report = simulate_multichannel_faulted(
-            &cfg,
-            channels,
-            &plan,
-            &mut BatchSource::random(cfg.n(), 2, seed),
-            SimOptions::default(),
-        )
+        let report = SimSession::new(&cfg).channels(channels).with_faults(&plan).run(&mut BatchSource::random(cfg.n(), 2, seed)).map(|o| o.report)
         .expect("drawn plans always validate");
         prop_assert!(
             report.conserved(),

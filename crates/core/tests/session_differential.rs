@@ -1,0 +1,314 @@
+//! Differential properties for the `SimSession` redesign and the
+//! hot-path routing kernel:
+//!
+//! * every legacy `simulate_*` entry point must produce a report
+//!   bit-identical to the equivalent `SimSession` composition (the shims
+//!   are one-liners over the session, so this pins the session semantics
+//!   to the pre-redesign behavior);
+//! * LUT-based route resolution ([`RouteMode::Lut`], the default) must
+//!   be bit-identical to recomputing `compute_prefs` per decision
+//!   ([`RouteMode::Direct`]) over random `FT(N², D, R)` grids, traffic,
+//!   faults, and channel counts;
+//! * the batched driver must reproduce fresh-engine runs exactly.
+
+#![allow(deprecated)]
+
+use fasttrack_core::prelude::*;
+use fasttrack_core::sim::simulate_multichannel_monitored;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Arbitrary FastTrack configuration with the paper's validity rules
+/// (`D % R == 0`, `R` tiles the ring) enforced by construction.
+fn arb_ft_config() -> impl Strategy<Value = NocConfig> {
+    (2u16..=3, any::<u8>(), any::<bool>()).prop_map(|(n_exp, sel, full)| {
+        let n = 1u16 << n_exp; // 4 or 8
+        let policy = if full {
+            FtPolicy::Full
+        } else {
+            FtPolicy::Inject
+        };
+        let mut variants = Vec::new();
+        for d in 1..=n / 2 {
+            for r in 1..=d {
+                if d % r == 0 && n.is_multiple_of(r) {
+                    variants.push((d, r));
+                }
+            }
+        }
+        let (d, r) = variants[sel as usize % variants.len()];
+        NocConfig::fasttrack(n, d, r, policy).unwrap()
+    })
+}
+
+/// A one-shot batch of random packets.
+struct BatchSource {
+    items: Vec<(usize, Coord)>,
+    pushed: bool,
+}
+
+impl BatchSource {
+    fn random(n: u16, per_pe: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nodes = n as usize * n as usize;
+        let mut items = Vec::new();
+        for node in 0..nodes {
+            for _ in 0..per_pe {
+                let dst = Coord::new(rng.gen_range(0..n), rng.gen_range(0..n));
+                items.push((node, dst));
+            }
+        }
+        BatchSource {
+            items,
+            pushed: false,
+        }
+    }
+}
+
+impl TrafficSource for BatchSource {
+    fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
+        if !self.pushed {
+            for &(src, dst) in &self.items {
+                queues.push(src, dst, cycle, 0);
+            }
+            self.pushed = true;
+        }
+    }
+    fn exhausted(&self) -> bool {
+        self.pushed
+    }
+}
+
+/// A fault plan exercising every supported fault kind, drawn
+/// deterministically from a seed (always torus-safe by construction).
+fn small_plan(cfg: &NocConfig, seed: u64) -> FaultPlan {
+    let spec = FaultSpec {
+        dead_links: 1,
+        transient_links: 1,
+        fail_stop_routers: 1,
+        stalled_injectors: 1,
+        window: (0, 200),
+    };
+    FaultPlan::random(cfg, seed ^ 0xFA17, &spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Route-LUT dispatch is bit-identical to direct computation for
+    /// whole simulations over random FT grids (reports carry every
+    /// counter, histogram, and the cycle count, so equality here is
+    /// cycle-exactness).
+    #[test]
+    fn lut_routing_is_bit_identical_to_direct(cfg in arb_ft_config(), seed in 0u64..500) {
+        let lut = SimSession::new(&cfg)
+            .route_mode(RouteMode::Lut)
+            .run(&mut BatchSource::random(cfg.n(), 3, seed))
+            .unwrap()
+            .report;
+        let direct = SimSession::new(&cfg)
+            .route_mode(RouteMode::Direct)
+            .run(&mut BatchSource::random(cfg.n(), 3, seed))
+            .unwrap()
+            .report;
+        prop_assert_eq!(lut, direct);
+    }
+
+    /// Same bit-identity through the multi-channel bank (the LUT is
+    /// shared across channels there) and under faults.
+    #[test]
+    fn lut_matches_direct_multichannel_faulted(
+        cfg in arb_ft_config(),
+        channels in 1usize..=3,
+        seed in 0u64..500,
+    ) {
+        let plan = small_plan(&cfg, seed);
+        let run = |mode: RouteMode| {
+            SimSession::new(&cfg)
+                .channels(channels)
+                .route_mode(mode)
+                .with_faults(&plan)
+                .run(&mut BatchSource::random(cfg.n(), 2, seed))
+                .map(|o| o.report)
+                .unwrap()
+        };
+        prop_assert_eq!(run(RouteMode::Lut), run(RouteMode::Direct));
+    }
+
+    /// `simulate` == `SimSession::new(cfg).run(..)`.
+    #[test]
+    fn shim_simulate_matches_session(cfg in arb_ft_config(), seed in 0u64..500) {
+        let opts = SimOptions::default();
+        let legacy = simulate(&cfg, &mut BatchSource::random(cfg.n(), 2, seed), opts);
+        let session = SimSession::new(&cfg)
+            .run(&mut BatchSource::random(cfg.n(), 2, seed))
+            .unwrap()
+            .report;
+        prop_assert_eq!(legacy, session);
+    }
+
+    /// `simulate_traced` == session + sink, and the event streams match.
+    #[test]
+    fn shim_traced_matches_session(cfg in arb_ft_config(), seed in 0u64..500) {
+        let opts = SimOptions::default();
+        let mut legacy_sink = VecSink::new();
+        let legacy = simulate_traced(
+            &cfg,
+            &mut BatchSource::random(cfg.n(), 2, seed),
+            opts,
+            &mut legacy_sink,
+        );
+        let mut session_sink = VecSink::new();
+        let session = SimSession::new(&cfg)
+            .with_sink(&mut session_sink)
+            .run(&mut BatchSource::random(cfg.n(), 2, seed))
+            .unwrap()
+            .report;
+        prop_assert_eq!(legacy, session);
+        prop_assert_eq!(&legacy_sink.events, &session_sink.events);
+    }
+
+    /// `simulate_faulted` == session + faults (both the Ok reports and
+    /// the error cases line up via the shim being a one-liner).
+    #[test]
+    fn shim_faulted_matches_session(cfg in arb_ft_config(), seed in 0u64..500) {
+        let plan = small_plan(&cfg, seed);
+        let opts = SimOptions::default();
+        let legacy = simulate_faulted(
+            &cfg,
+            &plan,
+            &mut BatchSource::random(cfg.n(), 2, seed),
+            opts,
+        )
+        .unwrap();
+        let session = SimSession::new(&cfg)
+            .with_faults(&plan)
+            .run(&mut BatchSource::random(cfg.n(), 2, seed))
+            .unwrap()
+            .report;
+        prop_assert_eq!(legacy, session);
+    }
+
+    /// `simulate_multichannel` (+ traced) == session + channels.
+    #[test]
+    fn shim_multichannel_matches_session(
+        cfg in arb_ft_config(),
+        channels in 1usize..=3,
+        seed in 0u64..500,
+    ) {
+        let opts = SimOptions::default();
+        let legacy = simulate_multichannel(
+            &cfg,
+            channels,
+            &mut BatchSource::random(cfg.n(), 2, seed),
+            opts,
+        );
+        let mut sink = VecSink::new();
+        let traced = simulate_multichannel_traced(
+            &cfg,
+            channels,
+            &mut BatchSource::random(cfg.n(), 2, seed),
+            opts,
+            &mut sink,
+        );
+        let session = SimSession::new(&cfg)
+            .channels(channels)
+            .run(&mut BatchSource::random(cfg.n(), 2, seed))
+            .unwrap()
+            .report;
+        prop_assert_eq!(&legacy, &session);
+        prop_assert_eq!(&traced, &session);
+        // The `-{k}x` naming (including `-1x`) is part of the contract.
+        prop_assert!(session.config_name.ends_with(&format!("-{channels}x")));
+    }
+
+    /// Monitored shims == session + monitor, with identical health
+    /// summaries, for both the single and multi-channel paths.
+    #[test]
+    fn shim_monitored_matches_session(
+        cfg in arb_ft_config(),
+        channels in 1usize..=2,
+        seed in 0u64..500,
+    ) {
+        let opts = SimOptions::default();
+        let mcfg = MonitorConfig::default();
+        let (legacy, legacy_mon) = simulate_multichannel_monitored(
+            &cfg,
+            channels,
+            &mut BatchSource::random(cfg.n(), 2, seed),
+            opts,
+            mcfg,
+        );
+        let (session, session_mon) = SimSession::new(&cfg)
+            .channels(channels)
+            .with_monitor(mcfg)
+            .run(&mut BatchSource::random(cfg.n(), 2, seed))
+            .unwrap()
+            .into_monitored();
+        prop_assert_eq!(legacy, session);
+        prop_assert_eq!(
+            legacy_mon.summary().to_json(),
+            session_mon.summary().to_json()
+        );
+    }
+
+    /// The batched driver (one engine, reset between seeds) reproduces
+    /// fresh-engine runs exactly — LUTs, SoA pool recycling, and fault
+    /// tables all survive the reset.
+    #[test]
+    fn run_batch_matches_fresh_runs(
+        cfg in arb_ft_config(),
+        channels in 1usize..=2,
+        base in 0u64..200,
+    ) {
+        let plan = small_plan(&cfg, base);
+        let seeds = [base, base + 1, base];
+        let batch = SimSession::new(&cfg)
+            .channels(channels)
+            .with_faults(&plan)
+            .run_batch(&seeds, |seed| BatchSource::random(cfg.n(), 2, seed))
+            .unwrap();
+        prop_assert_eq!(batch.len(), seeds.len());
+        for (outcome, &seed) in batch.iter().zip(&seeds) {
+            let fresh = SimSession::new(&cfg)
+                .channels(channels)
+                .with_faults(&plan)
+                .run(&mut BatchSource::random(cfg.n(), 2, seed))
+                .unwrap();
+            prop_assert_eq!(&outcome.report, &fresh.report);
+        }
+        // Identical seeds at positions 0 and 2 must yield identical
+        // reports (the reset leaves no residue).
+        prop_assert_eq!(&batch[0].report, &batch[2].report);
+    }
+
+    /// Composing everything at once — channels, faults, monitor, sink —
+    /// still matches the plain run's report (observation never perturbs)
+    /// and the legacy faulted+traced shim.
+    #[test]
+    fn fully_composed_session_matches_legacy(cfg in arb_ft_config(), seed in 0u64..500) {
+        let plan = small_plan(&cfg, seed);
+        let opts = SimOptions::default();
+        let mut legacy_sink = VecSink::new();
+        let legacy = simulate_faulted_traced(
+            &cfg,
+            &plan,
+            &mut BatchSource::random(cfg.n(), 2, seed),
+            opts,
+            &mut legacy_sink,
+        )
+        .unwrap();
+        let mut sink = VecSink::new();
+        let (report, monitor) = SimSession::new(&cfg)
+            .with_faults(&plan)
+            .with_monitor(MonitorConfig::default())
+            .with_sink(&mut sink)
+            .run(&mut BatchSource::random(cfg.n(), 2, seed))
+            .unwrap()
+            .into_monitored();
+        prop_assert_eq!(legacy, report);
+        prop_assert_eq!(&legacy_sink.events, &sink.events);
+        prop_assert!(monitor.summary().injected > 0);
+    }
+}

@@ -39,4 +39,6 @@ pub mod sim;
 pub use config::{MeshConfig, MeshConfigError};
 pub use noc::MeshNoc;
 pub use router::{mesh_distance, xy_route, Dir};
+pub use sim::MeshBackend;
+#[allow(deprecated)]
 pub use sim::{simulate_mesh, simulate_mesh_traced};

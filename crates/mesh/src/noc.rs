@@ -234,6 +234,29 @@ impl MeshNoc {
         self.stats = SimStats::default();
     }
 
+    /// Returns the mesh to its just-constructed state: buffers drained,
+    /// credits refilled, round-robin pointers and statistics zeroed, and
+    /// the cycle counter back to 0. Topology and compiled fault plans
+    /// are kept (fault tables are absolute-cycle, so resetting the cycle
+    /// replays them identically) — the batched driver resets between
+    /// seeds instead of rebuilding.
+    pub fn reset(&mut self) {
+        for fifo in &mut self.fifos {
+            for dir in fifo.iter_mut() {
+                dir.clear();
+            }
+        }
+        for credit in &mut self.credits {
+            *credit = [self.cfg.buffer_depth(); 4];
+        }
+        for rr in &mut self.rr {
+            *rr = [0; 5];
+        }
+        self.in_flight = 0;
+        self.cycle = 0;
+        self.stats = SimStats::default();
+    }
+
     /// Advances the mesh by one cycle.
     pub fn step(&mut self, queues: &mut InjectQueues, deliveries: &mut Vec<Delivery>) {
         self.step_with_sink(queues, deliveries, &mut NullSink);

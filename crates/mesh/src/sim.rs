@@ -1,99 +1,135 @@
-//! Driver for the buffered mesh, mirroring `fasttrack_core::sim`.
+//! Driver glue for the buffered mesh: a [`SessionBackend`] so
+//! `fasttrack_core`'s [`SimSession`] (and its shared drive loop) runs
+//! the mesh exactly like the torus engines, producing the same
+//! [`SimReport`] so results compose in one table.
 
 use fasttrack_core::fault::{FaultError, FaultPlan};
 use fasttrack_core::packet::Delivery;
 use fasttrack_core::queue::InjectQueues;
-use fasttrack_core::sim::{SimOptions, SimReport, TrafficSource};
-use fasttrack_core::trace::{EventSink, NullSink, SimEvent};
+use fasttrack_core::sim::{
+    SessionBackend, SimEngine, SimOptions, SimReport, SimSession, TrafficSource,
+};
+use fasttrack_core::stats::SimStats;
+use fasttrack_core::trace::{EventSink, NullSink};
 
 use crate::config::MeshConfig;
 use crate::noc::MeshNoc;
 
+impl SimEngine for MeshNoc {
+    fn num_nodes(&self) -> usize {
+        self.config().num_nodes()
+    }
+
+    fn report_name(&self) -> String {
+        self.config().name()
+    }
+
+    fn step_cycle<S: EventSink>(
+        &mut self,
+        queues: &mut InjectQueues,
+        deliveries: &mut Vec<Delivery>,
+        sink: &mut S,
+    ) {
+        self.step_with_sink(queues, deliveries, sink);
+    }
+
+    fn in_flight(&self) -> usize {
+        MeshNoc::in_flight(self)
+    }
+
+    fn reset_stats(&mut self) {
+        MeshNoc::reset_stats(self);
+    }
+
+    fn only_failed_injectors_pending(&self, queues: &InjectQueues) -> bool {
+        MeshNoc::only_failed_injectors_pending(self, queues)
+    }
+
+    fn stats_snapshot(&self) -> SimStats {
+        self.stats().clone()
+    }
+
+    fn reset(&mut self) {
+        MeshNoc::reset(self);
+    }
+}
+
+/// [`SessionBackend`] for the buffered mesh:
+/// `SimSession::with_backend(MeshBackend::new(&cfg))` composes sinks,
+/// monitors, and (the mesh-supported subset of) fault plans exactly like
+/// the torus sessions.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshBackend {
+    cfg: MeshConfig,
+}
+
+impl MeshBackend {
+    /// A backend building [`MeshNoc`]s from `cfg`.
+    pub fn new(cfg: &MeshConfig) -> Self {
+        MeshBackend { cfg: *cfg }
+    }
+}
+
+impl SessionBackend for MeshBackend {
+    type Engine = MeshNoc;
+
+    fn build(&self, faults: Option<&FaultPlan>) -> Result<MeshNoc, FaultError> {
+        match faults {
+            Some(plan) => MeshNoc::with_faults(self.cfg, plan),
+            None => Ok(MeshNoc::new(self.cfg)),
+        }
+    }
+
+    fn monitor_n(&self) -> u16 {
+        self.cfg.n()
+    }
+}
+
 /// Runs `source` on a buffered mesh built from `cfg`, producing the same
 /// [`SimReport`] the torus simulators emit so results compose in one
 /// table.
+#[deprecated(note = "compose a `SimSession::with_backend(MeshBackend::new(cfg))` instead")]
 pub fn simulate_mesh<S: TrafficSource>(
     cfg: &MeshConfig,
     source: &mut S,
     opts: SimOptions,
 ) -> SimReport {
+    #[allow(deprecated)]
     simulate_mesh_traced(cfg, source, opts, &mut NullSink)
 }
 
 /// [`simulate_mesh`] with an [`EventSink`] observing the run (same
-/// driver markers as `fasttrack_core::sim::simulate_traced`).
+/// driver markers as the torus sessions).
+#[deprecated(note = "compose a `SimSession::with_backend(..)` with `.with_sink(sink)` instead")]
 pub fn simulate_mesh_traced<S: TrafficSource, K: EventSink>(
     cfg: &MeshConfig,
     source: &mut S,
     opts: SimOptions,
     sink: &mut K,
 ) -> SimReport {
-    drive_mesh(MeshNoc::new(*cfg), cfg, source, opts, sink)
+    SimSession::with_backend(MeshBackend::new(cfg))
+        .options(opts)
+        .with_sink(sink)
+        .run(source)
+        .expect("no fault plan attached")
+        .report
 }
 
 /// [`simulate_mesh`] with a [`FaultPlan`] injected (the mesh-supported
 /// subset — see [`MeshNoc::with_faults`]). An empty plan reproduces
 /// [`simulate_mesh`] bit-for-bit.
+#[deprecated(note = "compose a `SimSession::with_backend(..)` with `.with_faults(plan)` instead")]
 pub fn simulate_mesh_faulted<S: TrafficSource>(
     cfg: &MeshConfig,
     plan: &FaultPlan,
     source: &mut S,
     opts: SimOptions,
 ) -> Result<SimReport, FaultError> {
-    let noc = MeshNoc::with_faults(*cfg, plan)?;
-    Ok(drive_mesh(noc, cfg, source, opts, &mut NullSink))
-}
-
-fn drive_mesh<S: TrafficSource, K: EventSink>(
-    mut noc: MeshNoc,
-    cfg: &MeshConfig,
-    source: &mut S,
-    opts: SimOptions,
-    sink: &mut K,
-) -> SimReport {
-    let mut queues = InjectQueues::new(cfg.num_nodes());
-    let mut deliveries: Vec<Delivery> = Vec::new();
-    let mut measured_from = 0u64;
-    let mut cycle = 0u64;
-    let mut truncated = true;
-
-    while cycle < opts.max_cycles {
-        if cycle == opts.warmup_cycles && cycle != 0 {
-            noc.reset_stats();
-            measured_from = cycle;
-            if K::ENABLED {
-                sink.emit(&SimEvent::WarmupReset { cycle });
-            }
-        }
-        source.pump(cycle, &mut queues);
-        deliveries.clear();
-        noc.step_with_sink(&mut queues, &mut deliveries, sink);
-        for d in &deliveries {
-            source.on_delivery(d);
-        }
-        cycle += 1;
-        if source.exhausted()
-            && noc.in_flight() == 0
-            && (queues.is_empty() || noc.only_failed_injectors_pending(&queues))
-        {
-            truncated = false;
-            break;
-        }
-    }
-    if truncated && K::ENABLED {
-        sink.emit(&SimEvent::Truncated { cycle });
-    }
-
-    let mut stats = noc.stats().clone();
-    stats.enqueued = queues.total_enqueued();
-    SimReport {
-        config_name: cfg.name(),
-        nodes: cfg.num_nodes(),
-        cycles: cycle - measured_from,
-        stats,
-        truncated,
-        in_flight: noc.in_flight(),
-    }
+    SimSession::with_backend(MeshBackend::new(cfg))
+        .options(opts)
+        .with_faults(plan)
+        .run(source)
+        .map(|o| o.report)
 }
 
 #[cfg(test)]
@@ -120,6 +156,13 @@ mod tests {
         }
     }
 
+    fn run_mesh(cfg: &MeshConfig, src: &mut impl TrafficSource) -> SimReport {
+        SimSession::with_backend(MeshBackend::new(cfg))
+            .run(src)
+            .expect("no fault plan attached")
+            .report
+    }
+
     #[test]
     fn report_fields_populated() {
         let cfg = MeshConfig::new(4, 4).unwrap();
@@ -127,7 +170,7 @@ mod tests {
             items: (1..16).map(|i| (i, Coord::new(0, 0))).collect(),
             pushed: false,
         };
-        let report = simulate_mesh(&cfg, &mut src, SimOptions::default());
+        let report = run_mesh(&cfg, &mut src);
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 15);
         assert_eq!(report.nodes, 16);
@@ -136,12 +179,45 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shim_matches_session() {
+        let cfg = MeshConfig::new(4, 4).unwrap();
+        let mk = || Batch {
+            items: (1..16).map(|i| (i, Coord::new(0, 0))).collect(),
+            pushed: false,
+        };
+        #[allow(deprecated)]
+        let legacy = simulate_mesh(&cfg, &mut mk(), SimOptions::default());
+        let session = run_mesh(&cfg, &mut mk());
+        assert_eq!(legacy, session);
+    }
+
+    #[test]
+    fn batched_runs_reset_cleanly() {
+        let cfg = MeshConfig::new(4, 4).unwrap();
+        let mk = |seed: u64| Batch {
+            items: (0..16)
+                .map(|i| (i, Coord::from_node_id((i + 1 + seed as usize % 5) % 16, 4)))
+                .collect(),
+            pushed: false,
+        };
+        let batch = SimSession::with_backend(MeshBackend::new(&cfg))
+            .run_batch(&[0, 3, 7], mk)
+            .unwrap();
+        for (outcome, &seed) in batch.iter().zip(&[0u64, 3, 7]) {
+            let solo = run_mesh(&cfg, &mut mk(seed));
+            assert_eq!(
+                outcome.report, solo,
+                "mesh reset must be exact (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
     fn mesh_has_no_deflection_tax_at_low_load() {
         // At 10% injection the buffered mesh delivers offered load with
         // short, tight latencies — the "buffered routers are fine at low
         // load" half of the paper's Figure 1 trade-off.
         use fasttrack_core::config::NocConfig;
-        use fasttrack_core::sim::simulate;
         struct Trickle {
             left: u32,
         }
@@ -157,16 +233,11 @@ mod tests {
                 self.left == 0
             }
         }
-        let mesh = simulate_mesh(
-            &MeshConfig::new(4, 4).unwrap(),
-            &mut Trickle { left: 50 },
-            SimOptions::default(),
-        );
-        let torus = simulate(
-            &NocConfig::hoplite(4).unwrap(),
-            &mut Trickle { left: 50 },
-            SimOptions::default(),
-        );
+        let mesh = run_mesh(&MeshConfig::new(4, 4).unwrap(), &mut Trickle { left: 50 });
+        let torus = SimSession::new(&NocConfig::hoplite(4).unwrap())
+            .run(&mut Trickle { left: 50 })
+            .unwrap()
+            .report;
         assert!(!mesh.truncated && !torus.truncated);
         assert_eq!(mesh.stats.delivered, 50);
         // Mesh minimal paths are at most as long as unidirectional-torus

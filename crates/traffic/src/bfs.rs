@@ -110,18 +110,17 @@ mod tests {
     use super::*;
     use crate::graph_gen::{road_network, Graph};
     use fasttrack_core::config::{FtPolicy, NocConfig};
-    use fasttrack_core::sim::{simulate, SimOptions};
+    use fasttrack_core::sim::{SimOptions, SimSession};
 
     #[test]
     fn visits_every_reachable_vertex() {
         // A directed cycle: everything reachable from 0.
         let g = Graph::new(50, (0..50u32).map(|i| (i, (i + 1) % 50)).collect());
         let mut src = BfsSource::new(&g, 0, 4, Partition::Cyclic);
-        let report = simulate(
-            &NocConfig::hoplite(4).unwrap(),
-            &mut src,
-            SimOptions::default(),
-        );
+        let report = SimSession::new(&NocConfig::hoplite(4).unwrap())
+            .run(&mut src)
+            .unwrap()
+            .report;
         assert!(!report.truncated);
         assert_eq!(src.visited_count(), 50);
         // A cycle visits one new vertex per level: edge messages = 50.
@@ -132,11 +131,10 @@ mod tests {
     fn unreachable_vertices_stay_unvisited() {
         let g = Graph::new(10, vec![(0, 1), (1, 2), (5, 6)]);
         let mut src = BfsSource::new(&g, 0, 2, Partition::Cyclic);
-        let report = simulate(
-            &NocConfig::hoplite(2).unwrap(),
-            &mut src,
-            SimOptions::default(),
-        );
+        let report = SimSession::new(&NocConfig::hoplite(2).unwrap())
+            .run(&mut src)
+            .unwrap()
+            .report;
         assert!(!report.truncated);
         assert_eq!(src.visited_count(), 3); // 0, 1, 2
     }
@@ -147,11 +145,10 @@ mod tests {
         // messages but expands once.
         let g = Graph::new(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
         let mut src = BfsSource::new(&g, 0, 2, Partition::Cyclic);
-        let report = simulate(
-            &NocConfig::hoplite(2).unwrap(),
-            &mut src,
-            SimOptions::default(),
-        );
+        let report = SimSession::new(&NocConfig::hoplite(2).unwrap())
+            .run(&mut src)
+            .unwrap()
+            .report;
         assert_eq!(src.visited_count(), 4);
         assert_eq!(report.stats.delivered, 4); // one message per edge
     }
@@ -162,7 +159,11 @@ mod tests {
         let g = road_network(60, 0.0, 1);
         let run = |cfg: &NocConfig| {
             let mut src = BfsSource::new(&g, 0, 4, Partition::Cyclic);
-            let r = simulate(cfg, &mut src, SimOptions::with_max_cycles(10_000_000));
+            let r = SimSession::new(cfg)
+                .options(SimOptions::with_max_cycles(10_000_000))
+                .run(&mut src)
+                .unwrap()
+                .report;
             assert!(!r.truncated);
             assert_eq!(src.visited_count(), 3600);
             r.cycles

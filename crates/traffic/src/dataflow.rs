@@ -249,7 +249,7 @@ impl TrafficSource for DataflowSource {
 mod tests {
     use super::*;
     use fasttrack_core::config::{FtPolicy, NocConfig};
-    use fasttrack_core::sim::{simulate, SimOptions};
+    use fasttrack_core::sim::{SimOptions, SimSession};
 
     #[test]
     fn dag_construction_and_critical_path() {
@@ -287,7 +287,7 @@ mod tests {
         let edges = dag.num_edges();
         let mut src = DataflowSource::new(dag, 4, 2);
         let cfg = NocConfig::hoplite(4).unwrap();
-        let report = simulate(&cfg, &mut src, SimOptions::default());
+        let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
         assert!(!report.truncated, "dataflow did not drain");
         assert_eq!(src.completed(), 500);
         assert_eq!(report.stats.delivered as usize, edges);
@@ -300,13 +300,17 @@ mod tests {
         let dag = lu_dag(1500, 120, 2.2, 5);
         let opts = SimOptions::default();
         let mut s1 = DataflowSource::new(dag.clone(), 4, 1);
-        let hoplite = simulate(&NocConfig::hoplite(4).unwrap(), &mut s1, opts);
+        let hoplite = SimSession::new(&NocConfig::hoplite(4).unwrap())
+            .options(opts)
+            .run(&mut s1)
+            .unwrap()
+            .report;
         let mut s2 = DataflowSource::new(dag, 4, 1);
-        let ft = simulate(
-            &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
-            &mut s2,
-            opts,
-        );
+        let ft = SimSession::new(&NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap())
+            .options(opts)
+            .run(&mut s2)
+            .unwrap()
+            .report;
         assert!(!hoplite.truncated && !ft.truncated);
         let speedup = hoplite.cycles as f64 / ft.cycles as f64;
         assert!(speedup > 0.9, "FT should not lose on dataflow: {speedup}");

@@ -38,7 +38,7 @@ mod tests {
     use super::*;
     use crate::graph_gen::{rmat, road_network};
     use fasttrack_core::config::{FtPolicy, NocConfig};
-    use fasttrack_core::sim::{simulate, SimOptions};
+    use fasttrack_core::sim::{SimOptions, SimSession};
 
     #[test]
     fn one_message_per_edge() {
@@ -64,13 +64,17 @@ mod tests {
         let g = rmat(11, 20_000, 0.57, 0.19, 0.19, 4);
         let opts = SimOptions::default();
         let mut src = graph_source(&g, 4, Partition::Cyclic);
-        let hoplite = simulate(&NocConfig::hoplite(4).unwrap(), &mut src, opts);
+        let hoplite = SimSession::new(&NocConfig::hoplite(4).unwrap())
+            .options(opts)
+            .run(&mut src)
+            .unwrap()
+            .report;
         let mut src = graph_source(&g, 4, Partition::Cyclic);
-        let ft = simulate(
-            &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
-            &mut src,
-            opts,
-        );
+        let ft = SimSession::new(&NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap())
+            .options(opts)
+            .run(&mut src)
+            .unwrap()
+            .report;
         assert!(!hoplite.truncated && !ft.truncated);
         assert_eq!(hoplite.stats.delivered as usize, g.num_edges());
         let speedup = hoplite.cycles as f64 / ft.cycles as f64;

@@ -23,7 +23,7 @@
 //!
 //! let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full)?;
 //! let mut src = BernoulliSource::new(8, Pattern::Random, 0.3, 100, 42);
-//! let report = simulate(&cfg, &mut src, SimOptions::default());
+//! let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
 //! assert_eq!(report.stats.delivered, 6400);
 //! # Ok::<(), fasttrack_core::config::ConfigError>(())
 //! ```

@@ -130,7 +130,7 @@ mod tests {
     use super::*;
     use fasttrack_core::config::{FtPolicy, NocConfig};
     use fasttrack_core::queue::InjectQueues;
-    use fasttrack_core::sim::{simulate, SimOptions, TrafficSource};
+    use fasttrack_core::sim::{SimOptions, SimSession, TrafficSource};
 
     #[test]
     fn suite_has_six_benchmarks() {
@@ -188,13 +188,17 @@ mod tests {
         let profile = parsec_benchmarks()[5]; // blackscholes, smallest
         let opts = SimOptions::default();
         let mut t1 = parsec_trace(&profile, 4, 3);
-        let hoplite = simulate(&NocConfig::hoplite(4).unwrap(), &mut t1, opts);
+        let hoplite = SimSession::new(&NocConfig::hoplite(4).unwrap())
+            .options(opts)
+            .run(&mut t1)
+            .unwrap()
+            .report;
         let mut t2 = parsec_trace(&profile, 4, 3);
-        let ft = simulate(
-            &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
-            &mut t2,
-            opts,
-        );
+        let ft = SimSession::new(&NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap())
+            .options(opts)
+            .run(&mut t2)
+            .unwrap()
+            .report;
         assert!(!hoplite.truncated && !ft.truncated);
         assert_eq!(hoplite.stats.delivered, ft.stats.delivered);
         assert!(ft.cycles <= hoplite.cycles, "FT slower on overlay traffic");

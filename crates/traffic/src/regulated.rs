@@ -78,7 +78,7 @@ mod tests {
     use super::*;
     use fasttrack_core::config::{FtPolicy, NocConfig};
     use fasttrack_core::realtime::zero_load_profile;
-    use fasttrack_core::sim::{simulate, SimOptions};
+    use fasttrack_core::sim::SimSession;
 
     #[test]
     fn regulated_source_obeys_its_budget() {
@@ -106,7 +106,7 @@ mod tests {
         let cfg = NocConfig::fasttrack(8, 2, 1, FtPolicy::Full).unwrap();
         let profile = zero_load_profile(&cfg);
         let mut src = RegulatedSource::new(8, 20, 100, 3);
-        let report = simulate(&cfg, &mut src, SimOptions::default());
+        let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
         assert!(!report.truncated);
         let worst = report.stats.total_latency.max();
         assert!(
@@ -122,7 +122,7 @@ mod tests {
         let cfg = NocConfig::hoplite(8).unwrap();
         let run = |period| {
             let mut src = RegulatedSource::new(8, period, 200, 7);
-            simulate(&cfg, &mut src, SimOptions::default())
+            SimSession::new(&cfg).run(&mut src).unwrap().report
         };
         let loose = run(4);
         let tight = run(32);

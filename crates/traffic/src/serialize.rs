@@ -132,7 +132,7 @@ impl TrafficSource for TransferBatchSource {
 mod tests {
     use super::*;
     use fasttrack_core::config::NocConfig;
-    use fasttrack_core::sim::{simulate, SimOptions};
+    use fasttrack_core::sim::SimSession;
 
     #[test]
     fn flit_math() {
@@ -167,7 +167,7 @@ mod tests {
         assert_eq!(src.total_flits(), 8);
         assert_eq!(src.len(), 2);
         let cfg = NocConfig::hoplite(4).unwrap();
-        let report = simulate(&cfg, &mut src, SimOptions::default());
+        let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 8);
         assert_eq!(src.completed_transfers(), 2);
@@ -192,11 +192,11 @@ mod tests {
         let cfg = NocConfig::hoplite(4).unwrap();
         let wide = {
             let mut s = mk(512);
-            simulate(&cfg, &mut s, SimOptions::default())
+            SimSession::new(&cfg).run(&mut s).unwrap().report
         };
         let narrow = {
             let mut s = mk(128);
-            simulate(&cfg, &mut s, SimOptions::default())
+            SimSession::new(&cfg).run(&mut s).unwrap().report
         };
         let ratio = narrow.cycles as f64 / wide.cycles as f64;
         assert!(

@@ -189,7 +189,7 @@ impl TrafficSource for TimedTraceSource {
 mod tests {
     use super::*;
     use fasttrack_core::config::NocConfig;
-    use fasttrack_core::sim::{simulate, SimOptions};
+    use fasttrack_core::sim::SimSession;
 
     #[test]
     fn bernoulli_generates_exact_quota() {
@@ -255,7 +255,7 @@ mod tests {
         assert_eq!(src.len(), 3);
         assert!(!src.is_empty());
         let cfg = NocConfig::hoplite(4).unwrap();
-        let report = simulate(&cfg, &mut src, SimOptions::default());
+        let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 3);
     }

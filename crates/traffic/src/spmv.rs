@@ -106,7 +106,7 @@ mod tests {
     use super::*;
     use crate::matrix::{banded, circuit, SparseMatrix};
     use fasttrack_core::config::{FtPolicy, NocConfig};
-    use fasttrack_core::sim::{simulate, SimOptions};
+    use fasttrack_core::sim::{SimOptions, SimSession};
 
     #[test]
     fn message_count_equals_nnz() {
@@ -139,15 +139,15 @@ mod tests {
 
     #[test]
     fn iterative_spmv_barriers_between_passes() {
-        use fasttrack_core::sim::{simulate, SimOptions};
+        use fasttrack_core::sim::SimSession;
         let m = circuit(300, 4, 1, 2, 5);
         let cfg = NocConfig::hoplite(4).unwrap();
         // One pass vs five passes: with a barrier between passes the
         // makespan scales roughly linearly.
         let mut one = IterativeSpmvSource::new(&m, 4, Partition::Cyclic, 1);
-        let r1 = simulate(&cfg, &mut one, SimOptions::default());
+        let r1 = SimSession::new(&cfg).run(&mut one).unwrap().report;
         let mut five = IterativeSpmvSource::new(&m, 4, Partition::Cyclic, 5);
-        let r5 = simulate(&cfg, &mut five, SimOptions::default());
+        let r5 = SimSession::new(&cfg).run(&mut five).unwrap().report;
         assert!(!r1.truncated && !r5.truncated);
         assert_eq!(r5.stats.delivered, 5 * r1.stats.delivered);
         assert!(one.iterations_left() == 0 && five.iterations_left() == 0);
@@ -170,15 +170,19 @@ mod tests {
         let opts = SimOptions::default();
         let hoplite = {
             let mut src = spmv_source(&m, 4, Partition::Cyclic);
-            simulate(&NocConfig::hoplite(4).unwrap(), &mut src, opts)
+            SimSession::new(&NocConfig::hoplite(4).unwrap())
+                .options(opts)
+                .run(&mut src)
+                .unwrap()
+                .report
         };
         let ft = {
             let mut src = spmv_source(&m, 4, Partition::Cyclic);
-            simulate(
-                &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
-                &mut src,
-                opts,
-            )
+            SimSession::new(&NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap())
+                .options(opts)
+                .run(&mut src)
+                .unwrap()
+                .report
         };
         assert!(!hoplite.truncated && !ft.truncated);
         assert_eq!(hoplite.stats.delivered, m.nnz() as u64);

@@ -231,14 +231,13 @@ mod tests {
     #[test]
     fn source_built_from_text_runs() {
         use fasttrack_core::config::NocConfig;
-        use fasttrack_core::sim::{simulate, SimOptions};
+        use fasttrack_core::sim::SimSession;
         let text = "0 0 5\n0 1 6\n5 2 7\n";
         let mut src = trace_source_from_text(text, 4).unwrap();
-        let report = simulate(
-            &NocConfig::hoplite(4).unwrap(),
-            &mut src,
-            SimOptions::default(),
-        );
+        let report = SimSession::new(&NocConfig::hoplite(4).unwrap())
+            .run(&mut src)
+            .unwrap()
+            .report;
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 3);
     }

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let compute = 4; // cycles per operation at a PE
         let run = |cfg: &NocConfig| {
             let mut src = DataflowSource::new(dag.clone(), n, compute);
-            simulate(cfg, &mut src, SimOptions::with_max_cycles(20_000_000))
+            SimSession::new(cfg)
+                .options(SimOptions::with_max_cycles(20_000_000))
+                .run(&mut src)
+                .unwrap()
+                .report
         };
         let hoplite = run(&NocConfig::hoplite(n)?);
         let ft22 = run(&NocConfig::fasttrack(n, 2, 2, FtPolicy::Full)?);

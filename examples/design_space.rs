@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut best: Option<(String, f64)> = None;
     for cfg in &configs {
         let mut src = BernoulliSource::new(n, Pattern::Random, 0.5, 1000, 9);
-        let report = simulate(cfg, &mut src, SimOptions::default());
+        let report = SimSession::new(cfg).run(&mut src).unwrap().report;
         let cost = noc_cost(cfg, width);
         let Ok(mhz) = noc_frequency_mhz(&device, cfg, width, 1) else {
             println!("{:<16} does not fit the device at {width}b", cfg.name());

@@ -41,21 +41,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "Hoplite",
                 Box::new(|| {
                     let mut src = graph_source(graph, n, Partition::Cyclic);
-                    simulate(&hoplite, &mut src, SimOptions::default())
+                    SimSession::new(&hoplite).run(&mut src).unwrap().report
                 }),
             ),
             (
                 "Hoplite-3x",
                 Box::new(|| {
                     let mut src = graph_source(graph, n, Partition::Cyclic);
-                    simulate_multichannel(&hoplite, 3, &mut src, SimOptions::default())
+                    SimSession::new(&hoplite)
+                        .channels(3)
+                        .run(&mut src)
+                        .unwrap()
+                        .report
                 }),
             ),
             (
                 "FT(64,2,1)",
                 Box::new(|| {
                     let mut src = graph_source(graph, n, Partition::Cyclic);
-                    simulate(&ft, &mut src, SimOptions::default())
+                    SimSession::new(&ft).run(&mut src).unwrap().report
                 }),
             ),
         ];

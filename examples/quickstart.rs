@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         // Simulate saturating random traffic.
         let mut source = BernoulliSource::new(8, Pattern::Random, 1.0, 1000, 42);
-        let report = simulate(&cfg, &mut source, SimOptions::default());
+        let report = SimSession::new(&cfg).run(&mut source).unwrap().report;
 
         // Model the FPGA implementation.
         let cost = noc_cost(&cfg, width);

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let floor = zero_load_profile(cfg).max;
         for period in [8u64, 16, 32] {
             let mut src = RegulatedSource::new(8, period, 300, 11);
-            let report = simulate(cfg, &mut src, SimOptions::default());
+            let report = SimSession::new(cfg).run(&mut src).unwrap().report;
             assert!(!report.truncated);
             let worst = report.worst_latency();
             println!(

@@ -33,15 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for n in [4u16, 8, 16] {
             let hoplite = {
                 let mut src = spmv_source(matrix, n, Partition::Cyclic);
-                simulate(&NocConfig::hoplite(n)?, &mut src, SimOptions::default())
+                SimSession::new(&NocConfig::hoplite(n)?)
+                    .run(&mut src)
+                    .unwrap()
+                    .report
             };
             let ft = {
                 let mut src = spmv_source(matrix, n, Partition::Cyclic);
-                simulate(
-                    &NocConfig::fasttrack(n, 2, 1, FtPolicy::Full)?,
-                    &mut src,
-                    SimOptions::default(),
-                )
+                SimSession::new(&NocConfig::fasttrack(n, 2, 1, FtPolicy::Full)?)
+                    .run(&mut src)
+                    .unwrap()
+                    .report
             };
             assert!(!hoplite.truncated && !ft.truncated);
             println!(

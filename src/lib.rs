@@ -31,7 +31,7 @@
 //! // Saturating uniform-random traffic, 100 packets per PE.
 //! let run = |cfg: &NocConfig| {
 //!     let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, 100, 7);
-//!     simulate(cfg, &mut src, SimOptions::default())
+//!     SimSession::new(cfg).run(&mut src).unwrap().report
 //! };
 //! let (ft_run, hoplite_run) = (run(&ft), run(&hoplite));
 //! assert!(ft_run.sustained_rate_per_pe() > 1.5 * hoplite_run.sustained_rate_per_pe());
@@ -54,7 +54,9 @@ pub mod prelude {
     pub use fasttrack_fpga::power::PowerModel;
     pub use fasttrack_fpga::resources::{noc_cost, NocCost};
     pub use fasttrack_fpga::routability::noc_frequency_mhz;
-    pub use fasttrack_mesh::{simulate_mesh, MeshConfig, MeshNoc};
+    #[allow(deprecated)]
+    pub use fasttrack_mesh::simulate_mesh;
+    pub use fasttrack_mesh::{MeshBackend, MeshConfig, MeshNoc};
     pub use fasttrack_traffic::partition::Partition;
     pub use fasttrack_traffic::pattern::Pattern;
     pub use fasttrack_traffic::source::{

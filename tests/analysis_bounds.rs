@@ -9,7 +9,7 @@ use fasttrack::prelude::*;
 fn saturated_rate(cfg: &NocConfig, pattern: Pattern, seed: u64) -> f64 {
     let n = cfg.n();
     let mut src = BernoulliSource::new(n, pattern, 1.0, 400, seed);
-    let report = simulate(cfg, &mut src, SimOptions::default());
+    let report = SimSession::new(cfg).run(&mut src).unwrap().report;
     assert!(!report.truncated);
     report.sustained_rate_per_pe()
 }
@@ -84,7 +84,7 @@ fn mean_hop_model_matches_deflection_free_traffic() {
     let loads = channel_loads(&cfg, &uniform_traffic(64));
     let predicted = loads.mean_hops_per_packet(64.0);
     let mut src = BernoulliSource::new(8, Pattern::Random, 0.02, 300, 0xb3);
-    let report = simulate(&cfg, &mut src, SimOptions::default());
+    let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
     let measured = report.stats.link_usage.total() as f64 / report.stats.delivered as f64;
     assert!(
         (measured - predicted).abs() / predicted < 0.1,

@@ -103,7 +103,7 @@ fn energy_model_rewards_fasttrack_on_measured_traffic() {
     let model = PowerModel::default();
     let energy = |cfg: &NocConfig| {
         let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, 300, 61);
-        let report = simulate(cfg, &mut src, SimOptions::default());
+        let report = SimSession::new(cfg).run(&mut src).unwrap().report;
         assert!(!report.truncated);
         let mhz = noc_frequency_mhz(&device, cfg, 256, 1).unwrap();
         model.workload_energy_j(&device, cfg, 256, mhz, 1, report.cycles, &report.stats)

@@ -33,7 +33,11 @@ fn eject_stream(
 ) -> (SimReport, Vec<Ejection>) {
     let mut src = BernoulliSource::new(N, pattern, rate, PACKETS_PER_PE, seed);
     let mut sink = VecSink::new();
-    let report = simulate_traced(cfg, &mut src, SimOptions::default(), &mut sink);
+    let report = SimSession::new(cfg)
+        .with_sink(&mut sink)
+        .run(&mut src)
+        .unwrap()
+        .report;
     let stream = sink
         .events
         .iter()

@@ -6,12 +6,15 @@ use fasttrack::prelude::*;
 fn random_rate_mesh(depth: usize, rate: f64, seed: u64) -> SimReport {
     let cfg = MeshConfig::new(8, depth).unwrap();
     let mut src = BernoulliSource::new(8, Pattern::Random, rate, 300, seed);
-    simulate_mesh(&cfg, &mut src, SimOptions::default())
+    SimSession::with_backend(MeshBackend::new(&cfg))
+        .run(&mut src)
+        .unwrap()
+        .report
 }
 
 fn random_rate_torus(cfg: &NocConfig, rate: f64, seed: u64) -> SimReport {
     let mut src = BernoulliSource::new(8, Pattern::Random, rate, 300, seed);
-    simulate(cfg, &mut src, SimOptions::default())
+    SimSession::new(cfg).run(&mut src).unwrap().report
 }
 
 #[test]
@@ -75,24 +78,21 @@ fn same_workload_runs_on_all_three_noc_classes() {
     // the TrafficSource abstraction holds across engines.
     let run_count = |r: &SimReport| r.stats.delivered;
     let mut s1 = BernoulliSource::new(4, Pattern::Transpose, 0.5, 100, 5);
-    let mesh = simulate_mesh(
-        &MeshConfig::new(4, 2).unwrap(),
-        &mut s1,
-        SimOptions::default(),
-    );
+    let mesh = SimSession::with_backend(MeshBackend::new(&MeshConfig::new(4, 2).unwrap()))
+        .run(&mut s1)
+        .unwrap()
+        .report;
     let mut s2 = BernoulliSource::new(4, Pattern::Transpose, 0.5, 100, 5);
-    let torus = simulate(
-        &NocConfig::hoplite(4).unwrap(),
-        &mut s2,
-        SimOptions::default(),
-    );
+    let torus = SimSession::new(&NocConfig::hoplite(4).unwrap())
+        .run(&mut s2)
+        .unwrap()
+        .report;
     let mut s3 = BernoulliSource::new(4, Pattern::Transpose, 0.5, 100, 5);
-    let multi = simulate_multichannel(
-        &NocConfig::hoplite(4).unwrap(),
-        2,
-        &mut s3,
-        SimOptions::default(),
-    );
+    let multi = SimSession::new(&NocConfig::hoplite(4).unwrap())
+        .channels(2)
+        .run(&mut s3)
+        .unwrap()
+        .report;
     assert_eq!(run_count(&mesh), 1600);
     assert_eq!(run_count(&torus), 1600);
     assert_eq!(run_count(&multi), 1600);

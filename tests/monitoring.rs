@@ -5,7 +5,7 @@
 
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, MonitorConfig};
-use fasttrack_core::sim::{simulate, simulate_monitored, simulate_traced, SimOptions};
+use fasttrack_core::sim::SimSession;
 use fasttrack_core::trace::EventSink;
 use fasttrack_traffic::pattern::Pattern;
 use fasttrack_traffic::source::BernoulliSource;
@@ -29,9 +29,12 @@ fn monitor_is_a_passive_observer() {
     for rate in [0.05, 0.5, 1.0] {
         let mut a = BernoulliSource::new(8, Pattern::Random, rate, 50, 11);
         let mut b = BernoulliSource::new(8, Pattern::Random, rate, 50, 11);
-        let plain = simulate(&cfg, &mut a, SimOptions::default());
-        let (report, monitor) =
-            simulate_monitored(&cfg, &mut b, SimOptions::default(), monitored_cfg());
+        let plain = SimSession::new(&cfg).run(&mut a).unwrap().report;
+        let (report, monitor) = SimSession::new(&cfg)
+            .with_monitor(monitored_cfg())
+            .run(&mut b)
+            .unwrap()
+            .into_monitored();
         assert_eq!(plain, report, "rate {rate}: monitor perturbed the run");
         let s = monitor.summary();
         assert_eq!(s.injected, report.stats.injected);
@@ -44,7 +47,11 @@ fn monitor_is_a_passive_observer() {
 fn light_load_is_healthy_and_saturation_is_not() {
     let cfg = NocConfig::hoplite(8).unwrap();
     let mut light = BernoulliSource::new(8, Pattern::Random, 0.02, 20, 5);
-    let (_, m) = simulate_monitored(&cfg, &mut light, SimOptions::default(), monitored_cfg());
+    let (_, m) = SimSession::new(&cfg)
+        .with_monitor(monitored_cfg())
+        .run(&mut light)
+        .unwrap()
+        .into_monitored();
     assert!(
         m.healthy(),
         "2% load on Hoplite must not trip any detector: {:?}",
@@ -54,7 +61,11 @@ fn light_load_is_healthy_and_saturation_is_not() {
     // Hoplite-64 RANDOM at rate 1.0 is far above saturation: injectors
     // starve and the shared ring links run hot.
     let mut heavy = BernoulliSource::new(8, Pattern::Random, 1.0, 150, 5);
-    let (_, m) = simulate_monitored(&cfg, &mut heavy, SimOptions::default(), monitored_cfg());
+    let (_, m) = SimSession::new(&cfg)
+        .with_monitor(monitored_cfg())
+        .run(&mut heavy)
+        .unwrap()
+        .into_monitored();
     assert!(!m.healthy(), "saturated Hoplite reported healthy");
     let s = m.summary();
     assert!(
@@ -79,7 +90,11 @@ fn light_load_is_healthy_and_saturation_is_not() {
 fn registry_exposition_matches_summary() {
     let cfg = NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap();
     let mut src = BernoulliSource::new(4, Pattern::Transpose, 0.3, 40, 9);
-    let (report, m) = simulate_monitored(&cfg, &mut src, SimOptions::default(), monitored_cfg());
+    let (report, m) = SimSession::new(&cfg)
+        .with_monitor(monitored_cfg())
+        .run(&mut src)
+        .unwrap()
+        .into_monitored();
     let prom = m.registry().to_prometheus();
     assert!(prom.contains(&format!(
         "fasttrack_injected_total {}",
@@ -122,7 +137,7 @@ proptest! {
             seed,
         );
         let mut recorder = FlightRecorder::new(nodes, k);
-        simulate_traced(&cfg, &mut src, SimOptions::default(), &mut recorder);
+        SimSession::new(&cfg).with_sink(&mut recorder).run(&mut src).unwrap();
         prop_assert!(recorder.recorded() > 0, "run emitted no events");
 
         let mut total = 0usize;
@@ -157,7 +172,7 @@ proptest! {
         let nodes = cfg.num_nodes();
         let mut src = BernoulliSource::new(4, Pattern::Random, 0.4, 10, seed);
         let mut recorder = FlightRecorder::new(nodes, k);
-        simulate_traced(&cfg, &mut src, SimOptions::default(), &mut recorder);
+        SimSession::new(&cfg).with_sink(&mut recorder).run(&mut src).unwrap();
         let dump = recorder.dump_all();
 
         let mut replay = FlightRecorder::new(nodes, k);

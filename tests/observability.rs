@@ -5,9 +5,7 @@
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
 use fasttrack_core::metrics::WindowedMetrics;
-use fasttrack_core::sim::{
-    simulate, simulate_multichannel_traced, simulate_traced, SimOptions, SimReport,
-};
+use fasttrack_core::sim::{SimOptions, SimReport, SimSession};
 use fasttrack_traffic::pattern::Pattern;
 use fasttrack_traffic::source::BernoulliSource;
 
@@ -216,7 +214,11 @@ fn ndjson_run(seed: u64) -> (String, SimReport) {
     let cfg = acceptance_config();
     let mut src = BernoulliSource::new(8, Pattern::Random, 0.2, 50, seed);
     let mut sink = NdjsonSink::new();
-    let report = simulate_traced(&cfg, &mut src, SimOptions::default(), &mut sink);
+    let report = SimSession::new(&cfg)
+        .with_sink(&mut sink)
+        .run(&mut src)
+        .unwrap()
+        .report;
     (sink.into_string(), report)
 }
 
@@ -271,7 +273,11 @@ fn multichannel_log_attributes_channels_deterministically() {
     let run = || {
         let mut src = BernoulliSource::new(4, Pattern::Random, 0.5, 40, 5);
         let mut sink = NdjsonSink::new();
-        simulate_multichannel_traced(&cfg, 2, &mut src, SimOptions::default(), &mut sink);
+        SimSession::new(&cfg)
+            .channels(2)
+            .with_sink(&mut sink)
+            .run(&mut src)
+            .unwrap();
         sink.into_string()
     };
     let a = run();
@@ -285,7 +291,11 @@ fn chrome_trace_round_trips_a_json_parser() {
     let cfg = acceptance_config();
     let mut src = BernoulliSource::new(8, Pattern::Random, 0.2, 20, 1);
     let mut sink = ChromeTraceSink::new(8);
-    let report = simulate_traced(&cfg, &mut src, SimOptions::default(), &mut sink);
+    let report = SimSession::new(&cfg)
+        .with_sink(&mut sink)
+        .run(&mut src)
+        .unwrap()
+        .report;
     let doc = sink.finish();
     let parsed = json::parse(&doc).expect("chrome trace is valid JSON");
     let events = parsed
@@ -311,7 +321,11 @@ fn csv_series_parses_and_sums_to_the_report() {
     let cfg = acceptance_config();
     let mut src = BernoulliSource::new(8, Pattern::Random, 0.2, 30, 2);
     let mut metrics = WindowedMetrics::new(64, 64);
-    let report = simulate_traced(&cfg, &mut src, SimOptions::default(), &mut metrics);
+    let report = SimSession::new(&cfg)
+        .with_sink(&mut metrics)
+        .run(&mut src)
+        .unwrap()
+        .report;
     let epochs = metrics.finish();
     let delivered: u64 = epochs.iter().map(|e| e.delivered).sum();
     assert_eq!(delivered, report.stats.delivered);
@@ -333,14 +347,11 @@ fn steady_state_detector_agrees_with_handpicked_warmup() {
 
     // Hand-picked warmup, the pre-existing measurement style.
     let mut src = BernoulliSource::new(8, Pattern::Random, offered, 5_000, 21);
-    let manual = simulate(
-        &cfg,
-        &mut src,
-        SimOptions {
-            max_cycles: cap,
-            warmup_cycles: 1_000,
-        },
-    );
+    let manual = SimSession::new(&cfg)
+        .options(SimOptions::with_max_cycles(cap).warmup_cycles(1_000))
+        .run(&mut src)
+        .unwrap()
+        .report;
     assert!(manual.truncated, "source must outlive the cycle cap");
     let manual_rate = manual.sustained_rate_per_pe();
     assert!(manual_rate > 0.0);
@@ -348,15 +359,11 @@ fn steady_state_detector_agrees_with_handpicked_warmup() {
     // Automatic steady-state detection over the same traffic.
     let mut src = BernoulliSource::new(8, Pattern::Random, offered, 5_000, 21);
     let mut metrics = WindowedMetrics::new(64, 64);
-    simulate_traced(
-        &cfg,
-        &mut src,
-        SimOptions {
-            max_cycles: cap,
-            warmup_cycles: 0,
-        },
-        &mut metrics,
-    );
+    SimSession::new(&cfg)
+        .options(SimOptions::with_max_cycles(cap))
+        .with_sink(&mut metrics)
+        .run(&mut src)
+        .unwrap();
     let steady = metrics
         .steady_state_epoch()
         .expect("sustained load must settle");

@@ -7,7 +7,7 @@ use fasttrack::prelude::*;
 fn run_random(cfg: &NocConfig, rate: f64, per_pe: u64, seed: u64) -> SimReport {
     let n = cfg.n();
     let mut src = BernoulliSource::new(n, Pattern::Random, rate, per_pe, seed);
-    simulate(cfg, &mut src, SimOptions::default())
+    SimSession::new(cfg).run(&mut src).unwrap().report
 }
 
 fn run_random_multi(
@@ -19,7 +19,11 @@ fn run_random_multi(
 ) -> SimReport {
     let n = cfg.n();
     let mut src = BernoulliSource::new(n, Pattern::Random, rate, per_pe, seed);
-    simulate_multichannel(cfg, channels, &mut src, SimOptions::default())
+    SimSession::new(cfg)
+        .channels(channels)
+        .run(&mut src)
+        .unwrap()
+        .report
 }
 
 /// Figure 11 shape: at saturation, FT(64,2,1) sustains ≥2× Hoplite on

@@ -12,7 +12,7 @@ fn sixteen_by_sixteen_full_suite() {
         NocConfig::fasttrack(16, 4, 2, FtPolicy::Full).unwrap(),
     ] {
         let mut src = BernoulliSource::new(16, Pattern::Random, 1.0, 100, 77);
-        let report = simulate(&cfg, &mut src, SimOptions::default());
+        let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
         assert!(!report.truncated, "{} truncated", cfg.name());
         assert_eq!(report.stats.delivered, 256 * 100);
     }
@@ -24,7 +24,7 @@ fn thousand_pe_smoke() {
     // must still drain promptly with express links spanning 16 hops.
     let cfg = NocConfig::fasttrack(32, 4, 4, FtPolicy::Full).unwrap();
     let mut src = BernoulliSource::new(32, Pattern::Random, 0.3, 20, 78);
-    let report = simulate(&cfg, &mut src, SimOptions::default());
+    let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
     assert!(!report.truncated);
     assert_eq!(report.stats.delivered, 1024 * 20);
     assert!(report.stats.link_usage.express_hops > 0);
@@ -36,7 +36,7 @@ fn scaling_gain_grows_with_system_size() {
     let gain = |n: u16| {
         let run = |cfg: &NocConfig| {
             let mut src = BernoulliSource::new(n, Pattern::Random, 1.0, 100, 79);
-            simulate(cfg, &mut src, SimOptions::default())
+            SimSession::new(cfg).run(&mut src).unwrap().report
         };
         let h = run(&NocConfig::hoplite(n).unwrap());
         let f = run(&NocConfig::fasttrack(n, 2, 1, FtPolicy::Full).unwrap());

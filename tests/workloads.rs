@@ -26,7 +26,7 @@ fn spmv_conserves_messages_across_configs() {
     let m = circuit(1000, 4, 2, 3, 21);
     for cfg in configs(4) {
         let mut src = spmv_source(&m, 4, Partition::Cyclic);
-        let report = simulate(&cfg, &mut src, SimOptions::default());
+        let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
         assert!(!report.truncated, "{} truncated", cfg.name());
         assert_eq!(report.stats.delivered as usize, m.nnz(), "{}", cfg.name());
     }
@@ -39,17 +39,15 @@ fn spmv_global_matrix_gains_more_than_local() {
     let global = circuit(1500, 4, 3, 5, 23);
     let speedup = |m: &fasttrack::traffic::matrix::SparseMatrix, p: Partition| {
         let mut s1 = spmv_source(m, 4, p);
-        let h = simulate(
-            &NocConfig::hoplite(4).unwrap(),
-            &mut s1,
-            SimOptions::default(),
-        );
+        let h = SimSession::new(&NocConfig::hoplite(4).unwrap())
+            .run(&mut s1)
+            .unwrap()
+            .report;
         let mut s2 = spmv_source(m, 4, p);
-        let f = simulate(
-            &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
-            &mut s2,
-            SimOptions::default(),
-        );
+        let f = SimSession::new(&NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap())
+            .run(&mut s2)
+            .unwrap()
+            .report;
         h.cycles as f64 / f.cycles as f64
     };
     let s_local = speedup(&local, Partition::Block);
@@ -65,7 +63,7 @@ fn graph_superstep_conserves_edges() {
     let g = rmat(11, 15_000, 0.57, 0.19, 0.19, 31);
     for cfg in configs(4) {
         let mut src = graph_source(&g, 4, Partition::Cyclic);
-        let report = simulate(&cfg, &mut src, SimOptions::default());
+        let report = SimSession::new(&cfg).run(&mut src).unwrap().report;
         assert!(!report.truncated);
         assert_eq!(
             report.stats.delivered as usize,
@@ -81,17 +79,15 @@ fn road_network_is_nearly_noc_insensitive() {
     let g = road_network(120, 0.01, 32);
     let p = Partition::Grid2d { side: 120 };
     let mut s1 = graph_source(&g, 4, p);
-    let h = simulate(
-        &NocConfig::hoplite(4).unwrap(),
-        &mut s1,
-        SimOptions::default(),
-    );
+    let h = SimSession::new(&NocConfig::hoplite(4).unwrap())
+        .run(&mut s1)
+        .unwrap()
+        .report;
     let mut s2 = graph_source(&g, 4, p);
-    let f = simulate(
-        &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
-        &mut s2,
-        SimOptions::default(),
-    );
+    let f = SimSession::new(&NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap())
+        .run(&mut s2)
+        .unwrap()
+        .report;
     let speedup = h.cycles as f64 / f.cycles as f64;
     assert!(
         speedup < 1.6,
@@ -105,7 +101,11 @@ fn dataflow_executes_every_operation_on_every_config() {
     let edges = dag.num_edges();
     for cfg in configs(4) {
         let mut src = DataflowSource::new(dag.clone(), 4, 3);
-        let report = simulate(&cfg, &mut src, SimOptions::with_max_cycles(5_000_000));
+        let report = SimSession::new(&cfg)
+            .options(SimOptions::with_max_cycles(5_000_000))
+            .run(&mut src)
+            .unwrap()
+            .report;
         assert!(!report.truncated, "{} truncated", cfg.name());
         assert_eq!(src.completed(), 1200, "{}", cfg.name());
         assert_eq!(report.stats.delivered as usize, edges);
@@ -118,11 +118,11 @@ fn dataflow_critical_path_bounds_makespan() {
     let critical = dag.critical_path_len() as u64;
     let compute = 3u64;
     let mut src = DataflowSource::new(dag, 4, compute);
-    let report = simulate(
-        &NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap(),
-        &mut src,
-        SimOptions::with_max_cycles(5_000_000),
-    );
+    let report = SimSession::new(&NocConfig::fasttrack(4, 2, 1, FtPolicy::Full).unwrap())
+        .options(SimOptions::with_max_cycles(5_000_000))
+        .run(&mut src)
+        .unwrap()
+        .report;
     // The makespan can never beat compute-serialized critical path.
     assert!(
         report.cycles >= critical * compute,
@@ -139,17 +139,17 @@ fn parsec_local_benchmark_gains_least() {
     let x264 = benches.iter().find(|b| b.name == "x264").unwrap();
     let speedup = |profile| {
         let mut t1 = parsec_trace(profile, 6, 51);
-        let h = simulate(
-            &NocConfig::hoplite(6).unwrap(),
-            &mut t1,
-            SimOptions::with_max_cycles(5_000_000),
-        );
+        let h = SimSession::new(&NocConfig::hoplite(6).unwrap())
+            .options(SimOptions::with_max_cycles(5_000_000))
+            .run(&mut t1)
+            .unwrap()
+            .report;
         let mut t2 = parsec_trace(profile, 6, 51);
-        let f = simulate(
-            &NocConfig::fasttrack(6, 2, 1, FtPolicy::Full).unwrap(),
-            &mut t2,
-            SimOptions::with_max_cycles(5_000_000),
-        );
+        let f = SimSession::new(&NocConfig::fasttrack(6, 2, 1, FtPolicy::Full).unwrap())
+            .options(SimOptions::with_max_cycles(5_000_000))
+            .run(&mut t2)
+            .unwrap()
+            .report;
         assert!(!h.truncated && !f.truncated);
         h.cycles as f64 / f.cycles as f64
     };
