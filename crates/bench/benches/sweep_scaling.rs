@@ -1,6 +1,7 @@
 //! Sweep-engine scaling and hot-path kernel check.
 //!
-//! Two claims are validated on the standard 8-point grid:
+//! Two claims are validated on the standard 8-point grid
+//! ([`fasttrack_bench::snapshot::hotpath_grid`]):
 //!
 //! 1. **Determinism/scaling** — the grid run serially and on 8 worker
 //!    threads must produce byte-identical CSVs, and on a machine with
@@ -10,71 +11,37 @@
 //!    recomputing preferences per decision ([`RouteMode::Direct`]) and
 //!    at least as fast.
 //!
-//! The measured times are written to `BENCH_hotpath.json` (override the
-//! path with `FASTTRACK_BENCH_JSON`, set it empty to skip) next to the
-//! pre-kernel baseline, so the single-thread improvement is recorded in
-//! the repo.
+//! The measured times are written as a versioned
+//! [`fasttrack_bench::snapshot::BenchSnapshot`] to `BENCH_hotpath.json`
+//! (override the path with `FASTTRACK_BENCH_JSON`, set it empty to
+//! skip). The snapshot is the unit of the tracked bench trajectory:
+//! `fasttrack bench gate` compares a fresh one against the checked-in
+//! baseline and fails CI on a >10% hot-path regression.
 
-use std::time::Instant;
-
-use fasttrack_bench::runner::{quick_mode, sweep_csv, NocUnderTest, SweepGrid};
+use fasttrack_bench::runner::{quick_mode, sweep_csv};
+use fasttrack_bench::snapshot::{
+    hotpath_grid, measure_hotpath, snapshot_from, timed_serial, HOTPATH_THREADS,
+};
 use fasttrack_core::kernel::RouteMode;
-use fasttrack_core::sim::SimOptions;
-use fasttrack_core::sweep::point_seed;
-use fasttrack_traffic::pattern::Pattern;
-use fasttrack_traffic::source::BernoulliSource;
 
 /// Mean serial wall-clock of this grid on the reference machine before
 /// the routing kernel landed (route preferences recomputed per decision,
-/// AoS packet registers). Recorded so `BENCH_hotpath.json` can report
-/// the improvement without rebuilding the old code.
+/// AoS packet registers). Kept for the improvement printout; the
+/// versioned snapshot itself tracks absolute times plus normalized
+/// packets/sec.
 const PRE_KERNEL_SERIAL_SECS: f64 = 1.24;
 
-/// Times one serial pass over the grid with a fixed route mode, going
-/// through the same `SimSession` path the sweep engine uses. Returns
-/// `(seconds, total delivered)` — the delivered sum doubles as a
-/// cross-mode bit-identity check.
-fn timed_serial(grid: &SweepGrid, mode: RouteMode) -> (f64, u64) {
-    let t0 = Instant::now();
-    let mut delivered = 0u64;
-    for (i, p) in grid.points.iter().enumerate() {
-        let seed = point_seed(grid.base_seed, i);
-        let mut source = BernoulliSource::new(
-            p.nut.config.n(),
-            p.pattern,
-            p.rate,
-            grid.packets_per_pe,
-            seed,
-        );
-        let report = p
-            .nut
-            .session()
-            .options(SimOptions::default())
-            .route_mode(mode)
-            .run(&mut source)
-            .expect("no fault plan attached")
-            .report;
-        delivered += report.stats.delivered;
-    }
-    (t0.elapsed().as_secs_f64(), delivered)
-}
-
 fn main() {
-    let nuts = [NocUnderTest::hoplite(8), NocUnderTest::fasttrack(8, 2, 1)];
-    let patterns = [Pattern::Random, Pattern::Transpose];
-    let rates = [0.1, 0.5];
     let packets = if quick_mode() { 200 } else { 2000 };
-    let grid = SweepGrid::cross(&nuts, &patterns, &rates, 0xf7_5ca1e).with_packets_per_pe(packets);
+    let grid = hotpath_grid(packets);
     assert_eq!(grid.len(), 8, "scaling grid should have 8 points");
 
-    let t0 = Instant::now();
+    let m = measure_hotpath(&grid);
+
+    // Re-run serial/parallel just for the byte-identity check (the
+    // measurement pass discards rows to keep timing clean).
     let serial = grid.run(1);
-    let serial_secs = t0.elapsed().as_secs_f64();
-
-    let t1 = Instant::now();
-    let parallel = grid.run(8);
-    let parallel_secs = t1.elapsed().as_secs_f64();
-
+    let parallel = grid.run(HOTPATH_THREADS as usize);
     assert_eq!(
         sweep_csv(&serial),
         sweep_csv(&parallel),
@@ -83,32 +50,37 @@ fn main() {
 
     // Hot-path kernel: LUT vs per-decision recomputation, same binary,
     // same seeds, same session path.
-    let (lut_secs, lut_delivered) = timed_serial(&grid, RouteMode::Lut);
-    let (direct_secs, direct_delivered) = timed_serial(&grid, RouteMode::Direct);
+    let (_, lut_delivered) = timed_serial(&grid, RouteMode::Lut);
+    let (_, direct_delivered) = timed_serial(&grid, RouteMode::Direct);
     assert_eq!(
         lut_delivered, direct_delivered,
         "LUT routing must be bit-identical to direct computation"
     );
+    assert_eq!(
+        m.delivered, lut_delivered,
+        "measured delivered count must match the route-mode passes"
+    );
 
-    let speedup = serial_secs / parallel_secs.max(1e-9);
+    let speedup = m.serial_secs / m.parallel_secs.max(1e-9);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "sweep_scaling: {} points, serial {:.3}s, 8 threads {:.3}s, \
+        "sweep_scaling: {} points, serial {:.3}s, {} threads {:.3}s, \
          speedup {:.2}x on {} core(s)",
         grid.len(),
-        serial_secs,
-        parallel_secs,
+        m.serial_secs,
+        HOTPATH_THREADS,
+        m.parallel_secs,
         speedup,
         cores
     );
     println!(
         "hotpath: lut {:.3}s, direct {:.3}s ({:.2}x), vs pre-kernel baseline \
          {:.3}s ({:.2}x)",
-        lut_secs,
-        direct_secs,
-        direct_secs / lut_secs.max(1e-9),
+        m.lut_secs,
+        m.direct_secs,
+        m.direct_secs / m.lut_secs.max(1e-9),
         PRE_KERNEL_SERIAL_SECS,
-        PRE_KERNEL_SERIAL_SECS / serial_secs.max(1e-9),
+        PRE_KERNEL_SERIAL_SECS / m.serial_secs.max(1e-9),
     );
 
     if cores >= 4 {
@@ -120,31 +92,19 @@ fn main() {
         println!("fewer than 4 cores available; skipping the >=3x speedup assertion");
     }
 
-    // Record the snapshot (skipped in quick mode: the tiny workload is
-    // all setup, not hot path, so its ratios would be noise).
+    // Record the versioned snapshot (skipped in quick mode: the tiny
+    // workload is all setup, not hot path, so its ratios would be noise
+    // — and its grid fingerprint differs from the full grid's anyway).
     let json_path = std::env::var("FASTTRACK_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").to_string()
     });
     if !quick_mode() && !json_path.is_empty() {
-        let json = format!(
-            "{{\n  \"bench\": \"sweep_scaling\",\n  \"grid_points\": {},\n  \
-             \"packets_per_pe\": {},\n  \"pre_kernel_serial_secs\": {:.3},\n  \
-             \"serial_secs\": {:.3},\n  \"improvement_vs_pre_kernel\": {:.2},\n  \
-             \"lut_secs\": {:.3},\n  \"direct_secs\": {:.3},\n  \
-             \"lut_vs_direct_speedup\": {:.2},\n  \"parallel8_secs\": {:.3},\n  \
-             \"cores\": {}\n}}\n",
-            grid.len(),
-            grid.packets_per_pe,
-            PRE_KERNEL_SERIAL_SECS,
-            serial_secs,
-            PRE_KERNEL_SERIAL_SECS / serial_secs.max(1e-9),
-            lut_secs,
-            direct_secs,
-            direct_secs / lut_secs.max(1e-9),
-            parallel_secs,
-            cores,
+        let snap = snapshot_from(&grid, &m);
+        println!(
+            "snapshot: commit {}, {:.0} packets/sec normalized",
+            snap.commit, snap.packets_per_sec
         );
-        if let Err(e) = std::fs::write(&json_path, &json) {
+        if let Err(e) = snap.save(&json_path) {
             eprintln!("warning: could not write {json_path}: {e}");
         } else {
             println!("wrote {json_path}");

@@ -12,12 +12,17 @@
 
 pub mod journal;
 pub mod runner;
+pub mod snapshot;
 pub mod table;
 
 pub use journal::{grid_fingerprint, run_journaled, JournalError, SweepJournal, SweepOutcome};
 pub use runner::{
     packets_per_pe, parallel_map, quick_mode, run_pattern, run_point, speedup, sweep_csv,
-    FallibleSweepOptions, NocUnderTest, SweepGrid, SweepPoint, SweepRow, INJECTION_RATES,
-    PE_LADDER,
+    FallibleSweepOptions, NocUnderTest, SweepGrid, SweepPoint, SweepRow, SweepTiming,
+    INJECTION_RATES, PE_LADDER,
+};
+pub use snapshot::{
+    diff, gate, hotpath_grid, measure_hotpath, snapshot_from, BenchDiff, BenchSnapshot, GateResult,
+    HotpathMeasurement, SnapshotError, HOTPATH_THREADS, SNAPSHOT_SCHEMA_VERSION,
 };
 pub use table::Table;

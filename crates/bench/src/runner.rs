@@ -316,6 +316,42 @@ impl SweepGrid {
         })
     }
 
+    /// [`SweepGrid::run`] with per-point wall-clock timing captured.
+    ///
+    /// Rows are identical to [`SweepGrid::run`] — timing lives in the
+    /// returned [`SweepTiming`] sidecar and never reaches the CSV, so
+    /// byte-determinism across thread counts is untouched. Timings come
+    /// back indexed by grid point (the [`sweep`] ordering guarantee), so
+    /// percentiles aggregate over the whole grid regardless of which
+    /// worker thread ran each point.
+    pub fn run_timed(&self, threads: usize) -> (Vec<SweepRow>, SweepTiming) {
+        let (base, packets) = (self.base_seed, self.packets_per_pe);
+        let timed = sweep(self.points.clone(), threads, move |i, p| {
+            let t0 = std::time::Instant::now();
+            let seed = point_seed(base, i);
+            let report = run_point(&p.nut, p.pattern, p.rate, seed, packets);
+            let secs = t0.elapsed().as_secs_f64();
+            (
+                SweepRow {
+                    label: p.nut.label,
+                    channels: p.nut.channels,
+                    pattern: p.pattern,
+                    rate: p.rate,
+                    seed,
+                    report,
+                },
+                secs,
+            )
+        });
+        let mut rows = Vec::with_capacity(timed.len());
+        let mut secs = Vec::with_capacity(timed.len());
+        for (row, s) in timed {
+            rows.push(row);
+            secs.push(s);
+        }
+        (rows, SweepTiming::new(secs))
+    }
+
     /// [`SweepGrid::run`] with a per-point [`HealthMonitor`] attached.
     ///
     /// Each point runs its own monitor (so its detectors and flight
@@ -422,6 +458,98 @@ impl SweepGrid {
             seed,
             report,
         })
+    }
+}
+
+/// Per-point wall-clock timings of one sweep run, aggregated across
+/// worker threads into nearest-rank percentiles.
+///
+/// Produced by [`SweepGrid::run_timed`]; strictly a sidecar — rows and
+/// CSV bytes are untouched by timing capture.
+#[derive(Debug, Clone, Default)]
+pub struct SweepTiming {
+    per_point_secs: Vec<f64>,
+    sorted: Vec<f64>,
+}
+
+impl SweepTiming {
+    /// Wraps raw per-point timings (indexed by grid point).
+    pub fn new(per_point_secs: Vec<f64>) -> Self {
+        let mut sorted = per_point_secs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        SweepTiming {
+            per_point_secs,
+            sorted,
+        }
+    }
+
+    /// Number of timed points.
+    pub fn len(&self) -> usize {
+        self.per_point_secs.len()
+    }
+
+    /// True when no points were timed.
+    pub fn is_empty(&self) -> bool {
+        self.per_point_secs.is_empty()
+    }
+
+    /// Raw per-point seconds, indexed by grid point.
+    pub fn per_point_secs(&self) -> &[f64] {
+        &self.per_point_secs
+    }
+
+    /// Sum of per-point seconds (total per-point work, not wall clock
+    /// when threads > 1).
+    pub fn total(&self) -> f64 {
+        self.per_point_secs.iter().sum()
+    }
+
+    /// Mean per-point seconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.per_point_secs.is_empty() {
+            0.0
+        } else {
+            self.total() / self.per_point_secs.len() as f64
+        }
+    }
+
+    /// Fastest point (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Slowest point (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Nearest-rank percentile over per-point seconds (0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil().max(1.0) as usize;
+        self.sorted[rank.min(self.sorted.len()) - 1]
+    }
+
+    /// One-line human summary (for `--profile` stderr output).
+    pub fn render_text(&self) -> String {
+        format!(
+            "sweep timing: {} points, total {:.3}s, mean {:.4}s, p50 {:.4}s, \
+             p90 {:.4}s, p99 {:.4}s, max {:.4}s",
+            self.len(),
+            self.total(),
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.max(),
+        )
     }
 }
 
@@ -649,6 +777,40 @@ mod tests {
         let report = nut.run(&mut src, SimOptions::default());
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 16 * 50);
+    }
+
+    #[test]
+    fn sweep_timing_uses_nearest_rank_percentiles() {
+        let t = SweepTiming::new(vec![0.3, 0.1, 0.2, 0.4]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.min(), 0.1);
+        assert_eq!(t.max(), 0.4);
+        assert!((t.total() - 1.0).abs() < 1e-12);
+        assert!((t.mean() - 0.25).abs() < 1e-12);
+        // Nearest-rank: p50 of 4 samples is the 2nd sorted value.
+        assert_eq!(t.percentile(50.0), 0.2);
+        assert_eq!(t.percentile(99.0), 0.4);
+        assert_eq!(t.percentile(0.0), 0.1);
+        let text = t.render_text();
+        assert!(text.contains("4 points"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        assert_eq!(SweepTiming::default().percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn run_timed_rows_match_untimed_run() {
+        let nuts = [NocUnderTest::hoplite(4)];
+        let grid =
+            SweepGrid::cross(&nuts, &[Pattern::Random], &[0.1, 0.5], 7).with_packets_per_pe(25);
+        let plain = grid.run(1);
+        let (rows, timing) = grid.run_timed(2);
+        assert_eq!(
+            sweep_csv(&plain),
+            sweep_csv(&rows),
+            "timing must be a sidecar"
+        );
+        assert_eq!(timing.len(), grid.len());
+        assert!(timing.per_point_secs().iter().all(|&s| s >= 0.0));
     }
 
     #[test]

@@ -36,10 +36,11 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-/// Parsed `--flag value` pairs.
+/// Parsed `--flag value` pairs plus valueless `--switch` flags.
 #[derive(Debug, Clone, Default)]
 pub struct Flags {
     values: HashMap<String, String>,
+    switches: Vec<String>,
 }
 
 impl Flags {
@@ -49,18 +50,46 @@ impl Flags {
     ///
     /// Returns an [`ArgError`] for dangling flags or stray positionals.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Flags, ArgError> {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Parses `--flag value` pairs where any flag named in `switches`
+    /// is valueless (a boolean switch). Without the declaration a
+    /// switch would swallow the next `--flag` as its value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgError`] for dangling flags or stray positionals.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        args: I,
+        switches: &[&str],
+    ) -> Result<Flags, ArgError> {
         let mut values = HashMap::new();
+        let mut seen_switches = Vec::new();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedPositional(arg));
             };
+            if switches.contains(&name) {
+                seen_switches.push(name.to_string());
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
             values.insert(name.to_string(), value);
         }
-        Ok(Flags { values })
+        Ok(Flags {
+            values,
+            switches: seen_switches,
+        })
+    }
+
+    /// Whether a valueless switch (declared in
+    /// [`Flags::parse_with_switches`]) was present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     /// A required string flag.
@@ -132,6 +161,22 @@ mod tests {
             f.required("noc"),
             Err(ArgError::MissingFlag("noc"))
         ));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let f = Flags::parse_with_switches(
+            argv("--profile --noc ft:8:2:1 --json"),
+            &["profile", "json"],
+        )
+        .unwrap();
+        assert!(f.switch("profile"));
+        assert!(f.switch("json"));
+        assert!(!f.switch("verbose"));
+        assert_eq!(f.required("noc").unwrap(), "ft:8:2:1");
+        // Undeclared, --profile would swallow --noc as its value.
+        let naive = Flags::parse(argv("--profile --noc ft:8:2:1")).unwrap_err();
+        assert!(matches!(naive, ArgError::UnexpectedPositional(_)));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use fasttrack_bench::journal::run_journaled;
 use fasttrack_bench::runner::{
     health_json, sweep_csv, FallibleSweepOptions, NocUnderTest, SweepGrid, INJECTION_RATES,
 };
+use fasttrack_bench::snapshot::{self, BenchSnapshot, SnapshotError};
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
 use fasttrack_core::fault::{FaultPlan, FaultSpec};
@@ -75,18 +76,25 @@ USAGE:
                      [--snapshot <cycles>] [--flight-recorder <K>]
                      [--max-reports <n>] [--livelock-multiple <x>]
                      [--stall-streak <n>] [--hotspot-watermark <u>]
-                     [--health <path>] [--metrics <path>]
+                     [--health <path>] [--metrics <path>] [--profile]
   fasttrack sweep    (--grid <g> | --noc <spec> [--pattern <p>])
                      [--threads <t>] [--out table|csv]
                      [--packets <n>] [--seed <s>] [--health <path>]
                      [--retries <n>] [--cycle-budget <cycles>]
-                     [--resume <journal>]
+                     [--resume <journal>] [--profile]
   fasttrack faults   --noc <spec> [--pattern <p>] [--rate <r>]
                      [--packets <n>] [--seed <s>] [--fault-seed <s>]
                      [--dead-links <n>] [--transient-links <n>]
                      [--fail-stop <n>] [--stalled-injectors <n>]
                      [--window <from:until>] [--channels <k>]
-                     [--health <path>]
+                     [--health <path>] [--profile]
+  fasttrack profile  [--noc <spec>] [--pattern <p>] [--rate <r>]
+                     [--packets <n>] [--seed <s>] [--out <prefix>] [--json]
+  fasttrack bench    snapshot [--packets <n>] [--out <path>] [--json]
+  fasttrack bench    diff --baseline <path> --candidate <path> [--json]
+  fasttrack bench    gate --baseline <path> [--candidate <path>]
+                     [--tolerance <pct>] [--packets <n>]
+  fasttrack bench    migrate --file <path>
   fasttrack cost     --noc <spec> [--width <bits>] [--channels <k>]
   fasttrack trace    --noc <spec> --file <path>
   fasttrack trace    [--topology hoplite|ft|ftlite] [--n <n>] [--d <d>] [--r <r>]
@@ -125,6 +133,27 @@ FAULTS:
   (delivered + in-flight + dropped == injected), and the health
   verdict. --window bounds the cycles transient faults are drawn from.
 
+PROFILE:
+  `profile` runs one simulation with the engine's self-profiler: a span
+  tree over the session phases (build, LUT construction, fault
+  validation, drive loop) with per-phase self time, plus hot-path
+  counters (cycles/sec, packets/sec, route decisions, pool-slot reuse,
+  deflections). --out <prefix> writes <prefix>.chrome.json (Chrome
+  trace-event format); --json emits the summary as JSON. --profile on
+  monitor/faults attaches the same profiler to those runs (with a
+  monitor, the fasttrack_profile_* series ride the --metrics
+  exposition); sweep --profile prints per-point timing percentiles to
+  stderr while the CSV stays byte-identical.
+
+BENCH TRAJECTORY:
+  `bench snapshot` measures the canonical sweep_scaling hot-path grid
+  and writes a versioned snapshot (schema, commit, grid fingerprint,
+  normalized packets/sec). `bench diff` compares two snapshots;
+  `bench gate` fails (exit 1) when the candidate — a file, or a fresh
+  measurement when --candidate is omitted — is more than --tolerance
+  percent slower than the baseline. `bench migrate` rewrites a
+  pre-versioning BENCH_hotpath.json in place as the current schema.
+
 CRASH-SAFE SWEEPS:
   sweep --resume <journal> appends every finished point to an
   append-only journal (flushed per point) and emits CSV. If the file
@@ -143,6 +172,8 @@ EXAMPLES:
   fasttrack faults --noc ft:8:2:2 --rate 0.3 --dead-links 2 --fault-seed 42
   fasttrack sweep --grid \"ft:8:2:1;random;0.1,0.5\" --resume run.journal
   fasttrack trace --topology ft --n 8 --d 2 --r 2 --pattern random --rate 0.2
+  fasttrack profile --noc ft:8:2:2 --rate 0.5 --out prof
+  fasttrack bench gate --baseline BENCH_hotpath.json --tolerance 10
 ";
 
 fn render_report(report: &SimReport) -> String {
@@ -232,20 +263,23 @@ pub fn cmd_monitor(flags: &Flags) -> Result<String, CliError> {
     };
 
     let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
-    let (report, monitor) = if channels <= 1 {
-        SimSession::new(&cfg)
-            .with_monitor(mcfg)
-            .run(&mut src)
-            .unwrap()
-            .into_monitored()
+    let outcome = if channels <= 1 {
+        let mut session = SimSession::new(&cfg).with_monitor(mcfg);
+        if flags.switch("profile") {
+            session = session.with_profile();
+        }
+        session.run(&mut src).unwrap()
     } else {
-        SimSession::new(&cfg)
-            .channels(channels)
-            .with_monitor(mcfg)
-            .run(&mut src)
-            .unwrap()
-            .into_monitored()
+        let mut session = SimSession::new(&cfg).channels(channels).with_monitor(mcfg);
+        if flags.switch("profile") {
+            session = session.with_profile();
+        }
+        session.run(&mut src).unwrap()
     };
+    let report = outcome.report;
+    let monitor = outcome
+        .monitor
+        .expect("session was built with `with_monitor`");
 
     let mut out = String::new();
     for line in monitor.snapshots() {
@@ -255,6 +289,12 @@ pub fn cmd_monitor(flags: &Flags) -> Result<String, CliError> {
     out.push_str(&render_report(&report));
     out.push('\n');
     out.push_str(&monitor.summary().render_text());
+    if let Some(profile) = &outcome.profile {
+        // The profile cells share the monitor's registry, so a
+        // `--metrics` exposition below carries the fasttrack_profile_*
+        // series as well.
+        out.push_str(&profile.render_text());
+    }
     if let Some(path) = flags.optional("health") {
         let mut json = monitor.summary().to_json();
         json.push('\n');
@@ -340,21 +380,29 @@ pub fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
     monitor.set_channels(channels.max(1));
     // The multi-channel faulted engine has no traced variant, so the
     // health monitor rides along on the single-channel path only.
-    let report = if channels <= 1 {
-        SimSession::new(&cfg)
+    let (report, profile) = if channels <= 1 {
+        let mut session = SimSession::new(&cfg)
             .options(opts)
             .with_faults(&plan)
-            .with_sink(&mut monitor)
+            .with_sink(&mut monitor);
+        if flags.switch("profile") {
+            session = session.with_profile();
+        }
+        session
             .run(&mut src)
-            .map(|o| o.report)
+            .map(|o| (o.report, o.profile))
             .map_err(|e| CliError::Other(e.to_string()))?
     } else {
-        SimSession::new(&cfg)
+        let mut session = SimSession::new(&cfg)
             .options(opts)
             .channels(channels)
-            .with_faults(&plan)
+            .with_faults(&plan);
+        if flags.switch("profile") {
+            session = session.with_profile();
+        }
+        session
             .run(&mut src)
-            .map(|o| o.report)
+            .map(|o| (o.report, o.profile))
             .map_err(|e| CliError::Other(e.to_string()))?
     };
 
@@ -391,6 +439,9 @@ pub fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
             "  conservation: VIOLATED ({} delivered + {} in flight + {} dropped != {} injected)\n",
             report.stats.delivered, report.in_flight, report.stats.dropped, report.stats.injected,
         ));
+    }
+    if let Some(profile) = &profile {
+        out.push_str(&profile.render_text());
     }
     if channels <= 1 {
         out.push_str(&monitor.summary().render_text());
@@ -439,6 +490,19 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     let out_fmt = flags
         .optional("out")
         .unwrap_or(if resume.is_some() { "csv" } else { "table" });
+    let profile = flags.switch("profile");
+    if profile
+        && (resume.is_some()
+            || retries > 0
+            || cycle_budget.is_some()
+            || flags.optional("health").is_some())
+    {
+        return Err(CliError::Other(
+            "--profile times the plain sweep path only (drop \
+             --resume/--retries/--cycle-budget/--health)"
+                .into(),
+        ));
+    }
 
     let grid = match flags.optional("grid") {
         Some(spec) => {
@@ -530,6 +594,13 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
                     "sweep health: {} points ({unhealthy} unhealthy) -> {path}",
                     points.len()
                 );
+                rows
+            }
+            None if profile => {
+                // Timing lives in a stderr sidecar; the rows — and the
+                // CSV bytes — are identical to an unprofiled run.
+                let (rows, timing) = grid.run_timed(threads);
+                eprintln!("{}", timing.render_text());
                 rows
             }
             None => grid.run(threads),
@@ -723,6 +794,169 @@ fn cmd_trace_export(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `profile` — one self-profiled run: the session span tree with
+/// per-phase self time, plus the hot-path counter summary (cycles/sec,
+/// packets/sec, route decisions, pool-slot reuse, deflections).
+///
+/// Defaults to the paper's FT(64,2,2) fabric. `--out <prefix>` writes
+/// `<prefix>.chrome.json` in Chrome trace-event format; `--json` emits
+/// the machine-readable summary instead of the text table.
+pub fn cmd_profile(flags: &Flags) -> Result<String, CliError> {
+    let cfg = parse_noc(flags.optional("noc").unwrap_or("ft:8:2:2"))?;
+    let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+    let rate: f64 = flags.numeric("rate", 0.5)?;
+    let packets: u64 = flags.numeric("packets", 1000)?;
+    let seed: u64 = flags.numeric("seed", 1)?;
+    let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
+    let outcome = SimSession::new(&cfg).with_profile().run(&mut src).unwrap();
+    let profile = outcome
+        .profile
+        .expect("`with_profile` always attaches a profile");
+
+    let chrome_note = match flags.optional("out") {
+        Some(prefix) => {
+            let path = format!("{prefix}.chrome.json");
+            std::fs::write(&path, profile.chrome_trace())
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            Some(format!("chrome trace -> {path}"))
+        }
+        None => None,
+    };
+    if flags.switch("json") {
+        // Keep stdout pure JSON; the file note goes to stderr.
+        if let Some(note) = chrome_note {
+            eprintln!("{note}");
+        }
+        let mut json = profile.to_json();
+        json.push('\n');
+        return Ok(json);
+    }
+    let mut out = render_report(&outcome.report);
+    out.push('\n');
+    out.push_str(&profile.render_text());
+    if let Some(note) = chrome_note {
+        out.push_str(&note);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn snapshot_err(e: SnapshotError) -> CliError {
+    match e {
+        SnapshotError::Io { .. } => CliError::Io(e.to_string()),
+        _ => CliError::Other(e.to_string()),
+    }
+}
+
+fn measure_snapshot(packets: u64) -> BenchSnapshot {
+    let grid = snapshot::hotpath_grid(packets);
+    let m = snapshot::measure_hotpath(&grid);
+    snapshot::snapshot_from(&grid, &m)
+}
+
+fn bench_snapshot(flags: &Flags) -> Result<String, CliError> {
+    let packets: u64 = flags.numeric("packets", 2000)?;
+    let snap = measure_snapshot(packets);
+    let saved = match flags.optional("out") {
+        Some(path) => {
+            snap.save(path).map_err(snapshot_err)?;
+            Some(path.to_string())
+        }
+        None => None,
+    };
+    if flags.switch("json") {
+        if let Some(path) = saved {
+            eprintln!("snapshot -> {path}");
+        }
+        return Ok(snap.to_json());
+    }
+    let mut out = format!(
+        "bench snapshot: commit {}, {} points x {} packets/PE\n  serial {:.3}s, \
+         parallel({}) {:.3}s, lut {:.3}s, direct {:.3}s\n  {} delivered, {:.0} packets/sec\n",
+        snap.commit,
+        snap.grid_points,
+        snap.packets_per_pe,
+        snap.serial_secs,
+        snap.threads,
+        snap.parallel_secs,
+        snap.lut_secs,
+        snap.direct_secs,
+        snap.delivered_packets,
+        snap.packets_per_sec,
+    );
+    if let Some(path) = saved {
+        out.push_str(&format!("  snapshot -> {path}\n"));
+    }
+    Ok(out)
+}
+
+fn bench_diff(flags: &Flags) -> Result<String, CliError> {
+    let baseline = BenchSnapshot::load(flags.required("baseline")?).map_err(snapshot_err)?;
+    let candidate = BenchSnapshot::load(flags.required("candidate")?).map_err(snapshot_err)?;
+    let d = snapshot::diff(&baseline, &candidate).map_err(snapshot_err)?;
+    if flags.switch("json") {
+        let mut json = d.to_json();
+        json.push('\n');
+        Ok(json)
+    } else {
+        Ok(d.render_text())
+    }
+}
+
+fn bench_gate(flags: &Flags) -> Result<String, CliError> {
+    let baseline = BenchSnapshot::load(flags.required("baseline")?).map_err(snapshot_err)?;
+    let tolerance: f64 = flags.numeric("tolerance", 10.0)?;
+    let candidate = match flags.optional("candidate") {
+        Some(path) => BenchSnapshot::load(path).map_err(snapshot_err)?,
+        // No candidate file: measure fresh, on the baseline's own grid
+        // so the fingerprints agree.
+        None => {
+            let packets: u64 = flags.numeric("packets", baseline.packets_per_pe)?;
+            measure_snapshot(packets)
+        }
+    };
+    let result = snapshot::gate(&baseline, &candidate, tolerance).map_err(snapshot_err)?;
+    let verdict = result.render_text();
+    if result.pass {
+        Ok(format!("{verdict}\n"))
+    } else {
+        // A regression is a nonzero exit so CI fails the build.
+        Err(CliError::Other(verdict))
+    }
+}
+
+fn bench_migrate(flags: &Flags) -> Result<String, CliError> {
+    let path = flags.required("file")?;
+    let snap = BenchSnapshot::load(path).map_err(snapshot_err)?;
+    snap.save(path).map_err(snapshot_err)?;
+    Ok(format!(
+        "migrated {path} to schema_version {} ({:.0} packets/sec, grid {})\n",
+        snap.schema_version, snap.packets_per_sec, snap.grid_fingerprint
+    ))
+}
+
+/// `bench` — the tracked bench trajectory: measure a versioned
+/// hot-path snapshot, diff two snapshots, gate a candidate against a
+/// baseline (nonzero exit on regression), or migrate a pre-versioning
+/// snapshot file in place.
+pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(CliError::Other(
+            "bench needs an action: snapshot | diff | gate | migrate".into(),
+        ));
+    };
+    let flags = Flags::parse_with_switches(rest.to_vec(), &["json"])?;
+    match action.as_str() {
+        "snapshot" => bench_snapshot(&flags),
+        "diff" => bench_diff(&flags),
+        "gate" => bench_gate(&flags),
+        "migrate" => bench_migrate(&flags),
+        other => Err(CliError::Other(format!(
+            "unknown bench action {other:?} (expected snapshot, diff, gate, or migrate)"
+        ))),
+    }
+}
+
 /// Dispatches a full argument vector (without the program name).
 ///
 /// # Errors
@@ -733,12 +967,22 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Ok(USAGE.to_string());
     };
-    let flags = Flags::parse(rest.to_vec())?;
+    // `bench` takes an action word before its flags.
+    if command == "bench" {
+        return cmd_bench(rest);
+    }
+    let switches: &[&str] = match command.as_str() {
+        "monitor" | "sweep" | "faults" => &["profile"],
+        "profile" => &["json"],
+        _ => &[],
+    };
+    let flags = Flags::parse_with_switches(rest.to_vec(), switches)?;
     match command.as_str() {
         "simulate" => cmd_simulate(&flags),
         "monitor" => cmd_monitor(&flags),
         "sweep" => cmd_sweep(&flags),
         "faults" => cmd_faults(&flags),
+        "profile" => cmd_profile(&flags),
         "cost" => cmd_cost(&flags),
         "trace" => cmd_trace(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -1090,5 +1334,174 @@ mod tests {
     fn help_and_empty_print_usage() {
         assert!(run(vec![]).unwrap().contains("USAGE"));
         assert!(run(argv("help")).unwrap().contains("EXAMPLES"));
+    }
+
+    #[test]
+    fn profile_emits_span_tree_and_chrome_trace() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("p").display().to_string();
+        // The acceptance workload: an FT(64,2,2) run.
+        let out = run(argv(&format!(
+            "profile --noc ft:8:2:2 --rate 0.3 --packets 50 --out {prefix}"
+        )))
+        .unwrap();
+        assert!(out.contains("FT(64,2,2)"), "{out}");
+        assert!(out.contains("session.drive"), "{out}");
+        assert!(out.contains("cycles/s"), "{out}");
+        assert!(out.contains("route decisions"), "{out}");
+        let chrome = std::fs::read_to_string(format!("{prefix}.chrome.json")).unwrap();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"name\":\"session.drive\""));
+        // --json keeps stdout machine-readable.
+        let json = run(argv("profile --noc hoplite:4 --packets 20 --json")).unwrap();
+        assert!(json.starts_with('{') && json.ends_with('\n'), "{json}");
+        assert!(json.contains("\"schema\":\"fasttrack-profile-v1\""));
+        assert!(json.contains("\"phases\":["));
+    }
+
+    #[test]
+    fn profile_defaults_to_the_paper_fabric() {
+        let out = run(argv("profile --packets 10")).unwrap();
+        assert!(out.contains("FT(64,2,2)"), "{out}");
+    }
+
+    #[test]
+    fn sweep_profile_leaves_csv_byte_identical() {
+        let base = "sweep --grid hoplite:4;random;0.1,0.5 --packets 25 --seed 9 --out csv";
+        let plain = run(argv(base)).unwrap();
+        let profiled = run(argv(&format!("{base} --profile"))).unwrap();
+        assert_eq!(plain, profiled, "--profile must not perturb the CSV");
+        // Timing requires the plain path.
+        assert!(matches!(
+            run(argv(&format!("{base} --profile --retries 1"))),
+            Err(CliError::Other(_))
+        ));
+    }
+
+    #[test]
+    fn monitor_profile_series_ride_the_metrics_exposition() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_monitor_profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.prom").display().to_string();
+        let out = run(argv(&format!(
+            "monitor --noc hoplite:4 --rate 0.1 --packets 20 --snapshot 100000 \
+             --profile --metrics {metrics}"
+        )))
+        .unwrap();
+        assert!(out.contains("session.drive"), "{out}");
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("fasttrack_profile_cycles_per_sec"), "{prom}");
+        assert!(prom.contains("fasttrack_profile_route_decisions_total"));
+        assert!(prom.contains("fasttrack_injected_total"));
+    }
+
+    #[test]
+    fn faults_profile_appends_phase_summary() {
+        let out = run(argv(
+            "faults --noc hoplite:4 --rate 0.2 --packets 20 --dead-links 1 \
+             --fault-seed 3 --profile",
+        ))
+        .unwrap();
+        assert!(out.contains("session.build.fault_validate"), "{out}");
+        assert!(out.contains("conservation: exact"), "{out}");
+    }
+
+    fn snapshot_fixture(pps_scale: f64) -> BenchSnapshot {
+        let grid = snapshot::hotpath_grid(2000);
+        let m = snapshot::HotpathMeasurement {
+            serial_secs: 0.8 / pps_scale,
+            parallel_secs: 0.2,
+            lut_secs: 0.9,
+            direct_secs: 1.1,
+            delivered: 1_024_000,
+        };
+        snapshot::snapshot_from(&grid, &m)
+    }
+
+    #[test]
+    fn bench_diff_and_gate_round_trip() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json").display().to_string();
+        let fast = dir.join("fast.json").display().to_string();
+        let slow = dir.join("slow.json").display().to_string();
+        snapshot_fixture(1.0).save(&base).unwrap();
+        snapshot_fixture(1.05).save(&fast).unwrap();
+        snapshot_fixture(0.85).save(&slow).unwrap();
+
+        let diff = run(argv(&format!(
+            "bench diff --baseline {base} --candidate {fast}"
+        )))
+        .unwrap();
+        assert!(diff.contains("packets_per_sec"), "{diff}");
+        let json = run(argv(&format!(
+            "bench diff --baseline {base} --candidate {fast} --json"
+        )))
+        .unwrap();
+        assert!(json.contains("\"delta_pct\""), "{json}");
+
+        let pass = run(argv(&format!(
+            "bench gate --baseline {base} --candidate {fast} --tolerance 10"
+        )))
+        .unwrap();
+        assert!(pass.contains("PASS"), "{pass}");
+        // An injected 15% slowdown fails the 10% gate with a nonzero
+        // exit (Err -> exit 1 in main).
+        let err = run(argv(&format!(
+            "bench gate --baseline {base} --candidate {slow} --tolerance 10"
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("FAIL"), "{err}");
+    }
+
+    #[test]
+    fn bench_migrate_rewrites_legacy_snapshot() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_bench_migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json").display().to_string();
+        std::fs::write(
+            &path,
+            "{\n  \"bench\": \"sweep_scaling\",\n  \"grid_points\": 8,\n  \
+             \"packets_per_pe\": 2000,\n  \"pre_kernel_serial_secs\": 1.240,\n  \
+             \"serial_secs\": 0.855,\n  \"improvement_vs_pre_kernel\": 1.45,\n  \
+             \"lut_secs\": 0.972,\n  \"direct_secs\": 1.210,\n  \
+             \"lut_vs_direct_speedup\": 1.25,\n  \"parallel8_secs\": 0.946,\n  \
+             \"cores\": 1\n}\n",
+        )
+        .unwrap();
+        let out = run(argv(&format!("bench migrate --file {path}"))).unwrap();
+        assert!(out.contains("schema_version 2"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema_version\": 2"), "{text}");
+        assert!(text.contains("\"commit\": \"unknown\""));
+        assert!(text.contains("\"grid_fingerprint\""));
+        // Migration is idempotent.
+        run(argv(&format!("bench migrate --file {path}"))).unwrap();
+        assert_eq!(text, std::fs::read_to_string(&path).unwrap());
+        // The migrated baseline gates against a current-format snapshot.
+        let cand = dir.join("cand.json").display().to_string();
+        snapshot_fixture(1.0).save(&cand).unwrap();
+        let pass = run(argv(&format!(
+            "bench gate --baseline {path} --candidate {cand} --tolerance 10"
+        )))
+        .unwrap();
+        assert!(pass.contains("PASS"), "{pass}");
+    }
+
+    #[test]
+    fn bench_rejects_bad_invocations() {
+        assert!(matches!(run(argv("bench")), Err(CliError::Other(_))));
+        assert!(matches!(run(argv("bench bogus")), Err(CliError::Other(_))));
+        assert!(matches!(
+            run(argv(
+                "bench diff --baseline /not/here --candidate /not/here"
+            )),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(
+            run(argv("bench gate")),
+            Err(CliError::Args(ArgError::MissingFlag("baseline")))
+        ));
     }
 }

@@ -9,7 +9,15 @@ fn main() {
         Ok(output) => println!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{}", fasttrack_cli::USAGE);
+            // Usage helps with malformed invocations; runtime failures
+            // (a failed regression gate, an I/O error) keep stderr to
+            // the verdict itself.
+            if matches!(
+                e,
+                fasttrack_cli::CliError::Args(_) | fasttrack_cli::CliError::UnknownCommand(_)
+            ) {
+                eprintln!("{}", fasttrack_cli::USAGE);
+            }
             std::process::exit(1);
         }
     }

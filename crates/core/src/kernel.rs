@@ -205,6 +205,12 @@ impl PacketPool {
         self.meta.len() - self.free.len()
     }
 
+    /// Freed slots available for recycling before the pool must grow.
+    #[inline]
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
     /// Drops every packet, keeping allocated capacity for reuse.
     pub fn clear(&mut self) {
         self.dst.clear();

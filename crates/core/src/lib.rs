@@ -59,6 +59,7 @@ pub mod noc;
 pub mod packet;
 pub mod port;
 pub mod probe;
+pub mod profile;
 pub mod queue;
 pub mod realtime;
 pub mod router;
@@ -85,6 +86,9 @@ pub mod prelude {
     pub use crate::packet::{Delivery, Packet, PacketId, PendingPacket};
     pub use crate::port::{InPort, OutPort};
     pub use crate::probe::{PathStep, Probe, TraceSelect};
+    pub use crate::profile::{
+        PhaseStat, ProfileSummary, ScopedSpan, SessionProfile, Span, SpanRecorder, ThreadProfile,
+    };
     pub use crate::queue::InjectQueues;
     pub use crate::sim::{
         drive_engine, SessionBackend, SimEngine, SimOptions, SimOutcome, SimReport, SimSession,

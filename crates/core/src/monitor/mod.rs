@@ -23,7 +23,9 @@ mod registry;
 
 pub use detect::{Anomaly, DetectorConfig, HotspotDetector, LivelockDetector, StarvationDetector};
 pub use recorder::FlightRecorder;
-pub use registry::{Counter, Gauge, LogHistogram, MetricsRegistry, HIST_BUCKETS};
+pub use registry::{
+    escape_help, escape_label_value, Counter, Gauge, LogHistogram, MetricsRegistry, HIST_BUCKETS,
+};
 
 use crate::trace::{EventSink, SimEvent};
 

@@ -310,7 +310,7 @@ impl MetricsRegistry {
         use std::fmt::Write as _;
         let mut out = String::new();
         for m in self.sorted() {
-            let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
             let _ = writeln!(out, "# TYPE {} {}", m.name, m.kind.type_name());
             match &m.kind {
                 MetricKind::Counter(c) => {
@@ -406,6 +406,20 @@ impl MetricsRegistry {
         out.push('}');
         out
     }
+}
+
+/// Escapes a metric HELP string per the Prometheus text exposition
+/// format: backslash and newline must be escaped (`\\` and `\n`).
+pub fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and newline must be escaped.
+pub fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -510,5 +524,77 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("x", "");
         reg.gauge("x", "");
+    }
+
+    #[test]
+    fn help_text_is_escaped_in_exposition() {
+        let reg = MetricsRegistry::new();
+        reg.counter("evil_total", "line one\nline two \\ backslash")
+            .inc();
+        let text = reg.to_prometheus();
+        assert!(text.contains("# HELP evil_total line one\\nline two \\\\ backslash"));
+        // The raw newline must not split the HELP line: every line of
+        // the exposition is a comment or a sample.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("evil_total"),
+                "unexpected exposition line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_help("a\"b"), "a\"b", "quotes are legal in HELP");
+    }
+
+    #[test]
+    fn exposition_ends_with_single_trailing_newline() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", "help").inc();
+        reg.histogram("h_cycles", "help").record(3);
+        let text = reg.to_prometheus();
+        assert!(text.ends_with('\n'));
+        assert!(!text.ends_with("\n\n"));
+    }
+
+    #[test]
+    fn help_precedes_type_precedes_samples_for_each_metric() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "a").inc();
+        reg.gauge("b_ratio", "b").set(0.5);
+        reg.histogram("c_latency", "c").record(9);
+        let text = reg.to_prometheus();
+        for name in ["a_total", "b_ratio", "c_latency"] {
+            let help = text.find(&format!("# HELP {name} ")).unwrap();
+            let ty = text.find(&format!("# TYPE {name} ")).unwrap();
+            let sample = text
+                .lines()
+                .position(|l| l.starts_with(name))
+                .map(|i| text.lines().take(i).map(|l| l.len() + 1).sum::<usize>())
+                .unwrap();
+            assert!(help < ty, "{name}: HELP must precede TYPE");
+            assert!(ty < sample, "{name}: TYPE must precede samples");
+        }
+    }
+
+    #[test]
+    fn metric_ordering_is_stable_across_registration_order() {
+        let a = MetricsRegistry::new();
+        a.counter("zz_total", "z").add(1);
+        a.gauge("aa_ratio", "a").set(1.0);
+        a.histogram("mm_latency", "m").record(2);
+        let b = MetricsRegistry::new();
+        b.histogram("mm_latency", "m").record(2);
+        b.gauge("aa_ratio", "a").set(1.0);
+        b.counter("zz_total", "z").add(1);
+        assert_eq!(
+            a.to_prometheus(),
+            b.to_prometheus(),
+            "exposition must not depend on registration order"
+        );
     }
 }

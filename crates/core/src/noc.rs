@@ -114,7 +114,10 @@ impl Noc {
         }
         let depth = cfg.link_pipeline().max_cycles() as usize;
         let lut = match mode {
-            RouteMode::Lut => Some(RouteLut::build(&cfg)),
+            RouteMode::Lut => {
+                let _span = crate::profile::scoped("session.build.route_lut");
+                Some(RouteLut::build(&cfg))
+            }
             RouteMode::Direct => None,
         };
         Noc {
@@ -188,9 +191,13 @@ impl Noc {
     /// express-only, nodes in range, windows non-empty). An empty plan
     /// yields an engine bit-identical to [`Noc::new`].
     pub fn with_faults(cfg: NocConfig, plan: &FaultPlan) -> Result<Self, FaultError> {
-        plan.validate(&cfg)?;
+        {
+            let _span = crate::profile::scoped("session.build.fault_validate");
+            plan.validate(&cfg)?;
+        }
         let mut noc = Noc::new(cfg);
         if !plan.is_empty() {
+            let _span = crate::profile::scoped("session.build.fault_compile");
             noc.faults = Some(plan.compile(noc.cfg.num_nodes()));
         }
         Ok(noc)
@@ -423,6 +430,7 @@ impl Noc {
                 let mut pkt = *self.pool.get(idx);
                 taken[n_taken] = out;
                 n_taken += 1;
+                self.stats.route_decisions += 1;
                 if let Some(probe) = self.probe.as_mut() {
                     probe.record(self.cycle, node, at, pkt.id, out);
                 }
@@ -541,6 +549,7 @@ impl Noc {
                             );
                             pkt.injected_at = self.cycle;
                             self.stats.injected += 1;
+                            self.stats.route_decisions += 1;
                             if let Some(probe) = self.probe.as_mut() {
                                 probe.record(self.cycle, node, at, pkt.id, out);
                             }
@@ -606,6 +615,9 @@ impl Noc {
                                             packet: pkt.id,
                                             span: d,
                                         });
+                                    }
+                                    if self.pool.free_slots() > 0 {
+                                        self.stats.pool_reuse += 1;
                                     }
                                     let idx = self.pool.insert(pkt);
                                     self.forward(idx, &mut pkt, at, out, n, d, sink);

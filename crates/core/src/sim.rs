@@ -33,10 +33,12 @@
 use crate::config::NocConfig;
 use crate::fault::{FaultError, FaultPlan};
 use crate::kernel::RouteMode;
+use crate::monitor::MetricsRegistry;
 use crate::monitor::{HealthMonitor, MonitorConfig};
 use crate::multichannel::MultiNoc;
 use crate::noc::Noc;
 use crate::packet::Delivery;
+use crate::profile::{self, EventCounter, SessionProfile};
 use crate::queue::InjectQueues;
 use crate::stats::SimStats;
 use crate::trace::{EventSink, NullSink, SimEvent};
@@ -510,6 +512,9 @@ pub struct SimOutcome {
     pub report: SimReport,
     /// The health monitor, when the session attached one.
     pub monitor: Option<HealthMonitor>,
+    /// The profiling artifact, when the session attached
+    /// [`SimSession::with_profile`].
+    pub profile: Option<SessionProfile>,
 }
 
 impl SimOutcome {
@@ -551,6 +556,7 @@ pub struct SimSession<'s, B: SessionBackend, K: EventSink = NullSink> {
     faults: Option<FaultPlan>,
     monitor: Option<MonitorConfig>,
     sink: Option<&'s mut K>,
+    profile: bool,
 }
 
 impl SimSession<'static, TorusBackend> {
@@ -569,6 +575,7 @@ impl<B: SessionBackend> SimSession<'static, B> {
             faults: None,
             monitor: None,
             sink: None,
+            profile: false,
         }
     }
 }
@@ -617,7 +624,22 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
             faults: self.faults,
             monitor: self.monitor,
             sink: Some(sink),
+            profile: self.profile,
         }
+    }
+
+    /// Attaches the self-profiler: the run records lifecycle spans
+    /// (build, drive, collect), derives throughput rates, and returns a
+    /// [`SessionProfile`] in the [`SimOutcome`]. When a monitor is also
+    /// attached, the profile's `fasttrack_profile_*` cells are published
+    /// into the monitor's [`MetricsRegistry`] so they ride the same
+    /// Prometheus/JSON exposition. Profiling observes the run without
+    /// perturbing it — the report and event stream are identical to an
+    /// unprofiled session's. Sessions without this call take the exact
+    /// pre-profiling code path (statically zero-cost).
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
     }
 
     fn make_monitor(&self) -> Option<HealthMonitor> {
@@ -636,6 +658,9 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
     /// validation; sessions without [`SimSession::with_faults`] always
     /// succeed.
     pub fn run<T: TrafficSource>(mut self, source: &mut T) -> Result<SimOutcome, FaultError> {
+        if self.profile {
+            return self.run_profiled(source);
+        }
         let mut engine = self.backend.build(self.faults.as_ref())?;
         let mut monitor = self.make_monitor();
         let report = dispatch(
@@ -645,7 +670,45 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
             self.sink.as_deref_mut(),
             monitor.as_mut(),
         );
-        Ok(SimOutcome { report, monitor })
+        Ok(SimOutcome {
+            report,
+            monitor,
+            profile: None,
+        })
+    }
+
+    /// The profiled twin of [`SimSession::run`]: identical engine work
+    /// wrapped in lifecycle spans, with event dispatch accounted by an
+    /// [`EventCounter`] teed into the sink fan-out.
+    fn run_profiled<T: TrafficSource>(mut self, source: &mut T) -> Result<SimOutcome, FaultError> {
+        let tp = profile::ThreadProfile::begin();
+        let session_span = profile::scoped("session");
+        let mut engine = {
+            let _build = profile::scoped("session.build");
+            self.backend.build(self.faults.as_ref())?
+        };
+        let mut monitor = self.make_monitor();
+        let mut counter = EventCounter::default();
+        let report = {
+            let _drive = profile::scoped("session.drive");
+            dispatch_profiled(
+                &mut engine,
+                source,
+                self.opts,
+                self.sink.as_deref_mut(),
+                monitor.as_mut(),
+                &mut counter,
+            )
+        };
+        drop(session_span);
+        let spans = tp.finish();
+        let registry = registry_for(monitor.as_ref());
+        let profile = SessionProfile::assemble(spans, &report, counter.events, registry);
+        Ok(SimOutcome {
+            report,
+            monitor,
+            profile: Some(profile),
+        })
     }
 
     /// Drives one run per seed against a single engine, resetting it
@@ -663,7 +726,11 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
         T: TrafficSource,
         F: FnMut(u64) -> T,
     {
-        let mut engine = self.backend.build(self.faults.as_ref())?;
+        let mut tp = self.profile.then(profile::ThreadProfile::begin);
+        let mut engine = {
+            let _build = self.profile.then(|| profile::scoped("session.build"));
+            self.backend.build(self.faults.as_ref())?
+        };
         let mut outcomes = Vec::with_capacity(seeds.len());
         for (i, &seed) in seeds.iter().enumerate() {
             if i > 0 {
@@ -671,15 +738,48 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
             }
             let mut source = mk_source(seed);
             let mut monitor = self.make_monitor();
-            let report = dispatch(
-                &mut engine,
-                &mut source,
-                self.opts,
-                self.sink.as_deref_mut(),
-                monitor.as_mut(),
-            );
-            outcomes.push(SimOutcome { report, monitor });
+            if self.profile {
+                // Each run gets its own profile; the first one carries
+                // the amortized `session.build` span.
+                if tp.is_none() {
+                    tp = Some(profile::ThreadProfile::begin());
+                }
+                let mut counter = EventCounter::default();
+                let report = {
+                    let _drive = profile::scoped("session.drive");
+                    dispatch_profiled(
+                        &mut engine,
+                        &mut source,
+                        self.opts,
+                        self.sink.as_deref_mut(),
+                        monitor.as_mut(),
+                        &mut counter,
+                    )
+                };
+                let spans = tp.take().expect("profiling active").finish();
+                let registry = registry_for(monitor.as_ref());
+                let profile = SessionProfile::assemble(spans, &report, counter.events, registry);
+                outcomes.push(SimOutcome {
+                    report,
+                    monitor,
+                    profile: Some(profile),
+                });
+            } else {
+                let report = dispatch(
+                    &mut engine,
+                    &mut source,
+                    self.opts,
+                    self.sink.as_deref_mut(),
+                    monitor.as_mut(),
+                );
+                outcomes.push(SimOutcome {
+                    report,
+                    monitor,
+                    profile: None,
+                });
+            }
         }
+        drop(tp);
         Ok(outcomes)
     }
 }
@@ -718,6 +818,32 @@ fn dispatch<E: SimEngine, T: TrafficSource, K: EventSink>(
         (None, Some(m)) => drive_engine(engine, source, opts, m),
         (Some(s), Some(m)) => drive_engine(engine, source, opts, &mut (s, m)),
     }
+}
+
+/// [`dispatch`] with an [`EventCounter`] teed into every combination, so
+/// profiled runs account dispatch volume without timing individual
+/// events. The counter is an extra tuple element, not a wrapper: the
+/// engine's `S::ENABLED` specialization sees the same sink topology.
+fn dispatch_profiled<E: SimEngine, T: TrafficSource, K: EventSink>(
+    engine: &mut E,
+    source: &mut T,
+    opts: SimOptions,
+    sink: Option<&mut K>,
+    monitor: Option<&mut HealthMonitor>,
+    counter: &mut EventCounter,
+) -> SimReport {
+    match (sink, monitor) {
+        (None, None) => drive_engine(engine, source, opts, counter),
+        (Some(s), None) => drive_engine(engine, source, opts, &mut (s, counter)),
+        (None, Some(m)) => drive_engine(engine, source, opts, &mut (m, counter)),
+        (Some(s), Some(m)) => drive_engine(engine, source, opts, &mut (s, m, counter)),
+    }
+}
+
+/// The registry profile cells publish into: the monitor's when one is
+/// attached (shared exposition), a fresh one otherwise.
+fn registry_for(monitor: Option<&HealthMonitor>) -> MetricsRegistry {
+    monitor.map(|m| m.registry().clone()).unwrap_or_default()
 }
 
 fn no_faults(outcome: Result<SimOutcome, FaultError>) -> SimOutcome {
@@ -1086,6 +1212,7 @@ mod tests {
             SimOutcome {
                 report: SimReport::default(),
                 monitor: None,
+                profile: None,
             }
             .into_monitored()
         });

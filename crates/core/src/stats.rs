@@ -260,6 +260,12 @@ pub struct SimStats {
     /// Routing decisions that steered a packet away from a dead express
     /// link onto the plain ring (graceful degradation, not a loss).
     pub rerouted: u64,
+    /// Output-port decisions made for packets (in-flight allocations plus
+    /// accepted injections) — the LUT/direct route-resolution workload.
+    pub route_decisions: u64,
+    /// Packet-pool insertions that reused a previously freed slot instead
+    /// of growing the pool (allocator recycling efficiency).
+    pub pool_reuse: u64,
 }
 
 impl SimStats {
@@ -280,6 +286,8 @@ impl SimStats {
         self.injection_stalls += other.injection_stalls;
         self.dropped += other.dropped;
         self.rerouted += other.rerouted;
+        self.route_decisions += other.route_decisions;
+        self.pool_reuse += other.pool_reuse;
     }
 }
 
