@@ -1,0 +1,679 @@
+//! Seeded scenario fuzzer: randomized traffic × topology × fault-plan
+//! search with delta-minimized, replayable failures.
+//!
+//! Each iteration draws one scenario from a SplitMix64 stream keyed by
+//! [`point_seed`] — the same per-point seeding discipline as `sweep` —
+//! runs it through a [`SimSession`] under a [`RecordingSource`], and
+//! classifies the outcome:
+//!
+//! * **Panic** — the engine panicked (caught per-point, like the
+//!   crash-safe sweep path).
+//! * **Conservation** — `delivered + in_flight + dropped != injected`,
+//!   an engine bug by definition.
+//! * **Livelock** — the health monitor flagged a circling packet, or
+//!   the run hit its cycle budget (saturation/livelock at the driver
+//!   level). The Inject-policy dead-express-link orbit PR 4 found by
+//!   hand lands here when the stranded-packet fix is removed.
+//! * **StrandedDrop** — an Inject-policy run whose only faults are
+//!   dead links still dropped packets: each drop is a lane-locked
+//!   packet that would orbit forever without the PR-4 fix, i.e. the
+//!   fuzzer re-finding that livelock class as its graceful signature.
+//!
+//! Because iterations fan out on the deterministic work-stealing pool
+//! and every scenario is a pure function of `point_seed(seed, index)`,
+//! the outcome is identical at any `--threads`. The first failure of
+//! each class is delta-minimized (ddmin over the realized message
+//! schedule, then greedy fault removal) into a self-contained
+//! [`ScenarioTrace`] whose header carries the expected outcome.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_core::fault::{Fault, FaultPlan, FaultSpec};
+use fasttrack_core::monitor::{Anomaly, MonitorConfig};
+use fasttrack_core::sim::{SimSession, TrafficSource};
+use fasttrack_core::sweep::{point_seed, splitmix64, sweep};
+use fasttrack_traffic::adversarial::{BurstySource, PermutationSource};
+use fasttrack_traffic::pattern::Pattern;
+use fasttrack_traffic::scenario::{
+    Expectation, RecordingSource, ReplaySource, ScenarioHeader, ScenarioRecord, ScenarioTrace,
+};
+use fasttrack_traffic::source::BernoulliSource;
+
+/// Fuzzer configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Scenarios to run.
+    pub iters: u64,
+    /// Base seed; everything else derives from it.
+    pub seed: u64,
+    /// Worker threads for the scenario fan-out.
+    pub threads: usize,
+    /// Per-scenario cycle budget (hitting it classifies as livelock /
+    /// saturation).
+    pub max_cycles: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            iters: 100,
+            seed: 0,
+            threads: 1,
+            max_cycles: 30_000,
+        }
+    }
+}
+
+/// What kind of failure a scenario produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// The engine panicked.
+    Panic,
+    /// `delivered + in_flight + dropped != injected`.
+    Conservation,
+    /// Monitor-flagged livelock, or the cycle budget was exhausted.
+    Livelock,
+    /// Inject-policy packets dropped at dead links — the gracefully
+    /// degraded form of the PR-4 lane-locked orbit.
+    StrandedDrop,
+}
+
+impl FailureClass {
+    /// Stable lowercase tag (used in corpus file names).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FailureClass::Panic => "panic",
+            FailureClass::Conservation => "conservation",
+            FailureClass::Livelock => "livelock",
+            FailureClass::StrandedDrop => "stranded_drop",
+        }
+    }
+
+    /// Whether this class indicates an engine bug (nonzero exit) as
+    /// opposed to an expected adversarial finding worth archiving.
+    pub fn is_bug(self) -> bool {
+        matches!(self, FailureClass::Panic | FailureClass::Conservation)
+    }
+}
+
+/// One minimized failure.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Iteration index that first hit this class.
+    pub index: u64,
+    /// The failure class.
+    pub class: FailureClass,
+    /// Human-readable one-line description.
+    pub summary: String,
+    /// Self-contained minimized scenario (empty records for panics the
+    /// recorder could not observe).
+    pub trace: ScenarioTrace,
+    /// Records before minimization.
+    pub original_records: usize,
+}
+
+/// The fuzzer's aggregate result.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Scenarios executed.
+    pub iters: u64,
+    /// First failure found per class, minimized, in index order.
+    pub failures: Vec<FuzzFailure>,
+    /// Total failing iterations (before per-class dedup).
+    pub failing_iters: u64,
+}
+
+impl FuzzOutcome {
+    /// True when no scenario failed at all.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// True when a bug-class failure (panic / conservation) was found.
+    pub fn found_bug(&self) -> bool {
+        self.failures.iter().any(|f| f.class.is_bug())
+    }
+}
+
+/// Traffic shape of one drawn scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrafficKind {
+    Bernoulli,
+    Bursty,
+    Permutation,
+    Hotspot,
+}
+
+/// One drawn scenario — a pure function of its seed.
+#[derive(Debug, Clone)]
+struct Scenario {
+    spec: String,
+    cfg: NocConfig,
+    traffic: TrafficKind,
+    rate_milli: u64,
+    packets_per_pe: u64,
+    traffic_seed: u64,
+    fault_seed: u64,
+    fault_spec: FaultSpec,
+    max_cycles: u64,
+}
+
+/// Counter-mode SplitMix64 draw stream.
+struct Stream {
+    seed: u64,
+    counter: u64,
+}
+
+impl Stream {
+    fn new(seed: u64) -> Self {
+        Stream { seed, counter: 0 }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.counter += 1;
+        splitmix64(self.seed ^ self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform draw in `0..bound` (bound > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Valid `(d, r)` pairs for an `n × n` FastTrack torus
+/// (`1 ≤ d ≤ n/2`, `1 ≤ r ≤ d`, `d % r == 0`, `n % r == 0` so the
+/// depopulated express routers tile the ring).
+fn valid_dr(n: u16) -> Vec<(u16, u16)> {
+    let mut pairs = Vec::new();
+    for d in 1..=n / 2 {
+        for r in 1..=d {
+            if d.is_multiple_of(r) && n.is_multiple_of(r) {
+                pairs.push((d, r));
+            }
+        }
+    }
+    pairs
+}
+
+fn draw_scenario(seed: u64, max_cycles: u64) -> Scenario {
+    let mut s = Stream::new(seed);
+    let n: u16 = if s.below(2) == 0 { 4 } else { 8 };
+    let (spec, cfg) = if s.below(4) == 0 {
+        (format!("hoplite:{n}"), NocConfig::hoplite(n).unwrap())
+    } else {
+        let pairs = valid_dr(n);
+        let (d, r) = pairs[s.below(pairs.len() as u64) as usize];
+        let policy = if s.below(2) == 0 {
+            FtPolicy::Full
+        } else {
+            FtPolicy::Inject
+        };
+        let prefix = match policy {
+            FtPolicy::Full => "ft",
+            FtPolicy::Inject => "ftlite",
+        };
+        (
+            format!("{prefix}:{n}:{d}:{r}"),
+            NocConfig::fasttrack(n, d, r, policy).unwrap(),
+        )
+    };
+    let traffic = match s.below(4) {
+        0 => TrafficKind::Bernoulli,
+        1 => TrafficKind::Bursty,
+        2 => TrafficKind::Permutation,
+        _ => TrafficKind::Hotspot,
+    };
+    let rate_milli = 50 + s.below(951); // 0.05 ..= 1.0
+    let packets_per_pe = 3 + s.below(20);
+    let traffic_seed = s.next();
+    let fault_seed = s.next();
+    let fault_spec = FaultSpec {
+        dead_links: s.below(3) as usize,
+        transient_links: s.below(3) as usize,
+        fail_stop_routers: s.below(2) as usize,
+        stalled_injectors: s.below(2) as usize,
+        window: (0, 300 + s.below(300)),
+    };
+    Scenario {
+        spec,
+        cfg,
+        traffic,
+        rate_milli,
+        packets_per_pe,
+        traffic_seed,
+        fault_seed,
+        fault_spec,
+        max_cycles,
+    }
+}
+
+impl Scenario {
+    fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::random(&self.cfg, self.fault_seed, &self.fault_spec)
+    }
+
+    fn source(&self) -> Box<dyn TrafficSource + Send> {
+        let n = self.cfg.n();
+        let rate = self.rate_milli as f64 / 1000.0;
+        match self.traffic {
+            TrafficKind::Bernoulli => Box::new(BernoulliSource::new(
+                n,
+                Pattern::Random,
+                rate,
+                self.packets_per_pe,
+                self.traffic_seed,
+            )),
+            TrafficKind::Bursty => Box::new(BurstySource::new(
+                n,
+                Pattern::Random,
+                rate,
+                16.0,
+                48.0,
+                self.packets_per_pe,
+                self.traffic_seed,
+            )),
+            TrafficKind::Permutation => {
+                let (d, r) = (self.cfg.d(), self.cfg.r());
+                Box::new(PermutationSource::new(
+                    n,
+                    d.max(1),
+                    r.max(1),
+                    self.packets_per_pe,
+                ))
+            }
+            TrafficKind::Hotspot => Box::new(BernoulliSource::new(
+                n,
+                Pattern::Hotspot { percent: 60 },
+                rate,
+                self.packets_per_pe,
+                self.traffic_seed,
+            )),
+        }
+    }
+
+    fn traffic_name(&self) -> &'static str {
+        match self.traffic {
+            TrafficKind::Bernoulli => "bernoulli",
+            TrafficKind::Bursty => "bursty",
+            TrafficKind::Permutation => "permutation",
+            TrafficKind::Hotspot => "hotspot",
+        }
+    }
+}
+
+/// Outcome of running one scenario (or one replay probe).
+#[derive(Debug, Clone)]
+struct RunVerdict {
+    class: Option<FailureClass>,
+    expect: Expectation,
+    detail: String,
+}
+
+/// Runs `source` under the scenario's session and classifies the result.
+fn classify_run<T: TrafficSource>(
+    scenario: &Scenario,
+    plan: &FaultPlan,
+    source: &mut T,
+) -> RunVerdict {
+    let outcome = SimSession::new(&scenario.cfg)
+        .max_cycles(scenario.max_cycles)
+        .with_faults(plan)
+        .with_monitor(MonitorConfig::default())
+        .run(source)
+        .expect("randomly drawn fault plans are valid by construction");
+    let report = &outcome.report;
+    let monitor = outcome.monitor.as_ref().expect("monitor attached");
+    let expect = Expectation {
+        delivered: report.stats.delivered,
+        cycles: report.cycles,
+        dropped: report.stats.dropped,
+        truncated: report.truncated,
+    };
+    let monitor_livelock = monitor
+        .reports()
+        .iter()
+        .any(|r| matches!(r.anomaly, Anomaly::Livelock { .. }));
+    let class = if !report.conserved() {
+        Some(FailureClass::Conservation)
+    } else if report.truncated || monitor_livelock {
+        Some(FailureClass::Livelock)
+    } else if scenario.cfg.ft_policy() == Some(FtPolicy::Inject)
+        && report.stats.dropped > 0
+        && !plan.is_empty()
+        && plan
+            .faults()
+            .iter()
+            .all(|f| matches!(f, Fault::DeadLink { .. }))
+    {
+        Some(FailureClass::StrandedDrop)
+    } else {
+        None
+    };
+    let detail = match class {
+        Some(FailureClass::Conservation) => format!(
+            "injected {} != delivered {} + in_flight {} + dropped {}",
+            report.stats.injected, report.stats.delivered, report.in_flight, report.stats.dropped
+        ),
+        Some(FailureClass::Livelock) => {
+            if monitor_livelock {
+                "monitor flagged a circling packet".to_string()
+            } else {
+                format!("cycle budget {} exhausted", scenario.max_cycles)
+            }
+        }
+        Some(FailureClass::StrandedDrop) => format!(
+            "{} packet(s) dropped at dead links under Inject policy (lane-locked orbit class)",
+            report.stats.dropped
+        ),
+        _ => String::new(),
+    };
+    RunVerdict {
+        class,
+        expect,
+        detail,
+    }
+}
+
+/// Replays `records` against the scenario under `plan` and reports
+/// whether the same failure class reproduces (with the resulting
+/// expectation when it does).
+fn probe(
+    scenario: &Scenario,
+    plan: &FaultPlan,
+    records: &[ScenarioRecord],
+    class: FailureClass,
+) -> Option<Expectation> {
+    let scenario = scenario.clone();
+    let plan = plan.clone();
+    let records = records.to_vec();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut source = ReplaySource::new(scenario.cfg.n(), records);
+        classify_run(&scenario, &plan, &mut source)
+    }));
+    match result {
+        Err(_) => (class == FailureClass::Panic).then(Expectation::default),
+        Ok(verdict) => (verdict.class == Some(class)).then_some(verdict.expect),
+    }
+}
+
+/// ddmin-style reduction of the message schedule: repeatedly try to
+/// delete contiguous chunks (halving the chunk size each round) while
+/// the failure class keeps reproducing.
+fn minimize_records(
+    scenario: &Scenario,
+    plan: &FaultPlan,
+    records: &[ScenarioRecord],
+    class: FailureClass,
+) -> Vec<ScenarioRecord> {
+    let mut current = records.to_vec();
+    let mut chunk = (current.len() / 2).max(1);
+    while chunk >= 1 && !current.is_empty() {
+        let mut start = 0;
+        let mut progressed = false;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && probe(scenario, plan, &candidate, class).is_some() {
+                current = candidate;
+                progressed = true;
+                // Retry the same offset: the next chunk slid into it.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !progressed {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    current
+}
+
+/// Greedy fault-plan reduction: drop each fault (last to first) that
+/// the failure does not need.
+fn minimize_faults(
+    scenario: &Scenario,
+    plan: &FaultPlan,
+    records: &[ScenarioRecord],
+    class: FailureClass,
+) -> FaultPlan {
+    let mut faults: Vec<Fault> = plan.faults().to_vec();
+    let mut i = faults.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate: Vec<Fault> = faults.clone();
+        candidate.remove(i);
+        let cand_plan = candidate.iter().fold(FaultPlan::new(), |p, f| p.with(*f));
+        if probe(scenario, &cand_plan, records, class).is_some() {
+            faults = candidate;
+        }
+    }
+    faults.into_iter().fold(FaultPlan::new(), |p, f| p.with(f))
+}
+
+/// Result of one fuzz iteration, as returned from the pool.
+struct PointResult {
+    index: u64,
+    class: Option<FailureClass>,
+    detail: String,
+    records: Vec<ScenarioRecord>,
+}
+
+/// Runs the fuzzer.
+///
+/// Deterministic for a fixed `(iters, seed, max_cycles)` at any thread
+/// count: scenario draws are keyed by [`point_seed`], results are
+/// collected in index order, and minimization is sequential.
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
+    let max_cycles = cfg.max_cycles;
+    let base_seed = cfg.seed;
+    let indices: Vec<u64> = (0..cfg.iters).collect();
+    let points: Vec<PointResult> = sweep(indices, cfg.threads, move |_, index| {
+        let scenario = draw_scenario(point_seed(base_seed, index as usize), max_cycles);
+        let plan = scenario.fault_plan();
+        let mut recording = RecordingSource::new(scenario.cfg.n(), scenario.source());
+        let verdict = catch_unwind(AssertUnwindSafe(|| {
+            classify_run(&scenario, &plan, &mut recording)
+        }));
+        let (class, detail) = match &verdict {
+            Err(_) => (Some(FailureClass::Panic), "engine panicked".to_string()),
+            Ok(v) => (v.class, v.detail.clone()),
+        };
+        PointResult {
+            index,
+            class,
+            detail,
+            records: if class.is_some() {
+                recording.records().to_vec()
+            } else {
+                Vec::new()
+            },
+        }
+    });
+
+    let failing_iters = points.iter().filter(|p| p.class.is_some()).count() as u64;
+    let mut failures: Vec<FuzzFailure> = Vec::new();
+    for point in points {
+        let Some(class) = point.class else { continue };
+        if failures.iter().any(|f| f.class == class) {
+            continue;
+        }
+        let scenario = draw_scenario(point_seed(base_seed, point.index as usize), max_cycles);
+        let plan = scenario.fault_plan();
+        let original_records = point.records.len();
+
+        // Minimize: messages first (the bulk), then the fault plan.
+        let (records, plan, expect) = if probe(&scenario, &plan, &point.records, class).is_some() {
+            let records = minimize_records(&scenario, &plan, &point.records, class);
+            let plan = minimize_faults(&scenario, &plan, &records, class);
+            let expect = probe(&scenario, &plan, &records, class)
+                .expect("minimized scenario must still reproduce");
+            (records, plan, expect)
+        } else {
+            // The failure does not reproduce open-loop (e.g. a panic
+            // mid-pump): archive the un-minimized schedule as-is.
+            (point.records.clone(), plan, Expectation::default())
+        };
+
+        let mut header = ScenarioHeader::new(&scenario.spec, "fuzz");
+        header.max_cycles = scenario.max_cycles;
+        header.faults = plan.faults().to_vec();
+        header.expect = Some(expect);
+        let summary = format!(
+            "iter {}: {} [{} traffic on {}, {} faults, {} -> {} msgs] {}",
+            point.index,
+            class.tag(),
+            scenario.traffic_name(),
+            scenario.spec,
+            header.faults.len(),
+            original_records,
+            records.len(),
+            point.detail,
+        );
+        failures.push(FuzzFailure {
+            index: point.index,
+            class,
+            summary,
+            trace: ScenarioTrace::new(header, records),
+            original_records,
+        });
+    }
+
+    FuzzOutcome {
+        iters: cfg.iters,
+        failures,
+        failing_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_draw_is_seed_deterministic() {
+        let a = draw_scenario(42, 30_000);
+        let b = draw_scenario(42, 30_000);
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.fault_seed, b.fault_seed);
+        let c = draw_scenario(43, 30_000);
+        // Different seeds should (overwhelmingly) differ somewhere.
+        assert!(
+            a.spec != c.spec
+                || a.traffic != c.traffic
+                || a.traffic_seed != c.traffic_seed
+                || a.fault_seed != c.fault_seed
+        );
+    }
+
+    #[test]
+    fn valid_dr_respects_constraints() {
+        for n in [4u16, 8] {
+            for (d, r) in valid_dr(n) {
+                assert!(d >= 1 && d <= n / 2 && r >= 1 && r <= d && d % r == 0 && n % r == 0);
+                assert!(NocConfig::fasttrack(n, d, r, FtPolicy::Full).is_ok());
+            }
+        }
+        assert!(!valid_dr(4).is_empty());
+    }
+
+    #[test]
+    fn small_fuzz_runs_clean_of_bugs() {
+        let outcome = fuzz(&FuzzConfig {
+            iters: 40,
+            seed: 11,
+            threads: 2,
+            max_cycles: 30_000,
+        });
+        assert_eq!(outcome.iters, 40);
+        // Adversarial findings (livelock/saturation, stranded drops)
+        // are allowed; engine bugs are not.
+        assert!(!outcome.found_bug(), "{:#?}", outcome.failures);
+    }
+
+    #[test]
+    fn fuzz_is_thread_count_invariant() {
+        let run = |threads| {
+            fuzz(&FuzzConfig {
+                iters: 60,
+                seed: 7,
+                threads,
+                max_cycles: 30_000,
+            })
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        let digest = |o: &FuzzOutcome| {
+            (
+                o.failing_iters,
+                o.failures
+                    .iter()
+                    .map(|f| (f.index, f.class, f.trace.encode()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(digest(&one), digest(&two));
+        assert_eq!(digest(&one), digest(&eight));
+    }
+
+    #[test]
+    fn fuzzer_refinds_the_inject_livelock_class() {
+        // Force the PR-4 scenario family directly: Inject policy,
+        // dead express links only. The fuzzer's general loop draws
+        // this family too; here we assert the classifier + minimizer
+        // turn it into a replayable corpus entry.
+        // A stranded drop needs a packet whose express route crosses a
+        // dead express link, so (like the fuzzer's main loop) we scan
+        // seeds until the class fires.
+        let mut found = None;
+        for fault_seed in 0..200u64 {
+            let scenario = Scenario {
+                spec: "ftlite:8:4:1".to_string(),
+                cfg: NocConfig::fasttrack(8, 4, 1, FtPolicy::Inject).unwrap(),
+                traffic: TrafficKind::Bernoulli,
+                rate_milli: 800,
+                packets_per_pe: 12,
+                traffic_seed: 0xFA17 ^ fault_seed,
+                fault_seed,
+                fault_spec: FaultSpec {
+                    dead_links: 6,
+                    transient_links: 0,
+                    fail_stop_routers: 0,
+                    stalled_injectors: 0,
+                    window: (0, 400),
+                },
+                max_cycles: 30_000,
+            };
+            let plan = scenario.fault_plan();
+            let mut recording = RecordingSource::new(scenario.cfg.n(), scenario.source());
+            let verdict = classify_run(&scenario, &plan, &mut recording);
+            if verdict.class == Some(FailureClass::StrandedDrop) {
+                found = Some((scenario, plan, recording));
+                break;
+            }
+        }
+        let (scenario, plan, recording) =
+            found.expect("no stranded drop in 200 fault seeds — classifier or fix regressed");
+        let records = recording.into_records();
+        let minimized = minimize_records(&scenario, &plan, &records, FailureClass::StrandedDrop);
+        assert!(!minimized.is_empty() && minimized.len() <= records.len());
+        let plan = minimize_faults(&scenario, &plan, &minimized, FailureClass::StrandedDrop);
+        let expect = probe(&scenario, &plan, &minimized, FailureClass::StrandedDrop)
+            .expect("minimized stranded-drop scenario must reproduce");
+        assert!(expect.dropped > 0);
+        assert!(!expect.truncated, "run must terminate (no orbit)");
+        // And the minimized trace round-trips through the v1 format.
+        let mut header = ScenarioHeader::new(&scenario.spec, "fuzz");
+        header.max_cycles = scenario.max_cycles;
+        header.faults = plan.faults().to_vec();
+        header.expect = Some(expect);
+        let trace = ScenarioTrace::new(header, minimized);
+        let decoded = ScenarioTrace::decode(&trace.encode()).unwrap();
+        assert_eq!(decoded, trace);
+    }
+}

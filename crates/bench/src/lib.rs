@@ -10,11 +10,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod journal;
 pub mod runner;
 pub mod snapshot;
 pub mod table;
 
+pub use fuzz::{fuzz, FailureClass, FuzzConfig, FuzzFailure, FuzzOutcome};
 pub use journal::{grid_fingerprint, run_journaled, JournalError, SweepJournal, SweepOutcome};
 pub use runner::{
     packets_per_pe, parallel_map, quick_mode, run_pattern, run_point, speedup, sweep_csv,

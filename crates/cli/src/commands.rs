@@ -1,6 +1,7 @@
 //! CLI subcommand implementations. Each returns its report as a string
 //! so the logic is unit-testable; `main` only prints.
 
+use fasttrack_bench::fuzz::{fuzz, FuzzConfig};
 use fasttrack_bench::journal::run_journaled;
 use fasttrack_bench::runner::{
     health_json, sweep_csv, FallibleSweepOptions, NocUnderTest, SweepGrid, INJECTION_RATES,
@@ -11,13 +12,21 @@ use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
 use fasttrack_core::fault::{FaultPlan, FaultSpec};
 use fasttrack_core::metrics::WindowedMetrics;
 use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, HealthMonitor, MonitorConfig};
-use fasttrack_core::sim::{SimOptions, SimReport, SimSession};
+use fasttrack_core::sim::{SimOptions, SimReport, SimSession, TrafficSource};
 use fasttrack_core::trace::EventSink;
 use fasttrack_fpga::device::Device;
 use fasttrack_fpga::power::PowerModel;
 use fasttrack_fpga::resources::noc_cost;
 use fasttrack_fpga::routability::noc_frequency_mhz;
+use fasttrack_traffic::dataflow::{lu_dag, DataflowSource};
+use fasttrack_traffic::graph::graph_source;
+use fasttrack_traffic::graph_gen::rmat;
+use fasttrack_traffic::matrix::circuit;
+use fasttrack_traffic::multiproc::{parsec_benchmarks, parsec_trace};
+use fasttrack_traffic::partition::Partition;
+use fasttrack_traffic::scenario::{Expectation, RecordingSource, ScenarioHeader, ScenarioTrace};
 use fasttrack_traffic::source::BernoulliSource;
+use fasttrack_traffic::spmv::spmv_source;
 use fasttrack_traffic::trace_io::trace_source_from_text;
 
 use crate::args::{ArgError, Flags};
@@ -100,11 +109,20 @@ USAGE:
   fasttrack trace    [--topology hoplite|ft|ftlite] [--n <n>] [--d <d>] [--r <r>]
                      [--pattern <p>] [--rate <r>] [--packets <n>] [--seed <s>]
                      [--epoch <cycles>] [--flight-recorder <K>] [--out <prefix>]
+  fasttrack record   --out <path> (--workload spmv|graph|dataflow|multiproc |
+                     --noc <spec> [--pattern <p>] [--rate <r>] [--packets <n>])
+                     [--seed <s>] [--channels <k>] [--max-cycles <c>]
+                     [--fault-seed <s>] [--dead-links <n>] [--transient-links <n>]
+                     [--fail-stop <n>] [--stalled-injectors <n>] [--window <from:until>]
+  fasttrack replay   --file <path>
+  fasttrack fuzz     [--iters <n>] [--seed <s>] [--threads <t>]
+                     [--max-cycles <c>] [--out <dir>]
   fasttrack help
 
 SPECS:
   NoC:     hoplite:<n> | ft:<n>:<d>:<r> | ftlite:<n>:<d>:<r>
-  Pattern: random | bitcompl | transpose | tornado | local:<radius>
+  Pattern: random | bitcompl | transpose | tornado | shuffle | bitrev
+           | local:<radius> | hotspot:<percent>
   Grid:    <noc>[,<noc>...];<pattern>[,<pattern>...];<rate>[,<rate>...]
            (sweep runs the full cross product; per-point seeds are
             derived from --seed, so any --threads count is bit-exact)
@@ -154,6 +172,19 @@ BENCH TRAJECTORY:
   percent slower than the baseline. `bench migrate` rewrites a
   pre-versioning BENCH_hotpath.json in place as the current schema.
 
+SCENARIO CORPUS:
+  `record` captures the realized injection schedule of any run —
+  workload preset or synthetic, healthy or faulted — as a versioned,
+  checksummed scenario trace whose header embeds the NoC spec, fault
+  plan, and realized outcome. `replay` feeds the schedule back through
+  the engine byte-identically and fails (exit 1) if the outcome
+  diverges from the embedded expectation. `fuzz` drives seeded random
+  scenarios (topology x traffic x faults) in parallel, checks exact
+  conservation and the health detectors on every run, delta-minimizes
+  each failure class, and writes the minimized traces to --out as
+  self-contained corpus entries; the same --seed is bit-exact at any
+  --threads count.
+
 CRASH-SAFE SWEEPS:
   sweep --resume <journal> appends every finished point to an
   append-only journal (flushed per point) and emits CSV. If the file
@@ -174,6 +205,10 @@ EXAMPLES:
   fasttrack trace --topology ft --n 8 --d 2 --r 2 --pattern random --rate 0.2
   fasttrack profile --noc ft:8:2:2 --rate 0.5 --out prof
   fasttrack bench gate --baseline BENCH_hotpath.json --tolerance 10
+  fasttrack record --workload spmv --out spmv.trace
+  fasttrack record --noc ftlite:8:4:1 --pattern hotspot:60 --rate 0.8 --dead-links 4 --out hot.trace
+  fasttrack replay --file spmv.trace
+  fasttrack fuzz --iters 200 --seed 7 --threads 4 --out corpus/
 ";
 
 fn render_report(report: &SimReport) -> String {
@@ -957,6 +992,253 @@ pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// The [`Expectation`] a finished report realizes.
+fn expectation_of(report: &SimReport) -> Expectation {
+    Expectation {
+        delivered: report.stats.delivered,
+        cycles: report.cycles,
+        dropped: report.stats.dropped,
+        truncated: report.truncated,
+    }
+}
+
+/// `record` — run a generator (workload preset or synthetic) and write
+/// the realized injection schedule as a versioned scenario trace.
+///
+/// `--workload spmv|graph|dataflow|multiproc` selects one of the four
+/// paper case studies (the same setups as the integration tests);
+/// without it, the usual `--noc/--pattern/--rate/--packets` synthetic
+/// flags apply. Fault flags mirror `faults`: the drawn plan is active
+/// during recording and embedded in the trace header, so replay
+/// reproduces the faulted run. The header also embeds the realized
+/// outcome, making the file a self-checking corpus entry.
+pub fn cmd_record(flags: &Flags) -> Result<String, CliError> {
+    let out_path = flags.required("out")?;
+    let workload = flags.optional("workload");
+    let noc_spec = match workload {
+        // The presets default to the torus the paper's case studies
+        // use; --noc still overrides.
+        Some("multiproc") => flags.optional("noc").unwrap_or("ft:6:2:1").to_string(),
+        Some(_) => flags.optional("noc").unwrap_or("ft:4:2:1").to_string(),
+        None => flags.required("noc")?.to_string(),
+    };
+    let cfg = parse_noc(&noc_spec)?;
+    let seed: u64 = flags.numeric("seed", 1)?;
+    let channels: usize = flags.numeric("channels", 1)?;
+    // The LU dataflow DAG serializes heavily; give it the same budget
+    // the integration tests need.
+    let default_budget: u64 = if workload == Some("dataflow") {
+        5_000_000
+    } else {
+        2_000_000
+    };
+    let max_cycles: u64 = flags.numeric("max-cycles", default_budget)?;
+    let fault_seed: u64 = flags.numeric("fault-seed", seed)?;
+    let fspec = FaultSpec {
+        dead_links: flags.numeric("dead-links", 0)?,
+        transient_links: flags.numeric("transient-links", 0)?,
+        fail_stop_routers: flags.numeric("fail-stop", 0)?,
+        stalled_injectors: flags.numeric("stalled-injectors", 0)?,
+        window: parse_window(flags.optional("window"))?,
+    };
+    let plan = FaultPlan::random(&cfg, fault_seed, &fspec);
+
+    let (source, generator): (Box<dyn TrafficSource>, String) = match workload {
+        Some("spmv") => (
+            Box::new(spmv_source(
+                &circuit(1000, 4, 2, 3, seed),
+                cfg.n(),
+                Partition::Cyclic,
+            )),
+            "spmv".into(),
+        ),
+        Some("graph") => (
+            Box::new(graph_source(
+                &rmat(11, 15_000, 0.57, 0.19, 0.19, seed),
+                cfg.n(),
+                Partition::Cyclic,
+            )),
+            "graph".into(),
+        ),
+        Some("dataflow") => (
+            Box::new(DataflowSource::new(lu_dag(1200, 48, 2.0, seed), cfg.n(), 3)),
+            "dataflow".into(),
+        ),
+        Some("multiproc") => {
+            let profiles = parsec_benchmarks();
+            let label = format!("multiproc:{}", profiles[0].name);
+            (Box::new(parsec_trace(&profiles[0], cfg.n(), seed)), label)
+        }
+        Some(other) => {
+            return Err(CliError::Other(format!(
+                "unknown workload {other:?} (expected spmv, graph, dataflow, or multiproc)"
+            )))
+        }
+        None => {
+            let pattern_spec = flags.optional("pattern").unwrap_or("random");
+            let pattern = parse_pattern(pattern_spec)?;
+            let rate: f64 = flags.numeric("rate", 0.5)?;
+            let packets: u64 = flags.numeric("packets", 1000)?;
+            (
+                Box::new(BernoulliSource::new(cfg.n(), pattern, rate, packets, seed)),
+                format!("bernoulli:{pattern_spec}"),
+            )
+        }
+    };
+
+    let mut rec = RecordingSource::new(cfg.n(), source);
+    let mut session = SimSession::new(&cfg)
+        .max_cycles(max_cycles)
+        .with_faults(&plan);
+    if channels > 1 {
+        session = session.channels(channels);
+    }
+    let report = session
+        .run(&mut rec)
+        .map_err(|e| CliError::Other(e.to_string()))?
+        .report;
+
+    let mut header = ScenarioHeader::new(&noc_spec, &generator);
+    header.channels = channels.max(1);
+    header.max_cycles = max_cycles;
+    header.faults = plan.faults().to_vec();
+    header.expect = Some(expectation_of(&report));
+    let trace = rec.into_trace(header);
+    std::fs::write(out_path, trace.encode())
+        .map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
+
+    let mut out = render_report(&report);
+    out.push_str(&format!(
+        "\n  recorded {} pushes -> {out_path}\n",
+        trace.records.len()
+    ));
+    Ok(out)
+}
+
+/// `replay` — decode a scenario trace and feed its schedule back
+/// through the engine, reconstructing the NoC, fault plan, channel
+/// count, and cycle budget from the header. When the trace embeds an
+/// expectation, a divergent outcome is a nonzero exit.
+pub fn cmd_replay(flags: &Flags) -> Result<String, CliError> {
+    let path = flags.required("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let trace =
+        ScenarioTrace::decode(&text).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+    let cfg = trace
+        .header
+        .noc_config()
+        .map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+    let plan = trace
+        .header
+        .faults
+        .iter()
+        .fold(FaultPlan::new(), |p, &f| p.with(f));
+    let mut src = trace
+        .replay_source()
+        .map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+
+    let mut session = SimSession::new(&cfg)
+        .max_cycles(trace.header.max_cycles)
+        .with_faults(&plan);
+    if trace.header.warmup > 0 {
+        session = session.warmup_cycles(trace.header.warmup);
+    }
+    if trace.header.channels > 1 {
+        session = session.channels(trace.header.channels);
+    }
+    let report = session
+        .run(&mut src)
+        .map_err(|e| CliError::Other(e.to_string()))?
+        .report;
+
+    let mut out = render_report(&report);
+    out.push_str(&format!(
+        "\n  replayed {} pushes from {path} (generator {})\n",
+        trace.records.len(),
+        trace.header.generator,
+    ));
+    if let Some(expect) = trace.header.expect {
+        let got = expectation_of(&report);
+        if got == expect {
+            out.push_str("  expectation verified: delivered/cycles/dropped/truncated match\n");
+        } else {
+            return Err(CliError::Other(format!(
+                "replay diverged from recorded expectation:\n  \
+                 expected delivered {} cycles {} dropped {} truncated {}\n  \
+                 got      delivered {} cycles {} dropped {} truncated {}",
+                expect.delivered,
+                expect.cycles,
+                expect.dropped,
+                expect.truncated,
+                got.delivered,
+                got.cycles,
+                got.dropped,
+                got.truncated,
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// `fuzz` — the seeded scenario fuzzer: randomized NoC/traffic/fault
+/// scenarios on the work-stealing pool, conservation and health checks
+/// on every run, and delta-minimized failures written as replayable
+/// trace files. Exit is nonzero only for bug classes (panic or
+/// conservation violation); detected livelock/stranded classes are
+/// reported and archived but expected under injected faults.
+pub fn cmd_fuzz(flags: &Flags) -> Result<String, CliError> {
+    let cfg = FuzzConfig {
+        iters: flags.numeric("iters", 100)?,
+        seed: flags.numeric("seed", 0)?,
+        threads: flags.numeric("threads", 1)?,
+        max_cycles: flags.numeric("max-cycles", 30_000)?,
+    };
+    if cfg.iters == 0 {
+        return Err(CliError::Other("--iters must be positive".into()));
+    }
+    let outcome = fuzz(&cfg);
+    let mut out = format!(
+        "fuzz: {} scenarios (seed {}, {} thread(s)): {} failing, {} minimized class(es)\n",
+        outcome.iters,
+        cfg.seed,
+        cfg.threads.max(1),
+        outcome.failing_iters,
+        outcome.failures.len(),
+    );
+    for f in &outcome.failures {
+        out.push_str(&format!(
+            "  [{}] scenario #{}: {} (minimized {} -> {} records, {} fault(s))\n",
+            f.class.tag(),
+            f.index,
+            f.summary,
+            f.original_records,
+            f.trace.records.len(),
+            f.trace.header.faults.len(),
+        ));
+    }
+    if let Some(dir) = flags.optional("out") {
+        std::fs::create_dir_all(dir).map_err(|e| CliError::Io(format!("{dir}: {e}")))?;
+        for f in &outcome.failures {
+            let path = format!("{dir}/{}_{}.trace", f.class.tag(), cfg.seed);
+            std::fs::write(&path, f.trace.encode())
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            out.push_str(&format!("  minimized trace -> {path}\n"));
+        }
+    }
+    if outcome.found_bug() {
+        Err(CliError::Other(format!(
+            "{out}fuzzing found a bug-class failure (replay the minimized trace to reproduce)"
+        )))
+    } else {
+        out.push_str(if outcome.clean() {
+            "  all scenarios ran clean\n"
+        } else {
+            "  no bug-class failures (detected classes above are expected under faults)\n"
+        });
+        Ok(out)
+    }
+}
+
 /// Dispatches a full argument vector (without the program name).
 ///
 /// # Errors
@@ -985,6 +1267,9 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
         "profile" => cmd_profile(&flags),
         "cost" => cmd_cost(&flags),
         "trace" => cmd_trace(&flags),
+        "record" => cmd_record(&flags),
+        "replay" => cmd_replay(&flags),
+        "fuzz" => cmd_fuzz(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -1503,5 +1788,81 @@ mod tests {
             run(argv("bench gate")),
             Err(CliError::Args(ArgError::MissingFlag("baseline")))
         ));
+    }
+
+    #[test]
+    fn record_then_replay_verifies_expectation() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_record");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("synthetic.trace").display().to_string();
+        let out = run(argv(&format!(
+            "record --noc ft:4:2:1 --pattern hotspot:60 --rate 0.5 --packets 30 --seed 9 --out {path}"
+        )))
+        .unwrap();
+        assert!(out.contains("recorded"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(fasttrack_traffic::scenario::SCENARIO_MAGIC));
+        assert!(text.contains("\"generator\":\"bernoulli:hotspot:60\""));
+        let replayed = run(argv(&format!("replay --file {path}"))).unwrap();
+        assert!(replayed.contains("expectation verified"), "{replayed}");
+    }
+
+    #[test]
+    fn record_faulted_workload_replays_identically() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_record_faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spmv.trace").display().to_string();
+        let out = run(argv(&format!(
+            "record --workload spmv --dead-links 2 --fault-seed 5 --out {path}"
+        )))
+        .unwrap();
+        assert!(out.contains("recorded"), "{out}");
+        let trace = ScenarioTrace::decode(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(trace.header.faults.len(), 2);
+        assert_eq!(trace.header.generator, "spmv");
+        let replayed = run(argv(&format!("replay --file {path}"))).unwrap();
+        assert!(replayed.contains("expectation verified"), "{replayed}");
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_and_missing_files() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_replay_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            run(argv("replay --file /not/here.trace")),
+            Err(CliError::Io(_))
+        ));
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, "not a scenario trace\n").unwrap();
+        let err = run(argv(&format!("replay --file {}", path.display()))).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn record_rejects_unknown_workload() {
+        let err = run(argv("record --workload lapack --out /tmp/x.trace")).unwrap_err();
+        assert!(err.to_string().contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_smoke_runs_clean_and_writes_no_bug_traces() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_fuzz");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(argv(&format!(
+            "fuzz --iters 20 --seed 11 --threads 2 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("20 scenarios"), "{out}");
+        assert!(
+            out.contains("no bug-class") || out.contains("ran clean"),
+            "{out}"
+        );
+        // Every archived trace decodes and replays through the library.
+        for entry in std::fs::read_dir(&dir).into_iter().flatten().flatten() {
+            let text = std::fs::read_to_string(entry.path()).unwrap();
+            let trace = ScenarioTrace::decode(&text).unwrap();
+            assert!(trace.header.noc_config().is_ok());
+        }
     }
 }

@@ -146,11 +146,11 @@ pub fn parse_noc(spec: &str) -> Result<NocConfig, SpecError> {
 }
 
 /// Parses a pattern spec: `random`, `bitcompl`, `transpose`, `tornado`,
-/// or `local:<radius>`.
+/// `shuffle`, `bitrev`, `local:<radius>`, or `hotspot:<percent>`.
 ///
 /// # Errors
 ///
-/// Returns a [`SpecError`] for unknown names or malformed radii.
+/// Returns a [`SpecError`] for unknown names or malformed parameters.
 pub fn parse_pattern(spec: &str) -> Result<Pattern, SpecError> {
     let fields: Vec<&str> = spec.split(':').collect();
     match fields[0] {
@@ -158,6 +158,8 @@ pub fn parse_pattern(spec: &str) -> Result<Pattern, SpecError> {
         "bitcompl" => Ok(Pattern::BitComplement),
         "transpose" => Ok(Pattern::Transpose),
         "tornado" => Ok(Pattern::Tornado),
+        "shuffle" => Ok(Pattern::Shuffle),
+        "bitrev" => Ok(Pattern::BitReverse),
         "local" => {
             if fields.len() != 2 {
                 return Err(SpecError::BadArity {
@@ -169,6 +171,22 @@ pub fn parse_pattern(spec: &str) -> Result<Pattern, SpecError> {
             Ok(Pattern::Local {
                 radius: num(fields[1])?,
             })
+        }
+        "hotspot" => {
+            if fields.len() != 2 {
+                return Err(SpecError::BadArity {
+                    kind: "hotspot",
+                    expected: 1,
+                    found: fields.len() - 1,
+                });
+            }
+            let percent: u8 = num(fields[1])?;
+            if !(1..=100).contains(&percent) {
+                return Err(SpecError::Invalid(format!(
+                    "hotspot percent {percent} out of 1..=100"
+                )));
+            }
+            Ok(Pattern::Hotspot { percent })
         }
         other => Err(SpecError::UnknownKind(other.to_string())),
     }
@@ -329,6 +347,24 @@ mod tests {
             Pattern::Local { radius: 2 }
         );
         assert_eq!(parse_pattern("transpose").unwrap(), Pattern::Transpose);
+        assert_eq!(parse_pattern("shuffle").unwrap(), Pattern::Shuffle);
+        assert_eq!(parse_pattern("bitrev").unwrap(), Pattern::BitReverse);
+        assert_eq!(
+            parse_pattern("hotspot:60").unwrap(),
+            Pattern::Hotspot { percent: 60 }
+        );
+        assert!(matches!(
+            parse_pattern("hotspot"),
+            Err(SpecError::BadArity { .. })
+        ));
+        assert!(matches!(
+            parse_pattern("hotspot:0"),
+            Err(SpecError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_pattern("hotspot:101"),
+            Err(SpecError::Invalid(_))
+        ));
         assert!(matches!(
             parse_pattern("weird"),
             Err(SpecError::UnknownKind(_))

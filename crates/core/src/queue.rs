@@ -83,6 +83,14 @@ impl InjectQueues {
         self.queues[node].len()
     }
 
+    /// Iterates `node`'s waiting packets in FIFO order (head first).
+    ///
+    /// Recording wrappers use this to observe what an inner traffic
+    /// source appended during `pump` without disturbing the queue.
+    pub fn iter(&self, node: usize) -> impl Iterator<Item = &PendingPacket> + '_ {
+        self.queues[node].iter()
+    }
+
     /// True when every queue is empty.
     pub fn is_empty(&self) -> bool {
         self.pending == 0
@@ -118,6 +126,19 @@ mod tests {
         assert_eq!(q.pop(0), None);
         assert!(q.is_empty());
         assert_eq!(q.total_enqueued(), 2);
+    }
+
+    #[test]
+    fn iter_sees_fifo_tail() {
+        let mut q = InjectQueues::new(2);
+        q.push(0, Coord::new(1, 0), 0, 7);
+        q.push(0, Coord::new(0, 1), 1, 8);
+        let tags: Vec<u64> = q.iter(0).map(|p| p.tag).collect();
+        assert_eq!(tags, vec![7, 8]);
+        assert_eq!(q.iter(1).count(), 0);
+        // Skipping the already-seen head yields only the new tail.
+        let new: Vec<u64> = q.iter(0).skip(1).map(|p| p.tag).collect();
+        assert_eq!(new, vec![8]);
     }
 
     #[test]

@@ -63,6 +63,23 @@ pub trait TrafficSource {
     fn exhausted(&self) -> bool;
 }
 
+/// Boxed sources forward to their contents, so heterogeneous source
+/// sets (e.g. a fuzzer drawing one of several generator families) can
+/// be driven through `Box<dyn TrafficSource>`.
+impl<T: TrafficSource + ?Sized> TrafficSource for Box<T> {
+    fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
+        (**self).pump(cycle, queues)
+    }
+
+    fn on_delivery(&mut self, delivery: &Delivery) {
+        (**self).on_delivery(delivery)
+    }
+
+    fn exhausted(&self) -> bool {
+        (**self).exhausted()
+    }
+}
+
 /// Driver options.
 ///
 /// Construct with [`Default`] (or [`SimOptions::with_max_cycles`]) and

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod bfs;
 pub mod dataflow;
 pub mod graph;
@@ -39,6 +40,7 @@ pub mod multiproc;
 pub mod partition;
 pub mod pattern;
 pub mod regulated;
+pub mod scenario;
 pub mod serialize;
 pub mod source;
 pub mod spmv;
@@ -46,4 +48,7 @@ pub mod trace_io;
 
 pub use partition::Partition;
 pub use pattern::Pattern;
+pub use scenario::{
+    RecordingSource, ReplaySource, ScenarioHeader, ScenarioRecord, ScenarioTrace, TraceError,
+};
 pub use source::{BernoulliSource, Message, MessageBatchSource, TimedTraceSource};

@@ -1,0 +1,1114 @@
+//! Versioned scenario traces: record a live [`TrafficSource`] run and
+//! replay the realized injection schedule byte-identically.
+//!
+//! A `ScenarioTrace` v1 file is line-oriented text:
+//!
+//! ```text
+//! fasttrack-scenario-trace v1
+//! {"schema":1,"noc":"ft:8:2:1","channels":1,...}
+//! m <cycle> <src> <dst> <tag>
+//! ...
+//! end <count> <checksum-hex>
+//! ```
+//!
+//! * Line 1 is the magic string ([`SCENARIO_MAGIC`]).
+//! * Line 2 is a single flat JSON header object (hand-rolled — the
+//!   repo vendors no serde). String values never contain escapes.
+//! * Each `m` record is one realized queue push, in global push order
+//!   (nondecreasing cycles; `PacketId` assignment order within a
+//!   cycle), so replay reproduces identical packet ids and therefore
+//!   an identical event stream.
+//! * The `end` trailer carries the record count and a SplitMix64
+//!   running checksum over the body, mirroring the sweep journal: a
+//!   file missing its trailer is a torn tail ([`TraceError::TornTail`]),
+//!   and interior corruption fails the checksum.
+//!
+//! Recording works by wrapping any source in a [`RecordingSource`]:
+//! before delegating `pump`, it snapshots every queue depth, then
+//! scans the FIFO tails for newly appended packets and sorts them by
+//! [`PacketId`](fasttrack_core::packet::PacketId) to recover the exact
+//! global push order. Replaying that schedule open-loop through a
+//! [`ReplaySource`] reproduces the run exactly because the engine is
+//! deterministic given the push schedule.
+
+use std::fmt;
+
+use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_core::fault::Fault;
+use fasttrack_core::geom::Coord;
+use fasttrack_core::packet::Delivery;
+use fasttrack_core::port::OutPort;
+use fasttrack_core::queue::InjectQueues;
+use fasttrack_core::sim::TrafficSource;
+use fasttrack_core::sweep::splitmix64;
+
+/// First line of every v1 scenario trace.
+pub const SCENARIO_MAGIC: &str = "fasttrack-scenario-trace v1";
+
+/// The schema number written by this library.
+pub const SCENARIO_SCHEMA: u32 = 1;
+
+/// One realized queue push: at `cycle`, node `src` enqueued a packet
+/// for node `dst` carrying `tag`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioRecord {
+    /// Pump cycle of the push.
+    pub cycle: u64,
+    /// Source node id.
+    pub src: usize,
+    /// Destination node id.
+    pub dst: usize,
+    /// Opaque workload tag.
+    pub tag: u64,
+}
+
+/// Expected outcome embedded in a corpus entry, checked on replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Expectation {
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Packets dropped by faults.
+    pub dropped: u64,
+    /// Whether the run hit its cycle budget.
+    pub truncated: bool,
+}
+
+/// Scenario metadata: everything needed to rebuild the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioHeader {
+    /// Format schema (currently always [`SCENARIO_SCHEMA`]).
+    pub schema: u32,
+    /// NoC spec string, e.g. `ft:8:2:1` (`ftlite:` for Inject policy).
+    pub noc: String,
+    /// Multichannel bank width (1 = single channel).
+    pub channels: usize,
+    /// Cycle budget of the recorded run.
+    pub max_cycles: u64,
+    /// Warmup cycles of the recorded run.
+    pub warmup: u64,
+    /// Free-form generator label (e.g. `spmv`, `fuzz`).
+    pub generator: String,
+    /// Cycle at which the recorded generator first reported itself
+    /// exhausted. Closed-loop sources (dataflow) stay unexhausted past
+    /// their last push while trailing compute drains, which lengthens
+    /// the recorded run; replay holds its own exhaustion until this
+    /// cycle so the run length — and therefore the report — matches
+    /// byte-for-byte. `None` means "exhausted at the last push".
+    pub drained_at: Option<u64>,
+    /// Faults active during the run, in plan order.
+    pub faults: Vec<Fault>,
+    /// Optional expected outcome for self-checking corpus entries.
+    pub expect: Option<Expectation>,
+}
+
+impl ScenarioHeader {
+    /// A minimal header for an `noc` spec with library defaults.
+    pub fn new(noc: &str, generator: &str) -> Self {
+        ScenarioHeader {
+            schema: SCENARIO_SCHEMA,
+            noc: noc.to_string(),
+            channels: 1,
+            max_cycles: 2_000_000,
+            warmup: 0,
+            generator: generator.to_string(),
+            drained_at: None,
+            faults: Vec::new(),
+            expect: None,
+        }
+    }
+
+    /// Torus side length implied by the spec string (`hoplite:8` → 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadHeader`] when the spec has no numeric
+    /// second field.
+    pub fn side_len(&self) -> Result<u16, TraceError> {
+        let mut fields = self.noc.split(':');
+        let _kind = fields.next();
+        fields
+            .next()
+            .and_then(|f| f.parse::<u16>().ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(|| TraceError::BadHeader(format!("unparsable noc spec {:?}", self.noc)))
+    }
+
+    /// Rebuilds the full [`NocConfig`] from the spec string, using the
+    /// same grammar as the CLI: `hoplite:<n>`, `ft:<n>:<d>:<r>` (Full
+    /// policy), or `ftlite:<n>:<d>:<r>` (Inject policy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadHeader`] for an unknown topology word,
+    /// malformed numbers, or parameters the constructors reject.
+    pub fn noc_config(&self) -> Result<NocConfig, TraceError> {
+        let bad = |why: String| TraceError::BadHeader(why);
+        let fields: Vec<&str> = self.noc.split(':').collect();
+        let num = |s: &str| {
+            s.parse::<u16>()
+                .map_err(|_| bad(format!("bad number {s:?} in noc spec {:?}", self.noc)))
+        };
+        let cfg = match fields.as_slice() {
+            ["hoplite", n] => NocConfig::hoplite(num(n)?),
+            ["ft", n, d, r] => NocConfig::fasttrack(num(n)?, num(d)?, num(r)?, FtPolicy::Full),
+            ["ftlite", n, d, r] => {
+                NocConfig::fasttrack(num(n)?, num(d)?, num(r)?, FtPolicy::Inject)
+            }
+            _ => return Err(bad(format!("unknown noc spec {:?}", self.noc))),
+        };
+        cfg.map_err(|e| bad(format!("invalid noc spec {:?}: {e}", self.noc)))
+    }
+}
+
+/// A decoded scenario: header plus the realized push schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTrace {
+    /// Scenario metadata.
+    pub header: ScenarioHeader,
+    /// Realized pushes in global push order (nondecreasing cycles).
+    pub records: Vec<ScenarioRecord>,
+}
+
+/// Why a scenario trace failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The first line is not [`SCENARIO_MAGIC`].
+    BadMagic,
+    /// The header line is missing or malformed (reason attached).
+    BadHeader(String),
+    /// The schema number is newer than this library understands.
+    UnsupportedSchema(u32),
+    /// A body line is not a well-formed `m` record.
+    BadRecord {
+        /// 1-based line number in the file.
+        line: usize,
+    },
+    /// A record names a node outside the system.
+    NodeOutOfRange {
+        /// 1-based line number in the file.
+        line: usize,
+        /// The offending node id (kept at `u64` so 32-bit hosts still
+        /// report the un-truncated value).
+        node: u64,
+    },
+    /// Record cycles went backwards (push order must be nondecreasing).
+    NonMonotonic {
+        /// 1-based line number in the file.
+        line: usize,
+    },
+    /// The `end` trailer is missing — the file was torn mid-write.
+    TornTail,
+    /// The trailer checksum does not match the body.
+    ChecksumMismatch,
+    /// The trailer count does not match the number of records.
+    CountMismatch {
+        /// Count claimed by the trailer.
+        expected: u64,
+        /// Records actually present.
+        found: u64,
+    },
+    /// Content after the `end` trailer.
+    TrailingData {
+        /// 1-based line number in the file.
+        line: usize,
+    },
+    /// A fault encoding in the header could not be parsed.
+    BadFault(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a scenario trace (bad magic line)"),
+            TraceError::BadHeader(why) => write!(f, "bad trace header: {why}"),
+            TraceError::UnsupportedSchema(v) => {
+                write!(f, "trace schema v{v} is newer than this build understands")
+            }
+            TraceError::BadRecord { line } => write!(f, "line {line}: malformed record"),
+            TraceError::NodeOutOfRange { line, node } => {
+                write!(f, "line {line}: node {node} out of range")
+            }
+            TraceError::NonMonotonic { line } => {
+                write!(f, "line {line}: record cycle went backwards")
+            }
+            TraceError::TornTail => write!(f, "trace has no end trailer (torn tail)"),
+            TraceError::ChecksumMismatch => write!(f, "trace body checksum mismatch"),
+            TraceError::CountMismatch { expected, found } => {
+                write!(f, "trailer claims {expected} records, found {found}")
+            }
+            TraceError::TrailingData { line } => write!(f, "line {line}: data after end trailer"),
+            TraceError::BadFault(text) => write!(f, "unparsable fault {text:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// SplitMix64 hash of one line, mirroring the sweep journal's row hash.
+fn line_hash(line: &str) -> u64 {
+    let mut h = splitmix64(line.len() as u64);
+    for &b in line.as_bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h
+}
+
+/// Canonical token for an [`OutPort`] in the fault codec.
+fn port_token(out: OutPort) -> &'static str {
+    match out {
+        OutPort::EastEx => "east-ex",
+        OutPort::EastSh => "east-sh",
+        OutPort::SouthEx => "south-ex",
+        OutPort::SouthSh => "south-sh",
+        OutPort::Exit => "exit",
+    }
+}
+
+fn parse_port(token: &str) -> Option<OutPort> {
+    Some(match token {
+        "east-ex" => OutPort::EastEx,
+        "east-sh" => OutPort::EastSh,
+        "south-ex" => OutPort::SouthEx,
+        "south-sh" => OutPort::SouthSh,
+        "exit" => OutPort::Exit,
+        _ => return None,
+    })
+}
+
+/// Encodes one fault as a compact space-separated token string.
+pub fn encode_fault(fault: &Fault) -> String {
+    match *fault {
+        Fault::DeadLink { node, out } => format!("dead {node} {}", port_token(out)),
+        Fault::TransientLink {
+            node,
+            out,
+            from,
+            until,
+            corrupt,
+        } => {
+            let mode = if corrupt { "corrupt" } else { "drop" };
+            format!("transient {node} {} {from} {until} {mode}", port_token(out))
+        }
+        Fault::FailStopRouter { node, at } => format!("failstop {node} {at}"),
+        Fault::StalledInjector { node, from, until } => format!("stall {node} {from} {until}"),
+    }
+}
+
+/// Decodes a fault written by [`encode_fault`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadFault`] on any malformed encoding.
+pub fn decode_fault(text: &str) -> Result<Fault, TraceError> {
+    let bad = || TraceError::BadFault(text.to_string());
+    let fields: Vec<&str> = text.split_whitespace().collect();
+    let num = |s: &str| s.parse::<u64>().map_err(|_| bad());
+    match fields.as_slice() {
+        ["dead", node, out] => Ok(Fault::DeadLink {
+            node: num(node)? as usize,
+            out: parse_port(out).ok_or_else(bad)?,
+        }),
+        ["transient", node, out, from, until, mode] => Ok(Fault::TransientLink {
+            node: num(node)? as usize,
+            out: parse_port(out).ok_or_else(bad)?,
+            from: num(from)?,
+            until: num(until)?,
+            corrupt: match *mode {
+                "corrupt" => true,
+                "drop" => false,
+                _ => return Err(bad()),
+            },
+        }),
+        ["failstop", node, at] => Ok(Fault::FailStopRouter {
+            node: num(node)? as usize,
+            at: num(at)?,
+        }),
+        ["stall", node, from, until] => Ok(Fault::StalledInjector {
+            node: num(node)? as usize,
+            from: num(from)?,
+            until: num(until)?,
+        }),
+        _ => Err(bad()),
+    }
+}
+
+/// One value of the flat hand-rolled JSON header.
+enum JsonValue {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+}
+
+/// Parses a flat JSON object with string / unsigned-integer / boolean
+/// values and no escapes — exactly the subset [`ScenarioTrace::encode`]
+/// emits. Anything else is a [`TraceError::BadHeader`].
+fn parse_flat_json(text: &str) -> Result<Vec<(String, JsonValue)>, TraceError> {
+    let err = |why: &str| TraceError::BadHeader(why.to_string());
+    let mut chars = text.trim().char_indices().peekable();
+    let bytes = text.trim();
+    let mut pairs = Vec::new();
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err(err("expected '{'")),
+    }
+    // Empty object.
+    if let Some(&(_, '}')) = chars.peek() {
+        chars.next();
+        return match chars.next() {
+            None => Ok(pairs),
+            Some(_) => Err(err("data after '}'")),
+        };
+    }
+    loop {
+        // "key"
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(err("expected '\"' starting a key")),
+        }
+        let key_start = chars
+            .peek()
+            .map(|&(i, _)| i)
+            .ok_or_else(|| err("eof in key"))?;
+        let key_end;
+        loop {
+            match chars.next() {
+                Some((i, '"')) => {
+                    key_end = i;
+                    break;
+                }
+                Some((_, '\\')) => return Err(err("escapes unsupported")),
+                Some(_) => {}
+                None => return Err(err("eof in key")),
+            }
+        }
+        let key = bytes[key_start..key_end].to_string();
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(err("expected ':'")),
+        }
+        // value
+        let value = match chars.peek() {
+            Some(&(_, '"')) => {
+                chars.next();
+                let vstart = chars
+                    .peek()
+                    .map(|&(i, _)| i)
+                    .ok_or_else(|| err("eof in value"))?;
+                let vend;
+                loop {
+                    match chars.next() {
+                        Some((i, '"')) => {
+                            vend = i;
+                            break;
+                        }
+                        Some((_, '\\')) => return Err(err("escapes unsupported")),
+                        Some(_) => {}
+                        None => return Err(err("eof in value")),
+                    }
+                }
+                JsonValue::Str(bytes[vstart..vend].to_string())
+            }
+            Some(&(_, 't')) | Some(&(_, 'f')) => {
+                let start = chars.peek().map(|&(i, _)| i).unwrap();
+                let mut end = bytes.len();
+                while let Some(&(i, c)) = chars.peek() {
+                    if c == ',' || c == '}' {
+                        end = i;
+                        break;
+                    }
+                    chars.next();
+                }
+                match &bytes[start..end] {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    other => return Err(err(&format!("bad literal {other:?}"))),
+                }
+            }
+            Some(&(_, c)) if c.is_ascii_digit() => {
+                let start = chars.peek().map(|&(i, _)| i).unwrap();
+                let mut end = bytes.len();
+                while let Some(&(i, c)) = chars.peek() {
+                    if c == ',' || c == '}' {
+                        end = i;
+                        break;
+                    }
+                    if !c.is_ascii_digit() {
+                        return Err(err("non-integer number"));
+                    }
+                    chars.next();
+                }
+                let digits = &bytes[start..end];
+                JsonValue::Int(
+                    digits
+                        .parse::<u64>()
+                        .map_err(|_| err(&format!("integer {digits:?} out of range")))?,
+                )
+            }
+            _ => return Err(err("unsupported value")),
+        };
+        pairs.push((key, value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            _ => return Err(err("expected ',' or '}'")),
+        }
+    }
+    match chars.next() {
+        None => Ok(pairs),
+        Some(_) => Err(err("data after '}'")),
+    }
+}
+
+impl ScenarioTrace {
+    /// Creates a trace from a header and records.
+    pub fn new(header: ScenarioHeader, records: Vec<ScenarioRecord>) -> Self {
+        ScenarioTrace { header, records }
+    }
+
+    /// Serializes the trace to its v1 text form.
+    pub fn encode(&self) -> String {
+        let h = &self.header;
+        let faults: Vec<String> = h.faults.iter().map(encode_fault).collect();
+        let mut header = format!(
+            "{{\"schema\":{},\"noc\":\"{}\",\"channels\":{},\"max_cycles\":{},\"warmup\":{},\"generator\":\"{}\",\"faults\":\"{}\"",
+            h.schema,
+            h.noc,
+            h.channels,
+            h.max_cycles,
+            h.warmup,
+            h.generator,
+            faults.join(";"),
+        );
+        if let Some(d) = h.drained_at {
+            header.push_str(&format!(",\"drained_at\":{d}"));
+        }
+        if let Some(e) = h.expect {
+            header.push_str(&format!(
+                ",\"expect_delivered\":{},\"expect_cycles\":{},\"expect_dropped\":{},\"expect_truncated\":{}",
+                e.delivered, e.cycles, e.dropped, e.truncated
+            ));
+        }
+        header.push('}');
+
+        let mut out = String::new();
+        out.push_str(SCENARIO_MAGIC);
+        out.push('\n');
+        out.push_str(&header);
+        out.push('\n');
+        let mut checksum = line_hash(&header);
+        for r in &self.records {
+            let line = format!("m {} {} {} {}", r.cycle, r.src, r.dst, r.tag);
+            checksum = splitmix64(checksum ^ line_hash(&line));
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str(&format!("end {} {:016x}\n", self.records.len(), checksum));
+        out
+    }
+
+    /// Parses a v1 trace, verifying the magic, header, record
+    /// well-formedness (in-range nodes, nondecreasing cycles), and the
+    /// checksummed trailer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] naming the first defect; a file cut off
+    /// mid-write decodes to [`TraceError::TornTail`] rather than a
+    /// silently shortened scenario.
+    pub fn decode(text: &str) -> Result<ScenarioTrace, TraceError> {
+        let mut lines = text.lines().enumerate();
+        let (_, magic) = lines.next().ok_or(TraceError::BadMagic)?;
+        if magic.trim_end() != SCENARIO_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let (_, header_line) = lines
+            .next()
+            .ok_or_else(|| TraceError::BadHeader("missing header line".into()))?;
+        let header = Self::decode_header(header_line)?;
+        let nodes = u64::from(header.side_len()?) * u64::from(header.side_len()?);
+
+        let mut checksum = line_hash(header_line);
+        let mut records = Vec::new();
+        let mut trailer: Option<(u64, u64)> = None;
+        let mut last_cycle = 0u64;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if trailer.is_some() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                return Err(TraceError::TrailingData { line: lineno });
+            }
+            if let Some(rest) = line.strip_prefix("end ") {
+                let mut f = rest.split_whitespace();
+                let count = f
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or(TraceError::BadRecord { line: lineno })?;
+                let sum = f
+                    .next()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or(TraceError::BadRecord { line: lineno })?;
+                if f.next().is_some() {
+                    return Err(TraceError::BadRecord { line: lineno });
+                }
+                trailer = Some((count, sum));
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let [m, cycle, src, dst, tag] = fields.as_slice() else {
+                return Err(TraceError::BadRecord { line: lineno });
+            };
+            if *m != "m" {
+                return Err(TraceError::BadRecord { line: lineno });
+            }
+            let num = |s: &str| {
+                s.parse::<u64>()
+                    .map_err(|_| TraceError::BadRecord { line: lineno })
+            };
+            let (cycle, src, dst, tag) = (num(cycle)?, num(src)?, num(dst)?, num(tag)?);
+            // Range-check in u64 BEFORE any narrowing cast, so a huge
+            // node id reports as out-of-range instead of wrapping.
+            for &node in &[src, dst] {
+                if node >= nodes {
+                    return Err(TraceError::NodeOutOfRange { line: lineno, node });
+                }
+            }
+            if cycle < last_cycle {
+                return Err(TraceError::NonMonotonic { line: lineno });
+            }
+            last_cycle = cycle;
+            checksum = splitmix64(checksum ^ line_hash(line.trim_end()));
+            records.push(ScenarioRecord {
+                cycle,
+                src: src as usize,
+                dst: dst as usize,
+                tag,
+            });
+        }
+        let Some((count, sum)) = trailer else {
+            return Err(TraceError::TornTail);
+        };
+        if count != records.len() as u64 {
+            return Err(TraceError::CountMismatch {
+                expected: count,
+                found: records.len() as u64,
+            });
+        }
+        if sum != checksum {
+            return Err(TraceError::ChecksumMismatch);
+        }
+        Ok(ScenarioTrace { header, records })
+    }
+
+    fn decode_header(line: &str) -> Result<ScenarioHeader, TraceError> {
+        let pairs = parse_flat_json(line)?;
+        let mut header = ScenarioHeader::new("", "");
+        let mut expect = Expectation::default();
+        let mut has_expect = false;
+        let mut saw_schema = false;
+        for (key, value) in pairs {
+            let want_int = |v: &JsonValue, key: &str| match v {
+                JsonValue::Int(i) => Ok(*i),
+                _ => Err(TraceError::BadHeader(format!("{key} must be an integer"))),
+            };
+            match key.as_str() {
+                "schema" => {
+                    let v = want_int(&value, "schema")?;
+                    if v > u64::from(SCENARIO_SCHEMA) {
+                        return Err(TraceError::UnsupportedSchema(v as u32));
+                    }
+                    header.schema = v as u32;
+                    saw_schema = true;
+                }
+                "noc" => match value {
+                    JsonValue::Str(s) => header.noc = s,
+                    _ => return Err(TraceError::BadHeader("noc must be a string".into())),
+                },
+                "channels" => header.channels = want_int(&value, "channels")?.max(1) as usize,
+                "max_cycles" => header.max_cycles = want_int(&value, "max_cycles")?,
+                "warmup" => header.warmup = want_int(&value, "warmup")?,
+                "generator" => match value {
+                    JsonValue::Str(s) => header.generator = s,
+                    _ => return Err(TraceError::BadHeader("generator must be a string".into())),
+                },
+                "drained_at" => header.drained_at = Some(want_int(&value, "drained_at")?),
+                "faults" => match value {
+                    JsonValue::Str(s) => {
+                        for part in s.split(';').filter(|p| !p.trim().is_empty()) {
+                            header.faults.push(decode_fault(part)?);
+                        }
+                    }
+                    _ => return Err(TraceError::BadHeader("faults must be a string".into())),
+                },
+                "expect_delivered" => {
+                    expect.delivered = want_int(&value, "expect_delivered")?;
+                    has_expect = true;
+                }
+                "expect_cycles" => {
+                    expect.cycles = want_int(&value, "expect_cycles")?;
+                    has_expect = true;
+                }
+                "expect_dropped" => {
+                    expect.dropped = want_int(&value, "expect_dropped")?;
+                    has_expect = true;
+                }
+                "expect_truncated" => {
+                    expect.truncated = match value {
+                        JsonValue::Bool(b) => b,
+                        _ => {
+                            return Err(TraceError::BadHeader(
+                                "expect_truncated must be a boolean".into(),
+                            ))
+                        }
+                    };
+                    has_expect = true;
+                }
+                // Forward compatibility: unknown keys within schema v1
+                // are ignored so older builds read newer minor traces.
+                _ => {}
+            }
+        }
+        if !saw_schema {
+            return Err(TraceError::BadHeader("missing schema".into()));
+        }
+        if header.noc.is_empty() {
+            return Err(TraceError::BadHeader("missing noc spec".into()));
+        }
+        if has_expect {
+            header.expect = Some(expect);
+        }
+        Ok(header)
+    }
+
+    /// A [`ReplaySource`] feeding this trace's schedule back into a
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadHeader`] when the noc spec has no
+    /// parsable side length.
+    pub fn replay_source(&self) -> Result<ReplaySource, TraceError> {
+        Ok(
+            ReplaySource::new(self.header.side_len()?, self.records.clone())
+                .hold_until(self.header.drained_at),
+        )
+    }
+}
+
+/// Wraps any [`TrafficSource`] and records the realized push schedule.
+///
+/// Deliveries are forwarded to the inner source, so closed-loop
+/// generators (dataflow, serialized transfers) behave exactly as if
+/// unwrapped — the recording observes what they *actually* pushed.
+#[derive(Debug, Clone)]
+pub struct RecordingSource<S> {
+    n: u16,
+    inner: S,
+    records: Vec<ScenarioRecord>,
+    depths: Vec<usize>,
+    drained_at: Option<u64>,
+}
+
+impl<S: TrafficSource> RecordingSource<S> {
+    /// Wraps `inner` for an `n × n` system.
+    pub fn new(n: u16, inner: S) -> Self {
+        RecordingSource {
+            n,
+            inner,
+            records: Vec::new(),
+            depths: Vec::new(),
+            drained_at: None,
+        }
+    }
+
+    /// The records captured so far.
+    pub fn records(&self) -> &[ScenarioRecord] {
+        &self.records
+    }
+
+    /// The cycle the inner source first reported itself exhausted, if
+    /// that has happened yet (assumes exhaustion is monotone, as every
+    /// generator in this crate guarantees).
+    pub fn drained_at(&self) -> Option<u64> {
+        self.drained_at
+    }
+
+    /// Consumes the wrapper, returning the captured schedule.
+    pub fn into_records(self) -> Vec<ScenarioRecord> {
+        self.records
+    }
+
+    /// Consumes the wrapper into a full trace under `header` (the
+    /// header's message-bearing fields are taken as given, except
+    /// `drained_at`, which only the recording knows).
+    pub fn into_trace(self, mut header: ScenarioHeader) -> ScenarioTrace {
+        header.drained_at = self.drained_at;
+        ScenarioTrace::new(header, self.records)
+    }
+
+    fn note_drain(&mut self, cycle: u64) {
+        if self.drained_at.is_none() && self.inner.exhausted() {
+            self.drained_at = Some(cycle);
+        }
+    }
+}
+
+impl<S: TrafficSource> TrafficSource for RecordingSource<S> {
+    fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
+        let nodes = queues.nodes();
+        self.depths.resize(nodes, 0);
+        for node in 0..nodes {
+            self.depths[node] = queues.depth(node);
+        }
+        self.inner.pump(cycle, queues);
+        // Collect this cycle's new tail entries across all nodes and
+        // sort by packet id to recover the exact global push order —
+        // replay must assign identical PacketIds.
+        let mut fresh: Vec<(u64, ScenarioRecord)> = Vec::new();
+        for node in 0..nodes {
+            for p in queues.iter(node).skip(self.depths[node]) {
+                fresh.push((
+                    p.id.0,
+                    ScenarioRecord {
+                        cycle,
+                        src: node,
+                        dst: p.dst.to_node_id(self.n),
+                        tag: p.tag,
+                    },
+                ));
+            }
+        }
+        fresh.sort_by_key(|&(id, _)| id);
+        self.records.extend(fresh.into_iter().map(|(_, r)| r));
+        self.note_drain(cycle);
+    }
+
+    fn on_delivery(&mut self, delivery: &Delivery) {
+        self.inner.on_delivery(delivery);
+        // Closed-loop sources flip to exhausted on their final
+        // delivery, between this cycle's pump and the engine's
+        // termination check — catch that here or the drain cycle of a
+        // run's very last cycle would be missed.
+        self.note_drain(delivery.cycle);
+    }
+
+    fn exhausted(&self) -> bool {
+        self.inner.exhausted()
+    }
+}
+
+/// Open-loop source replaying a recorded push schedule at the exact
+/// recorded cycles, implementing the same [`TrafficSource`] trait as
+/// every generator.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    n: u16,
+    records: Vec<ScenarioRecord>,
+    next: usize,
+    hold_until: Option<u64>,
+    cycle: u64,
+}
+
+impl ReplaySource {
+    /// Creates a replay source for an `n × n` system.
+    pub fn new(n: u16, records: Vec<ScenarioRecord>) -> Self {
+        ReplaySource {
+            n,
+            records,
+            next: 0,
+            hold_until: None,
+            cycle: 0,
+        }
+    }
+
+    /// Delays the source's exhaustion until the given cycle, matching
+    /// a recorded generator that outlived its last push (see
+    /// [`ScenarioHeader::drained_at`]).
+    pub fn hold_until(mut self, cycle: Option<u64>) -> Self {
+        self.hold_until = cycle;
+        self
+    }
+
+    /// Total records in the schedule.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl TrafficSource for ReplaySource {
+    fn pump(&mut self, cycle: u64, queues: &mut InjectQueues) {
+        self.cycle = cycle;
+        while let Some(r) = self.records.get(self.next) {
+            if r.cycle > cycle {
+                break;
+            }
+            queues.push(r.src, Coord::from_node_id(r.dst, self.n), cycle, r.tag);
+            self.next += 1;
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next >= self.records.len() && self.hold_until.is_none_or(|c| self.cycle >= c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> ScenarioTrace {
+        let mut header = ScenarioHeader::new("ft:4:2:1", "unit");
+        header.max_cycles = 10_000;
+        header.faults = vec![
+            Fault::DeadLink {
+                node: 5,
+                out: OutPort::EastEx,
+            },
+            Fault::TransientLink {
+                node: 3,
+                out: OutPort::SouthSh,
+                from: 10,
+                until: 20,
+                corrupt: true,
+            },
+            Fault::FailStopRouter { node: 7, at: 100 },
+            Fault::StalledInjector {
+                node: 1,
+                from: 0,
+                until: 50,
+            },
+        ];
+        header.drained_at = Some(17);
+        header.expect = Some(Expectation {
+            delivered: 2,
+            cycles: 40,
+            dropped: 0,
+            truncated: false,
+        });
+        let records = vec![
+            ScenarioRecord {
+                cycle: 0,
+                src: 0,
+                dst: 5,
+                tag: 1,
+            },
+            ScenarioRecord {
+                cycle: 3,
+                src: 2,
+                dst: 9,
+                tag: 2,
+            },
+        ];
+        ScenarioTrace::new(header, records)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let trace = sample_trace();
+        let text = trace.encode();
+        let back = ScenarioTrace::decode(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn fault_codec_round_trips() {
+        for fault in sample_trace().header.faults {
+            let text = encode_fault(&fault);
+            assert_eq!(decode_fault(&text).unwrap(), fault);
+        }
+        assert!(matches!(
+            decode_fault("dead x east-ex"),
+            Err(TraceError::BadFault(_))
+        ));
+        assert!(matches!(
+            decode_fault("dead 3 north"),
+            Err(TraceError::BadFault(_))
+        ));
+        assert!(matches!(
+            decode_fault("bogus 1 2"),
+            Err(TraceError::BadFault(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(ScenarioTrace::decode(""), Err(TraceError::BadMagic));
+        assert_eq!(
+            ScenarioTrace::decode("some other file\n"),
+            Err(TraceError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_header() {
+        let cases = [
+            format!("{SCENARIO_MAGIC}\n"),
+            format!("{SCENARIO_MAGIC}\nnot json\nend 0 0\n"),
+            format!("{SCENARIO_MAGIC}\n{{\"schema\":1}}\nend 0 0\n"), // missing noc
+            format!("{SCENARIO_MAGIC}\n{{\"noc\":\"ft:4:2:1\"}}\nend 0 0\n"), // missing schema
+            format!("{SCENARIO_MAGIC}\n{{\"schema\":1,\"noc\":\"ft:4:2:1\",\"faults\":\"junk\"}}\nend 0 0\n"),
+        ];
+        for text in &cases {
+            let err = ScenarioTrace::decode(text).unwrap_err();
+            assert!(
+                matches!(err, TraceError::BadHeader(_) | TraceError::BadFault(_)),
+                "{text:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_newer_schema() {
+        let text = format!("{SCENARIO_MAGIC}\n{{\"schema\":9,\"noc\":\"ft:4:2:1\"}}\nend 0 0\n");
+        assert_eq!(
+            ScenarioTrace::decode(&text),
+            Err(TraceError::UnsupportedSchema(9))
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_detected() {
+        let text = sample_trace().encode();
+        // Cut the trailer off entirely.
+        let torn: String = text
+            .lines()
+            .filter(|l| !l.starts_with("end "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(ScenarioTrace::decode(&torn), Err(TraceError::TornTail));
+        // Cut mid-record: last body line truncated AND no trailer.
+        let cut = &text[..text.find("m 3").unwrap() + 4];
+        assert!(matches!(
+            ScenarioTrace::decode(cut),
+            Err(TraceError::BadRecord { .. }) | Err(TraceError::TornTail)
+        ));
+    }
+
+    #[test]
+    fn interior_corruption_fails_checksum() {
+        let text = sample_trace().encode();
+        let corrupted = text.replace("m 0 0 5 1", "m 0 0 6 1");
+        assert_eq!(
+            ScenarioTrace::decode(&corrupted),
+            Err(TraceError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn count_mismatch_is_detected() {
+        let text = sample_trace().encode();
+        // Drop one record but keep the trailer.
+        let shortened: String = text
+            .lines()
+            .filter(|l| !l.starts_with("m 3"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            ScenarioTrace::decode(&shortened),
+            Err(TraceError::CountMismatch {
+                expected: 2,
+                found: 1
+            }) | Err(TraceError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_node_reports_untruncated_value() {
+        let huge = u64::from(u32::MAX) + 7;
+        let body = format!("m 0 0 {huge} 0");
+        let header = "{\"schema\":1,\"noc\":\"ft:4:2:1\"}";
+        let mut checksum = line_hash(header);
+        checksum = splitmix64(checksum ^ line_hash(&body));
+        let text = format!("{SCENARIO_MAGIC}\n{header}\n{body}\nend 1 {checksum:016x}\n");
+        assert_eq!(
+            ScenarioTrace::decode(&text),
+            Err(TraceError::NodeOutOfRange {
+                line: 3,
+                node: huge
+            })
+        );
+    }
+
+    #[test]
+    fn nonmonotonic_cycles_rejected() {
+        let header = "{\"schema\":1,\"noc\":\"ft:4:2:1\"}";
+        let b1 = "m 5 0 1 0";
+        let b2 = "m 4 0 1 0";
+        let mut checksum = line_hash(header);
+        checksum = splitmix64(checksum ^ line_hash(b1));
+        checksum = splitmix64(checksum ^ line_hash(b2));
+        let text = format!("{SCENARIO_MAGIC}\n{header}\n{b1}\n{b2}\nend 2 {checksum:016x}\n");
+        assert_eq!(
+            ScenarioTrace::decode(&text),
+            Err(TraceError::NonMonotonic { line: 4 })
+        );
+    }
+
+    #[test]
+    fn trailing_data_rejected() {
+        let mut text = sample_trace().encode();
+        text.push_str("m 9 0 0 0\n");
+        assert!(matches!(
+            ScenarioTrace::decode(&text),
+            Err(TraceError::TrailingData { line: 6 })
+        ));
+    }
+
+    #[test]
+    fn replay_holds_exhaustion_until_the_drain_cycle() {
+        let records = vec![ScenarioRecord {
+            cycle: 2,
+            src: 0,
+            dst: 1,
+            tag: 0,
+        }];
+        let mut held = ReplaySource::new(4, records.clone()).hold_until(Some(9));
+        let mut plain = ReplaySource::new(4, records);
+        let mut q = InjectQueues::new(16);
+        for cycle in 0..=9 {
+            held.pump(cycle, &mut q);
+            plain.pump(cycle, &mut q);
+            assert_eq!(plain.exhausted(), cycle >= 2, "plain at {cycle}");
+            assert_eq!(held.exhausted(), cycle >= 9, "held at {cycle}");
+        }
+    }
+
+    #[test]
+    fn noc_config_rebuilds_every_topology() {
+        let cfg = ScenarioHeader::new("hoplite:4", "t").noc_config().unwrap();
+        assert_eq!(cfg.n(), 4);
+        let cfg = ScenarioHeader::new("ft:8:2:1", "t").noc_config().unwrap();
+        assert_eq!((cfg.d(), cfg.r()), (2, 1));
+        assert_eq!(cfg.ft_policy(), Some(FtPolicy::Full));
+        let cfg = ScenarioHeader::new("ftlite:8:4:2", "t")
+            .noc_config()
+            .unwrap();
+        assert_eq!(cfg.ft_policy(), Some(FtPolicy::Inject));
+        for bad in ["mesh:4", "ft:8:2", "ft:8:x:1", "ft:8:3:2", ""] {
+            assert!(
+                matches!(
+                    ScenarioHeader::new(bad, "t").noc_config(),
+                    Err(TraceError::BadHeader(_))
+                ),
+                "{bad:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(TraceError::TornTail.to_string().contains("torn"));
+        assert!(TraceError::NodeOutOfRange { line: 3, node: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(TraceError::UnsupportedSchema(2).to_string().contains("v2"));
+    }
+}

@@ -48,6 +48,8 @@ pub struct TransferBatchSource {
     /// Remaining undelivered flits per transfer.
     remaining: Vec<u32>,
     completed: usize,
+    /// Deliveries whose tag named no outstanding flit of this batch.
+    foreign_flits: u64,
     pushed: bool,
 }
 
@@ -74,6 +76,7 @@ impl TransferBatchSource {
             transfers,
             remaining,
             completed: 0,
+            foreign_flits: 0,
             pushed: false,
         }
     }
@@ -100,6 +103,13 @@ impl TransferBatchSource {
     pub fn is_empty(&self) -> bool {
         self.transfers.is_empty()
     }
+
+    /// Deliveries observed whose tag named no outstanding flit of this
+    /// batch (e.g. a foreign or corrupted replay) — always 0 in a
+    /// well-formed run.
+    pub fn foreign_flits(&self) -> u64 {
+        self.foreign_flits
+    }
 }
 
 impl TrafficSource for TransferBatchSource {
@@ -115,10 +125,25 @@ impl TrafficSource for TransferBatchSource {
     }
 
     fn on_delivery(&mut self, delivery: &Delivery) {
-        let idx = delivery.packet.tag as usize;
-        debug_assert!(self.remaining[idx] > 0, "extra flit for transfer {idx}");
-        self.remaining[idx] -= 1;
-        if self.remaining[idx] == 0 {
+        // Bounds-check the tag before using it as an index: a replayed
+        // or foreign trace may carry tags this batch never issued, and
+        // `tag as usize` alone would wrap on 32-bit hosts. Unknown
+        // tags are counted, not indexed with.
+        let tag = delivery.packet.tag;
+        let Ok(idx) = usize::try_from(tag) else {
+            self.foreign_flits += 1;
+            return;
+        };
+        let Some(remaining) = self.remaining.get_mut(idx) else {
+            self.foreign_flits += 1;
+            return;
+        };
+        if *remaining == 0 {
+            self.foreign_flits += 1;
+            return;
+        }
+        *remaining -= 1;
+        if *remaining == 0 {
             self.completed += 1;
         }
     }
@@ -171,6 +196,33 @@ mod tests {
         assert!(!report.truncated);
         assert_eq!(report.stats.delivered, 8);
         assert_eq!(src.completed_transfers(), 2);
+        assert_eq!(src.foreign_flits(), 0);
+    }
+
+    #[test]
+    fn foreign_tags_are_counted_not_indexed() {
+        use fasttrack_core::packet::{Packet, PacketId};
+        let mut src = TransferBatchSource::new(
+            4,
+            128,
+            vec![Transfer {
+                src: 0,
+                dst: 5,
+                bits: 128,
+            }],
+        );
+        let mk = |tag| Delivery {
+            packet: Packet::new(PacketId(0), Coord::new(0, 0), Coord::new(1, 1), 0, tag),
+            cycle: 3,
+        };
+        // Out-of-range index, u64 wider than usize range, and a
+        // double-delivery of an already-complete transfer.
+        src.on_delivery(&mk(99));
+        src.on_delivery(&mk(u64::MAX));
+        src.on_delivery(&mk(0));
+        src.on_delivery(&mk(0));
+        assert_eq!(src.completed_transfers(), 1);
+        assert_eq!(src.foreign_flits(), 3);
     }
 
     #[test]

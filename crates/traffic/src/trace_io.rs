@@ -38,8 +38,10 @@ pub enum TraceParseError {
     NodeOutOfRange {
         /// 1-based line number.
         line: usize,
-        /// The offending node id.
-        node: usize,
+        /// The offending node id, kept at full `u64` width so the
+        /// reported value is never a truncated alias of what the file
+        /// actually said.
+        node: u64,
         /// Nodes in the target system.
         nodes: usize,
     },
@@ -101,21 +103,28 @@ pub fn parse_trace(text: &str, n: u16) -> Result<Vec<TraceEvent>, TraceParseErro
                 })
         };
         let release_cycle = parse(fields[0])?;
-        let src = parse(fields[1])? as usize;
-        let dst = parse(fields[2])? as usize;
+        let src = parse(fields[1])?;
+        let dst = parse(fields[2])?;
         let tag = if fields.len() == 4 {
             parse(fields[3])?
         } else {
             0
         };
+        // Range-check at u64 width BEFORE narrowing to usize: a node id
+        // above usize::MAX must report as out-of-range, not silently
+        // wrap into a valid-looking id on 32-bit hosts.
         for node in [src, dst] {
-            if node >= nodes {
+            if node >= nodes as u64 {
                 return Err(TraceParseError::NodeOutOfRange { line, node, nodes });
             }
         }
         events.push(TraceEvent {
             release_cycle,
-            message: Message { src, dst, tag },
+            message: Message {
+                src: src as usize,
+                dst: dst as usize,
+                tag,
+            },
         });
     }
     Ok(events)
@@ -198,6 +207,21 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("node 99"));
+    }
+
+    #[test]
+    fn huge_node_ids_report_untruncated() {
+        // 2^32 + 5 would wrap to 5 (in range!) if narrowed before the
+        // range check on a 32-bit host.
+        let huge = (1u64 << 32) + 5;
+        assert_eq!(
+            parse_trace(&format!("0 0 {huge}\n"), 4).unwrap_err(),
+            TraceParseError::NodeOutOfRange {
+                line: 1,
+                node: huge,
+                nodes: 16
+            }
+        );
     }
 
     #[test]
