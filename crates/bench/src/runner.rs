@@ -2,6 +2,7 @@
 //! sweeps (serial and deterministically parallel), and workload speedup
 //! measurement.
 
+use fasttrack_core::attribution::{AttributionConfig, AttributionReport, LatencyComponent};
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, NdjsonSink};
 use fasttrack_core::metrics::WindowedMetrics;
@@ -132,6 +133,22 @@ impl NocUnderTest {
         mcfg: MonitorConfig,
     ) -> (SimReport, HealthMonitor) {
         no_faults(self.session().options(opts).with_monitor(mcfg).run(source)).into_monitored()
+    }
+
+    /// [`NocUnderTest::run`] with the latency-attribution layer attached.
+    pub fn run_attributed<S: TrafficSource>(
+        &self,
+        source: &mut S,
+        opts: SimOptions,
+        acfg: AttributionConfig,
+    ) -> (SimReport, AttributionReport) {
+        no_faults(
+            self.session()
+                .options(opts)
+                .with_attribution(acfg)
+                .run(source),
+        )
+        .into_attributed()
     }
 
     /// Runs one traffic source per seed against a single engine —
@@ -394,6 +411,45 @@ impl SweepGrid {
         results.into_iter().unzip()
     }
 
+    /// [`SweepGrid::run`] with the latency-attribution layer attached to
+    /// every point. The rows are byte-identical to a plain run's
+    /// (attribution observes without perturbing); the second vector is
+    /// the per-point cycle accounting, in point-index order, ready for
+    /// [`attribution_csv`].
+    pub fn run_with_attribution(
+        &self,
+        threads: usize,
+        acfg: AttributionConfig,
+    ) -> (Vec<SweepRow>, Vec<PointAttribution>) {
+        let (base, packets) = (self.base_seed, self.packets_per_pe);
+        let results = sweep(self.points.clone(), threads, move |i, p| {
+            let seed = point_seed(base, i);
+            let n = p.nut.config.n();
+            let mut source = BernoulliSource::new(n, p.pattern, p.rate, packets, seed);
+            let (report, attribution) =
+                p.nut
+                    .run_attributed(&mut source, SimOptions::default(), acfg);
+            let row = SweepRow {
+                label: p.nut.label,
+                channels: p.nut.channels,
+                pattern: p.pattern,
+                rate: p.rate,
+                seed,
+                report,
+            };
+            let point = PointAttribution {
+                index: i,
+                label: row.label.clone(),
+                pattern: p.pattern,
+                rate: p.rate,
+                seed,
+                attribution,
+            };
+            (row, point)
+        });
+        results.into_iter().unzip()
+    }
+
     /// [`SweepGrid::run`] hardened for unattended grids: per-point panic
     /// isolation, bounded deterministic retry, and a per-point cycle
     /// budget that converts livelocked points into typed errors.
@@ -616,6 +672,64 @@ pub fn health_json(points: &[PointHealth]) -> String {
         );
     }
     out.push(']');
+    out
+}
+
+/// The latency attribution of one sweep point, tagged with the point's
+/// identity so the sidecar CSV stays self-describing.
+#[derive(Debug, Clone)]
+pub struct PointAttribution {
+    /// The point's index in the grid (merge key).
+    pub index: usize,
+    /// Label of the NoC under test.
+    pub label: String,
+    /// Traffic pattern.
+    pub pattern: Pattern,
+    /// Injection rate.
+    pub rate: f64,
+    /// The derived per-point seed.
+    pub seed: u64,
+    /// The point's aggregate attribution report.
+    pub attribution: AttributionReport,
+}
+
+/// The header line of the [`attribution_csv`] sidecar (with the
+/// trailing newline).
+pub fn attribution_csv_header() -> &'static str {
+    "index,config,pattern,rate,seed,packets,queue_wait_cycles,express_cycles,\
+     ring_cycles,deflect_cycles,reroute_cycles,eject_cycles,total_cycles,\
+     express_traffic_fraction,express_decisions,ring_decisions,exit_decisions,\
+     route_decisions,reconciled\n"
+}
+
+/// Serializes per-point attribution reports as a deterministic sidecar
+/// CSV in point-index order — the companion of [`sweep_csv`], which
+/// stays byte-identical whether or not attribution ran.
+pub fn attribution_csv(points: &[PointAttribution]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(attribution_csv_header());
+    for p in points {
+        let a = &p.attribution;
+        let _ = write!(
+            out,
+            "{},{},{},{:.6},{},{}",
+            p.index, p.label, p.pattern, p.rate, p.seed, a.delivered
+        );
+        for c in LatencyComponent::ALL {
+            let _ = write!(out, ",{}", a.component(c));
+        }
+        let _ = writeln!(
+            out,
+            ",{},{:.6},{},{},{},{},{}",
+            a.total_cycles(),
+            a.express_traffic_fraction(),
+            a.express_decisions,
+            a.ring_decisions,
+            a.exit_decisions,
+            a.route_decisions,
+            a.reconciled()
+        );
+    }
     out
 }
 
@@ -900,6 +1014,46 @@ mod tests {
         let json = health_json(&health1);
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"config\":\"Hoplite\""));
+    }
+
+    #[test]
+    fn attribution_sweep_keeps_rows_identical_and_is_deterministic() {
+        let nuts = [NocUnderTest::hoplite(4), NocUnderTest::fasttrack(4, 2, 1)];
+        let grid = SweepGrid::cross(&nuts, &[Pattern::Random], &[0.2, 1.0], 0xBEEF)
+            .with_packets_per_pe(40);
+        let plain = sweep_csv(&grid.run(1));
+        let acfg = AttributionConfig::default();
+        let (rows1, attrib1) = grid.run_with_attribution(1, acfg);
+        let (rows8, attrib8) = grid.run_with_attribution(8, acfg);
+        assert_eq!(
+            sweep_csv(&rows1),
+            plain,
+            "attribution must not change sweep rows"
+        );
+        assert_eq!(sweep_csv(&rows8), plain, "thread count leaked in");
+        assert_eq!(
+            attribution_csv(&attrib1),
+            attribution_csv(&attrib8),
+            "attribution sidecar must be deterministic at any thread count"
+        );
+        assert_eq!(attrib1.len(), grid.len());
+        for (i, (p, row)) in attrib1.iter().zip(&rows1).enumerate() {
+            assert_eq!(p.index, i);
+            assert!(p.attribution.reconciled(), "point {i}");
+            assert_eq!(p.attribution.mismatches, 0, "point {i}");
+            assert_eq!(p.attribution.delivered, row.report.stats.delivered);
+        }
+        let csv = attribution_csv(&attrib1);
+        assert!(csv.starts_with(attribution_csv_header()));
+        assert_eq!(csv.lines().count(), grid.len() + 1);
+        assert!(csv.contains(",true\n") && !csv.contains(",false\n"));
+        // FastTrack points must attribute cycles to express lanes;
+        // Hoplite points must not.
+        let ft = &attrib1[2].attribution;
+        assert!(ft.component(LatencyComponent::Express) > 0);
+        let hoplite = &attrib1[0].attribution;
+        assert_eq!(hoplite.component(LatencyComponent::Express), 0);
+        assert_eq!(hoplite.express_decisions, 0);
     }
 
     #[test]

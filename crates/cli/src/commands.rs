@@ -4,16 +4,19 @@
 use fasttrack_bench::fuzz::{fuzz, FuzzConfig};
 use fasttrack_bench::journal::run_journaled;
 use fasttrack_bench::runner::{
-    health_json, sweep_csv, FallibleSweepOptions, NocUnderTest, SweepGrid, INJECTION_RATES,
+    attribution_csv, health_json, sweep_csv, FallibleSweepOptions, NocUnderTest, SweepGrid,
+    INJECTION_RATES,
 };
 use fasttrack_bench::snapshot::{self, BenchSnapshot, SnapshotError};
+use fasttrack_core::attribution::{AttributionConfig, LatencyComponent, PacketJourney};
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
 use fasttrack_core::fault::{FaultPlan, FaultSpec};
 use fasttrack_core::metrics::WindowedMetrics;
 use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, HealthMonitor, MonitorConfig};
-use fasttrack_core::sim::{SimOptions, SimReport, SimSession, TrafficSource};
-use fasttrack_core::trace::EventSink;
+use fasttrack_core::packet::PacketId;
+use fasttrack_core::sim::{SimOptions, SimOutcome, SimReport, SimSession, TrafficSource};
+use fasttrack_core::trace::{EventSink, SimEvent};
 use fasttrack_fpga::device::Device;
 use fasttrack_fpga::power::PowerModel;
 use fasttrack_fpga::resources::noc_cost;
@@ -89,8 +92,8 @@ USAGE:
   fasttrack sweep    (--grid <g> | --noc <spec> [--pattern <p>])
                      [--threads <t>] [--out table|csv]
                      [--packets <n>] [--seed <s>] [--health <path>]
-                     [--retries <n>] [--cycle-budget <cycles>]
-                     [--resume <journal>] [--profile]
+                     [--attribution <path>] [--retries <n>]
+                     [--cycle-budget <cycles>] [--resume <journal>] [--profile]
   fasttrack faults   --noc <spec> [--pattern <p>] [--rate <r>]
                      [--packets <n>] [--seed <s>] [--fault-seed <s>]
                      [--dead-links <n>] [--transient-links <n>]
@@ -99,6 +102,11 @@ USAGE:
                      [--health <path>] [--profile]
   fasttrack profile  [--noc <spec>] [--pattern <p>] [--rate <r>]
                      [--packets <n>] [--seed <s>] [--out <prefix>] [--json]
+  fasttrack attribute (--trace <path> | --noc <spec> [--pattern <p>]
+                     [--rate <r>] [--packets <n>] [--seed <s>]
+                     [--channels <k>]) [--metrics <path>] [--json]
+  fasttrack explain  <packet-id> (--trace <path> | --noc <spec> ...)
+                     [--flight-recorder <K>]
   fasttrack bench    snapshot [--packets <n>] [--out <path>] [--json]
   fasttrack bench    diff --baseline <path> --candidate <path> [--json]
   fasttrack bench    gate --baseline <path> [--candidate <path>]
@@ -163,6 +171,26 @@ PROFILE:
   exposition); sweep --profile prints per-point timing percentiles to
   stderr while the CSV stays byte-identical.
 
+ATTRIBUTION:
+  `attribute` answers \"where did the cycles go?\": it runs one
+  simulation (synthetic traffic, or a recorded scenario via --trace)
+  with the streaming latency-attribution layer attached and prints the
+  per-component cycle accounting — source-queue wait, express-lane
+  transit, shared-ring transit, deflection penalty, fault-reroute
+  penalty, and the final eject cycle. Components sum exactly to every
+  packet's end-to-end latency, and express + ring + exit decisions
+  reconcile with the engine's route-decision counter; both verdicts are
+  printed. --metrics writes the fasttrack_attrib_* cells (totals,
+  per-component histograms with quantile samples, traffic-weighted
+  express fraction) as a Prometheus exposition; --json emits the
+  aggregate report as JSON. `explain <packet-id>` reconstructs one
+  packet's journey cycle by cycle — injection, every routing decision,
+  deflections, express hops, fault events, eject — with its latency
+  decomposition and a flight-recorder excerpt around its final router.
+  sweep --attribution <path> writes one accounting row per sweep point
+  as a sidecar CSV (the sweep CSV stays byte-identical, at any
+  --threads).
+
 BENCH TRAJECTORY:
   `bench snapshot` measures the canonical sweep_scaling hot-path grid
   and writes a versioned snapshot (schema, commit, grid fingerprint,
@@ -204,6 +232,9 @@ EXAMPLES:
   fasttrack sweep --grid \"ft:8:2:1;random;0.1,0.5\" --resume run.journal
   fasttrack trace --topology ft --n 8 --d 2 --r 2 --pattern random --rate 0.2
   fasttrack profile --noc ft:8:2:2 --rate 0.5 --out prof
+  fasttrack attribute --noc ft:8:2:2 --rate 1.0 --metrics attrib.prom
+  fasttrack explain 42 --trace spmv.trace
+  fasttrack sweep --grid \"ft:8:2:1;random;0.5\" --attribution attrib.csv
   fasttrack bench gate --baseline BENCH_hotpath.json --tolerance 10
   fasttrack record --workload spmv --out spmv.trace
   fasttrack record --noc ftlite:8:4:1 --pattern hotspot:60 --rate 0.8 --dead-links 4 --out hot.trace
@@ -530,12 +561,18 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
         && (resume.is_some()
             || retries > 0
             || cycle_budget.is_some()
-            || flags.optional("health").is_some())
+            || flags.optional("health").is_some()
+            || flags.optional("attribution").is_some())
     {
         return Err(CliError::Other(
             "--profile times the plain sweep path only (drop \
-             --resume/--retries/--cycle-budget/--health)"
+             --resume/--retries/--cycle-budget/--health/--attribution)"
                 .into(),
+        ));
+    }
+    if flags.optional("attribution").is_some() && flags.optional("health").is_some() {
+        return Err(CliError::Other(
+            "--attribution and --health are separate sidecars; pass one per run".into(),
         ));
     }
 
@@ -567,9 +604,11 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     .with_packets_per_pe(packets);
 
     if let Some(path) = resume {
-        if flags.optional("health").is_some() {
+        if flags.optional("health").is_some() || flags.optional("attribution").is_some() {
             return Err(CliError::Other(
-                "--resume and --health cannot be combined (journals record rows only)".into(),
+                "--resume cannot be combined with --health/--attribution \
+                 (journals record rows only)"
+                    .into(),
             ));
         }
         if out_fmt != "csv" {
@@ -598,9 +637,9 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     }
 
     let hardened = retries > 0 || cycle_budget.is_some();
-    if hardened && flags.optional("health").is_some() {
+    if hardened && (flags.optional("health").is_some() || flags.optional("attribution").is_some()) {
         return Err(CliError::Other(
-            "--health cannot be combined with --retries/--cycle-budget".into(),
+            "--health/--attribution cannot be combined with --retries/--cycle-budget".into(),
         ));
     }
     let rows = if hardened {
@@ -627,6 +666,22 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
                 let unhealthy = points.iter().filter(|p| !p.health.healthy()).count();
                 eprintln!(
                     "sweep health: {} points ({unhealthy} unhealthy) -> {path}",
+                    points.len()
+                );
+                rows
+            }
+            None if flags.optional("attribution").is_some() => {
+                let path = flags.optional("attribution").expect("checked above");
+                let (rows, points) =
+                    grid.run_with_attribution(threads, AttributionConfig::default());
+                let csv = attribution_csv(&points);
+                std::fs::write(path, csv).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                let unreconciled = points
+                    .iter()
+                    .filter(|p| !p.attribution.reconciled())
+                    .count();
+                eprintln!(
+                    "sweep attribution: {} points ({unreconciled} unreconciled) -> {path}",
                     points.len()
                 );
                 rows
@@ -1121,20 +1176,9 @@ pub fn cmd_record(flags: &Flags) -> Result<String, CliError> {
 /// expectation, a divergent outcome is a nonzero exit.
 pub fn cmd_replay(flags: &Flags) -> Result<String, CliError> {
     let path = flags.required("file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
-    let trace =
-        ScenarioTrace::decode(&text).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
-    let cfg = trace
-        .header
-        .noc_config()
-        .map_err(|e| CliError::Other(format!("{path}: {e}")))?;
-    let plan = trace
-        .header
-        .faults
-        .iter()
-        .fold(FaultPlan::new(), |p, &f| p.with(f));
-    let mut src = trace
-        .replay_source()
+    let trace = load_trace(path)?;
+    let (cfg, plan, mut src) = trace
+        .replay_setup()
         .map_err(|e| CliError::Other(format!("{path}: {e}")))?;
 
     let mut session = SimSession::new(&cfg)
@@ -1175,6 +1219,270 @@ pub fn cmd_replay(flags: &Flags) -> Result<String, CliError> {
                 got.dropped,
                 got.truncated,
             )));
+        }
+    }
+    Ok(out)
+}
+
+/// Reads and decodes a scenario trace file.
+fn load_trace(path: &str) -> Result<ScenarioTrace, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    ScenarioTrace::decode(&text).map_err(|e| CliError::Other(format!("{path}: {e}")))
+}
+
+/// Runs the session `attribute`/`explain` share: a recorded scenario
+/// when `--trace` is given (faults, warmup, channels, and cycle cap
+/// all come from the trace header), a synthetic Bernoulli run
+/// otherwise.
+fn attributed_outcome(
+    flags: &Flags,
+    acfg: AttributionConfig,
+    mcfg: Option<MonitorConfig>,
+) -> Result<SimOutcome, CliError> {
+    match flags.optional("trace") {
+        Some(path) => {
+            let trace = load_trace(path)?;
+            let (cfg, plan, mut src) = trace
+                .replay_setup()
+                .map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+            let mut session = SimSession::new(&cfg)
+                .max_cycles(trace.header.max_cycles)
+                .with_faults(&plan)
+                .with_attribution(acfg);
+            if trace.header.warmup > 0 {
+                session = session.warmup_cycles(trace.header.warmup);
+            }
+            if trace.header.channels > 1 {
+                session = session.channels(trace.header.channels);
+            }
+            if let Some(m) = mcfg {
+                session = session.with_monitor(m);
+            }
+            session
+                .run(&mut src)
+                .map_err(|e| CliError::Other(e.to_string()))
+        }
+        None => {
+            let cfg = parse_noc(flags.required("noc").map_err(|_| {
+                CliError::Other(
+                    "need --trace <path> or --noc <spec> to say which run to attribute".into(),
+                )
+            })?)?;
+            let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+            let rate: f64 = flags.numeric("rate", 1.0)?;
+            let packets: u64 = flags.numeric("packets", 1000)?;
+            let seed: u64 = flags.numeric("seed", 1)?;
+            let channels: usize = flags.numeric("channels", 1)?;
+            let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
+            let mut session = SimSession::new(&cfg).with_attribution(acfg);
+            if channels > 1 {
+                session = session.channels(channels);
+            }
+            if let Some(m) = mcfg {
+                session = session.with_monitor(m);
+            }
+            session
+                .run(&mut src)
+                .map_err(|e| CliError::Other(e.to_string()))
+        }
+    }
+}
+
+/// `attribute` — where did the cycles go? Runs one simulation (live
+/// synthetic traffic or a recorded scenario trace) with the
+/// latency-attribution layer attached and prints the per-component
+/// cycle accounting: source-queue wait, express-lane transit,
+/// shared-ring transit, deflection penalty, fault-reroute penalty, and
+/// the final eject cycle, with the exact-sum and wire-class
+/// reconciliation verdicts. `--metrics <path>` writes the
+/// `fasttrack_attrib_*` cells as a Prometheus exposition; `--json`
+/// emits the aggregate report as JSON instead of text.
+pub fn cmd_attribute(flags: &Flags) -> Result<String, CliError> {
+    let outcome = attributed_outcome(flags, AttributionConfig::default(), None)?;
+    let attribution = outcome
+        .attribution
+        .expect("session was built with `with_attribution`");
+    let mut out = if flags.switch("json") {
+        let mut json = attribution.to_json();
+        json.push('\n');
+        json
+    } else {
+        let mut text = render_report(&outcome.report);
+        text.push('\n');
+        text.push_str(&attribution.render_text());
+        text
+    };
+    if let Some(path) = flags.optional("metrics") {
+        let exposition = attribution.registry().to_prometheus();
+        std::fs::write(path, exposition).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        out.push_str(&format!("  attribution metrics -> {path}\n"));
+    }
+    Ok(out)
+}
+
+/// One journey line for `explain`: what happened to the packet at this
+/// event.
+fn journey_line(event: &SimEvent) -> String {
+    match event {
+        SimEvent::Inject {
+            cycle,
+            node,
+            out,
+            queue_wait,
+            ..
+        } => format!("cycle {cycle:>6}  node {node:>4}  inject -> {out} (queue wait {queue_wait})"),
+        SimEvent::RouteDecision {
+            cycle,
+            node,
+            in_port,
+            out,
+            hops,
+            ..
+        } => {
+            let from = in_port.map_or_else(|| "PE".to_string(), |p| p.to_string());
+            format!("cycle {cycle:>6}  node {node:>4}  route {from} -> {out} (hops so far {hops})")
+        }
+        SimEvent::Deflect {
+            cycle, node, out, ..
+        } => {
+            format!("cycle {cycle:>6}  node {node:>4}  deflected -> {out}")
+        }
+        SimEvent::ExpressHop {
+            cycle, node, span, ..
+        } => format!("cycle {cycle:>6}  node {node:>4}  express hop spanning {span} routers"),
+        SimEvent::FaultReroute {
+            cycle,
+            node,
+            avoided,
+            ..
+        } => format!("cycle {cycle:>6}  node {node:>4}  rerouted around faulty {avoided}"),
+        SimEvent::FaultDrop {
+            cycle,
+            node,
+            link,
+            corrupted,
+            ..
+        } => {
+            let cause = match (link, corrupted) {
+                (Some(l), true) => format!("corrupted on {l}"),
+                (Some(l), false) => format!("dropped on {l}"),
+                (None, _) => "dropped at a failed router".to_string(),
+            };
+            format!("cycle {cycle:>6}  node {node:>4}  FAULT: {cause}")
+        }
+        SimEvent::Eject {
+            cycle,
+            node,
+            delivery,
+        } => format!(
+            "cycle {cycle:>6}  node {node:>4}  eject (consumed by PE @{})",
+            delivery.cycle
+        ),
+        other => format!("cycle {:>6}  {}", other.cycle(), other.kind()),
+    }
+}
+
+/// Renders the watched packet's journey plus its attribution verdict.
+fn render_journey(journey: &PacketJourney) -> String {
+    let mut out = String::new();
+    let id = journey.packet.0;
+    if let Some(SimEvent::Inject { node, dst, .. }) = journey
+        .events
+        .iter()
+        .find(|e| matches!(e, SimEvent::Inject { .. }))
+    {
+        out.push_str(&format!(
+            "packet {id}: injected at node {node}, destined for {dst}\n"
+        ));
+    }
+    out.push_str("journey:\n");
+    for e in &journey.events {
+        out.push_str("  ");
+        out.push_str(&journey_line(e));
+        out.push('\n');
+    }
+    match (&journey.attribution, journey.dropped) {
+        (Some(a), _) => {
+            let parts: Vec<String> = LatencyComponent::ALL
+                .iter()
+                .map(|&c| format!("{} {}", c.label(), a.component(c)))
+                .collect();
+            out.push_str(&format!(
+                "attribution: {} == {} end-to-end [{}]\n",
+                parts.join(" | "),
+                a.latency(),
+                if a.exact() { "exact" } else { "MISMATCH" },
+            ));
+        }
+        (None, true) => {
+            out.push_str(&format!(
+                "packet {id} was dropped by a fault (see journey)\n"
+            ));
+        }
+        (None, false) => {
+            out.push_str(&format!(
+                "packet {id} was still in flight when the run ended\n"
+            ));
+        }
+    }
+    out
+}
+
+/// `explain <packet-id>` — reconstructs one packet's full journey from
+/// a live run or a recorded scenario trace: every injection, routing
+/// decision, deflection, express hop, fault event, and the final eject,
+/// cycle by cycle, with the packet's latency decomposition and a
+/// flight-recorder excerpt around its final router for cross-checking.
+pub fn cmd_explain(args: &[String]) -> Result<String, CliError> {
+    let Some((id_str, rest)) = args.split_first() else {
+        return Err(CliError::Other(
+            "explain needs a packet id: \
+             fasttrack explain <packet-id> (--trace <path> | --noc <spec> ...)"
+                .into(),
+        ));
+    };
+    let id: u64 = id_str
+        .parse()
+        .map_err(|_| CliError::Other(format!("packet id must be a number, got {id_str:?}")))?;
+    let flags = Flags::parse(rest.to_vec())?;
+    let flight: usize = flags.numeric("flight-recorder", 16)?;
+    if flight == 0 {
+        return Err(CliError::Other("--flight-recorder must be positive".into()));
+    }
+    let mcfg = MonitorConfig {
+        flight_capacity: flight,
+        snapshot_every: None,
+        ..MonitorConfig::default()
+    };
+    let acfg = AttributionConfig::default().watch(PacketId(id));
+    let outcome = attributed_outcome(&flags, acfg, Some(mcfg))?;
+    let attribution = outcome
+        .attribution
+        .expect("session was built with `with_attribution`");
+    let journey = attribution
+        .journey
+        .as_ref()
+        .expect("session was built with a watched packet");
+    if journey.events.is_empty() {
+        return Err(CliError::Other(format!(
+            "packet {id} never appeared in this run ({} packets were injected; \
+             ids are assigned in injection order)",
+            outcome.report.stats.injected,
+        )));
+    }
+    let mut out = render_journey(journey);
+    let last_node = journey.events.last().and_then(|e| e.node());
+    if let (Some(monitor), Some(node)) = (&outcome.monitor, last_node) {
+        let excerpt = monitor.recorder().excerpt(node);
+        out.push_str(&format!(
+            "flight recorder @ node {node} (last {} events, * = packet {id}):\n",
+            excerpt.len(),
+        ));
+        for e in &excerpt {
+            let mine = journey.events.contains(e);
+            out.push_str(if mine { "  * " } else { "    " });
+            out.push_str(&journey_line(e));
+            out.push('\n');
         }
     }
     Ok(out)
@@ -1249,13 +1557,17 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Ok(USAGE.to_string());
     };
-    // `bench` takes an action word before its flags.
+    // `bench` takes an action word before its flags; `explain` takes a
+    // positional packet id.
     if command == "bench" {
         return cmd_bench(rest);
     }
+    if command == "explain" {
+        return cmd_explain(rest);
+    }
     let switches: &[&str] = match command.as_str() {
         "monitor" | "sweep" | "faults" => &["profile"],
-        "profile" => &["json"],
+        "profile" | "attribute" => &["json"],
         _ => &[],
     };
     let flags = Flags::parse_with_switches(rest.to_vec(), switches)?;
@@ -1265,6 +1577,7 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
         "sweep" => cmd_sweep(&flags),
         "faults" => cmd_faults(&flags),
         "profile" => cmd_profile(&flags),
+        "attribute" => cmd_attribute(&flags),
         "cost" => cmd_cost(&flags),
         "trace" => cmd_trace(&flags),
         "record" => cmd_record(&flags),
@@ -1864,5 +2177,125 @@ mod tests {
             let trace = ScenarioTrace::decode(&text).unwrap();
             assert!(trace.header.noc_config().is_ok());
         }
+    }
+
+    #[test]
+    fn attribute_synthetic_reports_exact_accounting() {
+        let out = run(argv(
+            "attribute --noc ft:4:2:1 --pattern random --rate 0.8 --packets 40 --seed 3",
+        ))
+        .unwrap();
+        assert!(out.contains("where the cycles went"), "{out}");
+        assert!(out.contains("queue-wait"), "{out}");
+        assert!(out.contains("express traffic fraction"), "{out}");
+        assert!(out.contains("route decisions [ok]"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+    }
+
+    #[test]
+    fn attribute_json_and_metrics_outputs() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_attribute");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prom = dir.join("attrib.prom");
+        let out = run(argv(&format!(
+            "attribute --noc hoplite:4 --rate 0.5 --packets 30 --seed 5 --json --metrics {}",
+            prom.display()
+        )))
+        .unwrap();
+        assert!(
+            out.contains("\"schema\":\"fasttrack-attribution-v1\""),
+            "{out}"
+        );
+        let exposition = std::fs::read_to_string(&prom).unwrap();
+        assert!(
+            exposition.contains("fasttrack_attrib_packets_total"),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains("fasttrack_attrib_queue_wait_cycles{quantile=\"0.99\"}"),
+            "{exposition}"
+        );
+        // Hoplite has no express wires: every transit cycle is ring-class.
+        assert!(
+            exposition.contains("fasttrack_attrib_express_cycles_total 0"),
+            "{exposition}"
+        );
+    }
+
+    #[test]
+    fn attribute_and_explain_round_trip_a_recorded_trace() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_attribute_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run.trace");
+        run(argv(&format!(
+            "record --noc ft:4:2:1 --pattern transpose --rate 0.6 --packets 25 --seed 8 --out {}",
+            trace.display()
+        )))
+        .unwrap();
+        let out = run(argv(&format!("attribute --trace {}", trace.display()))).unwrap();
+        assert!(out.contains("route decisions [ok]"), "{out}");
+        let explained = run(argv(&format!("explain 0 --trace {}", trace.display()))).unwrap();
+        assert!(explained.contains("journey:"), "{explained}");
+        assert!(explained.contains("inject ->"), "{explained}");
+        assert!(explained.contains("flight recorder @"), "{explained}");
+        // Packet 0's accounting is exact, or the packet never delivered —
+        // either way the journey is rendered without a mismatch.
+        assert!(!explained.contains("MISMATCH"), "{explained}");
+    }
+
+    #[test]
+    fn explain_argument_errors() {
+        let err = run(argv("explain")).unwrap_err();
+        assert!(err.to_string().contains("packet id"), "{err}");
+        let err = run(argv("explain banana --noc ft:4:2:1")).unwrap_err();
+        assert!(err.to_string().contains("must be a number"), "{err}");
+        let err = run(argv("explain 999999 --noc ft:4:2:1 --packets 5 --seed 1")).unwrap_err();
+        assert!(err.to_string().contains("never appeared"), "{err}");
+        let err = run(argv("explain 0")).unwrap_err();
+        assert!(err.to_string().contains("--trace <path> or --noc"), "{err}");
+    }
+
+    #[test]
+    fn sweep_attribution_sidecar_keeps_rows_identical() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_sweep_attrib");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sidecar = dir.join("attrib.csv");
+        let plain = run(argv(
+            "sweep --grid hoplite:4,ft:4:2:1;random;0.5 --packets 60 --seed 4 --out csv",
+        ))
+        .unwrap();
+        let with = run(argv(&format!(
+            "sweep --grid hoplite:4,ft:4:2:1;random;0.5 --packets 60 --seed 4 --out csv --attribution {}",
+            sidecar.display()
+        )))
+        .unwrap();
+        assert_eq!(plain, with, "sweep CSV must not change with --attribution");
+        let csv = std::fs::read_to_string(&sidecar).unwrap();
+        let mut lines = csv.lines();
+        assert!(
+            lines.next().unwrap().starts_with("index,config,pattern"),
+            "{csv}"
+        );
+        assert_eq!(lines.count(), 2, "one sidecar row per sweep point: {csv}");
+        assert!(!csv.contains(",false"), "all points reconcile: {csv}");
+    }
+
+    #[test]
+    fn sweep_attribution_rejects_conflicting_flags() {
+        let err = run(argv(
+            "sweep --noc ft:4:2:1 --attribution /tmp/a.csv --health /tmp/h.json",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("separate sidecars"), "{err}");
+        let err = run(argv(
+            "sweep --noc ft:4:2:1 --attribution /tmp/a.csv --retries 2",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot be combined"), "{err}");
+        let err = run(argv(
+            "sweep --noc ft:4:2:1 --attribution /tmp/a.csv --resume /tmp/j",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
     }
 }

@@ -47,6 +47,7 @@
 
 pub mod alloc;
 pub mod analysis;
+pub mod attribution;
 pub mod config;
 pub mod export;
 pub mod fault;
@@ -71,6 +72,10 @@ pub mod trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::attribution::{
+        AttributionConfig, AttributionReport, AttributionSink, LatencyComponent, PacketAttribution,
+        PacketJourney,
+    };
     pub use crate::config::{ConfigError, ExitPolicy, FtPolicy, LinkPipeline, NocConfig, NocKind};
     pub use crate::export::{ChromeTraceSink, NdjsonSink};
     pub use crate::fault::{Fault, FaultError, FaultPlan, FaultSpec};

@@ -175,6 +175,25 @@ impl LogHistogram {
         }
         u64::MAX
     }
+
+    /// Adds every observation recorded in `other` to this histogram,
+    /// preserving exact bucket counts and the exact sum. Lets a
+    /// privately accumulated histogram (e.g. a latency-attribution
+    /// component) be published into a registry-owned cell after a run.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.inner.buckets.iter().zip(other.inner.buckets.iter()) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.inner
+            .count
+            .fetch_add(other.inner.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.inner
+            .sum
+            .fetch_add(other.inner.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -305,7 +324,8 @@ impl MetricsRegistry {
     /// Renders the registry in the Prometheus text exposition format,
     /// metrics sorted by name. Histograms emit cumulative `_bucket`
     /// series with power-of-two `le` bounds up to the highest non-empty
-    /// bucket, then `+Inf`, `_sum`, and `_count`.
+    /// bucket, then `+Inf`, `_sum`, `_count`, and (when non-empty)
+    /// summary-style p50/p95/p99 `quantile` samples.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -335,6 +355,20 @@ impl MetricsRegistry {
                     let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count());
                     let _ = writeln!(out, "{}_sum {}", m.name, h.sum());
                     let _ = writeln!(out, "{}_count {}", m.name, h.count());
+                    // Summary-style quantile samples so percentiles are
+                    // scrapeable without the JSON path. Omitted while
+                    // empty, matching how summaries expose no data.
+                    if h.count() > 0 {
+                        for q in [50.0, 95.0, 99.0] {
+                            let _ = writeln!(
+                                out,
+                                "{}{{quantile=\"{}\"}} {}",
+                                m.name,
+                                q / 100.0,
+                                h.percentile(q)
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -596,5 +630,80 @@ mod tests {
             b.to_prometheus(),
             "exposition must not depend on registration order"
         );
+    }
+
+    #[test]
+    fn histogram_quantile_samples_follow_count_in_ascending_order() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q_latency", "q");
+        for v in [1, 2, 4, 8, 100] {
+            h.record(v);
+        }
+        let text = reg.to_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let count_at = lines
+            .iter()
+            .position(|l| l.starts_with("q_latency_count "))
+            .expect("_count sample present");
+        // The three quantile samples come right after _count, in
+        // ascending quantile order, each starting with the metric name.
+        for (off, q) in [(1, "0.5"), (2, "0.95"), (3, "0.99")] {
+            let line = lines[count_at + off];
+            assert!(
+                line.starts_with(&format!("q_latency{{quantile=\"{q}\"}} ")),
+                "expected quantile {q} at offset {off}, got {line:?}"
+            );
+        }
+        // Values are the histogram's own percentile estimates.
+        assert!(text.contains(&format!(
+            "q_latency{{quantile=\"0.99\"}} {}\n",
+            h.percentile(99.0)
+        )));
+        // Quantile estimates never decrease with the quantile.
+        assert!(h.percentile(50.0) <= h.percentile(95.0));
+        assert!(h.percentile(95.0) <= h.percentile(99.0));
+    }
+
+    #[test]
+    fn empty_histogram_emits_no_quantile_samples() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("e_latency", "e");
+        let text = reg.to_prometheus();
+        assert!(text.contains("e_latency_count 0"));
+        assert!(
+            !text.contains("quantile="),
+            "empty histogram must not expose quantiles: {text}"
+        );
+    }
+
+    #[test]
+    fn quantile_label_values_never_need_escaping() {
+        // The quantile label value is always a bare decimal; the
+        // escaper must pass it through untouched so the samples stay
+        // byte-stable for scrapers.
+        for q in ["0.5", "0.95", "0.99"] {
+            assert_eq!(escape_label_value(q), q);
+        }
+    }
+
+    #[test]
+    fn merge_from_preserves_buckets_count_and_sum() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        for v in [0, 1, 7, 1000] {
+            a.record(v);
+        }
+        for v in [3, 900_000] {
+            b.record(v);
+        }
+        let merged = LogHistogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        let (ma, mb, mm) = (a.bucket_counts(), b.bucket_counts(), merged.bucket_counts());
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(mm[i], ma[i] + mb[i], "bucket {i}");
+        }
     }
 }

@@ -30,6 +30,7 @@
 //! The pre-session `simulate_*` free functions remain as deprecated
 //! one-line shims over the builder; they produce bit-identical reports.
 
+use crate::attribution::{AttributionConfig, AttributionReport, AttributionSink};
 use crate::config::NocConfig;
 use crate::fault::{FaultError, FaultPlan};
 use crate::kernel::RouteMode;
@@ -532,6 +533,9 @@ pub struct SimOutcome {
     /// The profiling artifact, when the session attached
     /// [`SimSession::with_profile`].
     pub profile: Option<SessionProfile>,
+    /// The latency-attribution report, when the session attached
+    /// [`SimSession::with_attribution`].
+    pub attribution: Option<AttributionReport>,
 }
 
 impl SimOutcome {
@@ -546,6 +550,20 @@ impl SimOutcome {
             self.report,
             self.monitor
                 .expect("session was built without `with_monitor`"),
+        )
+    }
+
+    /// Splits the outcome into report and attribution report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session was built without
+    /// [`SimSession::with_attribution`].
+    pub fn into_attributed(self) -> (SimReport, AttributionReport) {
+        (
+            self.report,
+            self.attribution
+                .expect("session was built without `with_attribution`"),
         )
     }
 }
@@ -574,6 +592,7 @@ pub struct SimSession<'s, B: SessionBackend, K: EventSink = NullSink> {
     monitor: Option<MonitorConfig>,
     sink: Option<&'s mut K>,
     profile: bool,
+    attribution: Option<AttributionConfig>,
 }
 
 impl SimSession<'static, TorusBackend> {
@@ -593,6 +612,7 @@ impl<B: SessionBackend> SimSession<'static, B> {
             monitor: None,
             sink: None,
             profile: false,
+            attribution: None,
         }
     }
 }
@@ -642,6 +662,7 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
             monitor: self.monitor,
             sink: Some(sink),
             profile: self.profile,
+            attribution: self.attribution,
         }
     }
 
@@ -656,6 +677,23 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
     /// pre-profiling code path (statically zero-cost).
     pub fn with_profile(mut self) -> Self {
         self.profile = true;
+        self
+    }
+
+    /// Attaches the latency-attribution layer: an [`AttributionSink`]
+    /// tees into the event stream, folds every packet's journey into a
+    /// per-component latency decomposition plus wire-class decision
+    /// accounting, and returns an [`AttributionReport`] in the
+    /// [`SimOutcome`]. When a monitor is also attached, the report's
+    /// `fasttrack_attrib_*` cells are published into the monitor's
+    /// [`MetricsRegistry`] so they ride the same Prometheus/JSON
+    /// exposition. Like the monitor and the profiler, attribution
+    /// observes the run without perturbing it — report and event
+    /// stream are identical to an unattributed session's — and
+    /// sessions without this call take the exact pre-attribution code
+    /// path.
+    pub fn with_attribution(mut self, acfg: AttributionConfig) -> Self {
+        self.attribution = Some(acfg);
         self
     }
 
@@ -680,17 +718,37 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
         }
         let mut engine = self.backend.build(self.faults.as_ref())?;
         let mut monitor = self.make_monitor();
-        let report = dispatch(
-            &mut engine,
-            source,
-            self.opts,
-            self.sink.as_deref_mut(),
-            monitor.as_mut(),
-        );
+        let (report, attribution) = match self.attribution {
+            None => (
+                dispatch(
+                    &mut engine,
+                    source,
+                    self.opts,
+                    self.sink.as_deref_mut(),
+                    monitor.as_mut(),
+                ),
+                None,
+            ),
+            Some(acfg) => {
+                let mut attrib = AttributionSink::new(acfg);
+                let report = dispatch_attributed(
+                    &mut engine,
+                    source,
+                    self.opts,
+                    self.sink.as_deref_mut(),
+                    monitor.as_mut(),
+                    &mut attrib,
+                );
+                let attribution =
+                    AttributionReport::assemble(attrib, &report, registry_for(monitor.as_ref()));
+                (report, Some(attribution))
+            }
+        };
         Ok(SimOutcome {
             report,
             monitor,
             profile: None,
+            attribution,
         })
     }
 
@@ -706,25 +764,45 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
         };
         let mut monitor = self.make_monitor();
         let mut counter = EventCounter::default();
-        let report = {
+        let (report, attrib) = {
             let _drive = profile::scoped("session.drive");
-            dispatch_profiled(
-                &mut engine,
-                source,
-                self.opts,
-                self.sink.as_deref_mut(),
-                monitor.as_mut(),
-                &mut counter,
-            )
+            match self.attribution {
+                None => (
+                    dispatch_profiled(
+                        &mut engine,
+                        source,
+                        self.opts,
+                        self.sink.as_deref_mut(),
+                        monitor.as_mut(),
+                        &mut counter,
+                    ),
+                    None,
+                ),
+                Some(acfg) => {
+                    let mut attrib = AttributionSink::new(acfg);
+                    let report = dispatch_attributed_profiled(
+                        &mut engine,
+                        source,
+                        self.opts,
+                        self.sink.as_deref_mut(),
+                        monitor.as_mut(),
+                        &mut attrib,
+                        &mut counter,
+                    );
+                    (report, Some(attrib))
+                }
+            }
         };
         drop(session_span);
         let spans = tp.finish();
         let registry = registry_for(monitor.as_ref());
+        let attribution = attrib.map(|a| AttributionReport::assemble(a, &report, registry.clone()));
         let profile = SessionProfile::assemble(spans, &report, counter.events, registry);
         Ok(SimOutcome {
             report,
             monitor,
             profile: Some(profile),
+            attribution,
         })
     }
 
@@ -762,37 +840,67 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
                     tp = Some(profile::ThreadProfile::begin());
                 }
                 let mut counter = EventCounter::default();
+                let mut attrib = self.attribution.map(AttributionSink::new);
                 let report = {
                     let _drive = profile::scoped("session.drive");
-                    dispatch_profiled(
-                        &mut engine,
-                        &mut source,
-                        self.opts,
-                        self.sink.as_deref_mut(),
-                        monitor.as_mut(),
-                        &mut counter,
-                    )
+                    match attrib.as_mut() {
+                        None => dispatch_profiled(
+                            &mut engine,
+                            &mut source,
+                            self.opts,
+                            self.sink.as_deref_mut(),
+                            monitor.as_mut(),
+                            &mut counter,
+                        ),
+                        Some(a) => dispatch_attributed_profiled(
+                            &mut engine,
+                            &mut source,
+                            self.opts,
+                            self.sink.as_deref_mut(),
+                            monitor.as_mut(),
+                            a,
+                            &mut counter,
+                        ),
+                    }
                 };
                 let spans = tp.take().expect("profiling active").finish();
                 let registry = registry_for(monitor.as_ref());
+                let attribution =
+                    attrib.map(|a| AttributionReport::assemble(a, &report, registry.clone()));
                 let profile = SessionProfile::assemble(spans, &report, counter.events, registry);
                 outcomes.push(SimOutcome {
                     report,
                     monitor,
                     profile: Some(profile),
+                    attribution,
                 });
             } else {
-                let report = dispatch(
-                    &mut engine,
-                    &mut source,
-                    self.opts,
-                    self.sink.as_deref_mut(),
-                    monitor.as_mut(),
-                );
+                let mut attrib = self.attribution.map(AttributionSink::new);
+                let report = match attrib.as_mut() {
+                    None => dispatch(
+                        &mut engine,
+                        &mut source,
+                        self.opts,
+                        self.sink.as_deref_mut(),
+                        monitor.as_mut(),
+                    ),
+                    Some(a) => dispatch_attributed(
+                        &mut engine,
+                        &mut source,
+                        self.opts,
+                        self.sink.as_deref_mut(),
+                        monitor.as_mut(),
+                        a,
+                    ),
+                };
+                let attribution = attrib.map(|a| {
+                    AttributionReport::assemble(a, &report, registry_for(monitor.as_ref()))
+                });
                 outcomes.push(SimOutcome {
                     report,
                     monitor,
                     profile: None,
+                    attribution,
                 });
             }
         }
@@ -854,6 +962,46 @@ fn dispatch_profiled<E: SimEngine, T: TrafficSource, K: EventSink>(
         (Some(s), None) => drive_engine(engine, source, opts, &mut (s, counter)),
         (None, Some(m)) => drive_engine(engine, source, opts, &mut (m, counter)),
         (Some(s), Some(m)) => drive_engine(engine, source, opts, &mut (s, m, counter)),
+    }
+}
+
+/// [`dispatch`] with an [`AttributionSink`] teed into every
+/// combination, mirroring [`dispatch_profiled`]: the attribution layer
+/// is one more tuple element in the fan-out, so the engine's
+/// `S::ENABLED` specialization sees the same sink topology and the
+/// event stream reaching sink and monitor is unchanged.
+fn dispatch_attributed<E: SimEngine, T: TrafficSource, K: EventSink>(
+    engine: &mut E,
+    source: &mut T,
+    opts: SimOptions,
+    sink: Option<&mut K>,
+    monitor: Option<&mut HealthMonitor>,
+    attrib: &mut AttributionSink,
+) -> SimReport {
+    match (sink, monitor) {
+        (None, None) => drive_engine(engine, source, opts, attrib),
+        (Some(s), None) => drive_engine(engine, source, opts, &mut (s, attrib)),
+        (None, Some(m)) => drive_engine(engine, source, opts, &mut (m, attrib)),
+        (Some(s), Some(m)) => drive_engine(engine, source, opts, &mut (s, m, attrib)),
+    }
+}
+
+/// Attribution and profiling together: the four-way fan-out nests
+/// tuple sinks, keeping every observer on the one event stream.
+fn dispatch_attributed_profiled<E: SimEngine, T: TrafficSource, K: EventSink>(
+    engine: &mut E,
+    source: &mut T,
+    opts: SimOptions,
+    sink: Option<&mut K>,
+    monitor: Option<&mut HealthMonitor>,
+    attrib: &mut AttributionSink,
+    counter: &mut EventCounter,
+) -> SimReport {
+    match (sink, monitor) {
+        (None, None) => drive_engine(engine, source, opts, &mut (attrib, counter)),
+        (Some(s), None) => drive_engine(engine, source, opts, &mut (s, attrib, counter)),
+        (None, Some(m)) => drive_engine(engine, source, opts, &mut (m, attrib, counter)),
+        (Some(s), Some(m)) => drive_engine(engine, source, opts, &mut ((s, m), (attrib, counter))),
     }
 }
 
@@ -1230,9 +1378,101 @@ mod tests {
                 report: SimReport::default(),
                 monitor: None,
                 profile: None,
+                attribution: None,
             }
             .into_monitored()
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn attributed_run_matches_unattributed() {
+        use crate::attribution::AttributionConfig;
+        use crate::trace::VecSink;
+        let cfg = NocConfig::fasttrack(4, 2, 1, crate::config::FtPolicy::Full).unwrap();
+        let mk = || Batch {
+            items: (1..16).map(|i| (i, Coord::new(3, 2))).collect(),
+            pushed: false,
+        };
+        let mut plain_sink = VecSink::new();
+        let plain = SimSession::new(&cfg)
+            .with_sink(&mut plain_sink)
+            .run(&mut mk())
+            .unwrap()
+            .report;
+        let mut attrib_sink = VecSink::new();
+        let outcome = SimSession::new(&cfg)
+            .with_sink(&mut attrib_sink)
+            .with_attribution(AttributionConfig::default())
+            .run(&mut mk())
+            .unwrap();
+        assert_eq!(
+            plain, outcome.report,
+            "attribution must not perturb the report"
+        );
+        assert_eq!(
+            plain_sink.events, attrib_sink.events,
+            "attribution must not perturb the event stream"
+        );
+        let attribution = outcome.attribution.expect("attribution attached");
+        assert_eq!(attribution.delivered, 15);
+        assert_eq!(attribution.mismatches, 0);
+        assert!(attribution.reconciled(), "{attribution:?}");
+        // The components sum to the independently measured latencies.
+        let expected: u64 = plain_sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::Eject { delivery, .. } => Some(delivery.total_latency()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(attribution.total_cycles(), expected);
+    }
+
+    #[test]
+    fn attribution_composes_with_monitor_and_profile() {
+        use crate::attribution::AttributionConfig;
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let mk = || Batch {
+            items: (1..16).map(|i| (i, Coord::new(0, 0))).collect(),
+            pushed: false,
+        };
+        let plain = run_session(&cfg, &mut mk());
+        let outcome = SimSession::new(&cfg)
+            .with_monitor(MonitorConfig::default())
+            .with_profile()
+            .with_attribution(AttributionConfig::default())
+            .run(&mut mk())
+            .unwrap();
+        assert_eq!(plain, outcome.report);
+        let attribution = outcome.attribution.expect("attribution attached");
+        assert!(attribution.reconciled());
+        // Shared registry: attribution cells ride the monitor exposition
+        // next to the profile cells.
+        let text = outcome.monitor.unwrap().registry().to_prometheus();
+        assert!(text.contains("fasttrack_attrib_packets_total 15"));
+        assert!(text.contains("fasttrack_profile_events_dispatched_total"));
+        assert!(outcome.profile.is_some());
+    }
+
+    #[test]
+    fn attribution_in_run_batch_is_per_seed() {
+        use crate::attribution::AttributionConfig;
+        let cfg = NocConfig::hoplite(4).unwrap();
+        let outcomes = SimSession::new(&cfg)
+            .with_attribution(AttributionConfig::default())
+            .run_batch(&[1, 2, 3], |_| Batch {
+                items: (1..16).map(|i| (i, Coord::new(0, 0))).collect(),
+                pushed: false,
+            })
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            let a = o.attribution.as_ref().expect("attribution attached");
+            assert_eq!(a.delivered, 15, "each seed gets a fresh sink");
+            assert!(a.reconciled());
+            assert_eq!(a.mismatches, 0);
+        }
     }
 }
