@@ -18,6 +18,12 @@
 //!   dead links still dropped packets: each drop is a lane-locked
 //!   packet that would orbit forever without the PR-4 fix, i.e. the
 //!   fuzzer re-finding that livelock class as its graceful signature.
+//! * **RerouteLoop** — with fallback chains armed, one packet drew
+//!   three or more `FaultReroute` decisions: demoted off a dying lane,
+//!   it cycled back (express → ring → express) into another outage.
+//!   An availability finding — conservation holds across every
+//!   demotion — worth archiving because it shows storm timing defeating
+//!   the chain's first choice.
 //!
 //! Because iterations fan out on the deterministic work-stealing pool
 //! and every scenario is a pure function of `point_seed(seed, index)`,
@@ -26,13 +32,17 @@
 //! schedule, then greedy fault removal) into a self-contained
 //! [`ScenarioTrace`] whose header carries the expected outcome.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use fasttrack_core::config::{FtPolicy, NocConfig};
+use fasttrack_core::fallback::FallbackConfig;
 use fasttrack_core::fault::{Fault, FaultPlan, FaultSpec};
 use fasttrack_core::monitor::{Anomaly, MonitorConfig};
+use fasttrack_core::packet::PacketId;
 use fasttrack_core::sim::{SimSession, TrafficSource};
 use fasttrack_core::sweep::{point_seed, splitmix64, sweep};
+use fasttrack_core::trace::{SimEvent, VecSink};
 use fasttrack_traffic::adversarial::{BurstySource, PermutationSource};
 use fasttrack_traffic::pattern::Pattern;
 use fasttrack_traffic::scenario::{
@@ -77,6 +87,12 @@ pub enum FailureClass {
     /// Inject-policy packets dropped at dead links — the gracefully
     /// degraded form of the PR-4 lane-locked orbit.
     StrandedDrop,
+    /// With fallback chains armed, one packet drew three or more
+    /// reroute decisions (express → ring → express …): each demotion
+    /// kept it alive but storm timing sent it back into a dying lane.
+    /// An availability finding, not an engine bug — conservation holds
+    /// across every demotion.
+    RerouteLoop,
 }
 
 impl FailureClass {
@@ -87,6 +103,7 @@ impl FailureClass {
             FailureClass::Conservation => "conservation",
             FailureClass::Livelock => "livelock",
             FailureClass::StrandedDrop => "stranded_drop",
+            FailureClass::RerouteLoop => "reroute_loop",
         }
     }
 
@@ -156,6 +173,7 @@ struct Scenario {
     traffic_seed: u64,
     fault_seed: u64,
     fault_spec: FaultSpec,
+    fallback: bool,
     max_cycles: u64,
 }
 
@@ -233,8 +251,10 @@ fn draw_scenario(seed: u64, max_cycles: u64) -> Scenario {
         transient_links: s.below(3) as usize,
         fail_stop_routers: s.below(2) as usize,
         stalled_injectors: s.below(2) as usize,
+        down_links: s.below(8) as usize,
         window: (0, 300 + s.below(300)),
     };
+    let fallback = s.below(2) == 1;
     Scenario {
         spec,
         cfg,
@@ -244,6 +264,7 @@ fn draw_scenario(seed: u64, max_cycles: u64) -> Scenario {
         traffic_seed,
         fault_seed,
         fault_spec,
+        fallback,
         max_cycles,
     }
 }
@@ -316,14 +337,39 @@ fn classify_run<T: TrafficSource>(
     plan: &FaultPlan,
     source: &mut T,
 ) -> RunVerdict {
-    let outcome = SimSession::new(&scenario.cfg)
-        .max_cycles(scenario.max_cycles)
+    let mut session = SimSession::new(&scenario.cfg).max_cycles(scenario.max_cycles);
+    if scenario.fallback {
+        session = session
+            .with_fallback(&FallbackConfig::standard())
+            .expect("standard chains validate on every router class");
+    }
+    let mut sink = VecSink::new();
+    let outcome = session
         .with_faults(plan)
         .with_monitor(MonitorConfig::default())
+        .with_sink(&mut sink)
         .run(source)
         .expect("randomly drawn fault plans are valid by construction");
     let report = &outcome.report;
     let monitor = outcome.monitor.as_ref().expect("monitor attached");
+    // Per-packet reroute counts: three or more demotions means the
+    // packet cycled back onto a lane the storm killed again.
+    let mut reroutes: HashMap<PacketId, u32> = HashMap::new();
+    let mut worst: Option<(PacketId, u32)> = None;
+    for event in &sink.events {
+        if let SimEvent::FaultReroute { packet, .. } = event {
+            let count = reroutes.entry(*packet).or_insert(0);
+            *count += 1;
+            if worst.is_none_or(|(_, c)| *count > c) {
+                worst = Some((*packet, *count));
+            }
+        }
+    }
+    let reroute_loop = scenario
+        .fallback
+        .then_some(worst)
+        .flatten()
+        .filter(|&(_, c)| c >= 3);
     let expect = Expectation {
         delivered: report.stats.delivered,
         cycles: report.cycles,
@@ -338,6 +384,8 @@ fn classify_run<T: TrafficSource>(
         Some(FailureClass::Conservation)
     } else if report.truncated || monitor_livelock {
         Some(FailureClass::Livelock)
+    } else if reroute_loop.is_some() {
+        Some(FailureClass::RerouteLoop)
     } else if scenario.cfg.ft_policy() == Some(FtPolicy::Inject)
         && report.stats.dropped > 0
         && !plan.is_empty()
@@ -366,6 +414,13 @@ fn classify_run<T: TrafficSource>(
             "{} packet(s) dropped at dead links under Inject policy (lane-locked orbit class)",
             report.stats.dropped
         ),
+        Some(FailureClass::RerouteLoop) => {
+            let (packet, count) = reroute_loop.expect("classified as a reroute loop");
+            format!(
+                "packet {:?} rerouted {} times (express -> ring -> express cycle)",
+                packet, count
+            )
+        }
         _ => String::new(),
     };
     RunVerdict {
@@ -521,6 +576,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
         let mut header = ScenarioHeader::new(&scenario.spec, "fuzz");
         header.max_cycles = scenario.max_cycles;
         header.faults = plan.faults().to_vec();
+        header.fallback = scenario.fallback;
         header.expect = Some(expect);
         let summary = format!(
             "iter {}: {} [{} traffic on {}, {} faults, {} -> {} msgs] {}",
@@ -622,6 +678,65 @@ mod tests {
     }
 
     #[test]
+    fn fuzzer_finds_and_minimizes_a_reroute_loop() {
+        // Storm-heavy plan with chains armed on a Full-policy torus: a
+        // packet steered off a dying express lane re-enters express at
+        // the next express router and gets steered off again — three or
+        // more reroute decisions is the express -> ring -> express
+        // cycle. (Under Inject a demoted packet stays on the shared
+        // ring, so the loop is a Full-policy finding.) Scan fault seeds
+        // like the main loop until the class fires.
+        let mut found = None;
+        for fault_seed in 0..300u64 {
+            let scenario = Scenario {
+                spec: "ft:8:2:2".to_string(),
+                cfg: NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap(),
+                traffic: TrafficKind::Bernoulli,
+                rate_milli: 950,
+                packets_per_pe: 12,
+                traffic_seed: 0x100F ^ fault_seed,
+                fault_seed,
+                fault_spec: FaultSpec {
+                    dead_links: 0,
+                    transient_links: 0,
+                    fail_stop_routers: 0,
+                    stalled_injectors: 0,
+                    down_links: 12,
+                    window: (0, 400),
+                },
+                fallback: true,
+                max_cycles: 30_000,
+            };
+            let plan = scenario.fault_plan();
+            let mut recording = RecordingSource::new(scenario.cfg.n(), scenario.source());
+            let verdict = classify_run(&scenario, &plan, &mut recording);
+            if verdict.class == Some(FailureClass::RerouteLoop) {
+                found = Some((scenario, plan, recording));
+                break;
+            }
+        }
+        let (scenario, plan, recording) =
+            found.expect("no reroute loop in 300 fault seeds - detector or fallback regressed");
+        let records = recording.into_records();
+        let minimized = minimize_records(&scenario, &plan, &records, FailureClass::RerouteLoop);
+        assert!(!minimized.is_empty() && minimized.len() <= records.len());
+        let plan = minimize_faults(&scenario, &plan, &minimized, FailureClass::RerouteLoop);
+        let expect = probe(&scenario, &plan, &minimized, FailureClass::RerouteLoop)
+            .expect("minimized reroute-loop scenario must reproduce");
+        assert!(!expect.truncated, "run must terminate (no orbit)");
+        // The minimized trace round-trips with its fallback flag.
+        let mut header = ScenarioHeader::new(&scenario.spec, "fuzz");
+        header.max_cycles = scenario.max_cycles;
+        header.faults = plan.faults().to_vec();
+        header.fallback = true;
+        header.expect = Some(expect);
+        let trace = ScenarioTrace::new(header, minimized);
+        let decoded = ScenarioTrace::decode(&trace.encode()).unwrap();
+        assert_eq!(decoded, trace);
+        assert!(decoded.header.fallback);
+    }
+
+    #[test]
     fn fuzzer_refinds_the_inject_livelock_class() {
         // Force the PR-4 scenario family directly: Inject policy,
         // dead express links only. The fuzzer's general loop draws
@@ -645,8 +760,10 @@ mod tests {
                     transient_links: 0,
                     fail_stop_routers: 0,
                     stalled_injectors: 0,
+                    down_links: 0,
                     window: (0, 400),
                 },
+                fallback: false,
                 max_cycles: 30_000,
             };
             let plan = scenario.fault_plan();
@@ -671,6 +788,7 @@ mod tests {
         let mut header = ScenarioHeader::new(&scenario.spec, "fuzz");
         header.max_cycles = scenario.max_cycles;
         header.faults = plan.faults().to_vec();
+        header.fallback = scenario.fallback;
         header.expect = Some(expect);
         let trace = ScenarioTrace::new(header, minimized);
         let decoded = ScenarioTrace::decode(&trace.encode()).unwrap();

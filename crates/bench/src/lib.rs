@@ -19,9 +19,9 @@ pub mod table;
 pub use fuzz::{fuzz, FailureClass, FuzzConfig, FuzzFailure, FuzzOutcome};
 pub use journal::{grid_fingerprint, run_journaled, JournalError, SweepJournal, SweepOutcome};
 pub use runner::{
-    packets_per_pe, parallel_map, quick_mode, run_pattern, run_point, speedup, sweep_csv,
-    FallibleSweepOptions, NocUnderTest, SweepGrid, SweepPoint, SweepRow, SweepTiming,
-    INJECTION_RATES, PE_LADDER,
+    packets_per_pe, parallel_map, quick_mode, run_pattern, run_point, speedup, storm_json,
+    sweep_csv, FallibleSweepOptions, NocUnderTest, PointSlo, SloSpec, SweepGrid, SweepPoint,
+    SweepRow, SweepTiming, INJECTION_RATES, PE_LADDER,
 };
 pub use snapshot::{
     diff, gate, hotpath_grid, measure_hotpath, snapshot_from, BenchDiff, BenchSnapshot, GateResult,

@@ -5,12 +5,16 @@
 use fasttrack_core::attribution::{AttributionConfig, AttributionReport, LatencyComponent};
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, NdjsonSink};
+use fasttrack_core::fallback::{FallbackConfig, FallbackError};
+use fasttrack_core::fault::{FaultPlan, StormSpec};
 use fasttrack_core::metrics::WindowedMetrics;
 use fasttrack_core::monitor::{HealthMonitor, HealthSummary, MonitorConfig};
 use fasttrack_core::sim::{
     SimOptions, SimOutcome, SimReport, SimSession, TorusBackend, TrafficSource,
 };
-use fasttrack_core::sweep::{point_seed, retry_seed, sweep, sweep_fallible, SweepError};
+use fasttrack_core::sweep::{
+    point_seed, retry_seed, splitmix64, sweep, sweep_fallible, SweepError,
+};
 use fasttrack_core::trace::EventSink;
 use fasttrack_traffic::pattern::Pattern;
 use fasttrack_traffic::source::BernoulliSource;
@@ -411,6 +415,64 @@ impl SweepGrid {
         results.into_iter().unzip()
     }
 
+    /// [`SweepGrid::run`] under a seeded fault storm: every point runs
+    /// with a per-point storm plan (express links dying and healing on a
+    /// schedule derived from the point seed) and the given fallback
+    /// chains, and comes back with an availability verdict against the
+    /// SLO thresholds. Rows and [`PointSlo`]s are in point-index order
+    /// and byte-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FallbackError`] when the chains fail
+    /// validation; storm plans themselves are valid by construction.
+    pub fn run_storm(
+        &self,
+        threads: usize,
+        storm: &StormSpec,
+        fallback: &FallbackConfig,
+        slo: &SloSpec,
+    ) -> Result<(Vec<SweepRow>, Vec<PointSlo>), FallbackError> {
+        fallback.validate()?;
+        let (base, packets) = (self.base_seed, self.packets_per_pe);
+        let (storm, fallback, slo) = (*storm, fallback.clone(), *slo);
+        let results = sweep(self.points.clone(), threads, move |i, p| {
+            let seed = point_seed(base, i);
+            let plan = FaultPlan::storm(&p.nut.config, splitmix64(seed ^ STORM_SALT), &storm);
+            let n = p.nut.config.n();
+            let mut source = BernoulliSource::new(n, p.pattern, p.rate, packets, seed);
+            let report = p
+                .nut
+                .session()
+                .options(SimOptions::default())
+                .with_fallback(&fallback)
+                .expect("chains validated before the sweep")
+                .with_faults(&plan)
+                .run(&mut source)
+                .expect("storm plans are valid by construction")
+                .report;
+            let verdict = PointSlo::evaluate(
+                i,
+                p.nut.label.clone(),
+                p.pattern,
+                p.rate,
+                seed,
+                &report,
+                &slo,
+            );
+            let row = SweepRow {
+                label: p.nut.label,
+                channels: p.nut.channels,
+                pattern: p.pattern,
+                rate: p.rate,
+                seed,
+                report,
+            };
+            (row, verdict)
+        });
+        Ok(results.into_iter().unzip())
+    }
+
     /// [`SweepGrid::run`] with the latency-attribution layer attached to
     /// every point. The rows are byte-identical to a plain run's
     /// (attribution observes without perturbing); the second vector is
@@ -631,6 +693,143 @@ impl Default for FallibleSweepOptions {
             cycle_budget: None,
         }
     }
+}
+
+/// Seed salt separating a point's storm-plan draw from its traffic
+/// draw (`b"STORM"` as an integer).
+const STORM_SALT: u64 = 0x53_54_4F_52_4D;
+
+/// Availability SLO thresholds for [`SweepGrid::run_storm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Minimum delivered fraction (`delivered / injected`) a point must
+    /// reach to meet the SLO.
+    pub min_delivered_fraction: f64,
+    /// Maximum p99 end-to-end latency in cycles (0 = no latency SLO).
+    pub max_p99_latency: u64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        SloSpec {
+            min_delivered_fraction: 0.95,
+            max_p99_latency: 0,
+        }
+    }
+}
+
+/// The availability verdict of one storm-swept point, tagged with the
+/// point's identity so merged output stays self-describing.
+#[derive(Debug, Clone)]
+pub struct PointSlo {
+    /// The point's index in the grid (merge key).
+    pub index: usize,
+    /// Label of the NoC under test.
+    pub label: String,
+    /// Traffic pattern.
+    pub pattern: Pattern,
+    /// Injection rate.
+    pub rate: f64,
+    /// The derived per-point seed.
+    pub seed: u64,
+    /// Packets that entered the NoC.
+    pub injected: u64,
+    /// Packets delivered despite the storm.
+    pub delivered: u64,
+    /// Packets lost to exhausted fallback chains or dead routers.
+    pub dropped: u64,
+    /// Reroute decisions (dead-link avoidance plus fallback demotions
+    /// and channel switches).
+    pub rerouted: u64,
+    /// Stranded express packets demoted to the shared ring.
+    pub fallback_demotions: u64,
+    /// Allocation losers switched to a sibling channel.
+    pub fallback_channel_switches: u64,
+    /// Delivered fraction (`delivered / injected`; 1.0 when idle).
+    pub delivered_fraction: f64,
+    /// p99 end-to-end latency in cycles.
+    pub p99_latency: u64,
+    /// Exact conservation across reroutes and recovery windows:
+    /// `delivered + in_flight + dropped == injected`.
+    pub conserved: bool,
+    /// Whether the point met the [`SloSpec`] thresholds.
+    pub slo_met: bool,
+}
+
+impl PointSlo {
+    /// Folds one storm run's report into its availability verdict.
+    fn evaluate(
+        index: usize,
+        label: String,
+        pattern: Pattern,
+        rate: f64,
+        seed: u64,
+        report: &SimReport,
+        slo: &SloSpec,
+    ) -> Self {
+        let s = &report.stats;
+        let delivered_fraction = if s.injected == 0 {
+            1.0
+        } else {
+            s.delivered as f64 / s.injected as f64
+        };
+        let p99_latency = s.total_latency.histogram().percentile(99.0).unwrap_or(0);
+        let slo_met = delivered_fraction >= slo.min_delivered_fraction
+            && (slo.max_p99_latency == 0 || p99_latency <= slo.max_p99_latency);
+        PointSlo {
+            index,
+            label,
+            pattern,
+            rate,
+            seed,
+            injected: s.injected,
+            delivered: s.delivered,
+            dropped: s.dropped,
+            rerouted: s.rerouted,
+            fallback_demotions: s.fallback_demotions,
+            fallback_channel_switches: s.fallback_channel_switches,
+            delivered_fraction,
+            p99_latency,
+            conserved: report.conserved(),
+            slo_met,
+        }
+    }
+}
+
+/// Serializes per-point SLO verdicts as one deterministic JSON array in
+/// point-index order (the storm companion of [`health_json`]).
+pub fn storm_json(points: &[PointSlo]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"index\":{},\"config\":\"{}\",\"pattern\":\"{}\",\"rate\":{},\"seed\":{},\
+             \"injected\":{},\"delivered\":{},\"dropped\":{},\"rerouted\":{},\
+             \"fallback_demotions\":{},\"fallback_channel_switches\":{},\
+             \"delivered_fraction\":{:.6},\"p99_latency\":{},\"conserved\":{},\"slo_met\":{}}}",
+            p.index,
+            p.label,
+            p.pattern,
+            p.rate,
+            p.seed,
+            p.injected,
+            p.delivered,
+            p.dropped,
+            p.rerouted,
+            p.fallback_demotions,
+            p.fallback_channel_switches,
+            p.delivered_fraction,
+            p.p99_latency,
+            p.conserved,
+            p.slo_met,
+        );
+    }
+    out.push(']');
+    out
 }
 
 /// The health verdict of one sweep point, tagged with the point's
@@ -1014,6 +1213,112 @@ mod tests {
         let json = health_json(&health1);
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"config\":\"Hoplite\""));
+    }
+
+    #[test]
+    fn storm_sweep_is_deterministic_and_conserved() {
+        let nuts = [NocUnderTest::fasttrack(4, 2, 1)];
+        let grid =
+            SweepGrid::cross(&nuts, &[Pattern::Random], &[0.3], 0xAB).with_packets_per_pe(40);
+        let storm = StormSpec {
+            kills_per_kcycle: 20,
+            heal_after: (50, 150),
+            duration: 1500,
+        };
+        let fallback = FallbackConfig::standard();
+        let slo = SloSpec::default();
+        let (rows1, slo1) = grid.run_storm(1, &storm, &fallback, &slo).unwrap();
+        let (rows2, slo2) = grid.run_storm(2, &storm, &fallback, &slo).unwrap();
+        let (rows8, slo8) = grid.run_storm(8, &storm, &fallback, &slo).unwrap();
+        assert_eq!(
+            sweep_csv(&rows1),
+            sweep_csv(&rows2),
+            "thread count leaked in"
+        );
+        assert_eq!(
+            sweep_csv(&rows1),
+            sweep_csv(&rows8),
+            "thread count leaked in"
+        );
+        assert_eq!(storm_json(&slo1), storm_json(&slo2));
+        assert_eq!(storm_json(&slo1), storm_json(&slo8));
+        for (i, p) in slo1.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert!(p.conserved, "conservation must hold under the storm");
+            assert_eq!(
+                p.delivered + p.dropped + (rows1[i].report.in_flight as u64),
+                p.injected
+            );
+        }
+        let json = storm_json(&slo1);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"delivered_fraction\""));
+        assert!(json.contains("\"slo_met\""));
+    }
+
+    #[test]
+    fn storm_chains_deliver_strictly_more_on_ft64() {
+        // The PR's acceptance point: under a seeded storm on FT(64,2,2)
+        // the chains must deliver a strictly higher packet fraction
+        // than the chains-off drop baseline at equal seeds — via
+        // express demotion on the Inject policy (one channel) and via
+        // channel switching on the Full policy (two channels).
+        let inject = NocUnderTest {
+            label: "FTlite(64,2,2)".into(),
+            config: NocConfig::fasttrack(8, 2, 2, FtPolicy::Inject).unwrap(),
+            channels: 1,
+        };
+        let full = NocUnderTest {
+            label: "FT(64,2,2) 2x".into(),
+            config: NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap(),
+            channels: 2,
+        };
+        let grid = SweepGrid::cross(&[inject, full], &[Pattern::Random], &[0.3], 0x57)
+            .with_packets_per_pe(100);
+        let storm = StormSpec {
+            kills_per_kcycle: 8,
+            heal_after: (200, 600),
+            duration: 4_000,
+        };
+        let slo = SloSpec::default();
+        let (_, on) = grid
+            .run_storm(1, &storm, &FallbackConfig::standard(), &slo)
+            .unwrap();
+        let (_, off) = grid
+            .run_storm(1, &storm, &FallbackConfig::none(), &slo)
+            .unwrap();
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(a.seed, b.seed, "comparison must use equal seeds");
+            assert_eq!(a.injected, b.injected, "equal seeds, equal traffic");
+            assert!(a.conserved && b.conserved);
+            assert!(
+                a.delivered_fraction > b.delivered_fraction,
+                "{}: chains {:.4} must beat drop baseline {:.4}",
+                a.label,
+                a.delivered_fraction,
+                b.delivered_fraction,
+            );
+        }
+        assert!(on[0].fallback_demotions > 0, "Inject point must demote");
+        assert!(
+            on[1].fallback_channel_switches > 0,
+            "two-channel point must switch channels"
+        );
+        assert_eq!(
+            off[0].fallback_demotions + off[1].fallback_channel_switches,
+            0
+        );
+    }
+
+    #[test]
+    fn storm_rejects_invalid_chains() {
+        use fasttrack_core::fallback::FallbackAction;
+        let nuts = [NocUnderTest::fasttrack(4, 2, 1)];
+        let grid = SweepGrid::cross(&nuts, &[Pattern::Random], &[0.2], 1).with_packets_per_pe(10);
+        let bad = FallbackConfig::none().with_chain(0, vec![FallbackAction::DemoteToRing]);
+        assert!(grid
+            .run_storm(1, &StormSpec::default(), &bad, &SloSpec::default())
+            .is_err());
     }
 
     #[test]

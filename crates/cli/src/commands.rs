@@ -4,14 +4,15 @@
 use fasttrack_bench::fuzz::{fuzz, FuzzConfig};
 use fasttrack_bench::journal::run_journaled;
 use fasttrack_bench::runner::{
-    attribution_csv, health_json, sweep_csv, FallibleSweepOptions, NocUnderTest, SweepGrid,
-    INJECTION_RATES,
+    attribution_csv, health_json, storm_json, sweep_csv, FallibleSweepOptions, NocUnderTest,
+    SloSpec, SweepGrid, INJECTION_RATES,
 };
 use fasttrack_bench::snapshot::{self, BenchSnapshot, SnapshotError};
 use fasttrack_core::attribution::{AttributionConfig, LatencyComponent, PacketJourney};
 use fasttrack_core::config::{FtPolicy, NocConfig};
 use fasttrack_core::export::{epochs_to_csv, ChromeTraceSink, NdjsonSink};
-use fasttrack_core::fault::{FaultPlan, FaultSpec};
+use fasttrack_core::fallback::FallbackConfig;
+use fasttrack_core::fault::{FaultPlan, FaultSpec, StormSpec};
 use fasttrack_core::metrics::WindowedMetrics;
 use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, HealthMonitor, MonitorConfig};
 use fasttrack_core::packet::PacketId;
@@ -98,8 +99,13 @@ USAGE:
                      [--packets <n>] [--seed <s>] [--fault-seed <s>]
                      [--dead-links <n>] [--transient-links <n>]
                      [--fail-stop <n>] [--stalled-injectors <n>]
-                     [--window <from:until>] [--channels <k>]
-                     [--health <path>] [--profile]
+                     [--down-links <n>] [--window <from:until>]
+                     [--channels <k>] [--health <path>] [--profile] [--json]
+  fasttrack storm    [--noc <spec> | --grid <g>] [--pattern <p>] [--rate <r>]
+                     [--packets <n>] [--seed <s>] [--threads <t>] [--channels <k>]
+                     [--kills <per-kcycle>] [--heal <lo:hi>] [--duration <c>]
+                     [--min-delivered <frac>] [--max-p99 <cycles>]
+                     [--out <path>] [--json]
   fasttrack profile  [--noc <spec>] [--pattern <p>] [--rate <r>]
                      [--packets <n>] [--seed <s>] [--out <prefix>] [--json]
   fasttrack attribute (--trace <path> | --noc <spec> [--pattern <p>]
@@ -152,12 +158,28 @@ MONITOR:
 
 FAULTS:
   Draws a seeded fault plan (dead express links, transient link
-  drop/corruption windows, fail-stop routers, stalled injectors) from
-  --fault-seed, runs the healthy baseline and the faulted fabric on the
-  same traffic, and reports packets dropped/rerouted, the degraded
-  throughput ratio, the exact conservation check
-  (delivered + in-flight + dropped == injected), and the health
-  verdict. --window bounds the cycles transient faults are drawn from.
+  drop/corruption windows, fail-stop routers, stalled injectors,
+  down-then-recover links via --down-links) from --fault-seed, runs the
+  healthy baseline and the faulted fabric on the same traffic, and
+  reports packets dropped/rerouted, the degraded throughput ratio, the
+  exact conservation check (delivered + in-flight + dropped ==
+  injected), and the health verdict. --window bounds the cycles
+  transient faults are drawn from. --json emits the accounting as one
+  JSON object; either way the exit code is nonzero when the
+  conservation invariant is violated.
+
+STORM:
+  `storm` measures availability under a seeded fault storm: express
+  links die at --kills per thousand cycles and heal after a --heal
+  delay, for --duration cycles. Every point runs twice — with the
+  standard fallback chains (stranded express packets demote to the
+  shared ring; allocation losers switch channels) and with chains off
+  (today's drop behavior) — and the report shows delivered fraction,
+  p99 tail latency, demotions, and the SLO verdict per point. Exit is
+  nonzero when a chained point misses --min-delivered / --max-p99 or
+  breaks conservation. --out writes the machine-readable SLO report;
+  per-point storms derive from --seed, so any --threads count is
+  bit-exact.
 
 PROFILE:
   `profile` runs one simulation with the engine's self-profiler: a span
@@ -229,6 +251,8 @@ EXAMPLES:
   fasttrack sweep --grid \"hoplite:8,ft:8:2:1;random;0.1,0.5\" --threads 8 --out csv
   fasttrack monitor --noc ft:8:2:2 --rate 1.0 --snapshot 500 --health health.json
   fasttrack faults --noc ft:8:2:2 --rate 0.3 --dead-links 2 --fault-seed 42
+  fasttrack faults --noc ftlite:8:4:1 --rate 0.5 --dead-links 4 --json
+  fasttrack storm --noc ft:8:2:2 --rate 0.3 --kills 8 --heal 200:600 --out slo.json
   fasttrack sweep --grid \"ft:8:2:1;random;0.1,0.5\" --resume run.journal
   fasttrack trace --topology ft --n 8 --d 2 --r 2 --pattern random --rate 0.2
   fasttrack profile --noc ft:8:2:2 --rate 0.5 --out prof
@@ -420,6 +444,7 @@ pub fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
         transient_links: flags.numeric("transient-links", 0)?,
         fail_stop_routers: flags.numeric("fail-stop", 0)?,
         stalled_injectors: flags.numeric("stalled-injectors", 0)?,
+        down_links: flags.numeric("down-links", 0)?,
         window: parse_window(flags.optional("window"))?,
     };
     let plan = FaultPlan::random(&cfg, fault_seed, &spec);
@@ -472,6 +497,61 @@ pub fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
             .map_err(|e| CliError::Other(e.to_string()))?
     };
 
+    if flags.switch("json") {
+        use std::fmt::Write as _;
+        let mut json = String::from("{");
+        let _ = write!(
+            json,
+            "\"noc\":\"{}\",\"fault_seed\":{fault_seed}",
+            cfg.name()
+        );
+        json.push_str(",\"faults\":[");
+        for (i, f) in plan.faults().iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let _ = write!(json, "\"{f}\"");
+        }
+        json.push(']');
+        let _ = write!(
+            json,
+            ",\"baseline\":{{\"delivered\":{},\"cycles\":{}}}",
+            baseline.stats.delivered, baseline.cycles
+        );
+        let _ = write!(
+            json,
+            ",\"faulted\":{{\"injected\":{},\"delivered\":{},\"dropped\":{},\
+             \"rerouted\":{},\"fallback_demotions\":{},\"fallback_channel_switches\":{},\
+             \"in_flight\":{},\"cycles\":{},\"truncated\":{}}}",
+            report.stats.injected,
+            report.stats.delivered,
+            report.stats.dropped,
+            report.stats.rerouted,
+            report.stats.fallback_demotions,
+            report.stats.fallback_channel_switches,
+            report.in_flight,
+            report.cycles,
+            report.truncated
+        );
+        let _ = write!(
+            json,
+            ",\"throughput_ratio\":{:.6},\"conserved\":{}}}",
+            report.degraded_throughput_ratio(&baseline),
+            report.conserved()
+        );
+        json.push('\n');
+        return if report.conserved() {
+            Ok(json)
+        } else {
+            // Exit nonzero: a conservation violation is an engine bug,
+            // and CI keys off the exit code. The JSON still carries the
+            // full accounting for the failure report.
+            Err(CliError::Other(format!(
+                "{json}conservation invariant violated (delivered + in_flight + dropped != injected)"
+            )))
+        };
+    }
+
     let mut out = String::new();
     if plan.is_empty() {
         out.push_str("fault plan: empty (nothing drawn; the faulted run is the baseline)\n");
@@ -518,7 +598,180 @@ pub fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
             out.push_str(&format!("  health json -> {path}\n"));
         }
     }
-    Ok(out)
+    if report.conserved() {
+        Ok(out)
+    } else {
+        Err(CliError::Other(format!(
+            "{out}conservation invariant violated (delivered + in_flight + dropped != injected)"
+        )))
+    }
+}
+
+/// Parses `--heal <lo:hi>` (cycles until a downed link recovers).
+fn parse_heal(s: Option<&str>) -> Result<(u64, u64), CliError> {
+    let Some(s) = s else {
+        return Ok(StormSpec::default().heal_after);
+    };
+    let parsed = s.split_once(':').and_then(|(a, b)| {
+        let lo: u64 = a.parse().ok()?;
+        let hi: u64 = b.parse().ok()?;
+        Some((lo, hi))
+    });
+    match parsed {
+        Some((lo, hi)) if lo < hi => Ok((lo, hi)),
+        Some((lo, hi)) => Err(CliError::Other(format!(
+            "--heal {lo}:{hi} is empty (need lo < hi)"
+        ))),
+        None => Err(CliError::Other(format!(
+            "--heal expects <lo>:<hi> in cycles, got {s:?}"
+        ))),
+    }
+}
+
+/// `storm` — availability under a seeded fault storm, with and without
+/// the fallback chains.
+///
+/// Draws a per-point storm (express links dying at `--kills` per
+/// thousand cycles and healing after a `--heal` delay, for `--duration`
+/// cycles), runs every grid point twice — once with the standard
+/// fallback chains armed, once with chains disabled (today's
+/// drop-at-dead-link behavior) — and reports each point's delivered
+/// fraction, p99 tail latency, and SLO verdict. Exit is nonzero when
+/// any chained point misses the SLO thresholds or breaks exact
+/// conservation. `--out <path>` writes the machine-readable SLO report;
+/// `--json` prints it instead of the table.
+pub fn cmd_storm(flags: &Flags) -> Result<String, CliError> {
+    let packets: u64 = flags.numeric("packets", 500)?;
+    let seed: u64 = flags.numeric("seed", 1)?;
+    let threads: usize = flags.numeric("threads", 1)?;
+    let storm = StormSpec {
+        kills_per_kcycle: flags.numeric("kills", StormSpec::default().kills_per_kcycle)?,
+        heal_after: parse_heal(flags.optional("heal"))?,
+        duration: flags.numeric("duration", StormSpec::default().duration)?,
+    };
+    let slo = SloSpec {
+        min_delivered_fraction: flags.numeric("min-delivered", 0.95)?,
+        max_p99_latency: flags.numeric("max-p99", 0)?,
+    };
+    // Two channels by default: the chain's alternate-channel step needs
+    // a sibling to evict to. In a single channel a post-allocation
+    // stranded loser has physically nowhere to go (bufferless router,
+    // fewer live outputs than inputs), so only express demotion helps.
+    let channels: usize = flags.numeric("channels", 2)?;
+    if channels == 0 {
+        return Err(CliError::Other("--channels must be positive".into()));
+    }
+    let nut_for = |config: NocConfig| {
+        let mut label = config.name();
+        if channels > 1 {
+            use std::fmt::Write as _;
+            let _ = write!(label, " {channels}x");
+        }
+        NocUnderTest {
+            label,
+            config,
+            channels,
+        }
+    };
+    let grid = match flags.optional("grid") {
+        Some(spec) => {
+            let g = parse_grid(spec)?;
+            let nuts: Vec<NocUnderTest> = g.nocs.into_iter().map(nut_for).collect();
+            SweepGrid::cross(&nuts, &g.patterns, &g.rates, seed)
+        }
+        None => {
+            // FT(64,2,2): the paper's depopulated 8x8 reference point.
+            let config = parse_noc(flags.optional("noc").unwrap_or("ft:8:2:2"))?;
+            let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+            let rate: f64 = flags.numeric("rate", 0.3)?;
+            SweepGrid::cross(&[nut_for(config)], &[pattern], &[rate], seed)
+        }
+    }
+    .with_packets_per_pe(packets);
+
+    let chains = FallbackConfig::standard();
+    let (_, verdicts) = grid
+        .run_storm(threads, &storm, &chains, &slo)
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    let (_, bare) = grid
+        .run_storm(threads, &storm, &FallbackConfig::none(), &slo)
+        .map_err(|e| CliError::Other(e.to_string()))?;
+
+    let report_json = {
+        use std::fmt::Write as _;
+        let mut json = String::from("{");
+        let _ = write!(
+            json,
+            "\"kills_per_kcycle\":{},\"heal_after\":[{},{}],\"duration\":{},\
+             \"min_delivered_fraction\":{:.6},\"max_p99_latency\":{}",
+            storm.kills_per_kcycle,
+            storm.heal_after.0,
+            storm.heal_after.1,
+            storm.duration,
+            slo.min_delivered_fraction,
+            slo.max_p99_latency
+        );
+        let _ = write!(json, ",\"points\":{}", storm_json(&verdicts));
+        let _ = write!(json, ",\"chains_off\":{}", storm_json(&bare));
+        json.push('}');
+        json.push('\n');
+        json
+    };
+    if let Some(path) = flags.optional("out") {
+        std::fs::write(path, &report_json).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    }
+
+    let mut out = String::new();
+    if flags.switch("json") {
+        out.push_str(&report_json);
+    } else {
+        out.push_str(&format!(
+            "storm: {} kill(s)/kcycle, heal after {}..{} cycles, {} cycles (seed {seed})\n",
+            storm.kills_per_kcycle, storm.heal_after.0, storm.heal_after.1, storm.duration,
+        ));
+        for (v, b) in verdicts.iter().zip(&bare) {
+            out.push_str(&format!(
+                "  {} {} rate {:.2}: delivered {:.1}% (chains off: {:.1}%), p99 {} cycles, \
+                 {} demoted, {} switched, {} rerouted — SLO {}\n",
+                v.label,
+                v.pattern,
+                v.rate,
+                100.0 * v.delivered_fraction,
+                100.0 * b.delivered_fraction,
+                v.p99_latency,
+                v.fallback_demotions,
+                v.fallback_channel_switches,
+                v.rerouted,
+                if v.slo_met { "met" } else { "MISSED" },
+            ));
+        }
+        let met = verdicts.iter().filter(|v| v.slo_met).count();
+        out.push_str(&format!(
+            "SLO: {met}/{} point(s) met (min delivered {:.1}%{})\n",
+            verdicts.len(),
+            100.0 * slo.min_delivered_fraction,
+            if slo.max_p99_latency > 0 {
+                format!(", p99 <= {}", slo.max_p99_latency)
+            } else {
+                String::new()
+            },
+        ));
+        if let Some(path) = flags.optional("out") {
+            out.push_str(&format!("  slo report -> {path}\n"));
+        }
+    }
+
+    let broken = verdicts.iter().any(|v| !v.conserved);
+    let missed = verdicts.iter().any(|v| !v.slo_met);
+    if broken {
+        Err(CliError::Other(format!(
+            "{out}conservation invariant violated under the storm"
+        )))
+    } else if missed {
+        Err(CliError::Other(format!("{out}availability SLO missed")))
+    } else {
+        Ok(out)
+    }
 }
 
 /// `sweep` — run a grid of simulation points on the deterministic
@@ -1094,6 +1347,7 @@ pub fn cmd_record(flags: &Flags) -> Result<String, CliError> {
         transient_links: flags.numeric("transient-links", 0)?,
         fail_stop_routers: flags.numeric("fail-stop", 0)?,
         stalled_injectors: flags.numeric("stalled-injectors", 0)?,
+        down_links: 0,
         window: parse_window(flags.optional("window"))?,
     };
     let plan = FaultPlan::random(&cfg, fault_seed, &fspec);
@@ -1566,8 +1820,9 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
         return cmd_explain(rest);
     }
     let switches: &[&str] = match command.as_str() {
-        "monitor" | "sweep" | "faults" => &["profile"],
-        "profile" | "attribute" => &["json"],
+        "monitor" | "sweep" => &["profile"],
+        "faults" => &["profile", "json"],
+        "profile" | "attribute" | "storm" => &["json"],
         _ => &[],
     };
     let flags = Flags::parse_with_switches(rest.to_vec(), switches)?;
@@ -1576,6 +1831,7 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
         "monitor" => cmd_monitor(&flags),
         "sweep" => cmd_sweep(&flags),
         "faults" => cmd_faults(&flags),
+        "storm" => cmd_storm(&flags),
         "profile" => cmd_profile(&flags),
         "attribute" => cmd_attribute(&flags),
         "cost" => cmd_cost(&flags),
@@ -2155,6 +2411,59 @@ mod tests {
     fn record_rejects_unknown_workload() {
         let err = run(argv("record --workload lapack --out /tmp/x.trace")).unwrap_err();
         assert!(err.to_string().contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn storm_end_to_end_reports_both_runs() {
+        let out = run(argv(
+            "storm --noc ft:4:2:1 --channels 2 --rate 0.3 --packets 60 \
+             --kills 20 --duration 1500 --threads 2 --min-delivered 0.0",
+        ))
+        .unwrap();
+        assert!(out.contains("storm: 20 kill(s)/kcycle"), "{out}");
+        assert!(out.contains("chains off:"), "{out}");
+        assert!(out.contains("SLO: 1/1 point(s) met"), "{out}");
+    }
+
+    #[test]
+    fn storm_json_writes_slo_report() {
+        let path = std::env::temp_dir().join("fasttrack_cli_storm_slo.json");
+        let _ = std::fs::remove_file(&path);
+        let out = run(argv(&format!(
+            "storm --noc ft:4:2:1 --rate 0.3 --packets 60 --kills 20 \
+             --duration 1500 --min-delivered 0.0 --json --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("\"points\":["), "{out}");
+        assert!(out.contains("\"chains_off\":["), "{out}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, out, "--out must write exactly the --json report");
+        assert!(written.contains("\"delivered_fraction\":"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn storm_gate_exits_nonzero_when_slo_missed() {
+        let err = run(argv(
+            "storm --noc ft:4:2:1 --rate 0.3 --packets 60 --kills 20 \
+             --duration 1500 --min-delivered 1.01",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("availability SLO missed"), "{err}");
+    }
+
+    #[test]
+    fn faults_json_reports_conservation_and_fallback_counters() {
+        let out = run(argv(
+            "faults --noc ftlite:8:4:1 --rate 0.5 --packets 100 \
+             --dead-links 4 --down-links 2 --json",
+        ))
+        .unwrap();
+        assert!(out.starts_with('{') && out.ends_with("}\n"), "{out}");
+        assert!(out.contains("\"conserved\":true"), "{out}");
+        assert!(out.contains("\"fallback_demotions\":"), "{out}");
+        assert!(out.contains("\"baseline\":"), "{out}");
     }
 
     #[test]

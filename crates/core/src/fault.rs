@@ -88,6 +88,23 @@ pub enum Fault {
         /// First cycle injection works again (exclusive).
         until: u64,
     },
+    /// A *dynamic* express-link outage: the link leaving `node` through
+    /// `out` is dead for cycles `from..until` and **recovers** after.
+    /// While down it behaves exactly like [`Fault::DeadLink`] (masked
+    /// from routing, same express-only validation); once the window
+    /// closes the link carries traffic again. Window boundaries are the
+    /// epochs at which the engine re-patches its per-node dead-output
+    /// table, so the hot path stays a table read.
+    DownLink {
+        /// Node the link leaves from.
+        node: usize,
+        /// The downed output (must be an express port).
+        out: OutPort,
+        /// First dead cycle (inclusive).
+        from: u64,
+        /// First healthy cycle again (exclusive end of the window).
+        until: u64,
+    },
 }
 
 impl Fault {
@@ -97,7 +114,8 @@ impl Fault {
             Fault::DeadLink { node, .. }
             | Fault::TransientLink { node, .. }
             | Fault::FailStopRouter { node, .. }
-            | Fault::StalledInjector { node, .. } => node,
+            | Fault::StalledInjector { node, .. }
+            | Fault::DownLink { node, .. } => node,
         }
     }
 }
@@ -124,6 +142,17 @@ impl fmt::Display for Fault {
             }
             Fault::StalledInjector { node, from, until } => {
                 write!(f, "stalled injector at node {node}, cycles {from}..{until}")
+            }
+            Fault::DownLink {
+                node,
+                out,
+                from,
+                until,
+            } => {
+                write!(
+                    f,
+                    "down link {out} at node {node}, cycles {from}..{until} (recovers)"
+                )
             }
         }
     }
@@ -218,8 +247,11 @@ pub struct FaultSpec {
     pub fail_stop_routers: usize,
     /// Stalled injector windows to draw (each node stalls at most once).
     pub stalled_injectors: usize,
+    /// Dynamic down-then-recover express-link windows to draw
+    /// ([`Fault::DownLink`]).
+    pub down_links: usize,
     /// Cycle window `[start, end)` that transient windows, stall
-    /// windows, and fail-stop times are drawn from.
+    /// windows, down-link windows, and fail-stop times are drawn from.
     pub window: (u64, u64),
 }
 
@@ -230,8 +262,45 @@ impl Default for FaultSpec {
             transient_links: 0,
             fail_stop_routers: 0,
             stalled_injectors: 0,
+            down_links: 0,
             window: (0, 1000),
         }
+    }
+}
+
+/// Knobs for [`FaultPlan::storm`]: a randomized fault storm in which
+/// express links die and heal on a schedule, modelling link failure as
+/// an operating mode rather than a one-off event.
+///
+/// Kill events are drawn uniformly over the storm duration at the
+/// configured rate; each downed link heals after a delay drawn from
+/// `heal_after`. Overlapping windows on one link simply extend the
+/// outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormSpec {
+    /// Expected link-kill events per 1000 cycles across the whole
+    /// fabric.
+    pub kills_per_kcycle: u32,
+    /// Healing delay range `[min, max)` in cycles after each kill.
+    pub heal_after: (u64, u64),
+    /// Kill events are placed in cycles `[0, duration)`.
+    pub duration: u64,
+}
+
+impl Default for StormSpec {
+    fn default() -> Self {
+        StormSpec {
+            kills_per_kcycle: 4,
+            heal_after: (200, 600),
+            duration: 4_000,
+        }
+    }
+}
+
+impl StormSpec {
+    /// Total kill events this spec schedules.
+    pub fn kill_events(&self) -> u64 {
+        (self.duration * u64::from(self.kills_per_kcycle)) / 1000
     }
 }
 
@@ -320,6 +389,23 @@ impl FaultPlan {
                         return Err(FaultError::EmptyWindow { from, until });
                     }
                 }
+                Fault::DownLink {
+                    out, from, until, ..
+                } => {
+                    match out {
+                        OutPort::Exit => return Err(FaultError::NotALink { node }),
+                        OutPort::EastSh | OutPort::SouthSh => {
+                            return Err(FaultError::PartitionsTorus { node, out })
+                        }
+                        OutPort::EastEx | OutPort::SouthEx => {}
+                    }
+                    if from >= until {
+                        return Err(FaultError::EmptyWindow { from, until });
+                    }
+                    if !router_outputs(cfg, node).contains(out) {
+                        return Err(FaultError::NoExpressLink { node, out });
+                    }
+                }
             }
         }
         Ok(())
@@ -337,15 +423,7 @@ impl FaultPlan {
 
         // Dead links: sample without replacement from the express links
         // that actually exist.
-        let mut express: Vec<(usize, OutPort)> = Vec::new();
-        for node in 0..nodes {
-            let outs = router_outputs(cfg, node);
-            for out in [OutPort::EastEx, OutPort::SouthEx] {
-                if outs.contains(out) {
-                    express.push((node, out));
-                }
-            }
-        }
+        let mut express = express_links(cfg);
         for _ in 0..spec.dead_links.min(express.len()) {
             let i = (stream.next() % express.len() as u64) as usize;
             let (node, out) = express.swap_remove(i);
@@ -398,6 +476,53 @@ impl FaultPlan {
             plan.push(Fault::StalledInjector { node, from, until });
         }
 
+        // Down-then-recover express links: any express link, window
+        // drawn inside the spec window (with replacement — overlapping
+        // outages on one link extend each other).
+        let express = express_links(cfg);
+        if !express.is_empty() {
+            for _ in 0..spec.down_links {
+                let (node, out) = express[(stream.next() % express.len() as u64) as usize];
+                let from = w0 + stream.next() % (w1 - w0);
+                let until = from + 1 + stream.next() % (w1 - from);
+                plan.push(Fault::DownLink {
+                    node,
+                    out,
+                    from,
+                    until,
+                });
+            }
+        }
+
+        debug_assert!(plan.validate(cfg).is_ok());
+        plan
+    }
+
+    /// Draws a fault storm for `cfg` from a seed: express links die at
+    /// `spec.kills_per_kcycle` and heal after a delay from
+    /// `spec.heal_after`, as a plan of [`Fault::DownLink`] windows. The
+    /// same `(cfg, seed, spec)` triple always produces the same storm.
+    /// On a topology with no express links the storm is empty.
+    pub fn storm(cfg: &NocConfig, seed: u64, spec: &StormSpec) -> FaultPlan {
+        let mut stream = SeedStream::new(seed);
+        let mut plan = FaultPlan::new();
+        let express = express_links(cfg);
+        if express.is_empty() || spec.duration == 0 {
+            return plan;
+        }
+        let (h0, h1) = spec.heal_after;
+        let (h0, h1) = (h0.max(1), h1.max(h0.max(1) + 1));
+        for _ in 0..spec.kill_events() {
+            let (node, out) = express[(stream.next() % express.len() as u64) as usize];
+            let from = stream.next() % spec.duration;
+            let until = from + h0 + stream.next() % (h1 - h0);
+            plan.push(Fault::DownLink {
+                node,
+                out,
+                from,
+                until,
+            });
+        }
         debug_assert!(plan.validate(cfg).is_ok());
         plan
     }
@@ -408,13 +533,17 @@ impl FaultPlan {
     pub(crate) fn compile(&self, nodes: usize) -> FaultState {
         let mut state = FaultState {
             dead: vec![OutSet::empty(); nodes],
+            base_dead: vec![OutSet::empty(); nodes],
             fail_at: vec![u64::MAX; nodes],
             stalls: vec![Vec::new(); nodes],
             transients: Vec::new(),
+            windows: Vec::new(),
+            epochs: Vec::new(),
+            epoch_cursor: 0,
         };
         for fault in &self.faults {
             match *fault {
-                Fault::DeadLink { node, out } => state.dead[node].insert(out),
+                Fault::DeadLink { node, out } => state.base_dead[node].insert(out),
                 Fault::TransientLink {
                     node,
                     out,
@@ -434,8 +563,26 @@ impl FaultPlan {
                 Fault::StalledInjector { node, from, until } => {
                     state.stalls[node].push((from, until));
                 }
+                Fault::DownLink {
+                    node,
+                    out,
+                    from,
+                    until,
+                } => {
+                    state.windows.push(DownWindow {
+                        node,
+                        out,
+                        from,
+                        until,
+                    });
+                    state.epochs.push(from);
+                    state.epochs.push(until);
+                }
             }
         }
+        state.epochs.sort_unstable();
+        state.epochs.dedup();
+        state.rebuild(0);
         state
     }
 }
@@ -462,6 +609,21 @@ fn router_outputs(cfg: &NocConfig, node: usize) -> OutSet {
     RouterClass::of(cfg, at).available_outputs()
 }
 
+/// Every express link in the topology, as `(node, out)` pairs in node
+/// order.
+fn express_links(cfg: &NocConfig) -> Vec<(usize, OutPort)> {
+    let mut express = Vec::new();
+    for node in 0..cfg.num_nodes() {
+        let outs = router_outputs(cfg, node);
+        for out in [OutPort::EastEx, OutPort::SouthEx] {
+            if outs.contains(out) {
+                express.push((node, out));
+            }
+        }
+    }
+    express
+}
+
 /// A deterministic stream of draws derived from one seed: the canonical
 /// SplitMix64 generator (add the golden-gamma, then mix).
 struct SeedStream {
@@ -483,14 +645,26 @@ impl SeedStream {
 /// Compiled per-node fault tables, consulted by the engine's hot loop.
 #[derive(Debug, Clone)]
 pub(crate) struct FaultState {
-    /// Per-node set of permanently dead outputs.
+    /// Per-node set of outputs dead in the *current epoch*: the static
+    /// dead links plus every [`Fault::DownLink`] window active now.
+    /// Re-patched at epoch boundaries by [`FaultState::patch_epoch`];
+    /// the per-cycle hot path is a plain table read.
     pub(crate) dead: Vec<OutSet>,
+    /// Per-node set of permanently dead outputs (epoch-independent).
+    base_dead: Vec<OutSet>,
     /// Per-node fail-stop cycle (`u64::MAX` = never fails).
     pub(crate) fail_at: Vec<u64>,
     /// Per-node injector stall windows `[from, until)`.
     pub(crate) stalls: Vec<Vec<(u64, u64)>>,
     /// Transient link faults (few; scanned linearly).
     transients: Vec<Transient>,
+    /// Dynamic down-then-recover windows (cold; consulted only when an
+    /// epoch boundary is crossed).
+    windows: Vec<DownWindow>,
+    /// Sorted distinct window boundaries — the patch schedule.
+    epochs: Vec<u64>,
+    /// Index of the next boundary not yet applied.
+    epoch_cursor: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -502,10 +676,49 @@ struct Transient {
     corrupt: bool,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct DownWindow {
+    node: usize,
+    out: OutPort,
+    from: u64,
+    until: u64,
+}
+
 impl FaultState {
     /// True when the router at `node` has fail-stopped by `cycle`.
     pub(crate) fn failed(&self, node: usize, cycle: u64) -> bool {
         cycle >= self.fail_at[node]
+    }
+
+    /// Recomputes the dead-output table for the epoch containing
+    /// `cycle` and repositions the boundary cursor.
+    fn rebuild(&mut self, cycle: u64) {
+        self.dead.copy_from_slice(&self.base_dead);
+        for w in &self.windows {
+            if cycle >= w.from && cycle < w.until {
+                self.dead[w.node].insert(w.out);
+            }
+        }
+        self.epoch_cursor = self.epochs.partition_point(|&b| b <= cycle);
+    }
+
+    /// Re-patches the dead table when `cycle` has crossed the next
+    /// window boundary. Called once per cycle; the common case is one
+    /// branch on the cursor.
+    pub(crate) fn patch_epoch(&mut self, cycle: u64) {
+        if self.epoch_cursor < self.epochs.len() && cycle >= self.epochs[self.epoch_cursor] {
+            self.rebuild(cycle);
+        }
+    }
+
+    /// Rewinds the epoch state to cycle 0 (engine reset between runs).
+    pub(crate) fn rewind(&mut self) {
+        self.rebuild(0);
+    }
+
+    /// True when the plan contains any dynamic recovery window.
+    pub(crate) fn has_windows(&self) -> bool {
+        !self.windows.is_empty()
     }
 
     /// True when the PE at `node` may not inject at `cycle`.
@@ -622,6 +835,7 @@ mod tests {
             transient_links: 3,
             fail_stop_routers: 1,
             stalled_injectors: 2,
+            down_links: 0,
             window: (0, 500),
         };
         let a = FaultPlan::random(&cfg, 42, &spec);
@@ -678,6 +892,118 @@ mod tests {
         assert!(!fs.injector_stalled(3, 4));
         assert!(fs.injector_stalled(3, 5));
         assert!(!fs.injector_stalled(3, 8));
+    }
+
+    #[test]
+    fn down_link_validation_mirrors_dead_link() {
+        let cfg = ft(8, 2, 1);
+        let ok = FaultPlan::new().with(Fault::DownLink {
+            node: 0,
+            out: OutPort::EastEx,
+            from: 10,
+            until: 50,
+        });
+        assert_eq!(ok.validate(&cfg), Ok(()));
+        let shared = FaultPlan::new().with(Fault::DownLink {
+            node: 0,
+            out: OutPort::EastSh,
+            from: 10,
+            until: 50,
+        });
+        assert_eq!(
+            shared.validate(&cfg),
+            Err(FaultError::PartitionsTorus {
+                node: 0,
+                out: OutPort::EastSh
+            })
+        );
+        let empty = FaultPlan::new().with(Fault::DownLink {
+            node: 0,
+            out: OutPort::EastEx,
+            from: 10,
+            until: 10,
+        });
+        assert_eq!(
+            empty.validate(&cfg),
+            Err(FaultError::EmptyWindow {
+                from: 10,
+                until: 10
+            })
+        );
+        assert!(matches!(
+            FaultPlan::new()
+                .with(Fault::DownLink {
+                    node: 0,
+                    out: OutPort::EastEx,
+                    from: 0,
+                    until: 9,
+                })
+                .validate(&NocConfig::hoplite(8).unwrap()),
+            Err(FaultError::NoExpressLink { .. })
+        ));
+    }
+
+    #[test]
+    fn down_link_windows_patch_epochs() {
+        let plan = FaultPlan::new()
+            .with(Fault::DeadLink {
+                node: 1,
+                out: OutPort::SouthEx,
+            })
+            .with(Fault::DownLink {
+                node: 0,
+                out: OutPort::EastEx,
+                from: 10,
+                until: 20,
+            })
+            .with(Fault::DownLink {
+                node: 0,
+                out: OutPort::SouthEx,
+                from: 15,
+                until: 30,
+            });
+        let mut fs = plan.compile(4);
+        assert!(fs.has_windows());
+        // Cycle 0: only the static dead link.
+        assert!(!fs.dead[0].contains(OutPort::EastEx));
+        assert!(fs.dead[1].contains(OutPort::SouthEx));
+        // Walk the cycles in order, as the engine does.
+        let expect = |fs: &FaultState, east: bool, south: bool| {
+            assert_eq!(fs.dead[0].contains(OutPort::EastEx), east);
+            assert_eq!(fs.dead[0].contains(OutPort::SouthEx), south);
+            assert!(fs.dead[1].contains(OutPort::SouthEx), "static survives");
+        };
+        for cycle in 0..40 {
+            fs.patch_epoch(cycle);
+            expect(&fs, (10..20).contains(&cycle), (15..30).contains(&cycle));
+        }
+        // Rewind reproduces cycle 0 exactly.
+        fs.rewind();
+        expect(&fs, false, false);
+        fs.patch_epoch(17);
+        expect(&fs, true, true);
+    }
+
+    #[test]
+    fn storm_is_seed_deterministic_and_valid() {
+        let cfg = ft(8, 2, 2);
+        let spec = StormSpec::default();
+        let a = FaultPlan::storm(&cfg, 7, &spec);
+        let b = FaultPlan::storm(&cfg, 7, &spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u64, spec.kill_events());
+        assert!(!a.is_empty());
+        assert_eq!(a.validate(&cfg), Ok(()));
+        let c = FaultPlan::storm(&cfg, 8, &spec);
+        assert_ne!(a, c);
+        // All storm faults are recovery windows.
+        assert!(a
+            .faults()
+            .iter()
+            .all(|f| matches!(f, Fault::DownLink { .. })));
+        // Hoplite has no express links: the storm is empty.
+        let empty = FaultPlan::storm(&NocConfig::hoplite(8).unwrap(), 7, &spec);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod analysis;
 pub mod attribution;
 pub mod config;
 pub mod export;
+pub mod fallback;
 pub mod fault;
 pub mod geom;
 pub mod kernel;
@@ -78,7 +79,8 @@ pub mod prelude {
     };
     pub use crate::config::{ConfigError, ExitPolicy, FtPolicy, LinkPipeline, NocConfig, NocKind};
     pub use crate::export::{ChromeTraceSink, NdjsonSink};
-    pub use crate::fault::{Fault, FaultError, FaultPlan, FaultSpec};
+    pub use crate::fallback::{FallbackAction, FallbackConfig, FallbackError};
+    pub use crate::fault::{Fault, FaultError, FaultPlan, FaultSpec, StormSpec};
     pub use crate::geom::Coord;
     pub use crate::kernel::{PacketPool, RouteLut, RouteMode};
     pub use crate::metrics::{EpochStats, WindowedMetrics};

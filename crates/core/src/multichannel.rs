@@ -12,10 +12,11 @@
 //! favored for injection or delivery.
 
 use crate::config::NocConfig;
+use crate::fallback::CompiledFallback;
 use crate::fault::{FaultError, FaultPlan};
 use crate::kernel::{RouteLut, RouteMode};
 use crate::noc::{Noc, StepGates};
-use crate::packet::Delivery;
+use crate::packet::{Delivery, Packet};
 use crate::probe::{Probe, TraceSelect};
 use crate::queue::InjectQueues;
 use crate::stats::SimStats;
@@ -28,6 +29,11 @@ pub struct MultiNoc {
     gates: StepGates,
     rotation: usize,
     cycle: u64,
+    /// Packets evicted by an `AlternateChannel` fallback step, waiting
+    /// for a free shared input register on a sibling channel:
+    /// `(source channel, node, packet)`. Counted by
+    /// [`MultiNoc::in_flight`] so conservation holds across switches.
+    pending: Vec<(usize, usize, Packet)>,
 }
 
 impl MultiNoc {
@@ -52,6 +58,7 @@ impl MultiNoc {
             gates: StepGates::new(nodes),
             rotation: 0,
             cycle: 0,
+            pending: Vec::new(),
         }
     }
 
@@ -82,7 +89,21 @@ impl MultiNoc {
             gates: StepGates::new(nodes),
             rotation: 0,
             cycle: 0,
+            pending: Vec::new(),
         })
+    }
+
+    /// Installs compiled fallback chains on every channel, arming
+    /// `AlternateChannel` evictions when the bank has a sibling to
+    /// switch to.
+    pub(crate) fn set_fallback(&mut self, fallback: CompiledFallback) {
+        let multi = self.channels.len() > 1;
+        for ch in &mut self.channels {
+            ch.set_fallback(fallback);
+            if multi {
+                ch.enable_eviction();
+            }
+        }
     }
 
     /// Switches route resolution on every channel. Entering
@@ -119,6 +140,7 @@ impl MultiNoc {
         self.gates.reset();
         self.rotation = 0;
         self.cycle = 0;
+        self.pending.clear();
     }
 
     /// See [`Noc::only_failed_injectors_pending`]; all channels share
@@ -137,9 +159,11 @@ impl MultiNoc {
         self.channels[0].config()
     }
 
-    /// Total packets in flight across all channels.
+    /// Total packets in flight across all channels, including packets
+    /// mid-switch between channels (see [`MultiNoc::step`]); drivers
+    /// must keep cycling until these drain too.
     pub fn in_flight(&self) -> usize {
-        self.channels.iter().map(Noc::in_flight).sum()
+        self.channels.iter().map(Noc::in_flight).sum::<usize>() + self.pending.len()
     }
 
     /// Packets in flight per channel, in channel order (balance
@@ -170,12 +194,32 @@ impl MultiNoc {
     ) {
         self.gates.reset();
         let k = self.channels.len();
+        // Land last cycle's channel-switch evictions first: each packet
+        // tries the sibling channels in deterministic order and becomes
+        // an ordinary shared-ring input this cycle; if every slot is
+        // taken it stays pending (still in flight) and retries next
+        // cycle.
+        if !self.pending.is_empty() {
+            let mut retained = Vec::new();
+            for (src, node, pkt) in self.pending.drain(..) {
+                let adopted = (1..k)
+                    .map(|off| (src + off) % k)
+                    .any(|ch| self.channels[ch].adopt(node, pkt));
+                if !adopted {
+                    retained.push((src, node, pkt));
+                }
+            }
+            self.pending = retained;
+        }
         for i in 0..k {
             let ch = (self.rotation + i) % k;
             if S::ENABLED {
                 sink.set_channel(ch);
             }
             self.channels[ch].step_with_sink(queues, deliveries, Some(&mut self.gates), sink);
+            for (node, pkt) in self.channels[ch].take_evicted() {
+                self.pending.push((ch, node, pkt));
+            }
         }
         self.rotation = (self.rotation + 1) % k;
         self.cycle += 1;

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use crate::alloc::{allocate, try_allocate, try_inject, MAX_IN_FLIGHT};
 use crate::config::{FtPolicy, NocConfig};
+use crate::fallback::CompiledFallback;
 use crate::fault::{FaultError, FaultPlan, FaultState};
 use crate::geom::Coord;
 use crate::kernel::{PacketPool, RouteLut, RouteMode, EMPTY_SLOT};
@@ -86,6 +87,16 @@ pub struct Noc {
     /// Compiled fault tables; `None` on a healthy fabric, which keeps
     /// the no-fault path structurally identical to the pre-fault engine.
     faults: Option<FaultState>,
+    /// Compiled fallback chains (see [`crate::fallback`]). The default
+    /// is inert: every fallback branch is skipped and the engine is
+    /// bit-identical to the pre-fallback drop behavior.
+    fallback: CompiledFallback,
+    /// `true` only inside a multi-channel bank: `AlternateChannel`
+    /// steps evict the loser for sibling adoption instead of dropping.
+    evict_enabled: bool,
+    /// Packets evicted this cycle for channel switching, drained by the
+    /// owning [`crate::multichannel::MultiNoc`] after the step.
+    evicted: Vec<(usize, Packet)>,
 }
 
 impl Noc {
@@ -136,6 +147,9 @@ impl Noc {
             stats: SimStats::default(),
             probe: None,
             faults: None,
+            fallback: CompiledFallback::default(),
+            evict_enabled: false,
+            evicted: Vec::new(),
         }
     }
 
@@ -184,6 +198,53 @@ impl Noc {
         self.in_flight = 0;
         self.cycle = 0;
         self.stats = SimStats::default();
+        self.evicted.clear();
+        // Only a dynamic timeline can leave the dead-link table in a
+        // later epoch; static plans never need the rebuild.
+        if let Some(f) = self.faults.as_mut() {
+            if f.has_windows() {
+                f.rewind();
+            }
+        }
+    }
+
+    /// Installs compiled fallback chains. The default compiled form is
+    /// inert and keeps this engine bit-identical to one built without
+    /// fallback routing.
+    pub(crate) fn set_fallback(&mut self, fallback: CompiledFallback) {
+        self.fallback = fallback;
+    }
+
+    /// Arms `AlternateChannel` evictions. Only a multi-channel bank
+    /// calls this — a lone channel has no alternate, so the step stays
+    /// inert and the exhausted chain falls through to the drop.
+    pub(crate) fn enable_eviction(&mut self) {
+        self.evict_enabled = true;
+    }
+
+    /// Drains the packets evicted for channel switching this cycle.
+    pub(crate) fn take_evicted(&mut self) -> Vec<(usize, Packet)> {
+        std::mem::take(&mut self.evicted)
+    }
+
+    /// Adopts a packet evicted from a sibling channel, placing it into
+    /// a free shared input register at `node` for the coming cycle (hop
+    /// and latency counters carry over — the switch costs one cycle,
+    /// not a fresh injection). Returns `false` when both shared inputs
+    /// are already occupied.
+    pub(crate) fn adopt(&mut self, node: usize, pkt: Packet) -> bool {
+        for port in [InPort::WestSh, InPort::NorthSh] {
+            let reg = &mut self.regs[node * MAX_IN_FLIGHT + port.index()];
+            if *reg == EMPTY_SLOT {
+                if self.pool.free_slots() > 0 {
+                    self.stats.pool_reuse += 1;
+                }
+                *reg = self.pool.insert(pkt);
+                self.in_flight += 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Builds an idle NoC with the given fault plan injected. The plan
@@ -289,6 +350,13 @@ impl Noc {
         let exit_policy = self.cfg.exit_policy();
         let d = self.cfg.d().max(1);
 
+        // Dynamic fault timeline: when the cycle crosses an epoch
+        // boundary (a link dying or healing), rebuild the dead-link
+        // table once. The per-node path below stays a plain table read.
+        if let Some(f) = self.faults.as_mut() {
+            f.patch_epoch(self.cycle);
+        }
+
         for node in 0..nodes {
             let at = self.coords[node];
             let class = self.classes[node];
@@ -372,19 +440,51 @@ impl Noc {
                         && !productive.is_empty()
                         && productive.intersect(dead) == productive;
                     if stranded {
-                        let pkt = self.pool.remove(idx);
-                        self.in_flight -= 1;
-                        self.stats.dropped += 1;
-                        if S::ENABLED {
-                            sink.emit(&SimEvent::FaultDrop {
-                                cycle: self.cycle,
-                                node,
-                                packet: pkt.id,
-                                link: productive.iter().next(),
-                                corrupted: false,
-                            });
+                        // Fallback chain, step 1: demote the stranded
+                        // express packet onto the shared ring instead of
+                        // dropping it. Shared links can never be fault-
+                        // masked, so the demoted prefs always have a
+                        // live output.
+                        if self.fallback.demote[class.code()] {
+                            let twin = match InPort::ALL[slot] {
+                                InPort::WestEx => InPort::WestSh,
+                                InPort::NorthEx => InPort::NorthSh,
+                                other => other,
+                            };
+                            let demoted = self.prefs_for(class, twin, at, self.pool.dst(idx));
+                            debug_assert!(
+                                demoted.as_set().intersect(dead).is_empty(),
+                                "demoted prefs must avoid dead express links"
+                            );
+                            self.stats.rerouted += 1;
+                            self.stats.fallback_demotions += 1;
+                            if S::ENABLED {
+                                sink.emit(&SimEvent::FaultReroute {
+                                    cycle: self.cycle,
+                                    node,
+                                    packet: self.pool.get(idx).id,
+                                    avoided: productive
+                                        .iter()
+                                        .next()
+                                        .expect("stranding requires productive outputs"),
+                                });
+                            }
+                            prefs_buf[i] = demoted;
+                        } else {
+                            let pkt = self.pool.remove(idx);
+                            self.in_flight -= 1;
+                            self.stats.dropped += 1;
+                            if S::ENABLED {
+                                sink.emit(&SimEvent::FaultDrop {
+                                    cycle: self.cycle,
+                                    node,
+                                    packet: pkt.id,
+                                    link: productive.iter().next(),
+                                    corrupted: false,
+                                });
+                            }
+                            continue;
                         }
-                        continue;
                     }
                     inputs[kept] = inputs[i];
                     prefs_buf[kept] = prefs_buf[i];
@@ -410,11 +510,34 @@ impl Noc {
                 let prefs = prefs_buf[i];
                 let Some(out) = assignment[i] else {
                     // Stranded by a dead link: a bufferless router has
-                    // nowhere to park the packet, so it is lost (counted
-                    // in `dropped`; conservation holds).
+                    // nowhere to park the packet. Fallback chain, step 2:
+                    // in a multi-channel bank the loser switches to a
+                    // sibling channel; otherwise the chain is exhausted
+                    // and the packet is lost (counted in `dropped`;
+                    // conservation holds either way — an evicted packet
+                    // stays in flight at the bank level).
                     debug_assert!(!dead.is_empty(), "healthy routers never strand inputs");
                     let pkt = self.pool.remove(idx);
                     self.in_flight -= 1;
+                    if self.evict_enabled && self.fallback.alternate[class.code()] {
+                        self.stats.rerouted += 1;
+                        self.stats.fallback_channel_switches += 1;
+                        if S::ENABLED {
+                            sink.emit(&SimEvent::FaultReroute {
+                                cycle: self.cycle,
+                                node,
+                                packet: pkt.id,
+                                avoided: dead
+                                    .intersect(prefs.productive())
+                                    .iter()
+                                    .next()
+                                    .or_else(|| dead.iter().next())
+                                    .expect("stranding requires dead links"),
+                            });
+                        }
+                        self.evicted.push((node, pkt));
+                        continue;
+                    }
                     self.stats.dropped += 1;
                     if S::ENABLED {
                         sink.emit(&SimEvent::FaultDrop {

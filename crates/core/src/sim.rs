@@ -32,6 +32,7 @@
 
 use crate::attribution::{AttributionConfig, AttributionReport, AttributionSink};
 use crate::config::NocConfig;
+use crate::fallback::{CompiledFallback, FallbackConfig, FallbackError};
 use crate::fault::{FaultError, FaultPlan};
 use crate::kernel::RouteMode;
 use crate::monitor::MetricsRegistry;
@@ -391,6 +392,13 @@ pub trait SessionBackend {
     fn monitor_channels(&self) -> Option<usize> {
         None
     }
+
+    /// True when the backend carries armed (non-inert) fallback chains;
+    /// monitored runs then publish the `fasttrack_fallback_*` registry
+    /// cells. Chain-less backends keep their exact cell set.
+    fn fallback_armed(&self) -> bool {
+        false
+    }
 }
 
 /// Backend for the torus engines: a single [`Noc`], or a [`MultiNoc`]
@@ -400,6 +408,7 @@ pub struct TorusBackend {
     cfg: NocConfig,
     channels: Option<usize>,
     route: RouteMode,
+    fallback: CompiledFallback,
 }
 
 impl TorusBackend {
@@ -409,6 +418,7 @@ impl TorusBackend {
             cfg: cfg.clone(),
             channels: None,
             route: RouteMode::default(),
+            fallback: CompiledFallback::default(),
         }
     }
 }
@@ -500,6 +510,7 @@ impl SessionBackend for TorusBackend {
                     None => Noc::new(self.cfg.clone()),
                 };
                 noc.set_route_mode(self.route);
+                noc.set_fallback(self.fallback);
                 Ok(TorusEngine::Single(noc))
             }
             Some(k) => {
@@ -508,6 +519,7 @@ impl SessionBackend for TorusBackend {
                     None => MultiNoc::new(self.cfg.clone(), k),
                 };
                 bank.set_route_mode(self.route);
+                bank.set_fallback(self.fallback);
                 Ok(TorusEngine::Multi(bank))
             }
         }
@@ -519,6 +531,10 @@ impl SessionBackend for TorusBackend {
 
     fn monitor_channels(&self) -> Option<usize> {
         self.channels
+    }
+
+    fn fallback_armed(&self) -> bool {
+        !self.fallback.is_inert()
     }
 }
 
@@ -744,6 +760,9 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
                 (report, Some(attribution))
             }
         };
+        if self.backend.fallback_armed() {
+            publish_fallback_cells(&report, &registry_for(monitor.as_ref()));
+        }
         Ok(SimOutcome {
             report,
             monitor,
@@ -797,6 +816,9 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
         let spans = tp.finish();
         let registry = registry_for(monitor.as_ref());
         let attribution = attrib.map(|a| AttributionReport::assemble(a, &report, registry.clone()));
+        if self.backend.fallback_armed() {
+            publish_fallback_cells(&report, &registry);
+        }
         let profile = SessionProfile::assemble(spans, &report, counter.events, registry);
         Ok(SimOutcome {
             report,
@@ -867,6 +889,9 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
                 let registry = registry_for(monitor.as_ref());
                 let attribution =
                     attrib.map(|a| AttributionReport::assemble(a, &report, registry.clone()));
+                if self.backend.fallback_armed() {
+                    publish_fallback_cells(&report, &registry);
+                }
                 let profile = SessionProfile::assemble(spans, &report, counter.events, registry);
                 outcomes.push(SimOutcome {
                     report,
@@ -896,6 +921,9 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
                 let attribution = attrib.map(|a| {
                     AttributionReport::assemble(a, &report, registry_for(monitor.as_ref()))
                 });
+                if self.backend.fallback_armed() {
+                    publish_fallback_cells(&report, &registry_for(monitor.as_ref()));
+                }
                 outcomes.push(SimOutcome {
                     report,
                     monitor,
@@ -925,6 +953,23 @@ impl<'s, K: EventSink> SimSession<'s, TorusBackend, K> {
     pub fn route_mode(mut self, mode: RouteMode) -> Self {
         self.backend.route = mode;
         self
+    }
+
+    /// Installs per-router-class fallback chains (see
+    /// [`crate::fallback`]): stranded express packets demote to the
+    /// shared ring, allocation losers switch channels in a bank, and
+    /// only an exhausted chain drops. The config is validated here;
+    /// [`FallbackConfig::none`] (the default) keeps every run
+    /// bit-identical to a session without this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FallbackError`] the validation pipeline
+    /// finds.
+    pub fn with_fallback(mut self, fallback: &FallbackConfig) -> Result<Self, FallbackError> {
+        fallback.validate()?;
+        self.backend.fallback = fallback.compile();
+        Ok(self)
     }
 }
 
@@ -1009,6 +1054,24 @@ fn dispatch_attributed_profiled<E: SimEngine, T: TrafficSource, K: EventSink>(
 /// attached (shared exposition), a fresh one otherwise.
 fn registry_for(monitor: Option<&HealthMonitor>) -> MetricsRegistry {
     monitor.map(|m| m.registry().clone()).unwrap_or_default()
+}
+
+/// Publishes the run's fallback counters as `fasttrack_fallback_*`
+/// registry cells. Called only for backends whose chains are armed
+/// (see [`SessionBackend::fallback_armed`]).
+fn publish_fallback_cells(report: &SimReport, registry: &MetricsRegistry) {
+    registry
+        .counter(
+            "fasttrack_fallback_demotions_total",
+            "Stranded express packets demoted to the shared ring",
+        )
+        .add(report.stats.fallback_demotions);
+    registry
+        .counter(
+            "fasttrack_fallback_channel_switches_total",
+            "Allocation losers switched to an alternate channel",
+        )
+        .add(report.stats.fallback_channel_switches);
 }
 
 fn no_faults(outcome: Result<SimOutcome, FaultError>) -> SimOutcome {

@@ -260,6 +260,14 @@ pub struct SimStats {
     /// Routing decisions that steered a packet away from a dead express
     /// link onto the plain ring (graceful degradation, not a loss).
     pub rerouted: u64,
+    /// Lane-locked express packets demoted onto the shared ring by a
+    /// fallback chain instead of being dropped at a dead router (a
+    /// subset of `rerouted`; zero without fallback chains).
+    pub fallback_demotions: u64,
+    /// Allocation losers handed to a parallel channel by a fallback
+    /// chain instead of being dropped (a subset of `rerouted`; zero
+    /// without fallback chains or on a single channel).
+    pub fallback_channel_switches: u64,
     /// Output-port decisions made for packets (in-flight allocations plus
     /// accepted injections) — the LUT/direct route-resolution workload.
     pub route_decisions: u64,
@@ -286,6 +294,8 @@ impl SimStats {
         self.injection_stalls += other.injection_stalls;
         self.dropped += other.dropped;
         self.rerouted += other.rerouted;
+        self.fallback_demotions += other.fallback_demotions;
+        self.fallback_channel_switches += other.fallback_channel_switches;
         self.route_decisions += other.route_decisions;
         self.pool_reuse += other.pool_reuse;
     }

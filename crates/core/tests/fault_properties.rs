@@ -85,6 +85,7 @@ fn inject_policy_dead_express_link_terminates() {
         transient_links: 2,
         fail_stop_routers: 1,
         stalled_injectors: 1,
+        down_links: 0,
         window: (0, 400),
     };
     let plan = FaultPlan::random(&cfg, 4 ^ 0xFA17, &spec);
@@ -131,6 +132,7 @@ proptest! {
             transient_links: 2,
             fail_stop_routers: 1,
             stalled_injectors: 1,
+            down_links: 0,
             window: (0, 500),
         };
         let a = FaultPlan::random(&cfg, seed, &spec);
@@ -162,6 +164,7 @@ proptest! {
             transient_links: transient,
             fail_stop_routers: fail_stop,
             stalled_injectors: stalls,
+            down_links: 0,
             // Early, tight window so the faults overlap the traffic; the
             // corrupt_bias seed bit varies drop vs corrupt draws.
             window: (0, if corrupt_bias { 200 } else { 400 }),
@@ -202,6 +205,7 @@ proptest! {
             transient_links: 1,
             fail_stop_routers: fail_stop,
             stalled_injectors: 0,
+            down_links: 0,
             window: (0, 300),
         };
         let plan = FaultPlan::random(&cfg, seed, &spec);

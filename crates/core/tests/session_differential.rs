@@ -88,6 +88,7 @@ fn small_plan(cfg: &NocConfig, seed: u64) -> FaultPlan {
         transient_links: 1,
         fail_stop_routers: 1,
         stalled_injectors: 1,
+        down_links: 0,
         window: (0, 200),
     };
     FaultPlan::random(cfg, seed ^ 0xFA17, &spec)

@@ -88,6 +88,9 @@ impl MeshFaultState {
                         return Err(FaultError::EmptyWindow { from, until });
                     }
                 }
+                // Down-then-recover windows name express links, which the
+                // mesh does not have.
+                Fault::DownLink { out, .. } => return Err(FaultError::NoExpressLink { node, out }),
             }
         }
         Ok(())
@@ -101,7 +104,9 @@ impl MeshFaultState {
         };
         for fault in plan.faults() {
             match *fault {
-                Fault::DeadLink { .. } => unreachable!("rejected by validate"),
+                Fault::DeadLink { .. } | Fault::DownLink { .. } => {
+                    unreachable!("rejected by validate")
+                }
                 Fault::TransientLink {
                     node,
                     out,

@@ -99,6 +99,11 @@ pub struct ScenarioHeader {
     pub drained_at: Option<u64>,
     /// Faults active during the run, in plan order.
     pub faults: Vec<Fault>,
+    /// Whether the recorded run used the standard fallback chains
+    /// (`FallbackConfig::standard()`); replay must match or the byte
+    /// comparison diverges. `false` (the default, omitted from the
+    /// encoding) means chains were off.
+    pub fallback: bool,
     /// Optional expected outcome for self-checking corpus entries.
     pub expect: Option<Expectation>,
 }
@@ -115,6 +120,7 @@ impl ScenarioHeader {
             generator: generator.to_string(),
             drained_at: None,
             faults: Vec::new(),
+            fallback: false,
             expect: None,
         }
     }
@@ -293,6 +299,12 @@ pub fn encode_fault(fault: &Fault) -> String {
         }
         Fault::FailStopRouter { node, at } => format!("failstop {node} {at}"),
         Fault::StalledInjector { node, from, until } => format!("stall {node} {from} {until}"),
+        Fault::DownLink {
+            node,
+            out,
+            from,
+            until,
+        } => format!("down {node} {} {from} {until}", port_token(out)),
     }
 }
 
@@ -327,6 +339,12 @@ pub fn decode_fault(text: &str) -> Result<Fault, TraceError> {
         }),
         ["stall", node, from, until] => Ok(Fault::StalledInjector {
             node: num(node)? as usize,
+            from: num(from)?,
+            until: num(until)?,
+        }),
+        ["down", node, out, from, until] => Ok(Fault::DownLink {
+            node: num(node)? as usize,
+            out: parse_port(out).ok_or_else(bad)?,
             from: num(from)?,
             until: num(until)?,
         }),
@@ -484,6 +502,9 @@ impl ScenarioTrace {
         if let Some(d) = h.drained_at {
             header.push_str(&format!(",\"drained_at\":{d}"));
         }
+        if h.fallback {
+            header.push_str(",\"fallback\":true");
+        }
         if let Some(e) = h.expect {
             header.push_str(&format!(
                 ",\"expect_delivered\":{},\"expect_cycles\":{},\"expect_dropped\":{},\"expect_truncated\":{}",
@@ -635,6 +656,14 @@ impl ScenarioTrace {
                     _ => return Err(TraceError::BadHeader("generator must be a string".into())),
                 },
                 "drained_at" => header.drained_at = Some(want_int(&value, "drained_at")?),
+                "fallback" => {
+                    header.fallback = match value {
+                        JsonValue::Bool(b) => b,
+                        _ => {
+                            return Err(TraceError::BadHeader("fallback must be a boolean".into()))
+                        }
+                    };
+                }
                 "faults" => match value {
                     JsonValue::Str(s) => {
                         for part in s.split(';').filter(|p| !p.trim().is_empty()) {

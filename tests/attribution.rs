@@ -227,6 +227,7 @@ proptest! {
             transient_links: transient,
             fail_stop_routers: fail_stop,
             stalled_injectors: 0,
+            down_links: 0,
             window: (0, 500),
         });
         let mut src = BernoulliSource::new(

@@ -134,6 +134,11 @@ fn checked_in_corpus_replays_and_matches_expectations() {
         if trace.header.channels > 1 {
             session = session.channels(trace.header.channels);
         }
+        if trace.header.fallback {
+            session = session
+                .with_fallback(&FallbackConfig::standard())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
         let report = session
             .run(&mut src)
             .unwrap_or_else(|e| panic!("{name}: {e}"))
@@ -179,5 +184,30 @@ fn inject_livelock_corpus_entry_exercises_the_stranded_drop_path() {
     );
     let expect = trace.header.expect.unwrap();
     assert!(expect.dropped > 0, "entry must realize stranded drops");
+    assert!(!expect.truncated, "entry must terminate, not livelock");
+}
+
+#[test]
+fn reroute_loop_corpus_entry_replays_with_chains_armed() {
+    // The archived fallback-chain finding: a Full-policy packet steered
+    // off a dying express lane re-enters express and is steered off
+    // again (express -> ring -> express). The chains keep it alive —
+    // the entry must carry the fallback flag, a dynamic (recovering)
+    // fault timeline, and zero drops.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/reroute_loop.trace");
+    let trace = ScenarioTrace::decode(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert!(trace.header.fallback, "entry must arm the fallback chains");
+    assert!(
+        trace
+            .header
+            .faults
+            .iter()
+            .all(|f| matches!(f, Fault::DownLink { .. }))
+            && !trace.header.faults.is_empty(),
+        "entry must be minimized to down-then-recover links only"
+    );
+    let expect = trace.header.expect.unwrap();
+    assert_eq!(expect.dropped, 0, "chains must keep every packet alive");
     assert!(!expect.truncated, "entry must terminate, not livelock");
 }
