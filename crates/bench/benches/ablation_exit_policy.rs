@@ -18,7 +18,7 @@ fn run(cfg: &NocConfig) -> (f64, f64) {
     let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, packets_per_pe(), 5);
     let nut = NocUnderTest {
         label: cfg.name(),
-        config: cfg.clone(),
+        topology: fasttrack_core::topology::TopologySpec::Torus(cfg.clone()),
         channels: 1,
     };
     let r = nut.run(&mut src, SimOptions::default());

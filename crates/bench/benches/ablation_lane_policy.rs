@@ -33,7 +33,7 @@ fn main() {
                 let cfg = NocConfig::fasttrack(8, d, 1, policy).unwrap();
                 let nut = NocUnderTest {
                     label: cfg.name(),
-                    config: cfg.clone(),
+                    topology: fasttrack_core::topology::TopologySpec::Torus(cfg.clone()),
                     channels: 1,
                 };
                 let mut src = BernoulliSource::new(8, pattern, 1.0, packets_per_pe(), 3);

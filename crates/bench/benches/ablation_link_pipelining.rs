@@ -43,7 +43,7 @@ fn main() {
             let mhz = noc_frequency_mhz(&device, &cfg, WIDTH, 1).expect("fits");
             let nut = NocUnderTest {
                 label: cfg.name(),
-                config: cfg.clone(),
+                topology: fasttrack_core::topology::TopologySpec::Torus(cfg.clone()),
                 channels: 1,
             };
             let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, packets_per_pe(), 17);

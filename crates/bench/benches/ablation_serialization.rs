@@ -33,20 +33,22 @@ fn main() {
     );
     for nut in [NocUnderTest::hoplite(n), NocUnderTest::fasttrack(n, 2, 1)] {
         for width in [64u32, 128, 256, 512] {
-            let mhz = match noc_frequency_mhz(&device, &nut.config, width, 1) {
-                Ok(m) => m,
-                Err(_) => {
-                    t.add_row(vec![
-                        nut.label.clone(),
-                        width.to_string(),
-                        flits_for(CACHELINE_BITS, width).to_string(),
-                        "NA".into(),
-                        "-".into(),
-                        "-".into(),
-                    ]);
-                    continue;
-                }
-            };
+            let mhz =
+                match noc_frequency_mhz(&device, nut.torus_config().expect("torus grid"), width, 1)
+                {
+                    Ok(m) => m,
+                    Err(_) => {
+                        t.add_row(vec![
+                            nut.label.clone(),
+                            width.to_string(),
+                            flits_for(CACHELINE_BITS, width).to_string(),
+                            "NA".into(),
+                            "-".into(),
+                            "-".into(),
+                        ]);
+                        continue;
+                    }
+                };
             let transfers: Vec<Transfer> = (0..64usize)
                 .flat_map(|s| {
                     (0..lines_per_pe).map(move |_| Transfer {

@@ -54,8 +54,9 @@ fn main() {
     ] {
         let mut src = BernoulliSource::new(8, Pattern::Random, 1.0, packets_per_pe(), 11);
         let report = nut.run(&mut src, SimOptions::default());
-        let mhz = noc_frequency_mhz(&device, &nut.config, WIDTH, 1).expect("fits at 32b");
-        let luts = noc_cost(&nut.config, WIDTH).luts / 64;
+        let mhz = noc_frequency_mhz(&device, nut.torus_config().expect("torus grid"), WIDTH, 1)
+            .expect("fits at 32b");
+        let luts = noc_cost(nut.torus_config().expect("torus grid"), WIDTH).luts / 64;
         t.add_row(vec![
             nut.label.clone(),
             luts.to_string(),

@@ -41,9 +41,15 @@ fn main() {
         run_pattern(&nuts[i], Pattern::Random, 1.0, 0x00f1_6140)
     });
     for (nut, report) in nuts.iter().zip(reports) {
-        let cost = noc_cost(&nut.config, WIDTH).replicated(nut.channels as u32);
-        let mhz = noc_frequency_mhz(&device, &nut.config, WIDTH, nut.channels as u32)
-            .expect("8x8 at 256b fits");
+        let cost = noc_cost(nut.torus_config().expect("torus grid"), WIDTH)
+            .replicated(nut.channels as u32);
+        let mhz = noc_frequency_mhz(
+            &device,
+            nut.torus_config().expect("torus grid"),
+            WIDTH,
+            nut.channels as u32,
+        )
+        .expect("8x8 at 256b fits");
         let rate = report.aggregate_rate();
         t.add_row(vec![
             nut.label.clone(),

@@ -40,11 +40,12 @@ fn main() {
     });
     let mut base_energy = None;
     for (nut, report) in nuts.iter().zip(reports) {
-        let mhz = noc_frequency_mhz(&device, &nut.config, WIDTH, nut.channels as u32)
-            .expect("8x8 fits at 256b");
+        let cfg = nut.torus_config().expect("torus grid");
+        let mhz =
+            noc_frequency_mhz(&device, cfg, WIDTH, nut.channels as u32).expect("8x8 fits at 256b");
         let energy = power.workload_energy_j(
             &device,
-            &nut.config,
+            cfg,
             WIDTH,
             mhz,
             nut.channels as u32,

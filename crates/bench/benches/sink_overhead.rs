@@ -62,7 +62,7 @@ fn sink_overhead(c: &mut Criterion) {
     });
     group.bench_function("engine/health_monitor", |b| {
         b.iter(|| {
-            let mut monitor = HealthMonitor::new(8, MonitorConfig::default());
+            let mut monitor = HealthMonitor::new(MonitorShape::torus(8), MonitorConfig::default());
             let delivered = run_cycles(black_box(&cfg), &mut monitor);
             (delivered, monitor.healthy())
         })

@@ -9,13 +9,16 @@ use fasttrack_core::fallback::{FallbackConfig, FallbackError};
 use fasttrack_core::fault::{FaultPlan, StormSpec};
 use fasttrack_core::metrics::WindowedMetrics;
 use fasttrack_core::monitor::{HealthMonitor, HealthSummary, MonitorConfig};
+use fasttrack_core::shg::ShgBackend;
 use fasttrack_core::sim::{
     SimOptions, SimOutcome, SimReport, SimSession, TorusBackend, TrafficSource,
 };
 use fasttrack_core::sweep::{
     point_seed, retry_seed, splitmix64, sweep, sweep_fallible, SweepError,
 };
+use fasttrack_core::topology::{ShgConfig, ShgTopology, Topology, TopologySpec, TorusTopology};
 use fasttrack_core::trace::EventSink;
+use fasttrack_mesh::{MeshBackend, MeshConfig, MeshTopology};
 use fasttrack_traffic::pattern::Pattern;
 use fasttrack_traffic::source::BernoulliSource;
 
@@ -39,14 +42,58 @@ pub fn quick_mode() -> bool {
 /// The injection rates swept in Figures 11–13 (log-spaced 1%..100%).
 pub const INJECTION_RATES: [f64; 9] = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0];
 
-/// A NoC under test: a configuration plus a channel count (for the
-/// replicated-Hoplite comparisons).
+/// Builds a `dyn` [`Topology`] view of a spec — the single place the
+/// harness maps topology kinds to their implementations (torus, SHG,
+/// and buffered mesh), used for storm drawing, fallback validation,
+/// and the iso-resource cost model.
+pub fn topology_of(spec: &TopologySpec) -> Box<dyn Topology> {
+    match spec {
+        TopologySpec::Torus(cfg) => Box::new(TorusTopology::new(cfg.clone())),
+        TopologySpec::Shg(cfg) => Box::new(ShgTopology::new(*cfg)),
+        TopologySpec::Mesh { n, depth } => Box::new(MeshTopology::new(
+            MeshConfig::new(*n, *depth).expect("specs are validated"),
+        )),
+    }
+}
+
+/// Builds the right [`SimSession`] for a NoC under test and evaluates
+/// `$body` with it — monomorphized per backend arm, so every topology
+/// runs the same zero-cost session plumbing the torus always had.
+macro_rules! dispatch_session {
+    ($nut:expr, $session:ident => $body:expr) => {
+        match &$nut.topology {
+            TopologySpec::Torus(cfg) => {
+                let $session = {
+                    let s = SimSession::new(cfg);
+                    if $nut.channels == 1 {
+                        s
+                    } else {
+                        s.channels($nut.channels)
+                    }
+                };
+                $body
+            }
+            TopologySpec::Shg(cfg) => {
+                let $session = SimSession::with_backend(ShgBackend::new(*cfg));
+                $body
+            }
+            TopologySpec::Mesh { n, depth } => {
+                let cfg = MeshConfig::new(*n, *depth).expect("specs are validated");
+                let $session = SimSession::with_backend(MeshBackend::new(&cfg));
+                $body
+            }
+        }
+    };
+}
+
+/// A NoC under test: a topology plus a channel count (for the
+/// replicated-Hoplite comparisons; channels apply to torus NoCs only).
 #[derive(Debug, Clone)]
 pub struct NocUnderTest {
     /// Label used in tables (e.g. `Hoplite-3x`).
     pub label: String,
-    /// Per-channel configuration.
-    pub config: NocConfig,
+    /// The topology this NoC instantiates.
+    pub topology: TopologySpec,
     /// Parallel physical channels (1 = single NoC).
     pub channels: usize,
 }
@@ -56,7 +103,7 @@ impl NocUnderTest {
     pub fn hoplite(n: u16) -> Self {
         NocUnderTest {
             label: "Hoplite".into(),
-            config: NocConfig::hoplite(n).expect("valid n"),
+            topology: TopologySpec::Torus(NocConfig::hoplite(n).expect("valid n")),
             channels: 1,
         }
     }
@@ -65,7 +112,7 @@ impl NocUnderTest {
     pub fn hoplite_x(n: u16, channels: usize) -> Self {
         NocUnderTest {
             label: format!("Hoplite-{channels}x"),
-            config: NocConfig::hoplite(n).expect("valid n"),
+            topology: TopologySpec::Torus(NocConfig::hoplite(n).expect("valid n")),
             channels,
         }
     }
@@ -75,7 +122,37 @@ impl NocUnderTest {
         let config = NocConfig::fasttrack(n, d, r, FtPolicy::Full).expect("valid config");
         NocUnderTest {
             label: config.name(),
-            config,
+            topology: TopologySpec::Torus(config),
+            channels: 1,
+        }
+    }
+
+    /// A Sparse Hamming Graph `SHG(q², δ)` under test.
+    pub fn shg(q: u16, delta: u16) -> Self {
+        let cfg = ShgConfig::new(q, delta).expect("valid SHG config");
+        NocUnderTest {
+            label: cfg.name(),
+            topology: TopologySpec::Shg(cfg),
+            channels: 1,
+        }
+    }
+
+    /// A buffered `n × n` mesh with `depth`-flit input FIFOs under test.
+    pub fn mesh(n: u16, depth: usize) -> Self {
+        let cfg = MeshConfig::new(n, depth).expect("valid mesh config");
+        NocUnderTest {
+            label: cfg.name(),
+            topology: TopologySpec::Mesh { n, depth },
+            channels: 1,
+        }
+    }
+
+    /// A NoC under test from any parsed [`TopologySpec`], labeled with
+    /// its display name.
+    pub fn from_spec(spec: TopologySpec) -> Self {
+        NocUnderTest {
+            label: spec.display_name(),
+            topology: spec,
             channels: 1,
         }
     }
@@ -97,16 +174,47 @@ impl NocUnderTest {
         let config = NocConfig::fasttrack(n, d, r, FtPolicy::Inject).expect("valid config");
         NocUnderTest {
             label: format!("{} lite", config.name()),
-            config,
+            topology: TopologySpec::Torus(config),
             channels: 1,
         }
     }
 
-    /// A [`SimSession`] over this NoC: single-channel NoCs drive a plain
-    /// engine, multi-channel ones a replicated bank — matching how the
-    /// labels (`Hoplite` vs `Hoplite-3x`) read.
-    pub fn session(&self) -> SimSession<'static, TorusBackend> {
-        let session = SimSession::new(&self.config);
+    /// The wrapped torus configuration, when this NoC is a torus.
+    pub fn torus_config(&self) -> Option<&NocConfig> {
+        match &self.topology {
+            TopologySpec::Torus(cfg) => Some(cfg),
+            _ => None,
+        }
+    }
+
+    /// Total router count.
+    pub fn num_nodes(&self) -> usize {
+        self.topology.num_nodes()
+    }
+
+    /// Grid side length (torus/mesh `n`, SHG `q`) — every built-in
+    /// topology is a square grid, which is what the synthetic traffic
+    /// generators key on.
+    pub fn side(&self) -> u16 {
+        self.topology
+            .monitor_shape()
+            .grid_side
+            .expect("built-in topologies are square grids")
+    }
+
+    /// A torus [`SimSession`] over this NoC: single-channel NoCs drive
+    /// a plain engine, multi-channel ones a replicated bank — matching
+    /// how the labels (`Hoplite` vs `Hoplite-3x`) read. Torus-specific
+    /// call sites (e.g. route-mode timing) use this; generic paths go
+    /// through [`NocUnderTest::run`] and friends, which dispatch on the
+    /// topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the NoC is not a torus.
+    pub fn torus_session(&self) -> SimSession<'static, TorusBackend> {
+        let cfg = self.torus_config().expect("torus-only session");
+        let session = SimSession::new(cfg);
         if self.channels == 1 {
             session
         } else {
@@ -116,7 +224,7 @@ impl NocUnderTest {
 
     /// Runs a traffic source to completion on this NoC.
     pub fn run<S: TrafficSource>(&self, source: &mut S, opts: SimOptions) -> SimReport {
-        no_faults(self.session().options(opts).run(source)).report
+        dispatch_session!(self, session => no_faults(session.options(opts).run(source)).report)
     }
 
     /// [`NocUnderTest::run`] with an [`EventSink`] observing the run.
@@ -126,7 +234,10 @@ impl NocUnderTest {
         opts: SimOptions,
         sink: &mut K,
     ) -> SimReport {
-        no_faults(self.session().options(opts).with_sink(sink).run(source)).report
+        dispatch_session!(
+            self,
+            session => no_faults(session.options(opts).with_sink(sink).run(source)).report
+        )
     }
 
     /// [`NocUnderTest::run`] with a [`HealthMonitor`] attached.
@@ -136,7 +247,11 @@ impl NocUnderTest {
         opts: SimOptions,
         mcfg: MonitorConfig,
     ) -> (SimReport, HealthMonitor) {
-        no_faults(self.session().options(opts).with_monitor(mcfg).run(source)).into_monitored()
+        dispatch_session!(
+            self,
+            session => no_faults(session.options(opts).with_monitor(mcfg).run(source))
+                .into_monitored()
+        )
     }
 
     /// [`NocUnderTest::run`] with the latency-attribution layer attached.
@@ -146,13 +261,25 @@ impl NocUnderTest {
         opts: SimOptions,
         acfg: AttributionConfig,
     ) -> (SimReport, AttributionReport) {
-        no_faults(
-            self.session()
-                .options(opts)
-                .with_attribution(acfg)
-                .run(source),
+        dispatch_session!(
+            self,
+            session => no_faults(session.options(opts).with_attribution(acfg).run(source))
+                .into_attributed()
         )
-        .into_attributed()
+    }
+
+    /// [`NocUnderTest::run`] under a fault plan (validated through the
+    /// topology's fault hooks).
+    pub fn run_faulted<S: TrafficSource>(
+        &self,
+        plan: &FaultPlan,
+        source: &mut S,
+        opts: SimOptions,
+    ) -> Result<SimReport, fasttrack_core::fault::FaultError> {
+        dispatch_session!(
+            self,
+            session => session.options(opts).with_faults(plan).run(source).map(|o| o.report)
+        )
     }
 
     /// Runs one traffic source per seed against a single engine —
@@ -163,10 +290,13 @@ impl NocUnderTest {
         T: TrafficSource,
         F: FnMut(u64) -> T,
     {
-        no_faults_batch(self.session().options(opts).run_batch(seeds, mk_source))
-            .into_iter()
-            .map(|o| o.report)
-            .collect()
+        dispatch_session!(
+            self,
+            session => no_faults_batch(session.options(opts).run_batch(seeds, mk_source))
+                .into_iter()
+                .map(|o| o.report)
+                .collect()
+        )
     }
 }
 
@@ -389,7 +519,7 @@ impl SweepGrid {
         let (base, packets) = (self.base_seed, self.packets_per_pe);
         let results = sweep(self.points.clone(), threads, move |i, p| {
             let seed = point_seed(base, i);
-            let n = p.nut.config.n();
+            let n = p.nut.side();
             let mut source = BernoulliSource::new(n, p.pattern, p.rate, packets, seed);
             let (report, monitor) = p
                 .nut
@@ -425,7 +555,10 @@ impl SweepGrid {
     /// # Errors
     ///
     /// Returns the first [`FallbackError`] when the chains fail
-    /// validation; storm plans themselves are valid by construction.
+    /// validation against a point's topology (non-torus topologies
+    /// admit only the inert configuration — see
+    /// [`Topology::validate_fallback`]); storm plans themselves are
+    /// valid by construction.
     pub fn run_storm(
         &self,
         threads: usize,
@@ -433,24 +566,42 @@ impl SweepGrid {
         fallback: &FallbackConfig,
         slo: &SloSpec,
     ) -> Result<(Vec<SweepRow>, Vec<PointSlo>), FallbackError> {
-        fallback.validate()?;
+        for p in &self.points {
+            topology_of(&p.nut.topology).validate_fallback(fallback)?;
+        }
         let (base, packets) = (self.base_seed, self.packets_per_pe);
         let (storm, fallback, slo) = (*storm, fallback.clone(), *slo);
         let results = sweep(self.points.clone(), threads, move |i, p| {
             let seed = point_seed(base, i);
-            let plan = FaultPlan::storm(&p.nut.config, splitmix64(seed ^ STORM_SALT), &storm);
-            let n = p.nut.config.n();
+            let n = p.nut.side();
             let mut source = BernoulliSource::new(n, p.pattern, p.rate, packets, seed);
-            let report = p
-                .nut
-                .session()
-                .options(SimOptions::default())
-                .with_fallback(&fallback)
-                .expect("chains validated before the sweep")
-                .with_faults(&plan)
-                .run(&mut source)
-                .expect("storm plans are valid by construction")
-                .report;
+            let report = match &p.nut.topology {
+                TopologySpec::Torus(cfg) => {
+                    // The torus keeps its native storm draw (byte-stable
+                    // with pre-trait runs) and is the only topology
+                    // whose express/shared pairing arms fallback chains.
+                    let plan = FaultPlan::storm(cfg, splitmix64(seed ^ STORM_SALT), &storm);
+                    p.nut
+                        .torus_session()
+                        .options(SimOptions::default())
+                        .with_fallback(&fallback)
+                        .expect("chains validated before the sweep")
+                        .with_faults(&plan)
+                        .run(&mut source)
+                        .expect("storm plans are valid by construction")
+                        .report
+                }
+                spec => {
+                    let plan = FaultPlan::storm_topo(
+                        &*topology_of(spec),
+                        splitmix64(seed ^ STORM_SALT),
+                        &storm,
+                    );
+                    p.nut
+                        .run_faulted(&plan, &mut source, SimOptions::default())
+                        .expect("storm plans are valid by construction")
+                }
+            };
             let verdict = PointSlo::evaluate(
                 i,
                 p.nut.label.clone(),
@@ -486,7 +637,7 @@ impl SweepGrid {
         let (base, packets) = (self.base_seed, self.packets_per_pe);
         let results = sweep(self.points.clone(), threads, move |i, p| {
             let seed = point_seed(base, i);
-            let n = p.nut.config.n();
+            let n = p.nut.side();
             let mut source = BernoulliSource::new(n, p.pattern, p.rate, packets, seed);
             let (report, attribution) =
                 p.nut
@@ -562,7 +713,7 @@ impl SweepGrid {
             None => SimOptions::default(),
             Some(max_cycles) => SimOptions::with_max_cycles(max_cycles),
         };
-        let n = p.nut.config.n();
+        let n = p.nut.side();
         let mut source = BernoulliSource::new(n, p.pattern, p.rate, self.packets_per_pe, seed);
         let report = p.nut.run(&mut source, sim_opts);
         if let (true, Some(budget)) = (report.truncated, cycle_budget) {
@@ -1001,7 +1152,7 @@ pub fn run_point(
 ) -> SimReport {
     match trace_dir() {
         None => {
-            let n = nut.config.n();
+            let n = nut.side();
             let mut source = BernoulliSource::new(n, pattern, rate, packets, seed);
             nut.run(&mut source, SimOptions::default())
         }
@@ -1033,8 +1184,8 @@ pub fn run_point_traced_to(
     seed: u64,
     packets: u64,
 ) -> SimReport {
-    let n = nut.config.n();
-    let nodes = nut.config.num_nodes();
+    let n = nut.side();
+    let nodes = nut.num_nodes();
     let mut source = BernoulliSource::new(n, pattern, rate, packets, seed);
     let mut sink = (NdjsonSink::new(), WindowedMetrics::new(nodes, TRACE_EPOCH));
     let report = nut.run_traced(&mut source, SimOptions::default(), &mut sink);
@@ -1265,12 +1416,12 @@ mod tests {
         // channel switching on the Full policy (two channels).
         let inject = NocUnderTest {
             label: "FTlite(64,2,2)".into(),
-            config: NocConfig::fasttrack(8, 2, 2, FtPolicy::Inject).unwrap(),
+            topology: TopologySpec::Torus(NocConfig::fasttrack(8, 2, 2, FtPolicy::Inject).unwrap()),
             channels: 1,
         };
         let full = NocUnderTest {
             label: "FT(64,2,2) 2x".into(),
-            config: NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap(),
+            topology: TopologySpec::Torus(NocConfig::fasttrack(8, 2, 2, FtPolicy::Full).unwrap()),
             channels: 2,
         };
         let grid = SweepGrid::cross(&[inject, full], &[Pattern::Random], &[0.3], 0x57)

@@ -255,7 +255,7 @@ pub fn hotpath_grid(packets_per_pe: u64) -> SweepGrid {
 fn expected_delivered(grid: &SweepGrid) -> u64 {
     grid.points
         .iter()
-        .map(|p| p.nut.config.num_nodes() as u64 * grid.packets_per_pe)
+        .map(|p| p.nut.num_nodes() as u64 * grid.packets_per_pe)
         .sum()
 }
 
@@ -283,16 +283,11 @@ pub fn timed_serial(grid: &SweepGrid, mode: RouteMode) -> (f64, u64) {
     let mut delivered = 0u64;
     for (i, p) in grid.points.iter().enumerate() {
         let seed = point_seed(grid.base_seed, i);
-        let mut source = BernoulliSource::new(
-            p.nut.config.n(),
-            p.pattern,
-            p.rate,
-            grid.packets_per_pe,
-            seed,
-        );
+        let mut source =
+            BernoulliSource::new(p.nut.side(), p.pattern, p.rate, grid.packets_per_pe, seed);
         let report = p
             .nut
-            .session()
+            .torus_session()
             .options(SimOptions::default())
             .route_mode(mode)
             .run(&mut source)

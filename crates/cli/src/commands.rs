@@ -4,8 +4,8 @@
 use fasttrack_bench::fuzz::{fuzz, FuzzConfig};
 use fasttrack_bench::journal::run_journaled;
 use fasttrack_bench::runner::{
-    attribution_csv, health_json, storm_json, sweep_csv, FallibleSweepOptions, NocUnderTest,
-    SloSpec, SweepGrid, INJECTION_RATES,
+    attribution_csv, health_json, storm_json, sweep_csv, topology_of, FallibleSweepOptions,
+    NocUnderTest, SloSpec, SweepGrid, INJECTION_RATES,
 };
 use fasttrack_bench::snapshot::{self, BenchSnapshot, SnapshotError};
 use fasttrack_core::attribution::{AttributionConfig, LatencyComponent, PacketJourney};
@@ -16,12 +16,15 @@ use fasttrack_core::fault::{FaultPlan, FaultSpec, StormSpec};
 use fasttrack_core::metrics::WindowedMetrics;
 use fasttrack_core::monitor::{DetectorConfig, FlightRecorder, HealthMonitor, MonitorConfig};
 use fasttrack_core::packet::PacketId;
+use fasttrack_core::shg::ShgBackend;
 use fasttrack_core::sim::{SimOptions, SimOutcome, SimReport, SimSession, TrafficSource};
+use fasttrack_core::topology::{MonitorShape, TopologySpec};
 use fasttrack_core::trace::{EventSink, SimEvent};
 use fasttrack_fpga::device::Device;
 use fasttrack_fpga::power::PowerModel;
 use fasttrack_fpga::resources::noc_cost;
 use fasttrack_fpga::routability::noc_frequency_mhz;
+use fasttrack_mesh::{MeshBackend, MeshConfig};
 use fasttrack_traffic::dataflow::{lu_dag, DataflowSource};
 use fasttrack_traffic::graph::graph_source;
 use fasttrack_traffic::graph_gen::rmat;
@@ -34,7 +37,7 @@ use fasttrack_traffic::spmv::spmv_source;
 use fasttrack_traffic::trace_io::trace_source_from_text;
 
 use crate::args::{ArgError, Flags};
-use crate::spec::{parse_grid, parse_noc, parse_pattern, SpecError};
+use crate::spec::{parse_grid, parse_noc, parse_pattern, parse_topology, SpecError};
 
 /// Any CLI failure.
 #[derive(Debug)]
@@ -95,6 +98,8 @@ USAGE:
                      [--packets <n>] [--seed <s>] [--health <path>]
                      [--attribution <path>] [--retries <n>]
                      [--cycle-budget <cycles>] [--resume <journal>] [--profile]
+  fasttrack compare  [--topologies <t1,t2,...>] [--pattern <p>] [--rate <r>]
+                     [--packets <n>] [--seed <s>] [--out <csv>]
   fasttrack faults   --noc <spec> [--pattern <p>] [--rate <r>]
                      [--packets <n>] [--seed <s>] [--fault-seed <s>]
                      [--dead-links <n>] [--transient-links <n>]
@@ -135,6 +140,9 @@ USAGE:
 
 SPECS:
   NoC:     hoplite:<n> | ft:<n>:<d>:<r> | ftlite:<n>:<d>:<r>
+           | shg:<q>:<delta> | mesh:<n>:<depth>
+           (simulate/monitor/faults/cost/record drive the torus kinds;
+            sweep, storm, compare, and attribute accept all five)
   Pattern: random | bitcompl | transpose | tornado | shuffle | bitrev
            | local:<radius> | hotspot:<percent>
   Grid:    <noc>[,<noc>...];<pattern>[,<pattern>...];<rate>[,<rate>...]
@@ -180,6 +188,13 @@ STORM:
   breaks conservation. --out writes the machine-readable SLO report;
   per-point storms derive from --seed, so any --threads count is
   bit-exact.
+
+COMPARE:
+  `compare` is the iso-resource harness: it runs identical traffic on
+  every listed topology (default ft:8:2:2,shg:8:2,mesh:8:4), prices
+  each with the shared first-order FPGA resource model (LUTs + FFs),
+  and reports sustained throughput per thousand logic cells, relative
+  to the first topology. --out writes the comparison as CSV.
 
 PROFILE:
   `profile` runs one simulation with the engine's self-profiler: a span
@@ -249,6 +264,8 @@ EXAMPLES:
   fasttrack cost --noc ft:8:2:1 --width 256
   fasttrack sweep --noc hoplite:8 --pattern bitcompl
   fasttrack sweep --grid \"hoplite:8,ft:8:2:1;random;0.1,0.5\" --threads 8 --out csv
+  fasttrack sweep --grid \"ft:8:2:2,shg:8:2,mesh:8:4;random;0.3\" --out csv
+  fasttrack compare --topologies ft:8:2:2,shg:8:2,mesh:8:4 --rate 0.5 --out iso.csv
   fasttrack monitor --noc ft:8:2:2 --rate 1.0 --snapshot 500 --health health.json
   fasttrack faults --noc ft:8:2:2 --rate 0.3 --dead-links 2 --fault-seed 42
   fasttrack faults --noc ftlite:8:4:1 --rate 0.5 --dead-links 4 --json
@@ -467,8 +484,10 @@ pub fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
     };
 
     let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
-    let mut monitor = HealthMonitor::new(cfg.n(), MonitorConfig::default());
-    monitor.set_channels(channels.max(1));
+    let mut monitor = HealthMonitor::new(
+        MonitorShape::torus(cfg.n()).with_channels(channels.max(1)),
+        MonitorConfig::default(),
+    );
     // The multi-channel faulted engine has no traced variant, so the
     // health monitor rides along on the single-channel path only.
     let (report, profile) = if channels <= 1 {
@@ -661,17 +680,23 @@ pub fn cmd_storm(flags: &Flags) -> Result<String, CliError> {
     if channels == 0 {
         return Err(CliError::Other("--channels must be positive".into()));
     }
-    let nut_for = |config: NocConfig| {
-        let mut label = config.name();
-        if channels > 1 {
-            use std::fmt::Write as _;
-            let _ = write!(label, " {channels}x");
+    // Channel replication (and the fallback chains that exploit it) is
+    // a torus feature; SHG/mesh points run single-channel with inert
+    // chains, so a mixed grid still validates.
+    let nut_for = |spec: TopologySpec| match spec {
+        TopologySpec::Torus(config) => {
+            let mut label = config.name();
+            if channels > 1 {
+                use std::fmt::Write as _;
+                let _ = write!(label, " {channels}x");
+            }
+            NocUnderTest {
+                label,
+                topology: TopologySpec::Torus(config),
+                channels,
+            }
         }
-        NocUnderTest {
-            label,
-            config,
-            channels,
-        }
+        other => NocUnderTest::from_spec(other),
     };
     let grid = match flags.optional("grid") {
         Some(spec) => {
@@ -681,15 +706,23 @@ pub fn cmd_storm(flags: &Flags) -> Result<String, CliError> {
         }
         None => {
             // FT(64,2,2): the paper's depopulated 8x8 reference point.
-            let config = parse_noc(flags.optional("noc").unwrap_or("ft:8:2:2"))?;
+            let spec = parse_topology(flags.optional("noc").unwrap_or("ft:8:2:2"))?;
             let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
             let rate: f64 = flags.numeric("rate", 0.3)?;
-            SweepGrid::cross(&[nut_for(config)], &[pattern], &[rate], seed)
+            SweepGrid::cross(&[nut_for(spec)], &[pattern], &[rate], seed)
         }
     }
     .with_packets_per_pe(packets);
 
-    let chains = FallbackConfig::standard();
+    let all_torus = grid
+        .points
+        .iter()
+        .all(|p| matches!(p.nut.topology, TopologySpec::Torus(_)));
+    let chains = if all_torus {
+        FallbackConfig::standard()
+    } else {
+        FallbackConfig::none()
+    };
     let (_, verdicts) = grid
         .run_storm(threads, &storm, &chains, &slo)
         .map_err(|e| CliError::Other(e.to_string()))?;
@@ -774,6 +807,140 @@ pub fn cmd_storm(flags: &Flags) -> Result<String, CliError> {
     }
 }
 
+/// `compare` — iso-resource comparison across topologies.
+///
+/// Runs the same traffic (pattern, rate, packets-per-PE, seed) on every
+/// topology in `--topologies`, prices each with the shared first-order
+/// FPGA resource model ([`fasttrack_core::topology::Topology::resource_cost`]),
+/// and reports
+/// throughput normalized per thousand LUT+FF — the iso-resource figure
+/// the paper's cost/performance comparisons turn on. The first
+/// topology is the baseline the `vs base` column is relative to.
+/// `--out <path>` writes the table as machine-readable CSV.
+pub fn cmd_compare(flags: &Flags) -> Result<String, CliError> {
+    let spec_list = flags
+        .optional("topologies")
+        .unwrap_or("ft:8:2:2,shg:8:2,mesh:8:4");
+    let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
+    let rate: f64 = flags.numeric("rate", 0.5)?;
+    let packets: u64 = flags.numeric("packets", 1000)?;
+    let seed: u64 = flags.numeric("seed", 1)?;
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(CliError::Other(format!(
+            "injection rate {rate} out of (0,1]"
+        )));
+    }
+    let specs: Vec<TopologySpec> = spec_list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_topology)
+        .collect::<Result<_, _>>()?;
+    if specs.len() < 2 {
+        return Err(CliError::Other(
+            "compare needs at least two comma-separated topologies".into(),
+        ));
+    }
+
+    struct CompareRow {
+        label: String,
+        nodes: usize,
+        cost: fasttrack_core::topology::ResourceCost,
+        report: SimReport,
+        rate_per_kcell: f64,
+    }
+    let mut rows: Vec<CompareRow> = Vec::new();
+    for spec in &specs {
+        let nut = NocUnderTest::from_spec(spec.clone());
+        let cost = topology_of(spec).resource_cost();
+        let mut src = BernoulliSource::new(nut.side(), pattern, rate, packets, seed);
+        let report = nut.run(&mut src, SimOptions::default());
+        let rate_per_kcell =
+            report.sustained_rate_per_pe() * nut.num_nodes() as f64 / (cost.total() as f64 / 1e3);
+        rows.push(CompareRow {
+            label: nut.label.clone(),
+            nodes: nut.num_nodes(),
+            cost,
+            report,
+            rate_per_kcell,
+        });
+    }
+
+    let csv = {
+        let mut csv = String::from(
+            "label,nodes,luts,ffs,cells,delivered,cycles,rate_per_pe,avg_latency,\
+             p99_latency,rate_per_kcell,vs_base\n",
+        );
+        let base = rows[0].rate_per_kcell;
+        for r in &rows {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                csv,
+                "{},{},{},{},{},{},{},{:.6},{:.2},{},{:.6},{:.4}",
+                r.label,
+                r.nodes,
+                r.cost.luts,
+                r.cost.ffs,
+                r.cost.total(),
+                r.report.stats.delivered,
+                r.report.cycles,
+                r.report.sustained_rate_per_pe(),
+                r.report.avg_latency(),
+                r.report
+                    .stats
+                    .total_latency
+                    .histogram()
+                    .percentile(99.0)
+                    .unwrap_or(0),
+                r.rate_per_kcell,
+                if base > 0.0 {
+                    r.rate_per_kcell / base
+                } else {
+                    0.0
+                },
+            );
+        }
+        csv
+    };
+    if let Some(path) = flags.optional("out") {
+        std::fs::write(path, &csv).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    }
+
+    let mut out = format!(
+        "iso-resource compare: {} topologies, {pattern} rate {rate:.2}, {packets} pkt/PE (seed {seed})\n",
+        rows.len()
+    );
+    let base = rows[0].rate_per_kcell;
+    for r in &rows {
+        out.push_str(&format!(
+            "  {:<22} {:>5} nodes  {:>8} cells ({} LUT + {} FF)  rate/PE {:.4}  \
+             p99 {:>4}  rate/kcell {:.4} ({:.2}x base)\n",
+            r.label,
+            r.nodes,
+            r.cost.total(),
+            r.cost.luts,
+            r.cost.ffs,
+            r.report.sustained_rate_per_pe(),
+            r.report
+                .stats
+                .total_latency
+                .histogram()
+                .percentile(99.0)
+                .unwrap_or(0),
+            r.rate_per_kcell,
+            if base > 0.0 {
+                r.rate_per_kcell / base
+            } else {
+                0.0
+            },
+        ));
+    }
+    if let Some(path) = flags.optional("out") {
+        out.push_str(&format!("  iso-resource csv -> {path}\n"));
+    }
+    Ok(out)
+}
+
 /// `sweep` — run a grid of simulation points on the deterministic
 /// parallel sweep engine.
 ///
@@ -832,25 +999,12 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
     let grid = match flags.optional("grid") {
         Some(spec) => {
             let g = parse_grid(spec)?;
-            let nuts: Vec<NocUnderTest> = g
-                .nocs
-                .into_iter()
-                .map(|config| NocUnderTest {
-                    label: config.name(),
-                    config,
-                    channels: 1,
-                })
-                .collect();
+            let nuts: Vec<NocUnderTest> = g.nocs.into_iter().map(NocUnderTest::from_spec).collect();
             SweepGrid::cross(&nuts, &g.patterns, &g.rates, seed)
         }
         None => {
-            let config = parse_noc(flags.required("noc")?)?;
+            let nut = NocUnderTest::from_spec(parse_topology(flags.required("noc")?)?);
             let pattern = parse_pattern(flags.optional("pattern").unwrap_or("random"))?;
-            let nut = NocUnderTest {
-                label: config.name(),
-                config,
-                channels: 1,
-            };
             SweepGrid::cross(&[nut], &[pattern], &INJECTION_RATES, seed)
         }
     }
@@ -1517,7 +1671,7 @@ fn attributed_outcome(
                 .map_err(|e| CliError::Other(e.to_string()))
         }
         None => {
-            let cfg = parse_noc(flags.required("noc").map_err(|_| {
+            let spec = parse_topology(flags.required("noc").map_err(|_| {
                 CliError::Other(
                     "need --trace <path> or --noc <spec> to say which run to attribute".into(),
                 )
@@ -1527,17 +1681,52 @@ fn attributed_outcome(
             let packets: u64 = flags.numeric("packets", 1000)?;
             let seed: u64 = flags.numeric("seed", 1)?;
             let channels: usize = flags.numeric("channels", 1)?;
-            let mut src = BernoulliSource::new(cfg.n(), pattern, rate, packets, seed);
-            let mut session = SimSession::new(&cfg).with_attribution(acfg);
-            if channels > 1 {
-                session = session.channels(channels);
+            if channels > 1 && !matches!(spec, TopologySpec::Torus(_)) {
+                return Err(CliError::Other(
+                    "--channels > 1 replicates torus fabrics only".into(),
+                ));
             }
-            if let Some(m) = mcfg {
-                session = session.with_monitor(m);
+            let side = spec
+                .monitor_shape()
+                .grid_side
+                .expect("built-in topologies are square grids");
+            let mut src = BernoulliSource::new(side, pattern, rate, packets, seed);
+            match spec {
+                TopologySpec::Torus(cfg) => {
+                    let mut session = SimSession::new(&cfg).with_attribution(acfg);
+                    if channels > 1 {
+                        session = session.channels(channels);
+                    }
+                    if let Some(m) = mcfg {
+                        session = session.with_monitor(m);
+                    }
+                    session
+                        .run(&mut src)
+                        .map_err(|e| CliError::Other(e.to_string()))
+                }
+                TopologySpec::Shg(cfg) => {
+                    let mut session =
+                        SimSession::with_backend(ShgBackend::new(cfg)).with_attribution(acfg);
+                    if let Some(m) = mcfg {
+                        session = session.with_monitor(m);
+                    }
+                    session
+                        .run(&mut src)
+                        .map_err(|e| CliError::Other(e.to_string()))
+                }
+                TopologySpec::Mesh { n, depth } => {
+                    let cfg =
+                        MeshConfig::new(n, depth).map_err(|e| CliError::Other(e.to_string()))?;
+                    let mut session =
+                        SimSession::with_backend(MeshBackend::new(&cfg)).with_attribution(acfg);
+                    if let Some(m) = mcfg {
+                        session = session.with_monitor(m);
+                    }
+                    session
+                        .run(&mut src)
+                        .map_err(|e| CliError::Other(e.to_string()))
+                }
             }
-            session
-                .run(&mut src)
-                .map_err(|e| CliError::Other(e.to_string()))
         }
     }
 }
@@ -1830,6 +2019,7 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
         "simulate" => cmd_simulate(&flags),
         "monitor" => cmd_monitor(&flags),
         "sweep" => cmd_sweep(&flags),
+        "compare" => cmd_compare(&flags),
         "faults" => cmd_faults(&flags),
         "storm" => cmd_storm(&flags),
         "profile" => cmd_profile(&flags),
@@ -1894,6 +2084,69 @@ mod tests {
         // 2 NoCs x 2 patterns x 2 rates + header.
         assert_eq!(serial.lines().count(), 1 + 8);
         assert!(serial.contains("FT(16,2,1)"));
+    }
+
+    #[test]
+    fn sweep_grid_accepts_shg_and_mesh_points() {
+        let out = run(argv(
+            "sweep --grid ft:4:2:1,shg:4:2,mesh:4:2;random;0.3 --packets 25 --seed 3 --out csv",
+        ))
+        .unwrap();
+        assert!(out.contains("FT(16,2,1)"));
+        assert!(out.contains("SHG"), "SHG row missing: {out}");
+        assert!(out.contains("Mesh 4x4"), "mesh row missing: {out}");
+        // 3 topologies x 1 pattern x 1 rate + header.
+        assert_eq!(out.lines().count(), 1 + 3);
+    }
+
+    #[test]
+    fn compare_reports_iso_resource_table_and_csv() {
+        let dir = std::env::temp_dir().join("fasttrack_cli_compare");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("iso.csv").display().to_string();
+        let out = run(argv(&format!(
+            "compare --topologies ft:4:2:1,shg:4:2,mesh:4:2 --rate 0.3 \
+             --packets 25 --seed 3 --out {csv_path}"
+        )))
+        .unwrap();
+        assert!(out.contains("iso-resource compare: 3 topologies"));
+        assert!(out.contains("FT(16,2,1)"));
+        assert!(out.contains("rate/kcell"));
+        assert!(out.contains("1.00x base"), "baseline row is 1.00x: {out}");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("label,nodes,luts,ffs,cells,"));
+        assert_eq!(csv.lines().count(), 1 + 3);
+        // Every topology prices to a positive cell count.
+        for line in csv.lines().skip(1) {
+            let cells: u64 = line.split(',').nth(4).unwrap().parse().unwrap();
+            assert!(cells > 0, "{line}");
+        }
+    }
+
+    #[test]
+    fn compare_rejects_single_topology() {
+        assert!(matches!(
+            run(argv("compare --topologies ft:4:2:1 --packets 5")),
+            Err(CliError::Other(_))
+        ));
+    }
+
+    #[test]
+    fn attribute_runs_on_shg() {
+        let out = run(argv(
+            "attribute --noc shg:4:2 --pattern random --rate 0.3 --packets 30 --seed 2",
+        ))
+        .unwrap();
+        assert!(out.contains("SHG"), "{out}");
+        assert!(out.contains("where the cycles went"), "{out}");
+    }
+
+    #[test]
+    fn attribute_rejects_channels_on_non_torus() {
+        assert!(matches!(
+            run(argv("attribute --noc shg:4:2 --channels 2 --packets 5")),
+            Err(CliError::Other(_))
+        ));
     }
 
     #[test]
@@ -2441,6 +2694,20 @@ mod tests {
         assert_eq!(written, out, "--out must write exactly the --json report");
         assert!(written.contains("\"delivered_fraction\":"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn storm_mixed_grid_runs_non_torus_points_chainless() {
+        // A grid containing SHG and mesh points still validates: the
+        // torus-only fallback chains are dropped for the whole grid.
+        let out = run(argv(
+            "storm --grid ft:4:2:1,shg:4:2,mesh:4:2;random;0.3 --packets 40 \
+             --kills 20 --duration 1500 --channels 1 --min-delivered 0.0",
+        ))
+        .unwrap();
+        assert!(out.contains("SHG(16,2)"), "{out}");
+        assert!(out.contains("Mesh 4x4"), "{out}");
+        assert!(out.contains("SLO: 3/3 point(s) met"), "{out}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::fmt;
 
 use fasttrack_core::config::{ConfigError, FtPolicy, NocConfig};
+use fasttrack_core::topology::{TopologySpec, TopologySpecError};
 use fasttrack_traffic::pattern::Pattern;
 
 /// Errors raised while parsing a spec string.
@@ -145,6 +146,34 @@ pub fn parse_noc(spec: &str) -> Result<NocConfig, SpecError> {
     }
 }
 
+fn topology_spec_error(e: TopologySpecError) -> SpecError {
+    match e {
+        TopologySpecError::UnknownKind(k) => SpecError::UnknownKind(k),
+        TopologySpecError::BadNumber(s) => SpecError::BadNumber(s),
+        other => SpecError::Invalid(other.to_string()),
+    }
+}
+
+/// Parses a topology spec covering every backend the CLI can drive:
+///
+/// * `hoplite:<n>` / `ft:<n>:<d>:<r>` / `ftlite:<n>:<d>:<r>` — torus
+///   backends, identical to [`parse_noc`] (including the structural
+///   `FT(N², D, R)` checks)
+/// * `shg:<q>:<delta>` — Sparse Hamming Graph on a `q × q` grid with
+///   `delta` strides per dimension
+/// * `mesh:<n>:<depth>` — buffered XY mesh with `depth`-deep FIFOs
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] describing the malformed field.
+pub fn parse_topology(spec: &str) -> Result<TopologySpec, SpecError> {
+    match spec.split(':').next().unwrap_or("") {
+        "hoplite" | "ft" | "ftlite" => Ok(TopologySpec::Torus(parse_noc(spec)?)),
+        "shg" | "mesh" => spec.parse::<TopologySpec>().map_err(topology_spec_error),
+        other => Err(SpecError::UnknownKind(other.to_string())),
+    }
+}
+
 /// Parses a pattern spec: `random`, `bitcompl`, `transpose`, `tornado`,
 /// `shuffle`, `bitrev`, `local:<radius>`, or `hotspot:<percent>`.
 ///
@@ -192,12 +221,12 @@ pub fn parse_pattern(spec: &str) -> Result<Pattern, SpecError> {
     }
 }
 
-/// A parsed `--grid` specification: the cross product of NoCs,
+/// A parsed `--grid` specification: the cross product of topologies,
 /// patterns, and injection rates a sweep expands into.
 #[derive(Debug, Clone)]
 pub struct GridSpec {
-    /// NoC configurations (in spec order).
-    pub nocs: Vec<NocConfig>,
+    /// Topology specifications (in spec order).
+    pub nocs: Vec<TopologySpec>,
     /// Traffic patterns (in spec order).
     pub patterns: Vec<Pattern>,
     /// Injection rates (in spec order).
@@ -230,7 +259,7 @@ pub fn parse_grid(spec: &str) -> Result<GridSpec, SpecError> {
     };
     let nocs = list(sections[0])
         .iter()
-        .map(|s| parse_noc(s))
+        .map(|s| parse_topology(s))
         .collect::<Result<Vec<_>, _>>()?;
     let patterns = list(sections[1])
         .iter()
@@ -385,12 +414,53 @@ mod tests {
     fn parses_grid_specs() {
         let g = parse_grid("hoplite:8,ft:8:2:1;random,local:2;0.1,0.5,1.0").unwrap();
         assert_eq!(g.nocs.len(), 2);
-        assert_eq!(g.nocs[1].name(), "FT(64,2,1)");
+        assert_eq!(g.nocs[1].display_name(), "FT(64,2,1)");
         assert_eq!(
             g.patterns,
             vec![Pattern::Random, Pattern::Local { radius: 2 }]
         );
         assert_eq!(g.rates, vec![0.1, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn parses_topology_specs() {
+        assert!(matches!(
+            parse_topology("ft:8:2:1").unwrap(),
+            TopologySpec::Torus(_)
+        ));
+        assert!(matches!(
+            parse_topology("shg:8:2").unwrap(),
+            TopologySpec::Shg(_)
+        ));
+        assert!(matches!(
+            parse_topology("mesh:8:4").unwrap(),
+            TopologySpec::Mesh { n: 8, depth: 4 }
+        ));
+        // The torus kinds keep their structural FT checks.
+        assert!(matches!(
+            parse_topology("ft:8:5:1"),
+            Err(SpecError::BadFtParams { .. })
+        ));
+        assert!(matches!(
+            parse_topology("shg:8"),
+            Err(SpecError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_topology("mesh:8:x"),
+            Err(SpecError::BadNumber(_))
+        ));
+        assert!(matches!(
+            parse_topology("ring:8"),
+            Err(SpecError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn grid_accepts_all_topology_kinds() {
+        let g = parse_grid("hoplite:8,shg:8:2,mesh:8:4;random;0.5").unwrap();
+        assert_eq!(g.nocs.len(), 3);
+        assert!(matches!(g.nocs[1], TopologySpec::Shg(_)));
+        assert!(matches!(g.nocs[2], TopologySpec::Mesh { .. }));
     }
 
     #[test]
@@ -408,7 +478,7 @@ mod tests {
             Err(SpecError::Invalid(_))
         ));
         assert!(matches!(
-            parse_grid("mesh:8;random;0.5"),
+            parse_grid("ring:8;random;0.5"),
             Err(SpecError::UnknownKind(_))
         ));
     }

@@ -82,7 +82,7 @@ impl ChannelLoads {
 }
 
 /// A traffic matrix: `rate[src][dst]` in packets per cycle (callers
-/// usually build it from a [`Pattern`]-style distribution summing to 1
+/// usually build it from a `Pattern`-style distribution summing to 1
 /// per source row).
 pub type TrafficMatrix = Vec<Vec<f64>>;
 

@@ -3,7 +3,7 @@
 //! FastTrack's central claim is that heterogeneous wires pay off:
 //! express lanes on long FPGA wires should carry most of the
 //! traffic-weighted distance while cheap shared rings absorb the rest.
-//! This module folds the [`SimEvent`](crate::trace::SimEvent) stream
+//! This module folds the [`SimEvent`] stream
 //! into the answer for any concrete run: *where did each packet's
 //! cycles go?*
 //!

@@ -84,6 +84,11 @@ pub enum FallbackError {
         /// Router class code (0..4) of the offending chain.
         class: usize,
     },
+    /// The selected topology has no express/shared lane pairing, so
+    /// fallback chains are meaningless there: only the empty (inert)
+    /// configuration is accepted
+    /// (see [`crate::topology::Topology::validate_fallback`]).
+    UnsupportedTopology,
 }
 
 impl fmt::Display for FallbackError {
@@ -100,6 +105,10 @@ impl fmt::Display for FallbackError {
                 f,
                 "class {class} chain orders alternate-channel before demote-to-ring; \
                  the same-channel escape must be tried first"
+            ),
+            FallbackError::UnsupportedTopology => f.write_str(
+                "this topology has no express/shared lane pairing; \
+                 only the empty fallback configuration is accepted",
             ),
         }
     }

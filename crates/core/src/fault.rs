@@ -690,6 +690,13 @@ impl FaultState {
         cycle >= self.fail_at[node]
     }
 
+    /// The static (never-healing) dead-port masks — what fault-aware
+    /// route-table builders mask out, leaving only windowed faults to
+    /// the runtime dead table.
+    pub(crate) fn static_dead(&self) -> &[OutSet] {
+        &self.base_dead
+    }
+
     /// Recomputes the dead-output table for the epoch containing
     /// `cycle` and repositions the boundary cursor.
     fn rebuild(&mut self, cycle: u64) {

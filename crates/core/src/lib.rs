@@ -66,9 +66,11 @@ pub mod queue;
 pub mod realtime;
 pub mod router;
 pub mod routing;
+pub mod shg;
 pub mod sim;
 pub mod stats;
 pub mod sweep;
+pub mod topology;
 pub mod trace;
 
 /// Commonly used items, re-exported for convenience.
@@ -97,10 +99,12 @@ pub mod prelude {
         PhaseStat, ProfileSummary, ScopedSpan, SessionProfile, Span, SpanRecorder, ThreadProfile,
     };
     pub use crate::queue::InjectQueues;
+    pub use crate::shg::{ShgBackend, ShgNoc};
     pub use crate::sim::{
         drive_engine, SessionBackend, SimEngine, SimOptions, SimOutcome, SimReport, SimSession,
         TorusBackend, TorusEngine, TrafficSource,
     };
+    #[cfg(feature = "legacy-api")]
     #[allow(deprecated)]
     pub use crate::sim::{
         simulate, simulate_faulted, simulate_faulted_traced, simulate_multichannel,
@@ -108,5 +112,9 @@ pub mod prelude {
     };
     pub use crate::stats::{Histogram, LatencyStats, LinkUsage, PortCounters, SimStats};
     pub use crate::sweep::{point_seed, retry_seed, splitmix64, sweep, sweep_fallible, SweepError};
+    pub use crate::topology::{
+        LinkDesc, LinkId, MonitorShape, ResourceCost, ShgConfig, ShgConfigError, ShgTopology,
+        TopoRouteLut, Topology, TopologySpec, TopologySpecError, TorusTopology, WireClass,
+    };
     pub use crate::trace::{EventSink, NullSink, SimEvent, VecSink};
 }

@@ -22,6 +22,7 @@ use std::collections::HashSet;
 use crate::geom::Coord;
 use crate::packet::PacketId;
 use crate::port::OutPort;
+use crate::topology::MonitorShape;
 use crate::trace::SimEvent;
 
 /// Thresholds for the online detectors.
@@ -116,26 +117,33 @@ impl Anomaly {
 /// cleared again on ejection, so a reinjected id can report again).
 #[derive(Debug, Clone)]
 pub struct LivelockDetector {
-    n: u16,
+    grid: Option<u16>,
     multiple: f64,
     min_hops: u32,
     reported: HashSet<PacketId>,
 }
 
 impl LivelockDetector {
-    /// A detector for an `n × n` torus.
-    pub fn new(n: u16, cfg: &DetectorConfig) -> Self {
+    /// A detector for a square grid of side `grid` (torus DOR distance
+    /// as the displacement reference). `None` disables the
+    /// distance-scaled threshold and falls back to the absolute hop
+    /// floor for topologies without a grid embedding.
+    pub fn new(grid: Option<u16>, cfg: &DetectorConfig) -> Self {
         LivelockDetector {
-            n,
+            grid,
             multiple: cfg.livelock_multiple,
             min_hops: cfg.livelock_min_hops,
             reported: HashSet::new(),
         }
     }
 
-    /// DOR distance (one-way dx + dy) for a packet of this torus.
+    /// DOR distance (one-way dx + dy) on the grid; 0 without one (the
+    /// hop floor then carries the threshold alone).
     pub fn dor_distance(&self, src: Coord, dst: Coord) -> u32 {
-        u32::from(src.dx_to(dst, self.n)) + u32::from(src.dy_to(dst, self.n))
+        match self.grid {
+            Some(n) => u32::from(src.dx_to(dst, n)) + u32::from(src.dy_to(dst, n)),
+            None => 0,
+        }
     }
 
     /// Feeds one event; returns an anomaly on a fresh threshold cross.
@@ -227,16 +235,15 @@ impl StarvationDetector {
     }
 }
 
-/// Number of real (non-Exit) output links per router.
-const LINKS: usize = 4;
-
 /// Flags links whose EWMA utilization crosses the watermark.
 ///
-/// Usage counts accumulate per `(router, out)` link and fold into the
-/// EWMA at window boundaries in [`HotspotDetector::end_cycle`] (which is
-/// idempotent per cycle, as multi-channel banks call it once per
-/// channel). Utilization is normalized by the channel count announced
-/// via [`HotspotDetector::set_channels`], so 1.0 means every channel of
+/// Usage counts accumulate per [`crate::topology::LinkId`] — the flat
+/// `node * links_per_node + class_slot` key the [`MonitorShape`]
+/// defines — and fold into the EWMA at window boundaries in
+/// [`HotspotDetector::end_cycle`] (which is idempotent per cycle, as
+/// multi-channel banks call it once per channel). Utilization is
+/// normalized by the channel count announced via
+/// [`HotspotDetector::set_channels`], so 1.0 means every channel of
 /// the link carried a packet every cycle of the window.
 #[derive(Debug, Clone)]
 pub struct HotspotDetector {
@@ -244,23 +251,29 @@ pub struct HotspotDetector {
     alpha: f64,
     watermark: f64,
     channels: usize,
-    counts: Vec<[u64; LINKS]>,
-    ewma: Vec<[f64; LINKS]>,
-    flagged: Vec<[bool; LINKS]>,
+    links_per_node: usize,
+    counts: Vec<u64>,
+    ewma: Vec<f64>,
+    flagged: Vec<bool>,
     next_boundary: u64,
 }
 
 impl HotspotDetector {
-    /// A detector for `nodes` routers.
-    pub fn new(nodes: usize, cfg: &DetectorConfig) -> Self {
+    /// A detector sized for `shape` (one EWMA cell per [`LinkId`]
+    /// the shape enumerates).
+    ///
+    /// [`LinkId`]: crate::topology::LinkId
+    pub fn new(shape: MonitorShape, cfg: &DetectorConfig) -> Self {
+        let links = shape.num_links();
         HotspotDetector {
             window: cfg.hotspot_window.max(1),
             alpha: cfg.hotspot_alpha.clamp(f64::MIN_POSITIVE, 1.0),
             watermark: cfg.hotspot_watermark,
-            channels: 1,
-            counts: vec![[0; LINKS]; nodes],
-            ewma: vec![[0.0; LINKS]; nodes],
-            flagged: vec![[false; LINKS]; nodes],
+            channels: shape.channels.max(1),
+            links_per_node: shape.links_per_node.max(1),
+            counts: vec![0; links],
+            ewma: vec![0.0; links],
+            flagged: vec![false; links],
             next_boundary: cfg.hotspot_window.max(1),
         }
     }
@@ -278,39 +291,44 @@ impl HotspotDetector {
             }
             _ => return,
         };
-        if out == OutPort::Exit || node >= self.counts.len() {
+        if out == OutPort::Exit || out.index() >= self.links_per_node {
             return;
         }
-        self.counts[node][out.index()] += 1;
+        let id = node * self.links_per_node + out.index();
+        if id >= self.counts.len() {
+            return;
+        }
+        self.counts[id] += 1;
     }
 
     /// Folds the window ending at `cycle` (if a boundary was reached)
-    /// and returns watermark crossings in `(node, out)` order.
+    /// and returns watermark crossings in [`LinkId`] order (node-major,
+    /// class-slot minor — identical to the old `(node, out)` order).
     /// Idempotent per cycle.
+    ///
+    /// [`LinkId`]: crate::topology::LinkId
     pub fn end_cycle(&mut self, cycle: u64) -> Vec<Anomaly> {
         if cycle + 1 < self.next_boundary {
             return Vec::new();
         }
         let denom = (self.window * self.channels as u64) as f64;
         let mut crossings = Vec::new();
-        for node in 0..self.counts.len() {
-            for link in 0..LINKS {
-                let u = self.counts[node][link] as f64 / denom;
-                self.counts[node][link] = 0;
-                let e = self.alpha * u + (1.0 - self.alpha) * self.ewma[node][link];
-                self.ewma[node][link] = e;
-                if e > self.watermark && !self.flagged[node][link] {
-                    self.flagged[node][link] = true;
-                    crossings.push(Anomaly::Hotspot {
-                        node,
-                        out: OutPort::ALL[link],
-                        ewma: e,
-                    });
-                } else if e < self.watermark * 0.75 {
-                    // Hysteresis re-arm: a link must cool well below the
-                    // watermark before it can report again.
-                    self.flagged[node][link] = false;
-                }
+        for id in 0..self.counts.len() {
+            let u = self.counts[id] as f64 / denom;
+            self.counts[id] = 0;
+            let e = self.alpha * u + (1.0 - self.alpha) * self.ewma[id];
+            self.ewma[id] = e;
+            if e > self.watermark && !self.flagged[id] {
+                self.flagged[id] = true;
+                crossings.push(Anomaly::Hotspot {
+                    node: id / self.links_per_node,
+                    out: OutPort::ALL[id % self.links_per_node],
+                    ewma: e,
+                });
+            } else if e < self.watermark * 0.75 {
+                // Hysteresis re-arm: a link must cool well below the
+                // watermark before it can report again.
+                self.flagged[id] = false;
             }
         }
         self.next_boundary = cycle + 1 + self.window;
@@ -319,10 +337,13 @@ impl HotspotDetector {
 
     /// Current EWMA for a link (tests / summaries).
     pub fn ewma(&self, node: usize, out: OutPort) -> f64 {
-        if out == OutPort::Exit {
+        if out == OutPort::Exit || out.index() >= self.links_per_node {
             return 0.0;
         }
-        self.ewma.get(node).map(|l| l[out.index()]).unwrap_or(0.0)
+        self.ewma
+            .get(node * self.links_per_node + out.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 
@@ -330,6 +351,15 @@ impl HotspotDetector {
 mod tests {
     use super::*;
     use crate::packet::{Delivery, Packet};
+
+    fn shape(nodes: usize) -> MonitorShape {
+        MonitorShape {
+            nodes,
+            links_per_node: 4,
+            grid_side: None,
+            channels: 1,
+        }
+    }
 
     fn route(cycle: u64, node: usize, packet: u64, hops: u32, src: Coord, dst: Coord) -> SimEvent {
         SimEvent::RouteDecision {
@@ -351,7 +381,7 @@ mod tests {
             livelock_min_hops: 8,
             ..DetectorConfig::default()
         };
-        let mut d = LivelockDetector::new(4, &cfg);
+        let mut d = LivelockDetector::new(Some(4), &cfg);
         let (src, dst) = (Coord::new(0, 0), Coord::new(1, 0)); // DOR = 1
         assert!(d.observe(&route(0, 0, 7, 4, src, dst)).is_none());
         assert!(
@@ -382,7 +412,7 @@ mod tests {
 
     #[test]
     fn livelock_respects_dor_scaling() {
-        let mut d = LivelockDetector::new(8, &DetectorConfig::default());
+        let mut d = LivelockDetector::new(Some(8), &DetectorConfig::default());
         // DOR distance 7 (east 3, south 4); multiple 8 → threshold 56.
         let (src, dst) = (Coord::new(0, 0), Coord::new(3, 4));
         assert_eq!(d.dor_distance(src, dst), 7);
@@ -458,7 +488,7 @@ mod tests {
             hotspot_window: 4,
             ..DetectorConfig::default()
         };
-        let mut d = HotspotDetector::new(2, &cfg);
+        let mut d = HotspotDetector::new(shape(2), &cfg);
         let (src, dst) = (Coord::new(0, 0), Coord::new(1, 0));
         // Saturate node 0's E_sh link: one decision per cycle.
         let mut fired = Vec::new();
@@ -482,7 +512,7 @@ mod tests {
 
     #[test]
     fn hotspot_idle_stream_never_fires() {
-        let mut d = HotspotDetector::new(4, &DetectorConfig::default());
+        let mut d = HotspotDetector::new(shape(4), &DetectorConfig::default());
         let mut fired = Vec::new();
         for c in 0..1024 {
             fired.extend(d.end_cycle(c));
@@ -498,7 +528,7 @@ mod tests {
             hotspot_window: 2,
             ..DetectorConfig::default()
         };
-        let mut d = HotspotDetector::new(1, &cfg);
+        let mut d = HotspotDetector::new(shape(1), &cfg);
         let (src, dst) = (Coord::new(0, 0), Coord::new(1, 0));
         d.observe(&route(0, 0, 0, 1, src, dst));
         d.observe(&route(1, 0, 1, 1, src, dst));
@@ -516,7 +546,7 @@ mod tests {
             hotspot_window: 4,
             ..DetectorConfig::default()
         };
-        let mut d = HotspotDetector::new(1, &cfg);
+        let mut d = HotspotDetector::new(shape(1), &cfg);
         d.set_channels(2);
         let (src, dst) = (Coord::new(0, 0), Coord::new(1, 0));
         // One of two channels busy: utilization 0.5, below watermark.

@@ -27,6 +27,7 @@ pub use registry::{
     escape_help, escape_label_value, Counter, Gauge, LogHistogram, MetricsRegistry, HIST_BUCKETS,
 };
 
+use crate::topology::MonitorShape;
 use crate::trace::{EventSink, SimEvent};
 
 /// Configuration for a [`HealthMonitor`].
@@ -284,22 +285,28 @@ pub struct HealthMonitor {
 }
 
 impl HealthMonitor {
-    /// A monitor for an `n × n` torus with a fresh registry.
-    pub fn new(n: u16, cfg: MonitorConfig) -> Self {
-        Self::with_registry(n, cfg, MetricsRegistry::new())
+    /// A monitor sized for `shape` (see [`MonitorShape`] — the
+    /// topology-derived replacement for the old torus side length)
+    /// with a fresh registry.
+    pub fn new(shape: MonitorShape, cfg: MonitorConfig) -> Self {
+        Self::with_registry(shape, cfg, MetricsRegistry::new())
     }
 
     /// A monitor sharing an existing registry (so sweep workers can
     /// aggregate into one set of cells).
-    pub fn with_registry(n: u16, cfg: MonitorConfig, registry: MetricsRegistry) -> Self {
-        let nodes = usize::from(n) * usize::from(n);
+    pub fn with_registry(
+        shape: MonitorShape,
+        cfg: MonitorConfig,
+        registry: MetricsRegistry,
+    ) -> Self {
+        let nodes = shape.nodes;
         HealthMonitor {
             nodes,
             cfg,
             recorder: FlightRecorder::new(nodes, cfg.flight_capacity),
-            livelock: LivelockDetector::new(n, &cfg.detectors),
+            livelock: LivelockDetector::new(shape.grid_side, &cfg.detectors),
             starvation: StarvationDetector::new(nodes, &cfg.detectors),
-            hotspot: HotspotDetector::new(nodes, &cfg.detectors),
+            hotspot: HotspotDetector::new(shape, &cfg.detectors),
             reports: Vec::new(),
             suppressed: 0,
             injected: registry.counter("fasttrack_injected_total", "Packets injected"),
@@ -323,7 +330,7 @@ impl HealthMonitor {
             in_flight: registry.gauge("fasttrack_in_flight", "Packets currently in the network"),
             registry,
             cycles: 0,
-            channels: 1,
+            channels: shape.channels.max(1),
             snapshots: Vec::new(),
             next_snapshot: cfg.snapshot_every.unwrap_or(u64::MAX),
             prev_delivered: 0,
@@ -486,7 +493,7 @@ mod tests {
 
     #[test]
     fn starvation_report_carries_excerpt() {
-        let mut m = HealthMonitor::new(2, quick_cfg());
+        let mut m = HealthMonitor::new(MonitorShape::torus(2), quick_cfg());
         for c in 0..4 {
             m.emit(&stall(c, 1));
             m.end_cycle(c);
@@ -500,7 +507,7 @@ mod tests {
 
     #[test]
     fn max_reports_suppresses_but_counts() {
-        let mut m = HealthMonitor::new(2, quick_cfg());
+        let mut m = HealthMonitor::new(MonitorShape::torus(2), quick_cfg());
         // Starve three different nodes; only two reports are kept.
         for node in 0..3 {
             for c in 0..4 {
@@ -516,7 +523,7 @@ mod tests {
 
     #[test]
     fn counters_track_stream_and_summary_json_is_stable() {
-        let mut m = HealthMonitor::new(2, MonitorConfig::default());
+        let mut m = HealthMonitor::new(MonitorShape::torus(2), MonitorConfig::default());
         let packet = Packet::new(PacketId(1), Coord::new(0, 0), Coord::new(1, 0), 0, 0);
         m.emit(&SimEvent::Inject {
             cycle: 0,
@@ -550,7 +557,7 @@ mod tests {
             snapshot_every: Some(10),
             ..MonitorConfig::default()
         };
-        let mut m = HealthMonitor::new(2, cfg);
+        let mut m = HealthMonitor::new(MonitorShape::torus(2), cfg);
         for c in 0..35 {
             // Multi-channel banks call end_cycle once per channel.
             m.end_cycle(c);
@@ -562,14 +569,16 @@ mod tests {
 
     #[test]
     fn render_text_mentions_each_kind() {
-        let mut m = HealthMonitor::new(2, quick_cfg());
+        let mut m = HealthMonitor::new(MonitorShape::torus(2), quick_cfg());
         for c in 0..4 {
             m.emit(&stall(c, 0));
         }
         let text = m.summary().render_text();
         assert!(text.contains("starvation at node 0"));
         assert!(text.starts_with("health: 1 anomalies"));
-        let ok = HealthMonitor::new(2, quick_cfg()).summary().render_text();
+        let ok = HealthMonitor::new(MonitorShape::torus(2), quick_cfg())
+            .summary()
+            .render_text();
         assert!(ok.starts_with("health: OK"));
     }
 }

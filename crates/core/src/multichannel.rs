@@ -364,7 +364,10 @@ mod tests {
         for node in 0..16 {
             q.push(node, Coord::new(3, (node % 4) as u16), 0, 0);
         }
-        let mut monitor = HealthMonitor::new(4, MonitorConfig::default());
+        let mut monitor = HealthMonitor::new(
+            crate::topology::MonitorShape::torus(4).with_channels(3),
+            MonitorConfig::default(),
+        );
         let mut dels = Vec::new();
         for c in 0..500 {
             mnoc.step_with_sink(&mut q, &mut dels, &mut monitor);

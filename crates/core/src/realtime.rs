@@ -1,7 +1,7 @@
 //! Real-time characterization: exact zero-load latencies and
 //! rate-regulated worst-case measurement.
 //!
-//! The paper's livelock scheme builds on HopliteRT (its ref [30]), whose
+//! The paper's livelock scheme builds on HopliteRT (its ref \[30\]), whose
 //! concern is *worst-case* traversal time. This module provides the two
 //! ingredients a real-time analysis of a FastTrack NoC needs:
 //!

@@ -43,6 +43,7 @@ use crate::packet::Delivery;
 use crate::profile::{self, EventCounter, SessionProfile};
 use crate::queue::InjectQueues;
 use crate::stats::SimStats;
+use crate::topology::MonitorShape;
 use crate::trace::{EventSink, NullSink, SimEvent};
 
 /// A workload that feeds the NoC.
@@ -384,14 +385,12 @@ pub trait SessionBackend {
     /// Builds the engine, compiling `faults` into it when given.
     fn build(&self, faults: Option<&FaultPlan>) -> Result<Self::Engine, FaultError>;
 
-    /// Torus side length `n` an attached monitor should be sized for.
-    fn monitor_n(&self) -> u16;
-
-    /// `Some(k)` when an attached monitor should normalize hotspot
-    /// utilization by a channel count.
-    fn monitor_channels(&self) -> Option<usize> {
-        None
-    }
+    /// The topology-derived sizing an attached monitor uses: node
+    /// count, [`crate::topology::LinkId`] table width, the optional
+    /// grid side for DOR-distance references, and the channel count
+    /// hotspot utilization normalizes by. Topology-backed backends
+    /// derive this from [`crate::topology::Topology::monitor_shape`].
+    fn monitor_shape(&self) -> MonitorShape;
 
     /// True when the backend carries armed (non-inert) fallback chains;
     /// monitored runs then publish the `fasttrack_fallback_*` registry
@@ -525,12 +524,8 @@ impl SessionBackend for TorusBackend {
         }
     }
 
-    fn monitor_n(&self) -> u16 {
-        self.cfg.n()
-    }
-
-    fn monitor_channels(&self) -> Option<usize> {
-        self.channels
+    fn monitor_shape(&self) -> MonitorShape {
+        MonitorShape::torus(self.cfg.n()).with_channels(self.channels.unwrap_or(1))
     }
 
     fn fallback_armed(&self) -> bool {
@@ -714,13 +709,8 @@ impl<'s, B: SessionBackend, K: EventSink> SimSession<'s, B, K> {
     }
 
     fn make_monitor(&self) -> Option<HealthMonitor> {
-        self.monitor.map(|mcfg| {
-            let mut monitor = HealthMonitor::new(self.backend.monitor_n(), mcfg);
-            if let Some(channels) = self.backend.monitor_channels() {
-                monitor.set_channels(channels.max(1));
-            }
-            monitor
-        })
+        self.monitor
+            .map(|mcfg| HealthMonitor::new(self.backend.monitor_shape(), mcfg))
     }
 
     /// Builds the engine and drives `source` to completion.
@@ -958,16 +948,19 @@ impl<'s, K: EventSink> SimSession<'s, TorusBackend, K> {
     /// Installs per-router-class fallback chains (see
     /// [`crate::fallback`]): stranded express packets demote to the
     /// shared ring, allocation losers switch channels in a bank, and
-    /// only an exhausted chain drops. The config is validated here;
+    /// only an exhausted chain drops. The config is validated through
+    /// the backend's topology
+    /// ([`crate::topology::Topology::validate_fallback`]);
     /// [`FallbackConfig::none`] (the default) keeps every run
     /// bit-identical to a session without this call.
     ///
     /// # Errors
     ///
-    /// Returns the first [`FallbackError`] the validation pipeline
-    /// finds.
+    /// Returns the first [`FallbackError`] the topology's validation
+    /// hook finds.
     pub fn with_fallback(mut self, fallback: &FallbackConfig) -> Result<Self, FallbackError> {
-        fallback.validate()?;
+        use crate::topology::{Topology, TorusTopology};
+        TorusTopology::new(self.backend.cfg.clone()).validate_fallback(fallback)?;
         self.backend.fallback = fallback.compile();
         Ok(self)
     }
@@ -1074,20 +1067,25 @@ fn publish_fallback_cells(report: &SimReport, registry: &MetricsRegistry) {
         .add(report.stats.fallback_channel_switches);
 }
 
+#[cfg(feature = "legacy-api")]
 fn no_faults(outcome: Result<SimOutcome, FaultError>) -> SimOutcome {
     outcome.expect("no fault plan attached")
 }
 
 /// Runs `source` on a single-channel NoC built from `cfg`.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
-    note = "compose a `SimSession` instead: `SimSession::new(cfg).options(opts).run(source)`"
+    note = "compose a `SimSession` instead: `SimSession::new(cfg).options(opts).run(source)`; this shim will be removed in 0.3.0"
 )]
 pub fn simulate<S: TrafficSource>(cfg: &NocConfig, source: &mut S, opts: SimOptions) -> SimReport {
     no_faults(SimSession::new(cfg).options(opts).run(source)).report
 }
 
 /// [`simulate`] with an [`EventSink`] observing the run.
-#[deprecated(note = "compose a `SimSession` with `.with_sink(sink)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession` with `.with_sink(sink)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_traced<S: TrafficSource, K: EventSink>(
     cfg: &NocConfig,
     source: &mut S,
@@ -1104,7 +1102,10 @@ pub fn simulate_traced<S: TrafficSource, K: EventSink>(
 }
 
 /// [`simulate`] with a [`FaultPlan`] injected into the fabric.
-#[deprecated(note = "compose a `SimSession` with `.with_faults(plan)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession` with `.with_faults(plan)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_faulted<S: TrafficSource>(
     cfg: &NocConfig,
     plan: &FaultPlan,
@@ -1121,7 +1122,10 @@ pub fn simulate_faulted<S: TrafficSource>(
 /// [`simulate_faulted`] with an [`EventSink`] observing the run,
 /// including the [`SimEvent::FaultDrop`] / [`SimEvent::FaultReroute`]
 /// events.
-#[deprecated(note = "compose a `SimSession` with `.with_faults(plan).with_sink(sink)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession` with `.with_faults(plan).with_sink(sink)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_faulted_traced<S: TrafficSource, K: EventSink>(
     cfg: &NocConfig,
     plan: &FaultPlan,
@@ -1138,7 +1142,10 @@ pub fn simulate_faulted_traced<S: TrafficSource, K: EventSink>(
 }
 
 /// [`simulate`] with a [`HealthMonitor`] attached.
-#[deprecated(note = "compose a `SimSession` with `.with_monitor(mcfg)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession` with `.with_monitor(mcfg)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_monitored<S: TrafficSource>(
     cfg: &NocConfig,
     source: &mut S,
@@ -1156,7 +1163,10 @@ pub fn simulate_monitored<S: TrafficSource>(
 
 /// [`simulate_multichannel`] with a [`HealthMonitor`] attached (hotspot
 /// utilization is normalized by the channel count).
-#[deprecated(note = "compose a `SimSession` with `.channels(k).with_monitor(mcfg)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession` with `.channels(k).with_monitor(mcfg)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_multichannel_monitored<S: TrafficSource>(
     cfg: &NocConfig,
     channels: usize,
@@ -1176,7 +1186,10 @@ pub fn simulate_multichannel_monitored<S: TrafficSource>(
 
 /// Runs `source` on a `channels`-way replicated NoC (multi-channel
 /// Hoplite; the paper's iso-wiring comparison point).
-#[deprecated(note = "compose a `SimSession` with `.channels(k)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession` with `.channels(k)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_multichannel<S: TrafficSource>(
     cfg: &NocConfig,
     channels: usize,
@@ -1194,7 +1207,10 @@ pub fn simulate_multichannel<S: TrafficSource>(
 
 /// [`simulate_multichannel`] with an [`EventSink`] observing all
 /// channels (see [`MultiNoc::step_with_sink`] for channel attribution).
-#[deprecated(note = "compose a `SimSession` with `.channels(k).with_sink(sink)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession` with `.channels(k).with_sink(sink)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_multichannel_traced<S: TrafficSource, K: EventSink>(
     cfg: &NocConfig,
     channels: usize,
@@ -1215,7 +1231,10 @@ pub fn simulate_multichannel_traced<S: TrafficSource, K: EventSink>(
 /// [`simulate_multichannel`] with a [`FaultPlan`] injected into every
 /// channel (the channels replicate one physical fabric region, so a
 /// fault hits all of them).
-#[deprecated(note = "compose a `SimSession` with `.channels(k).with_faults(plan)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession` with `.channels(k).with_faults(plan)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_multichannel_faulted<S: TrafficSource>(
     cfg: &NocConfig,
     channels: usize,

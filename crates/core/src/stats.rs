@@ -51,7 +51,7 @@ impl Histogram {
 
     /// Iterates `(bucket_low, bucket_high_exclusive, count)` for non-empty
     /// buckets in increasing order (the top bucket saturates its high
-    /// bound to `u64::MAX`, see [`Histogram::bucket_high`]).
+    /// bound to `u64::MAX`, see `Histogram::bucket_high`).
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
             .iter()

@@ -1,0 +1,1345 @@
+//! Pluggable topologies: the engine-facing abstraction that lets the
+//! session layer, fault planner, fallback validator, and health monitor
+//! work against *any* network shape instead of a hard-coded torus.
+//!
+//! A [`Topology`] enumerates nodes and links, tags every link with a
+//! [`WireClass`], builds a flat routing table ([`TopoRouteLut`]), prices
+//! itself with a first-order FPGA resource model ([`ResourceCost`]), and
+//! answers fault-validation questions such as *does removing this link
+//! partition the graph?* ([`Topology::connected_without`]). The torus
+//! family implements it via [`TorusTopology`]; the first non-torus
+//! backend is the Sparse Hamming Graph ([`ShgTopology`], after Iff et
+//! al., "Sparse Hamming Graph: A Customizable Network-on-Chip
+//! Topology", arXiv 2211.13980).
+//!
+//! [`TopologySpec`] is the uniform textual surface (`hoplite:8`,
+//! `ft:8:2:1`, `shg:8:2`, `mesh:4:4`) shared by the CLI, scenario-trace
+//! headers, and sweep grids.
+//!
+//! ```
+//! use fasttrack_core::topology::{Topology, TopologySpec, TorusTopology};
+//! use fasttrack_core::config::NocConfig;
+//!
+//! let topo = TorusTopology::new(NocConfig::hoplite(4).unwrap());
+//! assert_eq!(topo.num_nodes(), 16);
+//! // Every node of the plain torus has exactly two outgoing links.
+//! assert!((0..16).all(|v| topo.out_links(v).len() == 2));
+//! // The spec grammar round-trips.
+//! let spec: TopologySpec = "shg:8:2".parse().unwrap();
+//! assert_eq!(spec.to_string(), "shg:8:2");
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::config::{ConfigError, FtPolicy, NocConfig, NocKind};
+use crate::fallback::{FallbackConfig, FallbackError};
+use crate::fault::{Fault, FaultError, FaultPlan, StormSpec};
+use crate::geom::Coord;
+use crate::port::OutPort;
+use crate::router::RouterClass;
+use crate::sweep::splitmix64;
+
+/// Flat link identifier: `node * links_per_node + class_slot`, the key
+/// the health monitor's hotspot EWMA tables are sized and indexed by
+/// (replacing the old `(x, y, direction)` torus-coordinate keying).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// The FPGA wire class a link is mapped onto — the paper's core
+/// distinction between plentiful short wires and scarce long wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireClass {
+    /// A single-hop link on ordinary routing fabric.
+    Short,
+    /// A multi-hop link on long/express wires (covers `span` router
+    /// positions in one cycle).
+    Express,
+}
+
+/// One directed link of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDesc {
+    /// Node the link leaves from.
+    pub src: usize,
+    /// Node the link arrives at.
+    pub dst: usize,
+    /// Output slot at `src` (dense, `0..out_degree`).
+    pub slot: usize,
+    /// The port class the engine uses for this slot in events, faults,
+    /// and statistics.
+    pub port: OutPort,
+    /// Wire class of the link.
+    pub class: WireClass,
+    /// Router positions covered in one cycle (1 for short links).
+    pub span: u16,
+}
+
+/// Topology-derived sizing for a [`crate::monitor::HealthMonitor`] —
+/// the replacement for the old `SessionBackend::monitor_n() -> u16`
+/// torus side length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorShape {
+    /// Total nodes in the fabric.
+    pub nodes: usize,
+    /// Monitored link classes per node (the hotspot EWMA table is
+    /// `nodes * links_per_node` [`LinkId`] entries wide). All current
+    /// topologies report their links through the four non-`Exit`
+    /// [`OutPort`] classes, so this is at most [`OutPort::ALL`]` - 1`.
+    pub links_per_node: usize,
+    /// Grid side length when the topology is a square grid — used by
+    /// the livelock detector's dimension-ordered distance reference.
+    /// `None` disables the DOR-distance multiple and falls back to the
+    /// absolute hop floor.
+    pub grid_side: Option<u16>,
+    /// Parallel channels multiplexed over the monitored links.
+    pub channels: usize,
+}
+
+impl MonitorShape {
+    /// The shape of an `n × n` single-channel torus (or any square grid
+    /// monitored at [`OutPort`]-class granularity).
+    pub fn torus(n: u16) -> Self {
+        MonitorShape {
+            nodes: usize::from(n) * usize::from(n),
+            links_per_node: 4,
+            grid_side: Some(n),
+            channels: 1,
+        }
+    }
+
+    /// The same shape with `channels` parallel channels (normalized to
+    /// at least 1).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels.max(1);
+        self
+    }
+
+    /// The flat monitor key for `(node, class_slot)`.
+    pub fn link_id(&self, node: usize, slot: usize) -> LinkId {
+        debug_assert!(node < self.nodes && slot < self.links_per_node);
+        LinkId((node * self.links_per_node + slot) as u32)
+    }
+
+    /// Total monitored link keys.
+    pub fn num_links(&self) -> usize {
+        self.nodes * self.links_per_node
+    }
+}
+
+/// First-order FPGA resource price of a topology: enough to hold
+/// iso-resource comparisons (`fasttrack compare`) to a consistent,
+/// deterministic standard without reaching into the device-specific
+/// cost models of `fasttrack-fpga`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceCost {
+    /// Estimated 6-input LUTs.
+    pub luts: u64,
+    /// Estimated flip-flops.
+    pub ffs: u64,
+}
+
+impl ResourceCost {
+    /// Combined LUT + FF count, the single figure iso-resource matching
+    /// compares.
+    pub fn total(&self) -> u64 {
+        self.luts + self.ffs
+    }
+}
+
+impl fmt::Display for ResourceCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} LUTs + {} FFs", self.luts, self.ffs)
+    }
+}
+
+/// Datapath width the default resource model prices (bits per flit).
+pub const DATAPATH_BITS: u64 = 64;
+
+/// A flat next-slot routing table: `slot[at * nodes + dst]` is the
+/// preferred productive output slot at `at` for a packet headed to
+/// `dst` (`SELF_SLOT` on the diagonal). The table is a plain `Vec<u8>`
+/// read — the same hot-path shape as the torus `RouteLut` — so trait
+/// indirection never reaches the per-cycle loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoRouteLut {
+    nodes: usize,
+    slots: Vec<u8>,
+}
+
+/// Diagonal marker in [`TopoRouteLut`]: the packet is already home.
+const SELF_SLOT: u8 = u8::MAX;
+
+impl TopoRouteLut {
+    /// Builds the table by asking `topo` for every `(at, dst)` pair.
+    pub fn build(topo: &dyn Topology) -> TopoRouteLut {
+        let nodes = topo.num_nodes();
+        let mut slots = vec![SELF_SLOT; nodes * nodes];
+        for at in 0..nodes {
+            for dst in 0..nodes {
+                if at != dst {
+                    let slot = topo.route_slot(at, dst);
+                    debug_assert!(slot < SELF_SLOT as usize);
+                    slots[at * nodes + dst] = slot as u8;
+                }
+            }
+        }
+        TopoRouteLut { nodes, slots }
+    }
+
+    /// Nodes the table covers.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Preferred slot at `at` for destination `dst`; `None` when
+    /// `at == dst`.
+    #[inline]
+    pub fn slot(&self, at: usize, dst: usize) -> Option<usize> {
+        match self.slots[at * self.nodes + dst] {
+            SELF_SLOT => None,
+            s => Some(s as usize),
+        }
+    }
+}
+
+/// A pluggable network topology: everything the session layer, fault
+/// planner, fallback validator, and health monitor need to know about
+/// a fabric, with no torus assumptions.
+///
+/// # Contract
+///
+/// Implementations must uphold (DESIGN.md §16):
+///
+/// 1. **Dense ids** — nodes are `0..num_nodes()`; output slots at each
+///    node are dense `0..out_links(node).len()` and `LinkDesc::slot`
+///    matches the position's slot number.
+/// 2. **Strong connectivity** — with no faults, every node reaches
+///    every other ([`Topology::connected_without`] of `&[]` is true).
+/// 3. **Productive routing** — [`Topology::route_slot`] must return a
+///    slot of an existing link that strictly decreases some distance
+///    measure to `dst`, so that following the LUT alone (no
+///    deflections) terminates.
+/// 4. **Stable enumeration** — link order is deterministic; seeded
+///    fault draws ([`FaultPlan::storm_topo`]) depend on it.
+///
+/// ```
+/// use fasttrack_core::topology::{ShgConfig, ShgTopology, Topology, TopoRouteLut};
+///
+/// let topo = ShgTopology::new(ShgConfig::new(8, 2).unwrap());
+/// let lut = TopoRouteLut::build(&topo);
+/// // Walk the LUT from node 0 to node 60: it must arrive.
+/// let (mut at, dst) = (0, 60);
+/// for _ in 0..64 {
+///     if at == dst { break; }
+///     let slot = lut.slot(at, dst).unwrap();
+///     at = topo.out_links(at)[slot].dst;
+/// }
+/// assert_eq!(at, dst);
+/// ```
+pub trait Topology {
+    /// Human-readable name (e.g. `FT(64,2,1)`, `SHG(64,2)`).
+    fn name(&self) -> String;
+
+    /// The parseable spec this topology round-trips through.
+    fn spec(&self) -> TopologySpec;
+
+    /// Total nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Monitor sizing derived from the structure.
+    fn monitor_shape(&self) -> MonitorShape;
+
+    /// The directed links leaving `node`, in slot order.
+    fn out_links(&self, node: usize) -> Vec<LinkDesc>;
+
+    /// The preferred productive output slot at `at` for a packet headed
+    /// to `dst`. Must not be called with `at == dst`.
+    fn route_slot(&self, at: usize, dst: usize) -> usize;
+
+    /// Every link of the topology, in `(node, slot)` order.
+    fn links(&self) -> Vec<LinkDesc> {
+        (0..self.num_nodes())
+            .flat_map(|v| self.out_links(v))
+            .collect()
+    }
+
+    /// Downstream neighbors of `node`, in slot order.
+    fn neighbors(&self, node: usize) -> Vec<usize> {
+        self.out_links(node).iter().map(|l| l.dst).collect()
+    }
+
+    /// Builds the flat route table (see [`TopoRouteLut`]).
+    fn build_route_lut(&self) -> TopoRouteLut
+    where
+        Self: Sized,
+    {
+        TopoRouteLut::build(self)
+    }
+
+    /// The wire class of `(node, slot)`, or `None` if the slot does not
+    /// exist there.
+    fn wire_class(&self, node: usize, slot: usize) -> Option<WireClass> {
+        self.out_links(node).get(slot).map(|l| l.class)
+    }
+
+    /// First-order FPGA price: every output is a cascade of 2:1
+    /// [`DATAPATH_BITS`]-wide muxes over the link inputs plus the PE
+    /// injector, each link input lands in a datapath register, and a
+    /// small per-port control allowance covers allocation logic. The
+    /// absolute numbers are coarse; their *ratios* across topologies are
+    /// what iso-resource matching consumes.
+    fn resource_cost(&self) -> ResourceCost {
+        let nodes = self.num_nodes();
+        let mut in_degree = vec![0u64; nodes];
+        let mut out_degree = vec![0u64; nodes];
+        for link in self.links() {
+            in_degree[link.dst] += 1;
+            out_degree[link.src] += 1;
+        }
+        let mut cost = ResourceCost::default();
+        for v in 0..nodes {
+            let fanin = in_degree[v] + 1; // links + PE injector
+            let outputs = out_degree[v] + 1; // links + Exit
+                                             // (fanin - 1) two-input mux stages per output, 2 bits/LUT.
+            cost.luts += outputs * (fanin - 1) * (DATAPATH_BITS / 2);
+            cost.luts += 8 * outputs; // allocation / control
+            cost.ffs += DATAPATH_BITS * in_degree[v] + 16;
+        }
+        cost
+    }
+
+    /// True when the directed graph stays strongly connected after
+    /// removing every link whose `(src, port)` pair appears in `dead` —
+    /// the "does removing this link partition the graph?" hook the
+    /// fault validator asks before admitting a dead-link fault.
+    fn connected_without(&self, dead: &[(usize, OutPort)]) -> bool {
+        let nodes = self.num_nodes();
+        if nodes == 0 {
+            return true;
+        }
+        let mut fwd = vec![Vec::new(); nodes];
+        let mut rev = vec![Vec::new(); nodes];
+        for link in self.links() {
+            if !dead.contains(&(link.src, link.port)) {
+                fwd[link.src].push(link.dst);
+                rev[link.dst].push(link.src);
+            }
+        }
+        let reaches_all = |adj: &[Vec<usize>]| {
+            let mut seen = vec![false; nodes];
+            let mut queue = VecDeque::from([0usize]);
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(v) = queue.pop_front() {
+                for &w in &adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        count += 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            count == nodes
+        };
+        reaches_all(&fwd) && reaches_all(&rev)
+    }
+
+    /// The output slots at `node` that a fault on port class `out`
+    /// masks (empty when no such link exists there). One port class may
+    /// cover several physical links — on the SHG, `EastEx` masks every
+    /// express stride of the X dimension at once.
+    fn fault_slots(&self, node: usize, out: OutPort) -> Vec<usize> {
+        self.out_links(node)
+            .iter()
+            .filter(|l| l.port == out)
+            .map(|l| l.slot)
+            .collect()
+    }
+
+    /// Every express-class link as `(node, port)` pairs in enumeration
+    /// order — the pool seeded fault storms draw from.
+    fn express_ports(&self) -> Vec<(usize, OutPort)> {
+        let mut pool = Vec::new();
+        for node in 0..self.num_nodes() {
+            let mut seen = [false; 5];
+            for link in self.out_links(node) {
+                if link.class == WireClass::Express && !seen[link.port.index()] {
+                    seen[link.port.index()] = true;
+                    pool.push((node, link.port));
+                }
+            }
+        }
+        pool
+    }
+
+    /// Validates one fault against this topology. The default checks
+    /// node bounds, window shapes, link existence, and — for permanent
+    /// and windowed dead links — that the surviving graph stays
+    /// strongly connected (via [`Topology::connected_without`]).
+    /// Implementations with stricter structural rules (the torus
+    /// shared-ring escape path) override this.
+    fn validate_fault(&self, fault: &Fault) -> Result<(), FaultError> {
+        let nodes = self.num_nodes();
+        let node = fault.node();
+        if node >= nodes {
+            return Err(FaultError::BadNode { node, nodes });
+        }
+        let check_link = |out: OutPort, partition_check: bool| {
+            if out == OutPort::Exit {
+                return Err(FaultError::NotALink { node });
+            }
+            if self.fault_slots(node, out).is_empty() {
+                return Err(FaultError::NoExpressLink { node, out });
+            }
+            if partition_check && !self.connected_without(&[(node, out)]) {
+                return Err(FaultError::PartitionsTorus { node, out });
+            }
+            Ok(())
+        };
+        let check_window = |from: u64, until: u64| {
+            if from >= until {
+                Err(FaultError::EmptyWindow { from, until })
+            } else {
+                Ok(())
+            }
+        };
+        match *fault {
+            Fault::DeadLink { out, .. } => check_link(out, true),
+            Fault::DownLink {
+                out, from, until, ..
+            } => {
+                check_window(from, until)?;
+                check_link(out, true)
+            }
+            Fault::TransientLink {
+                out, from, until, ..
+            } => {
+                check_window(from, until)?;
+                check_link(out, false)
+            }
+            Fault::FailStopRouter { .. } => Ok(()),
+            Fault::StalledInjector { from, until, .. } => check_window(from, until),
+        }
+    }
+
+    /// Validates a fallback configuration against this topology. The
+    /// default accepts only the empty (inert) configuration: fallback
+    /// chains are defined over the torus express/shared lane pairing,
+    /// and topologies without that structure must refuse them rather
+    /// than silently ignore them.
+    fn validate_fallback(&self, fallback: &FallbackConfig) -> Result<(), FallbackError> {
+        if fallback.is_empty() {
+            Ok(())
+        } else {
+            Err(FallbackError::UnsupportedTopology)
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Checks the plan against an arbitrary topology, fault by fault,
+    /// through [`Topology::validate_fault`]. For a [`TorusTopology`]
+    /// this agrees exactly with [`FaultPlan::validate`].
+    pub fn validate_topo(&self, topo: &dyn Topology) -> Result<(), FaultError> {
+        for fault in self.faults() {
+            topo.validate_fault(fault)?;
+        }
+        Ok(())
+    }
+
+    /// Draws a fault storm for an arbitrary topology: express-class
+    /// links die at `spec.kills_per_kcycle` and heal after a delay from
+    /// `spec.heal_after`, exactly like [`FaultPlan::storm`] but with
+    /// the link pool supplied by [`Topology::express_ports`]. For a
+    /// [`TorusTopology`] the same `(seed, spec)` reproduces
+    /// [`FaultPlan::storm`] bit-for-bit.
+    pub fn storm_topo(topo: &dyn Topology, seed: u64, spec: &StormSpec) -> FaultPlan {
+        let mut state = seed;
+        let mut next = move || {
+            let out = splitmix64(state);
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            out
+        };
+        let mut plan = FaultPlan::new();
+        let express = topo.express_ports();
+        if express.is_empty() || spec.duration == 0 {
+            return plan;
+        }
+        let (h0, h1) = spec.heal_after;
+        let (h0, h1) = (h0.max(1), h1.max(h0.max(1) + 1));
+        for _ in 0..spec.kill_events() {
+            let (node, out) = express[(next() % express.len() as u64) as usize];
+            let from = next() % spec.duration;
+            let until = from + h0 + next() % (h1 - h0);
+            plan.push(Fault::DownLink {
+                node,
+                out,
+                from,
+                until,
+            });
+        }
+        debug_assert!(plan.validate_topo(topo).is_ok());
+        plan
+    }
+}
+
+/// The torus family — Hoplite and FastTrack — expressed as a
+/// [`Topology`]. Link enumeration and fault validation delegate to the
+/// same [`RouterClass`] geometry the engines use, so the trait view and
+/// the engine agree on which links exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TorusTopology {
+    cfg: NocConfig,
+}
+
+impl TorusTopology {
+    /// Wraps a torus configuration.
+    pub fn new(cfg: NocConfig) -> Self {
+        TorusTopology { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+}
+
+impl Topology for TorusTopology {
+    fn name(&self) -> String {
+        self.cfg.name()
+    }
+
+    fn spec(&self) -> TopologySpec {
+        TopologySpec::Torus(self.cfg.clone())
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.cfg.num_nodes()
+    }
+
+    fn monitor_shape(&self) -> MonitorShape {
+        MonitorShape::torus(self.cfg.n())
+    }
+
+    fn out_links(&self, node: usize) -> Vec<LinkDesc> {
+        let n = self.cfg.n();
+        let d = self.cfg.d().max(1);
+        let at = Coord::from_node_id(node, n);
+        let outs = RouterClass::of(&self.cfg, at).available_outputs();
+        let mut links = Vec::with_capacity(4);
+        for port in [
+            OutPort::EastEx,
+            OutPort::EastSh,
+            OutPort::SouthEx,
+            OutPort::SouthSh,
+        ] {
+            if !outs.contains(port) {
+                continue;
+            }
+            let span = if port.is_express() { d } else { 1 };
+            let dst = if port.is_east() {
+                at.east(span, n)
+            } else {
+                at.south(span, n)
+            };
+            links.push(LinkDesc {
+                src: node,
+                dst: dst.to_node_id(n),
+                slot: links.len(),
+                port,
+                class: if port.is_express() {
+                    WireClass::Express
+                } else {
+                    WireClass::Short
+                },
+                span,
+            });
+        }
+        links
+    }
+
+    fn route_slot(&self, at: usize, dst: usize) -> usize {
+        let n = self.cfg.n();
+        let (a, b) = (Coord::from_node_id(at, n), Coord::from_node_id(dst, n));
+        let links = self.out_links(at);
+        let pick = |port: OutPort, fallback: OutPort| {
+            links
+                .iter()
+                .find(|l| l.port == port)
+                .or_else(|| links.iter().find(|l| l.port == fallback))
+                .map(|l| l.slot)
+                .expect("shared ring link always exists")
+        };
+        let dx = a.dx_to(b, n);
+        if dx > 0 {
+            // X first (DOR); express only when the whole span fits.
+            if dx >= self.cfg.d().max(1) {
+                pick(OutPort::EastEx, OutPort::EastSh)
+            } else {
+                pick(OutPort::EastSh, OutPort::EastSh)
+            }
+        } else if a.dy_to(b, n) >= self.cfg.d().max(1) {
+            pick(OutPort::SouthEx, OutPort::SouthSh)
+        } else {
+            pick(OutPort::SouthSh, OutPort::SouthSh)
+        }
+    }
+
+    fn validate_fault(&self, fault: &Fault) -> Result<(), FaultError> {
+        // Exact parity with the torus-native path: the shared ring is
+        // the deflection escape hatch, so Sh-class dead links are
+        // structurally rejected rather than connectivity-checked.
+        FaultPlan::new().with(*fault).validate(&self.cfg)
+    }
+
+    fn validate_fallback(&self, fallback: &FallbackConfig) -> Result<(), FallbackError> {
+        fallback.validate()
+    }
+}
+
+/// Why a Sparse Hamming Graph configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShgConfigError {
+    /// The per-dimension side must be at least 2.
+    SideTooSmall {
+        /// The offending side length.
+        q: u16,
+    },
+    /// At least one stride per dimension is required.
+    DegreeTooSmall,
+    /// The longest stride `2^(delta-1)` must stay below the side, or
+    /// the topmost links would wrap onto shorter ones.
+    StrideTooLong {
+        /// Side length.
+        q: u16,
+        /// Strides per dimension.
+        delta: u16,
+    },
+}
+
+impl fmt::Display for ShgConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ShgConfigError::SideTooSmall { q } => {
+                write!(f, "SHG side {q} too small (need q >= 2)")
+            }
+            ShgConfigError::DegreeTooSmall => {
+                f.write_str("SHG needs at least 1 stride (delta >= 1)")
+            }
+            ShgConfigError::StrideTooLong { q, delta } => write!(
+                f,
+                "SHG stride 2^{} wraps a side of {q} (need 2^(delta-1) < q)",
+                delta - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShgConfigError {}
+
+/// A Sparse Hamming Graph configuration: a `q × q` grid where each
+/// dimension carries `delta` unidirectional power-of-two strides
+/// `{1, 2, 4, ...}` (Iff et al., arXiv 2211.13980, with the stride set
+/// specialized to powers of two so the deflection LUT is a greedy
+/// radix decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShgConfig {
+    q: u16,
+    delta: u16,
+}
+
+impl ShgConfig {
+    /// Validates and builds a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShgConfigError`] when `q < 2`, `delta < 1`, or the
+    /// longest stride `2^(delta-1)` would wrap the side.
+    pub fn new(q: u16, delta: u16) -> Result<Self, ShgConfigError> {
+        if q < 2 {
+            return Err(ShgConfigError::SideTooSmall { q });
+        }
+        if delta < 1 {
+            return Err(ShgConfigError::DegreeTooSmall);
+        }
+        if delta > 15 || (1u32 << (delta - 1)) >= u32::from(q) {
+            return Err(ShgConfigError::StrideTooLong { q, delta });
+        }
+        Ok(ShgConfig { q, delta })
+    }
+
+    /// Per-dimension side length.
+    pub fn q(&self) -> u16 {
+        self.q
+    }
+
+    /// Strides per dimension.
+    pub fn delta(&self) -> u16 {
+        self.delta
+    }
+
+    /// Total nodes (`q²`).
+    pub fn num_nodes(&self) -> usize {
+        usize::from(self.q) * usize::from(self.q)
+    }
+
+    /// The stride set per dimension: the first `delta` powers of two.
+    pub fn strides(&self) -> Vec<u16> {
+        (0..self.delta).map(|k| 1 << k).collect()
+    }
+
+    /// Human-readable name, `SHG(nodes,delta)`.
+    pub fn name(&self) -> String {
+        format!("SHG({},{})", self.num_nodes(), self.delta)
+    }
+}
+
+/// The Sparse Hamming Graph as a [`Topology`].
+///
+/// Node `(x, y)` maps to [`Coord`] on the `q × q` grid, so packets,
+/// events, and detectors reuse the torus coordinate plumbing verbatim.
+/// Output slots `0..delta` are the X-dimension strides (smallest
+/// first), `delta..2*delta` the Y-dimension strides. Stride-1 links are
+/// [`WireClass::Short`] and report through the `EastSh`/`SouthSh` port
+/// classes; longer strides are [`WireClass::Express`] on
+/// `EastEx`/`SouthEx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShgTopology {
+    cfg: ShgConfig,
+}
+
+impl ShgTopology {
+    /// Wraps a validated configuration.
+    pub fn new(cfg: ShgConfig) -> Self {
+        ShgTopology { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &ShgConfig {
+        &self.cfg
+    }
+
+    /// Maps an output slot to its `(x_dim, stride)` pair.
+    fn slot_geometry(&self, slot: usize) -> (bool, u16) {
+        let delta = usize::from(self.cfg.delta);
+        debug_assert!(slot < 2 * delta);
+        let (x_dim, k) = if slot < delta {
+            (true, slot)
+        } else {
+            (false, slot - delta)
+        };
+        (x_dim, 1 << k)
+    }
+}
+
+impl Topology for ShgTopology {
+    fn name(&self) -> String {
+        self.cfg.name()
+    }
+
+    fn spec(&self) -> TopologySpec {
+        TopologySpec::Shg(self.cfg)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.cfg.num_nodes()
+    }
+
+    fn monitor_shape(&self) -> MonitorShape {
+        MonitorShape {
+            nodes: self.cfg.num_nodes(),
+            links_per_node: 4,
+            grid_side: Some(self.cfg.q),
+            channels: 1,
+        }
+    }
+
+    fn out_links(&self, node: usize) -> Vec<LinkDesc> {
+        let q = self.cfg.q;
+        let at = Coord::from_node_id(node, q);
+        let delta = usize::from(self.cfg.delta);
+        let mut links = Vec::with_capacity(2 * delta);
+        for slot in 0..2 * delta {
+            let (x_dim, stride) = self.slot_geometry(slot);
+            let dst = if x_dim {
+                at.east(stride, q)
+            } else {
+                at.south(stride, q)
+            };
+            let express = stride > 1;
+            let port = match (x_dim, express) {
+                (true, false) => OutPort::EastSh,
+                (true, true) => OutPort::EastEx,
+                (false, false) => OutPort::SouthSh,
+                (false, true) => OutPort::SouthEx,
+            };
+            links.push(LinkDesc {
+                src: node,
+                dst: dst.to_node_id(q),
+                slot,
+                port,
+                class: if express {
+                    WireClass::Express
+                } else {
+                    WireClass::Short
+                },
+                span: stride,
+            });
+        }
+        links
+    }
+
+    fn route_slot(&self, at: usize, dst: usize) -> usize {
+        let q = self.cfg.q;
+        let (a, b) = (Coord::from_node_id(at, q), Coord::from_node_id(dst, q));
+        let delta = usize::from(self.cfg.delta);
+        // Greedy radix decomposition, X before Y: take the largest
+        // stride that does not overshoot the remaining ring distance.
+        let greedy = |dist: u16| -> usize {
+            debug_assert!(dist > 0);
+            (0..delta)
+                .rev()
+                .find(|&k| (1u16 << k) <= dist)
+                .expect("stride 1 always fits")
+        };
+        let dx = a.dx_to(b, q);
+        if dx > 0 {
+            greedy(dx)
+        } else {
+            delta + greedy(a.dy_to(b, q))
+        }
+    }
+}
+
+/// A uniformly parsed topology selector: the single grammar the CLI,
+/// scenario-trace headers, and sweep grids share.
+///
+/// * `hoplite:<n>` / `ft:<n>:<d>:<r>` / `ftlite:<n>:<d>:<r>` — the
+///   torus family ([`TorusTopology`])
+/// * `shg:<q>:<delta>` — Sparse Hamming Graph ([`ShgTopology`])
+/// * `mesh:<n>[:<depth>]` — buffered XY mesh (engine in
+///   `fasttrack-mesh`; depth defaults to 4)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The torus family (Hoplite / FastTrack / FT-lite).
+    Torus(NocConfig),
+    /// Sparse Hamming Graph.
+    Shg(ShgConfig),
+    /// Buffered XY mesh. Raw parameters rather than a `MeshConfig`
+    /// because `fasttrack-mesh` depends on this crate, not vice versa.
+    Mesh {
+        /// Side length of the `n × n` mesh.
+        n: u16,
+        /// Router input-buffer depth in flits.
+        depth: usize,
+    },
+}
+
+impl TopologySpec {
+    /// Human-readable name of the selected topology.
+    pub fn display_name(&self) -> String {
+        match self {
+            TopologySpec::Torus(cfg) => cfg.name(),
+            TopologySpec::Shg(cfg) => cfg.name(),
+            TopologySpec::Mesh { n, depth } => format!("Mesh {n}x{n} (depth {depth})"),
+        }
+    }
+
+    /// Total nodes.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            TopologySpec::Torus(cfg) => cfg.num_nodes(),
+            TopologySpec::Shg(cfg) => cfg.num_nodes(),
+            TopologySpec::Mesh { n, .. } => usize::from(*n) * usize::from(*n),
+        }
+    }
+
+    /// Monitor sizing for the selected topology.
+    pub fn monitor_shape(&self) -> MonitorShape {
+        match self {
+            TopologySpec::Torus(cfg) => MonitorShape::torus(cfg.n()),
+            TopologySpec::Shg(cfg) => ShgTopology::new(*cfg).monitor_shape(),
+            TopologySpec::Mesh { n, .. } => MonitorShape::torus(*n),
+        }
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpec::Torus(cfg) => match cfg.kind() {
+                NocKind::Hoplite => write!(f, "hoplite:{}", cfg.n()),
+                NocKind::FastTrack { d, r, policy } => {
+                    let kind = match policy {
+                        FtPolicy::Full => "ft",
+                        FtPolicy::Inject => "ftlite",
+                    };
+                    write!(f, "{kind}:{}:{d}:{r}", cfg.n())
+                }
+            },
+            TopologySpec::Shg(cfg) => write!(f, "shg:{}:{}", cfg.q(), cfg.delta()),
+            TopologySpec::Mesh { n, depth } => write!(f, "mesh:{n}:{depth}"),
+        }
+    }
+}
+
+/// Why a [`TopologySpec`] string was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpecError {
+    /// The leading keyword is unknown.
+    UnknownKind(String),
+    /// Wrong number of `:`-separated fields for the kind.
+    BadArity {
+        /// The spec kind.
+        kind: &'static str,
+        /// Expected field count (after the kind).
+        expected: &'static str,
+        /// Found field count.
+        found: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// The torus configuration failed validation.
+    Torus(ConfigError),
+    /// The SHG configuration failed validation.
+    Shg(ShgConfigError),
+    /// The mesh parameters failed validation.
+    Mesh(&'static str),
+}
+
+impl fmt::Display for TopologySpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpecError::UnknownKind(k) => write!(
+                f,
+                "unknown topology kind {k:?} (expected hoplite, ft, ftlite, shg, or mesh)"
+            ),
+            TopologySpecError::BadArity {
+                kind,
+                expected,
+                found,
+            } => write!(f, "{kind} spec needs {expected} field(s), found {found}"),
+            TopologySpecError::BadNumber(s) => write!(f, "invalid number {s:?}"),
+            TopologySpecError::Torus(e) => write!(f, "invalid torus spec: {e}"),
+            TopologySpecError::Shg(e) => write!(f, "invalid shg spec: {e}"),
+            TopologySpecError::Mesh(e) => write!(f, "invalid mesh spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologySpecError {}
+
+impl From<ConfigError> for TopologySpecError {
+    fn from(e: ConfigError) -> Self {
+        TopologySpecError::Torus(e)
+    }
+}
+
+impl From<ShgConfigError> for TopologySpecError {
+    fn from(e: ShgConfigError) -> Self {
+        TopologySpecError::Shg(e)
+    }
+}
+
+impl FromStr for TopologySpec {
+    type Err = TopologySpecError;
+
+    fn from_str(spec: &str) -> Result<Self, TopologySpecError> {
+        let fields: Vec<&str> = spec.split(':').collect();
+        let num = |s: &str| -> Result<u16, TopologySpecError> {
+            s.parse()
+                .map_err(|_| TopologySpecError::BadNumber(s.to_string()))
+        };
+        let arity = |kind: &'static str, expected: &'static str| TopologySpecError::BadArity {
+            kind,
+            expected,
+            found: fields.len() - 1,
+        };
+        match fields[0] {
+            "hoplite" => {
+                if fields.len() != 2 {
+                    return Err(arity("hoplite", "1"));
+                }
+                Ok(TopologySpec::Torus(NocConfig::hoplite(num(fields[1])?)?))
+            }
+            "ft" | "ftlite" => {
+                if fields.len() != 4 {
+                    return Err(arity("ft", "3"));
+                }
+                let policy = if fields[0] == "ft" {
+                    FtPolicy::Full
+                } else {
+                    FtPolicy::Inject
+                };
+                Ok(TopologySpec::Torus(NocConfig::fasttrack(
+                    num(fields[1])?,
+                    num(fields[2])?,
+                    num(fields[3])?,
+                    policy,
+                )?))
+            }
+            "shg" => {
+                if fields.len() != 3 {
+                    return Err(arity("shg", "2"));
+                }
+                Ok(TopologySpec::Shg(ShgConfig::new(
+                    num(fields[1])?,
+                    num(fields[2])?,
+                )?))
+            }
+            "mesh" => {
+                if !(2..=3).contains(&fields.len()) {
+                    return Err(arity("mesh", "1 or 2"));
+                }
+                let n = num(fields[1])?;
+                if n < 2 {
+                    return Err(TopologySpecError::Mesh("mesh side must be at least 2"));
+                }
+                let depth = if fields.len() == 3 {
+                    usize::from(num(fields[2])?)
+                } else {
+                    4
+                };
+                if depth == 0 {
+                    return Err(TopologySpecError::Mesh(
+                        "mesh buffer depth must be at least 1",
+                    ));
+                }
+                Ok(TopologySpec::Mesh { n, depth })
+            }
+            other => Err(TopologySpecError::UnknownKind(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft(n: u16, d: u16, r: u16) -> NocConfig {
+        NocConfig::fasttrack(n, d, r, FtPolicy::Full).unwrap()
+    }
+
+    #[test]
+    fn torus_links_match_router_geometry() {
+        let topo = TorusTopology::new(ft(8, 2, 1));
+        // R == 1: every router has both express links -> 4 out-links.
+        assert!((0..64).all(|v| topo.out_links(v).len() == 4));
+        let hoplite = TorusTopology::new(NocConfig::hoplite(4).unwrap());
+        assert!((0..16).all(|v| hoplite.out_links(v).len() == 2));
+        // Depopulated (R == 2): only every other diagonal position has
+        // express outputs, so the total express pool shrinks.
+        let dep = TorusTopology::new(ft(8, 2, 2));
+        let full_express = topo.express_ports().len();
+        let dep_express = dep.express_ports().len();
+        assert!(dep_express < full_express, "{dep_express} < {full_express}");
+    }
+
+    #[test]
+    fn torus_express_pool_matches_fault_planner() {
+        // The storm pool drawn through the trait reproduces the
+        // cfg-native storm bit-for-bit.
+        let cfg = ft(8, 2, 2);
+        let topo = TorusTopology::new(cfg.clone());
+        let spec = StormSpec::default();
+        assert_eq!(
+            FaultPlan::storm_topo(&topo, 7, &spec),
+            FaultPlan::storm(&cfg, 7, &spec)
+        );
+    }
+
+    #[test]
+    fn torus_fault_validation_matches_native() {
+        let cfg = ft(8, 2, 1);
+        let topo = TorusTopology::new(cfg.clone());
+        let faults = [
+            Fault::DeadLink {
+                node: 0,
+                out: OutPort::EastEx,
+            },
+            Fault::DeadLink {
+                node: 0,
+                out: OutPort::EastSh,
+            },
+            Fault::DeadLink {
+                node: 0,
+                out: OutPort::Exit,
+            },
+            Fault::FailStopRouter { node: 99, at: 0 },
+            Fault::StalledInjector {
+                node: 1,
+                from: 5,
+                until: 5,
+            },
+        ];
+        for fault in faults {
+            assert_eq!(
+                topo.validate_fault(&fault),
+                FaultPlan::new().with(fault).validate(&cfg),
+                "{fault}"
+            );
+        }
+    }
+
+    #[test]
+    fn torus_is_strongly_connected_and_partitions_detected() {
+        let topo = TorusTopology::new(NocConfig::hoplite(2).unwrap());
+        assert!(topo.connected_without(&[]));
+        // Killing every outgoing link of node 0 partitions the graph.
+        assert!(!topo.connected_without(&[(0, OutPort::EastSh), (0, OutPort::SouthSh)]));
+    }
+
+    #[test]
+    fn torus_route_lut_walks_home() {
+        let topo = TorusTopology::new(ft(8, 2, 1));
+        let lut = topo.build_route_lut();
+        for dst in [1usize, 9, 37, 63] {
+            let mut at = 0usize;
+            for _ in 0..64 {
+                if at == dst {
+                    break;
+                }
+                let slot = lut.slot(at, dst).unwrap();
+                at = topo.out_links(at)[slot].dst;
+            }
+            assert_eq!(at, dst, "LUT walk must reach {dst}");
+        }
+        assert_eq!(lut.slot(5, 5), None);
+    }
+
+    #[test]
+    fn shg_config_validates() {
+        assert!(ShgConfig::new(8, 2).is_ok());
+        assert_eq!(
+            ShgConfig::new(1, 1),
+            Err(ShgConfigError::SideTooSmall { q: 1 })
+        );
+        assert_eq!(ShgConfig::new(8, 0), Err(ShgConfigError::DegreeTooSmall));
+        assert_eq!(
+            ShgConfig::new(8, 4),
+            Err(ShgConfigError::StrideTooLong { q: 8, delta: 4 })
+        );
+        assert_eq!(ShgConfig::new(8, 3).unwrap().strides(), vec![1, 2, 4]);
+        assert_eq!(ShgConfig::new(8, 2).unwrap().name(), "SHG(64,2)");
+    }
+
+    #[test]
+    fn shg_links_and_classes() {
+        let topo = ShgTopology::new(ShgConfig::new(8, 2).unwrap());
+        assert_eq!(topo.num_nodes(), 64);
+        let links = topo.out_links(0);
+        assert_eq!(links.len(), 4);
+        // Slot 0: x stride 1 (short), slot 1: x stride 2 (express),
+        // then the y dimension likewise.
+        assert_eq!(links[0].port, OutPort::EastSh);
+        assert_eq!(links[0].dst, 1);
+        assert_eq!(links[1].port, OutPort::EastEx);
+        assert_eq!(links[1].dst, 2);
+        assert_eq!(links[1].span, 2);
+        assert_eq!(links[2].port, OutPort::SouthSh);
+        assert_eq!(links[2].dst, 8);
+        assert_eq!(links[3].port, OutPort::SouthEx);
+        assert_eq!(links[3].dst, 16);
+        assert_eq!(links[1].class, WireClass::Express);
+        assert_eq!(links[2].class, WireClass::Short);
+    }
+
+    #[test]
+    fn shg_is_strongly_connected_even_without_express() {
+        let topo = ShgTopology::new(ShgConfig::new(8, 2).unwrap());
+        assert!(topo.connected_without(&[]));
+        // Express-class faults never partition: stride-1 rings remain.
+        assert!(topo.connected_without(&[(0, OutPort::EastEx), (0, OutPort::SouthEx)]));
+        // Even a dead stride-1 link leaves a detour through other rows,
+        // so (unlike the torus) the SHG validator admits Sh faults.
+        assert!(topo.connected_without(&[(0, OutPort::EastSh)]));
+        assert_eq!(
+            topo.validate_fault(&Fault::DeadLink {
+                node: 0,
+                out: OutPort::EastSh,
+            }),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn shg_route_lut_walks_home() {
+        let topo = ShgTopology::new(ShgConfig::new(8, 3).unwrap());
+        let lut = topo.build_route_lut();
+        for (from, to) in [(0usize, 63usize), (5, 0), (17, 44), (63, 1)] {
+            let mut at = from;
+            let mut hops = 0;
+            while at != to {
+                let slot = lut.slot(at, to).unwrap();
+                at = topo.out_links(at)[slot].dst;
+                hops += 1;
+                assert!(hops <= 32, "greedy route {from}->{to} must terminate");
+            }
+            // Greedy radix routing needs at most delta hops per
+            // dimension on a power-of-two decomposition.
+            assert!(hops <= 8, "{from}->{to} took {hops} hops");
+        }
+    }
+
+    #[test]
+    fn shg_fault_hooks() {
+        let topo = ShgTopology::new(ShgConfig::new(8, 2).unwrap());
+        // EastEx exists (delta 2) and masks exactly the stride-2 slot.
+        assert_eq!(topo.fault_slots(0, OutPort::EastEx), vec![1]);
+        assert_eq!(
+            topo.validate_fault(&Fault::DeadLink {
+                node: 0,
+                out: OutPort::EastEx,
+            }),
+            Ok(())
+        );
+        // delta == 1 has no express class at all.
+        let ring = ShgTopology::new(ShgConfig::new(4, 1).unwrap());
+        assert_eq!(
+            ring.validate_fault(&Fault::DeadLink {
+                node: 0,
+                out: OutPort::EastEx,
+            }),
+            Err(FaultError::NoExpressLink {
+                node: 0,
+                out: OutPort::EastEx,
+            })
+        );
+        assert!(ring.express_ports().is_empty());
+        // Bad node and empty windows use the shared checks.
+        assert_eq!(
+            topo.validate_fault(&Fault::FailStopRouter { node: 64, at: 0 }),
+            Err(FaultError::BadNode {
+                node: 64,
+                nodes: 64
+            })
+        );
+    }
+
+    #[test]
+    fn shg_storms_are_deterministic() {
+        let topo = ShgTopology::new(ShgConfig::new(8, 2).unwrap());
+        let spec = StormSpec::default();
+        let a = FaultPlan::storm_topo(&topo, 11, &spec);
+        let b = FaultPlan::storm_topo(&topo, 11, &spec);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.validate_topo(&topo).is_ok());
+        assert_ne!(a, FaultPlan::storm_topo(&topo, 12, &spec));
+    }
+
+    #[test]
+    fn fallback_defaults_to_inert_only() {
+        let topo = ShgTopology::new(ShgConfig::new(8, 2).unwrap());
+        assert!(topo.validate_fallback(&FallbackConfig::none()).is_ok());
+        assert!(matches!(
+            topo.validate_fallback(&FallbackConfig::standard()),
+            Err(FallbackError::UnsupportedTopology)
+        ));
+        // The torus delegates to the torus-native validator.
+        let torus = TorusTopology::new(ft(8, 2, 1));
+        assert!(torus.validate_fallback(&FallbackConfig::standard()).is_ok());
+    }
+
+    #[test]
+    fn resource_costs_scale_with_degree() {
+        let hoplite = TorusTopology::new(NocConfig::hoplite(8).unwrap()).resource_cost();
+        let ftfull = TorusTopology::new(ft(8, 2, 1)).resource_cost();
+        let shg = ShgTopology::new(ShgConfig::new(8, 2).unwrap()).resource_cost();
+        assert!(ftfull.total() > hoplite.total());
+        assert!(shg.total() > hoplite.total());
+        assert!(hoplite.luts > 0 && hoplite.ffs > 0);
+        assert!(!hoplite.to_string().is_empty());
+    }
+
+    #[test]
+    fn monitor_shapes() {
+        let shape = MonitorShape::torus(8);
+        assert_eq!(shape.nodes, 64);
+        assert_eq!(shape.links_per_node, 4);
+        assert_eq!(shape.grid_side, Some(8));
+        assert_eq!(shape.channels, 1);
+        assert_eq!(shape.with_channels(0).channels, 1);
+        assert_eq!(shape.link_id(2, 3), LinkId(11));
+        assert_eq!(shape.num_links(), 256);
+        assert_eq!(LinkId(11).to_string(), "L11");
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        for s in [
+            "hoplite:8",
+            "ft:8:2:1",
+            "ftlite:8:2:2",
+            "shg:8:2",
+            "mesh:4:4",
+        ] {
+            let spec: TopologySpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s, "round-trip of {s}");
+            assert!(spec.num_nodes() > 0);
+            assert!(!spec.display_name().is_empty());
+            assert!(spec.monitor_shape().nodes == spec.num_nodes());
+        }
+        // Depth defaults to 4.
+        assert_eq!(
+            "mesh:4".parse::<TopologySpec>().unwrap(),
+            TopologySpec::Mesh { n: 4, depth: 4 }
+        );
+    }
+
+    #[test]
+    fn spec_grammar_rejects_malformed() {
+        assert!(matches!(
+            "ring:8".parse::<TopologySpec>(),
+            Err(TopologySpecError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            "shg:8".parse::<TopologySpec>(),
+            Err(TopologySpecError::BadArity { .. })
+        ));
+        assert!(matches!(
+            "shg:8:9".parse::<TopologySpec>(),
+            Err(TopologySpecError::Shg(_))
+        ));
+        assert!(matches!(
+            "hoplite:x".parse::<TopologySpec>(),
+            Err(TopologySpecError::BadNumber(_))
+        ));
+        assert!(matches!(
+            "mesh:1".parse::<TopologySpec>(),
+            Err(TopologySpecError::Mesh(_))
+        ));
+        assert!(matches!(
+            "mesh:4:0".parse::<TopologySpec>(),
+            Err(TopologySpecError::Mesh(_))
+        ));
+        assert!(matches!(
+            "ft:8:9:1".parse::<TopologySpec>(),
+            Err(TopologySpecError::Torus(_))
+        ));
+        let e = "ring:8".parse::<TopologySpec>().unwrap_err();
+        assert!(e.to_string().contains("unknown topology kind"));
+    }
+
+    #[test]
+    fn torus_spec_views_agree() {
+        let cfg = ft(8, 2, 1);
+        let topo = TorusTopology::new(cfg.clone());
+        assert_eq!(topo.spec(), TopologySpec::Torus(cfg));
+        assert_eq!(topo.spec().to_string(), "ft:8:2:1");
+        assert_eq!(topo.name(), "FT(64,2,1)");
+        assert_eq!(topo.monitor_shape(), MonitorShape::torus(8));
+        assert_eq!(topo.neighbors(0).len(), 4);
+        assert_eq!(topo.links().len(), 64 * 4);
+        assert_eq!(topo.wire_class(0, 0), Some(WireClass::Express));
+        assert_eq!(topo.wire_class(0, 9), None);
+    }
+}

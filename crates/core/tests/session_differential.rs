@@ -11,6 +11,7 @@
 //!   faults, and channel counts;
 //! * the batched driver must reproduce fresh-engine runs exactly.
 
+#![cfg(feature = "legacy-api")]
 #![allow(deprecated)]
 
 use fasttrack_core::prelude::*;

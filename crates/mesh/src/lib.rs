@@ -35,10 +35,13 @@ pub mod config;
 pub mod noc;
 pub mod router;
 pub mod sim;
+pub mod topology;
 
 pub use config::{MeshConfig, MeshConfigError};
 pub use noc::MeshNoc;
 pub use router::{mesh_distance, xy_route, Dir};
 pub use sim::MeshBackend;
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use sim::{simulate_mesh, simulate_mesh_traced};
+pub use topology::MeshTopology;

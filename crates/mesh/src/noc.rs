@@ -272,7 +272,7 @@ impl MeshNoc {
     /// The mesh emits the same event vocabulary as the torus engines
     /// with two caveats: routing decisions carry `in_port: None` (FIFO
     /// inputs have no torus port identity) and link outputs are reported
-    /// by axis via [`axis_port`]. Buffered routers hold rather than
+    /// by axis (`axis_port`). Buffered routers hold rather than
     /// misroute, so no [`SimEvent::Deflect`] is ever emitted.
     pub fn step_with_sink<S: EventSink>(
         &mut self,

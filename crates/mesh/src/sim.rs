@@ -6,14 +6,18 @@
 use fasttrack_core::fault::{FaultError, FaultPlan};
 use fasttrack_core::packet::Delivery;
 use fasttrack_core::queue::InjectQueues;
-use fasttrack_core::sim::{
-    SessionBackend, SimEngine, SimOptions, SimReport, SimSession, TrafficSource,
-};
+use fasttrack_core::sim::{SessionBackend, SimEngine};
+#[cfg(feature = "legacy-api")]
+use fasttrack_core::sim::{SimOptions, SimReport, SimSession, TrafficSource};
 use fasttrack_core::stats::SimStats;
-use fasttrack_core::trace::{EventSink, NullSink};
+use fasttrack_core::topology::{MonitorShape, Topology};
+use fasttrack_core::trace::EventSink;
+#[cfg(feature = "legacy-api")]
+use fasttrack_core::trace::NullSink;
 
 use crate::config::MeshConfig;
 use crate::noc::MeshNoc;
+use crate::topology::MeshTopology;
 
 impl SimEngine for MeshNoc {
     fn num_nodes(&self) -> usize {
@@ -80,15 +84,18 @@ impl SessionBackend for MeshBackend {
         }
     }
 
-    fn monitor_n(&self) -> u16 {
-        self.cfg.n()
+    fn monitor_shape(&self) -> MonitorShape {
+        MeshTopology::new(self.cfg).monitor_shape()
     }
 }
 
 /// Runs `source` on a buffered mesh built from `cfg`, producing the same
 /// [`SimReport`] the torus simulators emit so results compose in one
 /// table.
-#[deprecated(note = "compose a `SimSession::with_backend(MeshBackend::new(cfg))` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession::with_backend(MeshBackend::new(cfg))` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_mesh<S: TrafficSource>(
     cfg: &MeshConfig,
     source: &mut S,
@@ -100,7 +107,10 @@ pub fn simulate_mesh<S: TrafficSource>(
 
 /// [`simulate_mesh`] with an [`EventSink`] observing the run (same
 /// driver markers as the torus sessions).
-#[deprecated(note = "compose a `SimSession::with_backend(..)` with `.with_sink(sink)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession::with_backend(..)` with `.with_sink(sink)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_mesh_traced<S: TrafficSource, K: EventSink>(
     cfg: &MeshConfig,
     source: &mut S,
@@ -118,7 +128,10 @@ pub fn simulate_mesh_traced<S: TrafficSource, K: EventSink>(
 /// [`simulate_mesh`] with a [`FaultPlan`] injected (the mesh-supported
 /// subset — see [`MeshNoc::with_faults`]). An empty plan reproduces
 /// [`simulate_mesh`] bit-for-bit.
-#[deprecated(note = "compose a `SimSession::with_backend(..)` with `.with_faults(plan)` instead")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "compose a `SimSession::with_backend(..)` with `.with_faults(plan)` instead; this shim will be removed in 0.3.0"
+)]
 pub fn simulate_mesh_faulted<S: TrafficSource>(
     cfg: &MeshConfig,
     plan: &FaultPlan,
@@ -135,6 +148,9 @@ pub fn simulate_mesh_faulted<S: TrafficSource>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(not(feature = "legacy-api"))]
+    use fasttrack_core::sim::{SimReport, SimSession, TrafficSource};
+
     use fasttrack_core::geom::Coord;
 
     struct Batch {
@@ -178,6 +194,7 @@ mod tests {
         assert!(report.avg_latency() > 0.0);
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     fn deprecated_shim_matches_session() {
         let cfg = MeshConfig::new(4, 4).unwrap();

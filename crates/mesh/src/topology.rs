@@ -1,0 +1,204 @@
+//! The buffered mesh as a [`Topology`] implementation.
+//!
+//! Re-expresses the mesh's geometry through `fasttrack-core`'s
+//! topology abstraction so sessions, monitors, fault planners, and the
+//! iso-resource comparison harness treat it uniformly with the torus
+//! and Sparse Hamming Graph backends.
+//!
+//! Link tagging follows the engine's event convention (see
+//! `crate::noc`): the mesh's bidirectional links report through the
+//! torus axis classes, x-axis links as `E_sh` and y-axis links as
+//! `S_sh`, all [`WireClass::Short`] — a buffered mesh has no express
+//! wires. The per-direction `slot` is [`Dir::index`], so edge routers
+//! simply omit the slots that would leave the fabric.
+
+use fasttrack_core::fault::{Fault, FaultError, FaultPlan};
+use fasttrack_core::geom::Coord;
+use fasttrack_core::port::OutPort;
+use fasttrack_core::topology::{
+    LinkDesc, MonitorShape, ResourceCost, Topology, TopologySpec, WireClass, DATAPATH_BITS,
+};
+
+use crate::config::MeshConfig;
+use crate::noc::MeshNoc;
+use crate::router::{xy_route, Dir};
+
+/// The axis class a mesh direction reports through (the engine's event
+/// convention: unidirectional torus ports fold both mesh directions of
+/// an axis onto the shared-lane class).
+fn axis_port(dir: Dir) -> OutPort {
+    match dir {
+        Dir::East | Dir::West => OutPort::EastSh,
+        Dir::North | Dir::South => OutPort::SouthSh,
+    }
+}
+
+/// An `n × n` buffered mesh viewed through the [`Topology`] trait.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshTopology {
+    cfg: MeshConfig,
+}
+
+impl MeshTopology {
+    /// Wraps a mesh configuration.
+    pub fn new(cfg: MeshConfig) -> Self {
+        MeshTopology { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+}
+
+impl Topology for MeshTopology {
+    fn name(&self) -> String {
+        self.cfg.name()
+    }
+
+    fn spec(&self) -> TopologySpec {
+        TopologySpec::Mesh {
+            n: self.cfg.n(),
+            depth: self.cfg.buffer_depth(),
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.cfg.num_nodes()
+    }
+
+    fn monitor_shape(&self) -> MonitorShape {
+        MonitorShape::torus(self.cfg.n())
+    }
+
+    fn out_links(&self, node: usize) -> Vec<LinkDesc> {
+        let n = self.cfg.n();
+        let at = Coord::from_node_id(node, n);
+        Dir::ALL
+            .iter()
+            .filter_map(|&dir| {
+                dir.neighbor(at, n).map(|next| LinkDesc {
+                    src: node,
+                    dst: next.to_node_id(n),
+                    slot: dir.index(),
+                    port: axis_port(dir),
+                    class: WireClass::Short,
+                    span: 1,
+                })
+            })
+            .collect()
+    }
+
+    fn route_slot(&self, at: usize, dst: usize) -> usize {
+        let n = self.cfg.n();
+        let from = Coord::from_node_id(at, n);
+        let to = Coord::from_node_id(dst, n);
+        xy_route(from, to).map_or(0, Dir::index)
+    }
+
+    /// A buffered router is priced like the default mux-tree model on
+    /// the LUT side, but its flip-flops hold `buffer_depth` flits per
+    /// input FIFO instead of one link register — the Table I gap the
+    /// iso-resource harness exists to expose.
+    fn resource_cost(&self) -> ResourceCost {
+        let depth = self.cfg.buffer_depth() as u64;
+        let mut cost = ResourceCost::default();
+        for node in 0..self.num_nodes() {
+            let out_degree = self.out_links(node).len() as u64;
+            let in_degree = out_degree; // bidirectional: one FIFO per inbound link
+            let outputs = out_degree + 1; // + Exit
+            let fanin = in_degree + 1; // + injection
+            cost.luts += outputs * (fanin - 1) * (DATAPATH_BITS / 2) + 8 * outputs;
+            cost.ffs += DATAPATH_BITS * depth * in_degree + 8 * in_degree + 16;
+        }
+        cost
+    }
+
+    /// Delegates to the mesh engine's own validator: XY routing is
+    /// single-path, so the mesh admits only transient axis faults,
+    /// fail-stop routers, and stalled injectors — never dead links.
+    fn validate_fault(&self, fault: &Fault) -> Result<(), FaultError> {
+        MeshNoc::with_faults(self.cfg, &FaultPlan::new().with(*fault)).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(n: u16) -> MeshTopology {
+        MeshTopology::new(MeshConfig::new(n, 4).unwrap())
+    }
+
+    #[test]
+    fn corner_and_interior_degrees() {
+        let t = topo(4);
+        assert_eq!(t.out_links(0).len(), 2, "corner: east + south only");
+        assert_eq!(t.out_links(5).len(), 4, "interior: all four");
+        // Every link's reverse twin exists (bidirectional mesh).
+        for l in t.links() {
+            assert!(t.out_links(l.dst).iter().any(|r| r.dst == l.src));
+        }
+    }
+
+    #[test]
+    fn mesh_is_strongly_connected_and_has_no_express() {
+        let t = topo(4);
+        assert!(t.connected_without(&[]));
+        assert!(t.express_ports().is_empty());
+        assert!(t
+            .links()
+            .iter()
+            .all(|l| l.class == WireClass::Short && l.span == 1));
+    }
+
+    #[test]
+    fn route_lut_is_xy() {
+        let t = topo(4);
+        let lut = t.build_route_lut();
+        // (0,0) -> (2,1): east first.
+        let slot = lut.slot(0, Coord::new(2, 1).to_node_id(4)).unwrap();
+        assert_eq!(slot, Dir::East.index());
+        // (2,0) -> (2,1): then south.
+        let slot = lut.slot(2, Coord::new(2, 1).to_node_id(4)).unwrap();
+        assert_eq!(slot, Dir::South.index());
+    }
+
+    #[test]
+    fn fault_validation_matches_engine() {
+        let t = topo(4);
+        let dead = Fault::DeadLink {
+            node: 0,
+            out: OutPort::EastSh,
+        };
+        assert!(
+            t.validate_fault(&dead).is_err(),
+            "single-path XY: no dead links"
+        );
+        let transient = Fault::TransientLink {
+            node: 1,
+            out: OutPort::EastSh,
+            from: 0,
+            until: 10,
+            corrupt: false,
+        };
+        assert!(t.validate_fault(&transient).is_ok());
+    }
+
+    #[test]
+    fn buffers_dominate_ff_cost() {
+        let shallow = MeshTopology::new(MeshConfig::new(4, 1).unwrap()).resource_cost();
+        let deep = MeshTopology::new(MeshConfig::new(4, 8).unwrap()).resource_cost();
+        assert_eq!(shallow.luts, deep.luts, "depth is FF-only");
+        assert!(deep.ffs > 4 * shallow.ffs);
+    }
+
+    #[test]
+    fn spec_round_trips_through_core_grammar() {
+        let t = topo(4);
+        let spec = t.spec();
+        assert_eq!(spec.to_string(), "mesh:4:4");
+        assert_eq!(spec.to_string().parse::<TopologySpec>().unwrap(), spec);
+        assert_eq!(spec.monitor_shape(), t.monitor_shape());
+    }
+}

@@ -131,7 +131,8 @@ pub fn hotspot_source(
     crate::source::BernoulliSource::new(n, Pattern::Hotspot { percent }, rate, packets_per_pe, seed)
 }
 
-/// The X-ring offset every packet of [`worst_case_permutation`] travels.
+/// The X-ring offset every packet of a worst-case [`PermutationSource`]
+/// travels.
 ///
 /// Express lanes forward packets in strides of `d`; a packet only
 /// boards one when the remaining offset can still be decomposed as

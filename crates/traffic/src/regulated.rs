@@ -1,5 +1,5 @@
 //! Rate-regulated traffic: the admission model of real-time NoC
-//! analyses (HopliteRT-style, the paper's ref [30]).
+//! analyses (HopliteRT-style, the paper's ref \[30\]).
 //!
 //! A [`RegulatedSource`] injects at most one packet per PE per `period`
 //! cycles — under such regulation, worst-case latencies stay within a

@@ -1,15 +1,23 @@
 //! Versioned scenario traces: record a live [`TrafficSource`] run and
 //! replay the realized injection schedule byte-identically.
 //!
-//! A `ScenarioTrace` v1 file is line-oriented text:
+//! A scenario trace file is line-oriented text:
 //!
 //! ```text
 //! fasttrack-scenario-trace v1
-//! {"schema":1,"noc":"ft:8:2:1","channels":1,...}
+//! {"schema":2,"noc":"ft:8:2:1","channels":1,...}
 //! m <cycle> <src> <dst> <tag>
 //! ...
 //! end <count> <checksum-hex>
 //! ```
+//!
+//! Schema v2 generalizes the `noc` key from the three torus kinds to
+//! the full [`TopologySpec`] grammar (`shg:<q>:<delta>`,
+//! `mesh:<n>:<depth>`); [`ScenarioHeader::topology`] parses it. Every
+//! v1 file is a valid v2 file (the torus grammar is a subset), so v1
+//! corpus entries decode — and re-encode byte-identically, since the
+//! recorded `schema` number is preserved. Unknown header keys are
+//! ignored in both schemas, so older builds read newer minor traces.
 //!
 //! * Line 1 is the magic string ([`SCENARIO_MAGIC`]).
 //! * Line 2 is a single flat JSON header object (hand-rolled — the
@@ -41,12 +49,15 @@ use fasttrack_core::port::OutPort;
 use fasttrack_core::queue::InjectQueues;
 use fasttrack_core::sim::TrafficSource;
 use fasttrack_core::sweep::splitmix64;
+use fasttrack_core::topology::TopologySpec;
 
 /// First line of every v1 scenario trace.
 pub const SCENARIO_MAGIC: &str = "fasttrack-scenario-trace v1";
 
-/// The schema number written by this library.
-pub const SCENARIO_SCHEMA: u32 = 1;
+/// The schema number written by this library. v2 widened the `noc`
+/// key to the full [`TopologySpec`] grammar; decoded v1 headers keep
+/// their recorded number so re-encoding is byte-identical.
+pub const SCENARIO_SCHEMA: u32 = 2;
 
 /// One realized queue push: at `cycle`, node `src` enqueued a packet
 /// for node `dst` carrying `tag`.
@@ -80,7 +91,9 @@ pub struct Expectation {
 pub struct ScenarioHeader {
     /// Format schema (currently always [`SCENARIO_SCHEMA`]).
     pub schema: u32,
-    /// NoC spec string, e.g. `ft:8:2:1` (`ftlite:` for Inject policy).
+    /// Topology spec string in the [`TopologySpec`] grammar, e.g.
+    /// `ft:8:2:1` (`ftlite:` for Inject policy) or, from schema v2 on,
+    /// `shg:8:2` / `mesh:4:4`.
     pub noc: String,
     /// Multichannel bank width (1 = single channel).
     pub channels: usize,
@@ -165,6 +178,21 @@ impl ScenarioHeader {
             _ => return Err(bad(format!("unknown noc spec {:?}", self.noc))),
         };
         cfg.map_err(|e| bad(format!("invalid noc spec {:?}: {e}", self.noc)))
+    }
+
+    /// The [`TopologySpec`] this header names — the schema-v2 view of
+    /// the `noc` key. v1 headers migrate transparently: their torus
+    /// spec strings are a subset of the v2 grammar, so the same parse
+    /// covers both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadHeader`] when the spec string does not
+    /// parse under the [`TopologySpec`] grammar.
+    pub fn topology(&self) -> Result<TopologySpec, TraceError> {
+        self.noc
+            .parse::<TopologySpec>()
+            .map_err(|e| TraceError::BadHeader(format!("bad noc spec {:?}: {e}", self.noc)))
     }
 }
 
@@ -1024,6 +1052,72 @@ mod tests {
             ScenarioTrace::decode(&text),
             Err(TraceError::UnsupportedSchema(9))
         );
+    }
+
+    #[test]
+    fn v2_round_trips_non_torus_topologies() {
+        use fasttrack_core::topology::TopologySpec;
+        for spec in ["shg:8:2", "mesh:4:4"] {
+            let header = ScenarioHeader::new(spec, "unit");
+            assert_eq!(header.schema, SCENARIO_SCHEMA);
+            let trace = ScenarioTrace::new(
+                header,
+                vec![ScenarioRecord {
+                    cycle: 0,
+                    src: 0,
+                    dst: 5,
+                    tag: 1,
+                }],
+            );
+            let decoded = ScenarioTrace::decode(&trace.encode()).unwrap();
+            assert_eq!(decoded, trace, "{spec}: round trip");
+            let topo = decoded.header.topology().unwrap();
+            match spec {
+                "shg:8:2" => assert!(matches!(topo, TopologySpec::Shg(_))),
+                _ => assert!(matches!(topo, TopologySpec::Mesh { n: 4, depth: 4 })),
+            }
+            // The torus-only accessor refuses the non-torus spec.
+            assert!(decoded.header.noc_config().is_err());
+        }
+    }
+
+    #[test]
+    fn v2_ignores_unknown_header_keys() {
+        // A hypothetical v2.x writer added keys this build predates.
+        let header = "{\"schema\":2,\"noc\":\"shg:8:2\",\"wire_budget\":9000,\"flavor\":\"zesty\"}";
+        let text = format!(
+            "{SCENARIO_MAGIC}\n{header}\nend 0 {:016x}\n",
+            line_hash(header)
+        );
+        let trace = ScenarioTrace::decode(&text).unwrap();
+        assert_eq!(trace.header.noc, "shg:8:2");
+        assert_eq!(trace.header.schema, 2);
+        assert!(trace.records.is_empty());
+    }
+
+    #[test]
+    fn v1_header_reads_as_v2_topology() {
+        use fasttrack_core::config::FtPolicy;
+        use fasttrack_core::topology::TopologySpec;
+        // A v1 file: torus spec, schema 1.
+        let header = "{\"schema\":1,\"noc\":\"ftlite:8:4:1\"}";
+        let text = format!(
+            "{SCENARIO_MAGIC}\n{header}\nend 0 {:016x}\n",
+            line_hash(header)
+        );
+        let trace = ScenarioTrace::decode(&text).unwrap();
+        // The recorded schema number is preserved...
+        assert_eq!(trace.header.schema, 1);
+        // ...the v2 accessor derives the TopologySpec from the v1 `noc`
+        // key...
+        let topo = trace.header.topology().unwrap();
+        let TopologySpec::Torus(cfg) = &topo else {
+            panic!("v1 specs are tori, got {topo:?}");
+        };
+        assert_eq!(cfg.ft_policy(), Some(FtPolicy::Inject));
+        assert_eq!(cfg.n(), 8);
+        // ...and both views agree.
+        assert_eq!(*cfg, trace.header.noc_config().unwrap());
     }
 
     #[test]

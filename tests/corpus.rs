@@ -118,6 +118,9 @@ fn checked_in_corpus_replays_and_matches_expectations() {
         let name = path.display();
         let text = std::fs::read_to_string(&path).unwrap();
         let trace = ScenarioTrace::decode(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // v1 entries re-encode byte-identically under the v2 library:
+        // the recorded schema number and key order are preserved.
+        assert_eq!(trace.encode(), text, "{name}: re-encode must be stable");
         let cfg = trace
             .header
             .noc_config()
